@@ -1,0 +1,70 @@
+// Shared helpers for the paper-artifact bench binaries: evaluation
+// environment banner (Table I analogue), scale flags, and campaign plumbing.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "eraser/eraser.h"
+#include "suite/suite.h"
+
+namespace eraser::bench {
+
+/// Prints the Table I analogue: the environment this run measures on.
+inline void print_environment(const char* what) {
+    std::printf("================================================================\n");
+    std::printf("%s\n", what);
+    std::printf("Eraser reproduction | compiler: %s | build: %s\n",
+#if defined(__clang__)
+                "clang " __clang_version__,
+#elif defined(__GNUC__)
+                ("gcc " + std::to_string(__GNUC__) + "." +
+                 std::to_string(__GNUC_MINOR__))
+                    .c_str(),
+#else
+                "unknown",
+#endif
+#ifdef NDEBUG
+                "Release"
+#else
+                "Debug"
+#endif
+    );
+    std::printf("Engines: IFsim*=serial event-driven, VFsim*=serial "
+                "levelized,\n"
+                "         CFSIM-X*=concurrent explicit-only (Z01X stand-in), "
+                "Eraser=full\n");
+    std::printf("(*substitutions documented in DESIGN.md section 2)\n");
+    std::printf("================================================================\n");
+}
+
+/// `--quick` shrinks cycles and fault samples for smoke runs.
+struct Scale {
+    bool quick = false;
+    uint32_t cycles(const suite::Benchmark& b) const {
+        return quick ? b.test_cycles : b.cycles;
+    }
+    uint32_t faults(const suite::Benchmark& b) const {
+        const uint32_t n = b.fault_sample;
+        return quick ? (n > 100 ? 100 : n) : n;
+    }
+};
+
+inline Scale parse_scale(int argc, char** argv) {
+    Scale s;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) s.quick = true;
+    }
+    return s;
+}
+
+inline std::vector<fault::Fault> faults_for(const rtl::Design& design,
+                                            uint32_t sample) {
+    fault::FaultGenOptions opts;
+    opts.sample_max = sample;
+    opts.sample_seed = 20250423;   // arXiv date of the paper, for fun
+    return fault::generate_faults(design, opts);
+}
+
+}  // namespace eraser::bench

@@ -1,0 +1,214 @@
+// Micro/ablation benchmarks (google-benchmark) for the design choices
+// DESIGN.md calls out:
+//  * divergence-list operations (the concurrent engine's hot data structure)
+//  * VDG redundancy walk vs full faulty execution (why skipping pays)
+//  * CFG execution vs statement interpretation (fused walk overhead)
+//  * event-driven vs levelized good simulation (the two serial substrates)
+#include <benchmark/benchmark.h>
+
+#include "cfg/cfg.h"
+#include "cfg/vdg.h"
+#include "fault/divergence.h"
+#include "frontend/compile.h"
+#include "sim/engine.h"
+#include "sim/interp.h"
+#include "suite/suite.h"
+#include "util/prng.h"
+
+namespace {
+
+using namespace eraser;
+
+// ---------------------------------------------------------------------------
+void BM_DivergenceListSetErase(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    Prng rng(7);
+    for (auto _ : state) {
+        fault::DivergenceList list;
+        for (int i = 0; i < n; ++i) {
+            list.set(static_cast<fault::FaultId>(rng.below(256)),
+                     Value(rng.bits(32), 32));
+        }
+        for (int i = 0; i < n; ++i) {
+            list.erase(static_cast<fault::FaultId>(rng.below(256)));
+        }
+        benchmark::DoNotOptimize(list);
+    }
+    state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_DivergenceListSetErase)->Arg(4)->Arg(16)->Arg(64);
+
+// ---------------------------------------------------------------------------
+void BM_DivergenceListLookup(benchmark::State& state) {
+    fault::DivergenceList list;
+    for (int i = 0; i < 32; ++i) {
+        list.set(static_cast<fault::FaultId>(i * 3), Value(i, 32));
+    }
+    uint32_t q = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(list.find(q % 96));
+        ++q;
+    }
+}
+BENCHMARK(BM_DivergenceListLookup);
+
+// ---------------------------------------------------------------------------
+// VDG walk vs full execution on the paper's Fig. 5 block.
+struct Fig5Fixture {
+    std::unique_ptr<rtl::Design> design;
+    cfg::Cfg cfg_;
+    cfg::Vdg vdg_;
+
+    Fig5Fixture() {
+        design = frontend::compile(R"(
+            module top(input clk, input [1:0] s, input [7:0] c,
+                       input [7:0] g, input [7:0] k, input [7:0] b,
+                       output reg [7:0] r, output reg [7:0] a);
+              always @(posedge clk) begin
+                if (s == 0) begin r <= c + g; a <= k; end
+                else if (s == 1) r <= 0;
+                else begin
+                  a <= 0;
+                  if (b == 0) r <= r + 1;
+                  else r <= a * r;
+                end
+              end
+            endmodule)",
+                                   "top");
+        cfg_ = cfg::Cfg::build(*design->behaviors[0].body, *design);
+        vdg_ = cfg::Vdg::build(cfg_);
+    }
+};
+
+class FlatCtx final : public sim::EvalContext {
+  public:
+    explicit FlatCtx(const rtl::Design& d) {
+        vals_.resize(d.signals.size(), Value(0, 1));
+        for (size_t i = 0; i < d.signals.size(); ++i) {
+            vals_[i] = Value(0, d.signals[i].width);
+        }
+    }
+    Value read_signal(rtl::SignalId s) override { return vals_[s]; }
+    Value read_array(rtl::ArrayId, uint64_t) override { return Value(0, 1); }
+    void write_signal(rtl::SignalId s, Value v, bool) override {
+        vals_[s] = v;
+    }
+    void write_array(rtl::ArrayId, uint64_t, Value, bool) override {}
+    std::vector<Value> vals_;
+};
+
+void BM_VdgWalk(benchmark::State& state) {
+    static Fig5Fixture fx;
+    FlatCtx good(*fx.design);
+    FlatCtx faulty(*fx.design);
+    good.write_signal(fx.design->signal_id("s"), Value(2, 2), false);
+    faulty.write_signal(fx.design->signal_id("s"), Value(2, 2), false);
+    faulty.write_signal(fx.design->signal_id("k"), Value(9, 8), false);
+    const rtl::SignalId k = fx.design->signal_id("k");
+    auto visible = [&](rtl::SignalId sig) { return sig == k; };
+    auto arr_visible = [](rtl::ArrayId) { return false; };
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cfg::implicit_redundant(fx.vdg_, good, faulty, visible,
+                                    arr_visible));
+    }
+}
+BENCHMARK(BM_VdgWalk);
+
+void BM_FullFaultyExecution(benchmark::State& state) {
+    static Fig5Fixture fx;
+    FlatCtx faulty(*fx.design);
+    faulty.write_signal(fx.design->signal_id("s"), Value(2, 2), false);
+    faulty.write_signal(fx.design->signal_id("k"), Value(9, 8), false);
+    for (auto _ : state) {
+        sim::exec_stmt(*fx.design->behaviors[0].body, *fx.design, faulty);
+        benchmark::DoNotOptimize(faulty);
+    }
+}
+BENCHMARK(BM_FullFaultyExecution);
+
+// ---------------------------------------------------------------------------
+void BM_CfgExecute(benchmark::State& state) {
+    static Fig5Fixture fx;
+    FlatCtx ctx(*fx.design);
+    ctx.write_signal(fx.design->signal_id("s"), Value(0, 2), false);
+    for (auto _ : state) {
+        fx.cfg_.execute(*fx.design, ctx);
+        benchmark::DoNotOptimize(ctx);
+    }
+}
+BENCHMARK(BM_CfgExecute);
+
+void BM_StmtInterpret(benchmark::State& state) {
+    static Fig5Fixture fx;
+    FlatCtx ctx(*fx.design);
+    ctx.write_signal(fx.design->signal_id("s"), Value(0, 2), false);
+    for (auto _ : state) {
+        sim::exec_stmt(*fx.design->behaviors[0].body, *fx.design, ctx);
+        benchmark::DoNotOptimize(ctx);
+    }
+}
+BENCHMARK(BM_StmtInterpret);
+
+// ---------------------------------------------------------------------------
+// Good-simulation throughput of the two serial substrates on a real
+// benchmark (cycles/second of the ALU).
+void BM_GoodSimEventDriven(benchmark::State& state) {
+    const auto& b = suite::find_benchmark("alu");
+    static auto design = suite::load_design(b);
+    auto stim = suite::make_stimulus(b, 1u << 30);
+    stim->bind(*design);
+    sim::SimEngine eng(*design, sim::SchedulingMode::EventDriven);
+    struct H : sim::DriveHandle {
+        explicit H(sim::SimEngine& e) : eng(e) {}
+        void set_input(rtl::SignalId s, uint64_t v) override {
+            eng.poke(s, v);
+        }
+        void load_array(rtl::ArrayId a, std::span<const uint64_t> w) override {
+            eng.load_array(a, w);
+        }
+        sim::SimEngine& eng;
+    } h(eng);
+    eng.reset();
+    stim->initialize(h);
+    const auto clk = design->signal_id("clk");
+    uint32_t cycle = 0;
+    for (auto _ : state) {
+        stim->apply(cycle++, h);
+        eng.tick(clk);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GoodSimEventDriven);
+
+void BM_GoodSimLevelized(benchmark::State& state) {
+    const auto& b = suite::find_benchmark("alu");
+    static auto design = suite::load_design(b);
+    auto stim = suite::make_stimulus(b, 1u << 30);
+    stim->bind(*design);
+    sim::SimEngine eng(*design, sim::SchedulingMode::Levelized);
+    struct H : sim::DriveHandle {
+        explicit H(sim::SimEngine& e) : eng(e) {}
+        void set_input(rtl::SignalId s, uint64_t v) override {
+            eng.poke(s, v);
+        }
+        void load_array(rtl::ArrayId a, std::span<const uint64_t> w) override {
+            eng.load_array(a, w);
+        }
+        sim::SimEngine& eng;
+    } h(eng);
+    eng.reset();
+    stim->initialize(h);
+    const auto clk = design->signal_id("clk");
+    uint32_t cycle = 0;
+    for (auto _ : state) {
+        stim->apply(cycle++, h);
+        eng.tick(clk);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GoodSimLevelized);
+
+}  // namespace
+
+BENCHMARK_MAIN();

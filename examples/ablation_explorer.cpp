@@ -1,0 +1,71 @@
+// Ablation explorer: run any suite benchmark under the three redundancy
+// modes (Eraser-- / Eraser- / Eraser) and show where the time goes — the
+// interactive companion to the paper's Fig. 7 / Table III.
+//
+//   $ ./build/examples/ablation_explorer riscv_mini
+//   $ ./build/examples/ablation_explorer            (lists benchmarks)
+#include <cstdio>
+
+#include "eraser/eraser.h"
+#include "suite/suite.h"
+
+int main(int argc, char** argv) {
+    using namespace eraser;
+
+    if (argc < 2) {
+        std::printf("usage: %s <benchmark>\navailable:\n", argv[0]);
+        for (const auto& b : suite::registry()) {
+            std::printf("  %-12s %s\n", b.name.c_str(), b.display.c_str());
+        }
+        return 0;
+    }
+
+    const auto& bench = suite::find_benchmark(argv[1]);
+    auto design = suite::load_design(bench);
+    fault::FaultGenOptions fopts;
+    fopts.sample_max = bench.fault_sample;
+    const auto faults = fault::generate_faults(*design, fopts);
+    std::printf("%s: %zu cells, %zu faults, %u cycles\n\n",
+                bench.display.c_str(), design->cell_estimate(), faults.size(),
+                bench.cycles);
+
+    struct Row {
+        const char* label;
+        core::RedundancyMode mode;
+    };
+    const Row rows[] = {
+        {"Eraser-- (no elimination)", core::RedundancyMode::None},
+        {"Eraser-  (explicit only)", core::RedundancyMode::Explicit},
+        {"Eraser   (explicit+implicit)", core::RedundancyMode::Full},
+    };
+
+    double base = 0.0;
+    for (const Row& row : rows) {
+        auto stim = suite::make_stimulus(bench, bench.cycles);
+        core::CampaignOptions opts;
+        opts.engine.mode = row.mode;
+        opts.engine.time_phases = true;
+        const auto r =
+            core::run_concurrent_campaign(*design, faults, *stim, opts);
+        if (base == 0.0) base = r.seconds;
+
+        const auto& s = r.stats;
+        std::printf("%s\n", row.label);
+        std::printf("  time %.3fs (%.2fx)   coverage %.2f%%\n", r.seconds,
+                    base / r.seconds, r.coverage_percent);
+        std::printf("  behavioral: %llu candidates = %llu executed + %llu "
+                    "explicit-skip + %llu implicit-skip\n",
+                    static_cast<unsigned long long>(s.bn_candidates),
+                    static_cast<unsigned long long>(s.bn_executed),
+                    static_cast<unsigned long long>(s.bn_skipped_explicit),
+                    static_cast<unsigned long long>(s.bn_skipped_implicit));
+        std::printf("  phase time: behavioral %.3fs, RTL nodes %.3fs\n\n",
+                    s.time_behavioral.total_seconds(),
+                    s.time_rtl.total_seconds());
+    }
+    std::printf("reading the numbers: Eraser- removes the explicit skips' "
+                "execution cost;\nEraser additionally proves implicit skips "
+                "via the VDG walk (Algorithm 1).\nCoverage must be identical "
+                "in all three rows — elimination is lossless.\n");
+    return 0;
+}

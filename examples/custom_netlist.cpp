@@ -1,0 +1,111 @@
+// Building a design through the C++ IR API directly — no Verilog involved.
+// Useful when Eraser is embedded in another flow (e.g. a generator emits
+// rtl::Design straight from its own IR). Constructs a 4-bit Johnson counter
+// with a decoded one-hot output, runs good simulation on both engine
+// flavours, then a fault campaign.
+//
+//   $ ./build/examples/custom_netlist
+#include <cstdio>
+
+#include "eraser/eraser.h"
+#include "suite/random_stimulus.h"
+
+int main() {
+    using namespace eraser;
+    using rtl::Op;
+
+    rtl::Design design;
+    design.top_name = "johnson";
+
+    // Ports and nets.
+    const auto clk = design.add_signal("clk", 1, rtl::SignalKind::Wire,
+                                       /*is_input=*/true);
+    const auto rst = design.add_signal("rst", 1, rtl::SignalKind::Wire,
+                                       /*is_input=*/true);
+    const auto q = design.add_signal("q", 4, rtl::SignalKind::Reg,
+                                     false, /*is_output=*/true);
+    const auto decoded = design.add_signal("decoded", 8, rtl::SignalKind::Wire,
+                                           false, /*is_output=*/true);
+    const auto feedback = design.add_signal("feedback", 1,
+                                            rtl::SignalKind::Wire);
+    const auto shifted = design.add_signal("shifted", 4,
+                                           rtl::SignalKind::Wire);
+    const auto one = design.add_signal("const_one", 8, rtl::SignalKind::Wire);
+
+    // RTL nodes: feedback = ~q[3]; shifted = {q[2:0], feedback};
+    // decoded = 1 << q (one-hot-ish decode of the counter value).
+    const auto q3 = design.add_signal("q3", 1, rtl::SignalKind::Wire);
+    design.add_node(Op::Slice, {q}, q3, Value(0, 1), /*imm=*/3);
+    design.add_node(Op::Not, {q3}, feedback);
+    const auto q_low = design.add_signal("q_low", 3, rtl::SignalKind::Wire);
+    design.add_node(Op::Slice, {q}, q_low, Value(0, 1), /*imm=*/0);
+    design.add_node(Op::Concat, {q_low, feedback}, shifted);
+    design.add_node(Op::Const, {}, one, Value(1, 8));
+    design.add_node(Op::Shl, {one, q}, decoded);
+
+    // Behavioral node: always @(posedge clk) if (rst) q <= 0; else q <= shifted;
+    rtl::BehavNode always;
+    always.name = "johnson_update";
+    always.edges.push_back({clk, rtl::EdgeKind::Pos});
+    {
+        using rtl::Expr;
+        using rtl::Stmt;
+        rtl::LValue lhs;
+        lhs.sig = q;
+        lhs.lo = 0;
+        lhs.width = 4;
+        auto then_s = Stmt::make_assign(lhs.clone(),
+                                        Expr::make_const(Value(0, 4)),
+                                        /*nonblocking=*/true);
+        auto else_s = Stmt::make_assign(lhs.clone(),
+                                        Expr::make_signal(shifted, 4),
+                                        /*nonblocking=*/true);
+        std::vector<rtl::StmtPtr> body;
+        body.push_back(Stmt::make_if(Expr::make_signal(rst, 1),
+                                     std::move(then_s), std::move(else_s)));
+        always.body = Stmt::make_block(std::move(body));
+    }
+    design.add_behavior(std::move(always));
+    design.finalize();
+
+    std::printf("hand-built design: %zu signals, %zu nodes, rank levels %u\n",
+                design.signals.size(), design.nodes.size(),
+                design.rank_levels());
+
+    // Good simulation on both engines; they must agree cycle by cycle.
+    sim::SimEngine ev(design, sim::SchedulingMode::EventDriven);
+    sim::SimEngine lv(design, sim::SchedulingMode::Levelized);
+    ev.reset();
+    lv.reset();
+    ev.poke(rst, 1);
+    lv.poke(rst, 1);
+    ev.tick(clk);
+    lv.tick(clk);
+    ev.poke(rst, 0);
+    lv.poke(rst, 0);
+    std::printf("\ncycle:  q (Johnson)  decoded\n");
+    for (int i = 0; i < 8; ++i) {
+        ev.tick(clk);
+        lv.tick(clk);
+        if (ev.peek(q) != lv.peek(q)) {
+            std::printf("ENGINE DISAGREEMENT at cycle %d\n", i);
+            return 1;
+        }
+        std::printf("%5d:  %x            %02llx\n", i,
+                    static_cast<unsigned>(ev.peek(q).bits()),
+                    static_cast<unsigned long long>(ev.peek(decoded).bits()));
+    }
+
+    // Fault campaign over the hand-built design.
+    const auto faults = fault::generate_faults(design, {});
+    suite::RandomStimulus::Config cfg;
+    cfg.reset = "rst";
+    cfg.cycles = 200;
+    suite::RandomStimulus stim(cfg);
+    core::CampaignOptions opts;
+    const auto report =
+        core::run_concurrent_campaign(design, faults, stim, opts);
+    std::printf("\nfault campaign: %zu faults, coverage %.1f%%\n",
+                faults.size(), report.coverage_percent);
+    return 0;
+}

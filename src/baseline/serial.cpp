@@ -1,0 +1,104 @@
+#include "baseline/serial.h"
+
+#include "util/timer.h"
+
+namespace eraser::baseline {
+
+using rtl::Design;
+using sim::SimEngine;
+
+namespace {
+
+/// DriveHandle over a SimEngine.
+class EngineHandle final : public sim::DriveHandle {
+  public:
+    explicit EngineHandle(SimEngine& eng) : eng_(eng) {}
+    void set_input(rtl::SignalId sig, uint64_t value) override {
+        eng_.poke(sig, value);
+    }
+    void load_array(rtl::ArrayId arr,
+                    std::span<const uint64_t> words) override {
+        eng_.load_array(arr, words);
+    }
+
+  private:
+    SimEngine& eng_;
+};
+
+}  // namespace
+
+GoodTrace record_good_trace(const Design& design, sim::Stimulus& stim,
+                            sim::SchedulingMode mode) {
+    SimEngine eng(design, mode);
+    EngineHandle handle(eng);
+    stim.bind(design);
+    const rtl::SignalId clk = design.signal_id(stim.clock_name());
+
+    eng.reset();
+    stim.initialize(handle);
+    GoodTrace trace;
+    trace.outputs_per_cycle = design.outputs.size();
+    trace.cycles = stim.num_cycles();
+    trace.flat.reserve(static_cast<size_t>(trace.cycles) *
+                       trace.outputs_per_cycle);
+    for (uint32_t c = 0; c < trace.cycles; ++c) {
+        stim.apply(c, handle);
+        eng.tick(clk);
+        for (rtl::SignalId out : design.outputs) {
+            trace.flat.push_back(eng.peek(out).bits());
+        }
+    }
+    return trace;
+}
+
+SerialResult run_serial_campaign(const Design& design,
+                                 std::span<const fault::Fault> faults,
+                                 sim::Stimulus& stim,
+                                 const SerialOptions& opts) {
+    Stopwatch watch;
+    const GoodTrace trace = record_good_trace(design, stim, opts.mode);
+
+    SerialResult result;
+    result.detected.assign(faults.size(), false);
+    result.total_cycles = trace.cycles;
+
+    SimEngine eng(design, opts.mode);
+    EngineHandle handle(eng);
+    stim.bind(design);
+    const rtl::SignalId clk = design.signal_id(stim.clock_name());
+
+    for (size_t f = 0; f < faults.size(); ++f) {
+        eng.clear_forces();
+        eng.force_bits(faults[f].sig, faults[f].mask(), faults[f].bits());
+        eng.reset();
+        stim.initialize(handle);
+        for (uint32_t c = 0; c < trace.cycles; ++c) {
+            stim.apply(c, handle);
+            eng.tick(clk);
+            ++result.total_cycles;
+            const std::span<const uint64_t> expected = trace.cycle(c);
+            bool mismatch = false;
+            for (size_t o = 0; o < design.outputs.size(); ++o) {
+                if (eng.peek(design.outputs[o]).bits() != expected[o]) {
+                    mismatch = true;
+                    break;
+                }
+            }
+            if (mismatch) {
+                if (!result.detected[f]) {
+                    result.detected[f] = true;
+                    ++result.num_detected;
+                }
+                if (opts.drop_on_detect) break;
+            }
+        }
+    }
+    result.coverage_percent =
+        faults.empty() ? 0.0
+                       : 100.0 * static_cast<double>(result.num_detected) /
+                             static_cast<double>(faults.size());
+    result.seconds = watch.seconds();
+    return result;
+}
+
+}  // namespace eraser::baseline

@@ -1,0 +1,60 @@
+// Serial fault simulation baselines: one full re-simulation per fault with
+// the fault site forced, detection by comparing primary outputs against the
+// recorded good trace each cycle.
+//
+//  * SchedulingMode::EventDriven  ≈ the paper's IFsim (Icarus + force)
+//  * SchedulingMode::Levelized    ≈ the paper's VFsim (Verilator-based)
+//
+// The serial event-driven run is also the *oracle*: the concurrent engine's
+// coverage must match it exactly (integration-tested per benchmark).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault.h"
+#include "rtl/design.h"
+#include "sim/engine.h"
+#include "sim/stimulus.h"
+
+namespace eraser::baseline {
+
+struct SerialOptions {
+    sim::SchedulingMode mode = sim::SchedulingMode::EventDriven;
+    /// Stop simulating a fault at its first detection (standard fault
+    /// dropping; applied identically in all engines).
+    bool drop_on_detect = true;
+};
+
+/// Primary-output values strobed once per cycle of the good run.
+struct GoodTrace {
+    std::vector<uint64_t> flat;   // cycle-major, outputs-in-declaration-order
+    size_t outputs_per_cycle = 0;
+    uint32_t cycles = 0;
+
+    [[nodiscard]] std::span<const uint64_t> cycle(uint32_t c) const {
+        return {flat.data() + static_cast<size_t>(c) * outputs_per_cycle,
+                outputs_per_cycle};
+    }
+};
+
+struct SerialResult {
+    std::vector<bool> detected;      // indexed by fault id
+    uint32_t num_detected = 0;
+    double coverage_percent = 0.0;
+    double seconds = 0.0;            // wall time of the whole campaign
+    uint64_t total_cycles = 0;       // cycles simulated across all runs
+};
+
+/// Runs the fault-free simulation once and records the output strobes.
+[[nodiscard]] GoodTrace record_good_trace(const rtl::Design& design,
+                                          sim::Stimulus& stim,
+                                          sim::SchedulingMode mode);
+
+/// Runs the full serial campaign (good run + one forced run per fault).
+[[nodiscard]] SerialResult run_serial_campaign(
+    const rtl::Design& design, std::span<const fault::Fault> faults,
+    sim::Stimulus& stim, const SerialOptions& opts);
+
+}  // namespace eraser::baseline

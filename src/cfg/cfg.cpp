@@ -1,0 +1,176 @@
+#include "cfg/cfg.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/interp.h"
+#include "util/diagnostics.h"
+
+namespace eraser::cfg {
+
+using rtl::Stmt;
+
+namespace {
+
+void push_unique_id(std::vector<uint32_t>& vec, uint32_t id) {
+    if (std::find(vec.begin(), vec.end(), id) == vec.end()) vec.push_back(id);
+}
+
+/// Recursive CFG constructor. `next` is the continuation node; returns the
+/// entry node of the built region.
+class Builder {
+  public:
+    explicit Builder(std::vector<CfgNode>& nodes) : nodes_(nodes) {}
+
+    uint32_t build(const Stmt* s, uint32_t next) {
+        if (s == nullptr) return next;
+        switch (s->kind) {
+            case Stmt::Kind::Block: {
+                uint32_t cur = next;
+                for (auto it = s->stmts.rbegin(); it != s->stmts.rend();
+                     ++it) {
+                    cur = build(it->get(), cur);
+                }
+                return cur;
+            }
+            case Stmt::Kind::Assign: {
+                const uint32_t id = new_node(CfgNode::Kind::Segment);
+                nodes_[id].assigns.push_back(s);
+                nodes_[id].next = next;
+                return id;
+            }
+            case Stmt::Kind::If: {
+                const uint32_t then_e = build(s->then_stmt.get(), next);
+                const uint32_t else_e = build(s->else_stmt.get(), next);
+                const uint32_t id = new_node(CfgNode::Kind::Decision);
+                nodes_[id].branch = s;
+                nodes_[id].succs = {then_e, else_e};
+                return id;
+            }
+            case Stmt::Kind::Case: {
+                // Build arm regions first: build() grows nodes_ and would
+                // invalidate any reference held across the calls.
+                std::vector<uint32_t> succs;
+                succs.reserve(s->arms.size() + 1);
+                for (const auto& arm : s->arms) {
+                    succs.push_back(build(arm.body.get(), next));
+                }
+                succs.push_back(next);   // no-match fallthrough
+                const uint32_t id = new_node(CfgNode::Kind::Decision);
+                nodes_[id].branch = s;
+                nodes_[id].succs = std::move(succs);
+                return id;
+            }
+        }
+        return next;
+    }
+
+  private:
+    uint32_t new_node(CfgNode::Kind kind) {
+        const uint32_t id = static_cast<uint32_t>(nodes_.size());
+        nodes_.emplace_back();
+        nodes_.back().kind = kind;
+        return id;
+    }
+    std::vector<CfgNode>& nodes_;
+};
+
+void compute_node_sets(CfgNode& node) {
+    if (node.kind == CfgNode::Kind::Decision) {
+        const Stmt& s = *node.branch;
+        const rtl::Expr& e =
+            s.kind == Stmt::Kind::If ? *s.cond : *s.subject;
+        rtl::collect_expr_reads(e, node.reads, &node.array_reads);
+        return;
+    }
+    for (const Stmt* a : node.assigns) {
+        rtl::collect_expr_reads(*a->rhs, node.reads, &node.array_reads);
+        if (a->lhs.index) {
+            rtl::collect_expr_reads(*a->lhs.index, node.reads,
+                                    &node.array_reads);
+        }
+        if (a->lhs.is_array()) {
+            push_unique_id(node.array_writes, a->lhs.arr);
+        } else {
+            if (a->lhs.partial) push_unique_id(node.reads, a->lhs.sig);
+            push_unique_id(node.writes, a->lhs.sig);
+        }
+    }
+}
+
+}  // namespace
+
+Cfg Cfg::build(const Stmt& body, const rtl::Design& design) {
+    (void)design;
+    Cfg cfg;
+    cfg.nodes.emplace_back();
+    cfg.nodes.back().kind = CfgNode::Kind::Exit;
+    cfg.exit = 0;
+
+    Builder builder(cfg.nodes);
+    cfg.entry = builder.build(&body, cfg.exit);
+
+    // Merge straight-line segment chains: a segment whose unique successor
+    // is a segment with in-degree 1 absorbs it. In-degrees first.
+    std::vector<uint32_t> indeg(cfg.nodes.size(), 0);
+    for (const CfgNode& n : cfg.nodes) {
+        if (n.kind == CfgNode::Kind::Segment) {
+            if (n.next != kNoNode) indeg[n.next]++;
+        } else if (n.kind == CfgNode::Kind::Decision) {
+            for (uint32_t s : n.succs) indeg[s]++;
+        }
+    }
+    indeg[cfg.entry]++;
+    for (uint32_t i = 0; i < cfg.nodes.size(); ++i) {
+        CfgNode& n = cfg.nodes[i];
+        if (n.kind != CfgNode::Kind::Segment) continue;
+        while (n.next != kNoNode &&
+               cfg.nodes[n.next].kind == CfgNode::Kind::Segment &&
+               indeg[n.next] == 1) {
+            CfgNode& victim = cfg.nodes[n.next];
+            n.assigns.insert(n.assigns.end(), victim.assigns.begin(),
+                             victim.assigns.end());
+            victim.assigns.clear();
+            victim.kind = CfgNode::Kind::Exit;   // tombstone, unreachable
+            n.next = victim.next;
+        }
+    }
+
+    for (CfgNode& n : cfg.nodes) compute_node_sets(n);
+    for (const CfgNode& n : cfg.nodes) {
+        if (n.kind == CfgNode::Kind::Decision) cfg.num_decisions_++;
+        if (n.kind == CfgNode::Kind::Segment && !n.assigns.empty()) {
+            cfg.num_segments_++;
+        }
+    }
+    return cfg;
+}
+
+size_t Cfg::evaluate_decision(const CfgNode& node, sim::EvalContext& ctx) {
+    assert(node.kind == CfgNode::Kind::Decision);
+    const Stmt& s = *node.branch;
+    if (s.kind == Stmt::Kind::If) {
+        return sim::eval_expr(*s.cond, ctx).is_true() ? 0 : 1;
+    }
+    const Value subj = sim::eval_expr(*s.subject, ctx);
+    return sim::pick_case_arm(s.arms, subj);
+}
+
+void Cfg::execute(const rtl::Design& design, sim::EvalContext& ctx) const {
+    uint32_t cur = entry;
+    size_t guard = 0;
+    while (cur != exit) {
+        const CfgNode& n = nodes[cur];
+        if (n.kind == CfgNode::Kind::Segment) {
+            for (const Stmt* a : n.assigns) sim::exec_assign(*a, design, ctx);
+            cur = n.next;
+        } else {
+            cur = n.succs[evaluate_decision(n, ctx)];
+        }
+        if (++guard > nodes.size() + 1) {
+            throw SimError("CFG execution did not terminate");
+        }
+    }
+}
+
+}  // namespace eraser::cfg

@@ -1,0 +1,74 @@
+// Control-flow graph of a behavioral body (paper §IV-A "Preprocess").
+//
+// The CFG partitions a behavioral node's statements into maximal straight-
+// line Segments connected through Decision nodes (if/case branch points).
+// It is *executable*: walking it from the entry, executing segment
+// assignments and evaluating decisions, is exactly equivalent to
+// interpreting the statement tree (property-tested). The Eraser engine runs
+// behavioral good simulation over the CFG so that Algorithm 1's redundancy
+// walk can be fused with it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/design.h"
+#include "sim/context.h"
+
+namespace eraser::cfg {
+
+inline constexpr uint32_t kNoNode = UINT32_MAX;
+
+struct CfgNode {
+    enum class Kind : uint8_t { Segment, Decision, Exit };
+    Kind kind = Kind::Segment;
+
+    // Segment: assignments in program order, single successor.
+    std::vector<const rtl::Stmt*> assigns;
+    uint32_t next = kNoNode;
+
+    // Decision: the branching statement (Stmt::If or Stmt::Case).
+    //  * If:   succs[0] = then, succs[1] = else/join
+    //  * Case: succs[i] = arm i (or join when the arm body is empty),
+    //          succs[arms.size()] = join (no label matched, no default)
+    const rtl::Stmt* branch = nullptr;
+    std::vector<uint32_t> succs;
+
+    // VDG annotations: signals/arrays read by this node (segment RHS +
+    // partial-LHS + index reads, or decision condition/subject reads).
+    std::vector<rtl::SignalId> reads;
+    std::vector<rtl::ArrayId> array_reads;
+    /// Signals assigned by this segment (blocking or nonblocking).
+    std::vector<rtl::SignalId> writes;
+    std::vector<rtl::ArrayId> array_writes;
+};
+
+class Cfg {
+  public:
+    /// Builds the CFG of a behavioral body. The design provides signal
+    /// metadata for read-set computation. The statement tree must outlive
+    /// the CFG (nodes keep raw pointers into it).
+    static Cfg build(const rtl::Stmt& body, const rtl::Design& design);
+
+    std::vector<CfgNode> nodes;
+    uint32_t entry = kNoNode;
+    uint32_t exit = kNoNode;
+
+    [[nodiscard]] size_t num_decisions() const { return num_decisions_; }
+    [[nodiscard]] size_t num_segments() const { return num_segments_; }
+
+    /// Evaluates a Decision node's branch under `ctx` and returns the index
+    /// into `succs` that execution takes.
+    [[nodiscard]] static size_t evaluate_decision(const CfgNode& node,
+                                                  sim::EvalContext& ctx);
+
+    /// Executes the whole CFG under `ctx`; behaviour is identical to
+    /// sim::exec_stmt on the original body.
+    void execute(const rtl::Design& design, sim::EvalContext& ctx) const;
+
+  private:
+    size_t num_decisions_ = 0;
+    size_t num_segments_ = 0;
+};
+
+}  // namespace eraser::cfg

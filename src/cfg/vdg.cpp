@@ -1,0 +1,106 @@
+#include "cfg/vdg.h"
+
+#include <cassert>
+
+#include "util/diagnostics.h"
+
+namespace eraser::cfg {
+
+namespace {
+
+/// True when the node contributes nothing to the walk (an assignment
+/// segment that reads no signal and no array, e.g. `q <= 0`).
+bool removable(const CfgNode& n) {
+    return n.kind == CfgNode::Kind::Segment && n.reads.empty() &&
+           n.array_reads.empty();
+}
+
+}  // namespace
+
+Vdg Vdg::build(const Cfg& cfg) {
+    Vdg vdg;
+    vdg.cfg = &cfg;
+
+    // First pass: assign VDG ids to every surviving CFG node.
+    std::vector<uint32_t> vdg_id(cfg.nodes.size(), kNoNode);
+    for (uint32_t i = 0; i < cfg.nodes.size(); ++i) {
+        const CfgNode& n = cfg.nodes[i];
+        if (n.kind == CfgNode::Kind::Exit || removable(n)) continue;
+        vdg_id[i] = static_cast<uint32_t>(vdg.nodes.size());
+        VdgNode v;
+        v.is_decision = n.kind == CfgNode::Kind::Decision;
+        v.cfg_id = i;
+        v.reads = n.reads;
+        v.array_reads = n.array_reads;
+        vdg.nodes.push_back(std::move(v));
+    }
+
+    // Resolve a CFG node id to its VDG target, skipping removed segments.
+    auto resolve = [&](uint32_t cfg_node) -> uint32_t {
+        size_t guard = 0;
+        while (cfg_node != kNoNode) {
+            const CfgNode& n = cfg.nodes[cfg_node];
+            if (n.kind == CfgNode::Kind::Exit) return kExitMark;
+            if (!removable(n)) return vdg_id[cfg_node];
+            cfg_node = n.next;
+            if (++guard > cfg.nodes.size()) {
+                throw SimError("VDG resolve loop");
+            }
+        }
+        return kExitMark;
+    };
+
+    for (VdgNode& v : vdg.nodes) {
+        const CfgNode& n = cfg.nodes[v.cfg_id];
+        if (v.is_decision) {
+            v.succs.reserve(n.succs.size());
+            for (uint32_t s : n.succs) v.succs.push_back(resolve(s));
+        } else {
+            v.next = resolve(n.next);
+        }
+    }
+    vdg.entry = resolve(cfg.entry);
+    return vdg;
+}
+
+size_t Vdg::num_decision_nodes() const {
+    size_t n = 0;
+    for (const auto& v : nodes) n += v.is_decision ? 1 : 0;
+    return n;
+}
+
+size_t Vdg::num_dependency_nodes() const {
+    return nodes.size() - num_decision_nodes();
+}
+
+bool implicit_redundant(
+    const Vdg& vdg, sim::EvalContext& good, sim::EvalContext& fault,
+    const std::function<bool(rtl::SignalId)>& visible,
+    const std::function<bool(rtl::ArrayId)>& array_visible) {
+    uint32_t cur = vdg.entry;
+    size_t guard = 0;
+    while (cur != Vdg::kExitMark) {
+        const VdgNode& v = vdg.nodes[cur];
+        if (v.is_decision) {
+            const CfgNode& cfg_node = vdg.cfg->nodes[v.cfg_id];
+            const size_t good_next = Cfg::evaluate_decision(cfg_node, good);
+            const size_t fault_next = Cfg::evaluate_decision(cfg_node, fault);
+            if (good_next != fault_next) return false;   // paper lines 8-10
+            cur = v.succs[good_next];
+        } else {
+            for (rtl::SignalId sig : v.reads) {
+                if (visible(sig)) return false;          // paper lines 13-17
+            }
+            for (rtl::ArrayId arr : v.array_reads) {
+                if (array_visible(arr)) return false;
+            }
+            cur = v.next;
+        }
+        if (++guard > vdg.nodes.size() + 1) {
+            throw SimError("VDG walk did not terminate");
+        }
+    }
+    return true;   // paper line 21
+}
+
+}  // namespace eraser::cfg

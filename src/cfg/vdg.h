@@ -1,0 +1,64 @@
+// Visibility Dependency Graph (paper §IV-A, Fig. 5c) and Algorithm 1.
+//
+// The VDG mirrors the CFG: *path decision nodes* carry the branch Evaluate
+// function, *path dependency nodes* carry the input signals a straight-line
+// segment reads. Segments that read nothing are removed (the paper's
+// "simplify the visibility dependency graph by removing empty nodes").
+//
+// Algorithm 1 (implicit redundancy detection) walks the VDG along the good
+// execution path: at each decision node it evaluates the branch under good
+// and fault values and fails on divergence; at each dependency node it fails
+// if any read signal is visible (fault value differs from good) for the
+// fault under test; reaching the exit proves the faulty execution redundant.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cfg/cfg.h"
+
+namespace eraser::cfg {
+
+struct VdgNode {
+    bool is_decision = false;
+    uint32_t cfg_id = kNoNode;           // corresponding CFG node
+    std::vector<rtl::SignalId> reads;    // dependency read-set / cond reads
+    std::vector<rtl::ArrayId> array_reads;
+    // Successors in VDG ids (empty segments already skipped):
+    uint32_t next = kNoNode;             // dependency node
+    std::vector<uint32_t> succs;         // decision node
+};
+
+class Vdg {
+  public:
+    /// Builds the VDG for a CFG; the CFG must outlive the VDG.
+    static Vdg build(const Cfg& cfg);
+
+    std::vector<VdgNode> nodes;
+    uint32_t entry = kNoNode;   // may equal kExitMark for empty bodies
+    const Cfg* cfg = nullptr;
+
+    /// Sentinel meaning "walked off the end" (the CFG exit).
+    static constexpr uint32_t kExitMark = UINT32_MAX - 1;
+
+    [[nodiscard]] size_t num_decision_nodes() const;
+    [[nodiscard]] size_t num_dependency_nodes() const;
+};
+
+/// Algorithm 1: returns true iff the faulty behavioral execution is
+/// provably redundant (same execution path, no visible signal on any
+/// dependency node of that path).
+///
+///  * `good` / `fault` evaluate branch conditions under the good and faulty
+///    networks respectively (paper lines 6-7);
+///  * `visible(sig)` is the IsVisible(signal, fault_id) oracle (line 14);
+///  * `array_visible(arr)` conservatively reports whether the fault has any
+///    divergent element in a memory read by the path (arrays extend the
+///    paper's scalar treatment; any divergence fails the check).
+[[nodiscard]] bool implicit_redundant(
+    const Vdg& vdg, sim::EvalContext& good, sim::EvalContext& fault,
+    const std::function<bool(rtl::SignalId)>& visible,
+    const std::function<bool(rtl::ArrayId)>& array_visible);
+
+}  // namespace eraser::cfg

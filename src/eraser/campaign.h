@@ -1,0 +1,36 @@
+// FaultCampaign: runs a stimulus against the concurrent engine and reports
+// coverage plus instrumentation — the top-level entry point of the Eraser
+// framework (paper Fig. 4 steps ①-⑧ driven over the whole testbench).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "eraser/concurrent_sim.h"
+#include "fault/fault.h"
+#include "rtl/design.h"
+#include "sim/stimulus.h"
+
+namespace eraser::core {
+
+struct CampaignOptions {
+    EngineOptions engine;
+};
+
+struct CampaignResult {
+    std::vector<bool> detected;
+    uint32_t num_faults = 0;
+    uint32_t num_detected = 0;
+    double coverage_percent = 0.0;
+    double seconds = 0.0;
+    Instrumentation stats;
+};
+
+/// Runs the full concurrent fault-simulation campaign: reset, stimulus
+/// initialization, one clocked cycle per stimulus step with output
+/// observation (fault detection + dropping) after each cycle.
+[[nodiscard]] CampaignResult run_concurrent_campaign(
+    const rtl::Design& design, std::span<const fault::Fault> faults,
+    sim::Stimulus& stim, const CampaignOptions& opts);
+
+}  // namespace eraser::core

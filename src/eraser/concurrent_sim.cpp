@@ -1,0 +1,1150 @@
+#include "eraser/concurrent_sim.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/interp.h"
+#include "util/diagnostics.h"
+
+namespace eraser::core {
+
+using fault::DivergenceList;
+using fault::FaultId;
+using rtl::ArrayId;
+using rtl::BehavId;
+using rtl::BehavNode;
+using rtl::Design;
+using rtl::NodeId;
+using rtl::SignalId;
+
+namespace {
+constexpr int kMaxSettleRounds = 4096;
+
+/// Ordered upsert map used for activation-local write buffers. Linear scans:
+/// behavioral blocks write a handful of signals.
+template <typename K, typename V>
+class SmallMap {
+  public:
+    void upsert(const K& k, const V& v) {
+        for (auto& [key, val] : items_) {
+            if (key == k) {
+                val = v;
+                return;
+            }
+        }
+        items_.emplace_back(k, v);
+    }
+    [[nodiscard]] const V* find(const K& k) const {
+        for (const auto& [key, val] : items_) {
+            if (key == k) return &val;
+        }
+        return nullptr;
+    }
+    [[nodiscard]] const std::vector<std::pair<K, V>>& items() const {
+        return items_;
+    }
+    [[nodiscard]] bool empty() const { return items_.empty(); }
+    void clear() { items_.clear(); }
+    friend bool operator==(const SmallMap& a, const SmallMap& b) {
+        return a.items_ == b.items_;
+    }
+
+  private:
+    std::vector<std::pair<K, V>> items_;
+};
+
+using ArrKey = std::pair<uint32_t, uint64_t>;   // (array, index)
+
+}  // namespace
+
+/// Per-activation result of one behavioral execution (good or faulty).
+struct ConcurrentSim::Activation {
+    SmallMap<SignalId, Value> blocking;
+    SmallMap<ArrKey, uint64_t> arr_blocking;
+    std::vector<std::pair<SignalId, Value>> nba;
+    std::vector<std::tuple<ArrayId, uint64_t, uint64_t>> arr_nba;
+
+    void clear() {
+        blocking.clear();
+        arr_blocking.clear();
+        nba.clear();
+        arr_nba.clear();
+    }
+    [[nodiscard]] bool same_writes(const Activation& other) const {
+        return blocking == other.blocking &&
+               arr_blocking == other.arr_blocking && nba == other.nba &&
+               arr_nba == other.arr_nba;
+    }
+};
+
+/// Good-network evaluation context: reads the activation overlay then global
+/// good state; buffers writes in the activation.
+class ConcurrentSim::GoodCtx final : public sim::EvalContext {
+  public:
+    GoodCtx(ConcurrentSim& sim, Activation& act) : sim_(sim), act_(act) {}
+
+    Value read_signal(SignalId sig) override {
+        if (const Value* v = act_.blocking.find(sig)) return *v;
+        return sim_.good_values_[sig];
+    }
+    Value read_array(ArrayId arr, uint64_t idx) override {
+        const unsigned w = sim_.design_.arrays[arr].width;
+        if (const uint64_t* v = act_.arr_blocking.find({arr, idx})) {
+            return Value(*v, w);
+        }
+        const auto& storage = sim_.good_arrays_[arr];
+        return Value(idx < storage.size() ? storage[idx] : 0, w);
+    }
+    void write_signal(SignalId sig, Value v, bool nonblocking) override {
+        if (nonblocking) {
+            act_.nba.emplace_back(sig, v);
+        } else {
+            act_.blocking.upsert(sig, v);
+        }
+    }
+    void write_array(ArrayId arr, uint64_t idx, Value v,
+                     bool nonblocking) override {
+        if (nonblocking) {
+            act_.arr_nba.emplace_back(arr, idx, v.bits());
+        } else {
+            act_.arr_blocking.upsert({arr, idx}, v.bits());
+        }
+    }
+    Value read_for_nba_update(SignalId sig) override {
+        for (auto it = act_.nba.rbegin(); it != act_.nba.rend(); ++it) {
+            if (it->first == sig) return it->second;
+        }
+        return read_signal(sig);
+    }
+
+  private:
+    ConcurrentSim& sim_;
+    Activation& act_;
+};
+
+/// Faulty-network evaluation context: reads the fault's activation overlay,
+/// then the fault's global view (divergence entry or good value).
+class ConcurrentSim::FaultCtx final : public sim::EvalContext {
+  public:
+    FaultCtx(ConcurrentSim& sim, Activation& act, FaultId f)
+        : sim_(sim), act_(act), fault_(f) {}
+
+    Value read_signal(SignalId sig) override {
+        if (const Value* v = act_.blocking.find(sig)) return *v;
+        return sim_.fault_view(sig, fault_);
+    }
+    Value read_array(ArrayId arr, uint64_t idx) override {
+        const unsigned w = sim_.design_.arrays[arr].width;
+        if (const uint64_t* v = act_.arr_blocking.find({arr, idx})) {
+            return Value(*v, w);
+        }
+        return Value(sim_.fault_array_view(arr, idx, fault_), w);
+    }
+    void write_signal(SignalId sig, Value v, bool nonblocking) override {
+        if (nonblocking) {
+            act_.nba.emplace_back(sig, v);
+        } else {
+            act_.blocking.upsert(sig, v);
+        }
+    }
+    void write_array(ArrayId arr, uint64_t idx, Value v,
+                     bool nonblocking) override {
+        if (nonblocking) {
+            act_.arr_nba.emplace_back(arr, idx, v.bits());
+        } else {
+            act_.arr_blocking.upsert({arr, idx}, v.bits());
+        }
+    }
+    Value read_for_nba_update(SignalId sig) override {
+        for (auto it = act_.nba.rbegin(); it != act_.nba.rend(); ++it) {
+            if (it->first == sig) return it->second;
+        }
+        return read_signal(sig);
+    }
+
+  private:
+    ConcurrentSim& sim_;
+    Activation& act_;
+    FaultId fault_;
+};
+
+ConcurrentSim::ConcurrentSim(const Design& design,
+                             std::span<const fault::Fault> faults,
+                             const EngineOptions& opts)
+    : design_(design), faults_(faults.begin(), faults.end()), opts_(opts) {
+    if (!design.finalized()) {
+        throw SimError("design must be finalized before simulation");
+    }
+    good_values_.reserve(design.signals.size());
+    for (const auto& s : design.signals) {
+        good_values_.emplace_back(0, s.width);
+    }
+    good_arrays_.reserve(design.arrays.size());
+    for (const auto& a : design.arrays) {
+        good_arrays_.emplace_back(a.size, uint64_t{0});
+    }
+    sig_div_.resize(design.signals.size());
+    arr_div_.resize(design.arrays.size());
+    pins_.resize(design.signals.size());
+    for (FaultId f = 0; f < faults_.size(); ++f) {
+        pins_[faults_[f].sig].push_back(f);
+    }
+    edge_prev_good_.assign(design.signals.size(), 0);
+    edge_prev_div_.resize(design.signals.size());
+
+    cfgs_.reserve(design.behaviors.size());
+    vdgs_.reserve(design.behaviors.size());
+    for (const auto& b : design.behaviors) {
+        if (b.body) {
+            cfgs_.push_back(cfg::Cfg::build(*b.body, design));
+        } else {
+            cfgs_.emplace_back();
+        }
+    }
+    for (const auto& c : cfgs_) vdgs_.push_back(cfg::Vdg::build(c));
+
+    const size_t num_elems = design.nodes.size() + design.behaviors.size();
+    in_queue_.assign(num_elems, false);
+    rank_buckets_.resize(design.rank_levels());
+    detected_.assign(faults_.size(), false);
+}
+
+ConcurrentSim::~ConcurrentSim() = default;
+
+Value ConcurrentSim::fault_view(SignalId sig, FaultId f) const {
+    if (const Value* v = sig_div_[sig].find(f)) return *v;
+    return good_values_[sig];
+}
+
+uint64_t ConcurrentSim::fault_array_view(ArrayId arr, uint64_t idx,
+                                         FaultId f) const {
+    const auto fit = arr_div_[arr].find(f);
+    if (fit != arr_div_[arr].end()) {
+        const auto eit = fit->second.find(idx);
+        if (eit != fit->second.end()) return eit->second;
+    }
+    const auto& storage = good_arrays_[arr];
+    return idx < storage.size() ? storage[idx] : 0;
+}
+
+Value ConcurrentSim::apply_pin(FaultId f, SignalId sig, Value v) const {
+    const fault::Fault& flt = faults_[f];
+    if (flt.sig != sig) return v;
+    return Value((v.bits() & ~flt.mask()) | flt.bits(), v.width());
+}
+
+Value ConcurrentSim::peek_fault(SignalId sig, FaultId f) const {
+    return fault_view(sig, f);
+}
+
+void ConcurrentSim::poke(SignalId sig, uint64_t value) {
+    commit_good_signal(sig, Value(value, design_.signals[sig].width));
+}
+
+void ConcurrentSim::load_array(ArrayId arr, std::span<const uint64_t> words) {
+    auto& storage = good_arrays_[arr];
+    const uint64_t mask = Value::mask(design_.arrays[arr].width);
+    for (size_t i = 0; i < words.size() && i < storage.size(); ++i) {
+        storage[i] = words[i] & mask;
+    }
+    for (BehavId b : design_.arrays[arr].reader_behavs) {
+        schedule_element(static_cast<uint32_t>(design_.nodes.size()) + b);
+    }
+}
+
+void ConcurrentSim::commit_good_signal(SignalId sig, Value v) {
+    const bool changed = good_values_[sig] != v;
+    if (changed) {
+        good_values_[sig] = v;
+        schedule_signal_fanout(sig);
+    }
+    // Re-assert pins. A fault with no recorded divergence follows the good
+    // network exactly, so its unpinned bits must track the *new* good value
+    // (basing them on a possibly-stale entry would freeze an intermediate
+    // value). Faults that genuinely diverge at this signal's writer are
+    // candidates there and get reconciled right after this commit.
+    for (FaultId f : pins_[sig]) {
+        if (detected_[f]) continue;
+        const Value pinned = apply_pin(f, sig, good_values_[sig]);
+        if (pinned != good_values_[sig]) {
+            if (sig_div_[sig].set(f, pinned) && !changed) {
+                schedule_signal_fanout(sig);
+            }
+        } else if (sig_div_[sig].erase(f) && !changed) {
+            schedule_signal_fanout(sig);
+        }
+    }
+}
+
+void ConcurrentSim::commit_good_array(ArrayId arr, uint64_t idx,
+                                      uint64_t val) {
+    auto& storage = good_arrays_[arr];
+    if (idx >= storage.size()) return;
+    const uint64_t masked = val & Value::mask(design_.arrays[arr].width);
+    if (storage[idx] == masked) return;
+    storage[idx] = masked;
+    for (BehavId b : design_.arrays[arr].reader_behavs) {
+        schedule_element(static_cast<uint32_t>(design_.nodes.size()) + b);
+    }
+}
+
+void ConcurrentSim::reconcile(FaultId f, SignalId sig, Value fault_val) {
+    fault_val = apply_pin(f, sig, fault_val);
+    bool changed;
+    if (fault_val != good_values_[sig]) {
+        changed = sig_div_[sig].set(f, fault_val);
+    } else {
+        changed = sig_div_[sig].erase(f);
+    }
+    if (changed) schedule_signal_fanout(sig);
+}
+
+void ConcurrentSim::reconcile_array(FaultId f, ArrayId arr, uint64_t idx,
+                                    uint64_t fault_val) {
+    const auto& storage = good_arrays_[arr];
+    const uint64_t good = idx < storage.size() ? storage[idx] : 0;
+    auto& per_fault = arr_div_[arr];
+    bool changed = false;
+    if (fault_val != good) {
+        auto& overlay = per_fault[f];
+        auto it = overlay.find(idx);
+        if (it == overlay.end() || it->second != fault_val) {
+            overlay[idx] = fault_val;
+            changed = true;
+        }
+    } else {
+        auto fit = per_fault.find(f);
+        if (fit != per_fault.end() && fit->second.erase(idx) > 0) {
+            if (fit->second.empty()) per_fault.erase(fit);
+            changed = true;
+        }
+    }
+    if (changed) {
+        for (BehavId b : design_.arrays[arr].reader_behavs) {
+            schedule_element(static_cast<uint32_t>(design_.nodes.size()) + b);
+        }
+    }
+}
+
+void ConcurrentSim::schedule_signal_fanout(SignalId sig) {
+    const rtl::Signal& s = design_.signals[sig];
+    for (NodeId n : s.fanout_nodes) schedule_element(n);
+    for (BehavId b : s.fanout_comb) {
+        schedule_element(static_cast<uint32_t>(design_.nodes.size()) + b);
+    }
+}
+
+void ConcurrentSim::schedule_element(uint32_t elem) {
+    if (in_queue_[elem]) return;
+    in_queue_[elem] = true;
+    const uint32_t rank =
+        elem < design_.nodes.size()
+            ? design_.nodes[elem].rank
+            : design_.behaviors[elem - design_.nodes.size()].rank;
+    rank_buckets_[rank].push_back(elem);
+    lowest_dirty_rank_ = std::min(lowest_dirty_rank_, rank);
+}
+
+void ConcurrentSim::comb_propagate() {
+    int batches = 0;
+    for (;;) {
+        uint32_t r = lowest_dirty_rank_;
+        while (r < rank_buckets_.size() && rank_buckets_[r].empty()) ++r;
+        if (r >= rank_buckets_.size()) break;
+        lowest_dirty_rank_ = r;
+        std::vector<uint32_t> batch;
+        batch.swap(rank_buckets_[r]);
+        for (uint32_t e : batch) {
+            in_queue_[e] = false;
+            if (e < design_.nodes.size()) {
+                eval_rtl_node(e);
+            } else {
+                eval_comb_behavior(
+                    static_cast<BehavId>(e - design_.nodes.size()));
+            }
+        }
+        if (++batches > kMaxSettleRounds * 64) {
+            throw SimError("combinational loop did not converge (concurrent)");
+        }
+    }
+    lowest_dirty_rank_ = static_cast<uint32_t>(rank_buckets_.size());
+}
+
+void ConcurrentSim::eval_rtl_node(NodeId n_id) {
+    TimeAccumulator::Section section(stats_.time_rtl);
+    const rtl::RtlNode& n = design_.nodes[n_id];
+    const unsigned out_w = design_.signals[n.output].width;
+    ++stats_.rtl_good_evals;
+
+    // Candidates first: entries on inputs (divergent sources) plus stale
+    // entries on the output (must be re-derived or cleared).
+    std::vector<FaultId> candidates;
+    for (SignalId in : n.inputs) {
+        for (const auto& e : sig_div_[in].entries()) {
+            if (!detected_[e.fault]) candidates.push_back(e.fault);
+        }
+    }
+    for (const auto& e : sig_div_[n.output].entries()) {
+        if (!detected_[e.fault]) candidates.push_back(e.fault);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    // Good evaluation.
+    Value good_out;
+    if (n.op == rtl::Op::Const) {
+        good_out = n.cval.resized(out_w);
+    } else {
+        std::vector<Value> vals;
+        vals.reserve(n.inputs.size());
+        for (SignalId in : n.inputs) vals.push_back(good_values_[in]);
+        good_out = rtl::eval_op(n.op, vals, out_w, n.imm);
+    }
+    commit_good_signal(n.output, good_out);
+
+    // Faulty evaluations against each fault's input views.
+    std::vector<Value> fvals;
+    for (FaultId f : candidates) {
+        ++stats_.rtl_fault_evals;
+        Value fault_out;
+        if (n.op == rtl::Op::Const) {
+            fault_out = n.cval.resized(out_w);
+        } else {
+            fvals.clear();
+            for (SignalId in : n.inputs) fvals.push_back(fault_view(in, f));
+            fault_out = rtl::eval_op(n.op, fvals, out_w, n.imm);
+        }
+        reconcile(f, n.output, fault_out);
+    }
+}
+
+void ConcurrentSim::collect_candidates(const BehavNode& behav,
+                                       std::vector<FaultId>& out) const {
+    out.clear();
+    auto take_signal = [&](SignalId sig) {
+        for (const auto& e : sig_div_[sig].entries()) {
+            if (!detected_[e.fault]) out.push_back(e.fault);
+        }
+    };
+    for (SignalId sig : behav.reads) take_signal(sig);
+    for (SignalId sig : behav.writes) take_signal(sig);
+    auto take_array = [&](ArrayId arr) {
+        for (const auto& [f, overlay] : arr_div_[arr]) {
+            if (!detected_[f] && !overlay.empty()) out.push_back(f);
+        }
+    };
+    for (ArrayId arr : behav.array_reads) take_array(arr);
+    for (ArrayId arr : behav.array_writes) take_array(arr);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+void ConcurrentSim::eval_comb_behavior(BehavId b) {
+    static const std::vector<FaultId> kNone;
+    process_behavior(b, /*good_active=*/true, kNone, kNone);
+}
+
+void ConcurrentSim::process_behavior(
+    BehavId b, bool good_active, const std::vector<FaultId>& solo_active,
+    const std::vector<FaultId>& missed) {
+    TimeAccumulator::Section section(stats_.time_behavioral);
+    const BehavNode& behav = design_.behaviors[b];
+    const cfg::Cfg& cfg = cfgs_[b];
+
+    // ---- candidate collection --------------------------------------------
+    std::vector<FaultId> candidates;
+    collect_candidates(behav, candidates);
+    auto contains = [](const std::vector<FaultId>& v, FaultId f) {
+        return std::binary_search(v.begin(), v.end(), f);
+    };
+    for (FaultId f : solo_active) {
+        if (!contains(candidates, f)) candidates.push_back(f);
+    }
+    for (FaultId f : missed) {
+        if (!contains(candidates, f)) candidates.push_back(f);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    // Normal candidates: activity follows the good network.
+    std::vector<FaultId> normal;
+    for (FaultId f : candidates) {
+        if (!contains(solo_active, f) && !contains(missed, f)) {
+            normal.push_back(f);
+        }
+    }
+    if (!good_active) {
+        // Fault-only activations: only solo faults execute here.
+        normal.clear();
+    }
+
+    // ---- good execution fused with the redundancy walk --------------------
+    Activation good_act;
+    std::vector<FaultId> explicit_skip;
+    std::vector<FaultId> implicit_alive;   // survivors = implicit-redundant
+    std::vector<FaultId> to_execute;
+
+    if (good_active) {
+        ++stats_.bn_good_execs;
+        stats_.bn_candidates += normal.size() + solo_active.size();
+
+        // Explicit filter (prior art): a fault whose read inputs are all
+        // consistent with good executes identically — skip it. Only the
+        // read signals that carry any divergence at all can make a fault
+        // visible; that subset is typically tiny, so hoist it.
+        std::vector<SignalId> divergent_reads;
+        for (SignalId sig : behav.reads) {
+            if (!sig_div_[sig].empty()) divergent_reads.push_back(sig);
+        }
+        std::vector<ArrayId> divergent_arrays;
+        for (ArrayId arr : behav.array_reads) {
+            if (!arr_div_[arr].empty()) divergent_arrays.push_back(arr);
+        }
+        auto reads_visible = [&](FaultId f) {
+            for (SignalId sig : divergent_reads) {
+                if (sig_div_[sig].contains(f)) return true;
+            }
+            for (ArrayId arr : divergent_arrays) {
+                const auto it = arr_div_[arr].find(f);
+                if (it != arr_div_[arr].end() && !it->second.empty()) {
+                    return true;
+                }
+            }
+            return false;
+        };
+        for (FaultId f : normal) {
+            const bool visible = reads_visible(f);
+            if (opts_.mode != RedundancyMode::None && !visible) {
+                explicit_skip.push_back(f);
+            } else if (opts_.mode == RedundancyMode::Full && visible) {
+                implicit_alive.push_back(f);
+            } else {
+                to_execute.push_back(f);
+            }
+        }
+
+        GoodCtx gctx(*this, good_act);
+        if (!behav.body) {
+            implicit_alive.clear();
+        } else if (implicit_alive.empty()) {
+            cfg.execute(design_, gctx);
+        } else {
+            // Fused walk (Algorithm 1): traverse the CFG, executing the good
+            // path and pruning faults whose path or dependencies diverge.
+            std::vector<SignalId> node_div_reads;
+            std::vector<ArrayId> node_div_arrays;
+            uint32_t cur = cfg.entry;
+            while (cur != cfg.exit) {
+                const cfg::CfgNode& node = cfg.nodes[cur];
+                // Visibility with the locally-written override: a signal the
+                // good path already assigned in this activation is consistent
+                // for every still-alive fault (their execution so far is
+                // provably identical).
+                auto visible = [&](SignalId sig, FaultId f) {
+                    if (good_act.blocking.find(sig) != nullptr) return false;
+                    return sig_div_[sig].contains(f);
+                };
+                auto arr_visible = [&](ArrayId arr, FaultId f) {
+                    const auto it = arr_div_[arr].find(f);
+                    return it != arr_div_[arr].end() && !it->second.empty();
+                };
+                // Hoist the divergence-carrying subset of the node's reads:
+                // per-fault checks then touch only those few signals.
+                node_div_reads.clear();
+                for (SignalId sig : node.reads) {
+                    if (!sig_div_[sig].empty() &&
+                        good_act.blocking.find(sig) == nullptr) {
+                        node_div_reads.push_back(sig);
+                    }
+                }
+                node_div_arrays.clear();
+                for (ArrayId arr : node.array_reads) {
+                    if (!arr_div_[arr].empty()) node_div_arrays.push_back(arr);
+                }
+                if (node.kind == cfg::CfgNode::Kind::Segment) {
+                    // Path dependency node: any visible read kills redundancy.
+                    if (!node_div_reads.empty() || !node_div_arrays.empty()) {
+                        std::erase_if(implicit_alive, [&](FaultId f) {
+                            for (SignalId sig : node_div_reads) {
+                                if (visible(sig, f)) {
+                                    to_execute.push_back(f);
+                                    return true;
+                                }
+                            }
+                            for (ArrayId arr : node_div_arrays) {
+                                if (arr_visible(arr, f)) {
+                                    to_execute.push_back(f);
+                                    return true;
+                                }
+                            }
+                            return false;
+                        });
+                    }
+                    for (const rtl::Stmt* a : node.assigns) {
+                        sim::exec_assign(*a, design_, gctx);
+                    }
+                    cur = node.next;
+                } else {
+                    // Path decision node: evaluate under good and under each
+                    // fault whose condition inputs are visible.
+                    const size_t good_next =
+                        cfg::Cfg::evaluate_decision(node, gctx);
+                    if (node_div_reads.empty() && node_div_arrays.empty()) {
+                        cur = node.succs[good_next];
+                        continue;
+                    }
+                    std::erase_if(implicit_alive, [&](FaultId f) {
+                        bool need_eval = false;
+                        for (SignalId sig : node_div_reads) {
+                            if (visible(sig, f)) {
+                                need_eval = true;
+                                break;
+                            }
+                        }
+                        if (!need_eval) {
+                            for (ArrayId arr : node_div_arrays) {
+                                if (arr_visible(arr, f)) {
+                                    // Conservative: divergent memory feeding
+                                    // a branch — treat as path divergence.
+                                    to_execute.push_back(f);
+                                    return true;
+                                }
+                            }
+                            return false;
+                        }
+                        // FaultCtx over good_act: reads of locally-written
+                        // signals see the good overlay (consistent for every
+                        // still-alive fault by induction), everything else
+                        // falls through to the fault's global view.
+                        FaultCtx fctx(*this, good_act, f);
+                        const size_t fault_next =
+                            cfg::Cfg::evaluate_decision(node, fctx);
+                        if (fault_next != good_next) {
+                            to_execute.push_back(f);
+                            return true;
+                        }
+                        return false;
+                    });
+                    cur = node.succs[good_next];
+                }
+            }
+        }
+    } else {
+        stats_.bn_candidates += solo_active.size();
+    }
+
+    // ---- faulty executions -------------------------------------------------
+    std::sort(to_execute.begin(), to_execute.end());
+    struct FaultRun {
+        FaultId f;
+        Activation act;
+    };
+    std::vector<FaultRun> runs;
+    auto run_fault = [&](FaultId f) {
+        ++stats_.bn_executed;
+        FaultRun run;
+        run.f = f;
+        FaultCtx fctx(*this, run.act, f);
+        if (behav.body) sim::exec_stmt(*behav.body, design_, fctx);
+        runs.push_back(std::move(run));
+    };
+    for (FaultId f : to_execute) run_fault(f);
+    for (FaultId f : solo_active) run_fault(f);
+
+    stats_.bn_skipped_explicit += explicit_skip.size();
+    stats_.bn_skipped_implicit += implicit_alive.size();
+
+    // ---- audit: ground-truth classification & soundness check -------------
+    if (opts_.audit && good_active) {
+        auto shadow_equal = [&](FaultId f) {
+            Activation shadow;
+            FaultCtx fctx(*this, shadow, f);
+            if (behav.body) sim::exec_stmt(*behav.body, design_, fctx);
+            return shadow.same_writes(good_act);
+        };
+        for (FaultId f : explicit_skip) {
+            ++stats_.audit_explicit;
+            if (!shadow_equal(f)) ++stats_.audit_soundness_violations;
+        }
+        for (FaultId f : implicit_alive) {
+            ++stats_.audit_implicit;
+            if (!shadow_equal(f)) ++stats_.audit_soundness_violations;
+        }
+        for (const FaultRun& run : runs) {
+            if (contains(solo_active, run.f)) continue;
+            if (run.act.same_writes(good_act)) {
+                // Executed although redundant: classify by input consistency.
+                bool vis = false;
+                for (SignalId sig : behav.reads) {
+                    if (sig_div_[sig].contains(run.f)) {
+                        vis = true;
+                        break;
+                    }
+                }
+                if (vis) {
+                    ++stats_.audit_implicit;
+                } else {
+                    ++stats_.audit_explicit;
+                }
+            } else {
+                ++stats_.audit_nonredundant;
+            }
+        }
+    }
+
+    // ---- commit -------------------------------------------------------------
+    // Capture per-candidate pre-views of every signal/array element the good
+    // execution wrote: a fault that did not itself write such a target keeps
+    // its pre-activation value there (missed activations and path-divergent
+    // executions), which becomes a divergence once the good value moves on.
+    const auto& gw = good_act.blocking.items();
+    const auto& gaw = good_act.arr_blocking.items();
+
+    struct PreView {
+        FaultId f;
+        std::vector<Value> sig_views;       // parallel to gw
+        std::vector<uint64_t> arr_views;    // parallel to gaw
+    };
+    std::vector<PreView> pre_views;
+    auto need_pre_view = [&](FaultId f) {
+        // Executed faults may not write everything good wrote; missed faults
+        // write nothing. Redundant skips use the good values directly.
+        return contains(missed, f) ||
+               std::any_of(runs.begin(), runs.end(),
+                           [&](const FaultRun& r) { return r.f == f; });
+    };
+    for (FaultId f : candidates) {
+        if (!need_pre_view(f)) continue;
+        PreView pv;
+        pv.f = f;
+        pv.sig_views.reserve(gw.size());
+        for (const auto& [sig, v] : gw) {
+            pv.sig_views.push_back(fault_view(sig, f));
+        }
+        pv.arr_views.reserve(gaw.size());
+        for (const auto& [key, v] : gaw) {
+            pv.arr_views.push_back(
+                fault_array_view(key.first, key.second, f));
+        }
+        pre_views.push_back(std::move(pv));
+    }
+    auto find_pre_view = [&](FaultId f) -> const PreView* {
+        for (const auto& pv : pre_views) {
+            if (pv.f == f) return &pv;
+        }
+        return nullptr;
+    };
+
+    // Commit good blocking writes (schedules fanout, re-asserts pins).
+    for (const auto& [sig, v] : gw) commit_good_signal(sig, v);
+    for (const auto& [key, v] : gaw) {
+        commit_good_array(key.first, key.second, v);
+    }
+
+    // Reconcile each candidate's blocking state. Resolution per target the
+    // good execution wrote:
+    //   * the fault also wrote it        -> the fault's value;
+    //   * fault has a pre-view (missed or executed-without-writing-it)
+    //                                    -> its pre-activation value;
+    //   * otherwise (redundant skip)     -> the good value (divergence
+    //                                       cleared; pins re-applied).
+    auto reconcile_writes = [&](FaultId f, const Activation* fact) {
+        const PreView* pv = find_pre_view(f);
+        for (size_t i = 0; i < gw.size(); ++i) {
+            const SignalId sig = gw[i].first;
+            Value fval;
+            const Value* own =
+                fact != nullptr ? fact->blocking.find(sig) : nullptr;
+            if (own != nullptr) {
+                fval = *own;
+            } else if (pv != nullptr) {
+                fval = pv->sig_views[i];
+            } else {
+                fval = gw[i].second;
+            }
+            reconcile(f, sig, fval);
+        }
+        // ...plus fault-only writes.
+        if (fact != nullptr) {
+            for (const auto& [sig, v] : fact->blocking.items()) {
+                if (good_act.blocking.find(sig) == nullptr) {
+                    reconcile(f, sig, v);
+                }
+            }
+        }
+        // Arrays, same pattern.
+        for (size_t i = 0; i < gaw.size(); ++i) {
+            const ArrKey key = gaw[i].first;
+            uint64_t fval;
+            const uint64_t* own =
+                fact != nullptr ? fact->arr_blocking.find(key) : nullptr;
+            if (own != nullptr) {
+                fval = *own;
+            } else if (pv != nullptr) {
+                fval = pv->arr_views[i];
+            } else {
+                fval = gaw[i].second;
+            }
+            reconcile_array(f, key.first, key.second, fval);
+        }
+        if (fact != nullptr) {
+            for (const auto& [key, v] : fact->arr_blocking.items()) {
+                if (good_act.arr_blocking.find(key) == nullptr) {
+                    reconcile_array(f, key.first, key.second, v);
+                }
+            }
+        }
+    };
+
+    for (FaultId f : explicit_skip) reconcile_writes(f, nullptr);
+    for (FaultId f : implicit_alive) reconcile_writes(f, nullptr);
+    for (FaultId f : missed) reconcile_writes(f, nullptr);
+    for (const FaultRun& run : runs) reconcile_writes(run.f, &run.act);
+
+    // ---- nonblocking writes -------------------------------------------------
+    for (const auto& [sig, v] : good_act.nba) {
+        nba_good_sigs_.emplace_back(sig, v);
+    }
+    for (const auto& [arr, idx, v] : good_act.arr_nba) {
+        nba_good_arrs_.emplace_back(arr, idx, v);
+    }
+    auto fault_nba_records = [&](FaultId f, const Activation* fact) {
+        // Resolve this fault's value for every signal good NBA-writes.
+        for (const auto& [sig, v] : good_act.nba) {
+            Value fval;
+            if (fact == nullptr) {
+                fval = contains(missed, f) ? fault_view(sig, f) : v;
+            } else {
+                const Value* own = nullptr;
+                for (const auto& [fsig, fv] : fact->nba) {
+                    if (fsig == sig) own = &fv;   // last write wins
+                }
+                fval = own != nullptr ? *own : fault_view(sig, f);
+            }
+            nba_fault_sigs_.emplace_back(f, sig, fval);
+        }
+        // Fault-only NBA writes.
+        if (fact != nullptr) {
+            for (const auto& [sig, fv] : fact->nba) {
+                bool good_wrote = false;
+                for (const auto& [gsig, gv] : good_act.nba) {
+                    if (gsig == sig) {
+                        good_wrote = true;
+                        break;
+                    }
+                }
+                if (!good_wrote) nba_fault_sigs_.emplace_back(f, sig, fv);
+            }
+        }
+        // Array NBA.
+        for (const auto& [arr, idx, v] : good_act.arr_nba) {
+            uint64_t fval;
+            if (fact == nullptr) {
+                fval = contains(missed, f) ? fault_array_view(arr, idx, f)
+                                           : v;
+            } else {
+                const uint64_t* own = nullptr;
+                for (const auto& [farr, fidx, fv] : fact->arr_nba) {
+                    if (farr == arr && fidx == idx) own = &fv;
+                }
+                fval = own != nullptr ? *own : fault_array_view(arr, idx, f);
+            }
+            nba_fault_arrs_.emplace_back(f, arr, idx, fval);
+        }
+        if (fact != nullptr) {
+            for (const auto& [arr, idx, fv] : fact->arr_nba) {
+                bool good_wrote = false;
+                for (const auto& [garr, gidx, gv] : good_act.arr_nba) {
+                    if (garr == arr && gidx == idx) {
+                        good_wrote = true;
+                        break;
+                    }
+                }
+                if (!good_wrote) nba_fault_arrs_.emplace_back(f, arr, idx, fv);
+            }
+        }
+    };
+    for (FaultId f : explicit_skip) fault_nba_records(f, nullptr);
+    for (FaultId f : implicit_alive) fault_nba_records(f, nullptr);
+    for (FaultId f : missed) fault_nba_records(f, nullptr);
+    for (const FaultRun& run : runs) fault_nba_records(run.f, &run.act);
+}
+
+bool ConcurrentSim::run_edge_round() {
+    // Transition records per watched signal, sampled after the combinational
+    // fixpoint (postponed evaluation, the fake-event fix).
+    struct Record {
+        SignalId sig;
+        uint64_t prev_good, cur_good;
+        std::vector<std::tuple<FaultId, uint64_t, uint64_t>> fault_prev_cur;
+    };
+    std::vector<Record> records;
+
+    for (SignalId sig = 0; sig < design_.signals.size(); ++sig) {
+        const rtl::Signal& s = design_.signals[sig];
+        if (s.fanout_edges.empty()) continue;
+        const uint64_t prev_good = edge_prev_good_[sig];
+        const uint64_t cur_good = good_values_[sig].bits();
+        const DivergenceList& prev_div = edge_prev_div_[sig];
+        const DivergenceList& cur_div = sig_div_[sig];
+        if (prev_good == cur_good && prev_div.empty() && cur_div.empty()) {
+            continue;
+        }
+        Record rec;
+        rec.sig = sig;
+        rec.prev_good = prev_good;
+        rec.cur_good = cur_good;
+        // Union of faults divergent before or now.
+        for (const auto& e : prev_div.entries()) {
+            if (detected_[e.fault]) continue;
+            const Value* cur = cur_div.find(e.fault);
+            rec.fault_prev_cur.emplace_back(
+                e.fault, e.value.bits(),
+                cur != nullptr ? cur->bits() : cur_good);
+        }
+        for (const auto& e : cur_div.entries()) {
+            if (detected_[e.fault]) continue;
+            if (prev_div.find(e.fault) == nullptr) {
+                rec.fault_prev_cur.emplace_back(e.fault, prev_good,
+                                                e.value.bits());
+            }
+        }
+        // Update the sampled state.
+        edge_prev_good_[sig] = cur_good;
+        edge_prev_div_[sig] = cur_div;
+        if (prev_good != cur_good || !rec.fault_prev_cur.empty()) {
+            records.push_back(std::move(rec));
+        }
+    }
+    if (records.empty()) return false;
+
+    auto fired = [](rtl::EdgeKind kind, uint64_t prev, uint64_t cur) {
+        const bool p0 = (prev & 1) == 0, c1 = (cur & 1) == 1;
+        const bool p1 = (prev & 1) == 1, c0 = (cur & 1) == 0;
+        return kind == rtl::EdgeKind::Pos ? (p0 && c1) : (p1 && c0);
+    };
+    auto record_for = [&](SignalId sig) -> const Record* {
+        for (const auto& r : records) {
+            if (r.sig == sig) return &r;
+        }
+        return nullptr;
+    };
+
+    // Determine activations per sequential block touched by any record.
+    std::vector<BehavId> blocks;
+    for (const Record& rec : records) {
+        for (BehavId b : design_.signals[rec.sig].fanout_edges) {
+            if (std::find(blocks.begin(), blocks.end(), b) == blocks.end()) {
+                blocks.push_back(b);
+            }
+        }
+    }
+    std::sort(blocks.begin(), blocks.end());
+
+    bool any = false;
+    for (BehavId b : blocks) {
+        const BehavNode& behav = design_.behaviors[b];
+        bool good_active = false;
+        // Edge-divergent faults of this block and their activity.
+        std::vector<std::pair<FaultId, bool>> fault_activity;
+        auto note_fault = [&](FaultId f) {
+            for (auto& [id, act] : fault_activity) {
+                if (id == f) return;
+            }
+            fault_activity.emplace_back(f, false);
+        };
+        for (const rtl::EdgeSpec& e : behav.edges) {
+            const Record* rec = record_for(e.sig);
+            const uint64_t prev =
+                rec != nullptr ? rec->prev_good : edge_prev_good_[e.sig];
+            const uint64_t cur =
+                rec != nullptr ? rec->cur_good : edge_prev_good_[e.sig];
+            if (fired(e.kind, prev, cur)) good_active = true;
+            if (rec != nullptr) {
+                for (const auto& [f, fp, fc] : rec->fault_prev_cur) {
+                    note_fault(f);
+                }
+            }
+        }
+        for (auto& [f, act] : fault_activity) {
+            for (const rtl::EdgeSpec& e : behav.edges) {
+                const Record* rec = record_for(e.sig);
+                uint64_t fp, fc;
+                bool have = false;
+                if (rec != nullptr) {
+                    for (const auto& [rf, rp, rc] : rec->fault_prev_cur) {
+                        if (rf == f) {
+                            fp = rp;
+                            fc = rc;
+                            have = true;
+                            break;
+                        }
+                    }
+                }
+                if (!have) {
+                    // This fault agrees with good on this edge signal.
+                    fp = rec != nullptr ? rec->prev_good
+                                        : edge_prev_good_[e.sig];
+                    fc = rec != nullptr ? rec->cur_good
+                                        : edge_prev_good_[e.sig];
+                }
+                if (fired(e.kind, fp, fc)) {
+                    act = true;
+                    break;
+                }
+            }
+        }
+        std::vector<FaultId> solo, missed;
+        for (const auto& [f, act] : fault_activity) {
+            if (act && !good_active) solo.push_back(f);
+            if (!act && good_active) missed.push_back(f);
+        }
+        std::sort(solo.begin(), solo.end());
+        std::sort(missed.begin(), missed.end());
+        if (good_active || !solo.empty()) {
+            process_behavior(b, good_active, solo, missed);
+            any = true;
+        }
+    }
+    return any;
+}
+
+bool ConcurrentSim::apply_nba() {
+    if (nba_good_sigs_.empty() && nba_good_arrs_.empty() &&
+        nba_fault_sigs_.empty() && nba_fault_arrs_.empty()) {
+        return false;
+    }
+    auto good_sigs = std::move(nba_good_sigs_);
+    auto good_arrs = std::move(nba_good_arrs_);
+    auto fault_sigs = std::move(nba_fault_sigs_);
+    auto fault_arrs = std::move(nba_fault_arrs_);
+    nba_good_sigs_.clear();
+    nba_good_arrs_.clear();
+    nba_fault_sigs_.clear();
+    nba_fault_arrs_.clear();
+
+    for (const auto& [sig, v] : good_sigs) commit_good_signal(sig, v);
+    for (const auto& [arr, idx, v] : good_arrs) {
+        commit_good_array(arr, idx, v);
+    }
+    for (const auto& [f, sig, v] : fault_sigs) {
+        if (!detected_[f]) reconcile(f, sig, v);
+    }
+    for (const auto& [f, arr, idx, v] : fault_arrs) {
+        if (!detected_[f]) reconcile_array(f, arr, idx, v);
+    }
+    return true;
+}
+
+void ConcurrentSim::settle() {
+    int rounds = 0;
+    for (;;) {
+        comb_propagate();
+        const bool ran_seq = run_edge_round();
+        const bool wrote_nba = apply_nba();
+        if (!ran_seq && !wrote_nba) break;
+        if (++rounds > kMaxSettleRounds) {
+            throw SimError("settle did not reach quiescence (concurrent)");
+        }
+    }
+}
+
+void ConcurrentSim::tick(SignalId clk) {
+    poke(clk, 1);
+    settle();
+    poke(clk, 0);
+    settle();
+}
+
+void ConcurrentSim::materialize_pins() {
+    for (FaultId f = 0; f < faults_.size(); ++f) {
+        if (detected_[f]) continue;
+        const SignalId sig = faults_[f].sig;
+        reconcile(f, sig, fault_view(sig, f));
+    }
+}
+
+void ConcurrentSim::reset() {
+    for (size_t i = 0; i < good_values_.size(); ++i) {
+        good_values_[i] = Value(0, design_.signals[i].width);
+    }
+    for (auto& a : good_arrays_) std::fill(a.begin(), a.end(), 0);
+    for (auto& d : sig_div_) d.clear();
+    for (auto& d : arr_div_) d.clear();
+    std::fill(edge_prev_good_.begin(), edge_prev_good_.end(), 0);
+    for (auto& d : edge_prev_div_) d.clear();
+    for (auto& bucket : rank_buckets_) bucket.clear();
+    std::fill(in_queue_.begin(), in_queue_.end(), false);
+    nba_good_sigs_.clear();
+    nba_good_arrs_.clear();
+    nba_fault_sigs_.clear();
+    nba_fault_arrs_.clear();
+    lowest_dirty_rank_ = 0;
+
+    // Initial blocks run on the good network; pins are then materialized so
+    // fault views are stuck from time zero (same as a serial `force`).
+    {
+        Activation act;
+        GoodCtx ctx(*this, act);
+        for (const auto& init : design_.initials) {
+            if (init.body) sim::exec_stmt(*init.body, design_, ctx);
+        }
+        for (const auto& [sig, v] : act.blocking.items()) {
+            commit_good_signal(sig, v);
+        }
+        for (const auto& [key, v] : act.arr_blocking.items()) {
+            commit_good_array(key.first, key.second, v);
+        }
+        for (const auto& [sig, v] : act.nba) commit_good_signal(sig, v);
+        for (const auto& [arr, idx, v] : act.arr_nba) {
+            commit_good_array(arr, idx, v);
+        }
+    }
+    materialize_pins();
+
+    for (uint32_t n = 0; n < design_.nodes.size(); ++n) schedule_element(n);
+    for (uint32_t b = 0; b < design_.behaviors.size(); ++b) {
+        if (design_.behaviors[b].is_comb) {
+            schedule_element(static_cast<uint32_t>(design_.nodes.size()) + b);
+        }
+    }
+    settle();
+}
+
+void ConcurrentSim::mark_detected(FaultId f) {
+    if (detected_[f]) return;
+    detected_[f] = true;
+    ++num_detected_;
+}
+
+void ConcurrentSim::prune_detected() {
+    for (auto& d : sig_div_) {
+        d.erase_if([&](FaultId f) { return detected_[f]; });
+    }
+    for (auto& d : edge_prev_div_) {
+        d.erase_if([&](FaultId f) { return detected_[f]; });
+    }
+    for (auto& per_arr : arr_div_) {
+        for (auto it = per_arr.begin(); it != per_arr.end();) {
+            if (detected_[it->first]) {
+                it = per_arr.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    pruned_detected_ = num_detected_;
+}
+
+void ConcurrentSim::observe_outputs() {
+    for (SignalId out : design_.outputs) {
+        for (const auto& e : sig_div_[out].entries()) {
+            mark_detected(e.fault);
+        }
+    }
+    if (num_detected_ != pruned_detected_) prune_detected();
+}
+
+}  // namespace eraser::core

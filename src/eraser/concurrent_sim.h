@@ -1,0 +1,175 @@
+// ConcurrentSim: the Eraser fault-simulation engine (paper §IV, Fig. 4).
+//
+// One good network plus per-fault divergence entries ("bad gates") on
+// signals, arrays, and event state. RTL nodes are simulated concurrently
+// (steps 2-3); behavioral nodes are activated by RTL-node events (step 4)
+// and faulty behavioral executions are skipped when redundancy detection
+// proves them equal to the good execution (steps 5-6):
+//
+//  * RedundancyMode::None      — Eraser--: every candidate fault executes.
+//  * RedundancyMode::Explicit  — Eraser-:  input-consistency skip only.
+//  * RedundancyMode::Full      — Eraser:   explicit + Algorithm 1 (implicit,
+//                                execution-path walk fused with the good
+//                                execution over the behavioral CFG).
+//
+// Fake events (paper §IV-C) are avoided structurally: edge detection — for
+// the good network *and* for every fault's view of the watched signals — is
+// postponed until the combinational fixpoint of the delta has completed, so
+// a bad gate never reacts to a good event that its own network overrides.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "cfg/vdg.h"
+#include "eraser/instrumentation.h"
+#include "fault/divergence.h"
+#include "fault/fault.h"
+#include "rtl/design.h"
+#include "sim/stimulus.h"
+
+namespace eraser::core {
+
+enum class RedundancyMode : uint8_t { None, Explicit, Full };
+
+struct EngineOptions {
+    RedundancyMode mode = RedundancyMode::Full;
+    /// Shadow-execute every candidate to classify ground-truth redundancy
+    /// (explicit / implicit / none) and cross-check implicit skips.
+    bool audit = false;
+    /// Collect phase timings (small overhead; required for Table III).
+    bool time_phases = false;
+};
+
+class ConcurrentSim {
+  public:
+    ConcurrentSim(const rtl::Design& design,
+                  std::span<const fault::Fault> faults,
+                  const EngineOptions& opts);
+    ~ConcurrentSim();
+    ConcurrentSim(const ConcurrentSim&) = delete;
+    ConcurrentSim& operator=(const ConcurrentSim&) = delete;
+
+    /// Zeroes all state, runs `initial` blocks, materializes fault pins,
+    /// settles.
+    void reset();
+
+    void poke(rtl::SignalId sig, uint64_t value);
+    [[nodiscard]] Value peek_good(rtl::SignalId sig) const {
+        return good_values_[sig];
+    }
+    /// The fault's view of a signal (entry if divergent, else good).
+    [[nodiscard]] Value peek_fault(rtl::SignalId sig,
+                                   fault::FaultId f) const;
+    void load_array(rtl::ArrayId arr, std::span<const uint64_t> words);
+
+    void settle();
+    void tick(rtl::SignalId clk);
+
+    /// Compares fault views against good at all primary outputs and marks
+    /// newly-detected faults; detected faults are dropped from simulation.
+    void observe_outputs();
+
+    [[nodiscard]] const std::vector<bool>& detected() const {
+        return detected_;
+    }
+    [[nodiscard]] uint32_t num_detected() const { return num_detected_; }
+    [[nodiscard]] Instrumentation& stats() { return stats_; }
+    [[nodiscard]] const rtl::Design& design() const { return design_; }
+
+  private:
+    class GoodCtx;
+    class FaultCtx;
+    struct Activation;
+
+    // --- value plumbing ----------------------------------------------------
+    void commit_good_signal(rtl::SignalId sig, Value v);
+    void commit_good_array(rtl::ArrayId arr, uint64_t idx, uint64_t val);
+    /// Sets/clears fault divergence given the fault's absolute value
+    /// (applies the fault pin first); schedules fanout on change.
+    void reconcile(fault::FaultId f, rtl::SignalId sig, Value fault_val);
+    void reconcile_array(fault::FaultId f, rtl::ArrayId arr, uint64_t idx,
+                         uint64_t fault_val);
+    [[nodiscard]] Value fault_view(rtl::SignalId sig, fault::FaultId f) const;
+    [[nodiscard]] uint64_t fault_array_view(rtl::ArrayId arr, uint64_t idx,
+                                            fault::FaultId f) const;
+    [[nodiscard]] Value apply_pin(fault::FaultId f, rtl::SignalId sig,
+                                  Value v) const;
+
+    // --- scheduling --------------------------------------------------------
+    void schedule_element(uint32_t elem);
+    void schedule_signal_fanout(rtl::SignalId sig);
+    void comb_propagate();
+    bool run_edge_round();
+    bool apply_nba();
+    void materialize_pins();
+    void prune_detected();
+
+    // --- element evaluation -------------------------------------------------
+    void eval_rtl_node(rtl::NodeId n);
+    void eval_comb_behavior(rtl::BehavId b);
+    /// Processes one behavioral activation: good execution fused with the
+    /// redundancy walk, faulty executions, and write reconciliation.
+    /// `good_active` is false for fault-only activations of sequential
+    /// blocks; `forced_inactive`/`forced_active` list faults whose event
+    /// divergence makes their activity differ from good.
+    void process_behavior(rtl::BehavId b, bool good_active,
+                          const std::vector<fault::FaultId>& solo_active,
+                          const std::vector<fault::FaultId>& missed);
+
+    /// Collects candidate faults at a behavioral node (entries on reads,
+    /// writes, and read/written arrays), ascending, detected skipped.
+    void collect_candidates(const rtl::BehavNode& behav,
+                            std::vector<fault::FaultId>& out) const;
+
+    void mark_detected(fault::FaultId f);
+
+    const rtl::Design& design_;
+    std::vector<fault::Fault> faults_;
+    EngineOptions opts_;
+
+    // Good network state.
+    std::vector<Value> good_values_;
+    std::vector<std::vector<uint64_t>> good_arrays_;
+
+    // Divergence state.
+    std::vector<fault::DivergenceList> sig_div_;
+    /// arr_div_[arr][fault] -> sparse element overlay.
+    std::vector<std::unordered_map<fault::FaultId,
+                                   std::unordered_map<uint64_t, uint64_t>>>
+        arr_div_;
+    /// Faults pinned on each signal (their stuck bits always override).
+    std::vector<std::vector<fault::FaultId>> pins_;
+
+    // Edge state (previous sampled values).
+    std::vector<uint64_t> edge_prev_good_;
+    std::vector<fault::DivergenceList> edge_prev_div_;
+
+    // Behavioral CFGs/VDGs (index parallel to design.behaviors).
+    std::vector<cfg::Cfg> cfgs_;
+    std::vector<cfg::Vdg> vdgs_;
+
+    // Scheduling (elements: RTL nodes then comb behaviors).
+    std::vector<std::vector<uint32_t>> rank_buckets_;
+    std::vector<bool> in_queue_;
+    uint32_t lowest_dirty_rank_ = 0;
+
+    // NBA buffers.
+    std::vector<std::pair<rtl::SignalId, Value>> nba_good_sigs_;
+    std::vector<std::tuple<rtl::ArrayId, uint64_t, uint64_t>> nba_good_arrs_;
+    std::vector<std::tuple<fault::FaultId, rtl::SignalId, Value>>
+        nba_fault_sigs_;
+    std::vector<std::tuple<fault::FaultId, rtl::ArrayId, uint64_t, uint64_t>>
+        nba_fault_arrs_;
+
+    std::vector<bool> detected_;
+    uint32_t num_detected_ = 0;
+    uint32_t pruned_detected_ = 0;   // last count swept out of the lists
+
+    Instrumentation stats_;
+};
+
+}  // namespace eraser::core

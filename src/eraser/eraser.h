@@ -1,0 +1,34 @@
+// Umbrella public API of the Eraser library.
+//
+// Typical use:
+//
+//   #include "eraser/eraser.h"
+//
+//   auto design = eraser::frontend::compile_file("my_dut.v", "my_dut");
+//   auto faults = eraser::fault::generate_faults(*design, {});
+//   MyStimulus stim;                       // eraser::sim::Stimulus
+//   eraser::core::CampaignOptions opts;    // RedundancyMode::Full = Eraser
+//   auto report = eraser::core::run_concurrent_campaign(*design, faults,
+//                                                       stim, opts);
+//   std::cout << report.coverage_percent << "%\n";
+//
+// Layers (each usable on its own):
+//   rtl/       elaborated IR: signals, RTL nodes, behavioral ASTs
+//   frontend/  Verilog-2005 synthesizable-subset compiler -> rtl::Design
+//   sim/       good simulation: event-driven & levelized engines
+//   cfg/       control-flow graphs & visibility dependency graphs
+//   fault/     stuck-at fault model & divergence storage
+//   core/      the Eraser concurrent fault-simulation framework
+//   baseline/  serial fault-simulation baselines (IFsim/VFsim stand-ins)
+#pragma once
+
+#include "baseline/serial.h"
+#include "cfg/cfg.h"
+#include "cfg/vdg.h"
+#include "eraser/campaign.h"
+#include "eraser/concurrent_sim.h"
+#include "fault/fault.h"
+#include "frontend/compile.h"
+#include "rtl/design.h"
+#include "sim/engine.h"
+#include "sim/stimulus.h"

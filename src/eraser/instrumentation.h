@@ -1,0 +1,52 @@
+// Counters and phase timers collected by the concurrent engine. These back
+// the paper's measurement artifacts: Fig. 1(b) (explicit vs implicit
+// redundancy ratio), Table III (redundancy proportions, behavioral time
+// share), and the ablation reasoning of Fig. 7.
+#pragma once
+
+#include <cstdint>
+
+#include "util/timer.h"
+
+namespace eraser::core {
+
+struct Instrumentation {
+    // --- behavioral nodes (BN) --------------------------------------------
+    /// Good executions of behavioral bodies.
+    uint64_t bn_good_execs = 0;
+    /// Faulty behavioral executions that exist under plain concurrent
+    /// simulation (the paper's "#Total BN Execution" accounting): one per
+    /// candidate fault per activation, before any redundancy elimination.
+    uint64_t bn_candidates = 0;
+    /// Faulty executions actually run.
+    uint64_t bn_executed = 0;
+    /// Skips by input-consistency (explicit redundancy, prior art).
+    uint64_t bn_skipped_explicit = 0;
+    /// Skips by the execution-path walk (implicit redundancy, Algorithm 1).
+    uint64_t bn_skipped_implicit = 0;
+
+    // --- audit classification (ground truth, measured by shadow-executing
+    // every candidate and comparing results; fills Fig. 1b / Table III) ----
+    uint64_t audit_explicit = 0;      // inputs identical -> same result
+    uint64_t audit_implicit = 0;      // inputs differ, result identical
+    uint64_t audit_nonredundant = 0;  // result differs
+    /// Implicit-skip decisions cross-checked against shadow execution
+    /// (soundness property); mismatches indicate a detector bug.
+    uint64_t audit_soundness_violations = 0;
+
+    // --- RTL nodes ---------------------------------------------------------
+    uint64_t rtl_good_evals = 0;
+    uint64_t rtl_fault_evals = 0;
+
+    // --- phase timers ------------------------------------------------------
+    TimeAccumulator time_behavioral;   // all behavioral-node processing
+    TimeAccumulator time_rtl;          // RTL-node evaluation
+
+    [[nodiscard]] uint64_t bn_eliminated() const {
+        return bn_skipped_explicit + bn_skipped_implicit;
+    }
+
+    void reset() { *this = Instrumentation{}; }
+};
+
+}  // namespace eraser::core

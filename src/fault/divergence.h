@@ -1,0 +1,88 @@
+// DivergenceList: the per-signal "bad gate" storage of concurrent fault
+// simulation — for each fault whose value at this signal differs from the
+// good value, one entry holding the fault's absolute value. Invariant: an
+// entry exists iff the fault's value differs from the good value (invisible
+// bad gates are removed eagerly).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "rtl/value.h"
+
+namespace eraser::fault {
+
+using FaultId = uint32_t;
+
+class DivergenceList {
+  public:
+    struct Entry {
+        FaultId fault;
+        Value value;
+    };
+
+    [[nodiscard]] bool empty() const { return entries_.empty(); }
+    [[nodiscard]] size_t size() const { return entries_.size(); }
+    [[nodiscard]] const std::vector<Entry>& entries() const {
+        return entries_;
+    }
+
+    /// Pointer to the fault's value, or nullptr when the fault agrees with
+    /// the good value here.
+    [[nodiscard]] const Value* find(FaultId f) const {
+        const auto it = lower_bound(f);
+        return it != entries_.end() && it->fault == f ? &it->value : nullptr;
+    }
+    [[nodiscard]] bool contains(FaultId f) const { return find(f) != nullptr; }
+
+    /// Inserts or updates; returns true when the stored state changed.
+    bool set(FaultId f, Value v) {
+        auto it = lower_bound(f);
+        if (it != entries_.end() && it->fault == f) {
+            if (it->value == v) return false;
+            it->value = v;
+            return true;
+        }
+        entries_.insert(it, Entry{f, v});
+        return true;
+    }
+
+    /// Removes the fault's entry; returns true when one existed.
+    bool erase(FaultId f) {
+        auto it = lower_bound(f);
+        if (it == entries_.end() || it->fault != f) return false;
+        entries_.erase(it);
+        return true;
+    }
+
+    /// Drops entries of faults for which `pred(fault)` holds (fault
+    /// dropping after detection).
+    template <typename Pred>
+    void erase_if(Pred pred) {
+        entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                      [&](const Entry& e) {
+                                          return pred(e.fault);
+                                      }),
+                       entries_.end());
+    }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    [[nodiscard]] std::vector<Entry>::iterator lower_bound(FaultId f) {
+        return std::lower_bound(
+            entries_.begin(), entries_.end(), f,
+            [](const Entry& e, FaultId id) { return e.fault < id; });
+    }
+    [[nodiscard]] std::vector<Entry>::const_iterator lower_bound(
+        FaultId f) const {
+        return std::lower_bound(
+            entries_.begin(), entries_.end(), f,
+            [](const Entry& e, FaultId id) { return e.fault < id; });
+    }
+
+    std::vector<Entry> entries_;
+};
+
+}  // namespace eraser::fault

@@ -1,0 +1,52 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+
+#include "util/prng.h"
+
+namespace eraser::fault {
+
+std::vector<Fault> generate_faults(const rtl::Design& design,
+                                   const FaultGenOptions& opts) {
+    std::vector<Fault> faults;
+    for (rtl::SignalId sig = 0; sig < design.signals.size(); ++sig) {
+        const rtl::Signal& s = design.signals[sig];
+        if (s.is_input && !opts.include_primary_inputs) continue;
+        if (std::find(opts.excluded_signals.begin(),
+                      opts.excluded_signals.end(),
+                      s.name) != opts.excluded_signals.end()) {
+            continue;
+        }
+        for (unsigned bit = 0; bit < s.width; ++bit) {
+            faults.push_back(Fault{sig, bit, false});
+            faults.push_back(Fault{sig, bit, true});
+        }
+    }
+    if (opts.sample_max != 0) {
+        faults = sample_faults(std::move(faults), opts.sample_max,
+                               opts.sample_seed);
+    }
+    return faults;
+}
+
+std::vector<Fault> sample_faults(std::vector<Fault> faults, uint32_t max_n,
+                                 uint64_t seed) {
+    if (faults.size() <= max_n) return faults;
+    // Partial Fisher-Yates with a deterministic PRNG, then restore original
+    // relative order so fault ids remain stable and readable.
+    Prng rng(seed);
+    std::vector<uint32_t> idx(faults.size());
+    for (uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    for (uint32_t i = 0; i < max_n; ++i) {
+        const uint64_t j = i + rng.below(idx.size() - i);
+        std::swap(idx[i], idx[j]);
+    }
+    idx.resize(max_n);
+    std::sort(idx.begin(), idx.end());
+    std::vector<Fault> picked;
+    picked.reserve(max_n);
+    for (uint32_t i : idx) picked.push_back(faults[i]);
+    return picked;
+}
+
+}  // namespace eraser::fault

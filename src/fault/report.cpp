@@ -1,0 +1,48 @@
+#include "fault/report.h"
+
+#include <map>
+
+namespace eraser::fault {
+
+void write_text_report(std::ostream& out, const rtl::Design& design,
+                       std::span<const Fault> faults,
+                       const core::CampaignResult& result) {
+    out << "=== Eraser fault campaign report ===\n";
+    out << "design:   " << design.top_name << " (" << design.signals.size()
+        << " signals, " << design.num_rtl_nodes() << " RTL nodes, "
+        << design.num_behaviors() << " behavioral nodes)\n";
+    out << "faults:   " << result.num_faults << "\n";
+    out << "detected: " << result.num_detected << "\n";
+    out << "coverage: " << result.coverage_percent << "%\n";
+    out << "time:     " << result.seconds << " s\n";
+    const auto& s = result.stats;
+    out << "behavioral executions: " << s.bn_candidates << " candidates, "
+        << s.bn_executed << " executed, " << s.bn_skipped_explicit
+        << " explicit skips, " << s.bn_skipped_implicit
+        << " implicit skips\n";
+
+    std::map<std::string, unsigned> undetected;
+    for (size_t f = 0; f < faults.size(); ++f) {
+        if (!result.detected[f]) {
+            undetected[design.signals[faults[f].sig].name]++;
+        }
+    }
+    out << "undetected faults by signal (" << undetected.size()
+        << " signals):\n";
+    for (const auto& [name, count] : undetected) {
+        out << "  " << name << ": " << count << "\n";
+    }
+}
+
+void write_csv_report(std::ostream& out, const rtl::Design& design,
+                      std::span<const Fault> faults,
+                      const core::CampaignResult& result) {
+    out << "signal,bit,stuck_at,detected\n";
+    for (size_t f = 0; f < faults.size(); ++f) {
+        out << design.signals[faults[f].sig].name << "," << faults[f].bit
+            << "," << (faults[f].stuck_one ? 1 : 0) << ","
+            << (result.detected[f] ? 1 : 0) << "\n";
+    }
+}
+
+}  // namespace eraser::fault

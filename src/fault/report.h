@@ -1,0 +1,25 @@
+// Campaign report writers: human-readable summary and CSV per-fault dump,
+// the artifacts a verification flow archives per run.
+#pragma once
+
+#include <ostream>
+#include <span>
+
+#include "eraser/campaign.h"
+#include "fault/fault.h"
+#include "rtl/design.h"
+
+namespace eraser::fault {
+
+/// Writes a human-readable campaign summary: coverage, timing, redundancy
+/// statistics, and the undetected-fault list grouped by signal.
+void write_text_report(std::ostream& out, const rtl::Design& design,
+                       std::span<const Fault> faults,
+                       const core::CampaignResult& result);
+
+/// Writes one CSV row per fault: signal,bit,polarity,detected.
+void write_csv_report(std::ostream& out, const rtl::Design& design,
+                      std::span<const Fault> faults,
+                      const core::CampaignResult& result);
+
+}  // namespace eraser::fault

@@ -1,0 +1,188 @@
+// Parse-level AST for the Verilog subset: name-based, pre-elaboration.
+// The elaborator resolves names, folds parameters/constants, unrolls loops,
+// flattens hierarchy, and lowers to the rtl:: IR.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/diagnostics.h"
+
+namespace eraser::fe {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class PUnOp : uint8_t { Plus, Minus, Not, LNot, RedAnd, RedOr, RedXor };
+enum class PBinOp : uint8_t {
+    Add, Sub, Mul, Div, Mod,
+    And, Or, Xor,
+    LAnd, LOr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    Shl, Shr,
+};
+
+struct PExpr;
+using PExprPtr = std::unique_ptr<PExpr>;
+
+struct PExpr {
+    enum class Kind : uint8_t {
+        Number,    // value/width/sized
+        Ident,     // name
+        Index,     // name[index_expr] (bit select or array element)
+        Slice,     // name[msb:lsb] (constant part select)
+        Unary,
+        Binary,
+        Ternary,   // args: cond, then, else
+        Concat,    // args MSB-first
+        Repl,      // {count{expr}}: count in `value`, expr in args[0]
+    };
+
+    Kind kind = Kind::Number;
+    SourceLoc loc;
+
+    uint64_t value = 0;     // Number bits / Repl count
+    unsigned width = 32;    // Number width
+    bool sized = false;     // Number had explicit size
+
+    std::string name;       // Ident / Index / Slice base
+    PUnOp un_op = PUnOp::Plus;
+    PBinOp bin_op = PBinOp::Add;
+    std::vector<PExprPtr> args;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct PStmt;
+using PStmtPtr = std::unique_ptr<PStmt>;
+
+/// LHS of a procedural assignment: name, optional [index] or [msb:lsb].
+struct PLhs {
+    std::string name;
+    PExprPtr index;          // single bit / array element
+    PExprPtr msb, lsb;       // constant part select
+    SourceLoc loc;
+};
+
+struct PCaseItem {
+    std::vector<PExprPtr> labels;   // empty = default
+    PStmtPtr body;
+};
+
+struct PStmt {
+    enum class Kind : uint8_t { Block, Assign, If, Case, For, Null };
+
+    Kind kind = Kind::Null;
+    SourceLoc loc;
+
+    std::vector<PStmtPtr> stmts;    // Block
+    PLhs lhs;                       // Assign / For loop variable (in lhs.name)
+    PExprPtr rhs;                   // Assign
+    bool nonblocking = false;
+
+    PExprPtr cond;                  // If / For condition
+    PStmtPtr then_stmt;
+    PStmtPtr else_stmt;
+
+    PExprPtr subject;               // Case
+    std::vector<PCaseItem> items;
+
+    // For: `for (var = init; cond; var = update) body`
+    std::string loop_var;
+    PExprPtr loop_init;
+    PExprPtr loop_update;
+    PStmtPtr body;
+};
+
+// ---------------------------------------------------------------------------
+// Module items
+// ---------------------------------------------------------------------------
+
+enum class Dir : uint8_t { Input, Output };
+
+struct PortDecl {
+    std::string name;
+    Dir dir = Dir::Input;
+    bool is_reg = false;
+    PExprPtr msb, lsb;   // null = scalar
+    SourceLoc loc;
+};
+
+struct NetDecl {
+    enum class Kind : uint8_t { Wire, Reg, Integer };
+    Kind kind = Kind::Wire;
+    PExprPtr msb, lsb;               // null = scalar
+    std::vector<std::string> names;
+    // Array dimension (`reg [7:0] m [0:255]`), applies to every name.
+    PExprPtr arr_lo, arr_hi;
+    // Optional init for single-name wire declarations (`wire x = e;`).
+    PExprPtr init;
+    SourceLoc loc;
+};
+
+struct ParamDecl {
+    std::string name;
+    PExprPtr value;
+    bool is_local = false;
+    SourceLoc loc;
+};
+
+struct AssignItem {
+    // LHS: identifier or concat of identifiers (MSB-first).
+    std::vector<std::string> lhs_names;
+    PExprPtr rhs;
+    SourceLoc loc;
+};
+
+struct PEdge {
+    bool negedge = false;
+    std::string signal;
+};
+
+struct AlwaysItem {
+    bool is_comb = false;            // @(*) or level-sensitive list
+    std::vector<PEdge> edges;        // when !is_comb
+    PStmtPtr body;
+    SourceLoc loc;
+};
+
+struct InitialItem {
+    PStmtPtr body;
+    SourceLoc loc;
+};
+
+struct PortConn {
+    std::string port;
+    PExprPtr expr;   // null = unconnected
+};
+
+struct InstanceItem {
+    std::string module_name;
+    std::string inst_name;
+    std::vector<std::pair<std::string, PExprPtr>> param_overrides;
+    std::vector<PortConn> conns;
+    SourceLoc loc;
+};
+
+struct ModuleAst {
+    std::string name;
+    std::vector<PortDecl> ports;
+    std::vector<ParamDecl> params;
+    std::vector<NetDecl> nets;
+    std::vector<AssignItem> assigns;
+    std::vector<AlwaysItem> always_blocks;
+    std::vector<InitialItem> initials;
+    std::vector<InstanceItem> instances;
+    SourceLoc loc;
+};
+
+/// A parsed source unit: one or more modules.
+struct SourceUnit {
+    std::vector<ModuleAst> modules;
+};
+
+}  // namespace eraser::fe

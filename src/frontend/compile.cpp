@@ -1,0 +1,27 @@
+#include "frontend/compile.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "frontend/elab.h"
+#include "frontend/parser.h"
+#include "util/diagnostics.h"
+
+namespace eraser::frontend {
+
+std::unique_ptr<rtl::Design> compile(std::string_view source,
+                                     const std::string& top) {
+    const fe::SourceUnit unit = fe::parse(source);
+    return fe::elaborate(unit, top);
+}
+
+std::unique_ptr<rtl::Design> compile_file(const std::string& path,
+                                          const std::string& top) {
+    std::ifstream in(path);
+    if (!in) throw EraserError("cannot open file '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return compile(buf.str(), top);
+}
+
+}  // namespace eraser::frontend

@@ -1,0 +1,20 @@
+// One-call front end: Verilog source -> finalized rtl::Design.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "rtl/design.h"
+
+namespace eraser::frontend {
+
+/// Compiles Verilog source text and elaborates module `top`.
+[[nodiscard]] std::unique_ptr<rtl::Design> compile(std::string_view source,
+                                                   const std::string& top);
+
+/// Reads `path` and compiles it.
+[[nodiscard]] std::unique_ptr<rtl::Design> compile_file(
+    const std::string& path, const std::string& top);
+
+}  // namespace eraser::frontend

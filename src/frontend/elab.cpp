@@ -1,0 +1,755 @@
+#include "frontend/elab.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+#include "rtl/value.h"
+
+namespace eraser::fe {
+
+using rtl::ArrayId;
+using rtl::Design;
+using rtl::Expr;
+using rtl::ExprPtr;
+using rtl::kInvalidId;
+using rtl::Op;
+using rtl::SignalId;
+using rtl::Stmt;
+using rtl::StmtPtr;
+using eraser::Value;
+
+namespace {
+
+constexpr uint64_t kMaxLoopIterations = 1u << 20;
+
+struct Scope {
+    std::string prefix;
+    const ModuleAst* mod = nullptr;
+    std::unordered_map<std::string, uint64_t> params;
+    std::unordered_map<std::string, uint64_t> genvars;   // active loop vars
+    std::unordered_map<std::string, std::string> integer_decls;  // name set
+    std::unordered_map<std::string, SignalId> signals;
+    std::unordered_map<std::string, ArrayId> arrays;
+};
+
+class Elaborator {
+  public:
+    Elaborator(const SourceUnit& unit, const std::string& top) : top_(top) {
+        for (const ModuleAst& m : unit.modules) {
+            if (!modules_.emplace(m.name, &m).second) {
+                throw ElabError(m.loc, "duplicate module '" + m.name + "'");
+            }
+        }
+        design_ = std::make_unique<Design>();
+    }
+
+    std::unique_ptr<Design> run() {
+        const ModuleAst* top_mod = find_module(top_, SourceLoc{});
+        design_->top_name = top_;
+        elab_module(*top_mod, "", {}, /*is_top=*/true);
+        design_->finalize();
+        return std::move(design_);
+    }
+
+  private:
+    const ModuleAst* find_module(const std::string& name,
+                                 const SourceLoc& loc) {
+        auto it = modules_.find(name);
+        if (it == modules_.end()) {
+            throw ElabError(loc, "unknown module '" + name + "'");
+        }
+        return it->second;
+    }
+
+    // ---- constant folding -------------------------------------------------
+    std::optional<uint64_t> try_fold(const PExpr& e, const Scope& scope) {
+        switch (e.kind) {
+            case PExpr::Kind::Number: return e.value;
+            case PExpr::Kind::Ident: {
+                auto p = scope.params.find(e.name);
+                if (p != scope.params.end()) return p->second;
+                auto g = scope.genvars.find(e.name);
+                if (g != scope.genvars.end()) return g->second;
+                return std::nullopt;
+            }
+            case PExpr::Kind::Unary: {
+                auto a = try_fold(*e.args[0], scope);
+                if (!a) return std::nullopt;
+                switch (e.un_op) {
+                    case PUnOp::Plus: return *a;
+                    case PUnOp::Minus: return ~*a + 1;
+                    case PUnOp::Not: return ~*a;
+                    case PUnOp::LNot: return *a == 0 ? 1 : 0;
+                    default: return std::nullopt;   // reductions need width
+                }
+            }
+            case PExpr::Kind::Binary: {
+                auto a = try_fold(*e.args[0], scope);
+                auto b = try_fold(*e.args[1], scope);
+                if (!a || !b) return std::nullopt;
+                switch (e.bin_op) {
+                    case PBinOp::Add: return *a + *b;
+                    case PBinOp::Sub: return *a - *b;
+                    case PBinOp::Mul: return *a * *b;
+                    case PBinOp::Div: return *b == 0 ? ~uint64_t{0} : *a / *b;
+                    case PBinOp::Mod: return *b == 0 ? *a : *a % *b;
+                    case PBinOp::And: return *a & *b;
+                    case PBinOp::Or: return *a | *b;
+                    case PBinOp::Xor: return *a ^ *b;
+                    case PBinOp::LAnd: return (*a != 0 && *b != 0) ? 1 : 0;
+                    case PBinOp::LOr: return (*a != 0 || *b != 0) ? 1 : 0;
+                    case PBinOp::Eq: return *a == *b ? 1 : 0;
+                    case PBinOp::Ne: return *a != *b ? 1 : 0;
+                    case PBinOp::Lt: return *a < *b ? 1 : 0;
+                    case PBinOp::Le: return *a <= *b ? 1 : 0;
+                    case PBinOp::Gt: return *a > *b ? 1 : 0;
+                    case PBinOp::Ge: return *a >= *b ? 1 : 0;
+                    case PBinOp::Shl: return *b >= 64 ? 0 : *a << *b;
+                    case PBinOp::Shr: return *b >= 64 ? 0 : *a >> *b;
+                }
+                return std::nullopt;
+            }
+            case PExpr::Kind::Ternary: {
+                auto c = try_fold(*e.args[0], scope);
+                if (!c) return std::nullopt;
+                return try_fold(*e.args[*c != 0 ? 1 : 2], scope);
+            }
+            default: return std::nullopt;
+        }
+    }
+
+    uint64_t fold(const PExpr& e, const Scope& scope, const char* what) {
+        auto v = try_fold(e, scope);
+        if (!v) {
+            throw ElabError(e.loc, std::string(what) +
+                                       " must be an elaboration-time "
+                                       "constant");
+        }
+        return *v;
+    }
+
+    unsigned fold_width(const PExprPtr& msb, const PExprPtr& lsb,
+                        const Scope& scope, const SourceLoc& loc) {
+        if (!msb) return 1;
+        const uint64_t hi = fold(*msb, scope, "range bound");
+        const uint64_t lo = fold(*lsb, scope, "range bound");
+        if (lo != 0) {
+            throw ElabError(loc, "declaration ranges must end at 0 "
+                                 "([msb:0]); nonzero LSB is unsupported");
+        }
+        if (hi >= kMaxWidth) {
+            throw ElabError(loc, "vector wider than 64 bits; decompose the "
+                                 "bus (see README: width limit)");
+        }
+        return static_cast<unsigned>(hi) + 1;
+    }
+
+    // ---- expression elaboration --------------------------------------------
+    SignalId lookup_signal(const std::string& name, const Scope& scope,
+                           const SourceLoc& loc) {
+        auto it = scope.signals.find(name);
+        if (it == scope.signals.end()) {
+            throw ElabError(loc, "unknown identifier '" + name + "'");
+        }
+        return it->second;
+    }
+
+    /// Verilog-style context widening: grow context-sensitive operators (and
+    /// their operands) to the assignment/expression context width.
+    void widen(ExprPtr& e, unsigned w) {
+        if (e->width >= w) return;
+        switch (e->kind) {
+            case Expr::Kind::Const:
+                e->cval = e->cval.resized(w);
+                e->width = w;
+                return;
+            case Expr::Kind::SignalRef:
+            case Expr::Kind::ArrayRead:
+                e->width = w;   // interpreter zero-extends on read
+                return;
+            case Expr::Kind::OpApply:
+                switch (e->op) {
+                    case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+                    case Op::Mod: case Op::And: case Op::Or: case Op::Xor:
+                    case Op::Not: case Op::Neg:
+                        e->width = w;
+                        for (auto& a : e->args) widen(a, w);
+                        return;
+                    case Op::Mux:
+                        e->width = w;
+                        widen(e->args[1], w);
+                        widen(e->args[2], w);
+                        return;
+                    case Op::Shl:
+                    case Op::Shr:
+                        e->width = w;
+                        widen(e->args[0], w);   // shift amount self-determined
+                        return;
+                    default: {
+                        // Self-determined (concat/slice/index/reductions/
+                        // comparisons): zero-extend via an explicit Copy.
+                        auto inner = std::move(e);
+                        std::vector<ExprPtr> args;
+                        args.push_back(std::move(inner));
+                        e = Expr::make_op(Op::Copy, std::move(args), w);
+                        return;
+                    }
+                }
+        }
+    }
+
+    ExprPtr build_expr(const PExpr& p, Scope& scope) {
+        switch (p.kind) {
+            case PExpr::Kind::Number:
+                return Expr::make_const(Value(p.value, p.width));
+            case PExpr::Kind::Ident: {
+                if (auto c = scope.params.find(p.name);
+                    c != scope.params.end()) {
+                    return Expr::make_const(Value(c->second, 32));
+                }
+                if (auto g = scope.genvars.find(p.name);
+                    g != scope.genvars.end()) {
+                    return Expr::make_const(Value(g->second, 32));
+                }
+                if (scope.arrays.count(p.name) != 0) {
+                    throw ElabError(p.loc, "memory '" + p.name +
+                                               "' used without an index");
+                }
+                const SignalId sig = lookup_signal(p.name, scope, p.loc);
+                return Expr::make_signal(sig,
+                                         design_->signals[sig].width);
+            }
+            case PExpr::Kind::Index: {
+                if (auto a = scope.arrays.find(p.name);
+                    a != scope.arrays.end()) {
+                    ExprPtr idx = build_expr(*p.args[0], scope);
+                    return Expr::make_array_read(
+                        a->second, std::move(idx),
+                        design_->arrays[a->second].width);
+                }
+                const SignalId sig = lookup_signal(p.name, scope, p.loc);
+                ExprPtr base =
+                    Expr::make_signal(sig, design_->signals[sig].width);
+                if (auto c = try_fold(*p.args[0], scope)) {
+                    if (*c >= design_->signals[sig].width) {
+                        throw ElabError(p.loc, "constant bit-select out of "
+                                               "range");
+                    }
+                    std::vector<ExprPtr> args;
+                    args.push_back(std::move(base));
+                    return Expr::make_op(Op::Slice, std::move(args), 1,
+                                         static_cast<unsigned>(*c));
+                }
+                ExprPtr idx = build_expr(*p.args[0], scope);
+                std::vector<ExprPtr> args;
+                args.push_back(std::move(base));
+                args.push_back(std::move(idx));
+                return Expr::make_op(Op::Index, std::move(args), 1);
+            }
+            case PExpr::Kind::Slice: {
+                const SignalId sig = lookup_signal(p.name, scope, p.loc);
+                const uint64_t msb = fold(*p.args[0], scope, "part select");
+                const uint64_t lsb = fold(*p.args[1], scope, "part select");
+                if (msb < lsb || msb >= design_->signals[sig].width) {
+                    throw ElabError(p.loc, "part select out of range");
+                }
+                std::vector<ExprPtr> args;
+                args.push_back(
+                    Expr::make_signal(sig, design_->signals[sig].width));
+                return Expr::make_op(Op::Slice, std::move(args),
+                                     static_cast<unsigned>(msb - lsb + 1),
+                                     static_cast<unsigned>(lsb));
+            }
+            case PExpr::Kind::Unary: {
+                ExprPtr a = build_expr(*p.args[0], scope);
+                const unsigned aw = a->width;
+                std::vector<ExprPtr> args;
+                args.push_back(std::move(a));
+                switch (p.un_op) {
+                    case PUnOp::Plus: return std::move(args[0]);
+                    case PUnOp::Minus:
+                        return Expr::make_op(Op::Neg, std::move(args), aw);
+                    case PUnOp::Not:
+                        return Expr::make_op(Op::Not, std::move(args), aw);
+                    case PUnOp::LNot:
+                        return Expr::make_op(Op::LNot, std::move(args), 1);
+                    case PUnOp::RedAnd:
+                        return Expr::make_op(Op::RedAnd, std::move(args), 1);
+                    case PUnOp::RedOr:
+                        return Expr::make_op(Op::RedOr, std::move(args), 1);
+                    case PUnOp::RedXor:
+                        return Expr::make_op(Op::RedXor, std::move(args), 1);
+                }
+                throw ElabError(p.loc, "bad unary operator");
+            }
+            case PExpr::Kind::Binary: {
+                ExprPtr a = build_expr(*p.args[0], scope);
+                ExprPtr b = build_expr(*p.args[1], scope);
+                const unsigned wa = a->width;
+                const unsigned wb = b->width;
+                const unsigned wmax = std::max(wa, wb);
+                auto make2 = [&](Op op, unsigned w) {
+                    std::vector<ExprPtr> args;
+                    args.push_back(std::move(a));
+                    args.push_back(std::move(b));
+                    return Expr::make_op(op, std::move(args), w);
+                };
+                switch (p.bin_op) {
+                    case PBinOp::Add: widen(a, wmax); widen(b, wmax);
+                        return make2(Op::Add, wmax);
+                    case PBinOp::Sub: widen(a, wmax); widen(b, wmax);
+                        return make2(Op::Sub, wmax);
+                    case PBinOp::Mul: widen(a, wmax); widen(b, wmax);
+                        return make2(Op::Mul, wmax);
+                    case PBinOp::Div: widen(a, wmax); widen(b, wmax);
+                        return make2(Op::Div, wmax);
+                    case PBinOp::Mod: widen(a, wmax); widen(b, wmax);
+                        return make2(Op::Mod, wmax);
+                    case PBinOp::And: widen(a, wmax); widen(b, wmax);
+                        return make2(Op::And, wmax);
+                    case PBinOp::Or: widen(a, wmax); widen(b, wmax);
+                        return make2(Op::Or, wmax);
+                    case PBinOp::Xor: widen(a, wmax); widen(b, wmax);
+                        return make2(Op::Xor, wmax);
+                    case PBinOp::LAnd: return make2(Op::LAnd, 1);
+                    case PBinOp::LOr: return make2(Op::LOr, 1);
+                    case PBinOp::Eq: return make2(Op::Eq, 1);
+                    case PBinOp::Ne: return make2(Op::Ne, 1);
+                    case PBinOp::Lt: return make2(Op::Lt, 1);
+                    case PBinOp::Le: return make2(Op::Le, 1);
+                    case PBinOp::Gt: return make2(Op::Gt, 1);
+                    case PBinOp::Ge: return make2(Op::Ge, 1);
+                    case PBinOp::Shl: return make2(Op::Shl, wa);
+                    case PBinOp::Shr: return make2(Op::Shr, wa);
+                }
+                throw ElabError(p.loc, "bad binary operator");
+            }
+            case PExpr::Kind::Ternary: {
+                ExprPtr sel = build_expr(*p.args[0], scope);
+                ExprPtr t = build_expr(*p.args[1], scope);
+                ExprPtr f = build_expr(*p.args[2], scope);
+                const unsigned w = std::max(t->width, f->width);
+                widen(t, w);
+                widen(f, w);
+                std::vector<ExprPtr> args;
+                args.push_back(std::move(sel));
+                args.push_back(std::move(t));
+                args.push_back(std::move(f));
+                return Expr::make_op(Op::Mux, std::move(args), w);
+            }
+            case PExpr::Kind::Concat: {
+                std::vector<ExprPtr> args;
+                unsigned w = 0;
+                for (const auto& part : p.args) {
+                    args.push_back(build_expr(*part, scope));
+                    w += args.back()->width;
+                }
+                if (w > kMaxWidth) {
+                    throw ElabError(p.loc, "concatenation wider than 64 bits");
+                }
+                return Expr::make_op(Op::Concat, std::move(args), w);
+            }
+            case PExpr::Kind::Repl: {
+                if (p.value == 0 || p.value > kMaxWidth) {
+                    throw ElabError(p.loc, "bad replication count");
+                }
+                std::vector<ExprPtr> args;
+                unsigned w = 0;
+                ExprPtr base = build_expr(*p.args[0], scope);
+                for (uint64_t i = 0; i < p.value; ++i) {
+                    args.push_back(base->clone());
+                    w += base->width;
+                }
+                if (w > kMaxWidth) {
+                    throw ElabError(p.loc, "replication wider than 64 bits");
+                }
+                return Expr::make_op(Op::Concat, std::move(args), w);
+            }
+        }
+        throw ElabError(p.loc, "bad expression");
+    }
+
+    // ---- continuous-assignment lowering -------------------------------------
+    SignalId fresh_temp(const Scope& scope, unsigned width) {
+        const std::string name =
+            scope.prefix + "$t" + std::to_string(temp_counter_++);
+        return design_->add_signal(name, width, rtl::SignalKind::Wire);
+    }
+
+    /// Lowers an elaborated expression to a signal carrying its value.
+    SignalId lower_to_signal(const Expr& e, const Scope& scope,
+                             const SourceLoc& loc) {
+        if (e.kind == Expr::Kind::SignalRef &&
+            design_->signals[e.sig].width == e.width) {
+            return e.sig;
+        }
+        const SignalId out = fresh_temp(scope, e.width);
+        lower_into(e, out, scope, loc);
+        return out;
+    }
+
+    /// Lowers an elaborated expression as the driver of `out`.
+    void lower_into(const Expr& e, SignalId out, const Scope& scope,
+                    const SourceLoc& loc) {
+        switch (e.kind) {
+            case Expr::Kind::Const:
+                design_->add_node(Op::Const, {}, out, e.cval);
+                return;
+            case Expr::Kind::SignalRef:
+                design_->add_node(Op::Copy, {e.sig}, out);
+                return;
+            case Expr::Kind::ArrayRead:
+                throw ElabError(loc,
+                                "memories cannot be read in continuous "
+                                "assignments; read them inside an always "
+                                "block");
+            case Expr::Kind::OpApply: {
+                std::vector<SignalId> ins;
+                ins.reserve(e.args.size());
+                for (const auto& a : e.args) {
+                    ins.push_back(lower_to_signal(*a, scope, loc));
+                }
+                design_->add_node(e.op, std::move(ins), out, Value(0, 1),
+                                  e.imm);
+                return;
+            }
+        }
+    }
+
+    // ---- statement elaboration ------------------------------------------------
+    rtl::LValue build_lhs(const PLhs& lhs, Scope& scope, unsigned& width_out) {
+        rtl::LValue out;
+        if (auto a = scope.arrays.find(lhs.name); a != scope.arrays.end()) {
+            if (!lhs.index) {
+                throw ElabError(lhs.loc, "memory write needs an index");
+            }
+            out.arr = a->second;
+            out.index = build_expr(*lhs.index, scope);
+            width_out = design_->arrays[a->second].width;
+            out.width = width_out;
+            return out;
+        }
+        if (scope.integer_decls.count(lhs.name) != 0) {
+            throw ElabError(lhs.loc,
+                            "integer variables may only be assigned in "
+                            "for-loop headers (they are unrolled away)");
+        }
+        const SignalId sig = lookup_signal(lhs.name, scope, lhs.loc);
+        out.sig = sig;
+        const unsigned sig_w = design_->signals[sig].width;
+        if (lhs.msb) {
+            const uint64_t msb = fold(*lhs.msb, scope, "part select");
+            const uint64_t lsb = fold(*lhs.lsb, scope, "part select");
+            if (msb < lsb || msb >= sig_w) {
+                throw ElabError(lhs.loc, "part-select write out of range");
+            }
+            out.lo = static_cast<unsigned>(lsb);
+            out.width = static_cast<unsigned>(msb - lsb + 1);
+            out.partial = out.width != sig_w || out.lo != 0;
+            width_out = out.width;
+            return out;
+        }
+        if (lhs.index) {
+            if (auto c = try_fold(*lhs.index, scope)) {
+                if (*c >= sig_w) {
+                    throw ElabError(lhs.loc, "bit-select write out of range");
+                }
+                out.lo = static_cast<unsigned>(*c);
+                out.width = 1;
+                out.partial = sig_w != 1;
+            } else {
+                out.index = build_expr(*lhs.index, scope);
+                out.width = 1;
+                out.partial = true;
+            }
+            width_out = 1;
+            return out;
+        }
+        out.lo = 0;
+        out.width = sig_w;
+        out.partial = false;
+        width_out = sig_w;
+        return out;
+    }
+
+    StmtPtr build_stmt(const PStmt& p, Scope& scope, bool in_seq_block) {
+        switch (p.kind) {
+            case PStmt::Kind::Null: return Stmt::make_block({});
+            case PStmt::Kind::Block: {
+                std::vector<StmtPtr> body;
+                body.reserve(p.stmts.size());
+                for (const auto& c : p.stmts) {
+                    body.push_back(build_stmt(*c, scope, in_seq_block));
+                }
+                return Stmt::make_block(std::move(body));
+            }
+            case PStmt::Kind::Assign: {
+                unsigned lhs_width = 0;
+                rtl::LValue lhs = build_lhs(p.lhs, scope, lhs_width);
+                ExprPtr rhs = build_expr(*p.rhs, scope);
+                widen(rhs, lhs_width);
+                return Stmt::make_assign(std::move(lhs), std::move(rhs),
+                                         p.nonblocking);
+            }
+            case PStmt::Kind::If: {
+                ExprPtr cond = build_expr(*p.cond, scope);
+                StmtPtr then_s =
+                    p.then_stmt ? build_stmt(*p.then_stmt, scope, in_seq_block)
+                                : nullptr;
+                StmtPtr else_s =
+                    p.else_stmt ? build_stmt(*p.else_stmt, scope, in_seq_block)
+                                : nullptr;
+                return Stmt::make_if(std::move(cond), std::move(then_s),
+                                     std::move(else_s));
+            }
+            case PStmt::Kind::Case: {
+                ExprPtr subject = build_expr(*p.subject, scope);
+                const unsigned sw = subject->width;
+                std::vector<rtl::CaseArm> arms;
+                for (const auto& item : p.items) {
+                    rtl::CaseArm arm;
+                    for (const auto& label : item.labels) {
+                        arm.labels.emplace_back(
+                            fold(*label, scope, "case label"), sw);
+                    }
+                    if (item.body) {
+                        arm.body = build_stmt(*item.body, scope, in_seq_block);
+                    }
+                    arms.push_back(std::move(arm));
+                }
+                return Stmt::make_case(std::move(subject), std::move(arms));
+            }
+            case PStmt::Kind::For: {
+                if (scope.integer_decls.count(p.loop_var) == 0) {
+                    throw ElabError(p.loc, "for-loop variable '" +
+                                               p.loop_var +
+                                               "' must be declared integer");
+                }
+                std::vector<StmtPtr> body;
+                uint64_t v = fold(*p.loop_init, scope, "for-loop init");
+                uint64_t iters = 0;
+                for (;;) {
+                    scope.genvars[p.loop_var] = v;
+                    const uint64_t cont =
+                        fold(*p.cond, scope, "for-loop condition");
+                    if (cont == 0) break;
+                    if (p.body) {
+                        body.push_back(build_stmt(*p.body, scope,
+                                                  in_seq_block));
+                    }
+                    v = fold(*p.loop_update, scope, "for-loop update");
+                    if (++iters > kMaxLoopIterations) {
+                        throw ElabError(p.loc, "for-loop does not terminate "
+                                               "at elaboration time");
+                    }
+                }
+                scope.genvars.erase(p.loop_var);
+                return Stmt::make_block(std::move(body));
+            }
+        }
+        throw ElabError(p.loc, "bad statement");
+    }
+
+    // ---- module elaboration ------------------------------------------------
+    void elab_module(const ModuleAst& mod, const std::string& prefix,
+                     const std::unordered_map<std::string, uint64_t>& overrides,
+                     bool is_top) {
+        if (++depth_ > 64) {
+            throw ElabError(mod.loc, "instance hierarchy deeper than 64 "
+                                     "(recursive instantiation?)");
+        }
+        Scope scope;
+        scope.prefix = prefix;
+        scope.mod = &mod;
+
+        // Parameters, in declaration order; overrides win.
+        for (const ParamDecl& p : mod.params) {
+            if (!p.is_local) {
+                if (auto it = overrides.find(p.name); it != overrides.end()) {
+                    scope.params[p.name] = it->second;
+                    continue;
+                }
+            }
+            scope.params[p.name] = fold(*p.value, scope, "parameter value");
+        }
+
+        // Ports.
+        for (const PortDecl& p : mod.ports) {
+            const unsigned w = fold_width(p.msb, p.lsb, scope, p.loc);
+            const SignalId sig = design_->add_signal(
+                prefix + p.name, w,
+                p.is_reg ? rtl::SignalKind::Reg : rtl::SignalKind::Wire,
+                is_top && p.dir == Dir::Input,
+                is_top && p.dir == Dir::Output);
+            scope.signals.emplace(p.name, sig);
+        }
+
+        // Nets / regs / integers / memories.
+        for (const NetDecl& d : mod.nets) {
+            if (d.kind == NetDecl::Kind::Integer) {
+                for (const std::string& n : d.names) {
+                    scope.integer_decls.emplace(n, n);
+                }
+                continue;
+            }
+            const unsigned w = fold_width(d.msb, d.lsb, scope, d.loc);
+            if (d.arr_lo) {
+                const uint64_t lo = fold(*d.arr_lo, scope, "array bound");
+                const uint64_t hi = fold(*d.arr_hi, scope, "array bound");
+                if (lo != 0 || hi < lo) {
+                    throw ElabError(d.loc,
+                                    "array bounds must be [0:N] ascending");
+                }
+                if (d.kind != NetDecl::Kind::Reg) {
+                    throw ElabError(d.loc, "memories must be reg");
+                }
+                const ArrayId arr = design_->add_array(
+                    prefix + d.names[0], w, static_cast<uint32_t>(hi) + 1);
+                scope.arrays.emplace(d.names[0], arr);
+                continue;
+            }
+            for (const std::string& n : d.names) {
+                if (scope.signals.count(n) != 0) {
+                    // Port re-declaration (non-ANSI style remnant): ignore.
+                    continue;
+                }
+                const SignalId sig = design_->add_signal(
+                    prefix + n, w,
+                    d.kind == NetDecl::Kind::Reg ? rtl::SignalKind::Reg
+                                                 : rtl::SignalKind::Wire);
+                scope.signals.emplace(n, sig);
+            }
+        }
+
+        // Instances: resolve overrides/connections, recurse, wire up ports.
+        for (const InstanceItem& inst : mod.instances) {
+            const ModuleAst* child = find_module(inst.module_name, inst.loc);
+            std::unordered_map<std::string, uint64_t> child_params;
+            for (const auto& [pname, pexpr] : inst.param_overrides) {
+                child_params[pname] =
+                    fold(*pexpr, scope, "parameter override");
+            }
+            const std::string child_prefix = prefix + inst.inst_name + ".";
+            elab_module(*child, child_prefix, child_params, /*is_top=*/false);
+
+            for (const PortConn& conn : inst.conns) {
+                const PortDecl* port = nullptr;
+                for (const PortDecl& cp : child->ports) {
+                    if (cp.name == conn.port) {
+                        port = &cp;
+                        break;
+                    }
+                }
+                if (port == nullptr) {
+                    throw ElabError(inst.loc, "module '" + child->name +
+                                                  "' has no port '" +
+                                                  conn.port + "'");
+                }
+                const SignalId child_sig =
+                    design_->signal_id(child_prefix + port->name);
+                if (port->dir == Dir::Input) {
+                    if (!conn.expr) {
+                        design_->add_node(Op::Const, {}, child_sig,
+                                          Value(0, 1));
+                        continue;
+                    }
+                    ExprPtr e = build_expr(*conn.expr, scope);
+                    widen(e, design_->signals[child_sig].width);
+                    lower_into(*e, child_sig, scope, inst.loc);
+                } else {
+                    if (!conn.expr) continue;   // dangling output
+                    if (conn.expr->kind != PExpr::Kind::Ident) {
+                        throw ElabError(inst.loc,
+                                        "output port connections must be "
+                                        "plain identifiers");
+                    }
+                    const SignalId parent_sig =
+                        lookup_signal(conn.expr->name, scope, inst.loc);
+                    design_->add_node(Op::Copy, {child_sig}, parent_sig);
+                }
+            }
+        }
+
+        // Continuous assignments (including wire-with-init declarations).
+        for (const NetDecl& d : mod.nets) {
+            if (!d.init) continue;
+            const SignalId sig = scope.signals.at(d.names[0]);
+            ExprPtr e = build_expr(*d.init, scope);
+            widen(e, design_->signals[sig].width);
+            lower_into(*e, sig, scope, d.loc);
+        }
+        for (const AssignItem& a : mod.assigns) {
+            ExprPtr rhs = build_expr(*a.rhs, scope);
+            if (a.lhs_names.size() == 1) {
+                const SignalId sig =
+                    lookup_signal(a.lhs_names[0], scope, a.loc);
+                widen(rhs, design_->signals[sig].width);
+                lower_into(*rhs, sig, scope, a.loc);
+                continue;
+            }
+            // Concat LHS: lower RHS once, then slice into the parts.
+            unsigned total = 0;
+            std::vector<SignalId> parts;
+            for (const std::string& n : a.lhs_names) {
+                parts.push_back(lookup_signal(n, scope, a.loc));
+                total += design_->signals[parts.back()].width;
+            }
+            if (total > kMaxWidth) {
+                throw ElabError(a.loc, "concat LHS wider than 64 bits");
+            }
+            widen(rhs, total);
+            const SignalId bundle = lower_to_signal(*rhs, scope, a.loc);
+            unsigned lo = total;
+            for (size_t i = 0; i < parts.size(); ++i) {   // MSB-first
+                const unsigned w = design_->signals[parts[i]].width;
+                lo -= w;
+                design_->add_node(Op::Slice, {bundle}, parts[i], Value(0, 1),
+                                  lo);
+            }
+        }
+
+        // Always blocks.
+        for (const AlwaysItem& a : mod.always_blocks) {
+            rtl::BehavNode behav;
+            behav.name = prefix + "always@" + std::to_string(a.loc.line);
+            behav.is_comb = a.is_comb;
+            for (const PEdge& e : a.edges) {
+                rtl::EdgeSpec spec;
+                spec.sig = lookup_signal(e.signal, scope, a.loc);
+                spec.kind = e.negedge ? rtl::EdgeKind::Neg : rtl::EdgeKind::Pos;
+                behav.edges.push_back(spec);
+            }
+            if (a.body) {
+                behav.body = build_stmt(*a.body, scope, !a.is_comb);
+            }
+            design_->add_behavior(std::move(behav));
+        }
+
+        // Initial blocks.
+        for (const InitialItem& init : mod.initials) {
+            rtl::InitialBlock block;
+            if (init.body) {
+                block.body = build_stmt(*init.body, scope, false);
+            }
+            design_->initials.push_back(std::move(block));
+        }
+
+        --depth_;
+    }
+
+    std::string top_;
+    std::unordered_map<std::string, const ModuleAst*> modules_;
+    std::unique_ptr<Design> design_;
+    uint32_t temp_counter_ = 0;
+    int depth_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Design> elaborate(const SourceUnit& unit,
+                                  const std::string& top) {
+    return Elaborator(unit, top).run();
+}
+
+}  // namespace eraser::fe

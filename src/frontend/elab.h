@@ -1,0 +1,20 @@
+// Elaborator: resolves a parsed SourceUnit into an rtl::Design —
+// parameter folding, width inference (with Verilog-style context widening),
+// for-loop unrolling, hierarchy flattening (dotted instance prefixes), and
+// lowering of continuous assignments into single-operation RTL nodes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "frontend/ast.h"
+#include "rtl/design.h"
+
+namespace eraser::fe {
+
+/// Elaborates `top` (and the module tree below it) into a finalized Design.
+/// Throws ElabError on semantic problems.
+[[nodiscard]] std::unique_ptr<rtl::Design> elaborate(const SourceUnit& unit,
+                                                     const std::string& top);
+
+}  // namespace eraser::fe

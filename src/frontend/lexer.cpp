@@ -1,0 +1,266 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+
+#include "rtl/value.h"
+
+namespace eraser::fe {
+
+namespace {
+
+class Lexer {
+  public:
+    explicit Lexer(std::string_view src) : src_(src) {}
+
+    std::vector<Token> run() {
+        std::vector<Token> out;
+        for (;;) {
+            skip_space_and_comments();
+            Token t = next_token();
+            const bool end = t.kind == Tok::End;
+            out.push_back(std::move(t));
+            if (end) break;
+        }
+        return out;
+    }
+
+  private:
+    [[nodiscard]] SourceLoc loc() const { return {line_, col_}; }
+    [[nodiscard]] bool eof() const { return pos_ >= src_.size(); }
+    [[nodiscard]] char peek(size_t ahead = 0) const {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+    char advance() {
+        const char c = src_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    void skip_space_and_comments() {
+        for (;;) {
+            while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) {
+                advance();
+            }
+            if (peek() == '/' && peek(1) == '/') {
+                while (!eof() && peek() != '\n') advance();
+                continue;
+            }
+            if (peek() == '/' && peek(1) == '*') {
+                const SourceLoc start = loc();
+                advance();
+                advance();
+                while (!(peek() == '*' && peek(1) == '/')) {
+                    if (eof()) {
+                        throw ParseError(start, "unterminated block comment");
+                    }
+                    advance();
+                }
+                advance();
+                advance();
+                continue;
+            }
+            break;
+        }
+    }
+
+    Token next_token() {
+        Token t;
+        t.loc = loc();
+        if (eof()) return t;
+
+        const char c = peek();
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            return lex_ident(t);
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'') {
+            return lex_number(t);
+        }
+        if (c == '$') return lex_system(t);
+        return lex_operator(t);
+    }
+
+    Token lex_ident(Token t) {
+        std::string s;
+        while (!eof() &&
+               (std::isalnum(static_cast<unsigned char>(peek())) ||
+                peek() == '_' || peek() == '$')) {
+            s.push_back(advance());
+        }
+        t.kind = Tok::Ident;
+        t.text = std::move(s);
+        return t;
+    }
+
+    Token lex_system(Token t) {
+        std::string s;
+        s.push_back(advance());   // '$'
+        while (!eof() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                          peek() == '_')) {
+            s.push_back(advance());
+        }
+        t.kind = Tok::SystemName;
+        t.text = std::move(s);
+        return t;
+    }
+
+    uint64_t read_digits(int base, const SourceLoc& at) {
+        uint64_t v = 0;
+        bool any = false;
+        for (;;) {
+            const char c = peek();
+            if (c == '_') {
+                advance();
+                continue;
+            }
+            int digit;
+            if (c >= '0' && c <= '9') {
+                digit = c - '0';
+            } else if (c >= 'a' && c <= 'f') {
+                digit = c - 'a' + 10;
+            } else if (c >= 'A' && c <= 'F') {
+                digit = c - 'A' + 10;
+            } else {
+                break;
+            }
+            if (digit >= base) {
+                if (base == 10 && digit >= 10) break;   // hex chars end dec
+                throw ParseError(at, "digit out of range for base");
+            }
+            advance();
+            v = v * static_cast<uint64_t>(base) + static_cast<uint64_t>(digit);
+            any = true;
+        }
+        if (!any) throw ParseError(at, "expected digits in numeric literal");
+        return v;
+    }
+
+    Token lex_number(Token t) {
+        t.kind = Tok::Number;
+        uint64_t size_part = 0;
+        bool have_size = false;
+        if (peek() != '\'') {
+            size_part = read_digits(10, t.loc);
+            have_size = true;
+        }
+        if (peek() != '\'') {
+            // Plain decimal literal.
+            t.value = size_part;
+            t.width = 32;
+            t.sized = false;
+            return t;
+        }
+        advance();   // '\''
+        char base_char = peek();
+        if (base_char == 's' || base_char == 'S') {
+            advance();   // signed marker, treated as unsigned (documented)
+            base_char = peek();
+        }
+        int base;
+        switch (std::tolower(static_cast<unsigned char>(base_char))) {
+            case 'b': base = 2; break;
+            case 'o': base = 8; break;
+            case 'd': base = 10; break;
+            case 'h': base = 16; break;
+            default:
+                throw ParseError(t.loc, "unknown base in numeric literal");
+        }
+        advance();
+        t.value = read_digits(base, t.loc);
+        if (have_size) {
+            if (size_part < 1 || size_part > eraser::kMaxWidth) {
+                throw ParseError(
+                    t.loc, "literal size outside supported range [1, 64]");
+            }
+            t.width = static_cast<unsigned>(size_part);
+            t.sized = true;
+            t.value &= eraser::Value::mask(t.width);
+        } else {
+            t.width = 32;
+            t.sized = false;
+        }
+        return t;
+    }
+
+
+    Token lex_operator(Token t) {
+        const char c = advance();
+        auto two = [&](char second, Tok yes, Tok no) {
+            if (peek() == second) {
+                advance();
+                t.kind = yes;
+            } else {
+                t.kind = no;
+            }
+            return t;
+        };
+        switch (c) {
+            case '(': t.kind = Tok::LParen; return t;
+            case ')': t.kind = Tok::RParen; return t;
+            case '[': t.kind = Tok::LBracket; return t;
+            case ']': t.kind = Tok::RBracket; return t;
+            case '{': t.kind = Tok::LBrace; return t;
+            case '}': t.kind = Tok::RBrace; return t;
+            case ';': t.kind = Tok::Semi; return t;
+            case ':': t.kind = Tok::Colon; return t;
+            case ',': t.kind = Tok::Comma; return t;
+            case '.': t.kind = Tok::Dot; return t;
+            case '#': t.kind = Tok::Hash; return t;
+            case '@': t.kind = Tok::At; return t;
+            case '?': t.kind = Tok::Question; return t;
+            case '+': t.kind = Tok::Plus; return t;
+            case '-': t.kind = Tok::Minus; return t;
+            case '*': t.kind = Tok::Star; return t;
+            case '/': t.kind = Tok::Slash; return t;
+            case '%': t.kind = Tok::Percent; return t;
+            case '~': t.kind = Tok::Tilde; return t;
+            case '^': t.kind = Tok::Caret; return t;
+            case '&': return two('&', Tok::AmpAmp, Tok::Amp);
+            case '|': return two('|', Tok::PipePipe, Tok::Pipe);
+            case '=': return two('=', Tok::EqEq, Tok::Assign);
+            case '!': return two('=', Tok::BangEq, Tok::Bang);
+            case '<':
+                if (peek() == '<') {
+                    advance();
+                    t.kind = Tok::Shl;
+                } else if (peek() == '=') {
+                    advance();
+                    t.kind = Tok::NonBlocking;   // or <=, parser decides
+                } else {
+                    t.kind = Tok::Lt;
+                }
+                return t;
+            case '>':
+                if (peek() == '>') {
+                    advance();
+                    t.kind = Tok::Shr;
+                } else if (peek() == '=') {
+                    advance();
+                    t.kind = Tok::GtEq;
+                } else {
+                    t.kind = Tok::Gt;
+                }
+                return t;
+            default:
+                throw ParseError(t.loc, std::string("unexpected character '") +
+                                            c + "'");
+        }
+    }
+
+    std::string_view src_;
+    size_t pos_ = 0;
+    uint32_t line_ = 1;
+    uint32_t col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+    return Lexer(source).run();
+}
+
+}  // namespace eraser::fe

@@ -1,0 +1,16 @@
+// Lexer for the Verilog subset: handles line/block comments, sized and
+// unsized numeric literals (with underscores), identifiers (including
+// escaped ones are NOT supported), and the operator set of the subset.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.h"
+
+namespace eraser::fe {
+
+/// Tokenizes a whole buffer. Throws ParseError on malformed input.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace eraser::fe

@@ -1,0 +1,676 @@
+#include "frontend/parser.h"
+
+#include <unordered_set>
+
+#include "frontend/lexer.h"
+
+namespace eraser::fe {
+
+namespace {
+
+const std::unordered_set<std::string> kKeywords = {
+    "module", "endmodule", "input",  "output",    "inout",   "wire",
+    "reg",    "integer",   "assign", "always",    "initial", "begin",
+    "end",    "if",        "else",   "case",      "casez",   "casex",
+    "endcase", "default",  "for",    "posedge",   "negedge", "or",
+    "parameter", "localparam", "genvar", "generate", "endgenerate",
+    "function", "endfunction", "task", "endtask",
+};
+
+class Parser {
+  public:
+    explicit Parser(std::string_view src) : toks_(lex(src)) {}
+
+    SourceUnit run() {
+        SourceUnit unit;
+        while (!at_end()) {
+            expect_kw("module");
+            unit.modules.push_back(parse_module());
+        }
+        return unit;
+    }
+
+  private:
+    // ---- token helpers ----------------------------------------------------
+    [[nodiscard]] const Token& cur() const { return toks_[pos_]; }
+    [[nodiscard]] const Token& peek(size_t ahead = 1) const {
+        const size_t i = pos_ + ahead;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+    [[nodiscard]] bool at_end() const { return cur().kind == Tok::End; }
+    Token take() { return toks_[pos_++]; }
+
+    [[nodiscard]] bool is_kw(const std::string& kw) const {
+        return cur().kind == Tok::Ident && cur().text == kw;
+    }
+    bool accept_kw(const std::string& kw) {
+        if (!is_kw(kw)) return false;
+        ++pos_;
+        return true;
+    }
+    void expect_kw(const std::string& kw) {
+        if (!accept_kw(kw)) {
+            throw ParseError(cur().loc, "expected '" + kw + "'");
+        }
+    }
+    bool accept(Tok k) {
+        if (cur().kind != k) return false;
+        ++pos_;
+        return true;
+    }
+    Token expect(Tok k, const char* what) {
+        if (cur().kind != k) {
+            throw ParseError(cur().loc,
+                             std::string("expected ") + what);
+        }
+        return take();
+    }
+    std::string expect_ident() {
+        if (cur().kind != Tok::Ident || kKeywords.count(cur().text) != 0) {
+            throw ParseError(cur().loc, "expected identifier");
+        }
+        return take().text;
+    }
+
+    // ---- module -------------------------------------------------------------
+    ModuleAst parse_module() {
+        ModuleAst m;
+        m.loc = cur().loc;
+        m.name = expect_ident();
+        if (accept(Tok::Hash)) parse_param_port_list(m);
+        if (accept(Tok::LParen)) {
+            if (!accept(Tok::RParen)) {
+                parse_port_list(m);
+                expect(Tok::RParen, "')'");
+            }
+        }
+        expect(Tok::Semi, "';'");
+        while (!accept_kw("endmodule")) {
+            if (at_end()) throw ParseError(cur().loc, "missing endmodule");
+            parse_item(m);
+        }
+        return m;
+    }
+
+    void parse_param_port_list(ModuleAst& m) {
+        expect(Tok::LParen, "'('");
+        do {
+            expect_kw("parameter");
+            ParamDecl p;
+            p.loc = cur().loc;
+            skip_optional_range();
+            p.name = expect_ident();
+            expect(Tok::Assign, "'='");
+            p.value = parse_expr();
+            m.params.push_back(std::move(p));
+        } while (accept(Tok::Comma));
+        expect(Tok::RParen, "')'");
+    }
+
+    void skip_optional_range() {
+        if (cur().kind == Tok::LBracket) {
+            // parameter [width-1:0] NAME — range on parameters is ignored.
+            while (cur().kind != Tok::RBracket) {
+                if (at_end()) throw ParseError(cur().loc, "unclosed '['");
+                ++pos_;
+            }
+            ++pos_;
+        }
+    }
+
+    void parse_port_list(ModuleAst& m) {
+        // ANSI-style port declarations only.
+        Dir dir = Dir::Input;
+        bool is_reg = false;
+        PExprPtr msb, lsb;
+        bool have_dir = false;
+        do {
+            if (is_kw("input") || is_kw("output")) {
+                dir = take().text == "input" ? Dir::Input : Dir::Output;
+                is_reg = false;
+                msb.reset();
+                lsb.reset();
+                have_dir = true;
+                if (accept_kw("wire")) {
+                } else if (accept_kw("reg")) {
+                    is_reg = true;
+                }
+                if (cur().kind == Tok::LBracket) parse_range(msb, lsb);
+            }
+            if (!have_dir) {
+                throw ParseError(cur().loc,
+                                 "expected 'input' or 'output' (ANSI ports)");
+            }
+            PortDecl p;
+            p.loc = cur().loc;
+            p.name = expect_ident();
+            p.dir = dir;
+            p.is_reg = is_reg;
+            if (msb) {
+                p.msb = clone_expr(*msb);
+                p.lsb = clone_expr(*lsb);
+            }
+            m.ports.push_back(std::move(p));
+        } while (accept(Tok::Comma));
+    }
+
+    void parse_range(PExprPtr& msb, PExprPtr& lsb) {
+        expect(Tok::LBracket, "'['");
+        msb = parse_expr();
+        expect(Tok::Colon, "':'");
+        lsb = parse_expr();
+        expect(Tok::RBracket, "']'");
+    }
+
+    // ---- items --------------------------------------------------------------
+    void parse_item(ModuleAst& m) {
+        if (is_kw("wire") || is_kw("reg") || is_kw("integer")) {
+            parse_net_decl(m);
+        } else if (is_kw("parameter") || is_kw("localparam")) {
+            parse_param_decl(m);
+        } else if (accept_kw("assign")) {
+            parse_assign(m);
+        } else if (accept_kw("always")) {
+            parse_always(m);
+        } else if (accept_kw("initial")) {
+            InitialItem init;
+            init.loc = cur().loc;
+            init.body = parse_stmt();
+            m.initials.push_back(std::move(init));
+        } else if (is_kw("function") || is_kw("task") || is_kw("generate")) {
+            throw ParseError(cur().loc,
+                             "'" + cur().text +
+                                 "' is outside the supported subset "
+                                 "(rewrite with always/for)");
+        } else if (cur().kind == Tok::Ident) {
+            parse_instance(m);
+        } else {
+            throw ParseError(cur().loc, "unexpected token in module body");
+        }
+    }
+
+    void parse_net_decl(ModuleAst& m) {
+        NetDecl d;
+        d.loc = cur().loc;
+        const std::string kw = take().text;
+        d.kind = kw == "wire"  ? NetDecl::Kind::Wire
+                 : kw == "reg" ? NetDecl::Kind::Reg
+                               : NetDecl::Kind::Integer;
+        if (cur().kind == Tok::LBracket) parse_range(d.msb, d.lsb);
+        d.names.push_back(expect_ident());
+        if (cur().kind == Tok::LBracket) {
+            // Array dimension: reg [7:0] mem [0:255];
+            PExprPtr lo, hi;
+            parse_range(lo, hi);
+            d.arr_lo = std::move(lo);
+            d.arr_hi = std::move(hi);
+            expect(Tok::Semi, "';'");
+            m.nets.push_back(std::move(d));
+            return;
+        }
+        if (accept(Tok::Assign)) {
+            // wire x = expr;  (single declarator only)
+            d.init = parse_expr();
+            expect(Tok::Semi, "';'");
+            m.nets.push_back(std::move(d));
+            return;
+        }
+        while (accept(Tok::Comma)) d.names.push_back(expect_ident());
+        expect(Tok::Semi, "';'");
+        m.nets.push_back(std::move(d));
+    }
+
+    void parse_param_decl(ModuleAst& m) {
+        const bool local = take().text == "localparam";
+        do {
+            ParamDecl p;
+            p.loc = cur().loc;
+            p.is_local = local;
+            skip_optional_range();
+            p.name = expect_ident();
+            expect(Tok::Assign, "'='");
+            p.value = parse_expr();
+            m.params.push_back(std::move(p));
+        } while (accept(Tok::Comma));
+        expect(Tok::Semi, "';'");
+    }
+
+    void parse_assign(ModuleAst& m) {
+        AssignItem a;
+        a.loc = cur().loc;
+        if (accept(Tok::LBrace)) {
+            do {
+                a.lhs_names.push_back(expect_ident());
+            } while (accept(Tok::Comma));
+            expect(Tok::RBrace, "'}'");
+        } else {
+            a.lhs_names.push_back(expect_ident());
+        }
+        expect(Tok::Assign, "'='");
+        a.rhs = parse_expr();
+        expect(Tok::Semi, "';'");
+        m.assigns.push_back(std::move(a));
+    }
+
+    void parse_always(ModuleAst& m) {
+        AlwaysItem a;
+        a.loc = cur().loc;
+        expect(Tok::At, "'@'");
+        expect(Tok::LParen, "'('");
+        if (accept(Tok::Star)) {
+            a.is_comb = true;
+        } else if (is_kw("posedge") || is_kw("negedge")) {
+            do {
+                PEdge e;
+                e.negedge = take().text == "negedge";
+                e.signal = expect_ident();
+                a.edges.push_back(std::move(e));
+            } while (accept_kw("or") || accept(Tok::Comma));
+        } else {
+            // Level-sensitive list: treated as @(*) — the elaborator uses
+            // the full read set (standard synthesizable interpretation).
+            a.is_comb = true;
+            do {
+                (void)expect_ident();
+            } while (accept_kw("or") || accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "')'");
+        a.body = parse_stmt();
+        m.always_blocks.push_back(std::move(a));
+    }
+
+    void parse_instance(ModuleAst& m) {
+        InstanceItem inst;
+        inst.loc = cur().loc;
+        inst.module_name = expect_ident();
+        if (accept(Tok::Hash)) {
+            expect(Tok::LParen, "'('");
+            do {
+                expect(Tok::Dot, "'.'");
+                std::string pname = expect_ident();
+                expect(Tok::LParen, "'('");
+                PExprPtr v = parse_expr();
+                expect(Tok::RParen, "')'");
+                inst.param_overrides.emplace_back(std::move(pname),
+                                                  std::move(v));
+            } while (accept(Tok::Comma));
+            expect(Tok::RParen, "')'");
+        }
+        inst.inst_name = expect_ident();
+        expect(Tok::LParen, "'('");
+        if (!accept(Tok::RParen)) {
+            do {
+                expect(Tok::Dot, "'.'");
+                PortConn conn;
+                conn.port = expect_ident();
+                expect(Tok::LParen, "'('");
+                if (cur().kind != Tok::RParen) conn.expr = parse_expr();
+                expect(Tok::RParen, "')'");
+                inst.conns.push_back(std::move(conn));
+            } while (accept(Tok::Comma));
+            expect(Tok::RParen, "')'");
+        }
+        expect(Tok::Semi, "';'");
+        m.instances.push_back(std::move(inst));
+    }
+
+    // ---- statements ----------------------------------------------------------
+    PStmtPtr parse_stmt() {
+        auto s = std::make_unique<PStmt>();
+        s->loc = cur().loc;
+        if (accept_kw("begin")) {
+            s->kind = PStmt::Kind::Block;
+            while (!accept_kw("end")) {
+                if (at_end()) throw ParseError(s->loc, "missing 'end'");
+                s->stmts.push_back(parse_stmt());
+            }
+            return s;
+        }
+        if (accept_kw("if")) {
+            s->kind = PStmt::Kind::If;
+            expect(Tok::LParen, "'('");
+            s->cond = parse_expr();
+            expect(Tok::RParen, "')'");
+            s->then_stmt = parse_stmt();
+            if (accept_kw("else")) s->else_stmt = parse_stmt();
+            return s;
+        }
+        if (is_kw("case") || is_kw("casez") || is_kw("casex")) {
+            if (cur().text != "case") {
+                throw ParseError(cur().loc,
+                                 "'" + cur().text +
+                                     "' unsupported (2-state subset); "
+                                     "use 'case'");
+            }
+            take();
+            s->kind = PStmt::Kind::Case;
+            expect(Tok::LParen, "'('");
+            s->subject = parse_expr();
+            expect(Tok::RParen, "')'");
+            while (!accept_kw("endcase")) {
+                if (at_end()) throw ParseError(s->loc, "missing 'endcase'");
+                PCaseItem item;
+                if (accept_kw("default")) {
+                    accept(Tok::Colon);
+                } else {
+                    do {
+                        item.labels.push_back(parse_expr());
+                    } while (accept(Tok::Comma));
+                    expect(Tok::Colon, "':'");
+                }
+                item.body = parse_stmt();
+                s->items.push_back(std::move(item));
+            }
+            return s;
+        }
+        if (accept_kw("for")) {
+            s->kind = PStmt::Kind::For;
+            expect(Tok::LParen, "'('");
+            s->loop_var = expect_ident();
+            expect(Tok::Assign, "'='");
+            s->loop_init = parse_expr();
+            expect(Tok::Semi, "';'");
+            s->cond = parse_expr();
+            expect(Tok::Semi, "';'");
+            const std::string update_var = expect_ident();
+            if (update_var != s->loop_var) {
+                throw ParseError(s->loc,
+                                 "for-loop update must assign the loop "
+                                 "variable");
+            }
+            expect(Tok::Assign, "'='");
+            s->loop_update = parse_expr();
+            expect(Tok::RParen, "')'");
+            s->body = parse_stmt();
+            return s;
+        }
+        if (cur().kind == Tok::SystemName) {
+            // $display and friends: parsed and discarded (simulation-only).
+            take();
+            if (accept(Tok::LParen)) {
+                int depth = 1;
+                while (depth > 0) {
+                    if (at_end()) {
+                        throw ParseError(s->loc, "unclosed system call");
+                    }
+                    if (cur().kind == Tok::LParen) ++depth;
+                    if (cur().kind == Tok::RParen) --depth;
+                    ++pos_;
+                }
+            }
+            expect(Tok::Semi, "';'");
+            s->kind = PStmt::Kind::Null;
+            return s;
+        }
+        if (accept(Tok::Semi)) {
+            s->kind = PStmt::Kind::Null;
+            return s;
+        }
+        // Assignment.
+        s->kind = PStmt::Kind::Assign;
+        s->lhs.loc = cur().loc;
+        s->lhs.name = expect_ident();
+        if (accept(Tok::LBracket)) {
+            PExprPtr first = parse_expr();
+            if (accept(Tok::Colon)) {
+                s->lhs.msb = std::move(first);
+                s->lhs.lsb = parse_expr();
+            } else {
+                s->lhs.index = std::move(first);
+            }
+            expect(Tok::RBracket, "']'");
+        }
+        if (accept(Tok::Assign)) {
+            s->nonblocking = false;
+        } else if (accept(Tok::NonBlocking)) {
+            s->nonblocking = true;
+        } else {
+            throw ParseError(cur().loc, "expected '=' or '<='");
+        }
+        s->rhs = parse_expr();
+        expect(Tok::Semi, "';'");
+        return s;
+    }
+
+    // ---- expressions -----------------------------------------------------------
+    // Precedence climbing, lowest first: ?: || && | ^ & ==/!= relational
+    // shifts additive multiplicative unary primary.
+    PExprPtr parse_expr() { return parse_ternary(); }
+
+    PExprPtr parse_ternary() {
+        PExprPtr cond = parse_lor();
+        if (!accept(Tok::Question)) return cond;
+        auto e = std::make_unique<PExpr>();
+        e->kind = PExpr::Kind::Ternary;
+        e->loc = cond->loc;
+        e->args.push_back(std::move(cond));
+        e->args.push_back(parse_expr());
+        expect(Tok::Colon, "':'");
+        e->args.push_back(parse_expr());
+        return e;
+    }
+
+    PExprPtr binary(PBinOp op, PExprPtr a, PExprPtr b) {
+        auto e = std::make_unique<PExpr>();
+        e->kind = PExpr::Kind::Binary;
+        e->bin_op = op;
+        e->loc = a->loc;
+        e->args.push_back(std::move(a));
+        e->args.push_back(std::move(b));
+        return e;
+    }
+
+    PExprPtr parse_lor() {
+        PExprPtr a = parse_land();
+        while (accept(Tok::PipePipe)) {
+            a = binary(PBinOp::LOr, std::move(a), parse_land());
+        }
+        return a;
+    }
+    PExprPtr parse_land() {
+        PExprPtr a = parse_bor();
+        while (accept(Tok::AmpAmp)) {
+            a = binary(PBinOp::LAnd, std::move(a), parse_bor());
+        }
+        return a;
+    }
+    PExprPtr parse_bor() {
+        PExprPtr a = parse_bxor();
+        while (cur().kind == Tok::Pipe) {
+            take();
+            a = binary(PBinOp::Or, std::move(a), parse_bxor());
+        }
+        return a;
+    }
+    PExprPtr parse_bxor() {
+        PExprPtr a = parse_band();
+        while (cur().kind == Tok::Caret) {
+            take();
+            a = binary(PBinOp::Xor, std::move(a), parse_band());
+        }
+        return a;
+    }
+    PExprPtr parse_band() {
+        PExprPtr a = parse_equality();
+        while (cur().kind == Tok::Amp) {
+            take();
+            a = binary(PBinOp::And, std::move(a), parse_equality());
+        }
+        return a;
+    }
+    PExprPtr parse_equality() {
+        PExprPtr a = parse_relational();
+        for (;;) {
+            if (accept(Tok::EqEq)) {
+                a = binary(PBinOp::Eq, std::move(a), parse_relational());
+            } else if (accept(Tok::BangEq)) {
+                a = binary(PBinOp::Ne, std::move(a), parse_relational());
+            } else {
+                return a;
+            }
+        }
+    }
+    PExprPtr parse_relational() {
+        PExprPtr a = parse_shift();
+        for (;;) {
+            if (accept(Tok::Lt)) {
+                a = binary(PBinOp::Lt, std::move(a), parse_shift());
+            } else if (accept(Tok::NonBlocking)) {
+                // '<=' in expression position is less-or-equal.
+                a = binary(PBinOp::Le, std::move(a), parse_shift());
+            } else if (accept(Tok::Gt)) {
+                a = binary(PBinOp::Gt, std::move(a), parse_shift());
+            } else if (accept(Tok::GtEq)) {
+                a = binary(PBinOp::Ge, std::move(a), parse_shift());
+            } else {
+                return a;
+            }
+        }
+    }
+    PExprPtr parse_shift() {
+        PExprPtr a = parse_additive();
+        for (;;) {
+            if (accept(Tok::Shl)) {
+                a = binary(PBinOp::Shl, std::move(a), parse_additive());
+            } else if (accept(Tok::Shr)) {
+                a = binary(PBinOp::Shr, std::move(a), parse_additive());
+            } else {
+                return a;
+            }
+        }
+    }
+    PExprPtr parse_additive() {
+        PExprPtr a = parse_multiplicative();
+        for (;;) {
+            if (accept(Tok::Plus)) {
+                a = binary(PBinOp::Add, std::move(a), parse_multiplicative());
+            } else if (accept(Tok::Minus)) {
+                a = binary(PBinOp::Sub, std::move(a), parse_multiplicative());
+            } else {
+                return a;
+            }
+        }
+    }
+    PExprPtr parse_multiplicative() {
+        PExprPtr a = parse_unary();
+        for (;;) {
+            if (accept(Tok::Star)) {
+                a = binary(PBinOp::Mul, std::move(a), parse_unary());
+            } else if (accept(Tok::Slash)) {
+                a = binary(PBinOp::Div, std::move(a), parse_unary());
+            } else if (accept(Tok::Percent)) {
+                a = binary(PBinOp::Mod, std::move(a), parse_unary());
+            } else {
+                return a;
+            }
+        }
+    }
+
+    PExprPtr unary(PUnOp op, PExprPtr a) {
+        auto e = std::make_unique<PExpr>();
+        e->kind = PExpr::Kind::Unary;
+        e->un_op = op;
+        e->loc = a->loc;
+        e->args.push_back(std::move(a));
+        return e;
+    }
+
+    PExprPtr parse_unary() {
+        switch (cur().kind) {
+            case Tok::Plus: take(); return parse_unary();
+            case Tok::Minus: take(); return unary(PUnOp::Minus, parse_unary());
+            case Tok::Tilde: take(); return unary(PUnOp::Not, parse_unary());
+            case Tok::Bang: take(); return unary(PUnOp::LNot, parse_unary());
+            case Tok::Amp: take(); return unary(PUnOp::RedAnd, parse_unary());
+            case Tok::Pipe: take(); return unary(PUnOp::RedOr, parse_unary());
+            case Tok::Caret:
+                take();
+                return unary(PUnOp::RedXor, parse_unary());
+            default: return parse_primary();
+        }
+    }
+
+    PExprPtr parse_primary() {
+        auto e = std::make_unique<PExpr>();
+        e->loc = cur().loc;
+        if (cur().kind == Tok::Number) {
+            const Token t = take();
+            e->kind = PExpr::Kind::Number;
+            e->value = t.value;
+            e->width = t.width;
+            e->sized = t.sized;
+            return e;
+        }
+        if (accept(Tok::LParen)) {
+            PExprPtr inner = parse_expr();
+            expect(Tok::RParen, "')'");
+            return inner;
+        }
+        if (accept(Tok::LBrace)) {
+            // Concat or replication.
+            PExprPtr first = parse_expr();
+            if (cur().kind == Tok::LBrace) {
+                // {N{expr}}
+                take();
+                PExprPtr repl = parse_expr();
+                expect(Tok::RBrace, "'}'");
+                expect(Tok::RBrace, "'}'");
+                if (first->kind != PExpr::Kind::Number) {
+                    throw ParseError(e->loc,
+                                     "replication count must be a literal");
+                }
+                e->kind = PExpr::Kind::Repl;
+                e->value = first->value;
+                e->args.push_back(std::move(repl));
+                return e;
+            }
+            e->kind = PExpr::Kind::Concat;
+            e->args.push_back(std::move(first));
+            while (accept(Tok::Comma)) e->args.push_back(parse_expr());
+            expect(Tok::RBrace, "'}'");
+            return e;
+        }
+        if (cur().kind == Tok::Ident) {
+            e->name = expect_ident();
+            e->kind = PExpr::Kind::Ident;
+            if (accept(Tok::LBracket)) {
+                PExprPtr first = parse_expr();
+                if (accept(Tok::Colon)) {
+                    e->kind = PExpr::Kind::Slice;
+                    e->args.push_back(std::move(first));
+                    e->args.push_back(parse_expr());
+                } else {
+                    e->kind = PExpr::Kind::Index;
+                    e->args.push_back(std::move(first));
+                }
+                expect(Tok::RBracket, "']'");
+            }
+            return e;
+        }
+        throw ParseError(cur().loc, "expected expression");
+    }
+
+    // Deep clone (used for shared port ranges).
+    static PExprPtr clone_expr(const PExpr& src) {
+        auto e = std::make_unique<PExpr>();
+        e->kind = src.kind;
+        e->loc = src.loc;
+        e->value = src.value;
+        e->width = src.width;
+        e->sized = src.sized;
+        e->name = src.name;
+        e->un_op = src.un_op;
+        e->bin_op = src.bin_op;
+        for (const auto& a : src.args) e->args.push_back(clone_expr(*a));
+        return e;
+    }
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+};
+
+}  // namespace
+
+SourceUnit parse(std::string_view source) { return Parser(source).run(); }
+
+}  // namespace eraser::fe

@@ -1,0 +1,15 @@
+// Recursive-descent parser for the Verilog subset. See docs/ and README for
+// the precise language boundary; anything outside raises ParseError with a
+// source location.
+#pragma once
+
+#include <string_view>
+
+#include "frontend/ast.h"
+
+namespace eraser::fe {
+
+/// Parses a full source buffer into modules.
+[[nodiscard]] SourceUnit parse(std::string_view source);
+
+}  // namespace eraser::fe

@@ -1,0 +1,37 @@
+// Token stream definitions for the Verilog-2005 synthesizable subset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/diagnostics.h"
+
+namespace eraser::fe {
+
+enum class Tok : uint8_t {
+    End,
+    Ident,        // identifiers and keywords (keyword check by text)
+    Number,       // literal; value/width pre-decoded
+    SystemName,   // $display etc.
+    // punctuation / operators
+    LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+    Semi, Colon, Comma, Dot, Hash, At, Question,
+    Assign,       // =
+    NonBlocking,  // <=  (context-dependent: also less-equal; parser decides)
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    AmpAmp, PipePipe,
+    EqEq, BangEq, Lt, Gt, GtEq,   // note: <= is Tok::NonBlocking
+    Shl, Shr,
+};
+
+struct Token {
+    Tok kind = Tok::End;
+    std::string text;       // identifier / system name text
+    uint64_t value = 0;     // Number: decoded bits
+    unsigned width = 32;    // Number: decoded width
+    bool sized = false;     // Number: had an explicit size prefix
+    SourceLoc loc;
+};
+
+}  // namespace eraser::fe

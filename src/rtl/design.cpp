@@ -1,0 +1,316 @@
+#include "rtl/design.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "util/diagnostics.h"
+
+namespace eraser::rtl {
+
+namespace {
+
+void push_unique(std::vector<uint32_t>& vec, uint32_t id) {
+    if (std::find(vec.begin(), vec.end(), id) == vec.end()) vec.push_back(id);
+}
+
+}  // namespace
+
+SignalId Design::add_signal(std::string name, unsigned width, SignalKind kind,
+                            bool is_input, bool is_output) {
+    if (signal_by_name_.count(name) != 0) {
+        throw ElabError({}, "duplicate signal name '" + name + "'");
+    }
+    if (width < 1 || width > kMaxWidth) {
+        throw ElabError({}, "signal '" + name + "' width " +
+                                std::to_string(width) +
+                                " outside supported range [1, 64]");
+    }
+    const SignalId id = static_cast<SignalId>(signals.size());
+    Signal s;
+    s.name = std::move(name);
+    s.width = width;
+    s.kind = kind;
+    s.is_input = is_input;
+    s.is_output = is_output;
+    signal_by_name_.emplace(s.name, id);
+    if (is_input) inputs.push_back(id);
+    if (is_output) outputs.push_back(id);
+    signals.push_back(std::move(s));
+    finalized_ = false;
+    return id;
+}
+
+ArrayId Design::add_array(std::string name, unsigned width, uint32_t size) {
+    if (array_by_name_.count(name) != 0) {
+        throw ElabError({}, "duplicate array name '" + name + "'");
+    }
+    const ArrayId id = static_cast<ArrayId>(arrays.size());
+    Array a;
+    a.name = std::move(name);
+    a.width = width;
+    a.size = size;
+    array_by_name_.emplace(a.name, id);
+    arrays.push_back(std::move(a));
+    finalized_ = false;
+    return id;
+}
+
+NodeId Design::add_node(Op op, std::vector<SignalId> node_inputs,
+                        SignalId output, Value cval, unsigned imm) {
+    assert(output < signals.size());
+    if (signals[output].driver != kInvalidId) {
+        throw ElabError({}, "signal '" + signals[output].name +
+                                "' has multiple continuous drivers");
+    }
+    const NodeId id = static_cast<NodeId>(nodes.size());
+    RtlNode n;
+    n.op = op;
+    n.inputs = std::move(node_inputs);
+    n.output = output;
+    n.cval = cval;
+    n.imm = imm;
+    signals[output].driver = id;
+    nodes.push_back(std::move(n));
+    finalized_ = false;
+    return id;
+}
+
+BehavId Design::add_behavior(BehavNode behav) {
+    const BehavId id = static_cast<BehavId>(behaviors.size());
+    behaviors.push_back(std::move(behav));
+    finalized_ = false;
+    return id;
+}
+
+SignalId Design::signal_id(const std::string& name) const {
+    const SignalId id = find_signal(name);
+    if (id == kInvalidId) throw SimError("unknown signal '" + name + "'");
+    return id;
+}
+
+SignalId Design::find_signal(const std::string& name) const {
+    auto it = signal_by_name_.find(name);
+    return it == signal_by_name_.end() ? kInvalidId : it->second;
+}
+
+ArrayId Design::find_array(const std::string& name) const {
+    auto it = array_by_name_.find(name);
+    return it == array_by_name_.end() ? kInvalidId : it->second;
+}
+
+size_t Design::cell_estimate() const {
+    size_t count = nodes.size();
+    // Count assignments and branches in behavioral bodies, approximating how
+    // synthesis would expand them into cells.
+    struct Counter {
+        size_t n = 0;
+        void walk(const Stmt& s) {
+            switch (s.kind) {
+                case Stmt::Kind::Block:
+                    for (const auto& c : s.stmts) walk(*c);
+                    break;
+                case Stmt::Kind::Assign: n += 1; break;
+                case Stmt::Kind::If:
+                    n += 1;
+                    if (s.then_stmt) walk(*s.then_stmt);
+                    if (s.else_stmt) walk(*s.else_stmt);
+                    break;
+                case Stmt::Kind::Case:
+                    n += 1;
+                    for (const auto& arm : s.arms) {
+                        if (arm.body) walk(*arm.body);
+                    }
+                    break;
+            }
+        }
+    } counter;
+    for (const auto& b : behaviors) {
+        if (b.body) counter.walk(*b.body);
+    }
+    return count + counter.n;
+}
+
+void collect_expr_reads(const Expr& e, std::vector<SignalId>& out,
+                        std::vector<ArrayId>* array_reads) {
+    switch (e.kind) {
+        case Expr::Kind::Const: break;
+        case Expr::Kind::SignalRef: push_unique(out, e.sig); break;
+        case Expr::Kind::ArrayRead:
+            if (array_reads != nullptr) push_unique(*array_reads, e.arr);
+            collect_expr_reads(*e.args[0], out, array_reads);
+            break;
+        case Expr::Kind::OpApply:
+            for (const auto& a : e.args) {
+                collect_expr_reads(*a, out, array_reads);
+            }
+            break;
+    }
+}
+
+void collect_stmt_sets(const Stmt& s, StmtSets& sets) {
+    switch (s.kind) {
+        case Stmt::Kind::Block:
+            for (const auto& c : s.stmts) collect_stmt_sets(*c, sets);
+            break;
+        case Stmt::Kind::Assign:
+            collect_expr_reads(*s.rhs, sets.reads, &sets.array_reads);
+            if (s.lhs.index) {
+                collect_expr_reads(*s.lhs.index, sets.reads,
+                                   &sets.array_reads);
+            }
+            if (s.lhs.is_array()) {
+                push_unique(sets.array_writes, s.lhs.arr);
+            } else {
+                push_unique(sets.writes, s.lhs.sig);
+                if (!s.nonblocking) {
+                    push_unique(sets.blocking_writes, s.lhs.sig);
+                }
+                // A partial write reads the untouched bits of the target.
+                if (s.lhs.partial) push_unique(sets.reads, s.lhs.sig);
+            }
+            break;
+        case Stmt::Kind::If:
+            collect_expr_reads(*s.cond, sets.reads, &sets.array_reads);
+            if (s.then_stmt) collect_stmt_sets(*s.then_stmt, sets);
+            if (s.else_stmt) collect_stmt_sets(*s.else_stmt, sets);
+            break;
+        case Stmt::Kind::Case:
+            collect_expr_reads(*s.subject, sets.reads, &sets.array_reads);
+            for (const auto& arm : s.arms) {
+                if (arm.body) collect_stmt_sets(*arm.body, sets);
+            }
+            break;
+    }
+}
+
+void Design::finalize() {
+    // Reset any previously computed derived data so finalize is idempotent.
+    for (auto& s : signals) {
+        s.fanout_nodes.clear();
+        s.fanout_comb.clear();
+        s.fanout_edges.clear();
+        s.is_state = false;
+    }
+    for (auto& a : arrays) a.reader_behavs.clear();
+
+    for (NodeId n = 0; n < nodes.size(); ++n) {
+        for (SignalId in : nodes[n].inputs) {
+            push_unique(signals[in].fanout_nodes, n);
+        }
+    }
+
+    for (BehavId b = 0; b < behaviors.size(); ++b) {
+        BehavNode& behav = behaviors[b];
+        StmtSets sets;
+        if (behav.body) collect_stmt_sets(*behav.body, sets);
+        behav.reads = std::move(sets.reads);
+        behav.writes = sets.writes;
+        behav.blocking_writes = sets.blocking_writes;
+        behav.array_reads = std::move(sets.array_reads);
+        behav.array_writes = std::move(sets.array_writes);
+
+        for (SignalId w : behav.writes) {
+            const bool nonblocking_written =
+                std::find(behav.blocking_writes.begin(),
+                          behav.blocking_writes.end(),
+                          w) == behav.blocking_writes.end();
+            if (!behav.is_comb || nonblocking_written) {
+                signals[w].is_state = true;
+            }
+        }
+        if (behav.is_comb) {
+            for (SignalId r : behav.reads) {
+                push_unique(signals[r].fanout_comb, b);
+            }
+            for (ArrayId a : behav.array_reads) {
+                push_unique(arrays[a].reader_behavs, b);
+            }
+        } else {
+            for (const EdgeSpec& e : behav.edges) {
+                push_unique(signals[e.sig].fanout_edges, b);
+            }
+        }
+    }
+
+    // ---- combinational topological ranks ---------------------------------
+    // Elements: RTL nodes (0..N) then comb behaviors (N..N+B). An element
+    // depends on the producer of each signal it reads: the driving RTL node,
+    // or any comb behavior that blocking-writes it. Sequential behaviors are
+    // rank sinks and excluded.
+    const size_t num_elems = nodes.size() + behaviors.size();
+    std::vector<std::vector<uint32_t>> succs(num_elems);
+    std::vector<uint32_t> indeg(num_elems, 0);
+    std::vector<bool> is_elem(num_elems, true);
+
+    // Producer map: signal -> producing element (driver node or comb writer).
+    std::vector<std::vector<uint32_t>> producers(signals.size());
+    for (NodeId n = 0; n < nodes.size(); ++n) {
+        producers[nodes[n].output].push_back(n);
+    }
+    for (BehavId b = 0; b < behaviors.size(); ++b) {
+        const uint32_t elem = static_cast<uint32_t>(nodes.size()) + b;
+        if (!behaviors[b].is_comb) {
+            is_elem[elem] = false;
+            continue;
+        }
+        for (SignalId w : behaviors[b].writes) {
+            producers[w].push_back(elem);
+        }
+    }
+
+    auto add_dep = [&](uint32_t consumer, SignalId read) {
+        for (uint32_t producer : producers[read]) {
+            if (producer == consumer) continue;
+            succs[producer].push_back(consumer);
+            indeg[consumer]++;
+        }
+    };
+    for (NodeId n = 0; n < nodes.size(); ++n) {
+        for (SignalId in : nodes[n].inputs) add_dep(n, in);
+    }
+    for (BehavId b = 0; b < behaviors.size(); ++b) {
+        if (!behaviors[b].is_comb) continue;
+        const uint32_t elem = static_cast<uint32_t>(nodes.size()) + b;
+        for (SignalId r : behaviors[b].reads) add_dep(elem, r);
+    }
+
+    std::vector<uint32_t> rank(num_elems, 0);
+    std::queue<uint32_t> ready;
+    size_t processed = 0;
+    for (uint32_t e = 0; e < num_elems; ++e) {
+        if (is_elem[e] && indeg[e] == 0) ready.push(e);
+    }
+    uint32_t max_rank = 0;
+    while (!ready.empty()) {
+        const uint32_t e = ready.front();
+        ready.pop();
+        ++processed;
+        max_rank = std::max(max_rank, rank[e]);
+        for (uint32_t s : succs[e]) {
+            rank[s] = std::max(rank[s], rank[e] + 1);
+            if (--indeg[s] == 0) ready.push(s);
+        }
+    }
+    size_t comb_elems = 0;
+    for (uint32_t e = 0; e < num_elems; ++e) comb_elems += is_elem[e] ? 1 : 0;
+    has_comb_cycles_ = processed < comb_elems;
+    if (processed < comb_elems) {
+        // Combinational cycle (or a false one through coarse behavioral read
+        // sets): park unprocessed elements at the deepest rank; the engines
+        // iterate to a fixpoint so correctness is preserved.
+        max_rank += 1;
+        for (uint32_t e = 0; e < num_elems; ++e) {
+            if (is_elem[e] && indeg[e] > 0) rank[e] = max_rank;
+        }
+    }
+    for (NodeId n = 0; n < nodes.size(); ++n) nodes[n].rank = rank[n];
+    for (BehavId b = 0; b < behaviors.size(); ++b) {
+        behaviors[b].rank =
+            behaviors[b].is_comb ? rank[nodes.size() + b] : 0;
+    }
+    rank_levels_ = max_rank + 1;
+    finalized_ = true;
+}
+
+}  // namespace eraser::rtl

@@ -1,0 +1,168 @@
+// Design: the elaborated RTL graph — signals, RTL nodes (one operation each),
+// behavioral nodes (always blocks), memories, and initial blocks. This is the
+// common input to every simulator engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtl/expr.h"
+#include "rtl/ops.h"
+#include "rtl/value.h"
+
+namespace eraser::rtl {
+
+using NodeId = uint32_t;
+using BehavId = uint32_t;
+
+/// How a signal is declared. Ports keep their wire/reg storage class; the
+/// is_input/is_output flags on Signal mark port direction.
+enum class SignalKind : uint8_t { Wire, Reg };
+
+struct Signal {
+    std::string name;   // flattened hierarchical name, e.g. "u_core.pc"
+    unsigned width = 1;
+    SignalKind kind = SignalKind::Wire;
+    bool is_input = false;
+    bool is_output = false;
+    /// Written by a nonblocking assignment somewhere — i.e. sequential state.
+    bool is_state = false;
+
+    NodeId driver = kInvalidId;   // RTL node whose output this is, if any
+    /// RTL nodes reading this signal (filled by finalize()).
+    std::vector<NodeId> fanout_nodes;
+    /// Combinational behavioral nodes reading this signal (activation list).
+    std::vector<BehavId> fanout_comb;
+    /// Sequential behavioral nodes with an edge on this signal.
+    std::vector<BehavId> fanout_edges;
+};
+
+/// One elaborated operation: output = op(inputs). `imm` is the Slice
+/// lo-offset; Const nodes carry their literal in `cval`.
+struct RtlNode {
+    Op op = Op::Copy;
+    std::vector<SignalId> inputs;
+    SignalId output = kInvalidId;
+    Value cval;
+    unsigned imm = 0;
+    /// Topological rank among combinational elements (finalize()); nodes in a
+    /// combinational cycle share the maximum rank and rely on fixpointing.
+    uint32_t rank = 0;
+};
+
+enum class EdgeKind : uint8_t { Pos, Neg };
+
+struct EdgeSpec {
+    SignalId sig = kInvalidId;
+    EdgeKind kind = EdgeKind::Pos;
+};
+
+/// A behavioral node: one `always` block. Combinational blocks (@(*) or a
+/// level-sensitive list) re-run when any read signal changes; sequential
+/// blocks run on the listed edges.
+struct BehavNode {
+    std::string name;   // e.g. "u_core.always@142"
+    bool is_comb = false;
+    std::vector<EdgeSpec> edges;   // sequential sensitivity
+    StmtPtr body;
+
+    // Static read/write sets, computed by finalize(). `reads` excludes
+    // edge-list signals unless the body also reads them.
+    std::vector<SignalId> reads;
+    std::vector<SignalId> writes;         // union of blocking + nonblocking
+    std::vector<SignalId> blocking_writes;
+    std::vector<ArrayId> array_reads;
+    std::vector<ArrayId> array_writes;
+
+    uint32_t rank = 0;   // comb rank; sequential nodes keep 0
+};
+
+/// A 1-D memory (`reg [w-1:0] name [0:size-1]`). Not a fault site.
+struct Array {
+    std::string name;
+    unsigned width = 1;
+    uint32_t size = 0;
+    std::vector<BehavId> reader_behavs;   // comb readers, for activation
+};
+
+/// An `initial` block body, executed once at time zero in program order.
+struct InitialBlock {
+    StmtPtr body;
+};
+
+/// The elaborated design. Build directly (tests / NetlistBuilder) or via the
+/// front end (`frontend::compile`). Call finalize() before simulation.
+class Design {
+  public:
+    std::string top_name;
+    std::vector<Signal> signals;
+    std::vector<RtlNode> nodes;
+    std::vector<BehavNode> behaviors;
+    std::vector<Array> arrays;
+    std::vector<InitialBlock> initials;
+
+    /// Primary ports in declaration order.
+    std::vector<SignalId> inputs;
+    std::vector<SignalId> outputs;
+
+    // ---- construction helpers -------------------------------------------
+    SignalId add_signal(std::string name, unsigned width, SignalKind kind,
+                        bool is_input = false, bool is_output = false);
+    ArrayId add_array(std::string name, unsigned width, uint32_t size);
+    /// Adds an RTL node driving `output`; rejects multiple drivers.
+    NodeId add_node(Op op, std::vector<SignalId> node_inputs, SignalId output,
+                    Value cval = Value(0, 1), unsigned imm = 0);
+    BehavId add_behavior(BehavNode behav);
+
+    // ---- lookup ----------------------------------------------------------
+    /// Signal id by flattened name; throws SimError if missing.
+    [[nodiscard]] SignalId signal_id(const std::string& name) const;
+    /// Like signal_id but returns kInvalidId instead of throwing.
+    [[nodiscard]] SignalId find_signal(const std::string& name) const;
+    [[nodiscard]] ArrayId find_array(const std::string& name) const;
+
+    /// Computes fanout lists, static read/write sets, state flags, and
+    /// combinational topological ranks. Idempotent; must be called after the
+    /// last structural mutation and before handing the design to an engine.
+    void finalize();
+
+    [[nodiscard]] bool finalized() const { return finalized_; }
+    /// Highest combinational rank + 1 (number of rank levels).
+    [[nodiscard]] uint32_t rank_levels() const { return rank_levels_; }
+    /// True when ranking found a combinational cycle; engines must then
+    /// iterate sweeps to a fixpoint instead of trusting one pass.
+    [[nodiscard]] bool has_comb_cycles() const { return has_comb_cycles_; }
+
+    // ---- statistics (for Table II-style reporting) ------------------------
+    [[nodiscard]] size_t num_rtl_nodes() const { return nodes.size(); }
+    [[nodiscard]] size_t num_behaviors() const { return behaviors.size(); }
+    /// A rough "cells" count: RTL nodes plus statement count of all
+    /// behavioral bodies (reported like Yosys cell counts in the paper).
+    [[nodiscard]] size_t cell_estimate() const;
+
+  private:
+    std::unordered_map<std::string, SignalId> signal_by_name_;
+    std::unordered_map<std::string, ArrayId> array_by_name_;
+    bool finalized_ = false;
+    bool has_comb_cycles_ = false;
+    uint32_t rank_levels_ = 1;
+};
+
+/// Collects every SignalId read by an expression (array index expressions
+/// included) into `out`, preserving first-seen order, no duplicates.
+void collect_expr_reads(const Expr& e, std::vector<SignalId>& out,
+                        std::vector<ArrayId>* array_reads = nullptr);
+
+/// Collects read/write sets of a statement tree.
+struct StmtSets {
+    std::vector<SignalId> reads;
+    std::vector<SignalId> writes;
+    std::vector<SignalId> blocking_writes;
+    std::vector<ArrayId> array_reads;
+    std::vector<ArrayId> array_writes;
+};
+void collect_stmt_sets(const Stmt& s, StmtSets& sets);
+
+}  // namespace eraser::rtl

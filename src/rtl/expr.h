@@ -1,0 +1,201 @@
+// Elaborated behavioral expressions and statements — the bodies of `always`
+// and `initial` blocks after elaboration (identifiers resolved to SignalIds,
+// parameters folded, widths fixed).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rtl/ops.h"
+#include "rtl/value.h"
+
+namespace eraser::rtl {
+
+using SignalId = uint32_t;
+using ArrayId = uint32_t;
+inline constexpr uint32_t kInvalidId = UINT32_MAX;
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// An elaborated expression tree node. `width` is the result width.
+/// Kinds:
+///  * Const     — literal in `cval`
+///  * SignalRef — reads `sig`
+///  * ArrayRead — reads `arr[args[0]]`
+///  * OpApply   — applies `op` to `args`; `imm` is the Slice lo-offset
+struct Expr {
+    enum class Kind : uint8_t { Const, SignalRef, ArrayRead, OpApply };
+
+    Kind kind = Kind::Const;
+    unsigned width = 1;
+    Value cval;                 // Kind::Const
+    SignalId sig = kInvalidId;  // Kind::SignalRef
+    ArrayId arr = kInvalidId;   // Kind::ArrayRead
+    Op op = Op::Copy;           // Kind::OpApply
+    unsigned imm = 0;           // Slice lo-offset
+    std::vector<ExprPtr> args;
+
+    static ExprPtr make_const(Value v) {
+        auto e = std::make_unique<Expr>();
+        e->kind = Kind::Const;
+        e->width = v.width();
+        e->cval = v;
+        return e;
+    }
+    static ExprPtr make_signal(SignalId s, unsigned width) {
+        auto e = std::make_unique<Expr>();
+        e->kind = Kind::SignalRef;
+        e->sig = s;
+        e->width = width;
+        return e;
+    }
+    static ExprPtr make_array_read(ArrayId a, ExprPtr index, unsigned width) {
+        auto e = std::make_unique<Expr>();
+        e->kind = Kind::ArrayRead;
+        e->arr = a;
+        e->width = width;
+        e->args.push_back(std::move(index));
+        return e;
+    }
+    static ExprPtr make_op(Op op, std::vector<ExprPtr> operands,
+                           unsigned width, unsigned imm = 0) {
+        auto e = std::make_unique<Expr>();
+        e->kind = Kind::OpApply;
+        e->op = op;
+        e->width = width;
+        e->imm = imm;
+        e->args = std::move(operands);
+        return e;
+    }
+
+    /// Deep copy (used when one parsed module is elaborated into several
+    /// instances).
+    [[nodiscard]] ExprPtr clone() const {
+        auto e = std::make_unique<Expr>();
+        e->kind = kind;
+        e->width = width;
+        e->cval = cval;
+        e->sig = sig;
+        e->arr = arr;
+        e->op = op;
+        e->imm = imm;
+        e->args.reserve(args.size());
+        for (const auto& a : args) e->args.push_back(a->clone());
+        return e;
+    }
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Left-hand side of a procedural assignment.
+///  * whole signal:        sig, lo=0, width=signal width, index==nullptr
+///  * constant part select: sig, lo, width
+///  * dynamic bit select:   sig, index expr (1-bit write)
+///  * array element:        arr + index expr
+struct LValue {
+    SignalId sig = kInvalidId;
+    ArrayId arr = kInvalidId;
+    unsigned lo = 0;
+    unsigned width = 0;
+    /// True when the write covers only part of the target signal (constant
+    /// part select or dynamic bit select) — such writes read-modify-write.
+    bool partial = false;
+    ExprPtr index;   // dynamic bit-select (signals) or element index (arrays)
+
+    [[nodiscard]] bool is_array() const { return arr != kInvalidId; }
+    [[nodiscard]] LValue clone() const {
+        LValue l;
+        l.sig = sig;
+        l.arr = arr;
+        l.lo = lo;
+        l.width = width;
+        l.partial = partial;
+        if (index) l.index = index->clone();
+        return l;
+    }
+};
+
+/// A `case` arm: one or more constant labels, or default (empty labels).
+struct CaseArm {
+    std::vector<Value> labels;
+    StmtPtr body;
+};
+
+/// Elaborated statement. Kinds:
+///  * Block  — sequential composition of `stmts`
+///  * Assign — `lhs = rhs` (blocking) or `lhs <= rhs` (nonblocking)
+///  * If     — `cond`, `then_stmt`, optional `else_stmt`
+///  * Case   — `subject`, `arms` (default arm has empty labels)
+struct Stmt {
+    enum class Kind : uint8_t { Block, Assign, If, Case };
+
+    Kind kind = Kind::Block;
+    // Block
+    std::vector<StmtPtr> stmts;
+    // Assign
+    LValue lhs;
+    ExprPtr rhs;
+    bool nonblocking = false;
+    // If
+    ExprPtr cond;
+    StmtPtr then_stmt;
+    StmtPtr else_stmt;
+    // Case
+    ExprPtr subject;
+    std::vector<CaseArm> arms;
+
+    static StmtPtr make_block(std::vector<StmtPtr> body) {
+        auto s = std::make_unique<Stmt>();
+        s->kind = Kind::Block;
+        s->stmts = std::move(body);
+        return s;
+    }
+    static StmtPtr make_assign(LValue lhs, ExprPtr rhs, bool nonblocking) {
+        auto s = std::make_unique<Stmt>();
+        s->kind = Kind::Assign;
+        s->lhs = std::move(lhs);
+        s->rhs = std::move(rhs);
+        s->nonblocking = nonblocking;
+        return s;
+    }
+    static StmtPtr make_if(ExprPtr cond, StmtPtr then_s, StmtPtr else_s) {
+        auto s = std::make_unique<Stmt>();
+        s->kind = Kind::If;
+        s->cond = std::move(cond);
+        s->then_stmt = std::move(then_s);
+        s->else_stmt = std::move(else_s);
+        return s;
+    }
+    static StmtPtr make_case(ExprPtr subject, std::vector<CaseArm> arms) {
+        auto s = std::make_unique<Stmt>();
+        s->kind = Kind::Case;
+        s->subject = std::move(subject);
+        s->arms = std::move(arms);
+        return s;
+    }
+
+    [[nodiscard]] StmtPtr clone() const {
+        auto s = std::make_unique<Stmt>();
+        s->kind = kind;
+        for (const auto& c : stmts) s->stmts.push_back(c->clone());
+        s->lhs = lhs.clone();
+        if (rhs) s->rhs = rhs->clone();
+        s->nonblocking = nonblocking;
+        if (cond) s->cond = cond->clone();
+        if (then_stmt) s->then_stmt = then_stmt->clone();
+        if (else_stmt) s->else_stmt = else_stmt->clone();
+        if (subject) s->subject = subject->clone();
+        for (const auto& a : arms) {
+            CaseArm arm;
+            arm.labels = a.labels;
+            if (a.body) arm.body = a.body->clone();
+            s->arms.push_back(std::move(arm));
+        }
+        return s;
+    }
+};
+
+}  // namespace eraser::rtl

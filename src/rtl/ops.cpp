@@ -1,0 +1,131 @@
+#include "rtl/ops.h"
+
+#include <cassert>
+
+namespace eraser::rtl {
+
+std::string_view op_name(Op op) {
+    switch (op) {
+        case Op::Const: return "const";
+        case Op::Copy: return "copy";
+        case Op::Add: return "add";
+        case Op::Sub: return "sub";
+        case Op::Mul: return "mul";
+        case Op::Div: return "div";
+        case Op::Mod: return "mod";
+        case Op::And: return "and";
+        case Op::Or: return "or";
+        case Op::Xor: return "xor";
+        case Op::Not: return "not";
+        case Op::Neg: return "neg";
+        case Op::LAnd: return "land";
+        case Op::LOr: return "lor";
+        case Op::LNot: return "lnot";
+        case Op::Eq: return "eq";
+        case Op::Ne: return "ne";
+        case Op::Lt: return "lt";
+        case Op::Le: return "le";
+        case Op::Gt: return "gt";
+        case Op::Ge: return "ge";
+        case Op::Shl: return "shl";
+        case Op::Shr: return "shr";
+        case Op::Mux: return "mux";
+        case Op::Concat: return "concat";
+        case Op::Slice: return "slice";
+        case Op::Index: return "index";
+        case Op::RedAnd: return "redand";
+        case Op::RedOr: return "redor";
+        case Op::RedXor: return "redxor";
+    }
+    return "?";
+}
+
+int op_arity(Op op) {
+    switch (op) {
+        case Op::Const: return 0;
+        case Op::Copy:
+        case Op::Not:
+        case Op::Neg:
+        case Op::LNot:
+        case Op::Slice:
+        case Op::RedAnd:
+        case Op::RedOr:
+        case Op::RedXor: return 1;
+        case Op::Mux: return 3;
+        case Op::Concat: return -1;
+        default: return 2;
+    }
+}
+
+Value eval_op(Op op, std::span<const Value> v, unsigned out_width,
+              unsigned imm) {
+    switch (op) {
+        case Op::Const:
+            assert(false && "Const has no operands to evaluate");
+            return Value(0, out_width);
+        case Op::Copy: return Value(v[0].bits(), out_width);
+        case Op::Add: return Value(v[0].bits() + v[1].bits(), out_width);
+        case Op::Sub: return Value(v[0].bits() - v[1].bits(), out_width);
+        case Op::Mul: return Value(v[0].bits() * v[1].bits(), out_width);
+        case Op::Div:
+            return Value(v[1].bits() == 0 ? ~uint64_t{0}
+                                          : v[0].bits() / v[1].bits(),
+                         out_width);
+        case Op::Mod:
+            return Value(v[1].bits() == 0 ? v[0].bits()
+                                          : v[0].bits() % v[1].bits(),
+                         out_width);
+        case Op::And: return Value(v[0].bits() & v[1].bits(), out_width);
+        case Op::Or: return Value(v[0].bits() | v[1].bits(), out_width);
+        case Op::Xor: return Value(v[0].bits() ^ v[1].bits(), out_width);
+        case Op::Not: return Value(~v[0].bits(), out_width);
+        case Op::Neg: return Value(~v[0].bits() + 1, out_width);
+        case Op::LAnd:
+            return Value(v[0].is_true() && v[1].is_true(), out_width);
+        case Op::LOr:
+            return Value(v[0].is_true() || v[1].is_true(), out_width);
+        case Op::LNot: return Value(!v[0].is_true(), out_width);
+        case Op::Eq: return Value(v[0].bits() == v[1].bits(), out_width);
+        case Op::Ne: return Value(v[0].bits() != v[1].bits(), out_width);
+        case Op::Lt: return Value(v[0].bits() < v[1].bits(), out_width);
+        case Op::Le: return Value(v[0].bits() <= v[1].bits(), out_width);
+        case Op::Gt: return Value(v[0].bits() > v[1].bits(), out_width);
+        case Op::Ge: return Value(v[0].bits() >= v[1].bits(), out_width);
+        case Op::Shl: {
+            const uint64_t sh = v[1].bits();
+            return Value(sh >= 64 ? 0 : v[0].bits() << sh, out_width);
+        }
+        case Op::Shr: {
+            const uint64_t sh = v[1].bits();
+            return Value(sh >= 64 ? 0 : v[0].bits() >> sh, out_width);
+        }
+        case Op::Mux:
+            return Value((v[0].is_true() ? v[1] : v[2]).bits(), out_width);
+        case Op::Concat: {
+            uint64_t acc = 0;
+            for (const Value& part : v) {   // MSB-first
+                acc = (acc << part.width()) | part.bits();
+            }
+            return Value(acc, out_width);
+        }
+        case Op::Slice: return Value(v[0].bits() >> imm, out_width);
+        case Op::Index: {
+            const uint64_t idx = v[1].bits();
+            const bool bit = idx < v[0].width() && v[0].bit(
+                                 static_cast<unsigned>(idx));
+            return Value(bit, out_width);
+        }
+        case Op::RedAnd:
+            return Value(v[0].bits() == Value::mask(v[0].width()), out_width);
+        case Op::RedOr: return Value(v[0].bits() != 0, out_width);
+        case Op::RedXor: {
+            uint64_t x = v[0].bits();
+            x ^= x >> 32; x ^= x >> 16; x ^= x >> 8;
+            x ^= x >> 4;  x ^= x >> 2;  x ^= x >> 1;
+            return Value(x & 1, out_width);
+        }
+    }
+    return Value(0, out_width);
+}
+
+}  // namespace eraser::rtl

@@ -1,0 +1,47 @@
+// Operator set shared by RTL nodes (elaborated continuous assignments) and
+// behavioral expressions, plus the single evaluation routine used by every
+// engine so semantics cannot drift between simulators.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "rtl/value.h"
+
+namespace eraser::rtl {
+
+/// Operation kinds. `Mux` is the ternary operator with operand order
+/// [sel, then, else]; `Concat` takes operands MSB-first; `Slice` and `Index`
+/// carry extra immediates in their node / expression.
+enum class Op : uint8_t {
+    Const,   // literal (no operands)
+    Copy,    // identity / width-adjusting copy
+    Add, Sub, Mul, Div, Mod,
+    And, Or, Xor, Not,
+    Neg,     // two's complement negation
+    LAnd, LOr, LNot,   // logical (1-bit result)
+    Eq, Ne, Lt, Le, Gt, Ge,   // unsigned comparisons (1-bit result)
+    Shl, Shr,
+    Mux,     // operands: [sel, then, else]
+    Concat,  // operands MSB-first
+    Slice,   // out = in[lo +: out_width], lo is an immediate
+    Index,   // out (1 bit) = vec[idx], operands: [vec, idx]; 0 if idx >= width
+    RedAnd, RedOr, RedXor,   // unary reductions (1-bit result)
+};
+
+/// Human-readable operator name (for dumps and error messages).
+[[nodiscard]] std::string_view op_name(Op op);
+
+/// Number of operands an op consumes, or -1 for variadic (Concat).
+[[nodiscard]] int op_arity(Op op);
+
+/// Evaluate an operator over already-width-adjusted operand values.
+///
+/// `out_width` is the result width decided at elaboration time. `imm` is the
+/// `lo` immediate for Slice and ignored otherwise. Division/modulo by zero
+/// yield all-ones / the dividend respectively (the common 2-state simulator
+/// convention; documented deviation from 4-state X).
+[[nodiscard]] Value eval_op(Op op, std::span<const Value> operands,
+                            unsigned out_width, unsigned imm = 0);
+
+}  // namespace eraser::rtl

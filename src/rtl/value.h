@@ -1,0 +1,76 @@
+// Value: the 2-state scalar value type used throughout the simulators.
+//
+// Deviation from 4-state Verilog (documented in DESIGN.md §2): there is no
+// X/Z. Registers initialize to zero. All engines (serial oracle, levelized,
+// concurrent) share these semantics, so cross-engine coverage comparisons are
+// exact.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace eraser {
+
+/// Maximum supported vector width in bits. Wider buses must be decomposed by
+/// the RTL author (the shipped benchmarks do this, e.g. SHA-256 exposes its
+/// digest as eight 32-bit ports).
+inline constexpr unsigned kMaxWidth = 64;
+
+/// A fixed-width unsigned bit vector, 1..64 bits, value always masked to its
+/// width. Arithmetic follows Verilog self-determined unsigned semantics for
+/// operands already extended to a common width by the elaborator.
+class Value {
+  public:
+    constexpr Value() = default;
+    constexpr Value(uint64_t bits, unsigned width)
+        : bits_(width >= kMaxWidth ? bits : bits & mask(width)),
+          width_(width) {
+        assert(width >= 1 && width <= kMaxWidth);
+    }
+
+    [[nodiscard]] constexpr uint64_t bits() const { return bits_; }
+    [[nodiscard]] constexpr unsigned width() const { return width_; }
+
+    [[nodiscard]] constexpr bool is_true() const { return bits_ != 0; }
+    [[nodiscard]] constexpr bool bit(unsigned i) const {
+        return ((bits_ >> i) & 1u) != 0;
+    }
+
+    /// The all-ones mask for a width (width in [1, 64]).
+    static constexpr uint64_t mask(unsigned width) {
+        return width >= kMaxWidth ? ~uint64_t{0}
+                                  : (uint64_t{1} << width) - 1;
+    }
+
+    /// Same bit pattern truncated/zero-extended to a new width.
+    [[nodiscard]] constexpr Value resized(unsigned new_width) const {
+        return Value(bits_, new_width);
+    }
+
+    /// Returns this value with bit range [lo, lo+w) replaced by src's low w
+    /// bits. Used for part-select writes.
+    [[nodiscard]] Value with_bits(unsigned lo, unsigned w, uint64_t src) const {
+        assert(lo + w <= width_);
+        const uint64_t field_mask = mask(w) << lo;
+        return Value((bits_ & ~field_mask) | ((src << lo) & field_mask),
+                     width_);
+    }
+
+    friend constexpr bool operator==(const Value& a, const Value& b) {
+        return a.bits_ == b.bits_ && a.width_ == b.width_;
+    }
+    friend constexpr bool operator!=(const Value& a, const Value& b) {
+        return !(a == b);
+    }
+
+    [[nodiscard]] std::string str() const {
+        return std::to_string(width_) + "'d" + std::to_string(bits_);
+    }
+
+  private:
+    uint64_t bits_ = 0;
+    unsigned width_ = 1;
+};
+
+}  // namespace eraser

@@ -1,0 +1,45 @@
+// EvalContext: the read/write environment a behavioral body executes against.
+// Engines provide implementations that read good state, fault-overlay state,
+// or audit shadows; the interpreter itself is engine-agnostic.
+#pragma once
+
+#include <cstdint>
+
+#include "rtl/expr.h"
+#include "rtl/value.h"
+
+namespace eraser::sim {
+
+/// Abstract environment for expression evaluation and statement execution.
+///
+/// Write conventions (identical in every engine, so coverage comparisons are
+/// exact):
+///  * Blocking writes become visible to *subsequent reads in the same
+///    activation* immediately, and to the rest of the design when the
+///    activation commits.
+///  * Nonblocking writes are buffered and committed in the NBA phase of the
+///    current time step.
+///  * Partial (bit/part-select) writes are resolved by the interpreter into
+///    full-width read-modify-write values before write_signal is called.
+class EvalContext {
+  public:
+    virtual ~EvalContext() = default;
+
+    [[nodiscard]] virtual Value read_signal(rtl::SignalId sig) = 0;
+    /// Out-of-range reads return 0 (2-state convention; real Verilog gives X).
+    [[nodiscard]] virtual Value read_array(rtl::ArrayId arr, uint64_t idx) = 0;
+
+    virtual void write_signal(rtl::SignalId sig, Value v,
+                              bool nonblocking) = 0;
+    virtual void write_array(rtl::ArrayId arr, uint64_t idx, Value v,
+                             bool nonblocking) = 0;
+
+    /// Read used by *partial nonblocking* writes (`q[3:0] <= x`): sees the
+    /// pending NBA value of this activation if one exists, so consecutive
+    /// partial NBA writes to one register compose instead of clobbering.
+    [[nodiscard]] virtual Value read_for_nba_update(rtl::SignalId sig) {
+        return read_signal(sig);
+    }
+};
+
+}  // namespace eraser::sim

@@ -1,0 +1,401 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/interp.h"
+#include "util/diagnostics.h"
+
+namespace eraser::sim {
+
+using rtl::ArrayId;
+using rtl::BehavNode;
+using rtl::Design;
+using rtl::EdgeKind;
+using rtl::RtlNode;
+using rtl::SignalId;
+
+namespace {
+constexpr int kMaxSettleRounds = 4096;
+}
+
+/// Activation-scoped evaluation context for the good network: blocking
+/// writes land in a local overlay (visible to subsequent reads of the same
+/// activation) and commit to the engine when the activation ends;
+/// nonblocking writes append to the engine's NBA buffers.
+class GoodActivationCtx final : public EvalContext {
+  public:
+    explicit GoodActivationCtx(SimEngine& eng) : eng_(eng) {}
+
+    Value read_signal(SignalId sig) override {
+        for (auto it = sig_overlay_.rbegin(); it != sig_overlay_.rend();
+             ++it) {
+            if (it->first == sig) return it->second;
+        }
+        return eng_.values_[sig];
+    }
+    Value read_array(ArrayId arr, uint64_t idx) override {
+        for (auto it = arr_overlay_.rbegin(); it != arr_overlay_.rend();
+             ++it) {
+            if (std::get<0>(*it) == arr && std::get<1>(*it) == idx) {
+                return Value(std::get<2>(*it), eng_.design_.arrays[arr].width);
+            }
+        }
+        const auto& storage = eng_.arrays_[arr];
+        const uint64_t raw = idx < storage.size() ? storage[idx] : 0;
+        return Value(raw, eng_.design_.arrays[arr].width);
+    }
+    void write_signal(SignalId sig, Value v, bool nonblocking) override {
+        if (nonblocking) {
+            eng_.nba_sigs_.emplace_back(sig, v);
+        } else {
+            for (auto& entry : sig_overlay_) {
+                if (entry.first == sig) {
+                    entry.second = v;
+                    return;
+                }
+            }
+            sig_overlay_.emplace_back(sig, v);
+        }
+    }
+    void write_array(ArrayId arr, uint64_t idx, Value v,
+                     bool nonblocking) override {
+        if (nonblocking) {
+            eng_.nba_arrs_.emplace_back(arr, idx, v.bits());
+        } else {
+            for (auto& entry : arr_overlay_) {
+                if (std::get<0>(entry) == arr && std::get<1>(entry) == idx) {
+                    std::get<2>(entry) = v.bits();
+                    return;
+                }
+            }
+            arr_overlay_.emplace_back(arr, idx, v.bits());
+        }
+    }
+
+    Value read_for_nba_update(SignalId sig) override {
+        for (auto it = eng_.nba_sigs_.rbegin(); it != eng_.nba_sigs_.rend();
+             ++it) {
+            if (it->first == sig) return it->second;
+        }
+        return read_signal(sig);
+    }
+
+    /// Publishes the blocking overlay to the engine, in program order.
+    void commit() {
+        for (const auto& [sig, v] : sig_overlay_) eng_.commit_signal(sig, v);
+        for (const auto& [arr, idx, val] : arr_overlay_) {
+            eng_.commit_array(arr, idx, val);
+        }
+        sig_overlay_.clear();
+        arr_overlay_.clear();
+    }
+
+  private:
+    SimEngine& eng_;
+    std::vector<std::pair<SignalId, Value>> sig_overlay_;
+    std::vector<std::tuple<ArrayId, uint64_t, uint64_t>> arr_overlay_;
+};
+
+SimEngine::SimEngine(const Design& design, SchedulingMode mode)
+    : design_(design), mode_(mode) {
+    if (!design.finalized()) {
+        throw SimError("design must be finalized before simulation");
+    }
+    values_.reserve(design.signals.size());
+    for (const auto& s : design.signals) values_.emplace_back(0, s.width);
+    arrays_.reserve(design.arrays.size());
+    for (const auto& a : design.arrays) {
+        arrays_.emplace_back(a.size, uint64_t{0});
+    }
+    force_mask_.assign(design.signals.size(), 0);
+    force_bits_.assign(design.signals.size(), 0);
+    edge_prev_.assign(design.signals.size(), 0);
+
+    const size_t num_elems = design.nodes.size() + design.behaviors.size();
+    in_queue_.assign(num_elems, false);
+    rank_buckets_.resize(design.rank_levels());
+    for (uint32_t n = 0; n < design.nodes.size(); ++n) {
+        level_order_.push_back(n);
+    }
+    for (uint32_t b = 0; b < design.behaviors.size(); ++b) {
+        if (design.behaviors[b].is_comb) {
+            level_order_.push_back(static_cast<uint32_t>(design.nodes.size()) +
+                                   b);
+        }
+    }
+    auto elem_rank = [&](uint32_t e) {
+        return e < design.nodes.size()
+                   ? design.nodes[e].rank
+                   : design.behaviors[e - design.nodes.size()].rank;
+    };
+    std::stable_sort(level_order_.begin(), level_order_.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return elem_rank(a) < elem_rank(b);
+                     });
+}
+
+void SimEngine::reset() {
+    for (size_t i = 0; i < values_.size(); ++i) {
+        values_[i] = Value(apply_force(static_cast<SignalId>(i), 0),
+                           design_.signals[i].width);
+    }
+    for (auto& a : arrays_) std::fill(a.begin(), a.end(), 0);
+    std::fill(edge_prev_.begin(), edge_prev_.end(), 0);
+    for (auto& bucket : rank_buckets_) bucket.clear();
+    std::fill(in_queue_.begin(), in_queue_.end(), false);
+    nba_sigs_.clear();
+    nba_arrs_.clear();
+    lowest_dirty_rank_ = 0;
+
+    run_initials();
+
+    // Everything is potentially stale after zeroing: schedule all elements.
+    for (uint32_t e : level_order_) schedule_element(e);
+    sweep_changed_ = true;
+    settle();
+    // Edge baselines start from the settled reset state.
+    for (size_t i = 0; i < values_.size(); ++i) {
+        edge_prev_[i] = values_[i].bits();
+    }
+}
+
+void SimEngine::run_initials() {
+    GoodActivationCtx ctx(*this);
+    for (const auto& init : design_.initials) {
+        if (init.body) exec_stmt(*init.body, design_, ctx);
+    }
+    ctx.commit();
+}
+
+void SimEngine::poke(SignalId sig, uint64_t value) {
+    commit_signal(sig, Value(value, design_.signals[sig].width));
+}
+
+uint64_t SimEngine::peek_array(ArrayId arr, uint64_t idx) const {
+    const auto& storage = arrays_[arr];
+    return idx < storage.size() ? storage[idx] : 0;
+}
+
+void SimEngine::load_array(ArrayId arr, std::span<const uint64_t> words) {
+    auto& storage = arrays_[arr];
+    const uint64_t mask = Value::mask(design_.arrays[arr].width);
+    for (size_t i = 0; i < words.size() && i < storage.size(); ++i) {
+        storage[i] = words[i] & mask;
+    }
+    for (rtl::BehavId b : design_.arrays[arr].reader_behavs) {
+        schedule_element(static_cast<uint32_t>(design_.nodes.size()) + b);
+    }
+}
+
+void SimEngine::force_bits(SignalId sig, uint64_t mask, uint64_t bits) {
+    force_mask_[sig] = mask;
+    force_bits_[sig] = bits & mask;
+    commit_signal(sig, values_[sig]);   // re-commit applies the force
+    // commit_signal is a no-op when the forced value equals the current
+    // value, but fanout must still be consistent — force only changes future
+    // commits in that case, so nothing else to do.
+}
+
+void SimEngine::release(SignalId sig) {
+    force_mask_[sig] = 0;
+    force_bits_[sig] = 0;
+}
+
+void SimEngine::clear_forces() {
+    std::fill(force_mask_.begin(), force_mask_.end(), 0);
+    std::fill(force_bits_.begin(), force_bits_.end(), 0);
+}
+
+void SimEngine::commit_signal(SignalId sig, Value v) {
+    const Value forced(apply_force(sig, v.bits()),
+                       design_.signals[sig].width);
+    if (values_[sig] == forced) return;
+    values_[sig] = forced;
+    schedule_signal_fanout(sig);
+}
+
+void SimEngine::commit_array(ArrayId arr, uint64_t idx, uint64_t val) {
+    auto& storage = arrays_[arr];
+    if (idx >= storage.size()) return;
+    const uint64_t masked = val & Value::mask(design_.arrays[arr].width);
+    if (storage[idx] == masked) return;
+    storage[idx] = masked;
+    for (rtl::BehavId b : design_.arrays[arr].reader_behavs) {
+        schedule_element(static_cast<uint32_t>(design_.nodes.size()) + b);
+    }
+}
+
+void SimEngine::schedule_signal_fanout(SignalId sig) {
+    sweep_changed_ = true;
+    if (mode_ == SchedulingMode::Levelized) return;   // sweeps need no queue
+    const rtl::Signal& s = design_.signals[sig];
+    for (rtl::NodeId n : s.fanout_nodes) schedule_element(n);
+    for (rtl::BehavId b : s.fanout_comb) {
+        schedule_element(static_cast<uint32_t>(design_.nodes.size()) + b);
+    }
+}
+
+void SimEngine::schedule_element(uint32_t elem) {
+    if (mode_ != SchedulingMode::EventDriven) {
+        sweep_changed_ = true;
+        return;
+    }
+    if (in_queue_[elem]) return;
+    in_queue_[elem] = true;
+    const uint32_t rank =
+        elem < design_.nodes.size()
+            ? design_.nodes[elem].rank
+            : design_.behaviors[elem - design_.nodes.size()].rank;
+    rank_buckets_[rank].push_back(elem);
+    lowest_dirty_rank_ = std::min(lowest_dirty_rank_, rank);
+}
+
+void SimEngine::eval_element(uint32_t elem) {
+    if (elem < design_.nodes.size()) {
+        const RtlNode& n = design_.nodes[elem];
+        ++node_evals_;
+        if (n.op == rtl::Op::Const) {
+            commit_signal(n.output, n.cval.resized(
+                                        design_.signals[n.output].width));
+            return;
+        }
+        Value vals[8];
+        std::vector<Value> big;
+        std::span<const Value> operands;
+        if (n.inputs.size() <= 8) {
+            for (size_t i = 0; i < n.inputs.size(); ++i) {
+                vals[i] = values_[n.inputs[i]];
+            }
+            operands = std::span<const Value>(vals, n.inputs.size());
+        } else {
+            big.reserve(n.inputs.size());
+            for (SignalId in : n.inputs) big.push_back(values_[in]);
+            operands = big;
+        }
+        commit_signal(n.output,
+                      rtl::eval_op(n.op, operands,
+                                   design_.signals[n.output].width, n.imm));
+        return;
+    }
+    const BehavNode& b = design_.behaviors[elem - design_.nodes.size()];
+    ++behavior_execs_;
+    GoodActivationCtx ctx(*this);
+    if (b.body) exec_stmt(*b.body, design_, ctx);
+    ctx.commit();
+}
+
+void SimEngine::comb_propagate() {
+    if (mode_ == SchedulingMode::Levelized) {
+        if (!sweep_changed_) return;
+        if (!design_.has_comb_cycles()) {
+            // Verilator's execution model: one statically ordered pass is
+            // exact for an acyclic combinational graph.
+            for (uint32_t e : level_order_) eval_element(e);
+            sweep_changed_ = false;
+            return;
+        }
+        int sweeps = 0;
+        while (sweep_changed_) {
+            sweep_changed_ = false;
+            for (uint32_t e : level_order_) eval_element(e);
+            if (++sweeps > kMaxSettleRounds) {
+                throw SimError(
+                    "combinational loop did not converge (levelized)");
+            }
+        }
+        return;
+    }
+    // Drain buckets lowest rank first; evaluating an element may re-dirty
+    // any rank (combinational cycles), so always resume from the lowest
+    // dirty rank. Bounded by a batch guard against non-converging loops.
+    int batches = 0;
+    for (;;) {
+        uint32_t r = lowest_dirty_rank_;
+        while (r < rank_buckets_.size() && rank_buckets_[r].empty()) ++r;
+        if (r >= rank_buckets_.size()) break;
+        lowest_dirty_rank_ = r;
+        std::vector<uint32_t> batch;
+        batch.swap(rank_buckets_[r]);
+        for (uint32_t e : batch) {
+            in_queue_[e] = false;
+            eval_element(e);
+        }
+        if (++batches > kMaxSettleRounds * 64) {
+            throw SimError("combinational loop did not converge (event)");
+        }
+    }
+    lowest_dirty_rank_ = static_cast<uint32_t>(rank_buckets_.size());
+}
+
+bool SimEngine::run_edge_round() {
+    // Postponed edge detection (the fake-event fix): sample every watched
+    // signal only now, after the combinational fixpoint.
+    std::vector<rtl::BehavId> activated;
+    for (SignalId sig = 0; sig < design_.signals.size(); ++sig) {
+        const rtl::Signal& s = design_.signals[sig];
+        if (s.fanout_edges.empty()) continue;
+        const uint64_t prev = edge_prev_[sig];
+        const uint64_t cur = values_[sig].bits();
+        if (prev == cur) continue;
+        edge_prev_[sig] = cur;
+        const bool pos = (prev & 1) == 0 && (cur & 1) == 1;
+        const bool neg = (prev & 1) == 1 && (cur & 1) == 0;
+        for (rtl::BehavId b : s.fanout_edges) {
+            for (const rtl::EdgeSpec& e : design_.behaviors[b].edges) {
+                if (e.sig != sig) continue;
+                if ((e.kind == EdgeKind::Pos && pos) ||
+                    (e.kind == EdgeKind::Neg && neg)) {
+                    if (std::find(activated.begin(), activated.end(), b) ==
+                        activated.end()) {
+                        activated.push_back(b);
+                    }
+                }
+            }
+        }
+    }
+    if (activated.empty()) return false;
+    std::sort(activated.begin(), activated.end());
+    for (rtl::BehavId b : activated) {
+        ++behavior_execs_;
+        GoodActivationCtx ctx(*this);
+        if (design_.behaviors[b].body) {
+            exec_stmt(*design_.behaviors[b].body, design_, ctx);
+        }
+        ctx.commit();
+    }
+    return true;
+}
+
+bool SimEngine::apply_nba() {
+    if (nba_sigs_.empty() && nba_arrs_.empty()) return false;
+    std::vector<std::pair<SignalId, Value>> sigs;
+    sigs.swap(nba_sigs_);
+    std::vector<std::tuple<ArrayId, uint64_t, uint64_t>> arrs;
+    arrs.swap(nba_arrs_);
+    for (const auto& [sig, v] : sigs) commit_signal(sig, v);
+    for (const auto& [arr, idx, val] : arrs) commit_array(arr, idx, val);
+    return true;
+}
+
+void SimEngine::settle() {
+    int rounds = 0;
+    for (;;) {
+        comb_propagate();
+        const bool ran_seq = run_edge_round();
+        const bool wrote_nba = apply_nba();
+        if (!ran_seq && !wrote_nba) break;
+        if (++rounds > kMaxSettleRounds) {
+            throw SimError("settle did not reach quiescence");
+        }
+    }
+}
+
+void SimEngine::tick(SignalId clk) {
+    poke(clk, 1);
+    settle();
+    poke(clk, 0);
+    settle();
+}
+
+}  // namespace eraser::sim

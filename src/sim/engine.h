@@ -1,0 +1,112 @@
+// SimEngine: the fault-free ("good") RTL simulator, also used fault-by-fault
+// by the serial baselines via bit-granular force (stuck-at injection).
+//
+// Two interchangeable combinational scheduling strategies:
+//  * EventDriven — rank-ordered dirty worklist (Icarus-style event engine);
+//  * Levelized   — full static-rank sweeps per delta (Verilator-style
+//    compiled-simulation execution model, the paper's "VFsim" substrate).
+//
+// Time-step semantics (shared with the concurrent engine so coverage
+// comparisons are exact):
+//   settle():
+//     repeat
+//       1. combinational fixpoint (RTL nodes + comb always blocks);
+//       2. postponed edge detection on all watched signals, then execution
+//          of the activated sequential blocks (the paper's fake-event fix:
+//          event controls are sampled only after all blocking events of the
+//          delta have been processed);
+//       3. NBA commit;
+//     until quiescent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rtl/design.h"
+#include "sim/context.h"
+
+namespace eraser::sim {
+
+enum class SchedulingMode : uint8_t { EventDriven, Levelized };
+
+class SimEngine {
+  public:
+    explicit SimEngine(const rtl::Design& design,
+                       SchedulingMode mode = SchedulingMode::EventDriven);
+
+    /// Zeroes all state, re-applies forces, runs `initial` blocks, settles.
+    void reset();
+
+    /// Drives a primary input (or any undriven signal) and schedules fanout.
+    void poke(rtl::SignalId sig, uint64_t value);
+    [[nodiscard]] Value peek(rtl::SignalId sig) const {
+        return values_[sig];
+    }
+    [[nodiscard]] uint64_t peek_array(rtl::ArrayId arr, uint64_t idx) const;
+    /// Backdoor memory load (e.g. CPU instruction memories).
+    void load_array(rtl::ArrayId arr, std::span<const uint64_t> words);
+
+    /// Pins the bits selected by `mask` to `bits` until release; models
+    /// stuck-at faults exactly like an Iverilog `force`.
+    void force_bits(rtl::SignalId sig, uint64_t mask, uint64_t bits);
+    void release(rtl::SignalId sig);
+    /// Releases every force (serial campaigns reuse one engine per fault).
+    void clear_forces();
+
+    /// Propagates until the design is quiescent.
+    void settle();
+
+    /// Full clock cycle: clk=1, settle, clk=0, settle.
+    void tick(rtl::SignalId clk);
+
+    [[nodiscard]] const rtl::Design& design() const { return design_; }
+
+    // Evaluation counters (performance reporting).
+    [[nodiscard]] uint64_t node_evals() const { return node_evals_; }
+    [[nodiscard]] uint64_t behavior_execs() const { return behavior_execs_; }
+
+  private:
+    friend class GoodActivationCtx;
+
+    void commit_signal(rtl::SignalId sig, Value v);
+    void commit_array(rtl::ArrayId arr, uint64_t idx, uint64_t val);
+    void schedule_element(uint32_t elem);
+    void schedule_signal_fanout(rtl::SignalId sig);
+    void eval_element(uint32_t elem);
+    void comb_propagate();
+    bool run_edge_round();
+    bool apply_nba();
+    void run_initials();
+
+    [[nodiscard]] uint64_t apply_force(rtl::SignalId sig, uint64_t v) const {
+        return (v & ~force_mask_[sig]) | force_bits_[sig];
+    }
+
+    const rtl::Design& design_;
+    SchedulingMode mode_;
+
+    std::vector<Value> values_;
+    std::vector<std::vector<uint64_t>> arrays_;
+    std::vector<uint64_t> force_mask_;
+    std::vector<uint64_t> force_bits_;
+    /// Last value sampled by edge detection, per signal (only meaningful for
+    /// signals with sequential watchers).
+    std::vector<uint64_t> edge_prev_;
+
+    // Scheduling. Elements are RTL nodes [0, N) then comb behaviors
+    // [N, N + B) (same indexing as Design::finalize's rank computation).
+    std::vector<std::vector<uint32_t>> rank_buckets_;
+    std::vector<bool> in_queue_;
+    std::vector<uint32_t> level_order_;   // all comb elements by (rank, id)
+    bool sweep_changed_ = false;
+    uint32_t lowest_dirty_rank_ = 0;
+
+    std::vector<std::pair<rtl::SignalId, Value>> nba_sigs_;
+    std::vector<std::tuple<rtl::ArrayId, uint64_t, uint64_t>> nba_arrs_;
+
+    uint64_t node_evals_ = 0;
+    uint64_t behavior_execs_ = 0;
+};
+
+}  // namespace eraser::sim

@@ -1,0 +1,111 @@
+#include "sim/interp.h"
+
+#include <cassert>
+
+#include "util/diagnostics.h"
+
+namespace eraser::sim {
+
+using rtl::Expr;
+using rtl::Op;
+using rtl::Stmt;
+
+Value eval_expr(const Expr& e, EvalContext& ctx) {
+    switch (e.kind) {
+        case Expr::Kind::Const: return e.cval;
+        case Expr::Kind::SignalRef:
+            return ctx.read_signal(e.sig).resized(e.width);
+        case Expr::Kind::ArrayRead: {
+            const Value idx = eval_expr(*e.args[0], ctx);
+            return ctx.read_array(e.arr, idx.bits()).resized(e.width);
+        }
+        case Expr::Kind::OpApply: {
+            // Operand vector on the stack; expressions are shallow enough
+            // that a fixed small buffer covers almost all nodes.
+            std::vector<Value> vals;
+            vals.reserve(e.args.size());
+            for (const auto& a : e.args) vals.push_back(eval_expr(*a, ctx));
+            return rtl::eval_op(e.op, vals, e.width, e.imm);
+        }
+    }
+    return Value(0, e.width);
+}
+
+void exec_assign(const Stmt& s, const rtl::Design& design, EvalContext& ctx) {
+    assert(s.kind == Stmt::Kind::Assign);
+    const Value rhs = eval_expr(*s.rhs, ctx);
+    const rtl::LValue& lhs = s.lhs;
+
+    if (lhs.is_array()) {
+        const Value idx = eval_expr(*lhs.index, ctx);
+        if (idx.bits() >= design.arrays[lhs.arr].size) return;  // no-op OOB
+        ctx.write_array(lhs.arr, idx.bits(),
+                        rhs.resized(design.arrays[lhs.arr].width),
+                        s.nonblocking);
+        return;
+    }
+
+    const unsigned sig_width = design.signals[lhs.sig].width;
+    if (!lhs.partial) {
+        ctx.write_signal(lhs.sig, rhs.resized(sig_width), s.nonblocking);
+        return;
+    }
+    // Partial write: read-modify-write against the current view (for NBA
+    // writes, against the pending NBA value of this activation).
+    const Value cur = s.nonblocking ? ctx.read_for_nba_update(lhs.sig)
+                                    : ctx.read_signal(lhs.sig);
+    if (lhs.index) {
+        const Value idx = eval_expr(*lhs.index, ctx);
+        if (idx.bits() >= sig_width) return;  // no-op out-of-range bit write
+        ctx.write_signal(
+            lhs.sig,
+            cur.with_bits(static_cast<unsigned>(idx.bits()), 1, rhs.bits()),
+            s.nonblocking);
+    } else {
+        ctx.write_signal(lhs.sig, cur.with_bits(lhs.lo, lhs.width, rhs.bits()),
+                         s.nonblocking);
+    }
+}
+
+size_t pick_case_arm(const std::vector<rtl::CaseArm>& arms,
+                     const Value& subject) {
+    size_t default_arm = arms.size();
+    for (size_t i = 0; i < arms.size(); ++i) {
+        if (arms[i].labels.empty()) {
+            default_arm = i;
+            continue;
+        }
+        for (const Value& label : arms[i].labels) {
+            if (label.bits() == subject.bits()) return i;
+        }
+    }
+    return default_arm;
+}
+
+void exec_stmt(const Stmt& s, const rtl::Design& design, EvalContext& ctx) {
+    switch (s.kind) {
+        case Stmt::Kind::Block:
+            for (const auto& c : s.stmts) exec_stmt(*c, design, ctx);
+            break;
+        case Stmt::Kind::Assign: exec_assign(s, design, ctx); break;
+        case Stmt::Kind::If: {
+            const Value c = eval_expr(*s.cond, ctx);
+            if (c.is_true()) {
+                if (s.then_stmt) exec_stmt(*s.then_stmt, design, ctx);
+            } else if (s.else_stmt) {
+                exec_stmt(*s.else_stmt, design, ctx);
+            }
+            break;
+        }
+        case Stmt::Kind::Case: {
+            const Value subj = eval_expr(*s.subject, ctx);
+            const size_t arm = pick_case_arm(s.arms, subj);
+            if (arm < s.arms.size() && s.arms[arm].body) {
+                exec_stmt(*s.arms[arm].body, design, ctx);
+            }
+            break;
+        }
+    }
+}
+
+}  // namespace eraser::sim

@@ -1,0 +1,30 @@
+// Interpreter over elaborated expressions and statements. One implementation
+// shared by the good simulator, the serial fault simulators, and the faulty
+// overlay execution of the concurrent engine.
+#pragma once
+
+#include "rtl/design.h"
+#include "sim/context.h"
+
+namespace eraser::sim {
+
+/// Evaluates an expression in `ctx`. Result is masked to e.width.
+[[nodiscard]] Value eval_expr(const rtl::Expr& e, EvalContext& ctx);
+
+/// Executes a statement tree in `ctx` (see EvalContext for the write
+/// conventions). `design` supplies signal widths for partial-write merging.
+void exec_stmt(const rtl::Stmt& s, const rtl::Design& design,
+               EvalContext& ctx);
+
+/// Executes a single Assign statement (exposed separately because the CFG
+/// executor drives assigns one at a time).
+void exec_assign(const rtl::Stmt& s, const rtl::Design& design,
+                 EvalContext& ctx);
+
+/// Picks the case arm index for a subject value: first arm with a matching
+/// label, else the default arm (empty labels), else `arms.size()` meaning
+/// "no arm executes".
+[[nodiscard]] size_t pick_case_arm(const std::vector<rtl::CaseArm>& arms,
+                                   const Value& subject);
+
+}  // namespace eraser::sim

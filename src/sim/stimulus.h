@@ -1,0 +1,48 @@
+// Stimulus: engine-agnostic testbench description. A stimulus drives primary
+// inputs cycle by cycle through the DriveHandle interface; the same stimulus
+// object is replayed identically by the good simulator, the serial fault
+// simulators, and the concurrent engine, which is what makes cross-engine
+// coverage comparison meaningful.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rtl/design.h"
+
+namespace eraser::sim {
+
+/// What a stimulus is allowed to do to a simulator: drive inputs and
+/// backdoor-load memories. Implemented by each engine's harness.
+class DriveHandle {
+  public:
+    virtual ~DriveHandle() = default;
+    virtual void set_input(rtl::SignalId sig, uint64_t value) = 0;
+    virtual void load_array(rtl::ArrayId arr,
+                            std::span<const uint64_t> words) = 0;
+};
+
+/// A deterministic input sequence for one benchmark.
+class Stimulus {
+  public:
+    virtual ~Stimulus() = default;
+
+    /// Resolve signal names once; called before the run.
+    virtual void bind(const rtl::Design& design) = 0;
+
+    /// Name of the primary clock the harness toggles each cycle.
+    [[nodiscard]] virtual std::string clock_name() const { return "clk"; }
+
+    [[nodiscard]] virtual uint32_t num_cycles() const = 0;
+
+    /// One-time setup after reset (e.g. program loads into memories).
+    virtual void initialize(DriveHandle&) {}
+
+    /// Drives the inputs for `cycle` (applied while the clock is low, before
+    /// the rising edge).
+    virtual void apply(uint32_t cycle, DriveHandle&) = 0;
+};
+
+}  // namespace eraser::sim

@@ -1,0 +1,81 @@
+#include "sim/vcd.h"
+
+namespace eraser::sim {
+
+namespace {
+
+/// Hierarchy-safe identifier: VCD tools accept most printable names, but
+/// dots separate scopes — replace them.
+std::string flat_name(const std::string& name) {
+    std::string out = name;
+    for (char& c : out) {
+        if (c == '.' || c == ' ') c = '_';
+    }
+    return out;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(std::ostream& out, const rtl::Design& design,
+                     std::vector<rtl::SignalId> signals)
+    : out_(out), design_(design), traced_(std::move(signals)) {
+    if (traced_.empty()) {
+        traced_.reserve(design.signals.size());
+        for (rtl::SignalId s = 0; s < design.signals.size(); ++s) {
+            traced_.push_back(s);
+        }
+    }
+    codes_.reserve(traced_.size());
+    for (size_t i = 0; i < traced_.size(); ++i) {
+        codes_.push_back(id_code(i));
+    }
+    last_.assign(traced_.size(), 0);
+    ever_dumped_.assign(traced_.size(), false);
+
+    out_ << "$timescale 1ns $end\n";
+    out_ << "$scope module " << flat_name(design.top_name) << " $end\n";
+    for (size_t i = 0; i < traced_.size(); ++i) {
+        const rtl::Signal& s = design.signals[traced_[i]];
+        out_ << "$var wire " << s.width << " " << codes_[i] << " "
+             << flat_name(s.name);
+        if (s.width > 1) out_ << " [" << (s.width - 1) << ":0]";
+        out_ << " $end\n";
+    }
+    out_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+std::string VcdWriter::id_code(size_t index) {
+    // Printable-character base-94 codes starting at '!'.
+    std::string code;
+    do {
+        code.push_back(static_cast<char>('!' + index % 94));
+        index /= 94;
+    } while (index > 0);
+    return code;
+}
+
+void VcdWriter::sample(const SimEngine& engine, uint64_t time) {
+    bool stamped = false;
+    for (size_t i = 0; i < traced_.size(); ++i) {
+        const Value v = engine.peek(traced_[i]);
+        if (ever_dumped_[i] && v.bits() == last_[i]) continue;
+        if (!stamped) {
+            out_ << "#" << time << "\n";
+            stamped = true;
+        }
+        const rtl::Signal& s = design_.signals[traced_[i]];
+        if (s.width == 1) {
+            out_ << (v.bits() & 1) << codes_[i] << "\n";
+        } else {
+            out_ << "b";
+            for (unsigned bit = s.width; bit-- > 0;) {
+                out_ << (v.bit(bit) ? '1' : '0');
+            }
+            out_ << " " << codes_[i] << "\n";
+        }
+        last_[i] = v.bits();
+        ever_dumped_[i] = true;
+    }
+}
+
+}  // namespace eraser::sim

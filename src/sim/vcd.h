@@ -1,0 +1,43 @@
+// VCD (Value Change Dump) tracing for good simulation — lets users inspect
+// benchmark behaviour and debug testbenches in any waveform viewer.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rtl/design.h"
+#include "sim/engine.h"
+
+namespace eraser::sim {
+
+/// Streams IEEE-1364 VCD. Usage:
+///
+///   VcdWriter vcd(out, design);         // header with all signals
+///   loop {
+///       engine.tick(clk);
+///       vcd.sample(engine, time);       // emits changed values only
+///   }
+class VcdWriter {
+  public:
+    /// Writes the header and `$dumpvars` section. When `signals` is empty,
+    /// every design signal is traced; otherwise only the listed ids.
+    VcdWriter(std::ostream& out, const rtl::Design& design,
+              std::vector<rtl::SignalId> signals = {});
+
+    /// Emits a timestamp and all value changes since the last sample.
+    void sample(const SimEngine& engine, uint64_t time);
+
+  private:
+    [[nodiscard]] static std::string id_code(size_t index);
+    void emit_value(rtl::SignalId sig, const Value& v);
+
+    std::ostream& out_;
+    const rtl::Design& design_;
+    std::vector<rtl::SignalId> traced_;
+    std::vector<std::string> codes_;     // parallel to traced_
+    std::vector<uint64_t> last_;         // last dumped value
+    std::vector<bool> ever_dumped_;
+};
+
+}  // namespace eraser::sim

@@ -1,0 +1,152 @@
+// Tiny instruction encoders for the CPU benchmarks' test programs.
+// RV32I subset (sodor / riscv_mini / picorv32) and MIPS-I subset (mips_cpu).
+#pragma once
+
+#include <cstdint>
+
+namespace eraser::suite::rv32 {
+
+constexpr uint32_t r_type(unsigned f7, unsigned rs2, unsigned rs1,
+                          unsigned f3, unsigned rd, unsigned op) {
+    return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) |
+           op;
+}
+constexpr uint32_t i_type(int32_t imm, unsigned rs1, unsigned f3, unsigned rd,
+                          unsigned op) {
+    return (static_cast<uint32_t>(imm & 0xFFF) << 20) | (rs1 << 15) |
+           (f3 << 12) | (rd << 7) | op;
+}
+
+constexpr uint32_t addi(unsigned rd, unsigned rs1, int32_t imm) {
+    return i_type(imm, rs1, 0b000, rd, 0x13);
+}
+constexpr uint32_t xori(unsigned rd, unsigned rs1, int32_t imm) {
+    return i_type(imm, rs1, 0b100, rd, 0x13);
+}
+constexpr uint32_t ori(unsigned rd, unsigned rs1, int32_t imm) {
+    return i_type(imm, rs1, 0b110, rd, 0x13);
+}
+constexpr uint32_t andi(unsigned rd, unsigned rs1, int32_t imm) {
+    return i_type(imm, rs1, 0b111, rd, 0x13);
+}
+constexpr uint32_t slli(unsigned rd, unsigned rs1, unsigned sh) {
+    return i_type(static_cast<int32_t>(sh), rs1, 0b001, rd, 0x13);
+}
+constexpr uint32_t srli(unsigned rd, unsigned rs1, unsigned sh) {
+    return i_type(static_cast<int32_t>(sh), rs1, 0b101, rd, 0x13);
+}
+constexpr uint32_t add(unsigned rd, unsigned rs1, unsigned rs2) {
+    return r_type(0, rs2, rs1, 0b000, rd, 0x33);
+}
+constexpr uint32_t sub(unsigned rd, unsigned rs1, unsigned rs2) {
+    return r_type(0x20, rs2, rs1, 0b000, rd, 0x33);
+}
+constexpr uint32_t xor_(unsigned rd, unsigned rs1, unsigned rs2) {
+    return r_type(0, rs2, rs1, 0b100, rd, 0x33);
+}
+constexpr uint32_t or_(unsigned rd, unsigned rs1, unsigned rs2) {
+    return r_type(0, rs2, rs1, 0b110, rd, 0x33);
+}
+constexpr uint32_t and_(unsigned rd, unsigned rs1, unsigned rs2) {
+    return r_type(0, rs2, rs1, 0b111, rd, 0x33);
+}
+constexpr uint32_t slt(unsigned rd, unsigned rs1, unsigned rs2) {
+    return r_type(0, rs2, rs1, 0b010, rd, 0x33);
+}
+constexpr uint32_t lui(unsigned rd, uint32_t imm20) {
+    return (imm20 << 12) | (rd << 7) | 0x37;
+}
+constexpr uint32_t lw(unsigned rd, unsigned rs1, int32_t off) {
+    return i_type(off, rs1, 0b010, rd, 0x03);
+}
+constexpr uint32_t sw(unsigned rs2, unsigned rs1, int32_t off) {
+    return (static_cast<uint32_t>((off >> 5) & 0x7F) << 25) | (rs2 << 20) |
+           (rs1 << 15) | (0b010 << 12) |
+           (static_cast<uint32_t>(off & 0x1F) << 7) | 0x23;
+}
+constexpr uint32_t branch(unsigned f3, unsigned rs1, unsigned rs2,
+                          int32_t off) {
+    const uint32_t u = static_cast<uint32_t>(off);
+    return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3F) << 25) |
+           (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (((u >> 1) & 0xF) << 8) |
+           (((u >> 11) & 1) << 7) | 0x63;
+}
+constexpr uint32_t beq(unsigned rs1, unsigned rs2, int32_t off) {
+    return branch(0b000, rs1, rs2, off);
+}
+constexpr uint32_t bne(unsigned rs1, unsigned rs2, int32_t off) {
+    return branch(0b001, rs1, rs2, off);
+}
+constexpr uint32_t blt(unsigned rs1, unsigned rs2, int32_t off) {
+    return branch(0b100, rs1, rs2, off);
+}
+constexpr uint32_t jal(unsigned rd, int32_t off) {
+    const uint32_t u = static_cast<uint32_t>(off);
+    return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3FF) << 21) |
+           (((u >> 11) & 1) << 20) | (((u >> 12) & 0xFF) << 12) | (rd << 7) |
+           0x6F;
+}
+
+}  // namespace eraser::suite::rv32
+
+namespace eraser::suite::mips {
+
+constexpr uint32_t r_type(unsigned rs, unsigned rt, unsigned rd,
+                          unsigned funct) {
+    return (rs << 21) | (rt << 16) | (rd << 11) | funct;
+}
+constexpr uint32_t i_type(unsigned op, unsigned rs, unsigned rt,
+                          int32_t imm) {
+    return (op << 26) | (rs << 21) | (rt << 16) |
+           (static_cast<uint32_t>(imm) & 0xFFFF);
+}
+
+constexpr uint32_t nop() { return 0; }
+constexpr uint32_t addu(unsigned rd, unsigned rs, unsigned rt) {
+    return r_type(rs, rt, rd, 0x21);
+}
+constexpr uint32_t subu(unsigned rd, unsigned rs, unsigned rt) {
+    return r_type(rs, rt, rd, 0x23);
+}
+constexpr uint32_t and_(unsigned rd, unsigned rs, unsigned rt) {
+    return r_type(rs, rt, rd, 0x24);
+}
+constexpr uint32_t or_(unsigned rd, unsigned rs, unsigned rt) {
+    return r_type(rs, rt, rd, 0x25);
+}
+constexpr uint32_t xor_(unsigned rd, unsigned rs, unsigned rt) {
+    return r_type(rs, rt, rd, 0x26);
+}
+constexpr uint32_t sltu(unsigned rd, unsigned rs, unsigned rt) {
+    return r_type(rs, rt, rd, 0x2B);
+}
+constexpr uint32_t addiu(unsigned rt, unsigned rs, int32_t imm) {
+    return i_type(0x09, rs, rt, imm);
+}
+constexpr uint32_t andi(unsigned rt, unsigned rs, int32_t imm) {
+    return i_type(0x0C, rs, rt, imm);
+}
+constexpr uint32_t ori(unsigned rt, unsigned rs, int32_t imm) {
+    return i_type(0x0D, rs, rt, imm);
+}
+constexpr uint32_t lui(unsigned rt, int32_t imm) {
+    return i_type(0x0F, 0, rt, imm);
+}
+constexpr uint32_t lw(unsigned rt, int32_t off, unsigned rs) {
+    return i_type(0x23, rs, rt, off);
+}
+constexpr uint32_t sw(unsigned rt, int32_t off, unsigned rs) {
+    return i_type(0x2B, rs, rt, off);
+}
+/// off counts instructions from the delay-slot position (standard MIPS).
+constexpr uint32_t beq(unsigned rs, unsigned rt, int32_t off) {
+    return i_type(0x04, rs, rt, off);
+}
+constexpr uint32_t bne(unsigned rs, unsigned rt, int32_t off) {
+    return i_type(0x05, rs, rt, off);
+}
+constexpr uint32_t j(uint32_t word_target) {
+    return (0x02u << 26) | (word_target & 0x03FFFFFF);
+}
+
+}  // namespace eraser::suite::mips

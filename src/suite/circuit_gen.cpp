@@ -1,0 +1,343 @@
+// The generator emits Verilog *text* and runs it through the front end, so
+// fuzzing covers the lexer/parser/elaborator as well as the engines.
+#include "suite/circuit_gen.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "frontend/compile.h"
+#include "util/diagnostics.h"
+#include "util/prng.h"
+
+namespace eraser::suite {
+
+namespace {
+
+struct Sig {
+    std::string name;
+    unsigned width;
+};
+
+class Generator {
+  public:
+    explicit Generator(const CircuitGenOptions& opts)
+        : opts_(opts), rng_(opts.seed) {}
+
+    std::string run() {
+        make_signals();
+        std::ostringstream v;
+        v << "module fuzz(\n  input clk,\n  input rst";
+        if (opts_.use_async_reset) v << ",\n  input rst_n";
+        for (const Sig& s : inputs_) {
+            v << ",\n  input " << range(s.width) << " " << s.name;
+        }
+        for (unsigned i = 0; i < opts_.num_outputs; ++i) {
+            v << ",\n  output " << range(outputs_[i].width) << " "
+              << outputs_[i].name;
+        }
+        v << "\n);\n";
+
+        for (const Sig& s : wires_) {
+            v << "  wire " << range(s.width) << " " << s.name << ";\n";
+        }
+        for (const Sig& s : regs_) {
+            v << "  reg " << range(s.width) << " " << s.name << ";\n";
+        }
+        for (const Sig& s : comb_regs_) {
+            v << "  reg " << range(s.width) << " " << s.name << ";\n";
+        }
+        if (opts_.use_memory) {
+            v << "  reg [7:0] mem [0:7];\n";
+        }
+
+        // Continuous assignments: wire k reads inputs, regs, wires < k.
+        std::vector<Sig> readable = inputs_;
+        readable.insert(readable.end(), regs_.begin(), regs_.end());
+        for (size_t i = 0; i < wires_.size(); ++i) {
+            v << "  assign " << wires_[i].name << " = "
+              << expr(2, readable) << ";\n";
+            readable.push_back(wires_[i]);
+        }
+        std::vector<Sig> all_readable = readable;
+        all_readable.insert(all_readable.end(), comb_regs_.begin(),
+                            comb_regs_.end());
+
+        // Combinational blocks: defaults then branching over comb regs.
+        size_t comb_assigned = 0;
+        for (unsigned blk = 0; blk < opts_.num_comb_blocks; ++blk) {
+            const size_t begin = comb_assigned;
+            const size_t end = blk + 1 == opts_.num_comb_blocks
+                                   ? comb_regs_.size()
+                                   : std::min(comb_regs_.size(),
+                                              begin + comb_regs_.size() /
+                                                          opts_.num_comb_blocks +
+                                                          1);
+            comb_assigned = end;
+            if (begin >= end) continue;
+            v << "  always @(*) begin\n";
+            std::vector<Sig> mine(comb_regs_.begin() + begin,
+                                  comb_regs_.begin() + end);
+            for (const Sig& s : mine) {
+                v << "    " << s.name << " = " << expr(1, readable)
+                  << ";\n";
+            }
+            v << stmt_block(opts_.max_stmt_depth, mine, readable, false, 2);
+            v << "  end\n";
+        }
+
+        // Sequential blocks: partition regs between them.
+        size_t seq_assigned = 0;
+        for (unsigned blk = 0; blk < opts_.num_seq_blocks; ++blk) {
+            const size_t begin = seq_assigned;
+            const size_t end =
+                blk + 1 == opts_.num_seq_blocks
+                    ? regs_.size()
+                    : std::min(regs_.size(),
+                               begin + regs_.size() / opts_.num_seq_blocks +
+                                   1);
+            seq_assigned = end;
+            if (begin >= end) continue;
+            std::vector<Sig> mine(regs_.begin() + begin,
+                                  regs_.begin() + end);
+            const bool async = opts_.use_async_reset && blk == 0;
+            v << "  always @(posedge clk"
+              << (async ? " or negedge rst_n" : "") << ") begin\n";
+            v << "    if (" << (async ? "!rst_n" : "rst") << ") begin\n";
+            for (const Sig& s : mine) {
+                v << "      " << s.name << " <= 0;\n";
+            }
+            v << "    end else begin\n";
+            v << stmt_block(opts_.max_stmt_depth, mine, all_readable, true,
+                            3);
+            v << "    end\n  end\n";
+        }
+
+        // Memory traffic.
+        if (opts_.use_memory) {
+            v << "  always @(posedge clk) begin\n"
+              << "    if (" << pick(all_readable).name << " != 0)\n"
+              << "      mem[" << pick(all_readable).name
+              << "] <= " << expr(1, all_readable) << ";\n"
+              << "  end\n";
+            // A reg reading the memory back.
+            v << "  always @(posedge clk) begin\n"
+              << "    mem_out <= mem[" << pick(all_readable).name
+              << "];\n  end\n";
+        }
+
+        // Outputs.
+        for (unsigned i = 0; i < opts_.num_outputs; ++i) {
+            v << "  assign " << outputs_[i].name << " = "
+              << expr(2, all_readable) << ";\n";
+        }
+        v << "endmodule\n";
+        return v.str();
+    }
+
+  private:
+    static std::string range(unsigned width) {
+        return width == 1 ? "" : "[" + std::to_string(width - 1) + ":0]";
+    }
+    unsigned rand_width() {
+        static const unsigned choices[] = {1, 2, 4, 8, 13, 16, 32};
+        return choices[rng_.below(7)];
+    }
+    const Sig& pick(const std::vector<Sig>& from) {
+        return from[rng_.below(from.size())];
+    }
+
+    void make_signals() {
+        for (unsigned i = 0; i < opts_.num_inputs; ++i) {
+            inputs_.push_back({"in" + std::to_string(i), rand_width()});
+        }
+        for (unsigned i = 0; i < opts_.num_wires; ++i) {
+            wires_.push_back({"w" + std::to_string(i), rand_width()});
+        }
+        for (unsigned i = 0; i < opts_.num_regs; ++i) {
+            regs_.push_back({"r" + std::to_string(i), rand_width()});
+        }
+        // A couple of comb-assigned regs per comb block.
+        for (unsigned i = 0; i < opts_.num_comb_blocks * 2; ++i) {
+            comb_regs_.push_back({"c" + std::to_string(i), rand_width()});
+        }
+        if (opts_.use_memory) {
+            regs_.push_back({"mem_out", 8});
+        }
+        for (unsigned i = 0; i < opts_.num_outputs; ++i) {
+            outputs_.push_back({"out" + std::to_string(i), rand_width()});
+        }
+    }
+
+    /// Generated expression text plus its self-determined width (mirrors
+    /// the elaborator's width rules, so the generator can keep concats
+    /// within the 64-bit value limit).
+    struct GenExpr {
+        std::string text;
+        unsigned width;
+    };
+
+    std::string expr(int depth, const std::vector<Sig>& readable) {
+        return typed_expr(depth, readable).text;
+    }
+
+    GenExpr typed_expr(int depth, const std::vector<Sig>& readable) {
+        if (depth <= 0 || rng_.chance(1, 4)) {
+            // Leaf: signal, slice, bit, or literal.
+            switch (rng_.below(4)) {
+                case 0: {
+                    const unsigned w = rand_width();
+                    return {std::to_string(w) + "'d" +
+                                std::to_string(rng_.bits(std::min(w, 16u))),
+                            w};
+                }
+                case 1: {
+                    const Sig& s = pick(readable);
+                    if (s.width > 2 && rng_.chance(1, 2)) {
+                        const unsigned hi =
+                            1 + static_cast<unsigned>(
+                                    rng_.below(s.width - 1));
+                        const unsigned lo =
+                            static_cast<unsigned>(rng_.below(hi));
+                        return {s.name + "[" + std::to_string(hi) + ":" +
+                                    std::to_string(lo) + "]",
+                                hi - lo + 1};
+                    }
+                    return {s.name, s.width};
+                }
+                case 2: {
+                    const Sig& s = pick(readable);
+                    if (s.width > 1) {
+                        return {s.name + "[" +
+                                    std::to_string(rng_.below(s.width)) +
+                                    "]",
+                                1};
+                    }
+                    return {s.name, s.width};
+                }
+                default: {
+                    const Sig& s = pick(readable);
+                    return {s.name, s.width};
+                }
+            }
+        }
+        static const char* binops[] = {"+", "-", "*", "&",  "|",  "^",
+                                       "<<", ">>", "==", "!=", "<", "<="};
+        static const char* unops[] = {"~", "!", "-", "&", "|", "^"};
+        switch (rng_.below(4)) {
+            case 0: {
+                const GenExpr a = typed_expr(depth - 1, readable);
+                const GenExpr b = typed_expr(depth - 1, readable);
+                const unsigned op = static_cast<unsigned>(rng_.below(12));
+                unsigned w = std::max(a.width, b.width);
+                if (op >= 8) w = 1;                      // comparisons
+                if (op == 6 || op == 7) w = a.width;     // shifts
+                return {"(" + a.text + " " + binops[op] + " " + b.text + ")",
+                        w};
+            }
+            case 1: {
+                const GenExpr a = typed_expr(depth - 1, readable);
+                const unsigned op = static_cast<unsigned>(rng_.below(6));
+                return {std::string(unops[op]) + "(" + a.text + ")",
+                        op <= 2 && op != 1 ? a.width : 1};
+            }
+            case 2: {
+                const GenExpr sel = typed_expr(depth - 1, readable);
+                const GenExpr a = typed_expr(depth - 1, readable);
+                const GenExpr b = typed_expr(depth - 1, readable);
+                return {"(" + sel.text + " ? " + a.text + " : " + b.text +
+                            ")",
+                        std::max(a.width, b.width)};
+            }
+            default: {
+                const GenExpr a = typed_expr(depth - 1, readable);
+                const GenExpr b = typed_expr(depth - 1, readable);
+                if (a.width + b.width > 64) {
+                    // Concat would exceed the value width limit; combine
+                    // with xor instead.
+                    return {"(" + a.text + " ^ " + b.text + ")",
+                            std::max(a.width, b.width)};
+                }
+                return {"{" + a.text + ", " + b.text + "}",
+                        a.width + b.width};
+            }
+        }
+    }
+
+    std::string indent(int n) { return std::string(2 * n, ' '); }
+
+    std::string stmt_block(int depth, const std::vector<Sig>& writable,
+                           const std::vector<Sig>& readable, bool nonblocking,
+                           int ind) {
+        std::ostringstream out;
+        const unsigned n = 1 + static_cast<unsigned>(rng_.below(3));
+        for (unsigned i = 0; i < n; ++i) {
+            out << stmt(depth, writable, readable, nonblocking, ind);
+        }
+        return out.str();
+    }
+
+    std::string stmt(int depth, const std::vector<Sig>& writable,
+                     const std::vector<Sig>& readable, bool nonblocking,
+                     int ind) {
+        const Sig& target = pick(writable);
+        const std::string op = nonblocking ? " <= " : " = ";
+        if (depth <= 0 || rng_.chance(1, 2)) {
+            return indent(ind) + target.name + op + expr(2, readable) +
+                   ";\n";
+        }
+        std::ostringstream out;
+        if (rng_.chance(2, 3)) {
+            out << indent(ind) << "if (" << expr(1, readable) << ") begin\n"
+                << stmt_block(depth - 1, writable, readable, nonblocking,
+                              ind + 1)
+                << indent(ind) << "end";
+            if (rng_.chance(1, 2)) {
+                out << " else begin\n"
+                    << stmt_block(depth - 1, writable, readable, nonblocking,
+                                  ind + 1)
+                    << indent(ind) << "end";
+            }
+            out << "\n";
+        } else {
+            const Sig& subject = pick(readable);
+            const unsigned sel_w = std::min(subject.width, 2u);
+            out << indent(ind) << "case (" << subject.name << "["
+                << (sel_w - 1) << ":0])\n";
+            for (unsigned arm = 0; arm < (1u << sel_w); ++arm) {
+                if (arm == (1u << sel_w) - 1) {
+                    out << indent(ind + 1) << "default: begin\n";
+                } else {
+                    out << indent(ind + 1) << sel_w << "'d" << arm
+                        << ": begin\n";
+                }
+                out << stmt_block(depth - 1, writable, readable, nonblocking,
+                                  ind + 2)
+                    << indent(ind + 1) << "end\n";
+            }
+            out << indent(ind) << "endcase\n";
+        }
+        return out.str();
+    }
+
+    CircuitGenOptions opts_;
+    Prng rng_;
+    std::vector<Sig> inputs_, wires_, regs_, comb_regs_, outputs_;
+};
+
+}  // namespace
+
+std::unique_ptr<rtl::Design> generate_circuit(const CircuitGenOptions& opts,
+                                              std::string* source_out) {
+    const std::string source = Generator(opts).run();
+    if (source_out != nullptr) *source_out = source;
+    try {
+        return frontend::compile(source, "fuzz");
+    } catch (const EraserError& e) {
+        // Surface the generated source to make generator bugs debuggable.
+        throw EraserError(std::string(e.what()) + "\n--- generated source:\n" +
+                          source);
+    }
+}
+
+}  // namespace eraser::suite

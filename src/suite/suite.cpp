@@ -1,0 +1,311 @@
+#include "suite/suite.h"
+
+#include "frontend/compile.h"
+#include "suite/asm.h"
+#include "suite/random_stimulus.h"
+#include "util/diagnostics.h"
+
+namespace eraser::suite {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// SHA-256 stimulus: load 16 words, pulse init (first) / next (later blocks),
+// wait for the 64-round FSM, repeat with fresh data.
+// ---------------------------------------------------------------------------
+class Sha256Stimulus final : public sim::Stimulus {
+  public:
+    Sha256Stimulus(uint32_t cycles, uint64_t seed)
+        : cycles_(cycles), seed_(seed) {}
+
+    void bind(const rtl::Design& design) override {
+        rst_ = design.signal_id("rst");
+        init_ = design.signal_id("init");
+        next_ = design.signal_id("next");
+        we_ = design.signal_id("block_we");
+        addr_ = design.signal_id("block_addr");
+        data_ = design.signal_id("block_data");
+    }
+    [[nodiscard]] uint32_t num_cycles() const override { return cycles_; }
+    void initialize(sim::DriveHandle&) override {
+        rng_ = Prng(seed_);
+        blocks_done_ = 0;
+    }
+    void apply(uint32_t cycle, sim::DriveHandle& h) override {
+        h.set_input(rst_, cycle < 2 ? 1 : 0);
+        h.set_input(init_, 0);
+        h.set_input(next_, 0);
+        h.set_input(we_, 0);
+        h.set_input(addr_, 0);
+        h.set_input(data_, 0);
+        if (cycle < 2) return;
+        // Period: 16 load cycles + 1 start + 66 rounds + 3 idle = 86.
+        const uint32_t phase = (cycle - 2) % 86;
+        if (phase < 16) {
+            h.set_input(we_, 1);
+            h.set_input(addr_, phase);
+            h.set_input(data_, rng_.bits(32));
+        } else if (phase == 16) {
+            if (blocks_done_ == 0) {
+                h.set_input(init_, 1);
+            } else {
+                h.set_input(next_, 1);
+            }
+            ++blocks_done_;
+        }
+    }
+
+  private:
+    uint32_t cycles_;
+    uint64_t seed_;
+    Prng rng_{1};
+    uint32_t blocks_done_ = 0;
+    rtl::SignalId rst_{}, init_{}, next_{}, we_{}, addr_{}, data_{};
+};
+
+// ---------------------------------------------------------------------------
+// APB stimulus: issue a request every few cycles; addresses biased to the
+// mapped registers with occasional decode errors.
+// ---------------------------------------------------------------------------
+class ApbStimulus final : public sim::Stimulus {
+  public:
+    ApbStimulus(uint32_t cycles, uint64_t seed)
+        : cycles_(cycles), seed_(seed) {}
+
+    void bind(const rtl::Design& design) override {
+        rstn_ = design.signal_id("rstn");
+        req_ = design.signal_id("req");
+        wr_ = design.signal_id("wr");
+        addr_ = design.signal_id("addr");
+        wdata_ = design.signal_id("wdata");
+    }
+    [[nodiscard]] uint32_t num_cycles() const override { return cycles_; }
+    void initialize(sim::DriveHandle&) override { rng_ = Prng(seed_); }
+    void apply(uint32_t cycle, sim::DriveHandle& h) override {
+        h.set_input(rstn_, cycle < 2 ? 0 : 1);
+        const bool fire = cycle >= 2 && cycle % 6 == 2;
+        h.set_input(req_, fire ? 1 : 0);
+        if (fire) {
+            h.set_input(wr_, rng_.chance(1, 2) ? 1 : 0);
+            // 80%: mapped registers 0/4/8/C; 20%: random (decode error).
+            const uint64_t addr = rng_.chance(4, 5) ? (rng_.below(4) * 4)
+                                                    : rng_.bits(8);
+            h.set_input(addr_, addr);
+            h.set_input(wdata_, rng_.bits(32));
+        }
+    }
+
+  private:
+    uint32_t cycles_;
+    uint64_t seed_;
+    Prng rng_{1};
+    rtl::SignalId rstn_{}, req_{}, wr_{}, addr_{}, wdata_{};
+};
+
+// ---------------------------------------------------------------------------
+// CPU stimulus: backdoor-load a program, release reset, let it run.
+// ---------------------------------------------------------------------------
+class CpuStimulus final : public sim::Stimulus {
+  public:
+    CpuStimulus(uint32_t cycles, std::vector<uint64_t> program)
+        : cycles_(cycles), program_(std::move(program)) {}
+
+    void bind(const rtl::Design& design) override {
+        rst_ = design.signal_id("rst");
+        imem_ = design.find_array("imem");
+        if (imem_ == rtl::kInvalidId) {
+            throw EraserError("CPU benchmark has no imem array");
+        }
+    }
+    [[nodiscard]] uint32_t num_cycles() const override { return cycles_; }
+    void initialize(sim::DriveHandle& h) override {
+        h.load_array(imem_, program_);
+    }
+    void apply(uint32_t cycle, sim::DriveHandle& h) override {
+        h.set_input(rst_, cycle < 2 ? 1 : 0);
+    }
+
+  private:
+    uint32_t cycles_;
+    std::vector<uint64_t> program_;
+    rtl::SignalId rst_{};
+    rtl::ArrayId imem_{};
+};
+
+// ---------------------------------------------------------------------------
+// Convolution stimulus: load a 3x3 kernel, then stream pixels.
+// ---------------------------------------------------------------------------
+class ConvStimulus final : public sim::Stimulus {
+  public:
+    ConvStimulus(uint32_t cycles, uint64_t seed)
+        : cycles_(cycles), seed_(seed) {}
+
+    void bind(const rtl::Design& design) override {
+        rst_ = design.signal_id("rst");
+        kwe_ = design.signal_id("kernel_we");
+        kaddr_ = design.signal_id("kernel_addr");
+        kdata_ = design.signal_id("kernel_data");
+        pvalid_ = design.signal_id("pixel_valid");
+        pixel_ = design.signal_id("pixel");
+        bias_ = design.signal_id("bias");
+    }
+    [[nodiscard]] uint32_t num_cycles() const override { return cycles_; }
+    void initialize(sim::DriveHandle&) override { rng_ = Prng(seed_); }
+    void apply(uint32_t cycle, sim::DriveHandle& h) override {
+        h.set_input(rst_, cycle < 2 ? 1 : 0);
+        h.set_input(kwe_, 0);
+        h.set_input(kaddr_, 0);
+        h.set_input(kdata_, 0);
+        h.set_input(pvalid_, 0);
+        h.set_input(pixel_, 0);
+        h.set_input(bias_, 7);
+        if (cycle < 2) return;
+        const uint32_t t = cycle - 2;
+        if (t < 9) {
+            h.set_input(kwe_, 1);
+            h.set_input(kaddr_, t);
+            h.set_input(kdata_, rng_.bits(8));
+        } else {
+            h.set_input(pvalid_, 1);
+            h.set_input(pixel_, rng_.bits(8));
+        }
+    }
+
+  private:
+    uint32_t cycles_;
+    uint64_t seed_;
+    Prng rng_{1};
+    rtl::SignalId rst_{}, kwe_{}, kaddr_{}, kdata_{}, pvalid_{}, pixel_{},
+        bias_{};
+};
+
+// ---------------------------------------------------------------------------
+// Test programs.
+// ---------------------------------------------------------------------------
+std::vector<uint64_t> rv32_program() {
+    using namespace rv32;
+    std::vector<uint64_t> p = {
+        addi(1, 0, 0),        //  0: a = 0
+        addi(2, 0, 1),        //  4: b = 1
+        addi(6, 0, 256),      //  8: store base (byte address)
+        addi(4, 0, 12),       // 12: n = 12
+        addi(3, 0, 0),        // 16: i = 0
+        // loop:
+        add(5, 1, 2),         // 20: t = a + b
+        add(1, 2, 0),         // 24: a = b
+        add(2, 5, 0),         // 28: b = t
+        sw(5, 6, 0),          // 32: mem[base] = t
+        lw(7, 6, 0),          // 36: r = mem[base]
+        xor_(10, 7, 3),       // 40: dbg churn
+        addi(6, 6, 4),        // 44: base += 4
+        addi(3, 3, 1),        // 48: i += 1
+        blt(3, 4, -32),       // 52: if (i < n) goto loop(20)
+        // epilogue
+        slli(8, 5, 3),        // 56
+        srli(9, 5, 2),        // 60
+        sub(10, 8, 9),        // 64
+        lui(11, 0x12345),     // 68
+        or_(10, 10, 11),      // 72: x10 = 0x1234570E
+        jal(0, 0),            // 76: spin
+    };
+    return p;
+}
+
+std::vector<uint64_t> mips_program() {
+    using namespace mips;
+    std::vector<uint64_t> p = {
+        addiu(1, 0, 1),       //  0: i = 1
+        addiu(2, 0, 0),       //  1: sum = 0
+        addiu(3, 0, 10),      //  2: n = 10
+        nop(), nop(),         //  3,4
+        // loop (word 5):
+        addu(2, 2, 1),        //  5: sum += i
+        nop(), nop(), nop(),  //  6-8
+        addiu(1, 1, 1),       //  9: i += 1
+        nop(), nop(), nop(),  // 10-12
+        sltu(4, 3, 1),        // 13: done = n < i
+        nop(), nop(), nop(),  // 14-16
+        beq(4, 0, -13),       // 17: if (!done) goto loop(5): 5-(17+1)
+        nop(), nop(),         // 18,19 (squashed on taken)
+        sw(2, 64, 0),         // 20
+        lw(5, 64, 0),         // 21
+        nop(), nop(), nop(),  // 22-24
+        or_(2, 5, 0),         // 25: v0 = sum (55)
+        j(27),                // 26: spin at 27
+        j(27),                // 27: spin
+    };
+    return p;
+}
+
+RandomStimulus::Config base_random(uint32_t cycles, const char* reset,
+                                   bool active_high, uint64_t seed) {
+    RandomStimulus::Config cfg;
+    cfg.reset = reset;
+    cfg.reset_active_high = active_high;
+    cfg.cycles = cycles;
+    cfg.seed = seed;
+    return cfg;
+}
+
+}  // namespace
+
+const std::vector<Benchmark>& registry() {
+    static const std::vector<Benchmark> kBenchmarks = {
+        //  name          display        file            top          cycles test  sample
+        {"alu",        "ALU",        "alu.v",        "alu",        1500, 200, 1182},
+        {"fpu",        "FPU",        "fpu.v",        "fpu",        3000, 250, 1256},
+        {"sha256_hv",  "SHA256_HV",  "sha256_hv.v",  "sha256_hv",  2600, 350, 660},
+        {"apb",        "APB",        "apb.v",        "apb",        1200, 200, 98},
+        {"sodor",      "Sodor Core", "sodor.v",      "sodor",      1000, 200, 1252},
+        {"riscv_mini", "RISCV Mini", "riscv_mini.v", "riscv_mini", 1500, 250, 526},
+        {"picorv32",   "PicoRV32",   "picorv32.v",   "picorv32",   2000, 300, 1040},
+        {"conv_acc",   "Conv_acc",   "conv_acc.v",   "conv_acc",   1800, 250, 1032},
+        {"sha256_c2v", "SHA256_C2V", "sha256_c2v.v", "sha256_c2v", 2600, 350, 2174},
+        {"mips_cpu",   "MIPS CPU",   "mips_cpu.v",   "mips_cpu",   1200, 250, 1346},
+    };
+    return kBenchmarks;
+}
+
+const Benchmark& find_benchmark(const std::string& name) {
+    for (const Benchmark& b : registry()) {
+        if (b.name == name) return b;
+    }
+    throw EraserError("unknown benchmark '" + name + "'");
+}
+
+std::unique_ptr<rtl::Design> load_design(const Benchmark& b) {
+    return frontend::compile_file(std::string(ERASER_BENCHMARK_DIR) + "/" +
+                                      b.file,
+                                  b.top);
+}
+
+std::unique_ptr<sim::Stimulus> make_stimulus(const Benchmark& b,
+                                             uint32_t cycles) {
+    constexpr uint64_t seed = 0x5EED2025;
+    if (b.name == "alu") {
+        return std::make_unique<RandomStimulus>(
+            base_random(cycles, "rst", true, seed));
+    }
+    if (b.name == "fpu") {
+        auto cfg = base_random(cycles, "rst", true, seed);
+        cfg.constants.emplace_back("valid_in", 1);
+        return std::make_unique<RandomStimulus>(cfg);
+    }
+    if (b.name == "sha256_hv" || b.name == "sha256_c2v") {
+        return std::make_unique<Sha256Stimulus>(cycles, seed);
+    }
+    if (b.name == "apb") return std::make_unique<ApbStimulus>(cycles, seed);
+    if (b.name == "sodor" || b.name == "riscv_mini" ||
+        b.name == "picorv32") {
+        return std::make_unique<CpuStimulus>(cycles, rv32_program());
+    }
+    if (b.name == "conv_acc") {
+        return std::make_unique<ConvStimulus>(cycles, seed);
+    }
+    if (b.name == "mips_cpu") {
+        return std::make_unique<CpuStimulus>(cycles, mips_program());
+    }
+    throw EraserError("no stimulus for benchmark '" + b.name + "'");
+}
+
+}  // namespace eraser::suite

@@ -1,0 +1,38 @@
+// Benchmark suite registry: maps each paper benchmark to its Verilog file,
+// top module, stimulus generator, and campaign budget (cycle count and
+// fault-sample size chosen to mirror Table II's scale).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtl/design.h"
+#include "sim/stimulus.h"
+
+namespace eraser::suite {
+
+struct Benchmark {
+    std::string name;          // registry key, e.g. "alu"
+    std::string display;       // paper name, e.g. "ALU (64)"
+    std::string file;          // under benchmarks/
+    std::string top;           // top module
+    uint32_t cycles;           // full campaign length (Fig. 6 / Table II)
+    uint32_t test_cycles;      // shortened length for unit/CI runs
+    uint32_t fault_sample;     // sampled fault-list size (0 = all faults)
+};
+
+/// All benchmarks in paper order.
+[[nodiscard]] const std::vector<Benchmark>& registry();
+
+/// Lookup by name; throws EraserError when unknown.
+[[nodiscard]] const Benchmark& find_benchmark(const std::string& name);
+
+/// Compiles the benchmark's Verilog from ERASER_BENCHMARK_DIR.
+[[nodiscard]] std::unique_ptr<rtl::Design> load_design(const Benchmark& b);
+
+/// Builds the benchmark's deterministic stimulus for `cycles` cycles.
+[[nodiscard]] std::unique_ptr<sim::Stimulus> make_stimulus(const Benchmark& b,
+                                                           uint32_t cycles);
+
+}  // namespace eraser::suite

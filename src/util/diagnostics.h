@@ -1,0 +1,63 @@
+// Diagnostics: source locations and the exception hierarchy used across the
+// front end, elaborator, and simulators.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace eraser {
+
+/// A position inside a Verilog source buffer. line/column are 1-based; a
+/// default-constructed location means "no source position" (e.g. synthetic
+/// nodes created by the elaborator).
+struct SourceLoc {
+    uint32_t line = 0;
+    uint32_t column = 0;
+
+    [[nodiscard]] bool valid() const { return line != 0; }
+    [[nodiscard]] std::string str() const {
+        return valid() ? std::to_string(line) + ":" + std::to_string(column)
+                       : std::string("<unknown>");
+    }
+};
+
+/// Base class for all errors raised by the library. Catch this at the API
+/// boundary; subclasses distinguish the pipeline stage that failed.
+class EraserError : public std::runtime_error {
+  public:
+    explicit EraserError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Lexical or syntactic error in Verilog input.
+class ParseError : public EraserError {
+  public:
+    ParseError(const SourceLoc& loc, const std::string& msg)
+        : EraserError(loc.str() + ": parse error: " + msg), loc_(loc) {}
+    [[nodiscard]] const SourceLoc& loc() const { return loc_; }
+
+  private:
+    SourceLoc loc_;
+};
+
+/// Semantic error during elaboration (unknown identifier, width violation,
+/// unresolved module, non-constant where a constant is required, ...).
+class ElabError : public EraserError {
+  public:
+    ElabError(const SourceLoc& loc, const std::string& msg)
+        : EraserError(loc.str() + ": elaboration error: " + msg), loc_(loc) {}
+    [[nodiscard]] const SourceLoc& loc() const { return loc_; }
+
+  private:
+    SourceLoc loc_;
+};
+
+/// Runtime error inside a simulator (combinational loop that does not
+/// converge, unknown signal name from a testbench, ...).
+class SimError : public EraserError {
+  public:
+    explicit SimError(const std::string& msg)
+        : EraserError("simulation error: " + msg) {}
+};
+
+}  // namespace eraser

@@ -1,0 +1,60 @@
+// Deterministic PRNG used by stimulus generators and fault sampling.
+// Not std::mt19937 on purpose: we want a tiny, header-only generator whose
+// sequence is stable across platforms and library versions, so recorded
+// experiment outputs stay reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace eraser {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference implementation,
+/// re-typed). Deterministic for a given seed on every platform.
+class Prng {
+  public:
+    explicit Prng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+        // SplitMix64 seeding so nearby seeds give unrelated streams.
+        uint64_t x = seed;
+        for (auto& word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /// Uniform 64-bit value.
+    uint64_t next() {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform value in [0, bound). bound == 0 yields 0.
+    uint64_t below(uint64_t bound) { return bound == 0 ? 0 : next() % bound; }
+
+    /// Uniform value with exactly `width` low bits (width in [0, 64]).
+    uint64_t bits(unsigned width) {
+        if (width == 0) return 0;
+        if (width >= 64) return next();
+        return next() & ((uint64_t{1} << width) - 1);
+    }
+
+    /// Bernoulli draw with probability num/den.
+    bool chance(uint64_t num, uint64_t den) { return below(den) < num; }
+
+  private:
+    static uint64_t rotl(uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+    uint64_t state_[4] = {};
+};
+
+}  // namespace eraser

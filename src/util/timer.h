@@ -1,0 +1,58 @@
+// Wall-clock timing helpers for the instrumentation counters and benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace eraser {
+
+/// Monotonic stopwatch. Construction starts it; seconds()/ns() read elapsed
+/// time without stopping.
+class Stopwatch {
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    [[nodiscard]] int64_t ns() const {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now() - start_)
+            .count();
+    }
+    [[nodiscard]] double seconds() const {
+        return static_cast<double>(ns()) * 1e-9;
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/// Accumulates time across many disjoint intervals (e.g. "total time spent in
+/// behavioral nodes"). Pause/resume via RAII Section.
+class TimeAccumulator {
+  public:
+    /// RAII guard that adds the guarded scope's duration to the accumulator.
+    class Section {
+      public:
+        explicit Section(TimeAccumulator& acc) : acc_(acc) {}
+        ~Section() { acc_.total_ns_ += watch_.ns(); }
+        Section(const Section&) = delete;
+        Section& operator=(const Section&) = delete;
+
+      private:
+        TimeAccumulator& acc_;
+        Stopwatch watch_;
+    };
+
+    [[nodiscard]] int64_t total_ns() const { return total_ns_; }
+    [[nodiscard]] double total_seconds() const {
+        return static_cast<double>(total_ns_) * 1e-9;
+    }
+    void reset() { total_ns_ = 0; }
+
+  private:
+    int64_t total_ns_ = 0;
+};
+
+}  // namespace eraser

@@ -1,0 +1,91 @@
+// Unit tests for the DivergenceList (the concurrent engine's hot structure)
+// and the Prng / fault-model helpers.
+#include <gtest/gtest.h>
+
+#include "fault/divergence.h"
+#include "util/prng.h"
+
+namespace eraser::fault {
+namespace {
+
+TEST(DivergenceList, SetFindErase) {
+    DivergenceList list;
+    EXPECT_TRUE(list.empty());
+    EXPECT_EQ(list.find(3), nullptr);
+
+    EXPECT_TRUE(list.set(3, Value(7, 8)));
+    EXPECT_TRUE(list.set(1, Value(5, 8)));
+    EXPECT_TRUE(list.set(9, Value(1, 8)));
+    EXPECT_EQ(list.size(), 3u);
+
+    ASSERT_NE(list.find(3), nullptr);
+    EXPECT_EQ(list.find(3)->bits(), 7u);
+    EXPECT_TRUE(list.contains(1));
+    EXPECT_FALSE(list.contains(2));
+
+    //
+
+    EXPECT_FALSE(list.set(3, Value(7, 8)));   // unchanged -> false
+    EXPECT_TRUE(list.set(3, Value(8, 8)));    // changed -> true
+    EXPECT_EQ(list.find(3)->bits(), 8u);
+
+    EXPECT_TRUE(list.erase(1));
+    EXPECT_FALSE(list.erase(1));
+    EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(DivergenceList, KeepsSortedOrder) {
+    DivergenceList list;
+    for (FaultId f : {9u, 2u, 7u, 0u, 5u}) list.set(f, Value(f, 8));
+    FaultId prev = 0;
+    bool first = true;
+    for (const auto& e : list.entries()) {
+        if (!first) EXPECT_LT(prev, e.fault);
+        prev = e.fault;
+        first = false;
+    }
+}
+
+TEST(DivergenceList, EraseIfDropsPredicateMatches) {
+    DivergenceList list;
+    for (FaultId f = 0; f < 10; ++f) list.set(f, Value(f, 8));
+    list.erase_if([](FaultId f) { return f % 2 == 0; });
+    EXPECT_EQ(list.size(), 5u);
+    for (const auto& e : list.entries()) EXPECT_EQ(e.fault % 2, 1u);
+}
+
+TEST(DivergenceList, WidthIsPartOfTheValue) {
+    DivergenceList list;
+    list.set(1, Value(3, 4));
+    EXPECT_TRUE(list.set(1, Value(3, 5)));   // same bits, new width: changed
+}
+
+TEST(Prng, DeterministicAcrossInstances) {
+    Prng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+    Prng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Prng, BitsRespectsWidth) {
+    Prng rng(7);
+    for (unsigned w = 1; w <= 64; ++w) {
+        const uint64_t v = rng.bits(w);
+        if (w < 64) EXPECT_LT(v, uint64_t{1} << w) << "width " << w;
+    }
+    EXPECT_EQ(rng.bits(0), 0u);
+}
+
+TEST(Prng, BelowStaysInRange) {
+    Prng rng(3);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+    EXPECT_EQ(rng.below(0), 0u);
+}
+
+}  // namespace
+}  // namespace eraser::fault

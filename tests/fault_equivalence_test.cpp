@@ -1,0 +1,271 @@
+// The central correctness property of the whole framework: for every fault,
+// the concurrent engine (in all three redundancy modes) must agree with the
+// serial force-and-compare oracle — same detected/undetected verdict, fault
+// by fault. Also checks the audit soundness counter: whenever the implicit
+// detector (Algorithm 1) skips an execution, the shadow execution must have
+// produced exactly the good result.
+#include <gtest/gtest.h>
+
+#include "baseline/serial.h"
+#include "eraser/campaign.h"
+#include "fault/fault.h"
+#include "frontend/compile.h"
+#include "suite/random_stimulus.h"
+
+namespace eraser {
+namespace {
+
+struct Tb {
+    const char* name;
+    const char* source;
+    const char* top;
+    const char* reset;   // "" = none
+    uint32_t cycles;
+};
+
+const Tb kCircuits[] = {
+    {"counter",
+     R"(module top(input clk, input rst, input en, output reg [7:0] cnt);
+          always @(posedge clk)
+            if (rst) cnt <= 0;
+            else if (en) cnt <= cnt + 1;
+        endmodule)",
+     "top", "rst", 60},
+
+    {"alu_slice",
+     R"(module top(input clk, input [1:0] op, input [7:0] a, input [7:0] b,
+                   output reg [7:0] y, output reg carry);
+          reg [8:0] t;
+          always @(*) begin
+            case (op)
+              2'd0: t = a + b;
+              2'd1: t = a - b;
+              2'd2: t = {1'b0, a & b};
+              default: t = {1'b0, a ^ b};
+            endcase
+          end
+          always @(posedge clk) begin
+            y <= t[7:0];
+            carry <= t[8];
+          end
+        endmodule)",
+     "top", "", 80},
+
+    {"fsm",
+     R"(module top(input clk, input rst, input go, input stop,
+                   output reg [1:0] state, output reg busy);
+          always @(posedge clk)
+            if (rst) state <= 0;
+            else begin
+              case (state)
+                2'd0: if (go) state <= 2'd1;
+                2'd1: state <= 2'd2;
+                2'd2: if (stop) state <= 2'd0;
+                default: state <= 2'd0;
+              endcase
+            end
+          always @(*) busy = state != 2'd0;
+        endmodule)",
+     "top", "rst", 80},
+
+    {"memory",
+     R"(module top(input clk, input we, input [2:0] waddr, input [2:0] raddr,
+                   input [7:0] d, output reg [7:0] q);
+          reg [7:0] mem [0:7];
+          always @(posedge clk) begin
+            if (we) mem[waddr] <= d;
+            q <= mem[raddr];
+          end
+        endmodule)",
+     "top", "", 80},
+
+    {"clock_divider",
+     R"(module top(input clk, input rst, output reg div2, output reg [3:0] n);
+          always @(posedge clk)
+            if (rst) div2 <= 0;
+            else div2 <= ~div2;
+          always @(posedge div2) n <= n + 1;
+        endmodule)",
+     "top", "rst", 60},
+
+    {"async_reset",
+     R"(module top(input clk, input rst_n, input [3:0] d,
+                   output reg [3:0] q1, output reg [3:0] q2);
+          always @(posedge clk or negedge rst_n)
+            if (!rst_n) q1 <= 0;
+            else q1 <= d;
+          always @(posedge clk or negedge rst_n)
+            if (!rst_n) q2 <= 4'hF;
+            else q2 <= q1;
+        endmodule)",
+     "top", "", 70},
+
+    {"hierarchy",
+     R"(module leaf(input [3:0] x, output [3:0] y);
+          assign y = x ^ 4'b0101;
+        endmodule
+        module top(input clk, input [3:0] a, output reg [3:0] r);
+          wire [3:0] w;
+          leaf u0 (.x(a), .y(w));
+          always @(posedge clk) r <= w + r;
+        endmodule)",
+     "top", "", 60},
+
+    {"shift_network",
+     R"(module top(input clk, input [7:0] d, input [2:0] amt, input dir,
+                   output reg [7:0] q);
+          wire [7:0] left = d << amt;
+          wire [7:0] right = d >> amt;
+          always @(posedge clk) q <= dir ? left : right;
+        endmodule)",
+     "top", "", 60},
+
+    {"implicit_heavy",
+     // Branch-rich block modeled after the paper's Fig. 5 example: plenty of
+     // paths whose choice masks divergent inputs -> implicit redundancy.
+     R"(module top(input clk, input [1:0] s, input [7:0] c, input [7:0] g,
+                   input [7:0] k, input [7:0] b,
+                   output reg [7:0] r, output reg [7:0] a);
+          always @(posedge clk) begin
+            if (s == 0) begin
+              r <= c + g;
+              a <= k;
+            end else if (s == 1)
+              r <= 0;
+            else begin
+              a <= 0;
+              if (b == 0)
+                r <= r + 1;
+              else
+                r <= a * r;
+            end
+          end
+        endmodule)",
+     "top", "", 90},
+
+    {"partial_writes",
+     R"(module top(input clk, input [3:0] lo, input [3:0] hi, input sel,
+                   output reg [7:0] q, output [3:0] peek);
+          assign peek = q[7:4];
+          always @(posedge clk) begin
+            if (sel) q[3:0] <= lo;
+            else q[7:4] <= hi;
+          end
+        endmodule)",
+     "top", "", 60},
+};
+
+class FaultEquivalence : public ::testing::TestWithParam<Tb> {};
+
+INSTANTIATE_TEST_SUITE_P(Circuits, FaultEquivalence,
+                         ::testing::ValuesIn(kCircuits),
+                         [](const auto& info) {
+                             return std::string(info.param.name);
+                         });
+
+TEST_P(FaultEquivalence, AllModesMatchSerialOracle) {
+    const Tb& tb = GetParam();
+    auto design = frontend::compile(tb.source, tb.top);
+
+    fault::FaultGenOptions fopts;
+    const auto faults = fault::generate_faults(*design, fopts);
+    ASSERT_FALSE(faults.empty());
+
+    suite::RandomStimulus::Config cfg;
+    cfg.reset = tb.reset;
+    cfg.cycles = tb.cycles;
+    cfg.seed = 0xC0FFEE;
+    suite::RandomStimulus stim(cfg);
+
+    baseline::SerialOptions sopts;
+    const auto oracle = run_serial_campaign(*design, faults, stim, sopts);
+
+    for (const auto mode :
+         {core::RedundancyMode::None, core::RedundancyMode::Explicit,
+          core::RedundancyMode::Full}) {
+        core::CampaignOptions copts;
+        copts.engine.mode = mode;
+        copts.engine.audit = true;
+        const auto got =
+            core::run_concurrent_campaign(*design, faults, stim, copts);
+
+        EXPECT_EQ(got.num_detected, oracle.num_detected)
+            << "mode=" << static_cast<int>(mode);
+        for (size_t f = 0; f < faults.size(); ++f) {
+            EXPECT_EQ(got.detected[f], oracle.detected[f])
+                << "mode=" << static_cast<int>(mode) << " fault "
+                << faults[f].str(*design);
+        }
+        EXPECT_EQ(got.stats.audit_soundness_violations, 0u)
+            << "mode=" << static_cast<int>(mode);
+    }
+}
+
+TEST_P(FaultEquivalence, LevelizedSerialMatchesEventSerial) {
+    const Tb& tb = GetParam();
+    auto design = frontend::compile(tb.source, tb.top);
+    const auto faults = fault::generate_faults(*design, {});
+
+    suite::RandomStimulus::Config cfg;
+    cfg.reset = tb.reset;
+    cfg.cycles = tb.cycles;
+    cfg.seed = 0xC0FFEE;
+    suite::RandomStimulus stim(cfg);
+
+    baseline::SerialOptions ev;
+    ev.mode = sim::SchedulingMode::EventDriven;
+    baseline::SerialOptions lv;
+    lv.mode = sim::SchedulingMode::Levelized;
+    const auto a = run_serial_campaign(*design, faults, stim, ev);
+    const auto b = run_serial_campaign(*design, faults, stim, lv);
+    ASSERT_EQ(a.detected.size(), b.detected.size());
+    for (size_t f = 0; f < faults.size(); ++f) {
+        EXPECT_EQ(a.detected[f], b.detected[f])
+            << "fault " << faults[f].str(*design);
+    }
+}
+
+TEST(FaultModel, GeneratorEnumeratesPerBit) {
+    auto design = frontend::compile(
+        "module top(input clk, input [3:0] d, output reg [3:0] q);"
+        "always @(posedge clk) q <= d; endmodule",
+        "top");
+    const auto faults = fault::generate_faults(*design, {});
+    // d (input excluded by default) -> only q: 4 bits x 2 polarities.
+    size_t q_faults = 0;
+    for (const auto& f : faults) {
+        if (design->signals[f.sig].name == "q") ++q_faults;
+    }
+    EXPECT_EQ(q_faults, 8u);
+    // clk excluded.
+    for (const auto& f : faults) {
+        EXPECT_NE(design->signals[f.sig].name, "clk");
+    }
+}
+
+TEST(FaultModel, SamplingIsDeterministicAndStable) {
+    auto design = frontend::compile(
+        "module top(input clk, input [15:0] d, output reg [15:0] q);"
+        "always @(posedge clk) q <= d; endmodule",
+        "top");
+    auto all = fault::generate_faults(*design, {});
+    const auto s1 = fault::sample_faults(all, 10, 7);
+    const auto s2 = fault::sample_faults(all, 10, 7);
+    ASSERT_EQ(s1.size(), 10u);
+    for (size_t i = 0; i < s1.size(); ++i) {
+        EXPECT_EQ(s1[i].sig, s2[i].sig);
+        EXPECT_EQ(s1[i].bit, s2[i].bit);
+        EXPECT_EQ(s1[i].stuck_one, s2[i].stuck_one);
+    }
+    // Stable order: ascending (sig, bit) pairs as in the full list.
+    for (size_t i = 1; i < s1.size(); ++i) {
+        EXPECT_TRUE(s1[i - 1].sig < s1[i].sig ||
+                    (s1[i - 1].sig == s1[i].sig &&
+                     (s1[i - 1].bit < s1[i].bit ||
+                      (s1[i - 1].bit == s1[i].bit &&
+                       !s1[i - 1].stuck_one && s1[i].stuck_one))));
+    }
+}
+
+}  // namespace
+}  // namespace eraser

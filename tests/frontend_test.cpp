@@ -1,0 +1,223 @@
+// Front-end tests: lexer, parser, and elaborator on representative inputs.
+#include <gtest/gtest.h>
+
+#include "frontend/compile.h"
+#include "frontend/lexer.h"
+#include "frontend/parser.h"
+#include "util/diagnostics.h"
+
+namespace eraser {
+namespace {
+
+using fe::Tok;
+
+TEST(Lexer, NumbersAndOperators) {
+    const auto toks = fe::lex("8'hFF 4'b1010 16'd1_000 42 'h10 a <= b == c");
+    ASSERT_GE(toks.size(), 10u);
+    EXPECT_EQ(toks[0].kind, Tok::Number);
+    EXPECT_EQ(toks[0].value, 0xFFu);
+    EXPECT_EQ(toks[0].width, 8u);
+    EXPECT_TRUE(toks[0].sized);
+    EXPECT_EQ(toks[1].value, 0b1010u);
+    EXPECT_EQ(toks[2].value, 1000u);
+    EXPECT_EQ(toks[3].value, 42u);
+    EXPECT_FALSE(toks[3].sized);
+    EXPECT_EQ(toks[4].value, 0x10u);
+    EXPECT_EQ(toks[4].width, 32u);
+    EXPECT_EQ(toks[6].kind, Tok::NonBlocking);
+    EXPECT_EQ(toks[8].kind, Tok::EqEq);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+    const auto toks = fe::lex("a // line\n /* block\n comment */ b");
+    ASSERT_EQ(toks.size(), 3u);   // a, b, End
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, SizedLiteralMasksOverflow) {
+    const auto toks = fe::lex("4'hFF");
+    EXPECT_EQ(toks[0].value, 0xFu);
+}
+
+TEST(Lexer, RejectsBadBase) {
+    EXPECT_THROW(fe::lex("8'q12"), ParseError);
+}
+
+TEST(Parser, ModulePortsAndItems) {
+    const auto unit = fe::parse(R"(
+        module m(input clk, input [7:0] a, b, output reg [7:0] q);
+          wire [7:0] w;
+          assign w = a + b;
+          always @(posedge clk) q <= w;
+        endmodule
+    )");
+    ASSERT_EQ(unit.modules.size(), 1u);
+    const auto& m = unit.modules[0];
+    EXPECT_EQ(m.name, "m");
+    ASSERT_EQ(m.ports.size(), 4u);
+    EXPECT_EQ(m.ports[1].name, "a");
+    EXPECT_EQ(m.ports[2].name, "b");   // inherits [7:0] from the group
+    ASSERT_TRUE(m.ports[2].msb != nullptr);
+    EXPECT_TRUE(m.ports[3].is_reg);
+    EXPECT_EQ(m.assigns.size(), 1u);
+    ASSERT_EQ(m.always_blocks.size(), 1u);
+    EXPECT_FALSE(m.always_blocks[0].is_comb);
+    ASSERT_EQ(m.always_blocks[0].edges.size(), 1u);
+    EXPECT_EQ(m.always_blocks[0].edges[0].signal, "clk");
+}
+
+TEST(Parser, CaseAndIf) {
+    const auto unit = fe::parse(R"(
+        module m(input [1:0] s, output reg [3:0] y);
+          always @(*) begin
+            case (s)
+              2'd0: y = 4'd1;
+              2'd1, 2'd2: y = 4'd2;
+              default: y = 4'd0;
+            endcase
+            if (s == 2'd3) y = 4'd9; else y = y;
+          end
+        endmodule
+    )");
+    const auto& body = *unit.modules[0].always_blocks[0].body;
+    ASSERT_EQ(body.kind, fe::PStmt::Kind::Block);
+    ASSERT_EQ(body.stmts.size(), 2u);
+    EXPECT_EQ(body.stmts[0]->kind, fe::PStmt::Kind::Case);
+    EXPECT_EQ(body.stmts[0]->items.size(), 3u);
+    EXPECT_EQ(body.stmts[0]->items[1].labels.size(), 2u);
+    EXPECT_EQ(body.stmts[1]->kind, fe::PStmt::Kind::If);
+}
+
+TEST(Parser, RejectsCasez) {
+    EXPECT_THROW(fe::parse(R"(
+        module m(input a, output reg b);
+          always @(*) casez (a) 1'b1: b = 1; endcase
+        endmodule
+    )"),
+                 ParseError);
+}
+
+TEST(Parser, RejectsFunctions) {
+    EXPECT_THROW(fe::parse(R"(
+        module m(); function f; f = 0; endfunction endmodule
+    )"),
+                 ParseError);
+}
+
+TEST(Elab, CountsSignalsAndNodes) {
+    auto design = frontend::compile(R"(
+        module top(input clk, input [7:0] a, input [7:0] b,
+                   output [7:0] sum);
+          assign sum = a + b;
+        endmodule
+    )",
+                                    "top");
+    EXPECT_EQ(design->inputs.size(), 3u);
+    EXPECT_EQ(design->outputs.size(), 1u);
+    // a + b lowered to exactly one Add node driving sum.
+    ASSERT_EQ(design->nodes.size(), 1u);
+    EXPECT_EQ(design->nodes[0].op, rtl::Op::Add);
+}
+
+TEST(Elab, ParameterOverrideThroughHierarchy) {
+    auto design = frontend::compile(R"(
+        module child #(parameter W = 4) (input [7:0] x, output [7:0] y);
+          assign y = x + W;
+        endmodule
+        module top(input [7:0] x, output [7:0] y);
+          child #(.W(9)) u0 (.x(x), .y(y));
+        endmodule
+    )",
+                                    "top");
+    // The override must appear as a Const node with value 9.
+    bool found = false;
+    for (const auto& n : design->nodes) {
+        if (n.op == rtl::Op::Const && n.cval.bits() == 9) found = true;
+    }
+    EXPECT_TRUE(found);
+    EXPECT_NE(design->find_signal("u0.x"), rtl::kInvalidId);
+}
+
+TEST(Elab, ForLoopUnrolls) {
+    auto design = frontend::compile(R"(
+        module top(input clk, input [7:0] d, output reg [7:0] q);
+          integer i;
+          always @(posedge clk) begin
+            for (i = 0; i < 4; i = i + 1)
+              q[i] <= d[i];
+          end
+        endmodule
+    )",
+                                    "top");
+    ASSERT_EQ(design->behaviors.size(), 1u);
+    // Unrolled into 4 assignments.
+    const auto& body = *design->behaviors[0].body;
+    ASSERT_EQ(body.kind, rtl::Stmt::Kind::Block);
+    ASSERT_EQ(body.stmts.size(), 1u);   // for -> inner block
+    EXPECT_EQ(body.stmts[0]->stmts.size(), 4u);
+}
+
+TEST(Elab, RejectsWideVectors) {
+    EXPECT_THROW(frontend::compile(
+                     "module top(input [79:0] a, output [79:0] y);"
+                     "assign y = a; endmodule",
+                     "top"),
+                 ElabError);
+}
+
+TEST(Elab, RejectsMultipleDrivers) {
+    EXPECT_THROW(frontend::compile(R"(
+        module top(input a, input b, output y);
+          assign y = a;
+          assign y = b;
+        endmodule
+    )",
+                                   "top"),
+                 ElabError);
+}
+
+TEST(Elab, RejectsUnknownIdentifier) {
+    EXPECT_THROW(frontend::compile(
+                     "module top(output y); assign y = zz; endmodule", "top"),
+                 ElabError);
+}
+
+TEST(Elab, MemoriesBecomeArrays) {
+    auto design = frontend::compile(R"(
+        module top(input clk, input [3:0] addr, input [7:0] d,
+                   input we, output reg [7:0] q);
+          reg [7:0] mem [0:15];
+          always @(posedge clk) begin
+            if (we) mem[addr] <= d;
+            q <= mem[addr];
+          end
+        endmodule
+    )",
+                                    "top");
+    ASSERT_EQ(design->arrays.size(), 1u);
+    EXPECT_EQ(design->arrays[0].size, 16u);
+    EXPECT_EQ(design->arrays[0].width, 8u);
+}
+
+TEST(Elab, ConcatLhsAssignSplits) {
+    auto design = frontend::compile(R"(
+        module top(input [7:0] a, input [7:0] b, output co,
+                   output [7:0] s);
+          assign {co, s} = a + b;
+        endmodule
+    )",
+                                    "top");
+    // co must be driven by a Slice at offset 8, s by a Slice at offset 0.
+    const rtl::SignalId co = design->signal_id("co");
+    const rtl::SignalId s = design->signal_id("s");
+    const auto& co_drv = design->nodes[design->signals[co].driver];
+    const auto& s_drv = design->nodes[design->signals[s].driver];
+    EXPECT_EQ(co_drv.op, rtl::Op::Slice);
+    EXPECT_EQ(co_drv.imm, 8u);
+    EXPECT_EQ(s_drv.op, rtl::Op::Slice);
+    EXPECT_EQ(s_drv.imm, 0u);
+}
+
+}  // namespace
+}  // namespace eraser

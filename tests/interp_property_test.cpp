@@ -1,0 +1,198 @@
+// Property tests for expression evaluation: random elaborated expression
+// trees evaluated by the interpreter must match a direct big-integer-free
+// oracle computed over the same tree, for thousands of operand vectors.
+// Also checks algebraic identities the evaluator must respect.
+#include <gtest/gtest.h>
+
+#include "rtl/expr.h"
+#include "rtl/ops.h"
+#include "sim/interp.h"
+#include "util/prng.h"
+
+namespace eraser {
+namespace {
+
+using rtl::Expr;
+using rtl::ExprPtr;
+using rtl::Op;
+
+/// Leaf-value provider for this test: signals are entries of a vector.
+class VecCtx final : public sim::EvalContext {
+  public:
+    explicit VecCtx(std::vector<Value> vals) : vals_(std::move(vals)) {}
+    Value read_signal(rtl::SignalId s) override { return vals_[s]; }
+    Value read_array(rtl::ArrayId, uint64_t) override { return Value(0, 8); }
+    void write_signal(rtl::SignalId, Value, bool) override {}
+    void write_array(rtl::ArrayId, uint64_t, Value, bool) override {}
+
+  private:
+    std::vector<Value> vals_;
+};
+
+/// Direct recursive oracle over the same tree, written independently of
+/// eval_op (intentional duplication: two implementations must agree).
+uint64_t oracle(const Expr& e, const std::vector<Value>& leaves) {
+    auto mask = [](uint64_t v, unsigned w) { return v & Value::mask(w); };
+    switch (e.kind) {
+        case Expr::Kind::Const: return e.cval.bits();
+        case Expr::Kind::SignalRef:
+            return mask(leaves[e.sig].bits(), e.width);
+        case Expr::Kind::ArrayRead: return 0;
+        case Expr::Kind::OpApply: {
+            std::vector<uint64_t> a;
+            for (const auto& arg : e.args) a.push_back(oracle(*arg, leaves));
+            auto wa = [&](size_t i) { return e.args[i]->width; };
+            switch (e.op) {
+                case Op::Copy: return mask(a[0], e.width);
+                case Op::Add: return mask(a[0] + a[1], e.width);
+                case Op::Sub: return mask(a[0] - a[1], e.width);
+                case Op::Mul: return mask(a[0] * a[1], e.width);
+                case Op::And: return mask(a[0] & a[1], e.width);
+                case Op::Or: return mask(a[0] | a[1], e.width);
+                case Op::Xor: return mask(a[0] ^ a[1], e.width);
+                case Op::Not: return mask(~a[0], e.width);
+                case Op::Neg: return mask(~a[0] + 1, e.width);
+                case Op::Eq: return a[0] == a[1] ? 1 : 0;
+                case Op::Ne: return a[0] != a[1] ? 1 : 0;
+                case Op::Lt: return a[0] < a[1] ? 1 : 0;
+                case Op::Le: return a[0] <= a[1] ? 1 : 0;
+                case Op::Mux: return a[0] != 0 ? a[1] : a[2];
+                case Op::Concat:
+                    return mask((a[0] << wa(1)) | a[1], e.width);
+                case Op::Slice: return mask(a[0] >> e.imm, e.width);
+                default: return 0;
+            }
+        }
+    }
+    return 0;
+}
+
+/// Random expression-tree builder over `num_leaves` signals.
+ExprPtr random_expr(Prng& rng, int depth, unsigned num_leaves) {
+    if (depth <= 0 || rng.chance(1, 3)) {
+        if (rng.chance(1, 4)) {
+            const unsigned w = 1 + static_cast<unsigned>(rng.below(32));
+            return Expr::make_const(Value(rng.bits(w), w));
+        }
+        const auto sig = static_cast<rtl::SignalId>(rng.below(num_leaves));
+        return Expr::make_signal(sig, 16);
+    }
+    switch (rng.below(5)) {
+        case 0: {
+            static const Op ops[] = {Op::Add, Op::Sub, Op::Mul, Op::And,
+                                     Op::Or,  Op::Xor};
+            ExprPtr a = random_expr(rng, depth - 1, num_leaves);
+            ExprPtr b = random_expr(rng, depth - 1, num_leaves);
+            const unsigned w = std::max(a->width, b->width);
+            std::vector<ExprPtr> args;
+            args.push_back(std::move(a));
+            args.push_back(std::move(b));
+            return Expr::make_op(ops[rng.below(6)], std::move(args), w);
+        }
+        case 1: {
+            static const Op ops[] = {Op::Eq, Op::Ne, Op::Lt, Op::Le};
+            ExprPtr a = random_expr(rng, depth - 1, num_leaves);
+            ExprPtr b = random_expr(rng, depth - 1, num_leaves);
+            std::vector<ExprPtr> args;
+            args.push_back(std::move(a));
+            args.push_back(std::move(b));
+            return Expr::make_op(ops[rng.below(4)], std::move(args), 1);
+        }
+        case 2: {
+            ExprPtr sel = random_expr(rng, depth - 1, num_leaves);
+            ExprPtr a = random_expr(rng, depth - 1, num_leaves);
+            ExprPtr b = random_expr(rng, depth - 1, num_leaves);
+            const unsigned w = std::max(a->width, b->width);
+            std::vector<ExprPtr> args;
+            args.push_back(std::move(sel));
+            args.push_back(std::move(a));
+            args.push_back(std::move(b));
+            return Expr::make_op(Op::Mux, std::move(args), w);
+        }
+        case 3: {
+            ExprPtr a = random_expr(rng, depth - 1, num_leaves);
+            ExprPtr b = random_expr(rng, depth - 1, num_leaves);
+            if (a->width + b->width > 64) {
+                // Too wide to concatenate; degrade to a unary op.
+                const unsigned w = a->width;
+                std::vector<ExprPtr> args;
+                args.push_back(std::move(a));
+                return Expr::make_op(Op::Not, std::move(args), w);
+            }
+            const unsigned w = a->width + b->width;
+            std::vector<ExprPtr> args;
+            args.push_back(std::move(a));
+            args.push_back(std::move(b));
+            return Expr::make_op(Op::Concat, std::move(args), w);
+        }
+        default: {
+            ExprPtr a = random_expr(rng, depth - 1, num_leaves);
+            const unsigned aw = a->width;
+            const unsigned lo = static_cast<unsigned>(rng.below(aw));
+            const unsigned w = 1 + static_cast<unsigned>(rng.below(aw - lo));
+            std::vector<ExprPtr> args;
+            args.push_back(std::move(a));
+            return Expr::make_op(Op::Slice, std::move(args), w, lo);
+        }
+    }
+}
+
+class ExprFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprFuzz, ::testing::Range<uint64_t>(1, 9));
+
+TEST_P(ExprFuzz, InterpreterMatchesOracle) {
+    Prng rng(GetParam());
+    constexpr unsigned kLeaves = 6;
+    for (int tree = 0; tree < 50; ++tree) {
+        const ExprPtr e = random_expr(rng, 4, kLeaves);
+        for (int vec = 0; vec < 20; ++vec) {
+            std::vector<Value> leaves;
+            for (unsigned i = 0; i < kLeaves; ++i) {
+                leaves.emplace_back(rng.bits(16), 16);
+            }
+            VecCtx ctx(leaves);
+            const Value got = sim::eval_expr(*e, ctx);
+            EXPECT_EQ(got.bits(), oracle(*e, leaves))
+                << "seed " << GetParam() << " tree " << tree;
+            EXPECT_EQ(got.width(), e->width);
+        }
+    }
+}
+
+TEST(ExprClone, DeepCopyIsIndependentAndEqual) {
+    Prng rng(99);
+    const ExprPtr e = random_expr(rng, 4, 4);
+    const ExprPtr c = e->clone();
+    std::vector<Value> leaves = {Value(1, 16), Value(2, 16), Value(3, 16),
+                                 Value(4, 16)};
+    VecCtx ctx(leaves);
+    EXPECT_EQ(sim::eval_expr(*e, ctx), sim::eval_expr(*c, ctx));
+}
+
+TEST(EvalIdentities, AlgebraicProperties) {
+    Prng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        const unsigned w = 1 + static_cast<unsigned>(rng.below(32));
+        const Value a(rng.bits(w), w), b(rng.bits(w), w);
+        const Value ab[2] = {a, b};
+        const Value ba[2] = {b, a};
+        // Commutativity.
+        EXPECT_EQ(rtl::eval_op(Op::Add, ab, w), rtl::eval_op(Op::Add, ba, w));
+        EXPECT_EQ(rtl::eval_op(Op::Xor, ab, w), rtl::eval_op(Op::Xor, ba, w));
+        // x ^ x == 0; x - x == 0.
+        const Value aa[2] = {a, a};
+        EXPECT_EQ(rtl::eval_op(Op::Xor, aa, w).bits(), 0u);
+        EXPECT_EQ(rtl::eval_op(Op::Sub, aa, w).bits(), 0u);
+        // ~~x == x.
+        const Value na = rtl::eval_op(Op::Not, {&a, 1}, w);
+        EXPECT_EQ(rtl::eval_op(Op::Not, {&na, 1}, w), a);
+        // Add then Sub round-trips.
+        const Value sum = rtl::eval_op(Op::Add, ab, w);
+        const Value sb[2] = {sum, b};
+        EXPECT_EQ(rtl::eval_op(Op::Sub, sb, w), a);
+    }
+}
+
+}  // namespace
+}  // namespace eraser

@@ -1,0 +1,155 @@
+// Unit tests for Value and operator evaluation.
+#include <gtest/gtest.h>
+
+#include "rtl/ops.h"
+#include "rtl/value.h"
+
+namespace eraser::rtl {
+namespace {
+
+TEST(Value, MasksToWidth) {
+    EXPECT_EQ(Value(0x1FF, 8).bits(), 0xFFu);
+    EXPECT_EQ(Value(0x1FF, 9).bits(), 0x1FFu);
+    EXPECT_EQ(Value(~uint64_t{0}, 64).bits(), ~uint64_t{0});
+    EXPECT_EQ(Value(5, 1).bits(), 1u);
+}
+
+TEST(Value, MaskHelper) {
+    EXPECT_EQ(Value::mask(1), 1u);
+    EXPECT_EQ(Value::mask(8), 0xFFu);
+    EXPECT_EQ(Value::mask(64), ~uint64_t{0});
+}
+
+TEST(Value, ResizeTruncatesAndExtends) {
+    EXPECT_EQ(Value(0xABCD, 16).resized(8).bits(), 0xCDu);
+    EXPECT_EQ(Value(0xCD, 8).resized(16).bits(), 0xCDu);
+}
+
+TEST(Value, WithBitsReplacesField) {
+    const Value v(0b11110000, 8);
+    EXPECT_EQ(v.with_bits(0, 4, 0b1010).bits(), 0b11111010u);
+    EXPECT_EQ(v.with_bits(4, 4, 0b0101).bits(), 0b01010000u);
+    EXPECT_EQ(v.with_bits(3, 2, 0b11).bits(), 0b11111000u);
+}
+
+TEST(Value, EqualityIncludesWidth) {
+    EXPECT_EQ(Value(3, 4), Value(3, 4));
+    EXPECT_NE(Value(3, 4), Value(3, 5));
+    EXPECT_NE(Value(3, 4), Value(2, 4));
+}
+
+struct BinCase {
+    Op op;
+    uint64_t a, b;
+    unsigned w;
+    uint64_t expect;
+};
+
+class BinaryOpTest : public ::testing::TestWithParam<BinCase> {};
+
+TEST_P(BinaryOpTest, Evaluates) {
+    const BinCase& c = GetParam();
+    const Value ops[2] = {Value(c.a, c.w), Value(c.b, c.w)};
+    const unsigned out_w = op_arity(c.op) == 2 &&
+                                   (c.op == Op::Eq || c.op == Op::Ne ||
+                                    c.op == Op::Lt || c.op == Op::Le ||
+                                    c.op == Op::Gt || c.op == Op::Ge ||
+                                    c.op == Op::LAnd || c.op == Op::LOr)
+                               ? 1
+                               : c.w;
+    EXPECT_EQ(eval_op(c.op, ops, out_w).bits(), c.expect)
+        << op_name(c.op) << "(" << c.a << ", " << c.b << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, BinaryOpTest,
+    ::testing::Values(
+        BinCase{Op::Add, 200, 100, 8, 44},          // wraps mod 256
+        BinCase{Op::Add, 7, 8, 32, 15},
+        BinCase{Op::Sub, 5, 7, 8, 254},             // borrow wraps
+        BinCase{Op::Mul, 16, 16, 8, 0},             // overflow masked
+        BinCase{Op::Mul, 7, 6, 16, 42},
+        BinCase{Op::Div, 42, 5, 8, 8},
+        BinCase{Op::Div, 42, 0, 8, 255},            // div-by-0 → all ones
+        BinCase{Op::Mod, 42, 5, 8, 2},
+        BinCase{Op::Mod, 42, 0, 8, 42}));           // mod-by-0 → dividend
+
+INSTANTIATE_TEST_SUITE_P(
+    Bitwise, BinaryOpTest,
+    ::testing::Values(BinCase{Op::And, 0b1100, 0b1010, 4, 0b1000},
+                      BinCase{Op::Or, 0b1100, 0b1010, 4, 0b1110},
+                      BinCase{Op::Xor, 0b1100, 0b1010, 4, 0b0110},
+                      BinCase{Op::Shl, 0b0011, 2, 4, 0b1100},
+                      BinCase{Op::Shl, 1, 70, 8, 0},   // oversize shift
+                      BinCase{Op::Shr, 0b1100, 2, 4, 0b0011},
+                      BinCase{Op::Shr, 0xFF, 65, 8, 0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Compare, BinaryOpTest,
+    ::testing::Values(BinCase{Op::Eq, 5, 5, 8, 1}, BinCase{Op::Eq, 5, 6, 8, 0},
+                      BinCase{Op::Ne, 5, 6, 8, 1}, BinCase{Op::Lt, 5, 6, 8, 1},
+                      BinCase{Op::Lt, 6, 5, 8, 0}, BinCase{Op::Le, 5, 5, 8, 1},
+                      BinCase{Op::Gt, 6, 5, 8, 1}, BinCase{Op::Ge, 4, 5, 8, 0},
+                      BinCase{Op::LAnd, 3, 4, 8, 1},
+                      BinCase{Op::LAnd, 3, 0, 8, 0},
+                      BinCase{Op::LOr, 0, 0, 8, 0},
+                      BinCase{Op::LOr, 0, 9, 8, 1}));
+
+TEST(UnaryOps, Evaluate) {
+    const Value v(0b1010, 4);
+    EXPECT_EQ(eval_op(Op::Not, {&v, 1}, 4).bits(), 0b0101u);
+    EXPECT_EQ(eval_op(Op::Neg, {&v, 1}, 4).bits(), 0b0110u);
+    EXPECT_EQ(eval_op(Op::LNot, {&v, 1}, 1).bits(), 0u);
+    EXPECT_EQ(eval_op(Op::RedOr, {&v, 1}, 1).bits(), 1u);
+    EXPECT_EQ(eval_op(Op::RedAnd, {&v, 1}, 1).bits(), 0u);
+    EXPECT_EQ(eval_op(Op::RedXor, {&v, 1}, 1).bits(), 0u);
+
+    const Value ones(0xF, 4);
+    EXPECT_EQ(eval_op(Op::RedAnd, {&ones, 1}, 1).bits(), 1u);
+    const Value three(0b0011, 4);
+    EXPECT_EQ(eval_op(Op::RedXor, {&three, 1}, 1).bits(), 0u);
+    const Value one(0b0001, 4);
+    EXPECT_EQ(eval_op(Op::RedXor, {&one, 1}, 1).bits(), 1u);
+}
+
+TEST(MuxOp, SelectsBySelector) {
+    const Value sel1(1, 1), sel0(0, 1), a(0xAA, 8), b(0x55, 8);
+    {
+        const Value ops[3] = {sel1, a, b};
+        EXPECT_EQ(eval_op(Op::Mux, ops, 8).bits(), 0xAAu);
+    }
+    {
+        const Value ops[3] = {sel0, a, b};
+        EXPECT_EQ(eval_op(Op::Mux, ops, 8).bits(), 0x55u);
+    }
+}
+
+TEST(ConcatOp, MsbFirst) {
+    const Value parts[3] = {Value(0xA, 4), Value(0xB, 4), Value(0xC, 4)};
+    EXPECT_EQ(eval_op(Op::Concat, parts, 12).bits(), 0xABCu);
+}
+
+TEST(SliceOp, ExtractsField) {
+    const Value v(0xABCD, 16);
+    EXPECT_EQ(eval_op(Op::Slice, {&v, 1}, 4, 4).bits(), 0xCu);
+    EXPECT_EQ(eval_op(Op::Slice, {&v, 1}, 8, 8).bits(), 0xABu);
+}
+
+TEST(IndexOp, DynamicBitSelect) {
+    const Value vec(0b1000, 4);
+    {
+        const Value ops[2] = {vec, Value(3, 4)};
+        EXPECT_EQ(eval_op(Op::Index, ops, 1).bits(), 1u);
+    }
+    {
+        const Value ops[2] = {vec, Value(2, 4)};
+        EXPECT_EQ(eval_op(Op::Index, ops, 1).bits(), 0u);
+    }
+    {   // out-of-range index reads 0 (2-state convention)
+        const Value ops[2] = {vec, Value(9, 4)};
+        EXPECT_EQ(eval_op(Op::Index, ops, 1).bits(), 0u);
+    }
+}
+
+}  // namespace
+}  // namespace eraser::rtl

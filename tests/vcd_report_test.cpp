@@ -1,0 +1,94 @@
+// Tests for the VCD tracer and the campaign report writers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fault/report.h"
+#include "frontend/compile.h"
+#include "sim/vcd.h"
+#include "suite/random_stimulus.h"
+
+namespace eraser {
+namespace {
+
+TEST(Vcd, HeaderAndChangesOnly) {
+    auto design = frontend::compile(R"(
+        module top(input clk, input rst, output reg [3:0] q);
+          always @(posedge clk) if (rst) q <= 0; else q <= q + 1;
+        endmodule
+    )",
+                                    "top");
+    sim::SimEngine eng(*design);
+    eng.reset();
+
+    std::ostringstream out;
+    sim::VcdWriter vcd(out, *design,
+                       {design->signal_id("clk"), design->signal_id("q")});
+    const auto clk = design->signal_id("clk");
+    eng.poke(design->signal_id("rst"), 0);
+    vcd.sample(eng, 0);
+    for (uint64_t t = 1; t <= 3; ++t) {
+        eng.tick(clk);
+        vcd.sample(eng, t * 10);
+    }
+    const std::string text = out.str();
+    EXPECT_NE(text.find("$timescale"), std::string::npos);
+    EXPECT_NE(text.find("$var wire 1"), std::string::npos);
+    EXPECT_NE(text.find("$var wire 4"), std::string::npos);
+    EXPECT_NE(text.find("$enddefinitions"), std::string::npos);
+    EXPECT_NE(text.find("#0"), std::string::npos);
+    // q counts 1, 2, 3 -> binary dumps present.
+    EXPECT_NE(text.find("b0001"), std::string::npos);
+    EXPECT_NE(text.find("b0011"), std::string::npos);
+    // A second sample with no changes emits no timestamp.
+    const size_t len_before = out.str().size();
+    vcd.sample(eng, 40);
+    EXPECT_EQ(out.str().size(), len_before);
+}
+
+TEST(Vcd, DotsInHierarchicalNamesAreSanitized) {
+    auto design = frontend::compile(R"(
+        module leaf(input a, output y); assign y = a; endmodule
+        module top(input a, output y);
+          wire mid;
+          leaf u0 (.a(a), .y(mid));
+          leaf u1 (.a(mid), .y(y));
+        endmodule
+    )",
+                                    "top");
+    std::ostringstream out;
+    sim::VcdWriter vcd(out, *design);
+    EXPECT_NE(out.str().find("u0_a"), std::string::npos);
+    EXPECT_EQ(out.str().find("u0.a"), std::string::npos);
+}
+
+TEST(Reports, TextAndCsvContainVerdicts) {
+    auto design = frontend::compile(R"(
+        module top(input clk, input [3:0] d, output reg [3:0] q);
+          always @(posedge clk) q <= d;
+        endmodule
+    )",
+                                    "top");
+    const auto faults = fault::generate_faults(*design, {});
+    suite::RandomStimulus::Config cfg;
+    cfg.cycles = 50;
+    suite::RandomStimulus stim(cfg);
+    const auto result = core::run_concurrent_campaign(*design, faults, stim,
+                                                      {});
+
+    std::ostringstream text;
+    fault::write_text_report(text, *design, faults, result);
+    EXPECT_NE(text.str().find("coverage"), std::string::npos);
+    EXPECT_NE(text.str().find("detected: "), std::string::npos);
+
+    std::ostringstream csv;
+    fault::write_csv_report(csv, *design, faults, result);
+    // Header + one row per fault.
+    size_t lines = 0;
+    for (char c : csv.str()) lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, faults.size() + 1);
+    EXPECT_NE(csv.str().find("q,0,0,1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eraser
