@@ -1,0 +1,106 @@
+// Sharded-campaign scaling sweep: runs the full Eraser campaign on every
+// suite benchmark at 1..N worker threads under both shard policies,
+// reporting wall time, speedup over the 1-thread sharded run, and the
+// cost-balance quality of the partition. Detection bitmaps are checked
+// against the unsharded serial campaign at every point — the scaling layer
+// must never change a verdict.
+//
+//   $ ./build/bench/bench_sharding [--quick] [--threads N]
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace eraser;
+
+namespace {
+
+std::vector<uint32_t> thread_points(uint32_t max_threads) {
+    std::vector<uint32_t> points;
+    for (uint32_t t = 1; t <= max_threads; t *= 2) points.push_back(t);
+    if (points.empty() || points.back() != max_threads) {
+        points.push_back(max_threads);
+    }
+    return points;
+}
+
+const char* policy_name(core::ShardPolicy p) {
+    return p == core::ShardPolicy::RoundRobin ? "round-robin"
+                                              : "cost-balanced";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto scale = bench::parse_scale(argc, argv);
+    bench::print_environment(
+        "Sharding sweep: campaign wall time vs worker threads");
+
+    const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+    const uint32_t max_threads = scale.threads > 0 ? scale.threads : hw;
+
+    std::printf("%-12s %-14s %8s %8s %10s %9s %9s\n", "Benchmark", "Policy",
+                "Threads", "Shards", "Time(s)", "Speedup", "Balance");
+
+    for (const auto& b : suite::registry()) {
+        auto design = suite::load_design(b);
+        const auto faults = bench::faults_for(*design, scale.faults(b));
+        const uint32_t cycles = scale.cycles(b);
+
+        auto factory = [&]() { return suite::make_stimulus(b, cycles); };
+
+        // Per-fault cost estimates, built once per benchmark (the partition
+        // for a given shard count is deterministic and timing-independent).
+        const auto costs = core::estimate_fault_costs(*design, faults);
+
+        // Unsharded reference verdicts.
+        auto ref_stim = suite::make_stimulus(b, cycles);
+        core::CampaignOptions ref_opts;
+        const auto ref = core::run_concurrent_campaign(*design, faults,
+                                                       *ref_stim, ref_opts);
+
+        for (const auto policy :
+             {core::ShardPolicy::RoundRobin, core::ShardPolicy::CostBalanced}) {
+            double base_seconds = 0.0;
+            for (const uint32_t threads : thread_points(max_threads)) {
+                core::CampaignOptions opts;
+                opts.num_threads = threads;
+                opts.shard_policy = policy;
+                const auto run = core::run_sharded_campaign(
+                    *design, faults, factory, opts, &costs);
+                if (run.detected != ref.detected) {
+                    std::printf("%-12s VERDICT MISMATCH at %u threads (%s)\n",
+                                b.display.c_str(), threads,
+                                policy_name(policy));
+                    return 1;
+                }
+                if (threads == 1) base_seconds = run.seconds;
+
+                // Balance: max shard cost / mean shard cost (1.0 = perfect),
+                // in estimated-cost units under both policies.
+                const auto shards = core::make_shards(
+                    *design, faults, run.num_shards, policy, &costs);
+                uint64_t max_cost = 0, total_cost = 0;
+                for (const auto& s : shards) {
+                    max_cost = std::max(max_cost, s.est_cost);
+                    total_cost += s.est_cost;
+                }
+                const double balance =
+                    total_cost == 0
+                        ? 1.0
+                        : static_cast<double>(max_cost) * shards.size() /
+                              static_cast<double>(total_cost);
+                std::printf("%-12s %-14s %8u %8u %10.3f %8.2fx %9.2f\n",
+                            b.display.c_str(), policy_name(policy), threads,
+                            run.num_shards, run.seconds,
+                            base_seconds > 0 ? base_seconds / run.seconds
+                                             : 1.0,
+                            balance);
+            }
+        }
+    }
+    std::printf("\nAll sharded runs matched the serial verdicts bit-for-bit.\n");
+    return 0;
+}

@@ -2,7 +2,9 @@
 // environment banner (Table I analogue), scale flags, and campaign plumbing.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -39,9 +41,11 @@ inline void print_environment(const char* what) {
     std::printf("================================================================\n");
 }
 
-/// `--quick` shrinks cycles and fault samples for smoke runs.
+/// `--quick` shrinks cycles and fault samples for smoke runs; `--threads N`
+/// sets the sharded-campaign worker count (0 = hardware concurrency).
 struct Scale {
     bool quick = false;
+    uint32_t threads = 0;
     uint32_t cycles(const suite::Benchmark& b) const {
         return quick ? b.test_cycles : b.cycles;
     }
@@ -55,6 +59,15 @@ inline Scale parse_scale(int argc, char** argv) {
     Scale s;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) s.quick = true;
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            // Consume the value only if it is numeric, so a forgotten N
+            // ("--threads --quick") does not swallow the next flag.
+            // Non-positive values fall back to 0 = hardware concurrency.
+            const char* arg = argv[i + 1];
+            if (arg[0] == '-' && !std::isdigit(arg[1])) continue;
+            const int v = std::atoi(argv[++i]);
+            s.threads = v > 0 ? static_cast<uint32_t>(v) : 0;
+        }
     }
     return s;
 }

@@ -20,11 +20,12 @@ int main(int argc, char** argv) {
     const auto scale = bench::parse_scale(argc, argv);
     bench::print_environment("Fig. 6: performance comparison (IFsim = 1.0x)");
 
-    std::printf("%-12s %9s | %9s %9s %9s %9s | %7s %7s %7s\n", "Benchmark",
-                "#Faults", "IFsim(s)", "VFsim(s)", "CFSIMX(s)", "Eraser(s)",
-                "VF(x)", "CFX(x)", "Erasr(x)");
+    std::printf("%-12s %9s | %9s %9s %9s %9s %9s | %7s %7s %7s %7s\n",
+                "Benchmark", "#Faults", "IFsim(s)", "VFsim(s)", "CFSIMX(s)",
+                "Eraser(s)", "ErsrMT(s)", "VF(x)", "CFX(x)", "Erasr(x)",
+                "MT(x)");
 
-    double geo_eraser = 1.0, geo_cfx = 1.0, geo_vf = 1.0;
+    double geo_eraser = 1.0, geo_cfx = 1.0, geo_vf = 1.0, geo_mt = 1.0;
     int count = 0;
 
     for (const auto& b : suite::registry()) {
@@ -51,26 +52,38 @@ int main(int argc, char** argv) {
         const auto cfx = run_concurrent(core::RedundancyMode::Explicit);
         const auto eraser_run = run_concurrent(core::RedundancyMode::Full);
 
-        // Coverage sanity: all four must agree.
+        // Eraser with the sharded multi-threaded campaign scheduler.
+        core::CampaignOptions mt_opts;
+        mt_opts.num_threads = scale.threads;   // 0 = hardware concurrency
+        const auto eraser_mt = core::run_sharded_campaign(
+            *design, faults, [&] { return suite::make_stimulus(b, cycles); },
+            mt_opts);
+
+        // Coverage sanity: all five must agree (the sharded run must also
+        // match fault-by-fault, not just in total).
         if (ifsim.num_detected != vfsim.num_detected ||
             ifsim.num_detected != cfx.num_detected ||
-            ifsim.num_detected != eraser_run.num_detected) {
-            std::printf("%-12s COVERAGE MISMATCH (%u/%u/%u/%u)\n",
+            ifsim.num_detected != eraser_run.num_detected ||
+            eraser_mt.detected != eraser_run.detected) {
+            std::printf("%-12s COVERAGE MISMATCH (%u/%u/%u/%u/%u)\n",
                         b.display.c_str(), ifsim.num_detected,
                         vfsim.num_detected, cfx.num_detected,
-                        eraser_run.num_detected);
+                        eraser_run.num_detected, eraser_mt.num_detected);
             return 1;
         }
 
         const double base = ifsim.seconds;
-        std::printf("%-12s %9zu | %9.3f %9.3f %9.3f %9.3f | %7.1f %7.1f %7.1f\n",
+        std::printf("%-12s %9zu | %9.3f %9.3f %9.3f %9.3f %9.3f | %7.1f "
+                    "%7.1f %7.1f %7.1f\n",
                     b.display.c_str(), faults.size(), ifsim.seconds,
                     vfsim.seconds, cfx.seconds, eraser_run.seconds,
-                    base / vfsim.seconds, base / cfx.seconds,
-                    base / eraser_run.seconds);
+                    eraser_mt.seconds, base / vfsim.seconds,
+                    base / cfx.seconds, base / eraser_run.seconds,
+                    base / eraser_mt.seconds);
         geo_vf *= base / vfsim.seconds;
         geo_cfx *= base / cfx.seconds;
         geo_eraser *= base / eraser_run.seconds;
+        geo_mt *= base / eraser_mt.seconds;
         ++count;
     }
 
@@ -78,8 +91,8 @@ int main(int argc, char** argv) {
         return count > 0 ? std::pow(product, 1.0 / count) : 0.0;
     };
     std::printf("\nGeomean speedup vs IFsim*: VFsim* %.1fx | CFSIM-X* %.1fx | "
-                "Eraser %.1fx\n",
-                geo(geo_vf), geo(geo_cfx), geo(geo_eraser));
+                "Eraser %.1fx | Eraser-MT %.1fx\n",
+                geo(geo_vf), geo(geo_cfx), geo(geo_eraser), geo(geo_mt));
     std::printf("Geomean Eraser vs CFSIM-X* (Z01X stand-in): %.2fx\n",
                 geo(geo_eraser) / geo(geo_cfx));
     std::printf("Paper reference: Eraser averages 3.9x vs Z01X and 5.9x vs "

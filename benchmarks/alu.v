@@ -1,0 +1,78 @@
+// ALU benchmark: 64-bit combinational ALU with an accumulator register and
+// status flags. op=0 add, 1 sub, 2 and, 3 or, 4 xor, 5 shl, 6 shr, 7 mul,
+// 8 slt (unsigned), 9 pass-b; anything else copies a.
+module alu(input clk, input rst,
+           input [3:0] op,
+           input [63:0] a, input [63:0] b,
+           input acc_en,
+           output reg [63:0] result,
+           output reg [63:0] acc,
+           output zero, output parity, output reg carry,
+           output reg [15:0] op_count,
+           output reg [63:0] max_seen,
+           output reg [63:0] min_seen,
+           output reg [15:0] zero_count,
+           output reg sticky_carry,
+           output [63:0] acc_mix,
+           output msb);
+
+  wire [5:0] shamt = b[5:0];
+  wire [63:0] sum = a + b;
+  wire [63:0] diff = a - b;
+
+  always @(*) begin
+    carry = 1'b0;
+    case (op)
+      4'd0: begin result = sum; carry = (sum < a) && (b != 64'd0); end
+      4'd1: begin result = diff; carry = (a < b); end
+      4'd2: result = a & b;
+      4'd3: result = a | b;
+      4'd4: result = a ^ b;
+      4'd5: result = a << shamt;
+      4'd6: result = a >> shamt;
+      4'd7: result = a * b;
+      4'd8: result = (a < b) ? 64'd1 : 64'd0;
+      4'd9: result = b;
+      4'd10: result = ~(a & b);
+      4'd11: result = ~(a | b);
+      4'd12: result = (a < b) ? a : b;
+      4'd13: result = (a < b) ? b : a;
+      4'd14: result = (a < b) ? (b - a) : (a - b);
+      default: result = a;
+    endcase
+  end
+
+  assign zero = (result == 64'd0);
+  assign parity = ^result;
+
+  assign acc_mix = acc ^ {result[31:0], result[63:32]};
+  assign msb = result[63];
+
+  always @(posedge clk) begin
+    if (rst) begin
+      acc <= 64'd0;
+      op_count <= 16'd0;
+    end else begin
+      if (acc_en) begin
+        acc <= acc + result;
+        op_count <= op_count + 16'd1;
+      end
+    end
+  end
+
+  // Running min/max/zero statistics over the accumulated results.
+  always @(posedge clk) begin
+    if (rst) begin
+      max_seen <= 64'd0;
+      min_seen <= 64'hFFFFFFFFFFFFFFFF;
+      zero_count <= 16'd0;
+      sticky_carry <= 1'b0;
+    end else if (acc_en) begin
+      if (result > max_seen) max_seen <= result;
+      if (result < min_seen) min_seen <= result;
+      if (zero) zero_count <= zero_count + 16'd1;
+      if (carry) sticky_carry <= 1'b1;
+    end
+  end
+
+endmodule

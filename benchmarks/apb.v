@@ -1,0 +1,85 @@
+// APB-style register-file peripheral: req/wr/addr/wdata command interface,
+// two-phase (setup/access) FSM, four mapped 32-bit registers at byte
+// addresses 0x0/0x4/0x8/0xC, decode error on anything else.
+module apb(input clk, input rstn,
+           input req, input wr,
+           input [7:0] addr, input [31:0] wdata,
+           output reg done,
+           output reg [31:0] rdata,
+           output reg slverr,
+           output reg [15:0] xact_count,
+           output reg [15:0] err_count,
+           output [31:0] status);
+
+  localparam IDLE = 2'd0, SETUP = 2'd1, ACCESS = 2'd2;
+
+  reg [1:0] state;
+  reg lat_wr;
+  reg [7:0] lat_addr;
+  reg [31:0] lat_wdata;
+  reg [31:0] reg0, reg1, reg2, reg3;
+
+  wire mapped = (lat_addr[7:4] == 4'd0) && (lat_addr[1:0] == 2'd0);
+  wire [1:0] sel = lat_addr[3:2];
+
+  assign status = {err_count, xact_count};
+
+  always @(posedge clk) begin
+    if (!rstn) begin
+      state <= IDLE;
+      done <= 1'b0;
+      rdata <= 32'd0;
+      slverr <= 1'b0;
+      lat_wr <= 1'b0;
+      lat_addr <= 8'd0;
+      lat_wdata <= 32'd0;
+      reg0 <= 32'd0;
+      reg1 <= 32'd0;
+      reg2 <= 32'd0;
+      reg3 <= 32'd0;
+      xact_count <= 16'd0;
+      err_count <= 16'd0;
+    end else begin
+      case (state)
+        IDLE: begin
+          done <= 1'b0;
+          if (req) begin
+            lat_wr <= wr;
+            lat_addr <= addr;
+            lat_wdata <= wdata;
+            state <= SETUP;
+          end
+        end
+        SETUP: state <= ACCESS;
+        ACCESS: begin
+          slverr <= !mapped;
+          if (mapped) begin
+            if (lat_wr) begin
+              case (sel)
+                2'd0: reg0 <= lat_wdata;
+                2'd1: reg1 <= lat_wdata;
+                2'd2: reg2 <= lat_wdata;
+                2'd3: reg3 <= lat_wdata;
+              endcase
+            end else begin
+              case (sel)
+                2'd0: rdata <= reg0;
+                2'd1: rdata <= reg1;
+                2'd2: rdata <= reg2;
+                2'd3: rdata <= reg3;
+              endcase
+            end
+          end else begin
+            rdata <= 32'hDEADBEEF;
+            err_count <= err_count + 16'd1;
+          end
+          done <= 1'b1;
+          xact_count <= xact_count + 16'd1;
+          state <= IDLE;
+        end
+        default: state <= IDLE;
+      endcase
+    end
+  end
+
+endmodule

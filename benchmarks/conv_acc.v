@@ -1,0 +1,73 @@
+// Convolution accelerator: a 9-tap (3x3) kernel is loaded into a small
+// memory, then pixels stream in one per cycle; once the 9-pixel window is
+// warm the MAC pipeline emits sum(window[i] * kernel[i]) + bias each cycle.
+module conv_acc(input clk, input rst,
+                input kernel_we, input [3:0] kernel_addr,
+                input [7:0] kernel_data,
+                input pixel_valid, input [7:0] pixel,
+                input [7:0] bias,
+                output reg out_valid,
+                output reg [19:0] out_data,
+                output reg [15:0] pixel_count,
+                output reg [7:0] out_sat,
+                output reg [19:0] peak,
+                output reg [31:0] checksum);
+
+  reg [7:0] kernel [0:8];
+
+  // 9-deep pixel window (p0 newest).
+  reg [7:0] p0, p1, p2, p3, p4, p5, p6, p7, p8;
+  reg [3:0] warm;
+
+  reg [19:0] mac;
+  always @(*) begin
+    mac = {12'd0, bias};
+    mac = mac + p0 * kernel[0];
+    mac = mac + p1 * kernel[1];
+    mac = mac + p2 * kernel[2];
+    mac = mac + p3 * kernel[3];
+    mac = mac + p4 * kernel[4];
+    mac = mac + p5 * kernel[5];
+    mac = mac + p6 * kernel[6];
+    mac = mac + p7 * kernel[7];
+    mac = mac + p8 * kernel[8];
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      p0 <= 8'd0; p1 <= 8'd0; p2 <= 8'd0; p3 <= 8'd0; p4 <= 8'd0;
+      p5 <= 8'd0; p6 <= 8'd0; p7 <= 8'd0; p8 <= 8'd0;
+      warm <= 4'd0;
+      out_valid <= 1'b0;
+      out_data <= 20'd0;
+      pixel_count <= 16'd0;
+      out_sat <= 8'd0;
+      peak <= 20'd0;
+      checksum <= 32'd0;
+    end else begin
+      if (kernel_we && kernel_addr < 4'd9) begin
+        kernel[kernel_addr] <= kernel_data;
+      end
+      if (pixel_valid) begin
+        p0 <= pixel;
+        p1 <= p0; p2 <= p1; p3 <= p2; p4 <= p3;
+        p5 <= p4; p6 <= p5; p7 <= p6; p8 <= p7;
+        if (warm < 4'd9) warm <= warm + 4'd1;
+        pixel_count <= pixel_count + 16'd1;
+        if (warm >= 4'd8) begin
+          out_valid <= 1'b1;
+          out_data <= mac;
+          // 8-bit saturated view, peak tracking, and a rolling checksum.
+          out_sat <= (mac > 20'd255) ? 8'hFF : mac[7:0];
+          if (mac > peak) peak <= mac;
+          checksum <= {checksum[30:0], checksum[31]} ^ {12'd0, mac};
+        end else begin
+          out_valid <= 1'b0;
+        end
+      end else begin
+        out_valid <= 1'b0;
+      end
+    end
+  end
+
+endmodule

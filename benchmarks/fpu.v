@@ -1,0 +1,129 @@
+// FPU benchmark: IEEE-754 single-precision add / multiply, 3-stage pipeline
+// (capture -> compute -> output). 2-state simplifications: denormals are
+// flushed to zero, results truncate toward zero (all directed test vectors
+// are exact), overflow saturates to infinity encoding.
+module fpu(input clk, input rst,
+           input valid_in, input op_mul,
+           input [31:0] a, input [31:0] b,
+           output reg [31:0] y,
+           output reg valid_out);
+
+  // ---- stage 1: capture -------------------------------------------------
+  reg s1_valid, s1_mul;
+  reg [31:0] s1_a, s1_b;
+
+  // ---- unpack (combinational, from stage-1 registers) -------------------
+  wire sa = s1_a[31];
+  wire sb = s1_b[31];
+  wire [7:0] ea = s1_a[30:23];
+  wire [7:0] eb = s1_b[30:23];
+  wire [22:0] fa = s1_a[22:0];
+  wire [22:0] fb = s1_b[22:0];
+  wire a_zero = (ea == 8'd0);
+  wire b_zero = (eb == 8'd0);
+  wire [23:0] ma = {1'b1, fa};
+  wire [23:0] mb = {1'b1, fb};
+
+  // ---- multiply path ----------------------------------------------------
+  reg [31:0] mul_y;
+  reg [47:0] prod;
+  reg [9:0] pexp;
+  reg [22:0] pman;
+  always @(*) begin
+    prod = ma * mb;
+    pexp = {2'b00, ea} + {2'b00, eb} - 10'd127;
+    if (prod[47]) begin
+      pman = prod[46:24];
+      pexp = pexp + 10'd1;
+    end else begin
+      pman = prod[45:23];
+    end
+    if (a_zero || b_zero) begin
+      mul_y = 32'd0;
+    end else if (pexp[9] || pexp == 10'd0) begin
+      mul_y = 32'd0;                       // underflow -> zero
+    end else if (pexp[8]) begin
+      mul_y = {sa ^ sb, 8'hFF, 23'd0};     // overflow -> infinity
+    end else begin
+      mul_y = {sa ^ sb, pexp[7:0], pman};
+    end
+  end
+
+  // ---- add path ---------------------------------------------------------
+  reg [31:0] add_y;
+  reg s_big, s_small;
+  reg [7:0] e_big, e_small;
+  reg [22:0] f_big, f_small;
+  reg [7:0] d;
+  reg [26:0] m_big, m_small, norm;
+  reg [27:0] sum28;
+  reg [9:0] aexp;
+  integer i;
+  always @(*) begin
+    // Order operands by magnitude so the subtraction below cannot borrow.
+    if ({ea, fa} >= {eb, fb}) begin
+      s_big = sa;   e_big = ea;   f_big = fa;
+      s_small = sb; e_small = eb; f_small = fb;
+    end else begin
+      s_big = sb;   e_big = eb;   f_big = fb;
+      s_small = sa; e_small = ea; f_small = fa;
+    end
+    d = e_big - e_small;
+    m_big = {1'b1, f_big, 3'b000};
+    m_small = {1'b1, f_small, 3'b000};
+    if (d > 8'd26) m_small = 27'd0;
+    else m_small = m_small >> d;
+
+    if (s_big == s_small) sum28 = {1'b0, m_big} + {1'b0, m_small};
+    else sum28 = {1'b0, m_big} - {1'b0, m_small};
+
+    aexp = {2'b00, e_big};
+    norm = 27'd0;
+    if (sum28[27]) begin
+      norm = sum28[27:1];
+      aexp = aexp + 10'd1;
+    end else begin
+      norm = sum28[26:0];
+      // Left-normalize after cancellation (at most 26 shifts).
+      for (i = 0; i < 26; i = i + 1) begin
+        if (!norm[26] && norm != 27'd0) begin
+          norm = norm << 1;
+          aexp = aexp - 10'd1;
+        end
+      end
+    end
+
+    if (a_zero && b_zero) add_y = 32'd0;
+    else if (a_zero) add_y = s1_b;
+    else if (b_zero) add_y = s1_a;
+    else if (sum28 == 28'd0) add_y = 32'd0;          // exact cancellation
+    else if (aexp[9] || aexp == 10'd0) add_y = 32'd0; // underflow
+    else if (aexp[8]) add_y = {s_big, 8'hFF, 23'd0};  // overflow
+    else add_y = {s_big, aexp[7:0], norm[25:3]};
+  end
+
+  // ---- stage 2: compute, stage 3: output --------------------------------
+  reg s2_valid;
+  reg [31:0] s2_y;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      s1_valid <= 1'b0; s1_mul <= 1'b0;
+      s1_a <= 32'd0; s1_b <= 32'd0;
+      s2_valid <= 1'b0; s2_y <= 32'd0;
+      valid_out <= 1'b0; y <= 32'd0;
+    end else begin
+      s1_valid <= valid_in;
+      s1_mul <= op_mul;
+      s1_a <= a;
+      s1_b <= b;
+
+      s2_valid <= s1_valid;
+      s2_y <= s1_mul ? mul_y : add_y;
+
+      valid_out <= s2_valid;
+      y <= s2_y;
+    end
+  end
+
+endmodule

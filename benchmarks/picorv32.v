@@ -1,0 +1,179 @@
+// picorv32-style RV32I subset core: small-area microcoded flavor — a five
+// state FSM (FETCH, DECODE, EXECUTE, MEMORY, WRITEBACK) with a bit-serial
+// shifter (one shift position per cycle), trading cycles for area exactly
+// like the original. Same ISA subset and test program as sodor.v.
+module picorv32(input clk, input rst,
+                output reg [31:0] dbg_x10,
+                output reg [31:0] dbg_pc,
+                output reg [31:0] retired);
+
+  localparam FETCH = 3'd0, DECODE = 3'd1, EXEC = 3'd2, SHIFT = 3'd3,
+             MEM = 3'd4, WB = 3'd5;
+
+  reg [31:0] imem [0:63];
+  reg [31:0] dmem [0:127];
+  reg [31:0] rf [0:31];
+
+  reg [2:0] state;
+  reg [31:0] pc;
+  reg [31:0] ir;
+
+  // Registered operands (loaded in DECODE).
+  reg [31:0] op1, op2;
+  reg [31:0] imm_r;
+
+  // Serial shifter state.
+  reg [31:0] shreg;
+  reg [4:0] shcnt;
+  reg sh_left;
+
+  // Write-back / memory registers.
+  reg [31:0] wb_r, npc_r, addr_r, store_r;
+  reg [4:0] wb_rd;
+  reg wb_we, do_load, do_store;
+
+  // ---- decode fields ----------------------------------------------------
+  wire [6:0] opcode = ir[6:0];
+  wire [4:0] rd = ir[11:7];
+  wire [2:0] f3 = ir[14:12];
+  wire [4:0] rs1 = ir[19:15];
+  wire [4:0] rs2 = ir[24:20];
+  wire [6:0] f7 = ir[31:25];
+
+  wire [31:0] imm_i = {{20{ir[31]}}, ir[31:20]};
+  wire [31:0] imm_s = {{20{ir[31]}}, ir[31:25], ir[11:7]};
+  wire [31:0] imm_b = {{19{ir[31]}}, ir[31], ir[7], ir[30:25], ir[11:8],
+                       1'b0};
+  wire [31:0] imm_u = {ir[31:12], 12'd0};
+  wire [31:0] imm_j = {{11{ir[31]}}, ir[31], ir[19:12], ir[20], ir[30:21],
+                       1'b0};
+
+  wire is_imm_op = (opcode == 7'h13);
+  wire is_shift = (opcode == 7'h13) && (f3 == 3'd1 || f3 == 3'd5);
+
+  wire [31:0] alu_b = is_imm_op ? imm_r : op2;
+  wire lt_signed = (op1[31] != alu_b[31]) ? op1[31] : (op1 < alu_b);
+
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= FETCH;
+      pc <= 32'd0;
+      ir <= 32'd0;
+      op1 <= 32'd0; op2 <= 32'd0; imm_r <= 32'd0;
+      shreg <= 32'd0; shcnt <= 5'd0; sh_left <= 1'b0;
+      wb_r <= 32'd0; npc_r <= 32'd0; addr_r <= 32'd0; store_r <= 32'd0;
+      wb_rd <= 5'd0; wb_we <= 1'b0; do_load <= 1'b0; do_store <= 1'b0;
+      dbg_x10 <= 32'd0;
+      dbg_pc <= 32'd0;
+      retired <= 32'd0;
+    end else begin
+      case (state)
+        FETCH: begin
+          ir <= imem[pc[7:2]];
+          state <= DECODE;
+        end
+        DECODE: begin
+          op1 <= (rs1 == 5'd0) ? 32'd0 : rf[rs1];
+          op2 <= (rs2 == 5'd0) ? 32'd0 : rf[rs2];
+          imm_r <= (opcode == 7'h23) ? imm_s : imm_i;
+          state <= EXEC;
+        end
+        EXEC: begin
+          wb_rd <= rd;
+          wb_we <= 1'b0;
+          do_load <= 1'b0;
+          do_store <= 1'b0;
+          npc_r <= pc + 32'd4;
+          state <= WB;
+          case (opcode)
+            7'h13: begin
+              if (is_shift) begin
+                // Bit-serial shift: one position per cycle in SHIFT.
+                shreg <= op1;
+                shcnt <= imm_r[4:0];
+                sh_left <= (f3 == 3'd1);
+                state <= SHIFT;
+              end else begin
+                wb_we <= 1'b1;
+                case (f3)
+                  3'd0: wb_r <= op1 + imm_r;
+                  3'd4: wb_r <= op1 ^ imm_r;
+                  3'd6: wb_r <= op1 | imm_r;
+                  3'd7: wb_r <= op1 & imm_r;
+                  default: wb_r <= op1;
+                endcase
+              end
+            end
+            7'h33: begin
+              wb_we <= 1'b1;
+              case (f3)
+                3'd0: wb_r <= f7[5] ? (op1 - op2) : (op1 + op2);
+                3'd2: wb_r <= lt_signed ? 32'd1 : 32'd0;
+                3'd3: wb_r <= (op1 < op2) ? 32'd1 : 32'd0;
+                3'd4: wb_r <= op1 ^ op2;
+                3'd6: wb_r <= op1 | op2;
+                3'd7: wb_r <= op1 & op2;
+                default: wb_r <= op1;
+              endcase
+            end
+            7'h37: begin wb_we <= 1'b1; wb_r <= imm_u; end
+            7'h03: begin
+              addr_r <= op1 + imm_r;
+              do_load <= 1'b1;
+              state <= MEM;
+            end
+            7'h23: begin
+              addr_r <= op1 + imm_r;
+              store_r <= op2;
+              do_store <= 1'b1;
+              state <= MEM;
+            end
+            7'h63: begin
+              case (f3)
+                3'd0: if (op1 == op2) npc_r <= pc + imm_b;
+                3'd1: if (op1 != op2) npc_r <= pc + imm_b;
+                3'd4: if (lt_signed) npc_r <= pc + imm_b;
+                3'd6: if (op1 < op2) npc_r <= pc + imm_b;
+                default: npc_r <= pc + 32'd4;
+              endcase
+            end
+            7'h6F: begin
+              wb_we <= 1'b1;
+              wb_r <= pc + 32'd4;
+              npc_r <= pc + imm_j;
+            end
+            default: npc_r <= pc + 32'd4;
+          endcase
+        end
+        SHIFT: begin
+          if (shcnt == 5'd0) begin
+            wb_r <= shreg;
+            wb_we <= 1'b1;
+            state <= WB;
+          end else begin
+            shreg <= sh_left ? (shreg << 1) : (shreg >> 1);
+            shcnt <= shcnt - 5'd1;
+          end
+        end
+        MEM: begin
+          if (do_load) begin
+            wb_r <= dmem[addr_r[8:2]];
+            wb_we <= 1'b1;
+          end
+          if (do_store) dmem[addr_r[8:2]] <= store_r;
+          state <= WB;
+        end
+        WB: begin
+          if (wb_we && wb_rd != 5'd0) rf[wb_rd] <= wb_r;
+          pc <= npc_r;
+          retired <= retired + 32'd1;
+          dbg_x10 <= (wb_we && wb_rd == 5'd10) ? wb_r : rf[10];
+          dbg_pc <= npc_r;
+          state <= FETCH;
+        end
+        default: state <= FETCH;
+      endcase
+    end
+  end
+
+endmodule

@@ -1,0 +1,146 @@
+// riscv-mini-style multicycle RV32I subset core: a three-state FSM
+// (FETCH -> EXECUTE -> WRITEBACK) with a registered instruction word and a
+// registered write-back value. Same ISA subset as sodor.v, one third the
+// instruction throughput — the point of the benchmark is a different
+// control structure over the same program.
+module riscv_mini(input clk, input rst,
+                  output reg [31:0] dbg_x10,
+                  output reg [31:0] dbg_pc,
+                  output reg [31:0] retired);
+
+  localparam FETCH = 2'd0, EXEC = 2'd1, WB = 2'd2;
+
+  reg [31:0] imem [0:63];
+  reg [31:0] dmem [0:127];
+  reg [31:0] rf [0:31];
+
+  reg [1:0] state;
+  reg [31:0] pc;
+  reg [31:0] ir;          // registered instruction
+  reg [31:0] wb_r;        // registered write-back value
+  reg [4:0] wb_rd;
+  reg wb_we;
+  reg [31:0] npc_r;
+
+  // ---- decode (from the registered instruction) -------------------------
+  wire [6:0] opcode = ir[6:0];
+  wire [4:0] rd = ir[11:7];
+  wire [2:0] f3 = ir[14:12];
+  wire [4:0] rs1 = ir[19:15];
+  wire [4:0] rs2 = ir[24:20];
+  wire [6:0] f7 = ir[31:25];
+
+  wire [31:0] imm_i = {{20{ir[31]}}, ir[31:20]};
+  wire [31:0] imm_s = {{20{ir[31]}}, ir[31:25], ir[11:7]};
+  wire [31:0] imm_b = {{19{ir[31]}}, ir[31], ir[7], ir[30:25], ir[11:8],
+                       1'b0};
+  wire [31:0] imm_u = {ir[31:12], 12'd0};
+  wire [31:0] imm_j = {{11{ir[31]}}, ir[31], ir[19:12], ir[20], ir[30:21],
+                       1'b0};
+
+  reg [31:0] r1, r2;
+  always @(*) r1 = (rs1 == 5'd0) ? 32'd0 : rf[rs1];
+  always @(*) r2 = (rs2 == 5'd0) ? 32'd0 : rf[rs2];
+
+  wire lt_signed = (r1[31] != r2[31]) ? r1[31] : (r1 < r2);
+
+  reg [31:0] ex_val, ex_npc, mem_addr;
+  reg ex_we, ex_store;
+  reg [31:0] load_val;
+  always @(*) begin
+    mem_addr = r1 + ((opcode == 7'h23) ? imm_s : imm_i);
+    load_val = dmem[mem_addr[8:2]];
+  end
+
+  always @(*) begin
+    ex_val = 32'd0;
+    ex_we = 1'b0;
+    ex_store = 1'b0;
+    ex_npc = pc + 32'd4;
+    case (opcode)
+      7'h13: begin
+        ex_we = 1'b1;
+        case (f3)
+          3'd0: ex_val = r1 + imm_i;
+          3'd1: ex_val = r1 << imm_i[4:0];
+          3'd4: ex_val = r1 ^ imm_i;
+          3'd5: ex_val = r1 >> imm_i[4:0];
+          3'd6: ex_val = r1 | imm_i;
+          3'd7: ex_val = r1 & imm_i;
+          default: ex_val = r1;
+        endcase
+      end
+      7'h33: begin
+        ex_we = 1'b1;
+        case (f3)
+          3'd0: ex_val = f7[5] ? (r1 - r2) : (r1 + r2);
+          3'd2: ex_val = lt_signed ? 32'd1 : 32'd0;
+          3'd3: ex_val = (r1 < r2) ? 32'd1 : 32'd0;
+          3'd4: ex_val = r1 ^ r2;
+          3'd6: ex_val = r1 | r2;
+          3'd7: ex_val = r1 & r2;
+          default: ex_val = r1;
+        endcase
+      end
+      7'h37: begin ex_we = 1'b1; ex_val = imm_u; end
+      7'h03: begin ex_we = 1'b1; ex_val = load_val; end
+      7'h23: ex_store = 1'b1;
+      7'h63: begin
+        case (f3)
+          3'd0: if (r1 == r2) ex_npc = pc + imm_b;
+          3'd1: if (r1 != r2) ex_npc = pc + imm_b;
+          3'd4: if (lt_signed) ex_npc = pc + imm_b;
+          3'd6: if (r1 < r2) ex_npc = pc + imm_b;
+          default: ex_npc = pc + 32'd4;
+        endcase
+      end
+      7'h6F: begin
+        ex_we = 1'b1;
+        ex_val = pc + 32'd4;
+        ex_npc = pc + imm_j;
+      end
+      default: ex_npc = pc + 32'd4;
+    endcase
+  end
+
+  // ---- FSM --------------------------------------------------------------
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= FETCH;
+      pc <= 32'd0;
+      ir <= 32'd0;
+      wb_r <= 32'd0;
+      wb_rd <= 5'd0;
+      wb_we <= 1'b0;
+      npc_r <= 32'd0;
+      dbg_x10 <= 32'd0;
+      dbg_pc <= 32'd0;
+      retired <= 32'd0;
+    end else begin
+      case (state)
+        FETCH: begin
+          ir <= imem[pc[7:2]];
+          state <= EXEC;
+        end
+        EXEC: begin
+          wb_r <= ex_val;
+          wb_rd <= rd;
+          wb_we <= ex_we;
+          npc_r <= ex_npc;
+          if (ex_store) dmem[mem_addr[8:2]] <= r2;
+          state <= WB;
+        end
+        WB: begin
+          if (wb_we && wb_rd != 5'd0) rf[wb_rd] <= wb_r;
+          pc <= npc_r;
+          retired <= retired + 32'd1;
+          dbg_x10 <= (wb_we && wb_rd == 5'd10) ? wb_r : rf[10];
+          dbg_pc <= npc_r;
+          state <= FETCH;
+        end
+        default: state <= FETCH;
+      endcase
+    end
+  end
+
+endmodule

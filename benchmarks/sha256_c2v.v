@@ -1,0 +1,199 @@
+// SHA-256 core, compiler-generated style ("c2v" = chisel-to-verilog): the
+// same function as sha256_hv.v with a structurally different netlist —
+// round constants in a ROM array written by an initial block, the message
+// schedule kept in a circular 16-entry memory addressed modulo 16, and the
+// round datapath flattened into named intermediate wires. Functionally
+// bit-identical to sha256_hv (property-tested).
+module sha256_c2v(input clk, input rst,
+                  input init, input next,
+                  input block_we, input [3:0] block_addr,
+                  input [31:0] block_data,
+                  output done,
+                  output [31:0] digest0, output [31:0] digest1,
+                  output [31:0] digest2, output [31:0] digest3,
+                  output [31:0] digest4, output [31:0] digest5,
+                  output [31:0] digest6, output [31:0] digest7);
+
+  reg [31:0] block_mem [0:15];
+  reg [31:0] k_rom [0:63];
+  reg [31:0] w_mem [0:15];
+
+  initial begin
+    k_rom[0]  = 32'h428a2f98; k_rom[1]  = 32'h71374491;
+    k_rom[2]  = 32'hb5c0fbcf; k_rom[3]  = 32'he9b5dba5;
+    k_rom[4]  = 32'h3956c25b; k_rom[5]  = 32'h59f111f1;
+    k_rom[6]  = 32'h923f82a4; k_rom[7]  = 32'hab1c5ed5;
+    k_rom[8]  = 32'hd807aa98; k_rom[9]  = 32'h12835b01;
+    k_rom[10] = 32'h243185be; k_rom[11] = 32'h550c7dc3;
+    k_rom[12] = 32'h72be5d74; k_rom[13] = 32'h80deb1fe;
+    k_rom[14] = 32'h9bdc06a7; k_rom[15] = 32'hc19bf174;
+    k_rom[16] = 32'he49b69c1; k_rom[17] = 32'hefbe4786;
+    k_rom[18] = 32'h0fc19dc6; k_rom[19] = 32'h240ca1cc;
+    k_rom[20] = 32'h2de92c6f; k_rom[21] = 32'h4a7484aa;
+    k_rom[22] = 32'h5cb0a9dc; k_rom[23] = 32'h76f988da;
+    k_rom[24] = 32'h983e5152; k_rom[25] = 32'ha831c66d;
+    k_rom[26] = 32'hb00327c8; k_rom[27] = 32'hbf597fc7;
+    k_rom[28] = 32'hc6e00bf3; k_rom[29] = 32'hd5a79147;
+    k_rom[30] = 32'h06ca6351; k_rom[31] = 32'h14292967;
+    k_rom[32] = 32'h27b70a85; k_rom[33] = 32'h2e1b2138;
+    k_rom[34] = 32'h4d2c6dfc; k_rom[35] = 32'h53380d13;
+    k_rom[36] = 32'h650a7354; k_rom[37] = 32'h766a0abb;
+    k_rom[38] = 32'h81c2c92e; k_rom[39] = 32'h92722c85;
+    k_rom[40] = 32'ha2bfe8a1; k_rom[41] = 32'ha81a664b;
+    k_rom[42] = 32'hc24b8b70; k_rom[43] = 32'hc76c51a3;
+    k_rom[44] = 32'hd192e819; k_rom[45] = 32'hd6990624;
+    k_rom[46] = 32'hf40e3585; k_rom[47] = 32'h106aa070;
+    k_rom[48] = 32'h19a4c116; k_rom[49] = 32'h1e376c08;
+    k_rom[50] = 32'h2748774c; k_rom[51] = 32'h34b0bcb5;
+    k_rom[52] = 32'h391c0cb3; k_rom[53] = 32'h4ed8aa4a;
+    k_rom[54] = 32'h5b9cca4f; k_rom[55] = 32'h682e6ff3;
+    k_rom[56] = 32'h748f82ee; k_rom[57] = 32'h78a5636f;
+    k_rom[58] = 32'h84c87814; k_rom[59] = 32'h8cc70208;
+    k_rom[60] = 32'h90befffa; k_rom[61] = 32'ha4506ceb;
+    k_rom[62] = 32'hbef9a3f7; k_rom[63] = 32'hc67178f2;
+  end
+
+  reg busy;
+  reg finalize;
+  reg done_q;
+  reg [6:0] round;
+
+  reg [31:0] state_a, state_b, state_c, state_d;
+  reg [31:0] state_e, state_f, state_g, state_h;
+  reg [31:0] hash_0, hash_1, hash_2, hash_3;
+  reg [31:0] hash_4, hash_5, hash_6, hash_7;
+
+  // ---- message schedule (circular buffer, flattened wires) --------------
+  wire [3:0] _T_idx_m16 = round[3:0];
+  wire [3:0] _T_idx_m15 = round[3:0] + 4'd1;
+  wire [3:0] _T_idx_m7 = round[3:0] + 4'd9;
+  wire [3:0] _T_idx_m2 = round[3:0] + 4'd14;
+
+  reg [31:0] _T_w_m16, _T_w_m15, _T_w_m7, _T_w_m2, _T_block_w, _T_kt;
+  always @(*) begin
+    _T_w_m16 = w_mem[_T_idx_m16];
+    _T_w_m15 = w_mem[_T_idx_m15];
+    _T_w_m7 = w_mem[_T_idx_m7];
+    _T_w_m2 = w_mem[_T_idx_m2];
+    _T_block_w = block_mem[round[3:0]];
+    _T_kt = k_rom[round[5:0]];
+  end
+
+  wire [31:0] _T_s0_r7 = {_T_w_m15[6:0], _T_w_m15[31:7]};
+  wire [31:0] _T_s0_r18 = {_T_w_m15[17:0], _T_w_m15[31:18]};
+  wire [31:0] _T_s0_s3 = _T_w_m15 >> 3;
+  wire [31:0] _T_s0 = _T_s0_r7 ^ _T_s0_r18 ^ _T_s0_s3;
+
+  wire [31:0] _T_s1_r17 = {_T_w_m2[16:0], _T_w_m2[31:17]};
+  wire [31:0] _T_s1_r19 = {_T_w_m2[18:0], _T_w_m2[31:19]};
+  wire [31:0] _T_s1_s10 = _T_w_m2 >> 10;
+  wire [31:0] _T_s1 = _T_s1_r17 ^ _T_s1_r19 ^ _T_s1_s10;
+
+  wire [31:0] _T_w_next = _T_s1 + _T_w_m7 + _T_s0 + _T_w_m16;
+  wire [31:0] _T_wt = (round < 7'd16) ? _T_block_w : _T_w_next;
+
+  // ---- compression round (flattened wires) ------------------------------
+  wire [31:0] _T_e_r6 = {state_e[5:0], state_e[31:6]};
+  wire [31:0] _T_e_r11 = {state_e[10:0], state_e[31:11]};
+  wire [31:0] _T_e_r25 = {state_e[24:0], state_e[31:25]};
+  wire [31:0] _T_big_s1 = _T_e_r6 ^ _T_e_r11 ^ _T_e_r25;
+
+  wire [31:0] _T_ch = (state_e & state_f) ^ (~state_e & state_g);
+  wire [31:0] _T_t1_0 = state_h + _T_big_s1;
+  wire [31:0] _T_t1_1 = _T_t1_0 + _T_ch;
+  wire [31:0] _T_t1_2 = _T_t1_1 + _T_kt;
+  wire [31:0] _T_temp1 = _T_t1_2 + _T_wt;
+
+  wire [31:0] _T_a_r2 = {state_a[1:0], state_a[31:2]};
+  wire [31:0] _T_a_r13 = {state_a[12:0], state_a[31:13]};
+  wire [31:0] _T_a_r22 = {state_a[21:0], state_a[31:22]};
+  wire [31:0] _T_big_s0 = _T_a_r2 ^ _T_a_r13 ^ _T_a_r22;
+
+  wire [31:0] _T_maj = (state_a & state_b) ^ (state_a & state_c) ^
+                       (state_b & state_c);
+  wire [31:0] _T_temp2 = _T_big_s0 + _T_maj;
+
+  wire [31:0] _T_next_e = state_d + _T_temp1;
+  wire [31:0] _T_next_a = _T_temp1 + _T_temp2;
+
+  wire _T_start = init | next;
+  wire _T_last_round = (round == 7'd63);
+
+  always @(posedge clk) begin
+    if (rst) begin
+      busy <= 1'b0;
+      finalize <= 1'b0;
+      done_q <= 1'b0;
+      round <= 7'd0;
+      state_a <= 32'd0; state_b <= 32'd0; state_c <= 32'd0;
+      state_d <= 32'd0; state_e <= 32'd0; state_f <= 32'd0;
+      state_g <= 32'd0; state_h <= 32'd0;
+      hash_0 <= 32'd0; hash_1 <= 32'd0; hash_2 <= 32'd0; hash_3 <= 32'd0;
+      hash_4 <= 32'd0; hash_5 <= 32'd0; hash_6 <= 32'd0; hash_7 <= 32'd0;
+    end else begin
+      if (block_we) block_mem[block_addr] <= block_data;
+
+      if (!busy && !finalize && _T_start) begin
+        if (init) begin
+          hash_0 <= 32'h6a09e667; hash_1 <= 32'hbb67ae85;
+          hash_2 <= 32'h3c6ef372; hash_3 <= 32'ha54ff53a;
+          hash_4 <= 32'h510e527f; hash_5 <= 32'h9b05688c;
+          hash_6 <= 32'h1f83d9ab; hash_7 <= 32'h5be0cd19;
+          state_a <= 32'h6a09e667; state_b <= 32'hbb67ae85;
+          state_c <= 32'h3c6ef372; state_d <= 32'ha54ff53a;
+          state_e <= 32'h510e527f; state_f <= 32'h9b05688c;
+          state_g <= 32'h1f83d9ab; state_h <= 32'h5be0cd19;
+        end else begin
+          state_a <= hash_0; state_b <= hash_1;
+          state_c <= hash_2; state_d <= hash_3;
+          state_e <= hash_4; state_f <= hash_5;
+          state_g <= hash_6; state_h <= hash_7;
+        end
+        round <= 7'd0;
+        done_q <= 1'b0;
+        busy <= 1'b1;
+      end
+
+      if (busy) begin
+        state_h <= state_g;
+        state_g <= state_f;
+        state_f <= state_e;
+        state_e <= _T_next_e;
+        state_d <= state_c;
+        state_c <= state_b;
+        state_b <= state_a;
+        state_a <= _T_next_a;
+        w_mem[round[3:0]] <= _T_wt;
+        round <= round + 7'd1;
+        if (_T_last_round) begin
+          busy <= 1'b0;
+          finalize <= 1'b1;
+        end
+      end
+
+      if (finalize) begin
+        hash_0 <= hash_0 + state_a;
+        hash_1 <= hash_1 + state_b;
+        hash_2 <= hash_2 + state_c;
+        hash_3 <= hash_3 + state_d;
+        hash_4 <= hash_4 + state_e;
+        hash_5 <= hash_5 + state_f;
+        hash_6 <= hash_6 + state_g;
+        hash_7 <= hash_7 + state_h;
+        finalize <= 1'b0;
+        done_q <= 1'b1;
+      end
+    end
+  end
+
+  assign done = done_q;
+  assign digest0 = hash_0;
+  assign digest1 = hash_1;
+  assign digest2 = hash_2;
+  assign digest3 = hash_3;
+  assign digest4 = hash_4;
+  assign digest5 = hash_5;
+  assign digest6 = hash_6;
+  assign digest7 = hash_7;
+
+endmodule

@@ -1,0 +1,160 @@
+// SHA-256 core, hand-written FSM style ("hv" = hardware verilog): one
+// compression round per cycle over a 16-word sliding message window, round
+// constants selected by a case table. Interface: load the 512-bit block a
+// word at a time through block_we/addr/data, pulse `init` (first block) or
+// `next` (chained block), poll `done`, read digest0..7.
+module sha256_hv(input clk, input rst,
+                 input init, input next,
+                 input block_we, input [3:0] block_addr,
+                 input [31:0] block_data,
+                 output done,
+                 output [31:0] digest0, output [31:0] digest1,
+                 output [31:0] digest2, output [31:0] digest3,
+                 output [31:0] digest4, output [31:0] digest5,
+                 output [31:0] digest6, output [31:0] digest7);
+
+  localparam IDLE = 2'd0, ROUNDS = 2'd1, DIGEST = 2'd2;
+
+  reg [31:0] block_mem [0:15];
+
+  reg [1:0] state;
+  reg [6:0] t;
+  reg done_r;
+
+  // Working variables and hash state.
+  reg [31:0] a, b, c, d, e, f, g, h;
+  reg [31:0] h0, h1, h2, h3, h4, h5, h6, h7;
+
+  // 16-word sliding window: w0 = W[t-16] ... w15 = W[t-1].
+  reg [31:0] w0, w1, w2, w3, w4, w5, w6, w7;
+  reg [31:0] w8, w9, w10, w11, w12, w13, w14, w15;
+
+  // ---- round constant ---------------------------------------------------
+  reg [31:0] kt;
+  always @(*) begin
+    case (t[5:0])
+      6'd0:  kt = 32'h428a2f98; 6'd1:  kt = 32'h71374491;
+      6'd2:  kt = 32'hb5c0fbcf; 6'd3:  kt = 32'he9b5dba5;
+      6'd4:  kt = 32'h3956c25b; 6'd5:  kt = 32'h59f111f1;
+      6'd6:  kt = 32'h923f82a4; 6'd7:  kt = 32'hab1c5ed5;
+      6'd8:  kt = 32'hd807aa98; 6'd9:  kt = 32'h12835b01;
+      6'd10: kt = 32'h243185be; 6'd11: kt = 32'h550c7dc3;
+      6'd12: kt = 32'h72be5d74; 6'd13: kt = 32'h80deb1fe;
+      6'd14: kt = 32'h9bdc06a7; 6'd15: kt = 32'hc19bf174;
+      6'd16: kt = 32'he49b69c1; 6'd17: kt = 32'hefbe4786;
+      6'd18: kt = 32'h0fc19dc6; 6'd19: kt = 32'h240ca1cc;
+      6'd20: kt = 32'h2de92c6f; 6'd21: kt = 32'h4a7484aa;
+      6'd22: kt = 32'h5cb0a9dc; 6'd23: kt = 32'h76f988da;
+      6'd24: kt = 32'h983e5152; 6'd25: kt = 32'ha831c66d;
+      6'd26: kt = 32'hb00327c8; 6'd27: kt = 32'hbf597fc7;
+      6'd28: kt = 32'hc6e00bf3; 6'd29: kt = 32'hd5a79147;
+      6'd30: kt = 32'h06ca6351; 6'd31: kt = 32'h14292967;
+      6'd32: kt = 32'h27b70a85; 6'd33: kt = 32'h2e1b2138;
+      6'd34: kt = 32'h4d2c6dfc; 6'd35: kt = 32'h53380d13;
+      6'd36: kt = 32'h650a7354; 6'd37: kt = 32'h766a0abb;
+      6'd38: kt = 32'h81c2c92e; 6'd39: kt = 32'h92722c85;
+      6'd40: kt = 32'ha2bfe8a1; 6'd41: kt = 32'ha81a664b;
+      6'd42: kt = 32'hc24b8b70; 6'd43: kt = 32'hc76c51a3;
+      6'd44: kt = 32'hd192e819; 6'd45: kt = 32'hd6990624;
+      6'd46: kt = 32'hf40e3585; 6'd47: kt = 32'h106aa070;
+      6'd48: kt = 32'h19a4c116; 6'd49: kt = 32'h1e376c08;
+      6'd50: kt = 32'h2748774c; 6'd51: kt = 32'h34b0bcb5;
+      6'd52: kt = 32'h391c0cb3; 6'd53: kt = 32'h4ed8aa4a;
+      6'd54: kt = 32'h5b9cca4f; 6'd55: kt = 32'h682e6ff3;
+      6'd56: kt = 32'h748f82ee; 6'd57: kt = 32'h78a5636f;
+      6'd58: kt = 32'h84c87814; 6'd59: kt = 32'h8cc70208;
+      6'd60: kt = 32'h90befffa; 6'd61: kt = 32'ha4506ceb;
+      6'd62: kt = 32'hbef9a3f7; 6'd63: kt = 32'hc67178f2;
+      default: kt = 32'd0;
+    endcase
+  end
+
+  // ---- message schedule -------------------------------------------------
+  wire [31:0] s0 = {w1[6:0], w1[31:7]} ^ {w1[17:0], w1[31:18]} ^ (w1 >> 3);
+  wire [31:0] s1 = {w14[16:0], w14[31:17]} ^ {w14[18:0], w14[31:19]} ^
+                   (w14 >> 10);
+  reg [31:0] wt;
+  always @(*) begin
+    if (t < 7'd16) wt = block_mem[t[3:0]];
+    else wt = s1 + w9 + s0 + w0;
+  end
+
+  // ---- compression round ------------------------------------------------
+  wire [31:0] big_s1 = {e[5:0], e[31:6]} ^ {e[10:0], e[31:11]} ^
+                       {e[24:0], e[31:25]};
+  wire [31:0] ch = (e & f) ^ (~e & g);
+  wire [31:0] temp1 = h + big_s1 + ch + kt + wt;
+  wire [31:0] big_s0 = {a[1:0], a[31:2]} ^ {a[12:0], a[31:13]} ^
+                       {a[21:0], a[31:22]};
+  wire [31:0] maj = (a & b) ^ (a & c) ^ (b & c);
+  wire [31:0] temp2 = big_s0 + maj;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= IDLE;
+      t <= 7'd0;
+      done_r <= 1'b0;
+      a <= 32'd0; b <= 32'd0; c <= 32'd0; d <= 32'd0;
+      e <= 32'd0; f <= 32'd0; g <= 32'd0; h <= 32'd0;
+      h0 <= 32'd0; h1 <= 32'd0; h2 <= 32'd0; h3 <= 32'd0;
+      h4 <= 32'd0; h5 <= 32'd0; h6 <= 32'd0; h7 <= 32'd0;
+      w0 <= 32'd0; w1 <= 32'd0; w2 <= 32'd0; w3 <= 32'd0;
+      w4 <= 32'd0; w5 <= 32'd0; w6 <= 32'd0; w7 <= 32'd0;
+      w8 <= 32'd0; w9 <= 32'd0; w10 <= 32'd0; w11 <= 32'd0;
+      w12 <= 32'd0; w13 <= 32'd0; w14 <= 32'd0; w15 <= 32'd0;
+    end else begin
+      if (block_we) block_mem[block_addr] <= block_data;
+
+      case (state)
+        IDLE: begin
+          if (init || next) begin
+            if (init) begin
+              h0 <= 32'h6a09e667; h1 <= 32'hbb67ae85;
+              h2 <= 32'h3c6ef372; h3 <= 32'ha54ff53a;
+              h4 <= 32'h510e527f; h5 <= 32'h9b05688c;
+              h6 <= 32'h1f83d9ab; h7 <= 32'h5be0cd19;
+              a <= 32'h6a09e667; b <= 32'hbb67ae85;
+              c <= 32'h3c6ef372; d <= 32'ha54ff53a;
+              e <= 32'h510e527f; f <= 32'h9b05688c;
+              g <= 32'h1f83d9ab; h <= 32'h5be0cd19;
+            end else begin
+              a <= h0; b <= h1; c <= h2; d <= h3;
+              e <= h4; f <= h5; g <= h6; h <= h7;
+            end
+            t <= 7'd0;
+            done_r <= 1'b0;
+            state <= ROUNDS;
+          end
+        end
+        ROUNDS: begin
+          h <= g; g <= f; f <= e; e <= d + temp1;
+          d <= c; c <= b; b <= a; a <= temp1 + temp2;
+          w0 <= w1; w1 <= w2; w2 <= w3; w3 <= w4;
+          w4 <= w5; w5 <= w6; w6 <= w7; w7 <= w8;
+          w8 <= w9; w9 <= w10; w10 <= w11; w11 <= w12;
+          w12 <= w13; w13 <= w14; w14 <= w15; w15 <= wt;
+          if (t == 7'd63) state <= DIGEST;
+          t <= t + 7'd1;
+        end
+        DIGEST: begin
+          h0 <= h0 + a; h1 <= h1 + b; h2 <= h2 + c; h3 <= h3 + d;
+          h4 <= h4 + e; h5 <= h5 + f; h6 <= h6 + g; h7 <= h7 + h;
+          done_r <= 1'b1;
+          state <= IDLE;
+        end
+        default: state <= IDLE;
+      endcase
+    end
+  end
+
+  assign done = done_r;
+  assign digest0 = h0;
+  assign digest1 = h1;
+  assign digest2 = h2;
+  assign digest3 = h3;
+  assign digest4 = h4;
+  assign digest5 = h5;
+  assign digest6 = h6;
+  assign digest7 = h7;
+
+endmodule

@@ -1,0 +1,124 @@
+// Sodor-style single-cycle RV32I subset core: fetch, decode, execute, and
+// write-back all in one clock. Supports the instructions emitted by
+// suite/asm.h: addi/xori/ori/andi/slli/srli, add/sub/xor/or/and/slt,
+// lui, lw/sw, beq/bne/blt, jal. Unknown opcodes retire as nops.
+module sodor(input clk, input rst,
+             output reg [31:0] dbg_x10,
+             output reg [31:0] dbg_pc,
+             output reg [31:0] retired);
+
+  reg [31:0] imem [0:63];
+  reg [31:0] dmem [0:127];
+  reg [31:0] rf [0:31];
+
+  reg [31:0] pc;
+
+  // ---- fetch + decode ---------------------------------------------------
+  reg [31:0] instr;
+  always @(*) instr = imem[pc[7:2]];
+
+  wire [6:0] opcode = instr[6:0];
+  wire [4:0] rd = instr[11:7];
+  wire [2:0] f3 = instr[14:12];
+  wire [4:0] rs1 = instr[19:15];
+  wire [4:0] rs2 = instr[24:20];
+  wire [6:0] f7 = instr[31:25];
+
+  wire [31:0] imm_i = {{20{instr[31]}}, instr[31:20]};
+  wire [31:0] imm_s = {{20{instr[31]}}, instr[31:25], instr[11:7]};
+  wire [31:0] imm_b = {{19{instr[31]}}, instr[31], instr[7], instr[30:25],
+                       instr[11:8], 1'b0};
+  wire [31:0] imm_u = {instr[31:12], 12'd0};
+  wire [31:0] imm_j = {{11{instr[31]}}, instr[31], instr[19:12], instr[20],
+                       instr[30:21], 1'b0};
+
+  reg [31:0] r1, r2;
+  always @(*) r1 = (rs1 == 5'd0) ? 32'd0 : rf[rs1];
+  always @(*) r2 = (rs2 == 5'd0) ? 32'd0 : rf[rs2];
+
+  wire lt_signed = (r1[31] != r2[31]) ? r1[31] : (r1 < r2);
+
+  // ---- execute ----------------------------------------------------------
+  reg [31:0] wb_val, next_pc, mem_addr;
+  reg wb_en, mem_we;
+  reg [31:0] load_val;
+  always @(*) begin
+    mem_addr = r1 + ((opcode == 7'h23) ? imm_s : imm_i);
+    load_val = dmem[mem_addr[8:2]];
+  end
+
+  always @(*) begin
+    wb_val = 32'd0;
+    wb_en = 1'b0;
+    mem_we = 1'b0;
+    next_pc = pc + 32'd4;
+    case (opcode)
+      7'h13: begin   // OP-IMM
+        wb_en = 1'b1;
+        case (f3)
+          3'd0: wb_val = r1 + imm_i;
+          3'd1: wb_val = r1 << imm_i[4:0];
+          3'd4: wb_val = r1 ^ imm_i;
+          3'd5: wb_val = r1 >> imm_i[4:0];
+          3'd6: wb_val = r1 | imm_i;
+          3'd7: wb_val = r1 & imm_i;
+          default: wb_val = r1;
+        endcase
+      end
+      7'h33: begin   // OP
+        wb_en = 1'b1;
+        case (f3)
+          3'd0: wb_val = f7[5] ? (r1 - r2) : (r1 + r2);
+          3'd2: wb_val = lt_signed ? 32'd1 : 32'd0;
+          3'd3: wb_val = (r1 < r2) ? 32'd1 : 32'd0;
+          3'd4: wb_val = r1 ^ r2;
+          3'd6: wb_val = r1 | r2;
+          3'd7: wb_val = r1 & r2;
+          default: wb_val = r1;
+        endcase
+      end
+      7'h37: begin   // LUI
+        wb_en = 1'b1;
+        wb_val = imm_u;
+      end
+      7'h03: begin   // LW
+        wb_en = 1'b1;
+        wb_val = load_val;
+      end
+      7'h23: mem_we = 1'b1;   // SW
+      7'h63: begin   // branches
+        case (f3)
+          3'd0: if (r1 == r2) next_pc = pc + imm_b;
+          3'd1: if (r1 != r2) next_pc = pc + imm_b;
+          3'd4: if (lt_signed) next_pc = pc + imm_b;
+          3'd6: if (r1 < r2) next_pc = pc + imm_b;
+          default: next_pc = pc + 32'd4;
+        endcase
+      end
+      7'h6F: begin   // JAL
+        wb_en = 1'b1;
+        wb_val = pc + 32'd4;
+        next_pc = pc + imm_j;
+      end
+      default: next_pc = pc + 32'd4;
+    endcase
+  end
+
+  // ---- write-back -------------------------------------------------------
+  always @(posedge clk) begin
+    if (rst) begin
+      pc <= 32'd0;
+      dbg_x10 <= 32'd0;
+      dbg_pc <= 32'd0;
+      retired <= 32'd0;
+    end else begin
+      if (wb_en && rd != 5'd0) rf[rd] <= wb_val;
+      if (mem_we) dmem[mem_addr[8:2]] <= r2;
+      pc <= next_pc;
+      dbg_x10 <= (wb_en && rd == 5'd10) ? wb_val : rf[10];
+      dbg_pc <= pc;
+      retired <= retired + 32'd1;
+    end
+  end
+
+endmodule

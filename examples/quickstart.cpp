@@ -4,6 +4,7 @@
 //
 //   $ ./build/examples/quickstart
 #include <cstdio>
+#include <memory>
 
 #include "eraser/eraser.h"
 #include "suite/random_stimulus.h"
@@ -70,17 +71,23 @@ int main() {
     cfg.reset = "rst";
     cfg.cycles = 500;
     cfg.seed = 2025;
-    suite::RandomStimulus stim(cfg);
 
     // 4. Run the Eraser campaign (explicit + implicit redundancy
     //    elimination; see core::RedundancyMode for the ablation modes).
+    //    num_threads > 1 shards the fault list across a thread pool — the
+    //    factory builds one identical stimulus per shard, and the verdicts
+    //    are bit-identical to a single-threaded run.
     core::CampaignOptions opts;
-    const auto report =
-        core::run_concurrent_campaign(*design, faults, stim, opts);
+    opts.num_threads = 4;
+    const auto report = core::run_sharded_campaign(
+        *design, faults,
+        [&] { return std::make_unique<suite::RandomStimulus>(cfg); }, opts);
 
-    std::printf("\ncoverage: %.2f%% (%u/%u faults detected) in %.3fs\n",
+    std::printf("\ncoverage: %.2f%% (%u/%u faults detected) in %.3fs "
+                "(%u shards on %u threads)\n",
                 report.coverage_percent, report.num_detected,
-                report.num_faults, report.seconds);
+                report.num_faults, report.seconds, report.num_shards,
+                report.num_threads);
     std::printf("behavioral executions: %llu candidates, %llu executed, "
                 "%llu skipped explicit, %llu skipped implicit\n",
                 static_cast<unsigned long long>(report.stats.bn_candidates),

@@ -1,5 +1,9 @@
 #include "eraser/campaign.h"
 
+#include <algorithm>
+#include <exception>
+
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace eraser::core {
@@ -23,14 +27,21 @@ class ConcurrentHandle final : public sim::DriveHandle {
     ConcurrentSim& sim_;
 };
 
-}  // namespace
+/// Result of one engine run over one fault subset (local fault indexing).
+struct EngineOutcome {
+    std::vector<bool> detected;
+    uint32_t num_detected = 0;
+    Instrumentation stats;
+};
 
-CampaignResult run_concurrent_campaign(const rtl::Design& design,
-                                       std::span<const fault::Fault> faults,
-                                       sim::Stimulus& stim,
-                                       const CampaignOptions& opts) {
-    Stopwatch watch;
-    ConcurrentSim sim(design, faults, opts.engine);
+/// The campaign loop for one ConcurrentSim over `faults`: reset, stimulus
+/// initialization, one clocked cycle per stimulus step with output
+/// observation (fault detection + dropping) after each cycle. Early-exits
+/// once every fault of this engine is detected.
+EngineOutcome run_engine(const rtl::Design& design,
+                         std::span<const fault::Fault> faults,
+                         sim::Stimulus& stim, const EngineOptions& opts) {
+    ConcurrentSim sim(design, faults, opts);
     ConcurrentHandle handle(sim);
     stim.bind(design);
     const rtl::SignalId clk = design.signal_id(stim.clock_name());
@@ -45,17 +56,101 @@ CampaignResult run_concurrent_campaign(const rtl::Design& design,
         if (sim.num_detected() == faults.size()) break;   // all dropped
     }
 
-    CampaignResult result;
-    result.detected = sim.detected();
-    result.num_faults = static_cast<uint32_t>(faults.size());
-    result.num_detected = sim.num_detected();
+    EngineOutcome out;
+    out.detected = sim.detected();
+    out.num_detected = sim.num_detected();
+    out.stats = sim.stats();
+    return out;
+}
+
+CampaignResult finish(CampaignResult result, uint32_t num_faults,
+                      double seconds) {
+    result.num_faults = num_faults;
     result.coverage_percent =
-        faults.empty() ? 0.0
-                       : 100.0 * static_cast<double>(result.num_detected) /
-                             static_cast<double>(faults.size());
-    result.stats = sim.stats();
-    result.seconds = watch.seconds();
+        num_faults == 0 ? 0.0
+                        : 100.0 * static_cast<double>(result.num_detected) /
+                              static_cast<double>(num_faults);
+    result.seconds = seconds;
     return result;
+}
+
+}  // namespace
+
+CampaignResult run_concurrent_campaign(const rtl::Design& design,
+                                       std::span<const fault::Fault> faults,
+                                       sim::Stimulus& stim,
+                                       const CampaignOptions& opts) {
+    Stopwatch watch;
+    EngineOutcome out = run_engine(design, faults, stim, opts.engine);
+
+    CampaignResult result;
+    result.detected = std::move(out.detected);
+    result.num_detected = out.num_detected;
+    result.stats = out.stats;
+    result.num_shards = 1;
+    result.num_threads = 1;
+    return finish(std::move(result), static_cast<uint32_t>(faults.size()),
+                  watch.seconds());
+}
+
+CampaignResult run_sharded_campaign(const rtl::Design& design,
+                                    std::span<const fault::Fault> faults,
+                                    const StimulusFactory& make_stimulus,
+                                    const CampaignOptions& opts,
+                                    const std::vector<uint64_t>* fault_costs) {
+    Stopwatch watch;
+    const uint32_t threads = opts.num_threads > 0
+                                 ? opts.num_threads
+                                 : util::ThreadPool::default_threads();
+    const uint32_t want_shards =
+        opts.num_shards > 0 ? opts.num_shards : threads;
+    const std::vector<Shard> shards = make_shards(
+        design, faults, want_shards, opts.shard_policy, fault_costs);
+
+    std::vector<EngineOutcome> outcomes(shards.size());
+    std::vector<std::exception_ptr> errors(shards.size());
+    auto run_shard = [&](size_t s) {
+        try {
+            auto stim = make_stimulus();
+            outcomes[s] =
+                run_engine(design, shards[s].faults, *stim, opts.engine);
+        } catch (...) {
+            errors[s] = std::current_exception();
+        }
+    };
+
+    const uint32_t used_threads =
+        std::min<uint32_t>(threads, static_cast<uint32_t>(shards.size()));
+    if (used_threads <= 1) {
+        for (size_t s = 0; s < shards.size(); ++s) run_shard(s);
+    } else {
+        util::ThreadPool pool(used_threads);
+        for (size_t s = 0; s < shards.size(); ++s) {
+            pool.submit([&, s] { run_shard(s); });
+        }
+        pool.wait();
+    }
+    for (const auto& err : errors) {
+        if (err) std::rethrow_exception(err);
+    }
+
+    // Deterministic merge: shards in index order, global ids within each
+    // shard are ascending, so the bitmap assembly order is fixed.
+    CampaignResult result;
+    result.detected.assign(faults.size(), false);
+    for (size_t s = 0; s < shards.size(); ++s) {
+        const Shard& shard = shards[s];
+        const EngineOutcome& out = outcomes[s];
+        for (size_t i = 0; i < shard.global_ids.size(); ++i) {
+            result.detected[shard.global_ids[i]] = out.detected[i];
+        }
+        result.num_detected += out.num_detected;
+        result.stats.merge_from(out.stats);
+    }
+    result.num_shards = static_cast<uint32_t>(shards.size());
+    result.num_threads = used_threads;
+    return finish(std::move(result), static_cast<uint32_t>(faults.size()),
+                  watch.seconds());
 }
 
 }  // namespace eraser::core

@@ -1,12 +1,32 @@
 // FaultCampaign: runs a stimulus against the concurrent engine and reports
 // coverage plus instrumentation — the top-level entry point of the Eraser
 // framework (paper Fig. 4 steps ①-⑧ driven over the whole testbench).
+//
+// Two entry points:
+//  * run_concurrent_campaign — one ConcurrentSim over the whole fault list
+//    on the calling thread, driven by a caller-owned Stimulus.
+//  * run_sharded_campaign    — the fault list is partitioned into K shards
+//    (see eraser/shard.h), one ConcurrentSim per shard, executed on a
+//    work-stealing thread pool. Each shard replays its own Stimulus built
+//    by the factory, so the factory must be callable from multiple threads
+//    and every instance must produce the identical input sequence.
+//
+// Determinism: faults are independent under concurrent fault simulation, so
+// both entry points produce bit-identical detection bitmaps for any shard
+// count, policy, or thread count. Per-shard results are merged in shard-
+// index order. Instrumentation counters merge additively and keep every
+// per-engine invariant (executed + skipped == candidates, candidates
+// mode-independent), but their absolute totals depend on the partition —
+// each shard replays the good network once (see Instrumentation::merge_from).
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "eraser/concurrent_sim.h"
+#include "eraser/shard.h"
 #include "fault/fault.h"
 #include "rtl/design.h"
 #include "sim/stimulus.h"
@@ -15,22 +35,46 @@ namespace eraser::core {
 
 struct CampaignOptions {
     EngineOptions engine;
+    /// Worker threads for the sharded runner. 0 = hardware concurrency.
+    /// run_concurrent_campaign ignores this (it is the 1-thread path).
+    uint32_t num_threads = 1;
+    /// Fault shards. 0 = one per worker thread. More shards than threads is
+    /// useful with CostBalanced: smaller shards steal-balance better.
+    uint32_t num_shards = 0;
+    ShardPolicy shard_policy = ShardPolicy::CostBalanced;
 };
 
 struct CampaignResult {
-    std::vector<bool> detected;
+    std::vector<bool> detected;   // indexed by global fault id
     uint32_t num_faults = 0;
     uint32_t num_detected = 0;
     double coverage_percent = 0.0;
     double seconds = 0.0;
     Instrumentation stats;
+    uint32_t num_shards = 1;      // shards actually run
+    uint32_t num_threads = 1;     // worker threads actually used
 };
 
-/// Runs the full concurrent fault-simulation campaign: reset, stimulus
-/// initialization, one clocked cycle per stimulus step with output
-/// observation (fault detection + dropping) after each cycle.
+/// Builds one replayable stimulus instance per shard. Must be safe to call
+/// concurrently; every returned instance must drive the identical sequence.
+using StimulusFactory = std::function<std::unique_ptr<sim::Stimulus>()>;
+
+/// Runs the full concurrent fault-simulation campaign single-threaded:
+/// reset, stimulus initialization, one clocked cycle per stimulus step with
+/// output observation (fault detection + dropping) after each cycle.
 [[nodiscard]] CampaignResult run_concurrent_campaign(
     const rtl::Design& design, std::span<const fault::Fault> faults,
     sim::Stimulus& stim, const CampaignOptions& opts);
+
+/// Runs the campaign sharded across a thread pool per `opts.num_threads`,
+/// `opts.num_shards`, and `opts.shard_policy`. Detection results are
+/// bit-identical to run_concurrent_campaign for every configuration.
+/// `fault_costs` optionally supplies precomputed estimate_fault_costs()
+/// output so sweeps over many configurations build the cost model once;
+/// nullptr computes it internally.
+[[nodiscard]] CampaignResult run_sharded_campaign(
+    const rtl::Design& design, std::span<const fault::Fault> faults,
+    const StimulusFactory& make_stimulus, const CampaignOptions& opts,
+    const std::vector<uint64_t>* fault_costs = nullptr);
 
 }  // namespace eraser::core

@@ -253,7 +253,8 @@ void ConcurrentSim::load_array(ArrayId arr, std::span<const uint64_t> words) {
 }
 
 void ConcurrentSim::commit_good_signal(SignalId sig, Value v) {
-    const bool changed = good_values_[sig] != v;
+    const Value old = good_values_[sig];
+    const bool changed = old != v;
     if (changed) {
         good_values_[sig] = v;
         schedule_signal_fanout(sig);
@@ -261,12 +262,20 @@ void ConcurrentSim::commit_good_signal(SignalId sig, Value v) {
     // Re-assert pins. A fault with no recorded divergence follows the good
     // network exactly, so its unpinned bits must track the *new* good value
     // (basing them on a possibly-stale entry would freeze an intermediate
-    // value). Faults that genuinely diverge at this signal's writer are
-    // candidates there and get reconciled right after this commit.
+    // value). An entry that is anything other than the pin shadow of the
+    // *previous* good value is the fault's own written divergence — leave it
+    // alone: the fault is a candidate at this signal's writer and gets
+    // reconciled right after this commit. (Clobbering it here used to
+    // ping-pong with that reconcile and blow the settle limit whenever a
+    // pinned signal's faulty value also diverged on unpinned bits.)
     for (FaultId f : pins_[sig]) {
         if (detected_[f]) continue;
-        const Value pinned = apply_pin(f, sig, good_values_[sig]);
-        if (pinned != good_values_[sig]) {
+        const Value pinned = apply_pin(f, sig, v);
+        const Value* existing = sig_div_[sig].find(f);
+        if (existing != nullptr && *existing != apply_pin(f, sig, old)) {
+            continue;
+        }
+        if (pinned != v) {
             if (sig_div_[sig].set(f, pinned) && !changed) {
                 schedule_signal_fanout(sig);
             }

@@ -11,6 +11,9 @@
 namespace eraser::core {
 
 struct Instrumentation {
+    // NOTE: every counter added here must also be added to merge_from()
+    // below, or sharded campaigns will silently drop it from their totals.
+
     // --- behavioral nodes (BN) --------------------------------------------
     /// Good executions of behavioral bodies.
     uint64_t bn_good_execs = 0;
@@ -44,6 +47,29 @@ struct Instrumentation {
 
     [[nodiscard]] uint64_t bn_eliminated() const {
         return bn_skipped_explicit + bn_skipped_implicit;
+    }
+
+    /// Accumulates another engine's counters (sharded campaigns merge the
+    /// per-shard instrumentation in shard-index order). The merged counters
+    /// keep every per-engine invariant (executed + skipped == candidates;
+    /// candidates mode-independent), but absolute totals are per-evaluation
+    /// accounting and depend on the partition: each shard replays the good
+    /// network, and a comb behavior re-evaluated by one fault's divergence
+    /// traffic re-counts its co-resident candidates.
+    void merge_from(const Instrumentation& o) {
+        bn_good_execs += o.bn_good_execs;
+        bn_candidates += o.bn_candidates;
+        bn_executed += o.bn_executed;
+        bn_skipped_explicit += o.bn_skipped_explicit;
+        bn_skipped_implicit += o.bn_skipped_implicit;
+        audit_explicit += o.audit_explicit;
+        audit_implicit += o.audit_implicit;
+        audit_nonredundant += o.audit_nonredundant;
+        audit_soundness_violations += o.audit_soundness_violations;
+        rtl_good_evals += o.rtl_good_evals;
+        rtl_fault_evals += o.rtl_fault_evals;
+        time_behavioral.merge(o.time_behavioral);
+        time_rtl.merge(o.time_rtl);
     }
 
     void reset() { *this = Instrumentation{}; }

@@ -1,0 +1,98 @@
+#include "eraser/shard.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cfg/cfg.h"
+#include "cfg/vdg.h"
+
+namespace eraser::core {
+
+std::vector<uint64_t> behavior_vdg_weights(const rtl::Design& design) {
+    std::vector<uint64_t> weights;
+    weights.reserve(design.behaviors.size());
+    for (const auto& behav : design.behaviors) {
+        const cfg::Cfg cfg = cfg::Cfg::build(*behav.body, design);
+        const cfg::Vdg vdg = cfg::Vdg::build(cfg);
+        weights.push_back(1 + vdg.nodes.size());
+    }
+    return weights;
+}
+
+std::vector<uint64_t> estimate_fault_costs(
+    const rtl::Design& design, std::span<const fault::Fault> faults) {
+    const std::vector<uint64_t> behav_weight = behavior_vdg_weights(design);
+
+    // Per-signal cost, shared by both stuck-at polarities of every bit.
+    std::vector<uint64_t> sig_cost(design.signals.size(), 0);
+    for (rtl::SignalId s = 0; s < design.signals.size(); ++s) {
+        const rtl::Signal& sig = design.signals[s];
+        uint64_t cost = 1 + sig.fanout_nodes.size();
+        for (rtl::BehavId b : sig.fanout_comb) cost += behav_weight[b];
+        for (rtl::BehavId b : sig.fanout_edges) cost += behav_weight[b];
+        sig_cost[s] = cost;
+    }
+
+    std::vector<uint64_t> costs;
+    costs.reserve(faults.size());
+    for (const fault::Fault& f : faults) costs.push_back(sig_cost[f.sig]);
+    return costs;
+}
+
+std::vector<Shard> make_shards(const rtl::Design& design,
+                               std::span<const fault::Fault> faults,
+                               uint32_t num_shards, ShardPolicy policy,
+                               const std::vector<uint64_t>* precomputed) {
+    const uint32_t n = static_cast<uint32_t>(faults.size());
+    uint32_t k = num_shards == 0 ? 1 : num_shards;
+    if (k > n && n > 0) k = n;   // no empty shards
+    std::vector<Shard> shards(n == 0 ? 1 : k);
+    if (n == 0) return shards;
+
+    const std::vector<uint64_t> costs =
+        precomputed != nullptr && precomputed->size() == n
+            ? *precomputed
+            : estimate_fault_costs(design, faults);
+
+    // Shard id per global fault index.
+    std::vector<uint32_t> owner(n);
+    switch (policy) {
+        case ShardPolicy::RoundRobin: {
+            for (uint32_t i = 0; i < n; ++i) owner[i] = i % k;
+            break;
+        }
+        case ShardPolicy::CostBalanced: {
+            // LPT: heaviest first into the currently-lightest shard;
+            // ties break toward the lower fault index / shard id so the
+            // partition is deterministic.
+            std::vector<uint32_t> order(n);
+            std::iota(order.begin(), order.end(), 0);
+            std::stable_sort(order.begin(), order.end(),
+                             [&](uint32_t a, uint32_t b) {
+                                 return costs[a] > costs[b];
+                             });
+            std::vector<uint64_t> load(k, 0);
+            for (uint32_t idx : order) {
+                uint32_t best = 0;
+                for (uint32_t s = 1; s < k; ++s) {
+                    if (load[s] < load[best]) best = s;
+                }
+                owner[idx] = best;
+                load[best] += costs[idx];
+            }
+            break;
+        }
+    }
+
+    // Materialize shards with ascending global ids (engines must see faults
+    // in the same relative order as the unsharded campaign).
+    for (uint32_t i = 0; i < n; ++i) {
+        Shard& shard = shards[owner[i]];
+        shard.faults.push_back(faults[i]);
+        shard.global_ids.push_back(i);
+        shard.est_cost += costs[i];
+    }
+    return shards;
+}
+
+}  // namespace eraser::core

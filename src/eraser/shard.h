@@ -1,0 +1,61 @@
+// Fault-list sharding for parallel campaigns: partitions the fault universe
+// into K independent sub-campaigns, one ConcurrentSim each. Faults are
+// mutually independent in concurrent fault simulation (every fault diverges
+// from the same good network), so any partition yields bit-identical
+// per-fault verdicts; sharding only changes how the work is spread over
+// engines and threads.
+//
+// Two policies:
+//  * RoundRobin    — fault i goes to shard i mod K; good enough when fault
+//                    costs are uniform.
+//  * CostBalanced  — greedy LPT assignment keyed off an estimated per-fault
+//                    cost: the fault site's RTL fan-out plus the VDG size of
+//                    every behavioral node the site feeds. Faults on
+//                    high-fan-out control signals dominate campaign time, so
+//                    balancing their spread cuts the longest-shard tail.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault.h"
+#include "rtl/design.h"
+
+namespace eraser::core {
+
+enum class ShardPolicy : uint8_t { RoundRobin, CostBalanced };
+
+/// One shard of the fault list. `faults[i]` is the global fault
+/// `global_ids[i]`; global_ids is strictly ascending so every engine sees
+/// its faults in the same relative order as the unsharded campaign.
+struct Shard {
+    std::vector<fault::Fault> faults;
+    std::vector<uint32_t> global_ids;
+    uint64_t est_cost = 0;
+};
+
+/// Estimated simulation cost of each fault: 1 + |RTL fan-out of the site| +
+/// the summed VDG weight of every behavioral node reading or clocked by the
+/// site. The VDG weights come from `behavior_vdg_weights`.
+[[nodiscard]] std::vector<uint64_t> estimate_fault_costs(
+    const rtl::Design& design, std::span<const fault::Fault> faults);
+
+/// Per-behavior weight used by the cost model: 1 + number of VDG nodes
+/// (decision + dependency) of the behavior's visibility dependency graph.
+[[nodiscard]] std::vector<uint64_t> behavior_vdg_weights(
+    const rtl::Design& design);
+
+/// Partitions `faults` into at most `num_shards` non-empty shards under
+/// `policy`. Deterministic: identical inputs give identical shards.
+/// `costs` optionally supplies precomputed estimate_fault_costs() output
+/// (parallel to `faults`) so sweeps over many shard counts build the
+/// per-behavior VDGs once; pass nullptr to compute internally. Shard
+/// est_cost is always reported in estimated-cost units, under either
+/// policy.
+[[nodiscard]] std::vector<Shard> make_shards(
+    const rtl::Design& design, std::span<const fault::Fault> faults,
+    uint32_t num_shards, ShardPolicy policy,
+    const std::vector<uint64_t>* costs = nullptr);
+
+}  // namespace eraser::core

@@ -1,0 +1,140 @@
+// Small work-stealing thread pool used by the sharded fault-campaign
+// scheduler. Each worker owns a deque: it pops its own work LIFO and steals
+// FIFO from the other workers when empty, so unbalanced shard costs still
+// keep every thread busy. All deques share one mutex — simplicity over
+// scalability, which is fine for the intended workload of a handful of
+// coarse-grained jobs (one per fault shard, seconds each); revisit if tasks
+// ever become fine-grained. Tasks must not block on each other.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eraser::util {
+
+class ThreadPool {
+  public:
+    /// Spawns `num_threads` workers (0 = hardware concurrency, at least 1).
+    explicit ThreadPool(unsigned num_threads)
+        : workers_(resolve(num_threads)) {
+        threads_.reserve(workers_.size());
+        for (size_t w = 0; w < workers_.size(); ++w) {
+            threads_.emplace_back([this, w] { worker_loop(w); });
+        }
+    }
+
+    ~ThreadPool() {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (auto& t : threads_) t.join();
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] size_t num_threads() const { return workers_.size(); }
+
+    /// Enqueues a task; round-robins across worker deques so stealing is the
+    /// exception rather than the rule when task costs are balanced.
+    void submit(std::function<void()> task) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            const size_t w = next_worker_++ % workers_.size();
+            workers_[w].deque.push_back(std::move(task));
+            ++pending_;
+        }
+        cv_.notify_one();
+    }
+
+    /// Blocks until every submitted task has finished executing, then
+    /// rethrows the first exception any task threw (tasks that manage their
+    /// own errors, like the campaign runner, never trip this).
+    void wait() {
+        std::unique_lock<std::mutex> lock(mu_);
+        idle_cv_.wait(lock, [this] { return pending_ == 0; });
+        if (first_error_) {
+            std::exception_ptr err = first_error_;
+            first_error_ = nullptr;
+            std::rethrow_exception(err);
+        }
+    }
+
+    /// The default worker count for campaign scheduling.
+    [[nodiscard]] static unsigned default_threads() { return resolve(0); }
+
+  private:
+    struct Worker {
+        std::deque<std::function<void()>> deque;
+    };
+
+    static unsigned resolve(unsigned requested) {
+        if (requested > 0) return requested;
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw > 0 ? hw : 1;
+    }
+
+    /// Pops the next task for worker `self`: own deque back first (LIFO),
+    /// then steal from the front of the others (FIFO). Caller holds mu_.
+    bool try_pop(size_t self, std::function<void()>& out) {
+        if (!workers_[self].deque.empty()) {
+            out = std::move(workers_[self].deque.back());
+            workers_[self].deque.pop_back();
+            return true;
+        }
+        for (size_t i = 1; i < workers_.size(); ++i) {
+            Worker& victim = workers_[(self + i) % workers_.size()];
+            if (!victim.deque.empty()) {
+                out = std::move(victim.deque.front());
+                victim.deque.pop_front();
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void worker_loop(size_t self) {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                // Drain remaining work before honoring shutdown.
+                cv_.wait(lock, [&] {
+                    return try_pop(self, task) || stopping_;
+                });
+                if (!task) return;   // stopping and nothing left to run
+            }
+            std::exception_ptr err;
+            try {
+                task();
+            } catch (...) {
+                err = std::current_exception();
+            }
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                if (err && !first_error_) first_error_ = err;
+                if (--pending_ == 0) idle_cv_.notify_all();
+            }
+        }
+    }
+
+    std::vector<Worker> workers_;
+    std::vector<std::thread> threads_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::condition_variable idle_cv_;
+    size_t next_worker_ = 0;
+    size_t pending_ = 0;
+    bool stopping_ = false;
+    std::exception_ptr first_error_;
+};
+
+}  // namespace eraser::util

@@ -45,6 +45,10 @@ class TimeAccumulator {
         Stopwatch watch_;
     };
 
+    /// Folds another accumulator in (sharded campaigns merge per-engine
+    /// phase timers into campaign totals).
+    void merge(const TimeAccumulator& other) { total_ns_ += other.total_ns_; }
+
     [[nodiscard]] int64_t total_ns() const { return total_ns_; }
     [[nodiscard]] double total_seconds() const {
         return static_cast<double>(total_ns_) * 1e-9;

@@ -1,0 +1,208 @@
+// The sharded campaign scheduler's determinism contract: for every suite
+// benchmark, every shard count, every policy, and every thread count, the
+// detection bitmap is bit-identical to the single-engine campaign, and the
+// fault-attributed redundancy counters merge to exactly the unsharded
+// values in every redundancy mode.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "eraser/campaign.h"
+#include "eraser/shard.h"
+#include "suite/suite.h"
+
+namespace eraser {
+namespace {
+
+std::vector<fault::Fault> ci_faults(const rtl::Design& design) {
+    fault::FaultGenOptions fopts;
+    fopts.sample_max = 60;
+    fopts.sample_seed = 42;
+    return fault::generate_faults(design, fopts);
+}
+
+class ShardCampaign : public ::testing::TestWithParam<suite::Benchmark> {};
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ShardCampaign,
+                         ::testing::ValuesIn(suite::registry()),
+                         [](const auto& info) { return info.param.name; });
+
+// (a) serial vs K-shard campaigns produce identical detection bitmaps and
+// coverage for K in {1, 2, 4, 7}, under both policies.
+TEST_P(ShardCampaign, DetectionBitmapsAreShardCountInvariant) {
+    const suite::Benchmark& b = GetParam();
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    ASSERT_FALSE(faults.empty());
+
+    auto serial_stim = suite::make_stimulus(b, b.test_cycles);
+    core::CampaignOptions serial_opts;
+    const auto serial = core::run_concurrent_campaign(*design, faults,
+                                                      *serial_stim,
+                                                      serial_opts);
+
+    auto factory = [&] { return suite::make_stimulus(b, b.test_cycles); };
+    for (const auto policy :
+         {core::ShardPolicy::RoundRobin, core::ShardPolicy::CostBalanced}) {
+        for (const uint32_t shards : {1u, 2u, 4u, 7u}) {
+            core::CampaignOptions opts;
+            opts.num_shards = shards;
+            opts.num_threads = shards;   // exercise the thread pool too
+            opts.shard_policy = policy;
+            const auto got =
+                core::run_sharded_campaign(*design, faults, factory, opts);
+            EXPECT_EQ(got.detected, serial.detected)
+                << b.name << " K=" << shards
+                << " policy=" << static_cast<int>(policy);
+            EXPECT_EQ(got.num_detected, serial.num_detected) << b.name;
+            EXPECT_DOUBLE_EQ(got.coverage_percent, serial.coverage_percent)
+                << b.name;
+            EXPECT_EQ(got.num_faults, serial.num_faults) << b.name;
+        }
+    }
+}
+
+// (b) the seed's redundancy-counter contract survives the shard merge, in
+// every redundancy mode: for a fixed partition, the merged candidate
+// population is mode-invariant, every merged candidate is accounted for as
+// executed-or-skipped exactly once, and every mode detects the same faults
+// as the unsharded campaign. (Raw candidate totals are *per-evaluation*
+// accounting and legitimately differ between partitions: a comb behavior
+// re-evaluated because of one fault's divergence traffic re-counts its
+// co-resident candidates, so only the invariants — not the absolute
+// totals — are partition-independent.)
+TEST_P(ShardCampaign, RedundancyCountersMergeConsistently) {
+    const suite::Benchmark& b = GetParam();
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+
+    auto factory = [&] {
+        return suite::make_stimulus(b, b.test_cycles / 2);
+    };
+
+    auto stim = suite::make_stimulus(b, b.test_cycles / 2);
+    core::CampaignOptions serial_opts;
+    const auto serial = core::run_concurrent_campaign(*design, faults, *stim,
+                                                      serial_opts);
+
+    uint64_t candidates[3] = {};
+    int i = 0;
+    for (const auto mode :
+         {core::RedundancyMode::None, core::RedundancyMode::Explicit,
+          core::RedundancyMode::Full}) {
+        core::CampaignOptions opts;
+        opts.engine.mode = mode;
+        opts.num_shards = 4;
+        opts.num_threads = 2;
+        const auto sharded =
+            core::run_sharded_campaign(*design, faults, factory, opts);
+
+        // Merged skip/execute counters cover the merged candidates exactly.
+        EXPECT_EQ(sharded.stats.bn_executed +
+                      sharded.stats.bn_skipped_explicit +
+                      sharded.stats.bn_skipped_implicit,
+                  sharded.stats.bn_candidates)
+            << b.name << " mode=" << static_cast<int>(mode);
+        // Skips only exist in the modes that enable them.
+        if (mode == core::RedundancyMode::None) {
+            EXPECT_EQ(sharded.stats.bn_skipped_explicit, 0u) << b.name;
+            EXPECT_EQ(sharded.stats.bn_skipped_implicit, 0u) << b.name;
+        }
+        if (mode == core::RedundancyMode::Explicit) {
+            EXPECT_EQ(sharded.stats.bn_skipped_implicit, 0u) << b.name;
+        }
+        // Redundancy elimination never changes verdicts.
+        EXPECT_EQ(sharded.detected, serial.detected)
+            << b.name << " mode=" << static_cast<int>(mode);
+        // The requested partition was actually used.
+        EXPECT_EQ(sharded.num_shards, 4u) << b.name;
+        candidates[i++] = sharded.stats.bn_candidates;
+    }
+    // The candidate population of a fixed partition is mode-independent.
+    EXPECT_EQ(candidates[0], candidates[1]) << b.name;
+    EXPECT_EQ(candidates[1], candidates[2]) << b.name;
+}
+
+// Shard construction invariants: exact cover, ascending global ids, no
+// empty shards, deterministic assignment.
+TEST(ShardPartition, CoversEveryFaultExactlyOnce) {
+    const auto& b = suite::registry().front();
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+
+    for (const auto policy :
+         {core::ShardPolicy::RoundRobin, core::ShardPolicy::CostBalanced}) {
+        for (const uint32_t k : {1u, 3u, 7u, 1000u}) {
+            const auto shards =
+                core::make_shards(*design, faults, k, policy);
+            std::vector<uint32_t> seen(faults.size(), 0);
+            for (const auto& shard : shards) {
+                ASSERT_EQ(shard.faults.size(), shard.global_ids.size());
+                EXPECT_FALSE(shard.faults.empty());
+                for (size_t i = 0; i < shard.global_ids.size(); ++i) {
+                    if (i > 0) {
+                        EXPECT_LT(shard.global_ids[i - 1],
+                                  shard.global_ids[i]);
+                    }
+                    ASSERT_LT(shard.global_ids[i], faults.size());
+                    ++seen[shard.global_ids[i]];
+                    EXPECT_EQ(shard.faults[i].sig,
+                              faults[shard.global_ids[i]].sig);
+                }
+            }
+            for (uint32_t count : seen) EXPECT_EQ(count, 1u);
+            EXPECT_LE(shards.size(), std::max<size_t>(1, faults.size()));
+
+            // Determinism: same inputs, same partition.
+            const auto again =
+                core::make_shards(*design, faults, k, policy);
+            ASSERT_EQ(again.size(), shards.size());
+            for (size_t s = 0; s < shards.size(); ++s) {
+                EXPECT_EQ(again[s].global_ids, shards[s].global_ids);
+                EXPECT_EQ(again[s].est_cost, shards[s].est_cost);
+            }
+        }
+    }
+}
+
+TEST(ShardPartition, CostBalancedSpreadsLoad) {
+    const auto& b = suite::find_benchmark("sha256_hv");
+    auto design = suite::load_design(b);
+    fault::FaultGenOptions fopts;
+    fopts.sample_max = 200;
+    fopts.sample_seed = 9;
+    const auto faults = fault::generate_faults(*design, fopts);
+
+    const auto costs = core::estimate_fault_costs(*design, faults);
+    ASSERT_EQ(costs.size(), faults.size());
+    for (uint64_t c : costs) EXPECT_GE(c, 1u);
+
+    const auto shards = core::make_shards(*design, faults, 4,
+                                          core::ShardPolicy::CostBalanced);
+    ASSERT_EQ(shards.size(), 4u);
+    uint64_t min_cost = UINT64_MAX, max_cost = 0;
+    for (const auto& s : shards) {
+        min_cost = std::min(min_cost, s.est_cost);
+        max_cost = std::max(max_cost, s.est_cost);
+    }
+    // LPT keeps the spread tight: the heaviest shard stays within 2x of the
+    // lightest (loose bound; typical spread is a few percent).
+    EXPECT_LE(max_cost, 2 * min_cost);
+}
+
+// An empty fault list still produces a well-formed (empty) result.
+TEST(ShardCampaignEdge, EmptyFaultList) {
+    const auto& b = suite::registry().front();
+    auto design = suite::load_design(b);
+    std::vector<fault::Fault> none;
+    auto factory = [&] { return suite::make_stimulus(b, 50); };
+    core::CampaignOptions opts;
+    opts.num_threads = 2;
+    const auto r = core::run_sharded_campaign(*design, none, factory, opts);
+    EXPECT_EQ(r.num_faults, 0u);
+    EXPECT_EQ(r.num_detected, 0u);
+    EXPECT_TRUE(r.detected.empty());
+}
+
+}  // namespace
+}  // namespace eraser
