@@ -1,9 +1,13 @@
 // Sharded-campaign scaling sweep: runs the full Eraser campaign on every
 // suite benchmark at 1..N worker threads under both shard policies,
-// reporting wall time, speedup over the 1-thread sharded run, and the
-// cost-balance quality of the partition. Detection bitmaps are checked
-// against the unsharded serial campaign at every point — the scaling layer
-// must never change a verdict.
+// reporting wall time, speedup over the 1-thread sharded run, the
+// cost-balance quality of the partition, and the measured per-shard
+// breakdown (ROADMAP instrumentation item) for imbalance diagnosis.
+// Detection bitmaps are checked against the unsharded serial campaign at
+// every point — the scaling layer must never change a verdict.
+//
+// Machine-readable results go to BENCH_sharding.json (schema in README
+// "Benchmark result files").
 //
 //   $ ./build/bench/bench_sharding [--quick] [--threads N]
 #include <algorithm>
@@ -31,6 +35,20 @@ const char* policy_name(core::ShardPolicy p) {
                                               : "cost-balanced";
 }
 
+/// Wall-clock imbalance of a run: max shard wall / mean shard wall
+/// (1.0 = perfectly even). The est-cost analogue is the planner's view;
+/// this is what actually happened.
+double wall_imbalance(const std::vector<core::ShardBreakdown>& shards) {
+    if (shards.empty()) return 1.0;
+    double max_wall = 0.0, total = 0.0;
+    for (const auto& sb : shards) {
+        max_wall = std::max(max_wall, sb.wall_seconds);
+        total += sb.wall_seconds;
+    }
+    return total > 0.0 ? max_wall * static_cast<double>(shards.size()) / total
+                       : 1.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -41,8 +59,10 @@ int main(int argc, char** argv) {
     const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
     const uint32_t max_threads = scale.threads > 0 ? scale.threads : hw;
 
-    std::printf("%-12s %-14s %8s %8s %10s %9s %9s\n", "Benchmark", "Policy",
-                "Threads", "Shards", "Time(s)", "Speedup", "Balance");
+    std::printf("%-12s %-14s %8s %8s %10s %9s %9s %9s\n", "Benchmark",
+                "Policy", "Threads", "Shards", "Time(s)", "Speedup",
+                "Balance", "WallImb");
+    bench::JsonRows json;
 
     for (const auto& b : suite::registry()) {
         auto design = suite::load_design(b);
@@ -92,15 +112,57 @@ int main(int argc, char** argv) {
                         ? 1.0
                         : static_cast<double>(max_cost) * shards.size() /
                               static_cast<double>(total_cost);
-                std::printf("%-12s %-14s %8u %8u %10.3f %8.2fx %9.2f\n",
+                const double wall_imb = wall_imbalance(run.stats.shards);
+                std::printf("%-12s %-14s %8u %8u %10.3f %8.2fx %9.2f %9.2f\n",
                             b.display.c_str(), policy_name(policy), threads,
                             run.num_shards, run.seconds,
                             base_seconds > 0 ? base_seconds / run.seconds
                                              : 1.0,
-                            balance);
+                            balance, wall_imb);
+
+                std::string shard_walls = "[";
+                for (size_t s = 0; s < run.stats.shards.size(); ++s) {
+                    shard_walls += bench::format(
+                        "%s%.3f", s > 0 ? ", " : "",
+                        run.stats.shards[s].wall_seconds * 1e3);
+                }
+                shard_walls += "]";
+                json.add(bench::format(
+                    R"({"circuit": "%s", "mode": "%s", "threads": %u, )"
+                    R"("shards": %u, "wall_ms": %.3f, "speedup": %.3f, )"
+                    R"("balance": %.3f, "wall_imbalance": %.3f, )"
+                    R"("shard_wall_ms": %s})",
+                    b.name.c_str(), policy_name(policy), threads,
+                    run.num_shards, run.seconds * 1e3,
+                    base_seconds > 0 ? base_seconds / run.seconds : 1.0,
+                    balance, wall_imb, shard_walls.c_str()));
             }
+        }
+
+        // Per-shard breakdown at the widest cost-balanced point — the
+        // diagnosis view for the longest-shard tail.
+        core::CampaignOptions wide;
+        wide.num_threads = max_threads;
+        wide.engine.time_phases = true;
+        const auto diag = core::run_sharded_campaign(*design, faults,
+                                                     factory, wide, &costs);
+        std::printf("  per-shard (cost-balanced, %u threads): shard "
+                    "faults/detected wall(ms) behav(ms) rtl(ms) est-cost\n",
+                    diag.num_threads);
+        for (const auto& sb : diag.stats.shards) {
+            std::printf("    #%-3u %5u/%-5u %9.2f %9.2f %7.2f %9llu\n",
+                        sb.shard, sb.faults, sb.detected,
+                        sb.wall_seconds * 1e3, sb.behavioral_seconds * 1e3,
+                        sb.rtl_seconds * 1e3,
+                        static_cast<unsigned long long>(sb.est_cost));
         }
     }
     std::printf("\nAll sharded runs matched the serial verdicts bit-for-bit.\n");
+    if (json.write("BENCH_sharding.json")) {
+        std::printf("Wrote BENCH_sharding.json\n");
+    } else {
+        std::fprintf(stderr, "failed to write BENCH_sharding.json\n");
+        return 1;
+    }
     return 0;
 }

@@ -3,15 +3,69 @@
 #pragma once
 
 #include <cctype>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "eraser/eraser.h"
 #include "suite/suite.h"
 
 namespace eraser::bench {
+
+/// printf-style formatting into a std::string (for JSON rows). Rows can
+/// exceed the stack buffer (e.g. per-shard arrays on many-core hosts), so
+/// oversized results re-format into a heap string of the exact length.
+[[gnu::format(printf, 1, 2)]] inline std::string format(const char* fmt,
+                                                        ...) {
+    va_list args;
+    va_start(args, fmt);
+    va_list args2;
+    va_copy(args2, args);
+    char buf[512];
+    const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    if (n < 0) {
+        va_end(args2);
+        return std::string();
+    }
+    if (static_cast<size_t>(n) < sizeof(buf)) {
+        va_end(args2);
+        return std::string(buf, static_cast<size_t>(n));
+    }
+    std::string out(static_cast<size_t>(n), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+    va_end(args2);
+    return out;
+}
+
+/// Accumulates JSON object rows and writes them as one top-level array —
+/// the machine-readable benchmark artifacts (BENCH_fig6.json,
+/// BENCH_sharding.json) that track the perf trajectory across PRs. Schema
+/// is documented in README "Benchmark result files".
+class JsonRows {
+  public:
+    void add(std::string row) { rows_.push_back(std::move(row)); }
+
+    /// Writes `[ row, row, ... ]` to `path`; returns false on I/O failure.
+    [[nodiscard]] bool write(const char* path) const {
+        FILE* f = std::fopen(path, "w");
+        if (f == nullptr) return false;
+        std::fputs("[\n", f);
+        for (size_t i = 0; i < rows_.size(); ++i) {
+            std::fprintf(f, "  %s%s\n", rows_[i].c_str(),
+                         i + 1 < rows_.size() ? "," : "");
+        }
+        std::fputs("]\n", f);
+        std::fclose(f);
+        return true;
+    }
+
+  private:
+    std::vector<std::string> rows_;
+};
 
 /// Prints the Table I analogue: the environment this run measures on.
 inline void print_environment(const char* what) {

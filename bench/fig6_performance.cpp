@@ -1,14 +1,20 @@
-// Fig. 6 reproduction: end-to-end fault-simulation time of the four
-// simulators on all ten benchmarks, normalized like the paper (IFsim = 1).
+// Fig. 6 reproduction: end-to-end fault-simulation time of the simulators
+// on all ten benchmarks, normalized like the paper (IFsim = 1).
 //
-//   IFsim*   — serial, event-driven interpreter (Icarus/force stand-in)
-//   VFsim*   — serial, levelized full-evaluation engine (Verilator stand-in)
-//   CFSIM-X* — concurrent engine, explicit-only redundancy (Z01X stand-in)
-//   Eraser   — concurrent engine, explicit + implicit (Algorithm 1)
+//   IFsim*    — serial, event-driven interpreter (Icarus/force stand-in)
+//   VFsim*    — serial, levelized full-evaluation engine (Verilator stand-in)
+//   CFSIM-X*  — concurrent engine, explicit-only redundancy (Z01X stand-in)
+//   Eraser    — concurrent engine, explicit + implicit (Algorithm 1)
+//   Eraser-T  — Eraser forced onto the tree-walking interpreter (the PR 2
+//               differential oracle; the bytecode-vs-tree ratio is the
+//               compiled-execution win)
 //
 // Expected shape (not absolute numbers): serial slowest; concurrent engines
 // far faster; Eraser >= CFSIM-X wherever behavioral-node time matters, and
 // ~equal on SHA256_C2V where behavioral work is ~1% of the total.
+//
+// Machine-readable results go to BENCH_fig6.json (schema in README
+// "Benchmark result files") so the perf trajectory is tracked across PRs.
 #include <cmath>
 #include <cstdio>
 
@@ -20,13 +26,15 @@ int main(int argc, char** argv) {
     const auto scale = bench::parse_scale(argc, argv);
     bench::print_environment("Fig. 6: performance comparison (IFsim = 1.0x)");
 
-    std::printf("%-12s %9s | %9s %9s %9s %9s %9s | %7s %7s %7s %7s\n",
-                "Benchmark", "#Faults", "IFsim(s)", "VFsim(s)", "CFSIMX(s)",
-                "Eraser(s)", "ErsrMT(s)", "VF(x)", "CFX(x)", "Erasr(x)",
-                "MT(x)");
+    std::printf("%-12s %8s | %8s %8s %8s %8s %8s %8s | %6s %6s %6s %6s\n",
+                "Benchmark", "#Faults", "IFsim(s)", "VFsim(s)", "CFX(s)",
+                "ErsrT(s)", "Eraser(s)", "ErsrMT(s)", "VF(x)", "CFX(x)",
+                "Ersr(x)", "MT(x)");
 
     double geo_eraser = 1.0, geo_cfx = 1.0, geo_vf = 1.0, geo_mt = 1.0;
+    double geo_vs_tree = 1.0;
     int count = 0;
+    bench::JsonRows json;
 
     for (const auto& b : suite::registry()) {
         auto design = suite::load_design(b);
@@ -39,18 +47,24 @@ int main(int argc, char** argv) {
             opts.mode = mode;
             return run_serial_campaign(*design, faults, *stim, opts);
         };
-        auto run_concurrent = [&](core::RedundancyMode mode) {
+        auto run_concurrent = [&](core::RedundancyMode mode,
+                                  sim::InterpMode interp) {
             auto stim = suite::make_stimulus(b, cycles);
             core::CampaignOptions opts;
             opts.engine.mode = mode;
+            opts.engine.interp = interp;
             return core::run_concurrent_campaign(*design, faults, *stim,
                                                  opts);
         };
 
         const auto ifsim = run_serial(sim::SchedulingMode::EventDriven);
         const auto vfsim = run_serial(sim::SchedulingMode::Levelized);
-        const auto cfx = run_concurrent(core::RedundancyMode::Explicit);
-        const auto eraser_run = run_concurrent(core::RedundancyMode::Full);
+        const auto cfx = run_concurrent(core::RedundancyMode::Explicit,
+                                        sim::InterpMode::Bytecode);
+        const auto eraser_tree = run_concurrent(core::RedundancyMode::Full,
+                                                sim::InterpMode::Tree);
+        const auto eraser_run = run_concurrent(core::RedundancyMode::Full,
+                                               sim::InterpMode::Bytecode);
 
         // Eraser with the sharded multi-threaded campaign scheduler.
         core::CampaignOptions mt_opts;
@@ -59,31 +73,49 @@ int main(int argc, char** argv) {
             *design, faults, [&] { return suite::make_stimulus(b, cycles); },
             mt_opts);
 
-        // Coverage sanity: all five must agree (the sharded run must also
-        // match fault-by-fault, not just in total).
+        // Coverage sanity: all six must agree (the sharded and tree runs
+        // must also match fault-by-fault, not just in total).
         if (ifsim.num_detected != vfsim.num_detected ||
             ifsim.num_detected != cfx.num_detected ||
             ifsim.num_detected != eraser_run.num_detected ||
+            eraser_tree.detected != eraser_run.detected ||
             eraser_mt.detected != eraser_run.detected) {
-            std::printf("%-12s COVERAGE MISMATCH (%u/%u/%u/%u/%u)\n",
+            std::printf("%-12s COVERAGE MISMATCH (%u/%u/%u/%u/%u/%u)\n",
                         b.display.c_str(), ifsim.num_detected,
                         vfsim.num_detected, cfx.num_detected,
-                        eraser_run.num_detected, eraser_mt.num_detected);
+                        eraser_tree.num_detected, eraser_run.num_detected,
+                        eraser_mt.num_detected);
             return 1;
         }
 
         const double base = ifsim.seconds;
-        std::printf("%-12s %9zu | %9.3f %9.3f %9.3f %9.3f %9.3f | %7.1f "
-                    "%7.1f %7.1f %7.1f\n",
+        std::printf("%-12s %8zu | %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f | "
+                    "%6.1f %6.1f %6.1f %6.1f\n",
                     b.display.c_str(), faults.size(), ifsim.seconds,
-                    vfsim.seconds, cfx.seconds, eraser_run.seconds,
-                    eraser_mt.seconds, base / vfsim.seconds,
-                    base / cfx.seconds, base / eraser_run.seconds,
-                    base / eraser_mt.seconds);
+                    vfsim.seconds, cfx.seconds, eraser_tree.seconds,
+                    eraser_run.seconds, eraser_mt.seconds,
+                    base / vfsim.seconds, base / cfx.seconds,
+                    base / eraser_run.seconds, base / eraser_mt.seconds);
+
+        auto row = [&](const char* mode, uint32_t threads, double seconds) {
+            json.add(bench::format(
+                R"({"circuit": "%s", "mode": "%s", "threads": %u, )"
+                R"("wall_ms": %.3f, "speedup": %.3f})",
+                b.name.c_str(), mode, threads, seconds * 1e3,
+                base / seconds));
+        };
+        row("ifsim", 1, ifsim.seconds);
+        row("vfsim", 1, vfsim.seconds);
+        row("cfsimx", 1, cfx.seconds);
+        row("eraser_tree", 1, eraser_tree.seconds);
+        row("eraser", 1, eraser_run.seconds);
+        row("eraser_mt", eraser_mt.num_threads, eraser_mt.seconds);
+
         geo_vf *= base / vfsim.seconds;
         geo_cfx *= base / cfx.seconds;
         geo_eraser *= base / eraser_run.seconds;
         geo_mt *= base / eraser_mt.seconds;
+        geo_vs_tree *= eraser_tree.seconds / eraser_run.seconds;
         ++count;
     }
 
@@ -95,8 +127,18 @@ int main(int argc, char** argv) {
                 geo(geo_vf), geo(geo_cfx), geo(geo_eraser), geo(geo_mt));
     std::printf("Geomean Eraser vs CFSIM-X* (Z01X stand-in): %.2fx\n",
                 geo(geo_eraser) / geo(geo_cfx));
+    std::printf("Geomean bytecode vs tree interpreter (Eraser, Full): "
+                "%.2fx\n",
+                geo(geo_vs_tree));
     std::printf("Paper reference: Eraser averages 3.9x vs Z01X and 5.9x vs "
                 "VFsim\n(absolute ratios differ — our substrate is an "
                 "interpreter, see EXPERIMENTS.md).\n");
+
+    if (json.write("BENCH_fig6.json")) {
+        std::printf("Wrote BENCH_fig6.json\n");
+    } else {
+        std::fprintf(stderr, "failed to write BENCH_fig6.json\n");
+        return 1;
+    }
     return 0;
 }

@@ -3,6 +3,7 @@
 //  * divergence-list operations (the concurrent engine's hot data structure)
 //  * VDG redundancy walk vs full faulty execution (why skipping pays)
 //  * CFG execution vs statement interpretation (fused walk overhead)
+//  * bytecode VM vs tree-walking interpreter (the PR 2 compiled hot path)
 //  * event-driven vs levelized good simulation (the two serial substrates)
 #include <benchmark/benchmark.h>
 
@@ -10,6 +11,8 @@
 #include "cfg/vdg.h"
 #include "fault/divergence.h"
 #include "frontend/compile.h"
+#include "sim/bcvm.h"
+#include "sim/bytecode.h"
 #include "sim/engine.h"
 #include "sim/interp.h"
 #include "suite/suite.h"
@@ -149,6 +152,24 @@ void BM_StmtInterpret(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_StmtInterpret);
+
+// ---------------------------------------------------------------------------
+// Bytecode VM vs the tree interpreter on the same body (the PR 2 hot path).
+void BM_BytecodeExec(benchmark::State& state) {
+    static Fig5Fixture fx;
+    const auto& behav = fx.design->behaviors[0];
+    const sim::BcProgram prog = sim::compile_stmt(
+        *behav.body, *fx.design,
+        {behav.blocking_writes, behav.array_writes, false});
+    sim::BcVm vm(*fx.design);
+    FlatCtx ctx(*fx.design);
+    ctx.write_signal(fx.design->signal_id("s"), Value(0, 2), false);
+    for (auto _ : state) {
+        vm.exec(prog, ctx);
+        benchmark::DoNotOptimize(ctx);
+    }
+}
+BENCHMARK(BM_BytecodeExec);
 
 // ---------------------------------------------------------------------------
 // Good-simulation throughput of the two serial substrates on a real

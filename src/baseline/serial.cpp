@@ -28,8 +28,9 @@ class EngineHandle final : public sim::DriveHandle {
 }  // namespace
 
 GoodTrace record_good_trace(const Design& design, sim::Stimulus& stim,
-                            sim::SchedulingMode mode) {
-    SimEngine eng(design, mode);
+                            sim::SchedulingMode mode,
+                            sim::InterpMode interp) {
+    SimEngine eng(design, mode, interp);
     EngineHandle handle(eng);
     stim.bind(design);
     const rtl::SignalId clk = design.signal_id(stim.clock_name());
@@ -56,13 +57,14 @@ SerialResult run_serial_campaign(const Design& design,
                                  sim::Stimulus& stim,
                                  const SerialOptions& opts) {
     Stopwatch watch;
-    const GoodTrace trace = record_good_trace(design, stim, opts.mode);
+    const GoodTrace trace =
+        record_good_trace(design, stim, opts.mode, opts.interp);
 
     SerialResult result;
     result.detected.assign(faults.size(), false);
     result.total_cycles = trace.cycles;
 
-    SimEngine eng(design, opts.mode);
+    SimEngine eng(design, opts.mode, opts.interp);
     EngineHandle handle(eng);
     stim.bind(design);
     const rtl::SignalId clk = design.signal_id(stim.clock_name());

@@ -22,6 +22,8 @@ namespace eraser::baseline {
 
 struct SerialOptions {
     sim::SchedulingMode mode = sim::SchedulingMode::EventDriven;
+    /// Behavioral executor (compiled bytecode vs tree-walking oracle).
+    sim::InterpMode interp = sim::InterpMode::Bytecode;
     /// Stop simulating a fault at its first detection (standard fault
     /// dropping; applied identically in all engines).
     bool drop_on_detect = true;
@@ -48,9 +50,9 @@ struct SerialResult {
 };
 
 /// Runs the fault-free simulation once and records the output strobes.
-[[nodiscard]] GoodTrace record_good_trace(const rtl::Design& design,
-                                          sim::Stimulus& stim,
-                                          sim::SchedulingMode mode);
+[[nodiscard]] GoodTrace record_good_trace(
+    const rtl::Design& design, sim::Stimulus& stim, sim::SchedulingMode mode,
+    sim::InterpMode interp = sim::InterpMode::Bytecode);
 
 /// Runs the full serial campaign (good run + one forced run per fault).
 [[nodiscard]] SerialResult run_serial_campaign(

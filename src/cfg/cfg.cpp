@@ -156,6 +156,41 @@ size_t Cfg::evaluate_decision(const CfgNode& node, sim::EvalContext& ctx) {
     return sim::pick_case_arm(s.arms, subj);
 }
 
+CompiledCfg CompiledCfg::build(const Cfg& cfg, const rtl::Design& design,
+                               const sim::BcWriteSets& writes) {
+    CompiledCfg compiled;
+    compiled.segments.resize(cfg.nodes.size());
+    compiled.decisions.resize(cfg.nodes.size());
+    for (size_t i = 0; i < cfg.nodes.size(); ++i) {
+        const CfgNode& n = cfg.nodes[i];
+        if (n.kind == CfgNode::Kind::Segment) {
+            compiled.segments[i] =
+                sim::compile_assigns(n.assigns, design, writes);
+        } else if (n.kind == CfgNode::Kind::Decision) {
+            compiled.decisions[i] = sim::compile_decision(*n.branch);
+        }
+    }
+    return compiled;
+}
+
+void CompiledCfg::execute(const Cfg& cfg, sim::BcVm& vm,
+                          sim::EvalContext& ctx) const {
+    uint32_t cur = cfg.entry;
+    size_t guard = 0;
+    while (cur != cfg.exit) {
+        const CfgNode& n = cfg.nodes[cur];
+        if (n.kind == CfgNode::Kind::Segment) {
+            vm.exec(segments[cur], ctx);
+            cur = n.next;
+        } else {
+            cur = n.succs[vm.select(decisions[cur], ctx)];
+        }
+        if (++guard > cfg.nodes.size() + 1) {
+            throw SimError("CFG execution did not terminate");
+        }
+    }
+}
+
 void Cfg::execute(const rtl::Design& design, sim::EvalContext& ctx) const {
     uint32_t cur = entry;
     size_t guard = 0;

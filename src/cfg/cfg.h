@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "rtl/design.h"
+#include "sim/bcvm.h"
 #include "sim/context.h"
 
 namespace eraser::cfg {
@@ -69,6 +70,25 @@ class Cfg {
   private:
     size_t num_decisions_ = 0;
     size_t num_segments_ = 0;
+};
+
+/// Bytecode-compiled view of a Cfg: each Segment's assignment run and each
+/// Decision's branch compiled to flat programs (sim/bytecode.h), indexed in
+/// parallel with cfg.nodes. The Eraser engine's fused redundancy walk
+/// (Algorithm 1) executes segments and evaluates decisions through these
+/// instead of tree-walking; results are bit-identical. The Cfg (and the
+/// statement tree beneath it) must outlive the compiled view.
+struct CompiledCfg {
+    /// `writes` is the WHOLE body's blocking-write context (see
+    /// compile_assigns) — segments of one activation share the overlay.
+    static CompiledCfg build(const Cfg& cfg, const rtl::Design& design,
+                             const sim::BcWriteSets& writes = {});
+
+    std::vector<sim::BcProgram> segments;    // parallel to cfg.nodes
+    std::vector<sim::BcDecision> decisions;  // parallel to cfg.nodes
+
+    /// Executes the whole CFG through `vm`; equivalent to Cfg::execute.
+    void execute(const Cfg& cfg, sim::BcVm& vm, sim::EvalContext& ctx) const;
 };
 
 }  // namespace eraser::cfg

@@ -32,6 +32,7 @@ struct EngineOutcome {
     std::vector<bool> detected;
     uint32_t num_detected = 0;
     Instrumentation stats;
+    double wall_seconds = 0.0;   // this engine run only
 };
 
 /// The campaign loop for one ConcurrentSim over `faults`: reset, stimulus
@@ -41,6 +42,7 @@ struct EngineOutcome {
 EngineOutcome run_engine(const rtl::Design& design,
                          std::span<const fault::Fault> faults,
                          sim::Stimulus& stim, const EngineOptions& opts) {
+    Stopwatch engine_watch;
     ConcurrentSim sim(design, faults, opts);
     ConcurrentHandle handle(sim);
     stim.bind(design);
@@ -60,6 +62,7 @@ EngineOutcome run_engine(const rtl::Design& design,
     out.detected = sim.detected();
     out.num_detected = sim.num_detected();
     out.stats = sim.stats();
+    out.wall_seconds = engine_watch.seconds();
     return out;
 }
 
@@ -146,6 +149,16 @@ CampaignResult run_sharded_campaign(const rtl::Design& design,
         }
         result.num_detected += out.num_detected;
         result.stats.merge_from(out.stats);
+
+        ShardBreakdown sb;
+        sb.shard = static_cast<uint32_t>(s);
+        sb.faults = static_cast<uint32_t>(shard.faults.size());
+        sb.detected = out.num_detected;
+        sb.est_cost = shard.est_cost;
+        sb.wall_seconds = out.wall_seconds;
+        sb.behavioral_seconds = out.stats.time_behavioral.total_seconds();
+        sb.rtl_seconds = out.stats.time_rtl.total_seconds();
+        result.stats.shards.push_back(sb);
     }
     result.num_shards = static_cast<uint32_t>(shards.size());
     result.num_threads = used_threads;

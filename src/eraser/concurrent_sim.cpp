@@ -20,40 +20,92 @@ using rtl::SignalId;
 namespace {
 constexpr int kMaxSettleRounds = 4096;
 
-/// Ordered upsert map used for activation-local write buffers. Linear scans:
-/// behavioral blocks write a handful of signals.
+using ArrKey = std::pair<uint32_t, uint64_t>;   // (array, index)
+
+struct SmallMapHash {
+    size_t operator()(uint32_t k) const { return k; }
+    size_t operator()(const ArrKey& k) const {
+        return (static_cast<size_t>(k.first) << 40) ^
+               (k.second * 0x9E3779B97F4A7C15ull);
+    }
+};
+
+/// Ordered upsert map used for activation-local write buffers. Items keep
+/// program (insertion) order — commits and cross-execution comparisons
+/// depend on it. Lookup is a linear scan while the map is small (the common
+/// case: behavioral blocks write a handful of signals), switching to a side
+/// hash index once it grows (e.g. the SHA-256 message-schedule block writes
+/// every w_mem element in one activation; the scan was 30%+ of campaign
+/// time). Pooled activations keep both buffers' capacity across reuses.
 template <typename K, typename V>
 class SmallMap {
   public:
     void upsert(const K& k, const V& v) {
-        for (auto& [key, val] : items_) {
-            if (key == k) {
-                val = v;
-                return;
+        if (items_.size() <= kLinearLimit) {
+            for (auto& [key, val] : items_) {
+                if (key == k) {
+                    val = v;
+                    return;
+                }
             }
+            items_.emplace_back(k, v);
+            if (items_.size() == kLinearLimit + 1) reindex();
+            return;
         }
-        items_.emplace_back(k, v);
+        const auto [it, inserted] =
+            index_.try_emplace(k, static_cast<uint32_t>(items_.size()));
+        if (inserted) {
+            items_.emplace_back(k, v);
+        } else {
+            items_[it->second].second = v;
+        }
     }
     [[nodiscard]] const V* find(const K& k) const {
-        for (const auto& [key, val] : items_) {
-            if (key == k) return &val;
+        if (items_.size() <= kLinearLimit) {
+            for (const auto& [key, val] : items_) {
+                if (key == k) return &val;
+            }
+            return nullptr;
         }
-        return nullptr;
+        const auto it = index_.find(k);
+        return it != index_.end() ? &items_[it->second].second : nullptr;
     }
     [[nodiscard]] const std::vector<std::pair<K, V>>& items() const {
         return items_;
     }
     [[nodiscard]] bool empty() const { return items_.empty(); }
-    void clear() { items_.clear(); }
+    void clear() {
+        items_.clear();
+        index_.clear();
+    }
+    /// Key-wise equality, insertion order ignored. Writes land in
+    /// first-write order, which differs between the whole-body program and
+    /// the fused walk's per-segment programs (their slot-exclusion sets
+    /// differ), so the audit's activation comparison must not depend on it.
+    /// Keys are unique, so equal sizes plus a one-way subset check suffice.
     friend bool operator==(const SmallMap& a, const SmallMap& b) {
-        return a.items_ == b.items_;
+        if (a.items_.size() != b.items_.size()) return false;
+        for (const auto& [key, val] : a.items_) {
+            const V* other = b.find(key);
+            if (other == nullptr || !(*other == val)) return false;
+        }
+        return true;
     }
 
   private:
-    std::vector<std::pair<K, V>> items_;
-};
+    static constexpr size_t kLinearLimit = 12;
 
-using ArrKey = std::pair<uint32_t, uint64_t>;   // (array, index)
+    void reindex() {
+        index_.clear();
+        for (uint32_t i = 0; i < items_.size(); ++i) {
+            index_.emplace(items_[i].first, i);
+        }
+    }
+
+    std::vector<std::pair<K, V>> items_;
+    /// key -> position in items_; populated past kLinearLimit.
+    std::unordered_map<K, uint32_t, SmallMapHash> index_;
+};
 
 }  // namespace
 
@@ -77,6 +129,29 @@ struct ConcurrentSim::Activation {
     }
 };
 
+/// One faulty execution's result, pooled across activations (the Activation
+/// keeps its buffer capacity between reuses).
+struct ConcurrentSim::FaultRun {
+    FaultId f = 0;
+    Activation act;
+};
+
+/// Per-candidate pre-activation views of every target the good execution
+/// wrote (see the commit phase of process_behavior). Pooled like FaultRun.
+struct ConcurrentSim::PreView {
+    FaultId f = 0;
+    std::vector<Value> sig_views;      // parallel to good blocking writes
+    std::vector<uint64_t> arr_views;   // parallel to good array writes
+};
+
+/// Reused scratch for the NBA record phase of process_behavior.
+struct ConcurrentSim::NbaScratch {
+    SmallMap<SignalId, Value> sig_last;     // one run's last NBA value/sig
+    SmallMap<ArrKey, uint64_t> arr_last;    // one run's last NBA value/elem
+    std::vector<SignalId> good_sigs;        // sorted good NBA targets
+    std::vector<ArrKey> good_keys;          // sorted good array NBA targets
+};
+
 /// Good-network evaluation context: reads the activation overlay then global
 /// good state; buffers writes in the activation.
 class ConcurrentSim::GoodCtx final : public sim::EvalContext {
@@ -88,12 +163,18 @@ class ConcurrentSim::GoodCtx final : public sim::EvalContext {
         return sim_.good_values_[sig];
     }
     Value read_array(ArrayId arr, uint64_t idx) override {
-        const unsigned w = sim_.design_.arrays[arr].width;
         if (const uint64_t* v = act_.arr_blocking.find({arr, idx})) {
-            return Value(*v, w);
+            return Value(*v, sim_.design_.arrays[arr].width);
         }
+        return read_array_unwritten(arr, idx);
+    }
+    Value read_signal_unwritten(SignalId sig) override {
+        return sim_.good_values_[sig];
+    }
+    Value read_array_unwritten(ArrayId arr, uint64_t idx) override {
         const auto& storage = sim_.good_arrays_[arr];
-        return Value(idx < storage.size() ? storage[idx] : 0, w);
+        return Value(idx < storage.size() ? storage[idx] : 0,
+                     sim_.design_.arrays[arr].width);
     }
     void write_signal(SignalId sig, Value v, bool nonblocking) override {
         if (nonblocking) {
@@ -134,11 +215,17 @@ class ConcurrentSim::FaultCtx final : public sim::EvalContext {
         return sim_.fault_view(sig, fault_);
     }
     Value read_array(ArrayId arr, uint64_t idx) override {
-        const unsigned w = sim_.design_.arrays[arr].width;
         if (const uint64_t* v = act_.arr_blocking.find({arr, idx})) {
-            return Value(*v, w);
+            return Value(*v, sim_.design_.arrays[arr].width);
         }
-        return Value(sim_.fault_array_view(arr, idx, fault_), w);
+        return read_array_unwritten(arr, idx);
+    }
+    Value read_signal_unwritten(SignalId sig) override {
+        return sim_.fault_view(sig, fault_);
+    }
+    Value read_array_unwritten(ArrayId arr, uint64_t idx) override {
+        return Value(sim_.fault_array_view(arr, idx, fault_),
+                     sim_.design_.arrays[arr].width);
     }
     void write_signal(SignalId sig, Value v, bool nonblocking) override {
         if (nonblocking) {
@@ -171,7 +258,10 @@ class ConcurrentSim::FaultCtx final : public sim::EvalContext {
 ConcurrentSim::ConcurrentSim(const Design& design,
                              std::span<const fault::Fault> faults,
                              const EngineOptions& opts)
-    : design_(design), faults_(faults.begin(), faults.end()), opts_(opts) {
+    : design_(design),
+      faults_(faults.begin(), faults.end()),
+      opts_(opts),
+      vm_(design) {
     if (!design.finalized()) {
         throw SimError("design must be finalized before simulation");
     }
@@ -203,6 +293,40 @@ ConcurrentSim::ConcurrentSim(const Design& design,
     }
     for (const auto& c : cfgs_) vdgs_.push_back(cfg::Vdg::build(c));
 
+    if (opts_.interp == sim::InterpMode::Bytecode) {
+        // Only the Full-mode fused walk executes per-CFG-node programs;
+        // other modes run whole bodies and skip that compilation.
+        const bool need_cfg_progs = opts_.mode == RedundancyMode::Full;
+        body_progs_.resize(design.behaviors.size());
+        if (need_cfg_progs) compiled_cfgs_.reserve(design.behaviors.size());
+        for (size_t b = 0; b < design.behaviors.size(); ++b) {
+            const rtl::BehavNode& bn = design.behaviors[b];
+            const sim::BcWriteSets writes{bn.blocking_writes,
+                                          bn.array_writes, false};
+            if (bn.body) {
+                body_progs_[b] = sim::compile_stmt(*bn.body, design, writes);
+            }
+            if (need_cfg_progs) {
+                compiled_cfgs_.push_back(
+                    cfg::CompiledCfg::build(cfgs_[b], design, writes));
+            }
+        }
+        init_progs_.resize(design.initials.size());
+        for (size_t i = 0; i < design.initials.size(); ++i) {
+            if (design.initials[i].body) {
+                init_progs_[i] =
+                    sim::compile_stmt(*design.initials[i].body, design);
+            }
+        }
+    }
+    scr_good_act_ = std::make_unique<Activation>();
+    scr_shadow_act_ = std::make_unique<Activation>();
+    scr_nba_ = std::make_unique<NbaScratch>();
+    scr_fact_of_.assign(faults_.size(), nullptr);
+    scr_pre_idx_.assign(faults_.size(), UINT32_MAX);
+    scr_mark_.assign(faults_.size(), 0);
+    nba_pending_.assign(faults_.size(), 0);
+
     const size_t num_elems = design.nodes.size() + design.behaviors.size();
     in_queue_.assign(num_elems, false);
     rank_buckets_.resize(design.rank_levels());
@@ -210,11 +334,6 @@ ConcurrentSim::ConcurrentSim(const Design& design,
 }
 
 ConcurrentSim::~ConcurrentSim() = default;
-
-Value ConcurrentSim::fault_view(SignalId sig, FaultId f) const {
-    if (const Value* v = sig_div_[sig].find(f)) return *v;
-    return good_values_[sig];
-}
 
 uint64_t ConcurrentSim::fault_array_view(ArrayId arr, uint64_t idx,
                                          FaultId f) const {
@@ -225,12 +344,6 @@ uint64_t ConcurrentSim::fault_array_view(ArrayId arr, uint64_t idx,
     }
     const auto& storage = good_arrays_[arr];
     return idx < storage.size() ? storage[idx] : 0;
-}
-
-Value ConcurrentSim::apply_pin(FaultId f, SignalId sig, Value v) const {
-    const fault::Fault& flt = faults_[f];
-    if (flt.sig != sig) return v;
-    return Value((v.bits() & ~flt.mask()) | flt.bits(), v.width());
 }
 
 Value ConcurrentSim::peek_fault(SignalId sig, FaultId f) const {
@@ -297,17 +410,6 @@ void ConcurrentSim::commit_good_array(ArrayId arr, uint64_t idx,
     }
 }
 
-void ConcurrentSim::reconcile(FaultId f, SignalId sig, Value fault_val) {
-    fault_val = apply_pin(f, sig, fault_val);
-    bool changed;
-    if (fault_val != good_values_[sig]) {
-        changed = sig_div_[sig].set(f, fault_val);
-    } else {
-        changed = sig_div_[sig].erase(f);
-    }
-    if (changed) schedule_signal_fanout(sig);
-}
-
 void ConcurrentSim::reconcile_array(FaultId f, ArrayId arr, uint64_t idx,
                                     uint64_t fault_val) {
     const auto& storage = good_arrays_[arr];
@@ -335,25 +437,6 @@ void ConcurrentSim::reconcile_array(FaultId f, ArrayId arr, uint64_t idx,
     }
 }
 
-void ConcurrentSim::schedule_signal_fanout(SignalId sig) {
-    const rtl::Signal& s = design_.signals[sig];
-    for (NodeId n : s.fanout_nodes) schedule_element(n);
-    for (BehavId b : s.fanout_comb) {
-        schedule_element(static_cast<uint32_t>(design_.nodes.size()) + b);
-    }
-}
-
-void ConcurrentSim::schedule_element(uint32_t elem) {
-    if (in_queue_[elem]) return;
-    in_queue_[elem] = true;
-    const uint32_t rank =
-        elem < design_.nodes.size()
-            ? design_.nodes[elem].rank
-            : design_.behaviors[elem - design_.nodes.size()].rank;
-    rank_buckets_[rank].push_back(elem);
-    lowest_dirty_rank_ = std::min(lowest_dirty_rank_, rank);
-}
-
 void ConcurrentSim::comb_propagate() {
     int batches = 0;
     for (;;) {
@@ -361,9 +444,11 @@ void ConcurrentSim::comb_propagate() {
         while (r < rank_buckets_.size() && rank_buckets_[r].empty()) ++r;
         if (r >= rank_buckets_.size()) break;
         lowest_dirty_rank_ = r;
-        std::vector<uint32_t> batch;
-        batch.swap(rank_buckets_[r]);
-        for (uint32_t e : batch) {
+        // Double-buffer with the member scratch so both vectors keep their
+        // capacity across drains (no per-batch allocation).
+        scr_batch_.clear();
+        scr_batch_.swap(rank_buckets_[r]);
+        for (uint32_t e : scr_batch_) {
             in_queue_[e] = false;
             if (e < design_.nodes.size()) {
                 eval_rtl_node(e);
@@ -380,14 +465,17 @@ void ConcurrentSim::comb_propagate() {
 }
 
 void ConcurrentSim::eval_rtl_node(NodeId n_id) {
-    TimeAccumulator::Section section(stats_.time_rtl);
+    TimeAccumulator::Section section(stats_.time_rtl, opts_.time_phases);
     const rtl::RtlNode& n = design_.nodes[n_id];
     const unsigned out_w = design_.signals[n.output].width;
     ++stats_.rtl_good_evals;
 
-    // Candidates first: entries on inputs (divergent sources) plus stale
-    // entries on the output (must be re-derived or cleared).
-    std::vector<FaultId> candidates;
+    // Candidates: entries on inputs (divergent sources), pre-commit entries
+    // on the output (stale state, re-derived or cleared below), and faults
+    // pinned on the output (their entries are rebuilt wholesale, so the
+    // pin shadow must be re-derived here too).
+    std::vector<FaultId>& candidates = scr_rtl_candidates_;
+    candidates.clear();
     for (SignalId in : n.inputs) {
         for (const auto& e : sig_div_[in].entries()) {
             if (!detected_[e.fault]) candidates.push_back(e.fault);
@@ -396,35 +484,67 @@ void ConcurrentSim::eval_rtl_node(NodeId n_id) {
     for (const auto& e : sig_div_[n.output].entries()) {
         if (!detected_[e.fault]) candidates.push_back(e.fault);
     }
+    for (FaultId f : pins_[n.output]) {
+        if (!detected_[f]) candidates.push_back(f);
+    }
     std::sort(candidates.begin(), candidates.end());
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());
 
-    // Good evaluation.
+    // Good evaluation. Operands go through the reused scratch buffer — RTL
+    // nodes are already flat (one op each), so this plus the buffer IS the
+    // compiled form; no tree remains to bytecode-compile.
+    std::vector<Value>& vals = scr_vals_;
+    const size_t num_inputs = n.inputs.size();
     Value good_out;
     if (n.op == rtl::Op::Const) {
         good_out = n.cval.resized(out_w);
     } else {
-        std::vector<Value> vals;
-        vals.reserve(n.inputs.size());
+        vals.clear();
         for (SignalId in : n.inputs) vals.push_back(good_values_[in]);
         good_out = rtl::eval_op(n.op, vals, out_w, n.imm);
     }
     commit_good_signal(n.output, good_out);
+    const Value good_new = good_values_[n.output];
 
-    // Faulty evaluations against each fault's input views.
-    std::vector<Value> fvals;
+    if (candidates.empty()) return;
+
+    // Faulty evaluations. Candidates ascend and every divergence list is
+    // sorted by fault, so one cursor per input replaces per-fault binary
+    // searches, and the output list is rebuilt in a single pass instead of
+    // per-fault set/erase (which memmoved the tail on every insertion).
+    scr_cursors_.assign(num_inputs, 0);
+    auto& rebuilt = scr_entries_;
+    rebuilt.clear();
+    // Pins on the output are rare; skipping apply_pin outright avoids a
+    // scattered faults_[f] load per candidate on the vast majority of nodes.
+    const bool output_pinned = !pins_[n.output].empty();
     for (FaultId f : candidates) {
         ++stats_.rtl_fault_evals;
         Value fault_out;
         if (n.op == rtl::Op::Const) {
             fault_out = n.cval.resized(out_w);
         } else {
-            fvals.clear();
-            for (SignalId in : n.inputs) fvals.push_back(fault_view(in, f));
-            fault_out = rtl::eval_op(n.op, fvals, out_w, n.imm);
+            vals.clear();
+            for (size_t i = 0; i < num_inputs; ++i) {
+                const auto& ent = sig_div_[n.inputs[i]].entries();
+                uint32_t& c = scr_cursors_[i];
+                while (c < ent.size() && ent[c].fault < f) ++c;
+                vals.push_back(c < ent.size() && ent[c].fault == f
+                                   ? ent[c].value
+                                   : good_values_[n.inputs[i]]);
+            }
+            fault_out = rtl::eval_op(n.op, vals, out_w, n.imm);
         }
-        reconcile(f, n.output, fault_out);
+        if (output_pinned) fault_out = apply_pin(f, n.output, fault_out);
+        if (fault_out != good_new) {
+            rebuilt.push_back({f, fault_out});
+        }
+    }
+    DivergenceList& out_div = sig_div_[n.output];
+    if (rebuilt != out_div.entries()) {
+        out_div.swap_entries(rebuilt);
+        schedule_signal_fanout(n.output);
     }
 }
 
@@ -454,15 +574,25 @@ void ConcurrentSim::eval_comb_behavior(BehavId b) {
     process_behavior(b, /*good_active=*/true, kNone, kNone);
 }
 
+void ConcurrentSim::exec_body(BehavId b, sim::EvalContext& ctx) {
+    if (opts_.interp == sim::InterpMode::Bytecode) {
+        vm_.exec(body_progs_[b], ctx);
+    } else if (design_.behaviors[b].body) {
+        sim::exec_stmt(*design_.behaviors[b].body, design_, ctx);
+    }
+}
+
 void ConcurrentSim::process_behavior(
     BehavId b, bool good_active, const std::vector<FaultId>& solo_active,
     const std::vector<FaultId>& missed) {
-    TimeAccumulator::Section section(stats_.time_behavioral);
+    TimeAccumulator::Section section(stats_.time_behavioral,
+                                     opts_.time_phases);
     const BehavNode& behav = design_.behaviors[b];
     const cfg::Cfg& cfg = cfgs_[b];
+    const bool bytecode = opts_.interp == sim::InterpMode::Bytecode;
 
     // ---- candidate collection --------------------------------------------
-    std::vector<FaultId> candidates;
+    std::vector<FaultId>& candidates = scr_candidates_;
     collect_candidates(behav, candidates);
     auto contains = [](const std::vector<FaultId>& v, FaultId f) {
         return std::binary_search(v.begin(), v.end(), f);
@@ -478,7 +608,8 @@ void ConcurrentSim::process_behavior(
                      candidates.end());
 
     // Normal candidates: activity follows the good network.
-    std::vector<FaultId> normal;
+    std::vector<FaultId>& normal = scr_normal_;
+    normal.clear();
     for (FaultId f : candidates) {
         if (!contains(solo_active, f) && !contains(missed, f)) {
             normal.push_back(f);
@@ -490,10 +621,14 @@ void ConcurrentSim::process_behavior(
     }
 
     // ---- good execution fused with the redundancy walk --------------------
-    Activation good_act;
-    std::vector<FaultId> explicit_skip;
-    std::vector<FaultId> implicit_alive;   // survivors = implicit-redundant
-    std::vector<FaultId> to_execute;
+    Activation& good_act = *scr_good_act_;
+    good_act.clear();
+    std::vector<FaultId>& explicit_skip = scr_explicit_skip_;
+    explicit_skip.clear();
+    std::vector<FaultId>& implicit_alive = scr_implicit_alive_;
+    implicit_alive.clear();   // survivors = implicit-redundant
+    std::vector<FaultId>& to_execute = scr_to_execute_;
+    to_execute.clear();
 
     if (good_active) {
         ++stats_.bn_good_execs;
@@ -503,28 +638,33 @@ void ConcurrentSim::process_behavior(
         // consistent with good executes identically — skip it. Only the
         // read signals that carry any divergence at all can make a fault
         // visible; that subset is typically tiny, so hoist it.
-        std::vector<SignalId> divergent_reads;
+        std::vector<SignalId>& divergent_reads = scr_div_reads_;
+        divergent_reads.clear();
         for (SignalId sig : behav.reads) {
             if (!sig_div_[sig].empty()) divergent_reads.push_back(sig);
         }
-        std::vector<ArrayId> divergent_arrays;
+        std::vector<ArrayId>& divergent_arrays = scr_div_arrays_;
+        divergent_arrays.clear();
         for (ArrayId arr : behav.array_reads) {
             if (!arr_div_[arr].empty()) divergent_arrays.push_back(arr);
         }
-        auto reads_visible = [&](FaultId f) {
-            for (SignalId sig : divergent_reads) {
-                if (sig_div_[sig].contains(f)) return true;
+        // One pass over the divergence entries marks every visible fault —
+        // this replaces a per-(fault, signal) binary-search loop.
+        for (SignalId sig : divergent_reads) {
+            for (const auto& e : sig_div_[sig].entries()) {
+                if (scr_mark_[e.fault] == 0) scr_marked_.push_back(e.fault);
+                scr_mark_[e.fault] |= 1;
             }
-            for (ArrayId arr : divergent_arrays) {
-                const auto it = arr_div_[arr].find(f);
-                if (it != arr_div_[arr].end() && !it->second.empty()) {
-                    return true;
-                }
+        }
+        for (ArrayId arr : divergent_arrays) {
+            for (const auto& [f, overlay] : arr_div_[arr]) {
+                if (overlay.empty()) continue;
+                if (scr_mark_[f] == 0) scr_marked_.push_back(f);
+                scr_mark_[f] |= 1;
             }
-            return false;
-        };
+        }
         for (FaultId f : normal) {
-            const bool visible = reads_visible(f);
+            const bool visible = scr_mark_[f] != 0;
             if (opts_.mode != RedundancyMode::None && !visible) {
                 explicit_skip.push_back(f);
             } else if (opts_.mode == RedundancyMode::Full && visible) {
@@ -533,34 +673,35 @@ void ConcurrentSim::process_behavior(
                 to_execute.push_back(f);
             }
         }
+        for (FaultId f : scr_marked_) scr_mark_[f] = 0;
+        scr_marked_.clear();
 
         GoodCtx gctx(*this, good_act);
         if (!behav.body) {
             implicit_alive.clear();
         } else if (implicit_alive.empty()) {
-            cfg.execute(design_, gctx);
+            // No fused walk needed: run the whole body straight through
+            // (the compiled body program and the CFG are equivalent).
+            if (bytecode) {
+                vm_.exec(body_progs_[b], gctx);
+            } else {
+                cfg.execute(design_, gctx);
+            }
         } else {
             // Fused walk (Algorithm 1): traverse the CFG, executing the good
             // path and pruning faults whose path or dependencies diverge.
-            std::vector<SignalId> node_div_reads;
-            std::vector<ArrayId> node_div_arrays;
+            const cfg::CompiledCfg* ccfg =
+                bytecode ? &compiled_cfgs_[b] : nullptr;
+            std::vector<SignalId>& node_div_reads = scr_node_div_reads_;
+            std::vector<ArrayId>& node_div_arrays = scr_node_div_arrays_;
             uint32_t cur = cfg.entry;
             while (cur != cfg.exit) {
                 const cfg::CfgNode& node = cfg.nodes[cur];
-                // Visibility with the locally-written override: a signal the
-                // good path already assigned in this activation is consistent
-                // for every still-alive fault (their execution so far is
+                // Hoist the divergence-carrying subset of the node's reads,
+                // honoring the locally-written override: a signal the good
+                // path already assigned in this activation is consistent for
+                // every still-alive fault (their execution so far is
                 // provably identical).
-                auto visible = [&](SignalId sig, FaultId f) {
-                    if (good_act.blocking.find(sig) != nullptr) return false;
-                    return sig_div_[sig].contains(f);
-                };
-                auto arr_visible = [&](ArrayId arr, FaultId f) {
-                    const auto it = arr_div_[arr].find(f);
-                    return it != arr_div_[arr].end() && !it->second.empty();
-                };
-                // Hoist the divergence-carrying subset of the node's reads:
-                // per-fault checks then touch only those few signals.
                 node_div_reads.clear();
                 for (SignalId sig : node.reads) {
                     if (!sig_div_[sig].empty() &&
@@ -572,54 +713,62 @@ void ConcurrentSim::process_behavior(
                 for (ArrayId arr : node.array_reads) {
                     if (!arr_div_[arr].empty()) node_div_arrays.push_back(arr);
                 }
+                // Mark visible faults in one pass over the divergence
+                // entries (bit 0: signal read, bit 1: array read) instead
+                // of per-(fault, signal) binary searches.
+                for (SignalId sig : node_div_reads) {
+                    for (const auto& e : sig_div_[sig].entries()) {
+                        if (scr_mark_[e.fault] == 0) {
+                            scr_marked_.push_back(e.fault);
+                        }
+                        scr_mark_[e.fault] |= 1;
+                    }
+                }
+                for (ArrayId arr : node_div_arrays) {
+                    for (const auto& [f, overlay] : arr_div_[arr]) {
+                        if (overlay.empty()) continue;
+                        if (scr_mark_[f] == 0) scr_marked_.push_back(f);
+                        scr_mark_[f] |= 2;
+                    }
+                }
                 if (node.kind == cfg::CfgNode::Kind::Segment) {
                     // Path dependency node: any visible read kills redundancy.
-                    if (!node_div_reads.empty() || !node_div_arrays.empty()) {
+                    if (!scr_marked_.empty()) {
                         std::erase_if(implicit_alive, [&](FaultId f) {
-                            for (SignalId sig : node_div_reads) {
-                                if (visible(sig, f)) {
-                                    to_execute.push_back(f);
-                                    return true;
-                                }
-                            }
-                            for (ArrayId arr : node_div_arrays) {
-                                if (arr_visible(arr, f)) {
-                                    to_execute.push_back(f);
-                                    return true;
-                                }
+                            if (scr_mark_[f] != 0) {
+                                to_execute.push_back(f);
+                                return true;
                             }
                             return false;
                         });
                     }
-                    for (const rtl::Stmt* a : node.assigns) {
-                        sim::exec_assign(*a, design_, gctx);
+                    if (ccfg != nullptr) {
+                        vm_.exec(ccfg->segments[cur], gctx);
+                    } else {
+                        for (const rtl::Stmt* a : node.assigns) {
+                            sim::exec_assign(*a, design_, gctx);
+                        }
                     }
                     cur = node.next;
                 } else {
                     // Path decision node: evaluate under good and under each
                     // fault whose condition inputs are visible.
                     const size_t good_next =
-                        cfg::Cfg::evaluate_decision(node, gctx);
-                    if (node_div_reads.empty() && node_div_arrays.empty()) {
+                        ccfg != nullptr
+                            ? vm_.select(ccfg->decisions[cur], gctx)
+                            : cfg::Cfg::evaluate_decision(node, gctx);
+                    if (scr_marked_.empty()) {
                         cur = node.succs[good_next];
                         continue;
                     }
                     std::erase_if(implicit_alive, [&](FaultId f) {
-                        bool need_eval = false;
-                        for (SignalId sig : node_div_reads) {
-                            if (visible(sig, f)) {
-                                need_eval = true;
-                                break;
-                            }
-                        }
+                        const bool need_eval = (scr_mark_[f] & 1) != 0;
                         if (!need_eval) {
-                            for (ArrayId arr : node_div_arrays) {
-                                if (arr_visible(arr, f)) {
-                                    // Conservative: divergent memory feeding
-                                    // a branch — treat as path divergence.
-                                    to_execute.push_back(f);
-                                    return true;
-                                }
+                            if ((scr_mark_[f] & 2) != 0) {
+                                // Conservative: divergent memory feeding
+                                // a branch — treat as path divergence.
+                                to_execute.push_back(f);
+                                return true;
                             }
                             return false;
                         }
@@ -629,7 +778,9 @@ void ConcurrentSim::process_behavior(
                         // falls through to the fault's global view.
                         FaultCtx fctx(*this, good_act, f);
                         const size_t fault_next =
-                            cfg::Cfg::evaluate_decision(node, fctx);
+                            ccfg != nullptr
+                                ? vm_.select(ccfg->decisions[cur], fctx)
+                                : cfg::Cfg::evaluate_decision(node, fctx);
                         if (fault_next != good_next) {
                             to_execute.push_back(f);
                             return true;
@@ -638,6 +789,8 @@ void ConcurrentSim::process_behavior(
                     });
                     cur = node.succs[good_next];
                 }
+                for (FaultId f : scr_marked_) scr_mark_[f] = 0;
+                scr_marked_.clear();
             }
         }
     } else {
@@ -646,21 +799,21 @@ void ConcurrentSim::process_behavior(
 
     // ---- faulty executions -------------------------------------------------
     std::sort(to_execute.begin(), to_execute.end());
-    struct FaultRun {
-        FaultId f;
-        Activation act;
-    };
-    std::vector<FaultRun> runs;
+    // Pool of FaultRuns with live-prefix semantics: [0, scr_runs_used_) are
+    // this activation's runs; reused entries keep their buffer capacity.
+    scr_runs_used_ = 0;
     auto run_fault = [&](FaultId f) {
         ++stats_.bn_executed;
-        FaultRun run;
+        if (scr_runs_used_ == scr_runs_.size()) scr_runs_.emplace_back();
+        FaultRun& run = scr_runs_[scr_runs_used_++];
         run.f = f;
+        run.act.clear();
         FaultCtx fctx(*this, run.act, f);
-        if (behav.body) sim::exec_stmt(*behav.body, design_, fctx);
-        runs.push_back(std::move(run));
+        if (behav.body) exec_body(b, fctx);
     };
     for (FaultId f : to_execute) run_fault(f);
     for (FaultId f : solo_active) run_fault(f);
+    const std::span<const FaultRun> runs(scr_runs_.data(), scr_runs_used_);
 
     stats_.bn_skipped_explicit += explicit_skip.size();
     stats_.bn_skipped_implicit += implicit_alive.size();
@@ -668,9 +821,10 @@ void ConcurrentSim::process_behavior(
     // ---- audit: ground-truth classification & soundness check -------------
     if (opts_.audit && good_active) {
         auto shadow_equal = [&](FaultId f) {
-            Activation shadow;
+            Activation& shadow = *scr_shadow_act_;
+            shadow.clear();
             FaultCtx fctx(*this, shadow, f);
-            if (behav.body) sim::exec_stmt(*behav.body, design_, fctx);
+            if (behav.body) exec_body(b, fctx);
             return shadow.same_writes(good_act);
         };
         for (FaultId f : explicit_skip) {
@@ -711,40 +865,36 @@ void ConcurrentSim::process_behavior(
     const auto& gw = good_act.blocking.items();
     const auto& gaw = good_act.arr_blocking.items();
 
-    struct PreView {
-        FaultId f;
-        std::vector<Value> sig_views;       // parallel to gw
-        std::vector<uint64_t> arr_views;    // parallel to gaw
-    };
-    std::vector<PreView> pre_views;
+    // Per-fault resolution state for the commit loops (O(1) lookups;
+    // touched entries are reset at the end of this activation).
+    for (const FaultRun& run : runs) scr_fact_of_[run.f] = &run.act;
+
+    scr_pre_views_used_ = 0;
     auto need_pre_view = [&](FaultId f) {
         // Executed faults may not write everything good wrote; missed faults
         // write nothing. Redundant skips use the good values directly.
-        return contains(missed, f) ||
-               std::any_of(runs.begin(), runs.end(),
-                           [&](const FaultRun& r) { return r.f == f; });
+        return contains(missed, f) || scr_fact_of_[f] != nullptr;
     };
     for (FaultId f : candidates) {
         if (!need_pre_view(f)) continue;
-        PreView pv;
+        if (scr_pre_views_used_ == scr_pre_views_.size()) {
+            scr_pre_views_.emplace_back();
+        }
+        PreView& pv = scr_pre_views_[scr_pre_views_used_++];
         pv.f = f;
-        pv.sig_views.reserve(gw.size());
+        pv.sig_views.clear();
         for (const auto& [sig, v] : gw) {
             pv.sig_views.push_back(fault_view(sig, f));
         }
-        pv.arr_views.reserve(gaw.size());
+        pv.arr_views.clear();
         for (const auto& [key, v] : gaw) {
             pv.arr_views.push_back(
                 fault_array_view(key.first, key.second, f));
         }
-        pre_views.push_back(std::move(pv));
     }
-    auto find_pre_view = [&](FaultId f) -> const PreView* {
-        for (const auto& pv : pre_views) {
-            if (pv.f == f) return &pv;
-        }
-        return nullptr;
-    };
+    for (uint32_t i = 0; i < scr_pre_views_used_; ++i) {
+        scr_pre_idx_[scr_pre_views_[i].f] = i;
+    }
 
     // Commit good blocking writes (schedules fanout, re-asserts pins).
     for (const auto& [sig, v] : gw) commit_good_signal(sig, v);
@@ -752,38 +902,67 @@ void ConcurrentSim::process_behavior(
         commit_good_array(key.first, key.second, v);
     }
 
-    // Reconcile each candidate's blocking state. Resolution per target the
+    // Reconcile every candidate's blocking state. Resolution per target the
     // good execution wrote:
     //   * the fault also wrote it        -> the fault's value;
     //   * fault has a pre-view (missed or executed-without-writing-it)
     //                                    -> its pre-activation value;
     //   * otherwise (redundant skip)     -> the good value (divergence
     //                                       cleared; pins re-applied).
-    auto reconcile_writes = [&](FaultId f, const Activation* fact) {
-        const PreView* pv = find_pre_view(f);
-        for (size_t i = 0; i < gw.size(); ++i) {
-            const SignalId sig = gw[i].first;
-            Value fval;
+    //
+    // Candidates ascend and divergence lists are sorted, so each written
+    // signal's list is rebuilt in ONE merge pass: entries of non-candidate
+    // faults (pin shadows re-asserted by the commit above, or detected
+    // faults awaiting the next prune) are kept verbatim, candidate entries
+    // are re-derived. This replaces a per-(fault, target) binary-search +
+    // insertion storm with linear work.
+    auto& rebuilt = scr_entries_;
+    for (size_t i = 0; i < gw.size(); ++i) {
+        const SignalId sig = gw[i].first;
+        DivergenceList& div = sig_div_[sig];
+        const auto& old = div.entries();
+        const Value good_v = good_values_[sig];
+        rebuilt.clear();
+        size_t oc = 0;
+        for (FaultId f : candidates) {
+            while (oc < old.size() && old[oc].fault < f) {
+                rebuilt.push_back(old[oc++]);
+            }
+            const bool has_old = oc < old.size() && old[oc].fault == f;
+            const Activation* fact = scr_fact_of_[f];
             const Value* own =
                 fact != nullptr ? fact->blocking.find(sig) : nullptr;
+            Value fval;
             if (own != nullptr) {
                 fval = *own;
-            } else if (pv != nullptr) {
-                fval = pv->sig_views[i];
+            } else if (scr_pre_idx_[f] != UINT32_MAX) {
+                fval = scr_pre_views_[scr_pre_idx_[f]].sig_views[i];
             } else {
                 fval = gw[i].second;
             }
-            reconcile(f, sig, fval);
+            fval = apply_pin(f, sig, fval);
+            if (fval != good_v) rebuilt.push_back({f, fval});
+            if (has_old) ++oc;
         }
-        // ...plus fault-only writes.
-        if (fact != nullptr) {
-            for (const auto& [sig, v] : fact->blocking.items()) {
-                if (good_act.blocking.find(sig) == nullptr) {
-                    reconcile(f, sig, v);
-                }
+        while (oc < old.size()) rebuilt.push_back(old[oc++]);
+        if (rebuilt != old) {
+            div.swap_entries(rebuilt);
+            schedule_signal_fanout(sig);
+        }
+    }
+    // ...plus fault-only blocking writes (targets good did not write).
+    for (const FaultRun& run : runs) {
+        for (const auto& [sig, v] : run.act.blocking.items()) {
+            if (good_act.blocking.find(sig) == nullptr) {
+                reconcile(run.f, sig, v);
             }
         }
-        // Arrays, same pattern.
+    }
+
+    // Arrays, same resolution rules (kept per-fault: the sparse per-fault
+    // overlays are hash maps, not sorted lists).
+    auto reconcile_array_writes = [&](FaultId f, const Activation* fact) {
+        const uint32_t pvi = scr_pre_idx_[f];
         for (size_t i = 0; i < gaw.size(); ++i) {
             const ArrKey key = gaw[i].first;
             uint64_t fval;
@@ -791,8 +970,8 @@ void ConcurrentSim::process_behavior(
                 fact != nullptr ? fact->arr_blocking.find(key) : nullptr;
             if (own != nullptr) {
                 fval = *own;
-            } else if (pv != nullptr) {
-                fval = pv->arr_views[i];
+            } else if (pvi != UINT32_MAX) {
+                fval = scr_pre_views_[pvi].arr_views[i];
             } else {
                 fval = gaw[i].second;
             }
@@ -806,11 +985,22 @@ void ConcurrentSim::process_behavior(
             }
         }
     };
+    if (!gaw.empty()) {
+        // With no good array writes these three are no-ops; runs still
+        // carry fault-only array writes either way.
+        for (FaultId f : explicit_skip) reconcile_array_writes(f, nullptr);
+        for (FaultId f : implicit_alive) reconcile_array_writes(f, nullptr);
+        for (FaultId f : missed) reconcile_array_writes(f, nullptr);
+    }
+    for (const FaultRun& run : runs) {
+        reconcile_array_writes(run.f, &run.act);
+    }
 
-    for (FaultId f : explicit_skip) reconcile_writes(f, nullptr);
-    for (FaultId f : implicit_alive) reconcile_writes(f, nullptr);
-    for (FaultId f : missed) reconcile_writes(f, nullptr);
-    for (const FaultRun& run : runs) reconcile_writes(run.f, &run.act);
+    // Reset the per-fault scratch indices (touched entries only).
+    for (const FaultRun& run : runs) scr_fact_of_[run.f] = nullptr;
+    for (uint32_t i = 0; i < scr_pre_views_used_; ++i) {
+        scr_pre_idx_[scr_pre_views_[i].f] = UINT32_MAX;
+    }
 
     // ---- nonblocking writes -------------------------------------------------
     for (const auto& [sig, v] : good_act.nba) {
@@ -819,64 +1009,114 @@ void ConcurrentSim::process_behavior(
     for (const auto& [arr, idx, v] : good_act.arr_nba) {
         nba_good_arrs_.emplace_back(arr, idx, v);
     }
+    NbaScratch& nsc = *scr_nba_;
+    if (!good_act.nba.empty()) {
+        nsc.good_sigs.clear();
+        for (const auto& [sig, v] : good_act.nba) nsc.good_sigs.push_back(sig);
+        std::sort(nsc.good_sigs.begin(), nsc.good_sigs.end());
+    }
+    if (!good_act.arr_nba.empty()) {
+        nsc.good_keys.clear();
+        for (const auto& [arr, idx, v] : good_act.arr_nba) {
+            nsc.good_keys.emplace_back(arr, idx);
+        }
+        std::sort(nsc.good_keys.begin(), nsc.good_keys.end());
+    }
+    // Records for faults that followed the good execution without running
+    // (explicit/implicit skips): their NBA value IS the good value, so a
+    // record only matters where the fault has stale divergence to clear, a
+    // pin to re-assert, or an earlier pending record in this batch to
+    // override (a prior activation may have recorded a now-stale faulty
+    // value; apply_nba resolves records in order, last one wins) —
+    // everywhere else apply_nba's reconcile would be a no-op, so the
+    // record is dropped at the source.
+    auto skipped_nba_records = [&](FaultId f) {
+        const bool pending = nba_pending_[f] != 0;
+        bool pushed = false;
+        for (const auto& [sig, v] : good_act.nba) {
+            if (pending || faults_[f].sig == sig ||
+                sig_div_[sig].contains(f)) {
+                nba_fault_sigs_.emplace_back(f, sig, v);
+                pushed = true;
+            }
+        }
+        for (const auto& [arr, idx, v] : good_act.arr_nba) {
+            // Arrays have no pins; a stale element entry (or pending
+            // record) needs the override.
+            const auto fit = arr_div_[arr].find(f);
+            if (pending ||
+                (fit != arr_div_[arr].end() && fit->second.contains(idx))) {
+                nba_fault_arrs_.emplace_back(f, arr, idx, v);
+                pushed = true;
+            }
+        }
+        if (pushed && !pending) {
+            nba_pending_[f] = 1;
+            nba_pending_list_.push_back(f);
+        }
+    };
+    // Records for missed activations (the fault keeps its pre-NBA view) and
+    // executed faults (own last write, else pre-NBA view).
     auto fault_nba_records = [&](FaultId f, const Activation* fact) {
-        // Resolve this fault's value for every signal good NBA-writes.
+        if (nba_pending_[f] == 0 &&
+            (!good_act.nba.empty() || !good_act.arr_nba.empty() ||
+             (fact != nullptr &&
+              (!fact->nba.empty() || !fact->arr_nba.empty())))) {
+            nba_pending_[f] = 1;
+            nba_pending_list_.push_back(f);
+        }
+        if (fact != nullptr && !fact->nba.empty()) {
+            nsc.sig_last.clear();
+            for (const auto& [sig, fv] : fact->nba) {
+                nsc.sig_last.upsert(sig, fv);   // last write wins
+            }
+        }
         for (const auto& [sig, v] : good_act.nba) {
             Value fval;
-            if (fact == nullptr) {
-                fval = contains(missed, f) ? fault_view(sig, f) : v;
-            } else {
-                const Value* own = nullptr;
-                for (const auto& [fsig, fv] : fact->nba) {
-                    if (fsig == sig) own = &fv;   // last write wins
-                }
-                fval = own != nullptr ? *own : fault_view(sig, f);
-            }
+            const Value* own = fact != nullptr && !fact->nba.empty()
+                                   ? nsc.sig_last.find(sig)
+                                   : nullptr;
+            fval = own != nullptr ? *own : fault_view(sig, f);
             nba_fault_sigs_.emplace_back(f, sig, fval);
         }
         // Fault-only NBA writes.
         if (fact != nullptr) {
             for (const auto& [sig, fv] : fact->nba) {
-                bool good_wrote = false;
-                for (const auto& [gsig, gv] : good_act.nba) {
-                    if (gsig == sig) {
-                        good_wrote = true;
-                        break;
-                    }
+                if (good_act.nba.empty() ||
+                    !std::binary_search(nsc.good_sigs.begin(),
+                                        nsc.good_sigs.end(), sig)) {
+                    nba_fault_sigs_.emplace_back(f, sig, fv);
                 }
-                if (!good_wrote) nba_fault_sigs_.emplace_back(f, sig, fv);
             }
         }
         // Array NBA.
+        if (fact != nullptr && !fact->arr_nba.empty()) {
+            nsc.arr_last.clear();
+            for (const auto& [arr, idx, fv] : fact->arr_nba) {
+                nsc.arr_last.upsert({arr, idx}, fv);
+            }
+        }
         for (const auto& [arr, idx, v] : good_act.arr_nba) {
             uint64_t fval;
-            if (fact == nullptr) {
-                fval = contains(missed, f) ? fault_array_view(arr, idx, f)
-                                           : v;
-            } else {
-                const uint64_t* own = nullptr;
-                for (const auto& [farr, fidx, fv] : fact->arr_nba) {
-                    if (farr == arr && fidx == idx) own = &fv;
-                }
-                fval = own != nullptr ? *own : fault_array_view(arr, idx, f);
-            }
+            const uint64_t* own = fact != nullptr && !fact->arr_nba.empty()
+                                      ? nsc.arr_last.find({arr, idx})
+                                      : nullptr;
+            fval = own != nullptr ? *own : fault_array_view(arr, idx, f);
             nba_fault_arrs_.emplace_back(f, arr, idx, fval);
         }
         if (fact != nullptr) {
             for (const auto& [arr, idx, fv] : fact->arr_nba) {
-                bool good_wrote = false;
-                for (const auto& [garr, gidx, gv] : good_act.arr_nba) {
-                    if (garr == arr && gidx == idx) {
-                        good_wrote = true;
-                        break;
-                    }
+                if (good_act.arr_nba.empty() ||
+                    !std::binary_search(nsc.good_keys.begin(),
+                                        nsc.good_keys.end(),
+                                        ArrKey{arr, idx})) {
+                    nba_fault_arrs_.emplace_back(f, arr, idx, fv);
                 }
-                if (!good_wrote) nba_fault_arrs_.emplace_back(f, arr, idx, fv);
             }
         }
     };
-    for (FaultId f : explicit_skip) fault_nba_records(f, nullptr);
-    for (FaultId f : implicit_alive) fault_nba_records(f, nullptr);
+    for (FaultId f : explicit_skip) skipped_nba_records(f);
+    for (FaultId f : implicit_alive) skipped_nba_records(f);
     for (FaultId f : missed) fault_nba_records(f, nullptr);
     for (const FaultRun& run : runs) fault_nba_records(run.f, &run.act);
 }
@@ -898,9 +1138,10 @@ bool ConcurrentSim::run_edge_round() {
         const uint64_t cur_good = good_values_[sig].bits();
         const DivergenceList& prev_div = edge_prev_div_[sig];
         const DivergenceList& cur_div = sig_div_[sig];
-        if (prev_good == cur_good && prev_div.empty() && cur_div.empty()) {
-            continue;
-        }
+        // Unchanged good value AND unchanged divergence: every fault's
+        // prev == cur, so no edge (good or faulty) can fire from this
+        // signal — skip the record and the list copy entirely.
+        if (prev_good == cur_good && prev_div == cur_div) continue;
         Record rec;
         rec.sig = sig;
         rec.prev_good = prev_good;
@@ -1033,6 +1274,9 @@ bool ConcurrentSim::apply_nba() {
     nba_good_arrs_.clear();
     nba_fault_sigs_.clear();
     nba_fault_arrs_.clear();
+    // The batch is resolved; pending-record flags start over.
+    for (FaultId f : nba_pending_list_) nba_pending_[f] = 0;
+    nba_pending_list_.clear();
 
     for (const auto& [sig, v] : good_sigs) commit_good_signal(sig, v);
     for (const auto& [arr, idx, v] : good_arrs) {
@@ -1090,6 +1334,8 @@ void ConcurrentSim::reset() {
     nba_good_arrs_.clear();
     nba_fault_sigs_.clear();
     nba_fault_arrs_.clear();
+    for (FaultId f : nba_pending_list_) nba_pending_[f] = 0;
+    nba_pending_list_.clear();
     lowest_dirty_rank_ = 0;
 
     // Initial blocks run on the good network; pins are then materialized so
@@ -1097,8 +1343,13 @@ void ConcurrentSim::reset() {
     {
         Activation act;
         GoodCtx ctx(*this, act);
-        for (const auto& init : design_.initials) {
-            if (init.body) sim::exec_stmt(*init.body, design_, ctx);
+        for (size_t i = 0; i < design_.initials.size(); ++i) {
+            if (!design_.initials[i].body) continue;
+            if (opts_.interp == sim::InterpMode::Bytecode) {
+                vm_.exec(init_progs_[i], ctx);
+            } else {
+                sim::exec_stmt(*design_.initials[i].body, design_, ctx);
+            }
         }
         for (const auto& [sig, v] : act.blocking.items()) {
             commit_good_signal(sig, v);

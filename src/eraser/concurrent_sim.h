@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +30,8 @@
 #include "fault/divergence.h"
 #include "fault/fault.h"
 #include "rtl/design.h"
+#include "sim/bcvm.h"
+#include "sim/bytecode.h"
 #include "sim/stimulus.h"
 
 namespace eraser::core {
@@ -37,6 +40,10 @@ enum class RedundancyMode : uint8_t { None, Explicit, Full };
 
 struct EngineOptions {
     RedundancyMode mode = RedundancyMode::Full;
+    /// Behavioral executor: Bytecode runs bodies/CFG nodes compiled to flat
+    /// instruction streams at construction (production path); Tree keeps
+    /// the recursive interpreter as the differential-testing oracle.
+    sim::InterpMode interp = sim::InterpMode::Bytecode;
     /// Shadow-execute every candidate to classify ground-truth redundancy
     /// (explicit / implicit / none) and cross-check implicit skips.
     bool audit = false;
@@ -84,24 +91,62 @@ class ConcurrentSim {
     class GoodCtx;
     class FaultCtx;
     struct Activation;
+    struct FaultRun;
+    struct PreView;
+    struct NbaScratch;
 
     // --- value plumbing ----------------------------------------------------
+    // The one-liners here are defined in-class: they are the innermost calls
+    // of the concurrent hot loop (millions of calls per campaign) and must
+    // inline into eval_rtl_node / process_behavior.
     void commit_good_signal(rtl::SignalId sig, Value v);
     void commit_good_array(rtl::ArrayId arr, uint64_t idx, uint64_t val);
     /// Sets/clears fault divergence given the fault's absolute value
     /// (applies the fault pin first); schedules fanout on change.
-    void reconcile(fault::FaultId f, rtl::SignalId sig, Value fault_val);
+    void reconcile(fault::FaultId f, rtl::SignalId sig, Value fault_val) {
+        fault_val = apply_pin(f, sig, fault_val);
+        bool changed;
+        if (fault_val != good_values_[sig]) {
+            changed = sig_div_[sig].set(f, fault_val);
+        } else {
+            changed = sig_div_[sig].erase(f);
+        }
+        if (changed) schedule_signal_fanout(sig);
+    }
     void reconcile_array(fault::FaultId f, rtl::ArrayId arr, uint64_t idx,
                          uint64_t fault_val);
-    [[nodiscard]] Value fault_view(rtl::SignalId sig, fault::FaultId f) const;
+    [[nodiscard]] Value fault_view(rtl::SignalId sig,
+                                   fault::FaultId f) const {
+        if (const Value* v = sig_div_[sig].find(f)) return *v;
+        return good_values_[sig];
+    }
     [[nodiscard]] uint64_t fault_array_view(rtl::ArrayId arr, uint64_t idx,
                                             fault::FaultId f) const;
     [[nodiscard]] Value apply_pin(fault::FaultId f, rtl::SignalId sig,
-                                  Value v) const;
+                                  Value v) const {
+        const fault::Fault& flt = faults_[f];
+        if (flt.sig != sig) return v;
+        return Value((v.bits() & ~flt.mask()) | flt.bits(), v.width());
+    }
 
     // --- scheduling --------------------------------------------------------
-    void schedule_element(uint32_t elem);
-    void schedule_signal_fanout(rtl::SignalId sig);
+    void schedule_element(uint32_t elem) {
+        if (in_queue_[elem]) return;
+        in_queue_[elem] = true;
+        const uint32_t rank =
+            elem < design_.nodes.size()
+                ? design_.nodes[elem].rank
+                : design_.behaviors[elem - design_.nodes.size()].rank;
+        rank_buckets_[rank].push_back(elem);
+        if (rank < lowest_dirty_rank_) lowest_dirty_rank_ = rank;
+    }
+    void schedule_signal_fanout(rtl::SignalId sig) {
+        const rtl::Signal& s = design_.signals[sig];
+        for (rtl::NodeId n : s.fanout_nodes) schedule_element(n);
+        for (rtl::BehavId b : s.fanout_comb) {
+            schedule_element(static_cast<uint32_t>(design_.nodes.size()) + b);
+        }
+    }
     void comb_propagate();
     bool run_edge_round();
     bool apply_nba();
@@ -124,6 +169,9 @@ class ConcurrentSim {
     /// writes, and read/written arrays), ascending, detected skipped.
     void collect_candidates(const rtl::BehavNode& behav,
                             std::vector<fault::FaultId>& out) const;
+
+    /// Runs behavior `b`'s whole body through the selected interpreter.
+    void exec_body(rtl::BehavId b, sim::EvalContext& ctx);
 
     void mark_detected(fault::FaultId f);
 
@@ -152,6 +200,14 @@ class ConcurrentSim {
     std::vector<cfg::Cfg> cfgs_;
     std::vector<cfg::Vdg> vdgs_;
 
+    // Bytecode path (empty when opts.interp == Tree): whole bodies, initial
+    // blocks, and per-CFG-node segment/decision programs compiled once at
+    // construction. One VM per engine — shards never share a VM.
+    sim::BcVm vm_;
+    std::vector<sim::BcProgram> body_progs_;     // parallel to behaviors
+    std::vector<sim::BcProgram> init_progs_;     // parallel to initials
+    std::vector<cfg::CompiledCfg> compiled_cfgs_;  // parallel to behaviors
+
     // Scheduling (elements: RTL nodes then comb behaviors).
     std::vector<std::vector<uint32_t>> rank_buckets_;
     std::vector<bool> in_queue_;
@@ -168,6 +224,49 @@ class ConcurrentSim {
     std::vector<bool> detected_;
     uint32_t num_detected_ = 0;
     uint32_t pruned_detected_ = 0;   // last count swept out of the lists
+
+    // Reused scratch for the per-activation hot path (process_behavior,
+    // collect_candidates, eval_rtl_node, comb_propagate are non-reentrant):
+    // cleared on entry, capacity persists, so steady-state activations
+    // allocate nothing.
+    std::vector<fault::FaultId> scr_candidates_;
+    std::vector<fault::FaultId> scr_normal_;
+    std::vector<fault::FaultId> scr_explicit_skip_;
+    std::vector<fault::FaultId> scr_implicit_alive_;
+    std::vector<fault::FaultId> scr_to_execute_;
+    std::vector<rtl::SignalId> scr_div_reads_;
+    std::vector<rtl::ArrayId> scr_div_arrays_;
+    std::vector<rtl::SignalId> scr_node_div_reads_;
+    std::vector<rtl::ArrayId> scr_node_div_arrays_;
+    std::vector<Value> scr_vals_;              // RTL-node operand buffer
+    std::vector<fault::FaultId> scr_rtl_candidates_;
+    std::vector<uint32_t> scr_cursors_;        // per-input divergence cursor
+    std::vector<fault::DivergenceList::Entry> scr_entries_;
+    std::vector<uint32_t> scr_batch_;          // comb_propagate drain buffer
+    // Pools with live prefix semantics: entries keep their inner capacity.
+    std::vector<FaultRun> scr_runs_;
+    size_t scr_runs_used_ = 0;
+    std::vector<PreView> scr_pre_views_;
+    size_t scr_pre_views_used_ = 0;
+    // Per-fault resolution state (indexed by FaultId; touched entries reset
+    // at the end of each activation).
+    std::vector<const Activation*> scr_fact_of_;
+    std::vector<uint32_t> scr_pre_idx_;
+    // Per-fault visibility marks (bit 0: divergent signal read, bit 1:
+    // divergent array read), built by walking the divergence lists once
+    // instead of per-(fault, signal) binary searches; scr_marked_ lists the
+    // touched faults for O(touched) clearing.
+    std::vector<uint8_t> scr_mark_;
+    std::vector<fault::FaultId> scr_marked_;
+    // Faults with NBA records already pending in the current batch (i.e.
+    // since the last apply_nba). A redundant-skip record may only be
+    // dropped when the fault has no divergence/pin on the target AND no
+    // earlier pending record that the skip record would have overridden.
+    std::vector<uint8_t> nba_pending_;
+    std::vector<fault::FaultId> nba_pending_list_;
+    std::unique_ptr<Activation> scr_good_act_;
+    std::unique_ptr<Activation> scr_shadow_act_;
+    std::unique_ptr<NbaScratch> scr_nba_;
 
     Instrumentation stats_;
 };

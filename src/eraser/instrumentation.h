@@ -5,10 +5,25 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "util/timer.h"
 
 namespace eraser::core {
+
+/// Per-shard slice of a sharded campaign's work, for imbalance diagnosis
+/// (ROADMAP instrumentation item). Filled by run_sharded_campaign; printed
+/// by bench_sharding. behavioral/rtl seconds are only meaningful when the
+/// campaign ran with EngineOptions::time_phases.
+struct ShardBreakdown {
+    uint32_t shard = 0;            // shard index within its campaign
+    uint32_t faults = 0;
+    uint32_t detected = 0;
+    uint64_t est_cost = 0;         // cost-model units (see shard.h)
+    double wall_seconds = 0.0;     // this shard's engine run, wall clock
+    double behavioral_seconds = 0.0;
+    double rtl_seconds = 0.0;
+};
 
 struct Instrumentation {
     // NOTE: every counter added here must also be added to merge_from()
@@ -45,6 +60,10 @@ struct Instrumentation {
     TimeAccumulator time_behavioral;   // all behavioral-node processing
     TimeAccumulator time_rtl;          // RTL-node evaluation
 
+    // --- per-shard breakdown (sharded campaigns only; engines leave this
+    // empty, run_sharded_campaign appends one entry per shard) -------------
+    std::vector<ShardBreakdown> shards;
+
     [[nodiscard]] uint64_t bn_eliminated() const {
         return bn_skipped_explicit + bn_skipped_implicit;
     }
@@ -70,6 +89,7 @@ struct Instrumentation {
         rtl_fault_evals += o.rtl_fault_evals;
         time_behavioral.merge(o.time_behavioral);
         time_rtl.merge(o.time_rtl);
+        shards.insert(shards.end(), o.shards.begin(), o.shards.end());
     }
 
     void reset() { *this = Instrumentation{}; }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -20,10 +21,13 @@ class DivergenceList {
     struct Entry {
         FaultId fault;
         Value value;
+
+        [[nodiscard]] bool operator==(const Entry&) const = default;
     };
 
     [[nodiscard]] bool empty() const { return entries_.empty(); }
     [[nodiscard]] size_t size() const { return entries_.size(); }
+    [[nodiscard]] bool operator==(const DivergenceList&) const = default;
     [[nodiscard]] const std::vector<Entry>& entries() const {
         return entries_;
     }
@@ -68,6 +72,18 @@ class DivergenceList {
     }
 
     void clear() { entries_.clear(); }
+
+    /// Wholesale replacement (the RTL-node evaluator rebuilds a signal's
+    /// entries in one pass instead of issuing per-fault set/erase calls).
+    /// `entries` must be ascending by fault; the old storage is left in
+    /// `entries` so the caller can reuse its capacity.
+    void swap_entries(std::vector<Entry>& entries) {
+        assert(std::is_sorted(entries.begin(), entries.end(),
+                              [](const Entry& a, const Entry& b) {
+                                  return a.fault < b.fault;
+                              }));
+        entries_.swap(entries);
+    }
 
   private:
     [[nodiscard]] std::vector<Entry>::iterator lower_bound(FaultId f) {

@@ -57,75 +57,4 @@ int op_arity(Op op) {
     }
 }
 
-Value eval_op(Op op, std::span<const Value> v, unsigned out_width,
-              unsigned imm) {
-    switch (op) {
-        case Op::Const:
-            assert(false && "Const has no operands to evaluate");
-            return Value(0, out_width);
-        case Op::Copy: return Value(v[0].bits(), out_width);
-        case Op::Add: return Value(v[0].bits() + v[1].bits(), out_width);
-        case Op::Sub: return Value(v[0].bits() - v[1].bits(), out_width);
-        case Op::Mul: return Value(v[0].bits() * v[1].bits(), out_width);
-        case Op::Div:
-            return Value(v[1].bits() == 0 ? ~uint64_t{0}
-                                          : v[0].bits() / v[1].bits(),
-                         out_width);
-        case Op::Mod:
-            return Value(v[1].bits() == 0 ? v[0].bits()
-                                          : v[0].bits() % v[1].bits(),
-                         out_width);
-        case Op::And: return Value(v[0].bits() & v[1].bits(), out_width);
-        case Op::Or: return Value(v[0].bits() | v[1].bits(), out_width);
-        case Op::Xor: return Value(v[0].bits() ^ v[1].bits(), out_width);
-        case Op::Not: return Value(~v[0].bits(), out_width);
-        case Op::Neg: return Value(~v[0].bits() + 1, out_width);
-        case Op::LAnd:
-            return Value(v[0].is_true() && v[1].is_true(), out_width);
-        case Op::LOr:
-            return Value(v[0].is_true() || v[1].is_true(), out_width);
-        case Op::LNot: return Value(!v[0].is_true(), out_width);
-        case Op::Eq: return Value(v[0].bits() == v[1].bits(), out_width);
-        case Op::Ne: return Value(v[0].bits() != v[1].bits(), out_width);
-        case Op::Lt: return Value(v[0].bits() < v[1].bits(), out_width);
-        case Op::Le: return Value(v[0].bits() <= v[1].bits(), out_width);
-        case Op::Gt: return Value(v[0].bits() > v[1].bits(), out_width);
-        case Op::Ge: return Value(v[0].bits() >= v[1].bits(), out_width);
-        case Op::Shl: {
-            const uint64_t sh = v[1].bits();
-            return Value(sh >= 64 ? 0 : v[0].bits() << sh, out_width);
-        }
-        case Op::Shr: {
-            const uint64_t sh = v[1].bits();
-            return Value(sh >= 64 ? 0 : v[0].bits() >> sh, out_width);
-        }
-        case Op::Mux:
-            return Value((v[0].is_true() ? v[1] : v[2]).bits(), out_width);
-        case Op::Concat: {
-            uint64_t acc = 0;
-            for (const Value& part : v) {   // MSB-first
-                acc = (acc << part.width()) | part.bits();
-            }
-            return Value(acc, out_width);
-        }
-        case Op::Slice: return Value(v[0].bits() >> imm, out_width);
-        case Op::Index: {
-            const uint64_t idx = v[1].bits();
-            const bool bit = idx < v[0].width() && v[0].bit(
-                                 static_cast<unsigned>(idx));
-            return Value(bit, out_width);
-        }
-        case Op::RedAnd:
-            return Value(v[0].bits() == Value::mask(v[0].width()), out_width);
-        case Op::RedOr: return Value(v[0].bits() != 0, out_width);
-        case Op::RedXor: {
-            uint64_t x = v[0].bits();
-            x ^= x >> 32; x ^= x >> 16; x ^= x >> 8;
-            x ^= x >> 4;  x ^= x >> 2;  x ^= x >> 1;
-            return Value(x & 1, out_width);
-        }
-    }
-    return Value(0, out_width);
-}
-
 }  // namespace eraser::rtl

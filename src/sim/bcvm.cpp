@@ -1,0 +1,179 @@
+#include "sim/bcvm.h"
+
+#include <cassert>
+
+namespace eraser::sim {
+
+Value BcVm::run(const BcProgram& p, EvalContext& ctx) {
+    // Steady-state these are no-ops: the buffers only ever grow to the
+    // largest program's compile-time high-water marks (new slot flags are
+    // value-initialized to "unwritten").
+    if (stack_.size() < p.max_stack) stack_.resize(p.max_stack);
+    if (slots_.size() < p.slot_sigs.size()) {
+        slots_.resize(p.slot_sigs.size());
+        slot_written_.resize(p.slot_sigs.size(), 0);
+    }
+    Value* st = stack_.data();
+    const BcInstr* code = p.code.data();
+    size_t sp = 0;
+    size_t pc = 0;
+    for (;;) {
+        const BcInstr& i = code[pc];
+        switch (i.kind) {
+            case BcOp::PushConst:
+                st[sp++] = p.consts[i.a];
+                ++pc;
+                break;
+            case BcOp::PushSignal:
+                st[sp++] = ctx.read_signal(i.a).resized(i.width);
+                ++pc;
+                break;
+            case BcOp::PushSignalG:
+                st[sp++] = ctx.read_signal_unwritten(i.a).resized(i.width);
+                ++pc;
+                break;
+            case BcOp::ArrayRead:
+                st[sp - 1] =
+                    ctx.read_array(i.a, st[sp - 1].bits()).resized(i.width);
+                ++pc;
+                break;
+            case BcOp::ArrayReadG:
+                st[sp - 1] = ctx.read_array_unwritten(i.a, st[sp - 1].bits())
+                                 .resized(i.width);
+                ++pc;
+                break;
+            case BcOp::Apply: {
+                const Value r = rtl::eval_op(
+                    i.op, std::span<const Value>(st + (sp - i.nargs), i.nargs),
+                    i.width, i.imm);
+                sp -= i.nargs;
+                st[sp++] = r;
+                ++pc;
+                break;
+            }
+            case BcOp::StoreFull:
+                ctx.write_signal(i.a, st[--sp].resized(i.width),
+                                 (i.flags & kBcNonblocking) != 0);
+                ++pc;
+                break;
+            case BcOp::StorePart: {
+                const bool nb = (i.flags & kBcNonblocking) != 0;
+                const Value rhs = st[--sp];
+                const Value cur = nb ? ctx.read_for_nba_update(i.a)
+                                     : ctx.read_signal(i.a);
+                ctx.write_signal(i.a, cur.with_bits(i.imm, i.width, rhs.bits()),
+                                 nb);
+                ++pc;
+                break;
+            }
+            case BcOp::StoreBit: {
+                const uint64_t idx = st[--sp].bits();
+                const Value rhs = st[--sp];
+                if (idx < i.width) {   // out-of-range bit writes are no-ops
+                    const bool nb = (i.flags & kBcNonblocking) != 0;
+                    const Value cur = nb ? ctx.read_for_nba_update(i.a)
+                                         : ctx.read_signal(i.a);
+                    ctx.write_signal(
+                        i.a,
+                        cur.with_bits(static_cast<unsigned>(idx), 1,
+                                      rhs.bits()),
+                        nb);
+                }
+                ++pc;
+                break;
+            }
+            case BcOp::StoreArray: {
+                const uint64_t idx = st[--sp].bits();
+                const Value rhs = st[--sp];
+                if (idx < design_.arrays[i.a].size) {   // no-op when OOB
+                    ctx.write_array(i.a, idx, rhs.resized(i.width),
+                                    (i.flags & kBcNonblocking) != 0);
+                }
+                ++pc;
+                break;
+            }
+            case BcOp::Jump:
+                pc = i.a;
+                break;
+            case BcOp::JumpIfFalse:
+                pc = st[--sp].is_true() ? pc + 1 : i.a;
+                break;
+            case BcOp::CaseJump: {
+                const uint64_t subj = st[--sp].bits();
+                const BcCaseTable& t = p.case_tables[i.a];
+                const BcCaseEntry* entries = p.case_entries.data() + t.first;
+                uint32_t target = t.no_match;
+                for (uint32_t k = 0; k < t.count; ++k) {
+                    if (entries[k].label == subj) {
+                        target = entries[k].target;
+                        break;
+                    }
+                }
+                pc = target;
+                break;
+            }
+            case BcOp::PushSlot: {
+                const uint8_t slot = i.nargs;
+                st[sp++] = (slot_written_[slot] ? slots_[slot]
+                                                : ctx.read_signal(i.a))
+                               .resized(i.width);
+                ++pc;
+                break;
+            }
+            case BcOp::StoreFullSlot: {
+                const uint8_t slot = i.nargs;
+                slots_[slot] = st[--sp].resized(i.width);
+                if (!slot_written_[slot]) {
+                    slot_written_[slot] = 1;
+                    slot_touched_.push_back(slot);
+                }
+                ++pc;
+                break;
+            }
+            case BcOp::StorePartSlot: {
+                const uint8_t slot = i.nargs;
+                const Value rhs = st[--sp];
+                const Value cur = slot_written_[slot]
+                                      ? slots_[slot]
+                                      : ctx.read_signal(i.a);
+                slots_[slot] = cur.with_bits(i.imm, i.width, rhs.bits());
+                if (!slot_written_[slot]) {
+                    slot_written_[slot] = 1;
+                    slot_touched_.push_back(slot);
+                }
+                ++pc;
+                break;
+            }
+            case BcOp::StoreBitSlot: {
+                const uint8_t slot = i.nargs;
+                const uint64_t idx = st[--sp].bits();
+                const Value rhs = st[--sp];
+                if (idx < i.width) {   // out-of-range bit writes are no-ops
+                    const Value cur = slot_written_[slot]
+                                          ? slots_[slot]
+                                          : ctx.read_signal(i.a);
+                    slots_[slot] = cur.with_bits(static_cast<unsigned>(idx),
+                                                 1, rhs.bits());
+                    if (!slot_written_[slot]) {
+                        slot_written_[slot] = 1;
+                        slot_touched_.push_back(slot);
+                    }
+                }
+                ++pc;
+                break;
+            }
+            case BcOp::Halt:
+                // Flush written slots into the activation in first-write
+                // order — the record downstream is bit-identical to the
+                // unslotted execution.
+                for (const uint32_t slot : slot_touched_) {
+                    ctx.write_signal(p.slot_sigs[slot], slots_[slot], false);
+                    slot_written_[slot] = 0;
+                }
+                slot_touched_.clear();
+                return sp > 0 ? st[sp - 1] : Value();
+        }
+    }
+}
+
+}  // namespace eraser::sim

@@ -1,0 +1,57 @@
+// BcVm: the stack VM that executes compiled programs (sim/bytecode.h)
+// against an EvalContext. One instance per engine; the value stack is grown
+// to each program's compile-time high-water mark before the dispatch loop
+// starts, so the hot loop performs **zero heap allocation per executed
+// instruction** — operand spans point into the preallocated stack and every
+// store resolves through the same EvalContext virtuals as the tree
+// interpreter.
+#pragma once
+
+#include <vector>
+
+#include "rtl/design.h"
+#include "sim/bytecode.h"
+#include "sim/context.h"
+
+namespace eraser::sim {
+
+class BcVm {
+  public:
+    /// The design supplies array bounds for StoreArray's out-of-range
+    /// no-op check (same convention as exec_assign).
+    explicit BcVm(const rtl::Design& design) : design_(design) {}
+
+    /// Executes a statement program (runs to Halt).
+    void exec(const BcProgram& p, EvalContext& ctx) { run(p, ctx); }
+
+    /// Runs an expression program and returns the value it leaves on the
+    /// stack.
+    [[nodiscard]] Value eval(const BcProgram& p, EvalContext& ctx) {
+        return run(p, ctx);
+    }
+
+    /// Evaluates a compiled Decision and returns the successor index taken
+    /// (contract of cfg::Cfg::evaluate_decision).
+    [[nodiscard]] size_t select(const BcDecision& d, EvalContext& ctx) {
+        const Value v = run(d.subject, ctx);
+        if (d.is_if) return v.is_true() ? 0 : 1;
+        const uint64_t subj = v.bits();
+        for (const BcCaseEntry& e : d.table) {
+            if (e.label == subj) return e.target;
+        }
+        return d.no_match;
+    }
+
+  private:
+    Value run(const BcProgram& p, EvalContext& ctx);
+
+    const rtl::Design& design_;
+    std::vector<Value> stack_;   // grown once per program high-water mark
+    // Slot state for the slotted opcodes (see bytecode.h): values, written
+    // flags (cleared again at each Halt flush), and first-write order.
+    std::vector<Value> slots_;
+    std::vector<uint8_t> slot_written_;
+    std::vector<uint32_t> slot_touched_;
+};
+
+}  // namespace eraser::sim

@@ -1,0 +1,330 @@
+#include "sim/bytecode.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/diagnostics.h"
+
+namespace eraser::sim {
+
+using rtl::Expr;
+using rtl::Stmt;
+
+namespace {
+
+/// Single-use compiler: emits into one BcProgram, tracking the exact value-
+/// stack depth so the VM can preallocate. Depth at every statement boundary
+/// (hence every jump target) is zero, so a linear max over the emission
+/// order is the true high-water mark on every execution path.
+class Compiler {
+  public:
+    Compiler(const rtl::Design* design, const BcWriteSets& writes)
+        : design_(design), writes_(writes) {
+        // Dense slot assignment for the body's blocking-write targets (see
+        // the slotted opcodes in bytecode.h). Slot ids must fit in `nargs`;
+        // pathological bodies fall back to overlay opcodes wholesale.
+        if (!writes_.conservative &&
+            writes_.blocking_signals.size() <= UINT8_MAX) {
+            slot_sigs_.assign(writes_.blocking_signals.begin(),
+                              writes_.blocking_signals.end());
+        }
+    }
+
+    void expr(const Expr& e) {
+        switch (e.kind) {
+            case Expr::Kind::Const:
+                emit({.kind = BcOp::PushConst, .a = const_index(e.cval)}, +1);
+                break;
+            case Expr::Kind::SignalRef: {
+                const int slot = slot_of(e.sig);
+                if (slot >= 0) {
+                    emit({.kind = BcOp::PushSlot,
+                          .nargs = static_cast<uint8_t>(slot),
+                          .width = static_cast<uint16_t>(e.width),
+                          .a = e.sig},
+                         +1);
+                } else {
+                    emit({.kind = maybe_written_signal(e.sig)
+                                      ? BcOp::PushSignal
+                                      : BcOp::PushSignalG,
+                          .width = static_cast<uint16_t>(e.width),
+                          .a = e.sig},
+                         +1);
+                }
+                break;
+            }
+            case Expr::Kind::ArrayRead:
+                expr(*e.args[0]);
+                emit({.kind = maybe_written_array(e.arr) ? BcOp::ArrayRead
+                                                         : BcOp::ArrayReadG,
+                      .width = static_cast<uint16_t>(e.width),
+                      .a = e.arr},
+                     0);
+                break;
+            case Expr::Kind::OpApply: {
+                for (const auto& arg : e.args) expr(*arg);
+                assert(e.args.size() <= UINT8_MAX);
+                const auto n = static_cast<uint8_t>(e.args.size());
+                emit({.kind = BcOp::Apply,
+                      .op = e.op,
+                      .nargs = n,
+                      .width = static_cast<uint16_t>(e.width),
+                      .imm = static_cast<uint16_t>(e.imm)},
+                     1 - static_cast<int>(n));
+                break;
+            }
+        }
+    }
+
+    void assign(const Stmt& s) {
+        assert(s.kind == Stmt::Kind::Assign);
+        const rtl::LValue& lhs = s.lhs;
+        const uint8_t flags = s.nonblocking ? kBcNonblocking : 0;
+        // Blocking writes of slotted signals stay in VM slots until Halt;
+        // nonblocking writes always go through the context's NBA buffer.
+        const int slot =
+            lhs.is_array() || s.nonblocking ? -1 : slot_of(lhs.sig);
+        expr(*s.rhs);   // RHS first, as in exec_assign
+        if (lhs.is_array()) {
+            expr(*lhs.index);
+            emit({.kind = BcOp::StoreArray,
+                  .flags = flags,
+                  .width =
+                      static_cast<uint16_t>(design_->arrays[lhs.arr].width),
+                  .a = lhs.arr},
+                 -2);
+        } else if (!lhs.partial) {
+            emit({.kind = slot >= 0 ? BcOp::StoreFullSlot : BcOp::StoreFull,
+                  .flags = flags,
+                  .nargs = slot >= 0 ? static_cast<uint8_t>(slot) : uint8_t{0},
+                  .width =
+                      static_cast<uint16_t>(design_->signals[lhs.sig].width),
+                  .a = lhs.sig},
+                 -1);
+        } else if (lhs.index) {
+            expr(*lhs.index);
+            emit({.kind = slot >= 0 ? BcOp::StoreBitSlot : BcOp::StoreBit,
+                  .flags = flags,
+                  .nargs = slot >= 0 ? static_cast<uint8_t>(slot) : uint8_t{0},
+                  .width =
+                      static_cast<uint16_t>(design_->signals[lhs.sig].width),
+                  .a = lhs.sig},
+                 -2);
+        } else {
+            emit({.kind = slot >= 0 ? BcOp::StorePartSlot : BcOp::StorePart,
+                  .flags = flags,
+                  .nargs = slot >= 0 ? static_cast<uint8_t>(slot) : uint8_t{0},
+                  .width = static_cast<uint16_t>(lhs.width),
+                  .imm = static_cast<uint16_t>(lhs.lo),
+                  .a = lhs.sig},
+                 -1);
+        }
+    }
+
+    void stmt(const Stmt& s) {
+        switch (s.kind) {
+            case Stmt::Kind::Block:
+                for (const auto& c : s.stmts) stmt(*c);
+                break;
+            case Stmt::Kind::Assign:
+                assign(s);
+                break;
+            case Stmt::Kind::If: {
+                expr(*s.cond);
+                const uint32_t jf =
+                    emit({.kind = BcOp::JumpIfFalse}, -1);
+                if (s.then_stmt) stmt(*s.then_stmt);
+                if (s.else_stmt) {
+                    const uint32_t j = emit({.kind = BcOp::Jump}, 0);
+                    patch(jf, here());
+                    stmt(*s.else_stmt);
+                    patch(j, here());
+                } else {
+                    patch(jf, here());
+                }
+                break;
+            }
+            case Stmt::Kind::Case: {
+                expr(*s.subject);
+                const auto tbl =
+                    static_cast<uint32_t>(prog_.case_tables.size());
+                prog_.case_tables.emplace_back();
+                emit({.kind = BcOp::CaseJump, .a = tbl}, -1);
+                // Arm bodies in order, each jumping past the whole case.
+                std::vector<uint32_t> arm_start(s.arms.size());
+                std::vector<uint32_t> end_jumps;
+                for (size_t i = 0; i < s.arms.size(); ++i) {
+                    if (s.arms[i].body) {
+                        arm_start[i] = here();
+                        stmt(*s.arms[i].body);
+                        end_jumps.push_back(emit({.kind = BcOp::Jump}, 0));
+                    } else {
+                        arm_start[i] = UINT32_MAX;   // resolved to `end`
+                    }
+                }
+                const uint32_t end = here();
+                for (const uint32_t j : end_jumps) patch(j, end);
+                // First-match label table, arm/label order = pick_case_arm.
+                BcCaseTable& table = prog_.case_tables[tbl];
+                table.first =
+                    static_cast<uint32_t>(prog_.case_entries.size());
+                table.no_match = end;
+                for (size_t i = 0; i < s.arms.size(); ++i) {
+                    const uint32_t target =
+                        arm_start[i] == UINT32_MAX ? end : arm_start[i];
+                    if (s.arms[i].labels.empty()) {
+                        table.no_match = target;   // default arm
+                        continue;
+                    }
+                    for (const Value& label : s.arms[i].labels) {
+                        prog_.case_entries.push_back({label.bits(), target});
+                    }
+                }
+                table.count =
+                    static_cast<uint32_t>(prog_.case_entries.size()) -
+                    table.first;
+                break;
+            }
+        }
+    }
+
+    [[nodiscard]] BcProgram finish() {
+        emit({.kind = BcOp::Halt}, 0);
+        prog_.max_stack = static_cast<uint32_t>(max_depth_);
+        prog_.slot_sigs = std::move(slot_sigs_);
+        return std::move(prog_);
+    }
+
+  private:
+    [[nodiscard]] uint32_t here() const {
+        return static_cast<uint32_t>(prog_.code.size());
+    }
+    uint32_t emit(BcInstr i, int depth_delta) {
+        const uint32_t at = here();
+        prog_.code.push_back(i);
+        depth_ += depth_delta;
+        assert(depth_ >= 0);
+        if (depth_ > max_depth_) max_depth_ = depth_;
+        return at;
+    }
+    void patch(uint32_t at, uint32_t target) { prog_.code[at].a = target; }
+    [[nodiscard]] bool maybe_written_signal(rtl::SignalId sig) const {
+        if (writes_.conservative) return true;
+        return std::find(writes_.blocking_signals.begin(),
+                         writes_.blocking_signals.end(),
+                         sig) != writes_.blocking_signals.end();
+    }
+    [[nodiscard]] bool maybe_written_array(rtl::ArrayId arr) const {
+        if (writes_.conservative) return true;
+        return std::find(writes_.blocking_arrays.begin(),
+                         writes_.blocking_arrays.end(),
+                         arr) != writes_.blocking_arrays.end();
+    }
+    /// Slot id of a blocking-written signal, or -1 when unslotted.
+    [[nodiscard]] int slot_of(rtl::SignalId sig) const {
+        for (size_t i = 0; i < slot_sigs_.size(); ++i) {
+            if (slot_sigs_[i] == sig) return static_cast<int>(i);
+        }
+        return -1;
+    }
+
+  public:
+    /// Excludes nonblocking-write targets of the unit being compiled from
+    /// slotting: a partial NBA write reads its target through
+    /// read_for_nba_update -> read_signal, which cannot see a value still
+    /// held in a slot. (Blocking-then-NBA writes of one signal are rare, so
+    /// the lost optimization is negligible; correctness is not.)
+    void exclude_nba_targets(const Stmt& s) {
+        if (slot_sigs_.empty()) return;
+        switch (s.kind) {
+            case Stmt::Kind::Block:
+                for (const auto& c : s.stmts) exclude_nba_targets(*c);
+                break;
+            case Stmt::Kind::Assign:
+                if (s.nonblocking && !s.lhs.is_array()) {
+                    std::erase(slot_sigs_, s.lhs.sig);
+                }
+                break;
+            case Stmt::Kind::If:
+                if (s.then_stmt) exclude_nba_targets(*s.then_stmt);
+                if (s.else_stmt) exclude_nba_targets(*s.else_stmt);
+                break;
+            case Stmt::Kind::Case:
+                for (const auto& arm : s.arms) {
+                    if (arm.body) exclude_nba_targets(*arm.body);
+                }
+                break;
+        }
+    }
+
+  private:
+    uint32_t const_index(const Value& v) {
+        for (size_t i = 0; i < prog_.consts.size(); ++i) {
+            if (prog_.consts[i] == v) return static_cast<uint32_t>(i);
+        }
+        prog_.consts.push_back(v);
+        return static_cast<uint32_t>(prog_.consts.size() - 1);
+    }
+
+    const rtl::Design* design_;   // required for statements, not expressions
+    BcWriteSets writes_;
+    std::vector<uint32_t> slot_sigs_;
+    BcProgram prog_;
+    int depth_ = 0;
+    int max_depth_ = 0;
+};
+
+}  // namespace
+
+BcProgram compile_stmt(const Stmt& body, const rtl::Design& design,
+                       const BcWriteSets& writes) {
+    Compiler c(&design, writes);
+    c.exclude_nba_targets(body);
+    c.stmt(body);
+    return c.finish();
+}
+
+BcProgram compile_assigns(std::span<const Stmt* const> assigns,
+                          const rtl::Design& design,
+                          const BcWriteSets& writes) {
+    Compiler c(&design, writes);
+    for (const Stmt* a : assigns) c.exclude_nba_targets(*a);
+    for (const Stmt* a : assigns) c.assign(*a);
+    return c.finish();
+}
+
+BcProgram compile_expr(const Expr& e) {
+    Compiler c(nullptr, BcWriteSets{});
+    c.expr(e);
+    return c.finish();
+}
+
+BcDecision compile_decision(const Stmt& branch) {
+    BcDecision d;
+    if (branch.kind == Stmt::Kind::If) {
+        d.is_if = true;
+        d.subject = compile_expr(*branch.cond);
+        return d;
+    }
+    if (branch.kind != Stmt::Kind::Case) {
+        throw SimError("compile_decision: statement is not a branch");
+    }
+    d.is_if = false;
+    d.subject = compile_expr(*branch.subject);
+    // Successor layout mirrors cfg::Cfg::build: succs[i] = arm i,
+    // succs[arms.size()] = fall-through when no label matches and there is
+    // no default arm (pick_case_arm's "no arm executes").
+    d.no_match = static_cast<uint32_t>(branch.arms.size());
+    for (size_t i = 0; i < branch.arms.size(); ++i) {
+        if (branch.arms[i].labels.empty()) {
+            d.no_match = static_cast<uint32_t>(i);
+            continue;
+        }
+        for (const Value& label : branch.arms[i].labels) {
+            d.table.push_back({label.bits(), static_cast<uint32_t>(i)});
+        }
+    }
+    return d;
+}
+
+}  // namespace eraser::sim

@@ -1,0 +1,161 @@
+// Bytecode compilation of elaborated expression/statement trees (PR 2).
+//
+// The tree-walking interpreter in sim/interp.{h,cpp} chases unique_ptr
+// children and heap-allocates an operand vector on every OpApply node —
+// unacceptable on the hot path, where every good execution, both serial
+// baselines, and every surviving faulty re-execution of the Eraser engine
+// funnel through it. This layer compiles each tree ONCE, at engine
+// construction time, into a flat postfix instruction stream executed by a
+// small stack VM (sim/bcvm.h) with zero per-instruction allocation:
+//
+//  * operands live in dense uint32 slots inside 12-byte instructions;
+//  * constants are pooled and referenced by index;
+//  * control flow becomes absolute jumps; `case` dispatch scans a
+//    precomputed label table equivalent to pick_case_arm;
+//  * expression operands are a span into the VM's preallocated value stack.
+//
+// The EvalContext read/write conventions are unchanged, so the compiled
+// execution is bit-identical to sim::exec_stmt / sim::eval_expr (enforced by
+// tests/bytecode_equiv_test.cpp). The tree interpreter stays available
+// behind InterpMode::Tree as the differential-testing oracle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rtl/design.h"
+#include "rtl/expr.h"
+#include "rtl/ops.h"
+#include "rtl/value.h"
+
+namespace eraser::sim {
+
+/// Which behavioral executor an engine uses. Bytecode is the production
+/// path; Tree keeps the original recursive interpreter as the oracle.
+enum class InterpMode : uint8_t { Bytecode, Tree };
+
+enum class BcOp : uint8_t {
+    PushConst,     // push consts[a]
+    PushSignal,    // push read_signal(a).resized(width)
+    PushSignalG,   // same, via read_signal_unwritten (signal is outside the
+                   // body's blocking-write set, so the overlay can't hit)
+    ArrayRead,     // pop idx; push read_array(a, idx).resized(width)
+    ArrayReadG,    // same, via read_array_unwritten
+    Apply,         // pop nargs operands; push eval_op(op, ..., width, imm)
+    StoreFull,     // pop rhs; write_signal(a, rhs.resized(width), nb)
+    StorePart,     // pop rhs; RMW write of bits [imm, imm+width) of signal a
+    StoreBit,      // pop idx, rhs; RMW write of bit idx of signal a
+    StoreArray,    // pop idx, rhs; write_array(a, idx, rhs.resized(width), nb)
+    Jump,          // pc = a
+    JumpIfFalse,   // pop cond; pc = a when !cond
+    CaseJump,      // pop subject; pc = label-table dispatch via case_tables[a]
+    Halt,          // end of program; expression programs leave the result on
+                   // the stack
+
+    // Slotted variants: blocking-written signals of a body get dense slot
+    // indices at compile time, so read-after-write within one execution is
+    // an O(1) array access in the VM instead of an overlay-map lookup. The
+    // VM flushes written slots to ctx.write_signal at Halt in first-write
+    // order, so the activation record (and everything downstream) is
+    // bit-identical to the unslotted execution. Slot index lives in
+    // `nargs`; `a` stays the SignalId for the not-yet-written fallback.
+    PushSlot,      // push slot if written, else read_signal(a); resized
+    StoreFullSlot, // pop rhs; slot = rhs.resized(width)   (blocking only)
+    StorePartSlot, // pop rhs; RMW bits [imm, imm+width) against slot/ctx
+    StoreBitSlot,  // pop idx, rhs; RMW bit idx against slot/ctx
+};
+
+/// Store-instruction flag: the write is nonblocking (`<=`).
+inline constexpr uint8_t kBcNonblocking = 1u;
+
+/// One flat instruction. 12 bytes; a program is a dense array of these.
+struct BcInstr {
+    BcOp kind = BcOp::Halt;
+    rtl::Op op = rtl::Op::Copy;   // Apply only
+    uint8_t flags = 0;            // kBcNonblocking on stores
+    uint8_t nargs = 0;            // Apply operand count (<= 64: max 1-bit
+                                  // concat parts at kMaxWidth)
+    uint16_t width = 0;           // result / target width in bits
+    uint16_t imm = 0;             // Slice lo (Apply) or part-select lo
+    uint32_t a = 0;               // signal/array id, const-pool index, jump
+                                  // target, or case-table index
+};
+static_assert(sizeof(BcInstr) == 12, "keep the hot array dense");
+
+/// One `case` label: subject bits -> jump target (or successor index in a
+/// BcDecision). Tables are scanned in arm/label order so first-match
+/// semantics are identical to pick_case_arm.
+struct BcCaseEntry {
+    uint64_t label = 0;
+    uint32_t target = 0;
+};
+
+struct BcCaseTable {
+    uint32_t first = 0;      // index into BcProgram::case_entries
+    uint32_t count = 0;
+    uint32_t no_match = 0;   // target when no label matches (default arm
+                             // body, or past the case when there is none)
+};
+
+/// A compiled program: statement trees compile to stores/jumps ending in
+/// Halt; expression trees compile to a value-producing program whose result
+/// is on top of the stack at Halt.
+struct BcProgram {
+    std::vector<BcInstr> code;
+    std::vector<Value> consts;
+    std::vector<BcCaseEntry> case_entries;
+    std::vector<BcCaseTable> case_tables;
+    /// Slot -> SignalId of the slotted blocking-write targets (empty when
+    /// the program uses no slots).
+    std::vector<uint32_t> slot_sigs;
+    /// Exact value-stack high-water mark, computed at compile time so the VM
+    /// never grows its stack mid-execution.
+    uint32_t max_stack = 0;
+
+    [[nodiscard]] bool empty() const { return code.empty(); }
+};
+
+/// A compiled CFG Decision node: evaluate `subject`, then map the value to
+/// the index into CfgNode::succs that execution takes (same contract as
+/// cfg::Cfg::evaluate_decision).
+struct BcDecision {
+    BcProgram subject;
+    bool is_if = true;
+    std::vector<BcCaseEntry> table;   // Case only; target = successor index
+    uint32_t no_match = 0;            // Case only; default successor index
+};
+
+/// Static write-set context for compilation: reads of signals/arrays
+/// outside the executing body's blocking-write sets compile to the
+/// overlay-skipping PushSignalG/ArrayReadG. The default ({}) is
+/// conservative — every read takes the overlay path (used for cold paths
+/// where the write set was not computed).
+struct BcWriteSets {
+    std::span<const rtl::SignalId> blocking_signals;
+    std::span<const rtl::ArrayId> blocking_arrays;
+    /// When true every read uses the conservative overlay path.
+    bool conservative = true;
+};
+
+/// Compiles a whole statement tree (behavior body / initial block).
+/// `writes`, when non-conservative, must cover every blocking write the
+/// body can perform (e.g. BehavNode::blocking_writes / array_writes).
+[[nodiscard]] BcProgram compile_stmt(const rtl::Stmt& body,
+                                     const rtl::Design& design,
+                                     const BcWriteSets& writes = {});
+
+/// Compiles a straight-line run of Assign statements (a CFG segment).
+/// `writes` must describe the WHOLE body's blocking writes, not just this
+/// segment's — earlier segments of the same activation populate the overlay.
+[[nodiscard]] BcProgram compile_assigns(
+    std::span<const rtl::Stmt* const> assigns, const rtl::Design& design,
+    const BcWriteSets& writes = {});
+
+/// Compiles an expression tree to a value-producing program.
+[[nodiscard]] BcProgram compile_expr(const rtl::Expr& e);
+
+/// Compiles a CFG branching statement (Stmt::If or Stmt::Case).
+[[nodiscard]] BcDecision compile_decision(const rtl::Stmt& branch);
+
+}  // namespace eraser::sim

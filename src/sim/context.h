@@ -29,6 +29,20 @@ class EvalContext {
     /// Out-of-range reads return 0 (2-state convention; real Verilog gives X).
     [[nodiscard]] virtual Value read_array(rtl::ArrayId arr, uint64_t idx) = 0;
 
+    /// Fast-path reads for signals/arrays the executing body never writes
+    /// with a blocking assignment: such targets can never be in the
+    /// activation's blocking overlay, so contexts may skip the overlay
+    /// lookup. Must return exactly read_signal/read_array for those targets
+    /// (the default does literally that); the bytecode compiler emits these
+    /// only for reads outside the body's static blocking-write set.
+    [[nodiscard]] virtual Value read_signal_unwritten(rtl::SignalId sig) {
+        return read_signal(sig);
+    }
+    [[nodiscard]] virtual Value read_array_unwritten(rtl::ArrayId arr,
+                                                    uint64_t idx) {
+        return read_array(arr, idx);
+    }
+
     virtual void write_signal(rtl::SignalId sig, Value v,
                               bool nonblocking) = 0;
     virtual void write_array(rtl::ArrayId arr, uint64_t idx, Value v,

@@ -41,6 +41,12 @@ class GoodActivationCtx final : public EvalContext {
                 return Value(std::get<2>(*it), eng_.design_.arrays[arr].width);
             }
         }
+        return read_array_unwritten(arr, idx);
+    }
+    Value read_signal_unwritten(SignalId sig) override {
+        return eng_.values_[sig];
+    }
+    Value read_array_unwritten(ArrayId arr, uint64_t idx) override {
         const auto& storage = eng_.arrays_[arr];
         const uint64_t raw = idx < storage.size() ? storage[idx] : 0;
         return Value(raw, eng_.design_.arrays[arr].width);
@@ -97,10 +103,29 @@ class GoodActivationCtx final : public EvalContext {
     std::vector<std::tuple<ArrayId, uint64_t, uint64_t>> arr_overlay_;
 };
 
-SimEngine::SimEngine(const Design& design, SchedulingMode mode)
-    : design_(design), mode_(mode) {
+SimEngine::SimEngine(const Design& design, SchedulingMode mode,
+                     InterpMode interp)
+    : design_(design), mode_(mode), interp_(interp), vm_(design) {
     if (!design.finalized()) {
         throw SimError("design must be finalized before simulation");
+    }
+    if (interp_ == InterpMode::Bytecode) {
+        behav_progs_.resize(design.behaviors.size());
+        for (size_t b = 0; b < design.behaviors.size(); ++b) {
+            const BehavNode& bn = design.behaviors[b];
+            if (bn.body) {
+                behav_progs_[b] = compile_stmt(
+                    *bn.body, design,
+                    {bn.blocking_writes, bn.array_writes, false});
+            }
+        }
+        init_progs_.resize(design.initials.size());
+        for (size_t i = 0; i < design.initials.size(); ++i) {
+            if (design.initials[i].body) {
+                init_progs_[i] = compile_stmt(*design.initials[i].body,
+                                              design);
+            }
+        }
     }
     values_.reserve(design.signals.size());
     for (const auto& s : design.signals) values_.emplace_back(0, s.width);
@@ -162,10 +187,23 @@ void SimEngine::reset() {
 
 void SimEngine::run_initials() {
     GoodActivationCtx ctx(*this);
-    for (const auto& init : design_.initials) {
-        if (init.body) exec_stmt(*init.body, design_, ctx);
+    for (size_t i = 0; i < design_.initials.size(); ++i) {
+        if (!design_.initials[i].body) continue;
+        if (interp_ == InterpMode::Bytecode) {
+            vm_.exec(init_progs_[i], ctx);
+        } else {
+            exec_stmt(*design_.initials[i].body, design_, ctx);
+        }
     }
     ctx.commit();
+}
+
+void SimEngine::exec_behavior_body(rtl::BehavId b, EvalContext& ctx) {
+    if (interp_ == InterpMode::Bytecode) {
+        vm_.exec(behav_progs_[b], ctx);
+    } else {
+        exec_stmt(*design_.behaviors[b].body, design_, ctx);
+    }
 }
 
 void SimEngine::poke(SignalId sig, uint64_t value) {
@@ -278,10 +316,10 @@ void SimEngine::eval_element(uint32_t elem) {
                                    design_.signals[n.output].width, n.imm));
         return;
     }
-    const BehavNode& b = design_.behaviors[elem - design_.nodes.size()];
+    const auto b = static_cast<rtl::BehavId>(elem - design_.nodes.size());
     ++behavior_execs_;
     GoodActivationCtx ctx(*this);
-    if (b.body) exec_stmt(*b.body, design_, ctx);
+    if (design_.behaviors[b].body) exec_behavior_body(b, ctx);
     ctx.commit();
 }
 
@@ -359,9 +397,7 @@ bool SimEngine::run_edge_round() {
     for (rtl::BehavId b : activated) {
         ++behavior_execs_;
         GoodActivationCtx ctx(*this);
-        if (design_.behaviors[b].body) {
-            exec_stmt(*design_.behaviors[b].body, design_, ctx);
-        }
+        if (design_.behaviors[b].body) exec_behavior_body(b, ctx);
         ctx.commit();
     }
     return true;

@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "rtl/design.h"
+#include "sim/bcvm.h"
+#include "sim/bytecode.h"
 #include "sim/context.h"
 
 namespace eraser::sim {
@@ -32,8 +34,12 @@ enum class SchedulingMode : uint8_t { EventDriven, Levelized };
 
 class SimEngine {
   public:
+    /// `interp` selects the behavioral executor: Bytecode runs bodies
+    /// compiled at construction time (the production path), Tree keeps the
+    /// recursive interpreter as the differential-testing oracle.
     explicit SimEngine(const rtl::Design& design,
-                       SchedulingMode mode = SchedulingMode::EventDriven);
+                       SchedulingMode mode = SchedulingMode::EventDriven,
+                       InterpMode interp = InterpMode::Bytecode);
 
     /// Zeroes all state, re-applies forces, runs `initial` blocks, settles.
     void reset();
@@ -74,6 +80,8 @@ class SimEngine {
     void schedule_element(uint32_t elem);
     void schedule_signal_fanout(rtl::SignalId sig);
     void eval_element(uint32_t elem);
+    /// Runs behavior `b`'s body through the selected interpreter.
+    void exec_behavior_body(rtl::BehavId b, EvalContext& ctx);
     void comb_propagate();
     bool run_edge_round();
     bool apply_nba();
@@ -85,6 +93,13 @@ class SimEngine {
 
     const rtl::Design& design_;
     SchedulingMode mode_;
+    InterpMode interp_;
+
+    // Bytecode path: behavior bodies and initial blocks compiled once at
+    // construction (empty when interp_ == InterpMode::Tree).
+    BcVm vm_;
+    std::vector<BcProgram> behav_progs_;   // parallel to design.behaviors
+    std::vector<BcProgram> init_progs_;    // parallel to design.initials
 
     std::vector<Value> values_;
     std::vector<std::vector<uint64_t>> arrays_;

@@ -10,6 +10,8 @@ namespace eraser {
 /// time without stopping.
 class Stopwatch {
   public:
+    using Clock = std::chrono::steady_clock;
+
     Stopwatch() : start_(Clock::now()) {}
 
     void reset() { start_ = Clock::now(); }
@@ -24,7 +26,6 @@ class Stopwatch {
     }
 
   private:
-    using Clock = std::chrono::steady_clock;
     Clock::time_point start_;
 };
 
@@ -33,16 +34,28 @@ class Stopwatch {
 class TimeAccumulator {
   public:
     /// RAII guard that adds the guarded scope's duration to the accumulator.
+    /// `enabled == false` makes it a complete no-op (no clock reads): hot
+    /// paths gate their phase timers on EngineOptions::time_phases.
     class Section {
       public:
-        explicit Section(TimeAccumulator& acc) : acc_(acc) {}
-        ~Section() { acc_.total_ns_ += watch_.ns(); }
+        explicit Section(TimeAccumulator& acc, bool enabled = true)
+            : acc_(enabled ? &acc : nullptr) {
+            if (acc_ != nullptr) start_ = Stopwatch::Clock::now();
+        }
+        ~Section() {
+            if (acc_ != nullptr) {
+                acc_->total_ns_ +=
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Stopwatch::Clock::now() - start_)
+                        .count();
+            }
+        }
         Section(const Section&) = delete;
         Section& operator=(const Section&) = delete;
 
       private:
-        TimeAccumulator& acc_;
-        Stopwatch watch_;
+        TimeAccumulator* acc_;
+        Stopwatch::Clock::time_point start_;
     };
 
     /// Folds another accumulator in (sharded campaigns merge per-engine

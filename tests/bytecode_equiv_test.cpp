@@ -1,0 +1,412 @@
+// Differential tests for the bytecode compilation layer (PR 2): the
+// compiled VM must be bit-identical to the tree-walking interpreter —
+// per-cycle engine state on handwritten edge-case circuits, random
+// expression trees, and whole fault campaigns on every suite benchmark
+// across all three RedundancyModes and multiple shard counts.
+#include <gtest/gtest.h>
+
+#include "baseline/serial.h"
+#include "eraser/campaign.h"
+#include "fault/fault.h"
+#include "frontend/compile.h"
+#include "rtl/expr.h"
+#include "sim/bcvm.h"
+#include "sim/bytecode.h"
+#include "sim/engine.h"
+#include "sim/interp.h"
+#include "suite/random_stimulus.h"
+#include "suite/suite.h"
+#include "util/prng.h"
+
+namespace eraser {
+namespace {
+
+using core::RedundancyMode;
+using sim::InterpMode;
+using sim::SimEngine;
+
+// ---------------------------------------------------------------------------
+// Engine-level differential on handwritten circuits exercising the compiler
+// edge cases: partial writes, dynamic bit writes, array writes (incl.
+// out-of-range), case with/without default (incl. empty default), >32-bit
+// constants, and blocking/NBA mixes.
+
+/// Drives both engines with the same deterministic input sequence and
+/// checks every signal and array element after every cycle.
+void check_engines_agree(const char* source, const char* top,
+                         int cycles = 40) {
+    auto design = frontend::compile(source, top);
+    SimEngine tree(*design, sim::SchedulingMode::EventDriven,
+                   InterpMode::Tree);
+    SimEngine bc(*design, sim::SchedulingMode::EventDriven,
+                 InterpMode::Bytecode);
+    tree.reset();
+    bc.reset();
+    const auto clk = design->signal_id("clk");
+    Prng rng(2025);
+
+    auto check_state = [&](int cycle) {
+        for (rtl::SignalId s = 0; s < design->signals.size(); ++s) {
+            ASSERT_EQ(tree.peek(s), bc.peek(s))
+                << "signal " << design->signals[s].name << " cycle "
+                << cycle;
+        }
+        for (rtl::ArrayId a = 0; a < design->arrays.size(); ++a) {
+            for (uint32_t i = 0; i < design->arrays[a].size; ++i) {
+                ASSERT_EQ(tree.peek_array(a, i), bc.peek_array(a, i))
+                    << "array " << design->arrays[a].name << "[" << i
+                    << "] cycle " << cycle;
+            }
+        }
+    };
+    check_state(-1);
+    for (int c = 0; c < cycles; ++c) {
+        for (rtl::SignalId in : design->inputs) {
+            if (in == clk) continue;
+            const uint64_t v = rng.bits(design->signals[in].width);
+            tree.poke(in, v);
+            bc.poke(in, v);
+        }
+        tree.tick(clk);
+        bc.tick(clk);
+        check_state(c);
+    }
+}
+
+TEST(BytecodeEquiv, PartialAndBitSelectWrites) {
+    check_engines_agree(R"(
+        module top(input clk, input [7:0] d, input [2:0] idx,
+                   input bit_v, output reg [7:0] q, output reg [7:0] r);
+          reg [7:0] t;
+          always @(posedge clk) begin
+            q[3:0] <= d[7:4];
+            q[7:4] <= d[3:0];
+            r[idx] <= bit_v;
+          end
+          always @(*) begin
+            t = 8'h00;
+            t[1:0] = d[1:0];
+            t[idx] = bit_v;
+          end
+        endmodule)",
+                        "top");
+}
+
+TEST(BytecodeEquiv, DynamicBitWriteOutOfRange) {
+    // idx can exceed the 6-bit target width: out-of-range writes no-op.
+    check_engines_agree(R"(
+        module top(input clk, input [3:0] idx, input v,
+                   output reg [5:0] q);
+          always @(posedge clk) q[idx] <= v;
+        endmodule)",
+                        "top");
+}
+
+TEST(BytecodeEquiv, ArrayWritesAndOutOfRangeIndex) {
+    // mem has 5 elements; addr spans 0..7, so reads/writes go out of range.
+    check_engines_agree(R"(
+        module top(input clk, input [2:0] addr, input [7:0] d,
+                   input we, output reg [7:0] q);
+          reg [7:0] mem [0:4];
+          always @(posedge clk) begin
+            if (we) mem[addr] <= d;
+            q <= mem[addr];
+          end
+        endmodule)",
+                        "top");
+}
+
+TEST(BytecodeEquiv, CaseWithEmptyDefaultAndNoMatch) {
+    check_engines_agree(R"(
+        module top(input clk, input [2:0] s, input [7:0] d,
+                   output reg [7:0] q, output reg [7:0] r);
+          always @(posedge clk) begin
+            case (s)
+              3'd0: q <= d;
+              3'd1, 3'd2: q <= ~d;
+              default: ;
+            endcase
+            case (s)
+              3'd3: r <= d + 8'd1;
+              3'd4: r <= d - 8'd1;
+            endcase
+          end
+        endmodule)",
+                        "top");
+}
+
+TEST(BytecodeEquiv, WideConstantsAndArithmetic) {
+    // >32-bit constants must survive the constant pool bit-exactly.
+    check_engines_agree(R"(
+        module top(input clk, input [47:0] a, output reg [47:0] y,
+                   output reg [63:0] z);
+          always @(posedge clk) begin
+            y <= a ^ 48'hBEEF_CAFE_F00D;
+            z <= {16'h1234, a} + 64'h0123_4567_89AB_CDEF;
+          end
+        endmodule)",
+                        "top");
+}
+
+TEST(BytecodeEquiv, BlockingChainsThroughComb) {
+    // Read-after-write chains exercise the VM's slot fast path.
+    check_engines_agree(R"(
+        module top(input clk, input [7:0] a, input [7:0] b,
+                   output reg [7:0] y);
+          reg [7:0] t1, t2, t3;
+          always @(*) begin
+            t1 = a + b;
+            t2 = t1 ^ a;
+            t3 = t2 + t1;
+            if (t3[0]) t3 = t3 + 8'd3;
+          end
+          always @(posedge clk) y <= t3;
+        endmodule)",
+                        "top");
+}
+
+TEST(BytecodeEquiv, MixedBlockingAndPartialNbaOnOneReg) {
+    // Blocking write followed by partial NBA writes of the same register:
+    // the NBA read-modify-write must see pending NBA values, and slotting
+    // must not hide the blocking value.
+    check_engines_agree(R"(
+        module top(input clk, input [7:0] d, output reg [7:0] q);
+          always @(posedge clk) begin
+            q[3:0] <= d[3:0];
+            q[7:4] <= d[7:4];
+          end
+        endmodule)",
+                        "top");
+}
+
+TEST(BytecodeEquiv, AuditSoundnessCleanUnderBytecode) {
+    // Regression: mixed slotted/NBA-excluded blocking writes make the fused
+    // walk's per-segment programs and the whole-body shadow program record
+    // blocking writes in different insertion orders. The audit's activation
+    // comparison must be order-insensitive, or it reports spurious
+    // soundness violations under Bytecode.
+    auto design = frontend::compile(R"(
+        module top(input clk, input [7:0] d, input [7:0] e, input c,
+                   input b, output reg [7:0] y, output reg [7:0] t);
+          reg [7:0] x;
+          always @(posedge clk) begin
+            x = e + 8'd1;
+            y = x + d;
+            if (c) t = x;
+            y[0] <= b;
+          end
+        endmodule)",
+                                    "top");
+    fault::FaultGenOptions fopts;
+    fopts.sample_max = 64;
+    const auto faults = fault::generate_faults(*design, fopts);
+    ASSERT_FALSE(faults.empty());
+
+    auto run = [&](InterpMode interp) {
+        suite::RandomStimulus::Config cfg;
+        cfg.cycles = 50;
+        cfg.seed = 7;
+        suite::RandomStimulus stim(cfg);
+        core::CampaignOptions opts;
+        opts.engine.interp = interp;
+        opts.engine.audit = true;
+        return core::run_concurrent_campaign(*design, faults, stim, opts);
+    };
+    const auto tree = run(InterpMode::Tree);
+    const auto bc = run(InterpMode::Bytecode);
+    EXPECT_EQ(tree.detected, bc.detected);
+    EXPECT_EQ(tree.stats.audit_soundness_violations, 0u);
+    EXPECT_EQ(bc.stats.audit_soundness_violations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Expression-level fuzz: random trees, compile_expr vs eval_expr.
+
+class VecCtx final : public sim::EvalContext {
+  public:
+    explicit VecCtx(std::vector<Value> vals) : vals_(std::move(vals)) {}
+    Value read_signal(rtl::SignalId s) override { return vals_[s]; }
+    Value read_array(rtl::ArrayId, uint64_t) override { return Value(0, 8); }
+    void write_signal(rtl::SignalId, Value, bool) override {}
+    void write_array(rtl::ArrayId, uint64_t, Value, bool) override {}
+
+  private:
+    std::vector<Value> vals_;
+};
+
+rtl::ExprPtr random_expr(Prng& rng, int depth, unsigned num_leaves) {
+    using rtl::Expr;
+    using rtl::ExprPtr;
+    using rtl::Op;
+    if (depth <= 0 || rng.chance(1, 3)) {
+        if (rng.chance(1, 4)) {
+            const unsigned w = 1 + static_cast<unsigned>(rng.below(64));
+            return Expr::make_const(Value(rng.bits(w), w));
+        }
+        const auto sig = static_cast<rtl::SignalId>(rng.below(num_leaves));
+        return Expr::make_signal(sig, 16);
+    }
+    static const Op kBin[] = {Op::Add, Op::Sub, Op::Mul, Op::Div, Op::Mod,
+                              Op::And, Op::Or,  Op::Xor, Op::Shl, Op::Shr,
+                              Op::Eq,  Op::Ne,  Op::Lt,  Op::Le,  Op::Gt,
+                              Op::Ge};
+    switch (rng.below(4)) {
+        case 0: {
+            const Op op = kBin[rng.below(std::size(kBin))];
+            ExprPtr a = random_expr(rng, depth - 1, num_leaves);
+            ExprPtr b = random_expr(rng, depth - 1, num_leaves);
+            const unsigned w = std::max(a->width, b->width);
+            std::vector<ExprPtr> args;
+            args.push_back(std::move(a));
+            args.push_back(std::move(b));
+            return Expr::make_op(op, std::move(args),
+                                 rtl::op_arity(op) == 2 && w > 0 ? w : 1);
+        }
+        case 1: {
+            ExprPtr sel = random_expr(rng, depth - 1, num_leaves);
+            ExprPtr a = random_expr(rng, depth - 1, num_leaves);
+            ExprPtr b = random_expr(rng, depth - 1, num_leaves);
+            const unsigned w = std::max(a->width, b->width);
+            std::vector<ExprPtr> args;
+            args.push_back(std::move(sel));
+            args.push_back(std::move(a));
+            args.push_back(std::move(b));
+            return Expr::make_op(rtl::Op::Mux, std::move(args), w);
+        }
+        case 2: {
+            static const Op kUn[] = {Op::Not, Op::Neg, Op::LNot, Op::RedAnd,
+                                     Op::RedOr, Op::RedXor};
+            const Op op = kUn[rng.below(std::size(kUn))];
+            ExprPtr a = random_expr(rng, depth - 1, num_leaves);
+            const unsigned w =
+                (op == Op::Not || op == Op::Neg) ? a->width : 1;
+            std::vector<ExprPtr> args;
+            args.push_back(std::move(a));
+            return Expr::make_op(op, std::move(args), w);
+        }
+        default: {
+            ExprPtr a = random_expr(rng, depth - 1, num_leaves);
+            const unsigned aw = a->width;
+            const unsigned lo = static_cast<unsigned>(rng.below(aw));
+            const unsigned w = 1 + static_cast<unsigned>(rng.below(aw - lo));
+            std::vector<ExprPtr> args;
+            args.push_back(std::move(a));
+            return Expr::make_op(rtl::Op::Slice, std::move(args), w, lo);
+        }
+    }
+}
+
+TEST(BytecodeEquiv, RandomExpressionsMatchTreeInterpreter) {
+    rtl::Design dummy;   // BcVm only needs arrays for StoreArray bounds
+    dummy.finalize();
+    sim::BcVm vm(dummy);
+    Prng rng(77);
+    constexpr unsigned kLeaves = 5;
+    for (int tree = 0; tree < 200; ++tree) {
+        const rtl::ExprPtr e = random_expr(rng, 5, kLeaves);
+        const sim::BcProgram prog = sim::compile_expr(*e);
+        for (int vec = 0; vec < 10; ++vec) {
+            std::vector<Value> leaves;
+            for (unsigned i = 0; i < kLeaves; ++i) {
+                leaves.emplace_back(rng.bits(16), 16);
+            }
+            VecCtx ctx1(leaves);
+            VecCtx ctx2(leaves);
+            const Value want = sim::eval_expr(*e, ctx1);
+            const Value got = vm.eval(prog, ctx2);
+            ASSERT_EQ(want, got) << "tree " << tree << " vec " << vec;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-level differential over the whole benchmark suite: detection
+// bitmaps must be bit-identical between Tree and Bytecode for every
+// RedundancyMode, and for the sharded scheduler at several shard counts.
+
+class SuiteBytecodeEquiv : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SuiteBytecodeEquiv,
+    ::testing::Range<size_t>(0, suite::registry().size()),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+        return suite::registry()[info.param].name;
+    });
+
+TEST_P(SuiteBytecodeEquiv, DetectionBitmapsMatchTreeInterpreter) {
+    const auto& b = suite::registry()[GetParam()];
+    auto design = suite::load_design(b);
+    fault::FaultGenOptions fopts;
+    fopts.sample_max = 60;
+    fopts.sample_seed = 20250423;
+    const auto faults = fault::generate_faults(*design, fopts);
+    const uint32_t cycles = b.test_cycles;
+
+    for (const RedundancyMode mode :
+         {RedundancyMode::None, RedundancyMode::Explicit,
+          RedundancyMode::Full}) {
+        core::CampaignOptions tree_opts;
+        tree_opts.engine.mode = mode;
+        tree_opts.engine.interp = InterpMode::Tree;
+        auto tree_stim = suite::make_stimulus(b, cycles);
+        const auto tree = core::run_concurrent_campaign(*design, faults,
+                                                        *tree_stim,
+                                                        tree_opts);
+
+        core::CampaignOptions bc_opts;
+        bc_opts.engine.mode = mode;
+        bc_opts.engine.interp = InterpMode::Bytecode;
+        auto bc_stim = suite::make_stimulus(b, cycles);
+        const auto bc = core::run_concurrent_campaign(*design, faults,
+                                                      *bc_stim, bc_opts);
+
+        ASSERT_EQ(tree.detected, bc.detected)
+            << b.name << " mode " << static_cast<int>(mode);
+
+        // Sharded bytecode campaigns at several shard counts must match
+        // the tree verdicts too.
+        for (const uint32_t shards : {2u, 5u}) {
+            core::CampaignOptions sh_opts = bc_opts;
+            sh_opts.num_threads = 2;
+            sh_opts.num_shards = shards;
+            const auto sharded = core::run_sharded_campaign(
+                *design, faults,
+                [&] { return suite::make_stimulus(b, cycles); }, sh_opts);
+            ASSERT_EQ(tree.detected, sharded.detected)
+                << b.name << " mode " << static_cast<int>(mode) << " shards "
+                << shards;
+        }
+    }
+}
+
+TEST_P(SuiteBytecodeEquiv, SerialBaselineMatchesTreeInterpreter) {
+    const auto& b = suite::registry()[GetParam()];
+    auto design = suite::load_design(b);
+    fault::FaultGenOptions fopts;
+    fopts.sample_max = 25;
+    fopts.sample_seed = 20250423;
+    const auto faults = fault::generate_faults(*design, fopts);
+    const uint32_t cycles = b.test_cycles / 2;
+
+    for (const auto sched : {sim::SchedulingMode::EventDriven,
+                             sim::SchedulingMode::Levelized}) {
+        baseline::SerialOptions tree_opts;
+        tree_opts.mode = sched;
+        tree_opts.interp = InterpMode::Tree;
+        auto tree_stim = suite::make_stimulus(b, cycles);
+        const auto tree = baseline::run_serial_campaign(*design, faults,
+                                                        *tree_stim,
+                                                        tree_opts);
+
+        baseline::SerialOptions bc_opts = tree_opts;
+        bc_opts.interp = InterpMode::Bytecode;
+        auto bc_stim = suite::make_stimulus(b, cycles);
+        const auto bc = baseline::run_serial_campaign(*design, faults,
+                                                      *bc_stim, bc_opts);
+        ASSERT_EQ(tree.detected, bc.detected)
+            << b.name << " sched " << static_cast<int>(sched);
+    }
+}
+
+}  // namespace
+}  // namespace eraser
