@@ -6,6 +6,11 @@
 // Detection bitmaps are checked against the unsharded serial campaign at
 // every point — the scaling layer must never change a verdict.
 //
+// The whole sweep of a benchmark (every policy, every thread point, the
+// diagnosis run) goes through per-thread-count Sessions over ONE
+// CompiledDesign, so the design compiles exactly once per benchmark; the
+// compile cost is reported separately (compile_ms).
+//
 // Machine-readable results go to BENCH_sharding.json (schema in README
 // "Benchmark result files").
 //
@@ -71,25 +76,25 @@ int main(int argc, char** argv) {
 
         auto factory = [&]() { return suite::make_stimulus(b, cycles); };
 
-        // Per-fault cost estimates, built once per benchmark (the partition
-        // for a given shard count is deterministic and timing-independent).
-        const auto costs = core::estimate_fault_costs(*design, faults);
+        // One compile-once artifact for the entire sweep: every Session,
+        // every partition, and the unsharded reference share it.
+        auto compiled = core::CompiledDesign::build(*design);
+        const double compile_s = compiled->compile_seconds();
 
         // Unsharded reference verdicts.
+        core::Session ref_session(compiled, {.num_threads = 1});
         auto ref_stim = suite::make_stimulus(b, cycles);
-        core::CampaignOptions ref_opts;
-        const auto ref = core::run_concurrent_campaign(*design, faults,
-                                                       *ref_stim, ref_opts);
+        const auto ref = ref_session.run(faults, *ref_stim, {});
 
         for (const auto policy :
              {core::ShardPolicy::RoundRobin, core::ShardPolicy::CostBalanced}) {
             double base_seconds = 0.0;
             for (const uint32_t threads : thread_points(max_threads)) {
+                core::Session session(compiled, {.num_threads = threads});
                 core::CampaignOptions opts;
-                opts.num_threads = threads;
                 opts.shard_policy = policy;
-                const auto run = core::run_sharded_campaign(
-                    *design, faults, factory, opts, &costs);
+                const auto run =
+                    session.submit(faults, factory, opts).wait();
                 if (run.detected != ref.detected) {
                     std::printf("%-12s VERDICT MISMATCH at %u threads (%s)\n",
                                 b.display.c_str(), threads,
@@ -101,7 +106,7 @@ int main(int argc, char** argv) {
                 // Balance: max shard cost / mean shard cost (1.0 = perfect),
                 // in estimated-cost units under both policies.
                 const auto shards = core::make_shards(
-                    *design, faults, run.num_shards, policy, &costs);
+                    *compiled, faults, run.num_shards, policy);
                 uint64_t max_cost = 0, total_cost = 0;
                 for (const auto& s : shards) {
                     max_cost = std::max(max_cost, s.est_cost);
@@ -127,25 +132,27 @@ int main(int argc, char** argv) {
                         run.stats.shards[s].wall_seconds * 1e3);
                 }
                 shard_walls += "]";
-                json.add(bench::format(
-                    R"({"circuit": "%s", "mode": "%s", "threads": %u, )"
-                    R"("shards": %u, "wall_ms": %.3f, "speedup": %.3f, )"
-                    R"("balance": %.3f, "wall_imbalance": %.3f, )"
-                    R"("shard_wall_ms": %s})",
-                    b.name.c_str(), policy_name(policy), threads,
-                    run.num_shards, run.seconds * 1e3,
-                    base_seconds > 0 ? base_seconds / run.seconds : 1.0,
-                    balance, wall_imb, shard_walls.c_str()));
+                json.add(
+                    "{" +
+                    bench::perf_row_prefix(b.name.c_str(),
+                                           policy_name(policy), threads,
+                                           run.seconds, compile_s) +
+                    bench::format(
+                        R"(, "shards": %u, "speedup": %.3f, )"
+                        R"("balance": %.3f, "wall_imbalance": %.3f, )"
+                        R"("shard_wall_ms": %s})",
+                        run.num_shards,
+                        base_seconds > 0 ? base_seconds / run.seconds : 1.0,
+                        balance, wall_imb, shard_walls.c_str()));
             }
         }
 
         // Per-shard breakdown at the widest cost-balanced point — the
         // diagnosis view for the longest-shard tail.
+        core::Session diag_session(compiled, {.num_threads = max_threads});
         core::CampaignOptions wide;
-        wide.num_threads = max_threads;
         wide.engine.time_phases = true;
-        const auto diag = core::run_sharded_campaign(*design, faults,
-                                                     factory, wide, &costs);
+        const auto diag = diag_session.submit(faults, factory, wide).wait();
         std::printf("  per-shard (cost-balanced, %u threads): shard "
                     "faults/detected wall(ms) behav(ms) rtl(ms) est-cost\n",
                     diag.num_threads);

@@ -67,6 +67,19 @@ class JsonRows {
     std::vector<std::string> rows_;
 };
 
+/// Leading fields shared by every perf-artifact JSON row: circuit, engine
+/// mode, thread count, the campaign wall time, and — recorded separately
+/// since the Session API amortizes it — the one-time CompiledDesign build
+/// cost of the circuit (schema in README "Benchmark result files").
+inline std::string perf_row_prefix(const char* circuit, const char* mode,
+                                   uint32_t threads, double wall_seconds,
+                                   double compile_seconds) {
+    return format(R"("circuit": "%s", "mode": "%s", "threads": %u, )"
+                  R"("wall_ms": %.3f, "compile_ms": %.3f)",
+                  circuit, mode, threads, wall_seconds * 1e3,
+                  compile_seconds * 1e3);
+}
+
 /// Prints the Table I analogue: the environment this run measures on.
 inline void print_environment(const char* what) {
     std::printf("================================================================\n");

@@ -26,11 +26,11 @@ int main(int argc, char** argv) {
         auto stim = suite::make_stimulus(b, scale.cycles(b));
         const auto faults = bench::faults_for(*design, scale.faults(b));
 
+        core::Session session(*design);
         core::CampaignOptions opts;
         opts.engine.mode = core::RedundancyMode::None;   // execute everything
         opts.engine.audit = true;                        // ...and classify
-        const auto r =
-            core::run_concurrent_campaign(*design, faults, *stim, opts);
+        const auto r = session.run(faults, *stim, opts);
 
         const auto& s = r.stats;
         const double total = static_cast<double>(s.audit_explicit +

@@ -9,6 +9,11 @@
 //               differential oracle; the bytecode-vs-tree ratio is the
 //               compiled-execution win)
 //
+// Every engine of a circuit runs through ONE Session/CompiledDesign, so the
+// whole sweep compiles each design exactly once; the compile cost is
+// reported separately (compile_ms) instead of being folded into every
+// configuration's wall time as the pre-Session API did.
+//
 // Expected shape (not absolute numbers): serial slowest; concurrent engines
 // far faster; Eraser >= CFSIM-X wherever behavioral-node time matters, and
 // ~equal on SHA256_C2V where behavioral work is ~1% of the total.
@@ -41,11 +46,17 @@ int main(int argc, char** argv) {
         const auto faults = bench::faults_for(*design, scale.faults(b));
         const uint32_t cycles = scale.cycles(b);
 
+        // Compile once; every engine below shares the artifacts.
+        core::Session session(*design,
+                              {.num_threads = scale.threads});
+        const double compile_s = session.compiled().compile_seconds();
+
         auto run_serial = [&](sim::SchedulingMode mode) {
             auto stim = suite::make_stimulus(b, cycles);
             baseline::SerialOptions opts;
             opts.mode = mode;
-            return run_serial_campaign(*design, faults, *stim, opts);
+            return run_serial_campaign(session.compiled(), faults, *stim,
+                                       opts);
         };
         auto run_concurrent = [&](core::RedundancyMode mode,
                                   sim::InterpMode interp) {
@@ -53,8 +64,7 @@ int main(int argc, char** argv) {
             core::CampaignOptions opts;
             opts.engine.mode = mode;
             opts.engine.interp = interp;
-            return core::run_concurrent_campaign(*design, faults, *stim,
-                                                 opts);
+            return session.run(faults, *stim, opts);
         };
 
         const auto ifsim = run_serial(sim::SchedulingMode::EventDriven);
@@ -66,12 +76,14 @@ int main(int argc, char** argv) {
         const auto eraser_run = run_concurrent(core::RedundancyMode::Full,
                                                sim::InterpMode::Bytecode);
 
-        // Eraser with the sharded multi-threaded campaign scheduler.
+        // Eraser on the session's sharded multi-threaded scheduler.
         core::CampaignOptions mt_opts;
-        mt_opts.num_threads = scale.threads;   // 0 = hardware concurrency
-        const auto eraser_mt = core::run_sharded_campaign(
-            *design, faults, [&] { return suite::make_stimulus(b, cycles); },
-            mt_opts);
+        const auto eraser_mt =
+            session
+                .submit(faults,
+                        [&] { return suite::make_stimulus(b, cycles); },
+                        mt_opts)
+                .wait();
 
         // Coverage sanity: all six must agree (the sharded and tree runs
         // must also match fault-by-fault, not just in total).
@@ -98,11 +110,10 @@ int main(int argc, char** argv) {
                     base / eraser_run.seconds, base / eraser_mt.seconds);
 
         auto row = [&](const char* mode, uint32_t threads, double seconds) {
-            json.add(bench::format(
-                R"({"circuit": "%s", "mode": "%s", "threads": %u, )"
-                R"("wall_ms": %.3f, "speedup": %.3f})",
-                b.name.c_str(), mode, threads, seconds * 1e3,
-                base / seconds));
+            json.add("{" +
+                     bench::perf_row_prefix(b.name.c_str(), mode, threads,
+                                            seconds, compile_s) +
+                     bench::format(R"(, "speedup": %.3f})", base / seconds));
         };
         row("ifsim", 1, ifsim.seconds);
         row("vfsim", 1, vfsim.seconds);

@@ -23,16 +23,18 @@ int main(int argc, char** argv) {
         const auto faults = bench::faults_for(*design, scale.faults(b));
         const uint32_t cycles = scale.cycles(b);
 
+        // Both engines share one Session's compiled artifacts.
+        core::Session session(*design);
+
         auto stim1 = suite::make_stimulus(b, cycles);
         core::CampaignOptions copts;
         copts.engine.mode = core::RedundancyMode::Full;
-        const auto eraser_run =
-            core::run_concurrent_campaign(*design, faults, *stim1, copts);
+        const auto eraser_run = session.run(faults, *stim1, copts);
 
         auto stim2 = suite::make_stimulus(b, cycles);
         baseline::SerialOptions sopts;   // event-driven serial oracle
         const auto oracle =
-            run_serial_campaign(*design, faults, *stim2, sopts);
+            run_serial_campaign(session.compiled(), faults, *stim2, sopts);
 
         bool match = eraser_run.num_detected == oracle.num_detected;
         for (size_t f = 0; match && f < faults.size(); ++f) {

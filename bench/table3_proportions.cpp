@@ -25,12 +25,12 @@ int main(int argc, char** argv) {
         const auto faults = bench::faults_for(*design, scale.faults(b));
         auto stim = suite::make_stimulus(b, scale.cycles(b));
 
+        core::Session session(*design);
         core::CampaignOptions opts;
         opts.engine.mode = core::RedundancyMode::None;   // paper accounting
         opts.engine.audit = true;
         opts.engine.time_phases = true;
-        const auto r =
-            core::run_concurrent_campaign(*design, faults, *stim, opts);
+        const auto r = session.run(faults, *stim, opts);
 
         const auto& s = r.stats;
         const double bn_time = s.time_behavioral.total_seconds();

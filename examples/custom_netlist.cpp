@@ -102,9 +102,9 @@ int main() {
     cfg.reset = "rst";
     cfg.cycles = 200;
     suite::RandomStimulus stim(cfg);
+    core::Session session(design);
     core::CampaignOptions opts;
-    const auto report =
-        core::run_concurrent_campaign(design, faults, stim, opts);
+    const auto report = session.run(faults, stim, opts);
     std::printf("\nfault campaign: %zu faults, coverage %.1f%%\n",
                 faults.size(), report.coverage_percent);
     return 0;

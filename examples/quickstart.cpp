@@ -1,6 +1,7 @@
-// Quickstart: compile a small Verilog design, generate a stuck-at fault
-// list, run the Eraser concurrent fault-simulation campaign, and print the
-// fault coverage — the five-minute tour of the public API.
+// Quickstart: compile a small Verilog design, open a Session (which
+// compiles the design exactly once), submit an asynchronous sharded fault
+// campaign with streaming per-shard results, and sweep the redundancy
+// modes on the same Session — the five-minute tour of the public API.
 //
 //   $ ./build/examples/quickstart
 #include <cstdio>
@@ -72,16 +73,27 @@ int main() {
     cfg.cycles = 500;
     cfg.seed = 2025;
 
-    // 4. Run the Eraser campaign (explicit + implicit redundancy
-    //    elimination; see core::RedundancyMode for the ablation modes).
-    //    num_threads > 1 shards the fault list across a thread pool — the
-    //    factory builds one identical stimulus per shard, and the verdicts
-    //    are bit-identical to a single-threaded run.
+    // 4. Open a Session: bytecode programs, CFGs, and the shard cost model
+    //    are built here, once — every campaign below reuses them.
+    core::Session session(*design, {.num_threads = 4});
+    std::printf("session compiled the design once in %.3f ms\n",
+                session.compiled().compile_seconds() * 1e3);
+
+    // 5. Submit the Eraser campaign (explicit + implicit redundancy
+    //    elimination). submit() returns immediately; the factory builds one
+    //    identical stimulus per shard; per-shard verdicts stream through
+    //    the observer as they land, and the merged bitmap is bit-identical
+    //    to a single-threaded run.
     core::CampaignOptions opts;
-    opts.num_threads = 4;
-    const auto report = core::run_sharded_campaign(
-        *design, faults,
-        [&] { return std::make_unique<suite::RandomStimulus>(cfg); }, opts);
+    auto handle = session.submit(
+        faults, [&] { return std::make_unique<suite::RandomStimulus>(cfg); },
+        opts, [](const core::ShardEvent& e) {
+            std::printf("  shard %u landed: %u/%u faults detected in "
+                        "%.2f ms\n",
+                        e.shard, e.breakdown.detected, e.breakdown.faults,
+                        e.breakdown.wall_seconds * 1e3);
+        });
+    const auto report = handle.wait();
 
     std::printf("\ncoverage: %.2f%% (%u/%u faults detected) in %.3fs "
                 "(%u shards on %u threads)\n",
@@ -97,7 +109,33 @@ int main() {
                 static_cast<unsigned long long>(
                     report.stats.bn_skipped_implicit));
 
-    // 5. Every undetected fault is a coverage hole worth inspecting.
+    // 6. Sweep the ablation modes on the SAME session: no recompilation,
+    //    identical verdicts, only the redundancy-elimination work changes.
+    std::printf("\nmode sweep on one session (compile cost already paid):\n");
+    struct { const char* label; core::RedundancyMode mode; } sweep[] = {
+        {"Eraser--", core::RedundancyMode::None},
+        {"Eraser- ", core::RedundancyMode::Explicit},
+        {"Eraser  ", core::RedundancyMode::Full},
+    };
+    for (const auto& point : sweep) {
+        core::CampaignOptions mopts;
+        mopts.engine.mode = point.mode;
+        const auto r = session
+                           .submit(faults,
+                                   [&] {
+                                       return std::make_unique<
+                                           suite::RandomStimulus>(cfg);
+                                   },
+                                   mopts)
+                           .wait();
+        std::printf("  %s %.3fs, coverage %.2f%%%s\n", point.label,
+                    r.seconds, r.coverage_percent,
+                    r.detected == report.detected ? " (bit-identical)"
+                                                  : " (MISMATCH!)");
+        if (r.detected != report.detected) return 1;
+    }
+
+    // 7. Every undetected fault is a coverage hole worth inspecting.
     std::printf("\nundetected faults:\n");
     for (size_t f = 0; f < faults.size(); ++f) {
         if (!report.detected[f]) {

@@ -28,10 +28,12 @@ int main(int argc, char** argv) {
     const auto faults = fault::generate_faults(*design, fopts);
 
     // --- the fast engine: Eraser ------------------------------------------
+    // One Session serves both the campaign and the serial cross-check
+    // below; the design compiles once.
+    core::Session session(*design);
     auto stim = suite::make_stimulus(bench, bench.cycles);
     core::CampaignOptions opts;
-    const auto report =
-        core::run_concurrent_campaign(*design, faults, *stim, opts);
+    const auto report = session.run(faults, *stim, opts);
     std::printf("Eraser campaign: %u cycles, %zu faults -> DC = %.2f%% "
                 "in %.3fs\n",
                 bench.cycles, faults.size(), report.coverage_percent,
@@ -62,7 +64,8 @@ int main(int argc, char** argv) {
     // verdicts with the force-and-compare serial simulator.
     auto stim2 = suite::make_stimulus(bench, bench.cycles);
     baseline::SerialOptions sopts;
-    const auto oracle = run_serial_campaign(*design, faults, *stim2, sopts);
+    const auto oracle =
+        run_serial_campaign(session.compiled(), faults, *stim2, sopts);
     const bool agree =
         std::equal(report.detected.begin(), report.detected.end(),
                    oracle.detected.begin());

@@ -1,5 +1,6 @@
 #include "baseline/serial.h"
 
+#include "eraser/compiled_design.h"
 #include "util/timer.h"
 
 namespace eraser::baseline {
@@ -25,12 +26,13 @@ class EngineHandle final : public sim::DriveHandle {
     SimEngine& eng_;
 };
 
-}  // namespace
-
-GoodTrace record_good_trace(const Design& design, sim::Stimulus& stim,
-                            sim::SchedulingMode mode,
-                            sim::InterpMode interp) {
-    SimEngine eng(design, mode, interp);
+/// Shared implementation; `precompiled` is null on the per-call-compiling
+/// legacy path and the artifact's programs on the compile-once path.
+GoodTrace record_good_trace_impl(const Design& design, sim::Stimulus& stim,
+                                 sim::SchedulingMode mode,
+                                 sim::InterpMode interp,
+                                 const sim::SharedPrograms* precompiled) {
+    SimEngine eng(design, mode, interp, precompiled);
     EngineHandle handle(eng);
     stim.bind(design);
     const rtl::SignalId clk = design.signal_id(stim.clock_name());
@@ -52,19 +54,19 @@ GoodTrace record_good_trace(const Design& design, sim::Stimulus& stim,
     return trace;
 }
 
-SerialResult run_serial_campaign(const Design& design,
-                                 std::span<const fault::Fault> faults,
-                                 sim::Stimulus& stim,
-                                 const SerialOptions& opts) {
+SerialResult run_serial_campaign_impl(
+    const Design& design, std::span<const fault::Fault> faults,
+    sim::Stimulus& stim, const SerialOptions& opts,
+    const sim::SharedPrograms* precompiled) {
     Stopwatch watch;
-    const GoodTrace trace =
-        record_good_trace(design, stim, opts.mode, opts.interp);
+    const GoodTrace trace = record_good_trace_impl(
+        design, stim, opts.mode, opts.interp, precompiled);
 
     SerialResult result;
     result.detected.assign(faults.size(), false);
     result.total_cycles = trace.cycles;
 
-    SimEngine eng(design, opts.mode, opts.interp);
+    SimEngine eng(design, opts.mode, opts.interp, precompiled);
     EngineHandle handle(eng);
     stim.bind(design);
     const rtl::SignalId clk = design.signal_id(stim.clock_name());
@@ -101,6 +103,35 @@ SerialResult run_serial_campaign(const Design& design,
                              static_cast<double>(faults.size());
     result.seconds = watch.seconds();
     return result;
+}
+
+}  // namespace
+
+GoodTrace record_good_trace(const Design& design, sim::Stimulus& stim,
+                            sim::SchedulingMode mode, sim::InterpMode interp) {
+    return record_good_trace_impl(design, stim, mode, interp, nullptr);
+}
+
+SerialResult run_serial_campaign(const Design& design,
+                                 std::span<const fault::Fault> faults,
+                                 sim::Stimulus& stim,
+                                 const SerialOptions& opts) {
+    return run_serial_campaign_impl(design, faults, stim, opts, nullptr);
+}
+
+GoodTrace record_good_trace(const core::CompiledDesign& compiled,
+                            sim::Stimulus& stim, sim::SchedulingMode mode,
+                            sim::InterpMode interp) {
+    return record_good_trace_impl(compiled.design(), stim, mode, interp,
+                                  &compiled.programs());
+}
+
+SerialResult run_serial_campaign(const core::CompiledDesign& compiled,
+                                 std::span<const fault::Fault> faults,
+                                 sim::Stimulus& stim,
+                                 const SerialOptions& opts) {
+    return run_serial_campaign_impl(compiled.design(), faults, stim, opts,
+                                    &compiled.programs());
 }
 
 }  // namespace eraser::baseline

@@ -18,6 +18,10 @@
 #include "sim/engine.h"
 #include "sim/stimulus.h"
 
+namespace eraser::core {
+class CompiledDesign;
+}  // namespace eraser::core
+
 namespace eraser::baseline {
 
 struct SerialOptions {
@@ -55,8 +59,23 @@ struct SerialResult {
     sim::InterpMode interp = sim::InterpMode::Bytecode);
 
 /// Runs the full serial campaign (good run + one forced run per fault).
+/// Compiles behavior bytecode per call; the CompiledDesign overload reuses
+/// the compile-once artifact instead.
 [[nodiscard]] SerialResult run_serial_campaign(
     const rtl::Design& design, std::span<const fault::Fault> faults,
     sim::Stimulus& stim, const SerialOptions& opts);
+
+/// Compile-once variants: the engines run on the artifact's shared bytecode
+/// programs, so constructing them performs no compilation (the Session-API
+/// flow; bench sweeps share one artifact across all engines).
+[[nodiscard]] GoodTrace record_good_trace(
+    const core::CompiledDesign& compiled, sim::Stimulus& stim,
+    sim::SchedulingMode mode,
+    sim::InterpMode interp = sim::InterpMode::Bytecode);
+
+[[nodiscard]] SerialResult run_serial_campaign(
+    const core::CompiledDesign& compiled,
+    std::span<const fault::Fault> faults, sim::Stimulus& stim,
+    const SerialOptions& opts);
 
 }  // namespace eraser::baseline

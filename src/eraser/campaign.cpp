@@ -1,169 +1,42 @@
+// Legacy one-shot entry points, kept as thin wrappers over a temporary
+// Session so pre-Session callers (and the compat tests that exercise them)
+// keep bit-identical behavior while paying the per-call compilation the
+// Session API exists to amortize.
+#define ERASER_ALLOW_LEGACY_API   // defining the wrappers is not a use
+
 #include "eraser/campaign.h"
 
-#include <algorithm>
-#include <exception>
-
-#include "util/thread_pool.h"
+#include "eraser/session.h"
 #include "util/timer.h"
 
 namespace eraser::core {
-
-namespace {
-
-/// DriveHandle over the concurrent engine (good-network inputs; fault views
-/// follow automatically, modulo pinned input faults).
-class ConcurrentHandle final : public sim::DriveHandle {
-  public:
-    explicit ConcurrentHandle(ConcurrentSim& sim) : sim_(sim) {}
-    void set_input(rtl::SignalId sig, uint64_t value) override {
-        sim_.poke(sig, value);
-    }
-    void load_array(rtl::ArrayId arr,
-                    std::span<const uint64_t> words) override {
-        sim_.load_array(arr, words);
-    }
-
-  private:
-    ConcurrentSim& sim_;
-};
-
-/// Result of one engine run over one fault subset (local fault indexing).
-struct EngineOutcome {
-    std::vector<bool> detected;
-    uint32_t num_detected = 0;
-    Instrumentation stats;
-    double wall_seconds = 0.0;   // this engine run only
-};
-
-/// The campaign loop for one ConcurrentSim over `faults`: reset, stimulus
-/// initialization, one clocked cycle per stimulus step with output
-/// observation (fault detection + dropping) after each cycle. Early-exits
-/// once every fault of this engine is detected.
-EngineOutcome run_engine(const rtl::Design& design,
-                         std::span<const fault::Fault> faults,
-                         sim::Stimulus& stim, const EngineOptions& opts) {
-    Stopwatch engine_watch;
-    ConcurrentSim sim(design, faults, opts);
-    ConcurrentHandle handle(sim);
-    stim.bind(design);
-    const rtl::SignalId clk = design.signal_id(stim.clock_name());
-
-    sim.reset();
-    stim.initialize(handle);
-    const uint32_t cycles = stim.num_cycles();
-    for (uint32_t c = 0; c < cycles; ++c) {
-        stim.apply(c, handle);
-        sim.tick(clk);
-        sim.observe_outputs();
-        if (sim.num_detected() == faults.size()) break;   // all dropped
-    }
-
-    EngineOutcome out;
-    out.detected = sim.detected();
-    out.num_detected = sim.num_detected();
-    out.stats = sim.stats();
-    out.wall_seconds = engine_watch.seconds();
-    return out;
-}
-
-CampaignResult finish(CampaignResult result, uint32_t num_faults,
-                      double seconds) {
-    result.num_faults = num_faults;
-    result.coverage_percent =
-        num_faults == 0 ? 0.0
-                        : 100.0 * static_cast<double>(result.num_detected) /
-                              static_cast<double>(num_faults);
-    result.seconds = seconds;
-    return result;
-}
-
-}  // namespace
 
 CampaignResult run_concurrent_campaign(const rtl::Design& design,
                                        std::span<const fault::Fault> faults,
                                        sim::Stimulus& stim,
                                        const CampaignOptions& opts) {
     Stopwatch watch;
-    EngineOutcome out = run_engine(design, faults, stim, opts.engine);
-
-    CampaignResult result;
-    result.detected = std::move(out.detected);
-    result.num_detected = out.num_detected;
-    result.stats = out.stats;
-    result.num_shards = 1;
-    result.num_threads = 1;
-    return finish(std::move(result), static_cast<uint32_t>(faults.size()),
-                  watch.seconds());
+    auto compiled = CompiledDesign::build(design);
+    Session session(compiled, SessionOptions{.num_threads = 1});
+    CampaignResult result = session.run(faults, stim, opts);
+    result.compile_seconds = compiled->compile_seconds();
+    result.seconds = watch.seconds();   // legacy timing includes compilation
+    return result;
 }
 
 CampaignResult run_sharded_campaign(const rtl::Design& design,
                                     std::span<const fault::Fault> faults,
                                     const StimulusFactory& make_stimulus,
                                     const CampaignOptions& opts,
-                                    const std::vector<uint64_t>* fault_costs) {
+                                    const std::vector<uint64_t>* /*costs*/) {
     Stopwatch watch;
-    const uint32_t threads = opts.num_threads > 0
-                                 ? opts.num_threads
-                                 : util::ThreadPool::default_threads();
-    const uint32_t want_shards =
-        opts.num_shards > 0 ? opts.num_shards : threads;
-    const std::vector<Shard> shards = make_shards(
-        design, faults, want_shards, opts.shard_policy, fault_costs);
-
-    std::vector<EngineOutcome> outcomes(shards.size());
-    std::vector<std::exception_ptr> errors(shards.size());
-    auto run_shard = [&](size_t s) {
-        try {
-            auto stim = make_stimulus();
-            outcomes[s] =
-                run_engine(design, shards[s].faults, *stim, opts.engine);
-        } catch (...) {
-            errors[s] = std::current_exception();
-        }
-    };
-
-    const uint32_t used_threads =
-        std::min<uint32_t>(threads, static_cast<uint32_t>(shards.size()));
-    if (used_threads <= 1) {
-        for (size_t s = 0; s < shards.size(); ++s) run_shard(s);
-    } else {
-        util::ThreadPool pool(used_threads);
-        for (size_t s = 0; s < shards.size(); ++s) {
-            pool.submit([&, s] { run_shard(s); });
-        }
-        pool.wait();
-    }
-    for (const auto& err : errors) {
-        if (err) std::rethrow_exception(err);
-    }
-
-    // Deterministic merge: shards in index order, global ids within each
-    // shard are ascending, so the bitmap assembly order is fixed.
-    CampaignResult result;
-    result.detected.assign(faults.size(), false);
-    for (size_t s = 0; s < shards.size(); ++s) {
-        const Shard& shard = shards[s];
-        const EngineOutcome& out = outcomes[s];
-        for (size_t i = 0; i < shard.global_ids.size(); ++i) {
-            result.detected[shard.global_ids[i]] = out.detected[i];
-        }
-        result.num_detected += out.num_detected;
-        result.stats.merge_from(out.stats);
-
-        ShardBreakdown sb;
-        sb.shard = static_cast<uint32_t>(s);
-        sb.faults = static_cast<uint32_t>(shard.faults.size());
-        sb.detected = out.num_detected;
-        sb.est_cost = shard.est_cost;
-        sb.wall_seconds = out.wall_seconds;
-        sb.behavioral_seconds = out.stats.time_behavioral.total_seconds();
-        sb.rtl_seconds = out.stats.time_rtl.total_seconds();
-        result.stats.shards.push_back(sb);
-    }
-    result.num_shards = static_cast<uint32_t>(shards.size());
-    result.num_threads = used_threads;
-    return finish(std::move(result), static_cast<uint32_t>(faults.size()),
-                  watch.seconds());
+    auto compiled = CompiledDesign::build(design);
+    Session session(compiled, SessionOptions{.num_threads = opts.num_threads});
+    CampaignHandle handle = session.submit(faults, make_stimulus, opts);
+    CampaignResult result = handle.wait();
+    result.compile_seconds = compiled->compile_seconds();
+    result.seconds = watch.seconds();   // legacy timing includes compilation
+    return result;
 }
 
 }  // namespace eraser::core

@@ -1,21 +1,19 @@
-// FaultCampaign: runs a stimulus against the concurrent engine and reports
-// coverage plus instrumentation — the top-level entry point of the Eraser
-// framework (paper Fig. 4 steps ①-⑧ driven over the whole testbench).
+// Campaign option/result types shared by the Session API (eraser/session.h)
+// and the legacy free-function entry points kept below as deprecated
+// wrappers.
 //
-// Two entry points:
-//  * run_concurrent_campaign — one ConcurrentSim over the whole fault list
-//    on the calling thread, driven by a caller-owned Stimulus.
-//  * run_sharded_campaign    — the fault list is partitioned into K shards
-//    (see eraser/shard.h), one ConcurrentSim per shard, executed on a
-//    work-stealing thread pool. Each shard replays its own Stimulus built
-//    by the factory, so the factory must be callable from multiple threads
-//    and every instance must produce the identical input sequence.
+// The modern flow (paper Fig. 4 driven over the whole testbench):
+//
+//   auto compiled = core::CompiledDesign::build(design);   // compile once
+//   core::Session session(compiled);
+//   auto handle = session.submit(faults, factory, opts);   // async
+//   const auto& result = handle.wait();
 //
 // Determinism: faults are independent under concurrent fault simulation, so
-// both entry points produce bit-identical detection bitmaps for any shard
-// count, policy, or thread count. Per-shard results are merged in shard-
-// index order. Instrumentation counters merge additively and keep every
-// per-engine invariant (executed + skipped == candidates, candidates
+// every configuration (shard count, policy, thread count, submission order)
+// produces bit-identical detection bitmaps. Per-shard results are merged in
+// shard-index order. Instrumentation counters merge additively and keep
+// every per-engine invariant (executed + skipped == candidates, candidates
 // mode-independent), but their absolute totals depend on the partition —
 // each shard replays the good network once (see Instrumentation::merge_from).
 #pragma once
@@ -35,8 +33,10 @@ namespace eraser::core {
 
 struct CampaignOptions {
     EngineOptions engine;
-    /// Worker threads for the sharded runner. 0 = hardware concurrency.
-    /// run_concurrent_campaign ignores this (it is the 1-thread path).
+    /// Worker threads. Session campaigns run on the Session's persistent
+    /// pool (sized by SessionOptions), which ignores this field; the legacy
+    /// wrappers size their temporary Session with it (0 = hardware
+    /// concurrency).
     uint32_t num_threads = 1;
     /// Fault shards. 0 = one per worker thread. More shards than threads is
     /// useful with CostBalanced: smaller shards steal-balance better.
@@ -50,6 +50,13 @@ struct CampaignResult {
     uint32_t num_detected = 0;
     double coverage_percent = 0.0;
     double seconds = 0.0;
+    /// Time spent building the CompiledDesign *for this call*: the legacy
+    /// wrappers pay it per call; Session campaigns report 0 here because
+    /// compilation is amortized (see CompiledDesign::compile_seconds()).
+    double compile_seconds = 0.0;
+    /// True when the campaign was canceled before every shard completed;
+    /// `detected` then holds the partial verdicts accumulated so far.
+    bool canceled = false;
     Instrumentation stats;
     uint32_t num_shards = 1;      // shards actually run
     uint32_t num_threads = 1;     // worker threads actually used
@@ -59,19 +66,25 @@ struct CampaignResult {
 /// concurrently; every returned instance must drive the identical sequence.
 using StimulusFactory = std::function<std::unique_ptr<sim::Stimulus>()>;
 
-/// Runs the full concurrent fault-simulation campaign single-threaded:
-/// reset, stimulus initialization, one clocked cycle per stimulus step with
-/// output observation (fault detection + dropping) after each cycle.
+/// Deprecated pre-Session entry point: compiles the design, runs the whole
+/// campaign single-threaded on the calling thread, and throws the compiled
+/// artifacts away. Thin wrapper over a temporary Session — prefer
+/// Session::run, which amortizes compilation across campaigns.
+ERASER_DEPRECATED(
+    "use core::Session::run — a Session compiles the design once for any "
+    "number of campaigns")
 [[nodiscard]] CampaignResult run_concurrent_campaign(
     const rtl::Design& design, std::span<const fault::Fault> faults,
     sim::Stimulus& stim, const CampaignOptions& opts);
 
-/// Runs the campaign sharded across a thread pool per `opts.num_threads`,
-/// `opts.num_shards`, and `opts.shard_policy`. Detection results are
-/// bit-identical to run_concurrent_campaign for every configuration.
-/// `fault_costs` optionally supplies precomputed estimate_fault_costs()
-/// output so sweeps over many configurations build the cost model once;
-/// nullptr computes it internally.
+/// Deprecated pre-Session entry point: compiles the design, runs one
+/// sharded campaign on a temporary thread pool, and throws the compiled
+/// artifacts away. `fault_costs` is superseded by the CompiledDesign-cached
+/// cost model and is ignored. Thin wrapper over a temporary Session —
+/// prefer Session::submit.
+ERASER_DEPRECATED(
+    "use core::Session::submit — a Session compiles the design once and "
+    "keeps a persistent worker pool")
 [[nodiscard]] CampaignResult run_sharded_campaign(
     const rtl::Design& design, std::span<const fault::Fault> faults,
     const StimulusFactory& make_stimulus, const CampaignOptions& opts,

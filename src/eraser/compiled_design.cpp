@@ -1,0 +1,63 @@
+#include "eraser/compiled_design.h"
+
+#include <atomic>
+
+#include "eraser/shard.h"
+#include "util/diagnostics.h"
+#include "util/timer.h"
+
+namespace eraser::core {
+
+namespace {
+std::atomic<uint64_t> g_builds{0};
+}  // namespace
+
+CompiledDesign::CompiledDesign(const rtl::Design& design) : design_(design) {
+    if (!design.finalized()) {
+        throw SimError("design must be finalized before compilation");
+    }
+    Stopwatch watch;
+
+    cfgs_.reserve(design.behaviors.size());
+    for (const auto& b : design.behaviors) {
+        if (b.body) {
+            cfgs_.push_back(cfg::Cfg::build(*b.body, design));
+        } else {
+            cfgs_.emplace_back();
+        }
+    }
+    vdgs_.reserve(cfgs_.size());
+    for (const auto& c : cfgs_) vdgs_.push_back(cfg::Vdg::build(c));
+
+    progs_ = sim::compile_design_programs(design);
+    compiled_cfgs_.reserve(design.behaviors.size());
+    for (size_t b = 0; b < design.behaviors.size(); ++b) {
+        const rtl::BehavNode& bn = design.behaviors[b];
+        compiled_cfgs_.push_back(cfg::CompiledCfg::build(
+            cfgs_[b], design,
+            {bn.blocking_writes, bn.array_writes, false}));
+    }
+
+    behavior_weights_.reserve(vdgs_.size());
+    for (const auto& vdg : vdgs_) {
+        behavior_weights_.push_back(behavior_vdg_weight(vdg));
+    }
+    signal_costs_ = signal_fault_costs(design, behavior_weights_);
+
+    compile_seconds_ = watch.seconds();
+    g_builds.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> CompiledDesign::fault_costs(
+    std::span<const fault::Fault> faults) const {
+    std::vector<uint64_t> costs;
+    costs.reserve(faults.size());
+    for (const fault::Fault& f : faults) costs.push_back(signal_costs_[f.sig]);
+    return costs;
+}
+
+uint64_t CompiledDesign::builds() {
+    return g_builds.load(std::memory_order_relaxed);
+}
+
+}  // namespace eraser::core

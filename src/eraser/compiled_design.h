@@ -1,0 +1,107 @@
+// CompiledDesign: the immutable compile-once artifact of the Session API
+// (paper Fig. 4 "Preprocess" — performed once per design, not once per
+// engine). It owns everything a campaign engine needs that depends only on
+// the rtl::Design:
+//
+//  * per-behavior control-flow graphs and visibility dependency graphs;
+//  * flat bytecode programs for behavior bodies and `initial` blocks
+//    (shared read-only with sim::SimEngine via sim::SharedPrograms);
+//  * per-CFG-node segment/decision programs for the fused Algorithm 1 walk
+//    (cfg::CompiledCfg);
+//  * the fault cost model (per-behavior VDG weights folded into per-signal
+//    costs) that shard partitioning keys off.
+//
+// All state is immutable after construction, so one CompiledDesign may be
+// shared by any number of concurrently-running engines, shards, and
+// campaigns — sharing it is the entire point: a K-shard campaign or an
+// N-configuration sweep compiles exactly once instead of K (or N*K) times.
+//
+// Lifetime: the rtl::Design must outlive the CompiledDesign (programs and
+// CFGs keep pointers into its statement trees). Engines and Sessions hold
+// the CompiledDesign by shared_ptr, so it outlives any campaign using it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "cfg/vdg.h"
+#include "fault/fault.h"
+#include "rtl/design.h"
+#include "sim/bytecode.h"
+
+namespace eraser::core {
+
+class CompiledDesign {
+  public:
+    /// Compiles every artifact from a finalized design. Prefer build() —
+    /// the shared_ptr is what engines and Sessions retain.
+    explicit CompiledDesign(const rtl::Design& design);
+
+    [[nodiscard]] static std::shared_ptr<const CompiledDesign> build(
+        const rtl::Design& design) {
+        return std::make_shared<const CompiledDesign>(design);
+    }
+
+    CompiledDesign(const CompiledDesign&) = delete;
+    CompiledDesign& operator=(const CompiledDesign&) = delete;
+
+    [[nodiscard]] const rtl::Design& design() const { return design_; }
+
+    /// Per-behavior CFGs / VDGs, parallel to design().behaviors.
+    [[nodiscard]] const std::vector<cfg::Cfg>& cfgs() const { return cfgs_; }
+    [[nodiscard]] const std::vector<cfg::Vdg>& vdgs() const { return vdgs_; }
+
+    /// Compiled whole-body and initial-block programs (shared read-only
+    /// with any engine, including sim::SimEngine).
+    [[nodiscard]] const sim::SharedPrograms& programs() const {
+        return progs_;
+    }
+    [[nodiscard]] const std::vector<sim::BcProgram>& body_programs() const {
+        return *progs_.behaviors;
+    }
+    [[nodiscard]] const std::vector<sim::BcProgram>& init_programs() const {
+        return *progs_.initials;
+    }
+    /// Per-CFG-node segment/decision programs, parallel to cfgs().
+    [[nodiscard]] const std::vector<cfg::CompiledCfg>& compiled_cfgs() const {
+        return compiled_cfgs_;
+    }
+
+    /// Cost model: per-behavior weight (1 + VDG size) and the per-signal
+    /// fault cost derived from it (1 + RTL fan-out + summed weights of the
+    /// behavioral readers/clock watchers).
+    [[nodiscard]] const std::vector<uint64_t>& behavior_weights() const {
+        return behavior_weights_;
+    }
+    [[nodiscard]] const std::vector<uint64_t>& signal_costs() const {
+        return signal_costs_;
+    }
+    /// Estimated simulation cost per fault, parallel to `faults` — the
+    /// cached replacement for estimate_fault_costs().
+    [[nodiscard]] std::vector<uint64_t> fault_costs(
+        std::span<const fault::Fault> faults) const;
+
+    /// Wall time the construction took (amortized across every campaign
+    /// that shares this artifact; bench JSON reports it separately).
+    [[nodiscard]] double compile_seconds() const { return compile_seconds_; }
+
+    /// Process-wide count of CompiledDesign constructions — the
+    /// instrumentation hook that lets tests assert a whole configuration
+    /// sweep through one Session compiled exactly once.
+    [[nodiscard]] static uint64_t builds();
+
+  private:
+    const rtl::Design& design_;
+    std::vector<cfg::Cfg> cfgs_;
+    std::vector<cfg::Vdg> vdgs_;
+    sim::SharedPrograms progs_;
+    std::vector<cfg::CompiledCfg> compiled_cfgs_;
+    std::vector<uint64_t> behavior_weights_;
+    std::vector<uint64_t> signal_costs_;
+    double compile_seconds_ = 0.0;
+};
+
+}  // namespace eraser::core

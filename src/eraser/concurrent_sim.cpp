@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "cfg/cfg.h"
+#include "eraser/compiled_design.h"
 #include "sim/interp.h"
 #include "util/diagnostics.h"
 
@@ -258,13 +260,24 @@ class ConcurrentSim::FaultCtx final : public sim::EvalContext {
 ConcurrentSim::ConcurrentSim(const Design& design,
                              std::span<const fault::Fault> faults,
                              const EngineOptions& opts)
-    : design_(design),
+    : ConcurrentSim(CompiledDesign::build(design), faults, opts) {}
+
+ConcurrentSim::ConcurrentSim(std::shared_ptr<const CompiledDesign> owned,
+                             std::span<const fault::Fault> faults,
+                             const EngineOptions& opts)
+    : ConcurrentSim(*owned, faults, opts) {
+    owned_compiled_ = std::move(owned);
+}
+
+ConcurrentSim::ConcurrentSim(const CompiledDesign& compiled,
+                             std::span<const fault::Fault> faults,
+                             const EngineOptions& opts)
+    : compiled_(compiled),
+      design_(compiled.design()),
       faults_(faults.begin(), faults.end()),
       opts_(opts),
-      vm_(design) {
-    if (!design.finalized()) {
-        throw SimError("design must be finalized before simulation");
-    }
+      vm_(compiled.design()) {
+    const Design& design = design_;
     good_values_.reserve(design.signals.size());
     for (const auto& s : design.signals) {
         good_values_.emplace_back(0, s.width);
@@ -282,43 +295,6 @@ ConcurrentSim::ConcurrentSim(const Design& design,
     edge_prev_good_.assign(design.signals.size(), 0);
     edge_prev_div_.resize(design.signals.size());
 
-    cfgs_.reserve(design.behaviors.size());
-    vdgs_.reserve(design.behaviors.size());
-    for (const auto& b : design.behaviors) {
-        if (b.body) {
-            cfgs_.push_back(cfg::Cfg::build(*b.body, design));
-        } else {
-            cfgs_.emplace_back();
-        }
-    }
-    for (const auto& c : cfgs_) vdgs_.push_back(cfg::Vdg::build(c));
-
-    if (opts_.interp == sim::InterpMode::Bytecode) {
-        // Only the Full-mode fused walk executes per-CFG-node programs;
-        // other modes run whole bodies and skip that compilation.
-        const bool need_cfg_progs = opts_.mode == RedundancyMode::Full;
-        body_progs_.resize(design.behaviors.size());
-        if (need_cfg_progs) compiled_cfgs_.reserve(design.behaviors.size());
-        for (size_t b = 0; b < design.behaviors.size(); ++b) {
-            const rtl::BehavNode& bn = design.behaviors[b];
-            const sim::BcWriteSets writes{bn.blocking_writes,
-                                          bn.array_writes, false};
-            if (bn.body) {
-                body_progs_[b] = sim::compile_stmt(*bn.body, design, writes);
-            }
-            if (need_cfg_progs) {
-                compiled_cfgs_.push_back(
-                    cfg::CompiledCfg::build(cfgs_[b], design, writes));
-            }
-        }
-        init_progs_.resize(design.initials.size());
-        for (size_t i = 0; i < design.initials.size(); ++i) {
-            if (design.initials[i].body) {
-                init_progs_[i] =
-                    sim::compile_stmt(*design.initials[i].body, design);
-            }
-        }
-    }
     scr_good_act_ = std::make_unique<Activation>();
     scr_shadow_act_ = std::make_unique<Activation>();
     scr_nba_ = std::make_unique<NbaScratch>();
@@ -576,7 +552,7 @@ void ConcurrentSim::eval_comb_behavior(BehavId b) {
 
 void ConcurrentSim::exec_body(BehavId b, sim::EvalContext& ctx) {
     if (opts_.interp == sim::InterpMode::Bytecode) {
-        vm_.exec(body_progs_[b], ctx);
+        vm_.exec(compiled_.body_programs()[b], ctx);
     } else if (design_.behaviors[b].body) {
         sim::exec_stmt(*design_.behaviors[b].body, design_, ctx);
     }
@@ -588,7 +564,7 @@ void ConcurrentSim::process_behavior(
     TimeAccumulator::Section section(stats_.time_behavioral,
                                      opts_.time_phases);
     const BehavNode& behav = design_.behaviors[b];
-    const cfg::Cfg& cfg = cfgs_[b];
+    const cfg::Cfg& cfg = compiled_.cfgs()[b];
     const bool bytecode = opts_.interp == sim::InterpMode::Bytecode;
 
     // ---- candidate collection --------------------------------------------
@@ -683,7 +659,7 @@ void ConcurrentSim::process_behavior(
             // No fused walk needed: run the whole body straight through
             // (the compiled body program and the CFG are equivalent).
             if (bytecode) {
-                vm_.exec(body_progs_[b], gctx);
+                vm_.exec(compiled_.body_programs()[b], gctx);
             } else {
                 cfg.execute(design_, gctx);
             }
@@ -691,7 +667,7 @@ void ConcurrentSim::process_behavior(
             // Fused walk (Algorithm 1): traverse the CFG, executing the good
             // path and pruning faults whose path or dependencies diverge.
             const cfg::CompiledCfg* ccfg =
-                bytecode ? &compiled_cfgs_[b] : nullptr;
+                bytecode ? &compiled_.compiled_cfgs()[b] : nullptr;
             std::vector<SignalId>& node_div_reads = scr_node_div_reads_;
             std::vector<ArrayId>& node_div_arrays = scr_node_div_arrays_;
             uint32_t cur = cfg.entry;
@@ -1346,7 +1322,7 @@ void ConcurrentSim::reset() {
         for (size_t i = 0; i < design_.initials.size(); ++i) {
             if (!design_.initials[i].body) continue;
             if (opts_.interp == sim::InterpMode::Bytecode) {
-                vm_.exec(init_progs_[i], ctx);
+                vm_.exec(compiled_.init_programs()[i], ctx);
             } else {
                 sim::exec_stmt(*design_.initials[i].body, design_, ctx);
             }

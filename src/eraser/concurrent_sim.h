@@ -24,8 +24,6 @@
 #include <unordered_map>
 #include <vector>
 
-#include "cfg/cfg.h"
-#include "cfg/vdg.h"
 #include "eraser/instrumentation.h"
 #include "fault/divergence.h"
 #include "fault/fault.h"
@@ -36,13 +34,15 @@
 
 namespace eraser::core {
 
+class CompiledDesign;
+
 enum class RedundancyMode : uint8_t { None, Explicit, Full };
 
 struct EngineOptions {
     RedundancyMode mode = RedundancyMode::Full;
-    /// Behavioral executor: Bytecode runs bodies/CFG nodes compiled to flat
-    /// instruction streams at construction (production path); Tree keeps
-    /// the recursive interpreter as the differential-testing oracle.
+    /// Behavioral executor: Bytecode runs bodies/CFG nodes as the flat
+    /// instruction streams the CompiledDesign carries (production path);
+    /// Tree keeps the recursive interpreter as the differential oracle.
     sim::InterpMode interp = sim::InterpMode::Bytecode;
     /// Shadow-execute every candidate to classify ground-truth redundancy
     /// (explicit / implicit / none) and cross-check implicit skips.
@@ -53,6 +53,17 @@ struct EngineOptions {
 
 class ConcurrentSim {
   public:
+    /// The primary constructor: runs over compile-once artifacts shared
+    /// with any number of sibling engines (shards of one campaign, repeated
+    /// campaigns of one Session). Performs no compilation — construction is
+    /// allocation of mutable state only. The CompiledDesign must outlive
+    /// the engine.
+    ConcurrentSim(const CompiledDesign& compiled,
+                  std::span<const fault::Fault> faults,
+                  const EngineOptions& opts);
+    /// Convenience for one-shot use: privately builds (and owns) a
+    /// CompiledDesign. Every construction recompiles — prefer the
+    /// CompiledDesign overload anywhere more than one engine runs.
     ConcurrentSim(const rtl::Design& design,
                   std::span<const fault::Fault> faults,
                   const EngineOptions& opts);
@@ -88,6 +99,12 @@ class ConcurrentSim {
     [[nodiscard]] const rtl::Design& design() const { return design_; }
 
   private:
+    /// Ownership-taking step of the rtl::Design convenience constructor:
+    /// keeps the privately-built artifact alive for the engine's lifetime.
+    ConcurrentSim(std::shared_ptr<const CompiledDesign> owned,
+                  std::span<const fault::Fault> faults,
+                  const EngineOptions& opts);
+
     class GoodCtx;
     class FaultCtx;
     struct Activation;
@@ -175,6 +192,10 @@ class ConcurrentSim {
 
     void mark_detected(fault::FaultId f);
 
+    /// Set only by the rtl::Design convenience constructor, which builds a
+    /// private artifact; the CompiledDesign constructor leaves it null.
+    std::shared_ptr<const CompiledDesign> owned_compiled_;
+    const CompiledDesign& compiled_;
     const rtl::Design& design_;
     std::vector<fault::Fault> faults_;
     EngineOptions opts_;
@@ -196,17 +217,9 @@ class ConcurrentSim {
     std::vector<uint64_t> edge_prev_good_;
     std::vector<fault::DivergenceList> edge_prev_div_;
 
-    // Behavioral CFGs/VDGs (index parallel to design.behaviors).
-    std::vector<cfg::Cfg> cfgs_;
-    std::vector<cfg::Vdg> vdgs_;
-
-    // Bytecode path (empty when opts.interp == Tree): whole bodies, initial
-    // blocks, and per-CFG-node segment/decision programs compiled once at
-    // construction. One VM per engine — shards never share a VM.
+    // CFGs, VDGs, and all compiled programs live in compiled_ (shared,
+    // immutable). One VM per engine — shards never share a VM.
     sim::BcVm vm_;
-    std::vector<sim::BcProgram> body_progs_;     // parallel to behaviors
-    std::vector<sim::BcProgram> init_progs_;     // parallel to initials
-    std::vector<cfg::CompiledCfg> compiled_cfgs_;  // parallel to behaviors
 
     // Scheduling (elements: RTL nodes then comb behaviors).
     std::vector<std::vector<uint32_t>> rank_buckets_;

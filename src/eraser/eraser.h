@@ -1,16 +1,33 @@
 // Umbrella public API of the Eraser library.
 //
-// Typical use:
+// Typical use — compile once, campaign many times:
 //
 //   #include "eraser/eraser.h"
 //
 //   auto design = eraser::frontend::compile_file("my_dut.v", "my_dut");
 //   auto faults = eraser::fault::generate_faults(*design, {});
-//   MyStimulus stim;                       // eraser::sim::Stimulus
-//   eraser::core::CampaignOptions opts;    // RedundancyMode::Full = Eraser
-//   auto report = eraser::core::run_concurrent_campaign(*design, faults,
-//                                                       stim, opts);
+//
+//   eraser::core::Session session(*design);   // compiles the design ONCE
+//   eraser::core::CampaignOptions opts;       // RedundancyMode::Full = Eraser
+//
+//   // Blocking, single-engine, caller-owned stimulus:
+//   MyStimulus stim;                          // eraser::sim::Stimulus
+//   auto report = session.run(faults, stim, opts);
 //   std::cout << report.coverage_percent << "%\n";
+//
+//   // Asynchronous, sharded onto the session's persistent worker pool —
+//   // submit any number of campaigns; results stream per shard:
+//   auto handle = session.submit(
+//       faults, [] { return std::make_unique<MyStimulus>(); }, opts,
+//       [](const eraser::core::ShardEvent& e) {
+//           std::cout << "shard " << e.shard << " done\n";
+//       });
+//   // ... handle.progress() / handle.cancel() while it runs ...
+//   const auto& merged = handle.wait();       // bit-identical at any K
+//
+// The pre-Session free functions (core::run_concurrent_campaign,
+// core::run_sharded_campaign) survive as deprecated wrappers over a
+// temporary Session; see README "Migrating to the Session API".
 //
 // Layers (each usable on its own):
 //   rtl/       elaborated IR: signals, RTL nodes, behavioral ASTs
@@ -18,7 +35,8 @@
 //   sim/       good simulation: event-driven & levelized engines
 //   cfg/       control-flow graphs & visibility dependency graphs
 //   fault/     stuck-at fault model & divergence storage
-//   core/      the Eraser concurrent fault-simulation framework
+//   core/      the Eraser concurrent fault-simulation framework:
+//              CompiledDesign (compile-once artifacts) + Session (service)
 //   baseline/  serial fault-simulation baselines (IFsim/VFsim stand-ins)
 #pragma once
 
@@ -26,7 +44,9 @@
 #include "cfg/cfg.h"
 #include "cfg/vdg.h"
 #include "eraser/campaign.h"
+#include "eraser/compiled_design.h"
 #include "eraser/concurrent_sim.h"
+#include "eraser/session.h"
 #include "fault/fault.h"
 #include "frontend/compile.h"
 #include "rtl/design.h"

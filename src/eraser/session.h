@@ -1,0 +1,169 @@
+// Session: the long-lived fault-simulation service of the Eraser framework.
+//
+// The paper's Fig. 4 flow compiles the design once and then drives many
+// faulty executions; a Session is that flow as an object. It owns an
+// immutable CompiledDesign (bytecode programs, compiled CFGs, VDG cost
+// model — see eraser/compiled_design.h) plus a persistent work-stealing
+// worker pool, and accepts any number of campaigns:
+//
+//   core::Session session(design);                  // compiles exactly once
+//   auto h1 = session.submit(faults, factory, opts);        // async
+//   auto h2 = session.submit(faults, factory, other_opts);  // overlaps h1
+//   h1.wait();  h2.wait();                                  // merged results
+//
+// submit() is non-blocking and thread-safe: campaigns from concurrent
+// callers interleave on the shared pool. Each campaign is sharded exactly
+// like the classic sharded runner and merged in shard-index order, so its
+// detection bitmap is bit-identical to every other configuration of the
+// same fault list — including the legacy one-shot free functions, which are
+// now wrappers over a temporary Session.
+//
+// Streaming: an optional ShardObserver receives each shard's verdict slice
+// and ShardBreakdown as it lands (completion order, not shard order);
+// observers are serialized by the campaign, so they may be stateful.
+// Cancellation: CampaignHandle::cancel() stops engines at the next cycle
+// boundary; wait() then returns a partial result flagged `canceled`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+
+#include "eraser/campaign.h"
+#include "eraser/compiled_design.h"
+#include "fault/fault.h"
+#include "sim/stimulus.h"
+
+namespace eraser::util {
+class ThreadPool;
+}  // namespace eraser::util
+
+namespace eraser::core {
+
+namespace detail {
+struct CampaignState;
+}  // namespace detail
+
+/// Point-in-time view of a running (or finished) campaign. Shard-granular:
+/// a shard counts as done only once fully simulated, so a canceled campaign
+/// reports exactly how much completed work its partial result rests on.
+struct CampaignProgress {
+    uint32_t shards_total = 0;
+    uint32_t shards_done = 0;
+    uint32_t faults_total = 0;
+    uint32_t faults_done = 0;      // faults in fully-completed shards
+    uint32_t detected_so_far = 0;  // detections in fully-completed shards
+    bool cancel_requested = false;
+    bool finished = false;         // wait() would return without blocking
+};
+
+/// One completed shard, streamed to the observer as it lands. The
+/// references point into campaign-owned storage and are valid only during
+/// the callback — copy what you keep.
+struct ShardEvent {
+    uint32_t shard = 0;   // shard index within the campaign
+    /// Global fault ids of this shard, ascending.
+    const std::vector<uint32_t>& global_ids;
+    /// This shard's verdicts, parallel to global_ids.
+    const std::vector<bool>& detected;
+    const ShardBreakdown& breakdown;
+};
+
+/// Called once per completed shard, in completion order. Invocations are
+/// serialized (never concurrent), but arrive on worker threads. An
+/// observer that throws does not stall the campaign: the exception is
+/// recorded against that shard and rethrown from CampaignHandle::wait().
+using ShardObserver = std::function<void(const ShardEvent&)>;
+
+/// Handle to a submitted campaign. Copyable (all copies address the same
+/// campaign); outlives the Session safely — the Session destructor drains
+/// every outstanding campaign first.
+class CampaignHandle {
+  public:
+    CampaignHandle() = default;
+
+    /// Blocks until every shard has finished (or acknowledged
+    /// cancellation), then returns the merged result. Rethrows the first
+    /// shard error (by shard index) if any engine threw. The reference
+    /// stays valid as long as any handle copy is alive.
+    const CampaignResult& wait();
+
+    /// Requests cancellation: running engines stop at the next cycle
+    /// boundary, not-yet-started shards are skipped. Returns false when the
+    /// campaign had already finished (the result is complete). Idempotent.
+    bool cancel();
+
+    [[nodiscard]] CampaignProgress progress() const;
+    [[nodiscard]] bool finished() const;
+    [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  private:
+    friend class Session;
+    explicit CampaignHandle(std::shared_ptr<detail::CampaignState> state)
+        : state_(std::move(state)) {}
+
+    std::shared_ptr<detail::CampaignState> state_;
+};
+
+struct SessionOptions {
+    /// Worker threads in the persistent pool (0 = hardware concurrency).
+    /// The pool is created lazily on the first submit(), so blocking-only
+    /// Sessions never spawn threads.
+    uint32_t num_threads = 0;
+};
+
+class Session {
+  public:
+    /// Adopts an existing compile-once artifact (shareable across
+    /// Sessions). The underlying rtl::Design must outlive the artifact.
+    explicit Session(std::shared_ptr<const CompiledDesign> compiled,
+                     const SessionOptions& opts = {});
+    /// Compiles `design` (once, here) and owns the artifact.
+    explicit Session(const rtl::Design& design,
+                     const SessionOptions& opts = {});
+    /// Drains every outstanding campaign, then joins the pool.
+    ~Session();
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    [[nodiscard]] const CompiledDesign& compiled() const { return *compiled_; }
+    [[nodiscard]] std::shared_ptr<const CompiledDesign> compiled_ptr() const {
+        return compiled_;
+    }
+
+    /// Shards `faults`, enqueues one engine run per shard on the persistent
+    /// pool, and returns immediately. Thread-safe: concurrent submitters
+    /// interleave on the pool. `make_stimulus` builds one replayable
+    /// stimulus per shard (callable from multiple threads, every instance
+    /// driving the identical sequence). `opts.num_threads` is ignored — the
+    /// Session pool governs parallelism; `opts.num_shards == 0` defaults to
+    /// one shard per pool thread.
+    [[nodiscard]] CampaignHandle submit(std::span<const fault::Fault> faults,
+                                        StimulusFactory make_stimulus,
+                                        const CampaignOptions& opts = {},
+                                        ShardObserver observer = nullptr);
+
+    /// Blocking single-engine campaign on the calling thread, driven by a
+    /// caller-owned stimulus (no factory/replay requirement). Bit-identical
+    /// to every sharded configuration of the same fault list.
+    [[nodiscard]] CampaignResult run(std::span<const fault::Fault> faults,
+                                     sim::Stimulus& stim,
+                                     const CampaignOptions& opts = {});
+
+    /// Threads the pool will use once created (resolves 0 to hardware
+    /// concurrency without forcing pool creation).
+    [[nodiscard]] uint32_t num_threads() const;
+
+  private:
+    util::ThreadPool& pool();
+
+    std::shared_ptr<const CompiledDesign> compiled_;
+    SessionOptions opts_;
+    std::mutex pool_mu_;
+    std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace eraser::core

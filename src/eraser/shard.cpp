@@ -5,54 +5,61 @@
 
 #include "cfg/cfg.h"
 #include "cfg/vdg.h"
+#include "eraser/compiled_design.h"
+#include "util/diagnostics.h"
 
 namespace eraser::core {
+
+uint64_t behavior_vdg_weight(const cfg::Vdg& vdg) {
+    return 1 + vdg.nodes.size();
+}
 
 std::vector<uint64_t> behavior_vdg_weights(const rtl::Design& design) {
     std::vector<uint64_t> weights;
     weights.reserve(design.behaviors.size());
     for (const auto& behav : design.behaviors) {
         const cfg::Cfg cfg = cfg::Cfg::build(*behav.body, design);
-        const cfg::Vdg vdg = cfg::Vdg::build(cfg);
-        weights.push_back(1 + vdg.nodes.size());
+        weights.push_back(behavior_vdg_weight(cfg::Vdg::build(cfg)));
     }
     return weights;
 }
 
-std::vector<uint64_t> estimate_fault_costs(
-    const rtl::Design& design, std::span<const fault::Fault> faults) {
-    const std::vector<uint64_t> behav_weight = behavior_vdg_weights(design);
-
+std::vector<uint64_t> signal_fault_costs(
+    const rtl::Design& design, std::span<const uint64_t> behavior_weights) {
     // Per-signal cost, shared by both stuck-at polarities of every bit.
     std::vector<uint64_t> sig_cost(design.signals.size(), 0);
     for (rtl::SignalId s = 0; s < design.signals.size(); ++s) {
         const rtl::Signal& sig = design.signals[s];
         uint64_t cost = 1 + sig.fanout_nodes.size();
-        for (rtl::BehavId b : sig.fanout_comb) cost += behav_weight[b];
-        for (rtl::BehavId b : sig.fanout_edges) cost += behav_weight[b];
+        for (rtl::BehavId b : sig.fanout_comb) cost += behavior_weights[b];
+        for (rtl::BehavId b : sig.fanout_edges) cost += behavior_weights[b];
         sig_cost[s] = cost;
     }
+    return sig_cost;
+}
 
+std::vector<uint64_t> estimate_fault_costs(
+    const rtl::Design& design, std::span<const fault::Fault> faults) {
+    const std::vector<uint64_t> sig_cost =
+        signal_fault_costs(design, behavior_vdg_weights(design));
     std::vector<uint64_t> costs;
     costs.reserve(faults.size());
     for (const fault::Fault& f : faults) costs.push_back(sig_cost[f.sig]);
     return costs;
 }
 
-std::vector<Shard> make_shards(const rtl::Design& design,
-                               std::span<const fault::Fault> faults,
-                               uint32_t num_shards, ShardPolicy policy,
-                               const std::vector<uint64_t>* precomputed) {
+std::vector<Shard> make_shards(std::span<const fault::Fault> faults,
+                               std::span<const uint64_t> costs,
+                               uint32_t num_shards, ShardPolicy policy) {
+    if (costs.size() != faults.size()) {
+        throw SimError("make_shards: costs span must parallel the fault "
+                       "list (stale cache after regenerating faults?)");
+    }
     const uint32_t n = static_cast<uint32_t>(faults.size());
     uint32_t k = num_shards == 0 ? 1 : num_shards;
     if (k > n && n > 0) k = n;   // no empty shards
     std::vector<Shard> shards(n == 0 ? 1 : k);
     if (n == 0) return shards;
-
-    const std::vector<uint64_t> costs =
-        precomputed != nullptr && precomputed->size() == n
-            ? *precomputed
-            : estimate_fault_costs(design, faults);
 
     // Shard id per global fault index.
     std::vector<uint32_t> owner(n);
@@ -93,6 +100,24 @@ std::vector<Shard> make_shards(const rtl::Design& design,
         shard.est_cost += costs[i];
     }
     return shards;
+}
+
+std::vector<Shard> make_shards(const CompiledDesign& compiled,
+                               std::span<const fault::Fault> faults,
+                               uint32_t num_shards, ShardPolicy policy) {
+    return make_shards(faults, compiled.fault_costs(faults), num_shards,
+                       policy);
+}
+
+std::vector<Shard> make_shards(const rtl::Design& design,
+                               std::span<const fault::Fault> faults,
+                               uint32_t num_shards, ShardPolicy policy,
+                               const std::vector<uint64_t>* precomputed) {
+    const std::vector<uint64_t> costs =
+        precomputed != nullptr && precomputed->size() == faults.size()
+            ? *precomputed
+            : estimate_fault_costs(design, faults);
+    return make_shards(faults, costs, num_shards, policy);
 }
 
 }  // namespace eraser::core

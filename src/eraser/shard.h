@@ -13,6 +13,10 @@
 //                    every behavioral node the site feeds. Faults on
 //                    high-fan-out control signals dominate campaign time, so
 //                    balancing their spread cuts the longest-shard tail.
+//
+// The cost model lives in core::CompiledDesign (built once, shared by every
+// campaign of a Session); the design-taking entry points that recompute it
+// per call survive only as deprecated wrappers.
 #pragma once
 
 #include <cstdint>
@@ -22,7 +26,23 @@
 #include "fault/fault.h"
 #include "rtl/design.h"
 
+/// Deprecation marker for the pre-Session free-function API. TUs that
+/// intentionally exercise the legacy surface (compat tests) define
+/// ERASER_ALLOW_LEGACY_API before any eraser include to stay warning-free;
+/// everyone else gets [[deprecated]] steering them to Session/CompiledDesign.
+#if defined(ERASER_ALLOW_LEGACY_API)
+#define ERASER_DEPRECATED(msg)
+#else
+#define ERASER_DEPRECATED(msg) [[deprecated(msg)]]
+#endif
+
+namespace eraser::cfg {
+class Vdg;
+}  // namespace eraser::cfg
+
 namespace eraser::core {
+
+class CompiledDesign;
 
 enum class ShardPolicy : uint8_t { RoundRobin, CostBalanced };
 
@@ -35,24 +55,51 @@ struct Shard {
     uint64_t est_cost = 0;
 };
 
-/// Estimated simulation cost of each fault: 1 + |RTL fan-out of the site| +
-/// the summed VDG weight of every behavioral node reading or clocked by the
-/// site. The VDG weights come from `behavior_vdg_weights`.
-[[nodiscard]] std::vector<uint64_t> estimate_fault_costs(
-    const rtl::Design& design, std::span<const fault::Fault> faults);
+/// Cost-model weight of one behavior from its already-built VDG: 1 +
+/// number of VDG nodes (decision + dependency). The single definition of
+/// the weight formula — both the per-call path below and CompiledDesign's
+/// cache go through it.
+[[nodiscard]] uint64_t behavior_vdg_weight(const cfg::Vdg& vdg);
 
-/// Per-behavior weight used by the cost model: 1 + number of VDG nodes
-/// (decision + dependency) of the behavior's visibility dependency graph.
+/// Per-behavior weights, building each CFG/VDG on the fly.
+/// CompiledDesign::behavior_weights() is the cached equivalent.
 [[nodiscard]] std::vector<uint64_t> behavior_vdg_weights(
     const rtl::Design& design);
 
+/// Folds per-behavior weights into the per-signal fault cost: 1 + |RTL
+/// fan-out of the signal| + the summed weight of every behavioral node
+/// reading or clocked by it. Shared by estimate_fault_costs and
+/// CompiledDesign's cached model.
+[[nodiscard]] std::vector<uint64_t> signal_fault_costs(
+    const rtl::Design& design, std::span<const uint64_t> behavior_weights);
+
+/// Estimated simulation cost of each fault. Rebuilds the per-behavior VDGs
+/// on every call — CompiledDesign::fault_costs() is the compile-once
+/// replacement.
+[[nodiscard]] std::vector<uint64_t> estimate_fault_costs(
+    const rtl::Design& design, std::span<const fault::Fault> faults);
+
 /// Partitions `faults` into at most `num_shards` non-empty shards under
-/// `policy`. Deterministic: identical inputs give identical shards.
-/// `costs` optionally supplies precomputed estimate_fault_costs() output
-/// (parallel to `faults`) so sweeps over many shard counts build the
-/// per-behavior VDGs once; pass nullptr to compute internally. Shard
-/// est_cost is always reported in estimated-cost units, under either
+/// `policy`, with `costs` (parallel to `faults`) supplying the per-fault
+/// cost estimates. Deterministic: identical inputs give identical shards.
+/// Shard est_cost is always reported in estimated-cost units, under either
 /// policy.
+[[nodiscard]] std::vector<Shard> make_shards(
+    std::span<const fault::Fault> faults, std::span<const uint64_t> costs,
+    uint32_t num_shards, ShardPolicy policy);
+
+/// Partitions `faults` using the CompiledDesign's cached cost model — the
+/// primary entry point; a sweep over shard counts never recomputes costs.
+[[nodiscard]] std::vector<Shard> make_shards(
+    const CompiledDesign& compiled, std::span<const fault::Fault> faults,
+    uint32_t num_shards, ShardPolicy policy);
+
+/// Deprecated pre-Session entry point: recomputes the cost model per call
+/// (or trusts a caller-maintained `costs` pointer). Delegates to the
+/// span-based overloads above.
+ERASER_DEPRECATED(
+    "use make_shards(const CompiledDesign&, ...) — the cached cost model "
+    "replaces the raw costs pointer")
 [[nodiscard]] std::vector<Shard> make_shards(
     const rtl::Design& design, std::span<const fault::Fault> faults,
     uint32_t num_shards, ShardPolicy policy,

@@ -327,4 +327,25 @@ BcDecision compile_decision(const Stmt& branch) {
     return d;
 }
 
+SharedPrograms compile_design_programs(const rtl::Design& design) {
+    auto behaviors = std::make_shared<std::vector<BcProgram>>(
+        design.behaviors.size());
+    for (size_t b = 0; b < design.behaviors.size(); ++b) {
+        const rtl::BehavNode& bn = design.behaviors[b];
+        if (bn.body) {
+            (*behaviors)[b] = compile_stmt(
+                *bn.body, design,
+                {bn.blocking_writes, bn.array_writes, false});
+        }
+    }
+    auto initials =
+        std::make_shared<std::vector<BcProgram>>(design.initials.size());
+    for (size_t i = 0; i < design.initials.size(); ++i) {
+        if (design.initials[i].body) {
+            (*initials)[i] = compile_stmt(*design.initials[i].body, design);
+        }
+    }
+    return {std::move(behaviors), std::move(initials)};
+}
+
 }  // namespace eraser::sim

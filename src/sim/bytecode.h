@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -125,6 +126,26 @@ struct BcDecision {
     std::vector<BcCaseEntry> table;   // Case only; target = successor index
     uint32_t no_match = 0;            // Case only; default successor index
 };
+
+/// Immutable, shareable compilation artifacts of a design's behavioral
+/// bodies and `initial` blocks. Programs are compiled once (e.g. by
+/// core::CompiledDesign) and shared read-only between any number of engines
+/// — compiled programs are never mutated by execution, so concurrent
+/// engines on different threads may execute the same vectors freely. Null
+/// pointers mean "not compiled" (tree-interpreter-only use).
+struct SharedPrograms {
+    /// Parallel to rtl::Design::behaviors; compiled with each behavior's
+    /// blocking write sets (see BcWriteSets).
+    std::shared_ptr<const std::vector<BcProgram>> behaviors;
+    /// Parallel to rtl::Design::initials; conservative write sets.
+    std::shared_ptr<const std::vector<BcProgram>> initials;
+
+    [[nodiscard]] bool empty() const { return behaviors == nullptr; }
+};
+
+/// Compiles every behavior body / initial block of `design` into a
+/// SharedPrograms bundle (the compile-once step the engines share).
+[[nodiscard]] SharedPrograms compile_design_programs(const rtl::Design& design);
 
 /// Static write-set context for compilation: reads of signals/arrays
 /// outside the executing body's blocking-write sets compile to the

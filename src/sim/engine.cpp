@@ -104,28 +104,15 @@ class GoodActivationCtx final : public EvalContext {
 };
 
 SimEngine::SimEngine(const Design& design, SchedulingMode mode,
-                     InterpMode interp)
+                     InterpMode interp, const SharedPrograms* precompiled)
     : design_(design), mode_(mode), interp_(interp), vm_(design) {
     if (!design.finalized()) {
         throw SimError("design must be finalized before simulation");
     }
     if (interp_ == InterpMode::Bytecode) {
-        behav_progs_.resize(design.behaviors.size());
-        for (size_t b = 0; b < design.behaviors.size(); ++b) {
-            const BehavNode& bn = design.behaviors[b];
-            if (bn.body) {
-                behav_progs_[b] = compile_stmt(
-                    *bn.body, design,
-                    {bn.blocking_writes, bn.array_writes, false});
-            }
-        }
-        init_progs_.resize(design.initials.size());
-        for (size_t i = 0; i < design.initials.size(); ++i) {
-            if (design.initials[i].body) {
-                init_progs_[i] = compile_stmt(*design.initials[i].body,
-                                              design);
-            }
-        }
+        progs_ = precompiled != nullptr && !precompiled->empty()
+                     ? *precompiled
+                     : compile_design_programs(design);
     }
     values_.reserve(design.signals.size());
     for (const auto& s : design.signals) values_.emplace_back(0, s.width);
@@ -190,7 +177,7 @@ void SimEngine::run_initials() {
     for (size_t i = 0; i < design_.initials.size(); ++i) {
         if (!design_.initials[i].body) continue;
         if (interp_ == InterpMode::Bytecode) {
-            vm_.exec(init_progs_[i], ctx);
+            vm_.exec((*progs_.initials)[i], ctx);
         } else {
             exec_stmt(*design_.initials[i].body, design_, ctx);
         }
@@ -200,7 +187,7 @@ void SimEngine::run_initials() {
 
 void SimEngine::exec_behavior_body(rtl::BehavId b, EvalContext& ctx) {
     if (interp_ == InterpMode::Bytecode) {
-        vm_.exec(behav_progs_[b], ctx);
+        vm_.exec((*progs_.behaviors)[b], ctx);
     } else {
         exec_stmt(*design_.behaviors[b].body, design_, ctx);
     }

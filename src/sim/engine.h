@@ -37,9 +37,14 @@ class SimEngine {
     /// `interp` selects the behavioral executor: Bytecode runs bodies
     /// compiled at construction time (the production path), Tree keeps the
     /// recursive interpreter as the differential-testing oracle.
+    /// `precompiled`, when non-null, supplies compile-once programs (e.g.
+    /// from core::CompiledDesign) so construction performs no bytecode
+    /// compilation at all; the owning artifact must outlive the engine's
+    /// use, which the engine guarantees by holding the shared_ptrs.
     explicit SimEngine(const rtl::Design& design,
                        SchedulingMode mode = SchedulingMode::EventDriven,
-                       InterpMode interp = InterpMode::Bytecode);
+                       InterpMode interp = InterpMode::Bytecode,
+                       const SharedPrograms* precompiled = nullptr);
 
     /// Zeroes all state, re-applies forces, runs `initial` blocks, settles.
     void reset();
@@ -95,11 +100,11 @@ class SimEngine {
     SchedulingMode mode_;
     InterpMode interp_;
 
-    // Bytecode path: behavior bodies and initial blocks compiled once at
+    // Bytecode path: behavior bodies and initial blocks, either adopted
+    // from a caller-supplied compile-once artifact or compiled at
     // construction (empty when interp_ == InterpMode::Tree).
     BcVm vm_;
-    std::vector<BcProgram> behav_progs_;   // parallel to design.behaviors
-    std::vector<BcProgram> init_progs_;    // parallel to design.initials
+    SharedPrograms progs_;
 
     std::vector<Value> values_;
     std::vector<std::vector<uint64_t>> arrays_;

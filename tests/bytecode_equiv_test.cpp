@@ -3,6 +3,10 @@
 // per-cycle engine state on handwritten edge-case circuits, random
 // expression trees, and whole fault campaigns on every suite benchmark
 // across all three RedundancyModes and multiple shard counts.
+// This suite deliberately exercises the deprecated pre-Session free
+// functions as compatibility coverage for the Session wrappers.
+#define ERASER_ALLOW_LEGACY_API
+
 #include <gtest/gtest.h>
 
 #include "baseline/serial.h"

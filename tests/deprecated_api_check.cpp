@@ -1,0 +1,29 @@
+// Compile-only guard for the legacy-API deprecation contract (built as an
+// object-library in CMake with the deprecation warning silenced; CI
+// additionally compiles this TU with -Werror=deprecated-declarations and
+// REQUIRES the build to fail — proving the legacy wrappers still carry
+// [[deprecated]] and still exist with their original signatures).
+//
+// Deliberately does NOT define ERASER_ALLOW_LEGACY_API: every call below
+// must trip the deprecation diagnostic.
+#include "eraser/campaign.h"
+#include "eraser/shard.h"
+
+namespace {
+
+/// References every deprecated entry point with its legacy signature.
+[[maybe_unused]] void touch_legacy_api(
+    const eraser::rtl::Design& design,
+    std::span<const eraser::fault::Fault> faults, eraser::sim::Stimulus& stim,
+    const eraser::core::StimulusFactory& factory,
+    const std::vector<uint64_t>* costs) {
+    const eraser::core::CampaignOptions opts;
+    (void)eraser::core::run_concurrent_campaign(design, faults, stim, opts);
+    (void)eraser::core::run_sharded_campaign(design, faults, factory, opts,
+                                             costs);
+    (void)eraser::core::make_shards(design, faults, 4,
+                                    eraser::core::ShardPolicy::CostBalanced,
+                                    costs);
+}
+
+}  // namespace

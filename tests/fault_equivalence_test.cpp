@@ -4,6 +4,10 @@
 // by fault. Also checks the audit soundness counter: whenever the implicit
 // detector (Algorithm 1) skips an execution, the shadow execution must have
 // produced exactly the good result.
+// This suite deliberately exercises the deprecated pre-Session free
+// functions as compatibility coverage for the Session wrappers.
+#define ERASER_ALLOW_LEGACY_API
+
 #include <gtest/gtest.h>
 
 #include "baseline/serial.h"

@@ -2,6 +2,10 @@
 // so the front end is in the loop), full fault lists, serial oracle vs
 // concurrent engine in all redundancy modes. The strongest invariant in the
 // repository: any divergence here is a real bug somewhere in the stack.
+// This suite deliberately exercises the deprecated pre-Session free
+// functions as compatibility coverage for the Session wrappers.
+#define ERASER_ALLOW_LEGACY_API
+
 #include <gtest/gtest.h>
 
 #include "baseline/serial.h"

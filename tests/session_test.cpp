@@ -1,0 +1,296 @@
+// The Session API contract (compile-once artifacts, async submission,
+// streaming results):
+//
+//  * a whole mode x shard-count configuration sweep through one Session
+//    builds the CompiledDesign exactly once (asserted via the builds()
+//    instrumentation counter) and every configuration's detection bitmap is
+//    bit-identical to a per-configuration legacy run_sharded_campaign call;
+//  * repeated submission onto the same Session never drifts;
+//  * cancellation stops promptly and reports partial progress;
+//  * submit() is safe from concurrent threads;
+//  * the ShardObserver streams every shard exactly once, and reassembling
+//    the streamed slices reproduces the merged bitmap.
+//
+// The legacy free functions are called deliberately as the comparison
+// baseline (they are the compat surface the Session wrappers preserve).
+#define ERASER_ALLOW_LEGACY_API
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "eraser/eraser.h"
+#include "suite/random_stimulus.h"
+#include "suite/suite.h"
+
+namespace eraser {
+namespace {
+
+std::vector<fault::Fault> ci_faults(const rtl::Design& design) {
+    fault::FaultGenOptions fopts;
+    fopts.sample_max = 60;
+    fopts.sample_seed = 42;
+    return fault::generate_faults(design, fopts);
+}
+
+// --- compile-once sweep (the PR's acceptance criterion) ---------------------
+
+// A fig6-style sweep — every RedundancyMode crossed with several shard
+// counts — submitted to ONE Session must compile exactly once and match a
+// fresh legacy run_sharded_campaign per configuration, bit for bit.
+TEST(SessionSweep, SweepCompilesOnceAndMatchesLegacyPerConfig) {
+    const suite::Benchmark& b = suite::registry().front();
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    ASSERT_FALSE(faults.empty());
+    auto factory = [&] { return suite::make_stimulus(b, b.test_cycles); };
+
+    const uint64_t builds_before = core::CompiledDesign::builds();
+    core::Session session(*design, {.num_threads = 2});
+
+    struct Config {
+        core::RedundancyMode mode;
+        uint32_t shards;
+    };
+    std::vector<Config> sweep;
+    for (const auto mode :
+         {core::RedundancyMode::None, core::RedundancyMode::Explicit,
+          core::RedundancyMode::Full}) {
+        for (const uint32_t shards : {1u, 2u, 4u, 7u}) {
+            sweep.push_back({mode, shards});
+        }
+    }
+
+    std::vector<core::CampaignResult> session_results;
+    for (const Config& cfg : sweep) {
+        core::CampaignOptions opts;
+        opts.engine.mode = cfg.mode;
+        opts.num_shards = cfg.shards;
+        session_results.push_back(
+            session.submit(faults, factory, opts).wait());
+        EXPECT_EQ(session_results.back().compile_seconds, 0.0)
+            << "session campaigns must not pay compilation";
+    }
+    // The whole sweep (12 configurations) compiled the design exactly once.
+    EXPECT_EQ(core::CompiledDesign::builds(), builds_before + 1);
+
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        core::CampaignOptions opts;
+        opts.engine.mode = sweep[i].mode;
+        opts.num_shards = sweep[i].shards;
+        opts.num_threads = 2;
+        const auto legacy =
+            core::run_sharded_campaign(*design, faults, factory, opts);
+        EXPECT_EQ(session_results[i].detected, legacy.detected)
+            << "config " << i << " mode=" << static_cast<int>(sweep[i].mode)
+            << " shards=" << sweep[i].shards;
+        EXPECT_EQ(session_results[i].num_detected, legacy.num_detected);
+        EXPECT_FALSE(session_results[i].canceled);
+        EXPECT_GT(legacy.compile_seconds, 0.0)
+            << "legacy wrappers pay compilation per call";
+    }
+}
+
+// Same-session repeated submission of the same configuration is stable,
+// and Session::run (blocking path) matches the legacy single-threaded
+// entry point bit for bit.
+TEST(SessionSweep, RepeatedSubmissionAndBlockingRunAreBitIdentical) {
+    const suite::Benchmark& b = suite::registry().front();
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    auto factory = [&] { return suite::make_stimulus(b, b.test_cycles); };
+
+    auto legacy_stim = suite::make_stimulus(b, b.test_cycles);
+    core::CampaignOptions opts;
+    const auto legacy = core::run_concurrent_campaign(*design, faults,
+                                                      *legacy_stim, opts);
+
+    core::Session session(*design, {.num_threads = 3});
+    auto run_stim = suite::make_stimulus(b, b.test_cycles);
+    const auto blocking = session.run(faults, *run_stim, opts);
+    EXPECT_EQ(blocking.detected, legacy.detected);
+    EXPECT_EQ(blocking.num_detected, legacy.num_detected);
+
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto again = session.submit(faults, factory, opts).wait();
+        EXPECT_EQ(again.detected, legacy.detected) << "rep " << rep;
+        EXPECT_DOUBLE_EQ(again.coverage_percent, legacy.coverage_percent);
+    }
+}
+
+// --- cancellation -----------------------------------------------------------
+
+// A campaign over undetectable faults and an absurdly long stimulus can
+// only end through cancellation: cancel() must stop it promptly, and the
+// result must be flagged canceled with shard-accurate partial progress.
+TEST(SessionCancel, StopsPromptlyAndReportsPartialProgress) {
+    // `dead` never reaches an output, so its faults are undetectable and
+    // no engine can early-exit by detecting everything.
+    auto design = frontend::compile(R"(
+        module cancel_dut(input clk, input in, output reg out);
+          reg dead;
+          always @(posedge clk) begin
+            dead <= in;
+            out <= in;
+          end
+        endmodule
+    )",
+                                    "cancel_dut");
+    std::vector<fault::Fault> faults;
+    const rtl::SignalId dead = design->signal_id("dead");
+    faults.push_back({dead, 0, false});
+    faults.push_back({dead, 0, true});
+
+    suite::RandomStimulus::Config cfg;
+    cfg.cycles = 500'000'000;   // hours of simulation if not canceled
+    auto factory = [&] {
+        return std::make_unique<suite::RandomStimulus>(cfg);
+    };
+
+    core::Session session(*design, {.num_threads = 2});
+    core::CampaignOptions opts;
+    opts.num_shards = 2;
+    auto handle = session.submit(faults, factory, opts);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(handle.finished());
+    EXPECT_TRUE(handle.cancel());
+
+    const auto& result = handle.wait();   // must return promptly
+    EXPECT_TRUE(result.canceled);
+    EXPECT_EQ(result.num_faults, 2u);
+    EXPECT_EQ(result.detected.size(), faults.size());
+
+    const auto progress = handle.progress();
+    EXPECT_TRUE(progress.finished);
+    EXPECT_TRUE(progress.cancel_requested);
+    EXPECT_EQ(progress.shards_total, 2u);
+    EXPECT_LT(progress.shards_done, progress.shards_total);
+    EXPECT_LT(progress.faults_done, result.num_faults);
+
+    // cancel() on a finished campaign reports "too late".
+    EXPECT_FALSE(handle.cancel());
+}
+
+// --- concurrent submission --------------------------------------------------
+
+// submit() from multiple threads onto one Session interleaves safely and
+// every campaign still lands on the reference verdicts.
+TEST(SessionThreads, ConcurrentSubmitIsSafe) {
+    const suite::Benchmark& b = suite::registry().front();
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    auto factory = [&] { return suite::make_stimulus(b, b.test_cycles); };
+
+    core::Session session(*design, {.num_threads = 4});
+    auto ref_stim = suite::make_stimulus(b, b.test_cycles);
+    const auto ref = session.run(faults, *ref_stim, {});
+
+    constexpr int kPerThread = 3;
+    std::atomic<int> mismatches{0};
+    auto submitter = [&](core::RedundancyMode mode) {
+        for (int i = 0; i < kPerThread; ++i) {
+            core::CampaignOptions opts;
+            opts.engine.mode = mode;
+            opts.num_shards = 1 + static_cast<uint32_t>(i);
+            const auto r = session.submit(faults, factory, opts).wait();
+            if (r.detected != ref.detected) mismatches.fetch_add(1);
+        }
+    };
+    std::thread t1(submitter, core::RedundancyMode::Full);
+    std::thread t2(submitter, core::RedundancyMode::Explicit);
+    t1.join();
+    t2.join();
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+// --- streaming --------------------------------------------------------------
+
+// Every shard is streamed exactly once with its verdict slice, and the
+// slices reassemble into exactly the merged bitmap.
+TEST(SessionObserver, StreamsEveryShardExactlyOnce) {
+    const suite::Benchmark& b = suite::registry().front();
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    auto factory = [&] { return suite::make_stimulus(b, b.test_cycles); };
+
+    core::Session session(*design, {.num_threads = 2});
+    core::CampaignOptions opts;
+    opts.num_shards = 4;
+
+    std::vector<bool> reassembled(faults.size(), false);
+    std::vector<uint32_t> seen_shards;
+    uint64_t streamed_detected = 0;
+    auto observer = [&](const core::ShardEvent& e) {
+        seen_shards.push_back(e.shard);
+        ASSERT_EQ(e.global_ids.size(), e.detected.size());
+        for (size_t i = 0; i < e.global_ids.size(); ++i) {
+            reassembled[e.global_ids[i]] = e.detected[i];
+        }
+        streamed_detected += e.breakdown.detected;
+    };
+    const auto result =
+        session.submit(faults, factory, opts, observer).wait();
+
+    EXPECT_EQ(seen_shards.size(), result.num_shards);
+    std::vector<uint32_t> sorted = seen_shards;
+    std::sort(sorted.begin(), sorted.end());
+    for (uint32_t s = 0; s < result.num_shards; ++s) {
+        EXPECT_EQ(sorted[s], s);   // each shard exactly once
+    }
+    EXPECT_EQ(reassembled, result.detected);
+    EXPECT_EQ(streamed_detected, result.num_detected);
+}
+
+// A throwing observer must not stall the campaign: wait() returns (no
+// deadlock) and rethrows the observer's exception.
+TEST(SessionObserver, ThrowingObserverSurfacesInWaitWithoutDeadlock) {
+    const suite::Benchmark& b = suite::registry().front();
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    auto factory = [&] { return suite::make_stimulus(b, b.test_cycles); };
+
+    core::Session session(*design, {.num_threads = 2});
+    core::CampaignOptions opts;
+    opts.num_shards = 3;
+    auto handle = session.submit(faults, factory, opts,
+                                 [](const core::ShardEvent&) {
+                                     throw std::runtime_error("observer bug");
+                                 });
+    EXPECT_THROW((void)handle.wait(), std::runtime_error);
+    EXPECT_TRUE(handle.finished());
+}
+
+// --- serial baseline compile-once overloads ---------------------------------
+
+// The CompiledDesign overloads of the serial baselines are bit-identical
+// to the per-call-compiling legacy ones (they share the engine, only the
+// program ownership differs).
+TEST(SessionSerial, CompiledOverloadMatchesLegacySerial) {
+    const suite::Benchmark& b = suite::registry().front();
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    auto compiled = core::CompiledDesign::build(*design);
+
+    for (const auto mode : {sim::SchedulingMode::EventDriven,
+                            sim::SchedulingMode::Levelized}) {
+        baseline::SerialOptions opts;
+        opts.mode = mode;
+        auto stim1 = suite::make_stimulus(b, b.test_cycles);
+        const auto legacy =
+            baseline::run_serial_campaign(*design, faults, *stim1, opts);
+        auto stim2 = suite::make_stimulus(b, b.test_cycles);
+        const auto shared =
+            baseline::run_serial_campaign(*compiled, faults, *stim2, opts);
+        EXPECT_EQ(shared.detected, legacy.detected);
+        EXPECT_EQ(shared.num_detected, legacy.num_detected);
+    }
+}
+
+}  // namespace
+}  // namespace eraser

@@ -3,6 +3,10 @@
 // detection bitmap is bit-identical to the single-engine campaign, and the
 // fault-attributed redundancy counters merge to exactly the unsharded
 // values in every redundancy mode.
+// This suite deliberately exercises the deprecated pre-Session free
+// functions as compatibility coverage for the Session wrappers.
+#define ERASER_ALLOW_LEGACY_API
+
 #include <gtest/gtest.h>
 
 #include <memory>

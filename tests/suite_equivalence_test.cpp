@@ -5,6 +5,10 @@
 //
 // Uses shortened cycle counts and sampled fault lists to stay CI-sized; the
 // full-scale runs live in bench/table2_benchmarks.
+// This suite deliberately exercises the deprecated pre-Session free
+// functions as compatibility coverage for the Session wrappers.
+#define ERASER_ALLOW_LEGACY_API
+
 #include <gtest/gtest.h>
 
 #include "baseline/serial.h"

@@ -1,4 +1,8 @@
 // Tests for the VCD tracer and the campaign report writers.
+// This suite deliberately exercises the deprecated pre-Session free
+// functions as compatibility coverage for the Session wrappers.
+#define ERASER_ALLOW_LEGACY_API
+
 #include <gtest/gtest.h>
 
 #include <sstream>
