@@ -104,8 +104,10 @@ int main(int argc, char** argv) {
                 if (threads == 1) base_seconds = run.seconds;
 
                 // Balance: max shard cost / mean shard cost (1.0 = perfect),
-                // in estimated-cost units under both policies.
-                const auto shards = core::make_shards(
+                // in estimated-cost units under both policies. Campaigns run
+                // batched by default, so reproduce the group-aware partition
+                // the Session actually used.
+                const auto shards = core::make_shards_grouped(
                     *compiled, faults, run.num_shards, policy);
                 uint64_t max_cost = 0, total_cost = 0;
                 for (const auto& s : shards) {
@@ -136,6 +138,8 @@ int main(int argc, char** argv) {
                     "{" +
                     bench::perf_row_prefix(b.name.c_str(),
                                            policy_name(policy), threads,
+                                           bench::batch_name(
+                                               opts.engine.batching),
                                            run.seconds, compile_s) +
                     bench::format(
                         R"(, "shards": %u, "speedup": %.3f, )"

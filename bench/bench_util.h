@@ -68,16 +68,24 @@ class JsonRows {
 };
 
 /// Leading fields shared by every perf-artifact JSON row: circuit, engine
-/// mode, thread count, the campaign wall time, and — recorded separately
-/// since the Session API amortizes it — the one-time CompiledDesign build
-/// cost of the circuit (schema in README "Benchmark result files").
+/// mode, thread count, fault batching ("word" = 64-lane bit-parallel
+/// groups, "off" = scalar divergence lists), the campaign wall time, and —
+/// recorded separately since the Session API amortizes it — the one-time
+/// CompiledDesign build cost of the circuit (schema in README "Benchmark
+/// result files").
 inline std::string perf_row_prefix(const char* circuit, const char* mode,
-                                   uint32_t threads, double wall_seconds,
+                                   uint32_t threads, const char* batch,
+                                   double wall_seconds,
                                    double compile_seconds) {
     return format(R"("circuit": "%s", "mode": "%s", "threads": %u, )"
-                  R"("wall_ms": %.3f, "compile_ms": %.3f)",
-                  circuit, mode, threads, wall_seconds * 1e3,
+                  R"("batch": "%s", "wall_ms": %.3f, "compile_ms": %.3f)",
+                  circuit, mode, threads, batch, wall_seconds * 1e3,
                   compile_seconds * 1e3);
+}
+
+/// JSON value of an engine's FaultBatching knob.
+inline const char* batch_name(core::FaultBatching b) {
+    return b == core::FaultBatching::Word ? "word" : "off";
 }
 
 /// Prints the Table I analogue: the environment this run measures on.

@@ -4,10 +4,13 @@
 //   IFsim*    — serial, event-driven interpreter (Icarus/force stand-in)
 //   VFsim*    — serial, levelized full-evaluation engine (Verilator stand-in)
 //   CFSIM-X*  — concurrent engine, explicit-only redundancy (Z01X stand-in)
-//   Eraser    — concurrent engine, explicit + implicit (Algorithm 1)
-//   Eraser-T  — Eraser forced onto the tree-walking interpreter (the PR 2
-//               differential oracle; the bytecode-vs-tree ratio is the
-//               compiled-execution win)
+//   Eraser    — concurrent engine, explicit + implicit (Algorithm 1), with
+//               64-lane fault batching (FaultBatching::Word, the default)
+//   Eraser-S  — Eraser on the scalar divergence lists (batching off; the
+//               batched-vs-scalar ratio is the PR 4 bit-parallel win)
+//   Eraser-T  — Eraser forced onto the tree-walking interpreter + scalar
+//               store (the full differential oracle; the bytecode-vs-tree
+//               ratio is the PR 2 compiled-execution win)
 //
 // Every engine of a circuit runs through ONE Session/CompiledDesign, so the
 // whole sweep compiles each design exactly once; the compile cost is
@@ -31,13 +34,13 @@ int main(int argc, char** argv) {
     const auto scale = bench::parse_scale(argc, argv);
     bench::print_environment("Fig. 6: performance comparison (IFsim = 1.0x)");
 
-    std::printf("%-12s %8s | %8s %8s %8s %8s %8s %8s | %6s %6s %6s %6s\n",
+    std::printf("%-12s %8s | %8s %8s %8s %8s %8s %8s %8s | %6s %6s %6s %6s\n",
                 "Benchmark", "#Faults", "IFsim(s)", "VFsim(s)", "CFX(s)",
-                "ErsrT(s)", "Eraser(s)", "ErsrMT(s)", "VF(x)", "CFX(x)",
-                "Ersr(x)", "MT(x)");
+                "ErsrT(s)", "ErsrS(s)", "Eraser(s)", "ErsrMT(s)", "VF(x)",
+                "CFX(x)", "Ersr(x)", "MT(x)");
 
     double geo_eraser = 1.0, geo_cfx = 1.0, geo_vf = 1.0, geo_mt = 1.0;
-    double geo_vs_tree = 1.0;
+    double geo_vs_tree = 1.0, geo_vs_scalar = 1.0;
     int count = 0;
     bench::JsonRows json;
 
@@ -59,22 +62,30 @@ int main(int argc, char** argv) {
                                        opts);
         };
         auto run_concurrent = [&](core::RedundancyMode mode,
-                                  sim::InterpMode interp) {
+                                  sim::InterpMode interp,
+                                  core::FaultBatching batching) {
             auto stim = suite::make_stimulus(b, cycles);
             core::CampaignOptions opts;
             opts.engine.mode = mode;
             opts.engine.interp = interp;
+            opts.engine.batching = batching;
             return session.run(faults, *stim, opts);
         };
 
         const auto ifsim = run_serial(sim::SchedulingMode::EventDriven);
         const auto vfsim = run_serial(sim::SchedulingMode::Levelized);
         const auto cfx = run_concurrent(core::RedundancyMode::Explicit,
-                                        sim::InterpMode::Bytecode);
+                                        sim::InterpMode::Bytecode,
+                                        core::FaultBatching::Word);
         const auto eraser_tree = run_concurrent(core::RedundancyMode::Full,
-                                                sim::InterpMode::Tree);
+                                                sim::InterpMode::Tree,
+                                                core::FaultBatching::Off);
+        const auto eraser_scalar = run_concurrent(
+            core::RedundancyMode::Full, sim::InterpMode::Bytecode,
+            core::FaultBatching::Off);
         const auto eraser_run = run_concurrent(core::RedundancyMode::Full,
-                                               sim::InterpMode::Bytecode);
+                                               sim::InterpMode::Bytecode,
+                                               core::FaultBatching::Word);
 
         // Eraser on the session's sharded multi-threaded scheduler.
         core::CampaignOptions mt_opts;
@@ -85,48 +96,56 @@ int main(int argc, char** argv) {
                         mt_opts)
                 .wait();
 
-        // Coverage sanity: all six must agree (the sharded and tree runs
-        // must also match fault-by-fault, not just in total).
+        // Coverage sanity: all seven must agree (the sharded, tree, and
+        // scalar runs must also match fault-by-fault, not just in total).
         if (ifsim.num_detected != vfsim.num_detected ||
             ifsim.num_detected != cfx.num_detected ||
             ifsim.num_detected != eraser_run.num_detected ||
             eraser_tree.detected != eraser_run.detected ||
+            eraser_scalar.detected != eraser_run.detected ||
             eraser_mt.detected != eraser_run.detected) {
-            std::printf("%-12s COVERAGE MISMATCH (%u/%u/%u/%u/%u/%u)\n",
+            std::printf("%-12s COVERAGE MISMATCH (%u/%u/%u/%u/%u/%u/%u)\n",
                         b.display.c_str(), ifsim.num_detected,
                         vfsim.num_detected, cfx.num_detected,
-                        eraser_tree.num_detected, eraser_run.num_detected,
-                        eraser_mt.num_detected);
+                        eraser_tree.num_detected, eraser_scalar.num_detected,
+                        eraser_run.num_detected, eraser_mt.num_detected);
             return 1;
         }
 
         const double base = ifsim.seconds;
-        std::printf("%-12s %8zu | %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f | "
-                    "%6.1f %6.1f %6.1f %6.1f\n",
+        std::printf("%-12s %8zu | %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f"
+                    " | %6.1f %6.1f %6.1f %6.1f\n",
                     b.display.c_str(), faults.size(), ifsim.seconds,
                     vfsim.seconds, cfx.seconds, eraser_tree.seconds,
-                    eraser_run.seconds, eraser_mt.seconds,
-                    base / vfsim.seconds, base / cfx.seconds,
-                    base / eraser_run.seconds, base / eraser_mt.seconds);
+                    eraser_scalar.seconds, eraser_run.seconds,
+                    eraser_mt.seconds, base / vfsim.seconds,
+                    base / cfx.seconds, base / eraser_run.seconds,
+                    base / eraser_mt.seconds);
 
-        auto row = [&](const char* mode, uint32_t threads, double seconds) {
+        auto row = [&](const char* mode, uint32_t threads,
+                       const char* batch, double seconds) {
             json.add("{" +
                      bench::perf_row_prefix(b.name.c_str(), mode, threads,
-                                            seconds, compile_s) +
+                                            batch, seconds, compile_s) +
                      bench::format(R"(, "speedup": %.3f})", base / seconds));
         };
-        row("ifsim", 1, ifsim.seconds);
-        row("vfsim", 1, vfsim.seconds);
-        row("cfsimx", 1, cfx.seconds);
-        row("eraser_tree", 1, eraser_tree.seconds);
-        row("eraser", 1, eraser_run.seconds);
-        row("eraser_mt", eraser_mt.num_threads, eraser_mt.seconds);
+        const char* off = bench::batch_name(core::FaultBatching::Off);
+        const char* word = bench::batch_name(core::FaultBatching::Word);
+        row("ifsim", 1, off, ifsim.seconds);
+        row("vfsim", 1, off, vfsim.seconds);
+        row("cfsimx", 1, word, cfx.seconds);
+        row("eraser_tree", 1, off, eraser_tree.seconds);
+        row("eraser_scalar", 1, off, eraser_scalar.seconds);
+        row("eraser", 1, word, eraser_run.seconds);
+        row("eraser_mt", eraser_mt.num_threads,
+            bench::batch_name(mt_opts.engine.batching), eraser_mt.seconds);
 
         geo_vf *= base / vfsim.seconds;
         geo_cfx *= base / cfx.seconds;
         geo_eraser *= base / eraser_run.seconds;
         geo_mt *= base / eraser_mt.seconds;
         geo_vs_tree *= eraser_tree.seconds / eraser_run.seconds;
+        geo_vs_scalar *= eraser_scalar.seconds / eraser_run.seconds;
         ++count;
     }
 
@@ -141,6 +160,9 @@ int main(int argc, char** argv) {
     std::printf("Geomean bytecode vs tree interpreter (Eraser, Full): "
                 "%.2fx\n",
                 geo(geo_vs_tree));
+    std::printf("Geomean 64-lane batching vs scalar store (Eraser, Full): "
+                "%.2fx\n",
+                geo(geo_vs_scalar));
     std::printf("Paper reference: Eraser averages 3.9x vs Z01X and 5.9x vs "
                 "VFsim\n(absolute ratios differ — our substrate is an "
                 "interpreter, see EXPERIMENTS.md).\n");

@@ -1,0 +1,244 @@
+// Microbenchmark of the two divergence-store representations (PR 4): the
+// scalar sorted-entry DivergenceList vs the batched mask + value-plane
+// DivergenceBlockStore, across the operations the concurrent engine's hot
+// paths issue — set (insert + update), find, erase, iterate — at 1 / 8 / 64
+// diverged faults per signal, plus the DivergenceList merge_from batch
+// commit vs the per-record set/erase loop it replaced on the NBA path.
+//
+// Machine-readable results go to BENCH_micro_divergence.json (schema in
+// README "Benchmark result files"). No google-benchmark dependency: each
+// (structure, op, diverged) cell is timed over enough repetitions that a
+// cell measures tens of milliseconds.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "fault/divergence.h"
+#include "util/prng.h"
+#include "util/timer.h"
+
+using namespace eraser;
+using fault::DivergenceBlockStore;
+using fault::DivergenceList;
+using fault::FaultId;
+
+namespace {
+
+/// Fault-id universe: one 64-lane group's worth, shuffled so list inserts
+/// hit random positions (the memmove worst case the block store sidesteps).
+std::vector<FaultId> shuffled_ids(uint32_t n, uint64_t seed) {
+    std::vector<FaultId> ids(n);
+    for (uint32_t i = 0; i < n; ++i) ids[i] = i;
+    Prng rng(seed);
+    for (uint32_t i = n; i > 1; --i) {
+        const uint32_t j = static_cast<uint32_t>(rng.below(i));
+        std::swap(ids[i - 1], ids[j]);
+    }
+    return ids;
+}
+
+struct Cell {
+    const char* structure;
+    const char* op;
+    uint32_t diverged;
+    double ns_per_op;
+};
+
+constexpr unsigned kWidth = 32;
+
+template <typename Body>
+double time_ns_per_op(uint64_t total_ops, Body&& body) {
+    Stopwatch watch;
+    body();
+    return static_cast<double>(watch.ns()) /
+           static_cast<double>(total_ops);
+}
+
+}  // namespace
+
+int main(int, char**) {
+    bench::print_environment(
+        "micro_divergence: scalar list vs batched block store");
+    std::printf("%-6s %-10s %9s %12s\n", "store", "op", "diverged",
+                "ns/op");
+
+    std::vector<Cell> cells;
+    const uint32_t kDivergedSteps[] = {1, 8, 64};
+    const uint64_t kReps = 200'000;
+
+    for (const uint32_t d : kDivergedSteps) {
+        const auto ids = shuffled_ids(64, /*seed=*/d);
+        const uint64_t ops = kReps * d;
+
+        // --- set: d inserts into an empty store, repeated ------------------
+        cells.push_back(
+            {"list", "set", d, time_ns_per_op(ops, [&] {
+                 DivergenceList list;
+                 for (uint64_t r = 0; r < kReps; ++r) {
+                     list.clear();
+                     for (uint32_t i = 0; i < d; ++i) {
+                         list.set(ids[i], Value(r + i, kWidth));
+                     }
+                 }
+             })});
+        cells.push_back(
+            {"block", "set", d, time_ns_per_op(ops, [&] {
+                 DivergenceBlockStore store;
+                 store.reset(1);
+                 for (uint64_t r = 0; r < kReps; ++r) {
+                     store.clear();
+                     for (uint32_t i = 0; i < d; ++i) {
+                         store.set(0, ids[i], r + i);
+                     }
+                 }
+             })});
+
+        // --- find: hits and misses over a populated store ------------------
+        {
+            DivergenceList list;
+            DivergenceBlockStore store;
+            store.reset(1);
+            for (uint32_t i = 0; i < d; ++i) {
+                list.set(ids[i], Value(i, kWidth));
+                store.set(0, ids[i], i);
+            }
+            uint64_t sink = 0;
+            cells.push_back(
+                {"list", "find", d, time_ns_per_op(kReps * 64, [&] {
+                     for (uint64_t r = 0; r < kReps; ++r) {
+                         for (uint32_t f = 0; f < 64; ++f) {
+                             sink += list.find(f) != nullptr;
+                         }
+                     }
+                 })});
+            cells.push_back(
+                {"block", "find", d, time_ns_per_op(kReps * 64, [&] {
+                     for (uint64_t r = 0; r < kReps; ++r) {
+                         for (uint32_t f = 0; f < 64; ++f) {
+                             sink += store.find(0, f) != nullptr;
+                         }
+                     }
+                 })});
+            if (sink == UINT64_MAX) std::printf("impossible\n");
+        }
+
+        // --- erase: insert + erase round trip, ns per operation (every
+        // erase needs a fresh insert, so both representations pay the same
+        // 2d operations per repetition and the comparison stays fair) -----
+        cells.push_back(
+            {"list", "erase", d, time_ns_per_op(ops * 2, [&] {
+                 DivergenceList list;
+                 for (uint64_t r = 0; r < kReps; ++r) {
+                     for (uint32_t i = 0; i < d; ++i) {
+                         list.set(ids[i], Value(i, kWidth));
+                     }
+                     for (uint32_t i = 0; i < d; ++i) list.erase(ids[i]);
+                 }
+             })});
+        cells.push_back(
+            {"block", "erase", d, time_ns_per_op(ops * 2, [&] {
+                 DivergenceBlockStore store;
+                 store.reset(1);
+                 for (uint64_t r = 0; r < kReps; ++r) {
+                     for (uint32_t i = 0; i < d; ++i) {
+                         store.set(0, ids[i], i);
+                     }
+                     for (uint32_t i = 0; i < d; ++i) store.erase(0, ids[i]);
+                 }
+             })});
+
+        // --- iterate: walk every diverged entry ----------------------------
+        {
+            DivergenceList list;
+            DivergenceBlockStore store;
+            store.reset(1);
+            for (uint32_t i = 0; i < d; ++i) {
+                list.set(ids[i], Value(i, kWidth));
+                store.set(0, ids[i], i);
+            }
+            uint64_t sink = 0;
+            cells.push_back(
+                {"list", "iterate", d, time_ns_per_op(ops, [&] {
+                     for (uint64_t r = 0; r < kReps; ++r) {
+                         for (const auto& e : list.entries()) {
+                             sink += e.value.bits();
+                         }
+                     }
+                 })});
+            cells.push_back(
+                {"block", "iterate", d, time_ns_per_op(ops, [&] {
+                     for (uint64_t r = 0; r < kReps; ++r) {
+                         uint64_t m = store.mask(0);
+                         while (m != 0) {
+                             const uint32_t l = static_cast<uint32_t>(
+                                 std::countr_zero(m));
+                             m &= m - 1;
+                             sink += store.value(0, l);
+                         }
+                     }
+                 })});
+            if (sink == UINT64_MAX) std::printf("impossible\n");
+        }
+
+        // --- NBA batch commit: merge_from vs per-record set/erase ----------
+        // Two alternating update batches, each mixing divergent values with
+        // the good value on different faults, so EVERY repetition really
+        // mutates the list (entries appear, move, and disappear — the
+        // NBA-commit access pattern that churned the list tail). A single
+        // repeated batch would reach steady state after one repetition and
+        // measure only the no-op compare path.
+        {
+            std::vector<DivergenceList::Entry> batch[2];
+            const Value good(0, kWidth);
+            for (uint32_t i = 0; i < d; ++i) {
+                batch[0].push_back(
+                    {ids[i], Value(i % 2 == 0 ? i + 1 : 0, kWidth)});
+                batch[1].push_back(
+                    {ids[i], Value(i % 2 == 0 ? 0 : i + 7, kWidth)});
+            }
+            for (auto& updates : batch) {
+                std::sort(updates.begin(), updates.end(),
+                          [](const auto& a, const auto& b) {
+                              return a.fault < b.fault;
+                          });
+            }
+            std::vector<DivergenceList::Entry> scratch;
+            cells.push_back(
+                {"list", "set_erase_loop", d, time_ns_per_op(ops, [&] {
+                     DivergenceList list;
+                     for (uint64_t r = 0; r < kReps; ++r) {
+                         for (const auto& u : batch[r & 1]) {
+                             if (u.value != good) {
+                                 list.set(u.fault, u.value);
+                             } else {
+                                 list.erase(u.fault);
+                             }
+                         }
+                     }
+                 })});
+            cells.push_back(
+                {"list", "merge_from", d, time_ns_per_op(ops, [&] {
+                     DivergenceList list;
+                     for (uint64_t r = 0; r < kReps; ++r) {
+                         list.merge_from(batch[r & 1], good, scratch);
+                     }
+                 })});
+        }
+    }
+
+    bench::JsonRows json;
+    for (const Cell& c : cells) {
+        std::printf("%-6s %-10s %9u %12.2f\n", c.structure, c.op,
+                    c.diverged, c.ns_per_op);
+        json.add(bench::format(
+            R"({"structure": "%s", "op": "%s", "diverged": %u, )"
+            R"("ns_per_op": %.3f})",
+            c.structure, c.op, c.diverged, c.ns_per_op));
+    }
+    if (json.write("BENCH_micro_divergence.json")) {
+        std::printf("Wrote BENCH_micro_divergence.json\n");
+        return 0;
+    }
+    std::fprintf(stderr, "failed to write BENCH_micro_divergence.json\n");
+    return 1;
+}

@@ -1,0 +1,177 @@
+// Batched (FaultBatching::Word) halves of the concurrent engine: the
+// group-level twins of the scalar hot-path pieces in concurrent_sim.cpp.
+// Faults are packed 64 lanes to a group (fault/divergence.h); divergence
+// membership is one machine word per (signal, group), so candidate
+// collection and visibility checks collapse to word ORs and per-lane state
+// updates are O(1) indexed stores. The control flow (activation rules,
+// commit ordering, pin re-assertion, fake-event avoidance) lives once, in
+// concurrent_sim.cpp, and branches here at the store touchpoints — both
+// representations run the identical algorithm, which is what makes the
+// batched verdicts bit-identical to the scalar oracle.
+#include <bit>
+
+#include "eraser/compiled_design.h"
+#include "eraser/concurrent_sim.h"
+#include "util/timer.h"
+
+namespace eraser::core {
+
+using fault::FaultId;
+using rtl::ArrayId;
+using rtl::NodeId;
+using rtl::SignalId;
+
+uint64_t ConcurrentSim::group_sig_mask(std::span<const SignalId> sigs,
+                                       uint32_t g) const {
+    uint64_t m = 0;
+    for (SignalId s : sigs) m |= bsig_div_[s].mask(g);
+    return m;
+}
+
+uint64_t ConcurrentSim::group_arr_mask(std::span<const ArrayId> arrs,
+                                       uint32_t g) const {
+    uint64_t m = 0;
+    for (ArrayId a : arrs) m |= arr_div_mask_[a][g];
+    return m;
+}
+
+void ConcurrentSim::expand_mask(uint64_t mask, uint32_t g,
+                                std::vector<FaultId>& out) {
+    while (mask != 0) {
+        const uint32_t l = static_cast<uint32_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        out.push_back(fault::fault_id(g, l));
+    }
+}
+
+void ConcurrentSim::beval_rtl_node(NodeId n_id) {
+    TimeAccumulator::Section section(stats_.time_rtl, opts_.time_phases);
+    const rtl::RtlNode& n = design_.nodes[n_id];
+    const unsigned out_w = design_.signals[n.output].width;
+    ++stats_.rtl_good_evals;
+
+    // Candidate masks per group, sampled pre-commit (same ordering as the
+    // scalar path): diverged lanes on any input, stale lanes on the output,
+    // and lanes pinned on the output (their pin shadow is re-derived here).
+    auto& cand = scr_cand_mask_;
+    const std::vector<uint64_t>& out_pins = pin_mask_[n.output];
+    uint64_t any = 0;
+    for (uint32_t g = 0; g < groups_; ++g) {
+        uint64_t m = bsig_div_[n.output].mask(g);
+        for (SignalId in : n.inputs) m |= bsig_div_[in].mask(g);
+        if (!out_pins.empty()) m |= out_pins[g];
+        m &= ~detected_mask_[g];
+        cand[g] = m;
+        any |= m;
+    }
+
+    // Good evaluation. Operands go through the reused scratch buffer — RTL
+    // nodes are already flat (one op each).
+    std::vector<Value>& vals = scr_vals_;
+    const size_t num_inputs = n.inputs.size();
+    Value good_out;
+    if (n.op == rtl::Op::Const) {
+        good_out = n.cval.resized(out_w);
+    } else {
+        vals.clear();
+        for (SignalId in : n.inputs) vals.push_back(good_values_[in]);
+        good_out = rtl::eval_op(n.op, vals, out_w, n.imm);
+    }
+    commit_good_signal(n.output, good_out);
+    const Value good_new = good_values_[n.output];
+
+    if (any == 0) return;
+
+    // Faulty evaluations: O(1) operand gather per lane, O(1) store update.
+    const bool output_pinned = !pins_[n.output].empty();
+    fault::DivergenceBlockStore& out_store = bsig_div_[n.output];
+    bool changed = false;
+    for (uint32_t g = 0; g < groups_; ++g) {
+        uint64_t m = cand[g];
+        while (m != 0) {
+            const uint32_t l = static_cast<uint32_t>(std::countr_zero(m));
+            m &= m - 1;
+            const FaultId f = fault::fault_id(g, l);
+            ++stats_.rtl_fault_evals;
+            Value fault_out;
+            if (n.op == rtl::Op::Const) {
+                fault_out = n.cval.resized(out_w);
+            } else {
+                vals.clear();
+                for (size_t i = 0; i < num_inputs; ++i) {
+                    const SignalId in = n.inputs[i];
+                    const uint64_t* d = bsig_div_[in].find(g, l);
+                    vals.push_back(d != nullptr
+                                       ? Value(*d, good_values_[in].width())
+                                       : good_values_[in]);
+                }
+                fault_out = rtl::eval_op(n.op, vals, out_w, n.imm);
+            }
+            if (output_pinned) fault_out = apply_pin(f, n.output, fault_out);
+            if (fault_out != good_new) {
+                changed |= out_store.set(g, l, fault_out.bits());
+            } else {
+                changed |= out_store.erase(g, l);
+            }
+        }
+    }
+    if (changed) schedule_signal_fanout(n.output);
+}
+
+void ConcurrentSim::bcollect_edge_records(std::vector<EdgeRecord>& records) {
+    for (SignalId sig = 0; sig < design_.signals.size(); ++sig) {
+        const rtl::Signal& s = design_.signals[sig];
+        if (s.fanout_edges.empty()) continue;
+        const uint64_t prev_good = edge_prev_good_[sig];
+        const uint64_t cur_good = good_values_[sig].bits();
+        fault::DivergenceBlockStore& prev = bedge_prev_div_[sig];
+        const fault::DivergenceBlockStore& cur = bsig_div_[sig];
+        // Unchanged good value AND unchanged divergence: every lane's
+        // prev == cur, so no edge (good or faulty) can fire from this
+        // signal — skip the record and the state copy entirely.
+        bool same_div = true;
+        for (uint32_t g = 0; g < groups_ && same_div; ++g) {
+            same_div = prev.group_equals(cur, g);
+        }
+        if (prev_good == cur_good && same_div) continue;
+        EdgeRecord rec;
+        rec.sig = sig;
+        rec.prev_good = prev_good;
+        rec.cur_good = cur_good;
+        // Union of lanes divergent before or now.
+        for (uint32_t g = 0; g < groups_; ++g) {
+            const uint64_t pm = prev.mask(g);
+            const uint64_t cm = cur.mask(g);
+            uint64_t m = pm;
+            while (m != 0) {
+                const uint32_t l =
+                    static_cast<uint32_t>(std::countr_zero(m));
+                m &= m - 1;
+                const FaultId f = fault::fault_id(g, l);
+                if (detected_[f]) continue;
+                rec.fault_prev_cur.emplace_back(
+                    f, prev.value(g, l),
+                    (cm & fault::lane_bit(l)) != 0 ? cur.value(g, l)
+                                                   : cur_good);
+            }
+            m = cm & ~pm;
+            while (m != 0) {
+                const uint32_t l =
+                    static_cast<uint32_t>(std::countr_zero(m));
+                m &= m - 1;
+                const FaultId f = fault::fault_id(g, l);
+                if (detected_[f]) continue;
+                rec.fault_prev_cur.emplace_back(f, prev_good,
+                                                cur.value(g, l));
+            }
+        }
+        // Update the sampled state.
+        edge_prev_good_[sig] = cur_good;
+        for (uint32_t g = 0; g < groups_; ++g) prev.copy_group_from(cur, g);
+        if (prev_good != cur_good || !rec.fault_prev_cur.empty()) {
+            records.push_back(std::move(rec));
+        }
+    }
+}
+
+}  // namespace eraser::core

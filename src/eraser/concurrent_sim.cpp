@@ -21,95 +21,12 @@ using rtl::SignalId;
 
 namespace {
 constexpr int kMaxSettleRounds = 4096;
-
-using ArrKey = std::pair<uint32_t, uint64_t>;   // (array, index)
-
-struct SmallMapHash {
-    size_t operator()(uint32_t k) const { return k; }
-    size_t operator()(const ArrKey& k) const {
-        return (static_cast<size_t>(k.first) << 40) ^
-               (k.second * 0x9E3779B97F4A7C15ull);
-    }
-};
-
-/// Ordered upsert map used for activation-local write buffers. Items keep
-/// program (insertion) order — commits and cross-execution comparisons
-/// depend on it. Lookup is a linear scan while the map is small (the common
-/// case: behavioral blocks write a handful of signals), switching to a side
-/// hash index once it grows (e.g. the SHA-256 message-schedule block writes
-/// every w_mem element in one activation; the scan was 30%+ of campaign
-/// time). Pooled activations keep both buffers' capacity across reuses.
-template <typename K, typename V>
-class SmallMap {
-  public:
-    void upsert(const K& k, const V& v) {
-        if (items_.size() <= kLinearLimit) {
-            for (auto& [key, val] : items_) {
-                if (key == k) {
-                    val = v;
-                    return;
-                }
-            }
-            items_.emplace_back(k, v);
-            if (items_.size() == kLinearLimit + 1) reindex();
-            return;
-        }
-        const auto [it, inserted] =
-            index_.try_emplace(k, static_cast<uint32_t>(items_.size()));
-        if (inserted) {
-            items_.emplace_back(k, v);
-        } else {
-            items_[it->second].second = v;
-        }
-    }
-    [[nodiscard]] const V* find(const K& k) const {
-        if (items_.size() <= kLinearLimit) {
-            for (const auto& [key, val] : items_) {
-                if (key == k) return &val;
-            }
-            return nullptr;
-        }
-        const auto it = index_.find(k);
-        return it != index_.end() ? &items_[it->second].second : nullptr;
-    }
-    [[nodiscard]] const std::vector<std::pair<K, V>>& items() const {
-        return items_;
-    }
-    [[nodiscard]] bool empty() const { return items_.empty(); }
-    void clear() {
-        items_.clear();
-        index_.clear();
-    }
-    /// Key-wise equality, insertion order ignored. Writes land in
-    /// first-write order, which differs between the whole-body program and
-    /// the fused walk's per-segment programs (their slot-exclusion sets
-    /// differ), so the audit's activation comparison must not depend on it.
-    /// Keys are unique, so equal sizes plus a one-way subset check suffice.
-    friend bool operator==(const SmallMap& a, const SmallMap& b) {
-        if (a.items_.size() != b.items_.size()) return false;
-        for (const auto& [key, val] : a.items_) {
-            const V* other = b.find(key);
-            if (other == nullptr || !(*other == val)) return false;
-        }
-        return true;
-    }
-
-  private:
-    static constexpr size_t kLinearLimit = 12;
-
-    void reindex() {
-        index_.clear();
-        for (uint32_t i = 0; i < items_.size(); ++i) {
-            index_.emplace(items_[i].first, i);
-        }
-    }
-
-    std::vector<std::pair<K, V>> items_;
-    /// key -> position in items_; populated past kLinearLimit.
-    std::unordered_map<K, uint32_t, SmallMapHash> index_;
-};
-
 }  // namespace
+
+// SmallMap (eraser/small_map.h) backs both the scalar Activations below and
+// the batched lane activations.
+using detail::ArrKey;
+using detail::SmallMap;
 
 /// Per-activation result of one behavioral execution (good or faulty).
 struct ConcurrentSim::Activation {
@@ -152,6 +69,10 @@ struct ConcurrentSim::NbaScratch {
     SmallMap<ArrKey, uint64_t> arr_last;    // one run's last NBA value/elem
     std::vector<SignalId> good_sigs;        // sorted good NBA targets
     std::vector<ArrKey> good_keys;          // sorted good array NBA targets
+    // Lane-run equivalents: last NBA write per target as an index into the
+    // lane act's record list (the cell is shared by every surviving lane).
+    SmallMap<SignalId, uint32_t> lane_sig_last;
+    SmallMap<ArrKey, uint32_t> lane_arr_last;
 };
 
 /// Good-network evaluation context: reads the activation overlay then global
@@ -257,6 +178,148 @@ class ConcurrentSim::FaultCtx final : public sim::EvalContext {
     FaultId fault_;
 };
 
+/// Lane-group evaluation context of the superword pass: the lane-vector
+/// analogue of FaultCtx. Reads resolve through the activation's lane
+/// overlay, then each lane's global view (block-store entry or good value);
+/// writes buffer lane cells in the LaneAct.
+class ConcurrentSim::BatchLaneCtx final : public sim::LaneEvalContext {
+  public:
+    BatchLaneCtx(ConcurrentSim& sim, LaneAct& act, uint32_t g)
+        : sim_(sim), act_(act), g_(g) {}
+
+    void read_signal(SignalId sig, uint64_t lanes, sim::LaneCell& cell,
+                     uint64_t* plane) override {
+        if (const LaneStoredCell* own = act_.find_sig(sig)) {
+            own->load(lanes, cell, plane);
+            return;
+        }
+        read_signal_unwritten(sig, lanes, cell, plane);
+    }
+    void read_signal_unwritten(SignalId sig, uint64_t lanes,
+                               sim::LaneCell& cell,
+                               uint64_t* plane) override {
+        cell.base = sim_.good_values_[sig];
+        const fault::DivergenceBlockStore& store = sim_.bsig_div_[sig];
+        uint64_t m = store.mask(g_) & lanes;
+        cell.dmask = m;
+        if (m != 0) {
+            const fault::DivergenceBlock* blk = store.block(g_);
+            while (m != 0) {
+                const uint32_t l =
+                    static_cast<uint32_t>(std::countr_zero(m));
+                m &= m - 1;
+                plane[l] = blk->bits[l];
+            }
+        }
+    }
+    void read_array(ArrayId arr, const sim::LaneCell& idx,
+                    const uint64_t* idx_plane, uint64_t lanes,
+                    sim::LaneCell& out, uint64_t* out_plane) override {
+        do_read_array(arr, idx, idx_plane, lanes, out, out_plane, true);
+    }
+    void read_array_unwritten(ArrayId arr, const sim::LaneCell& idx,
+                              const uint64_t* idx_plane, uint64_t lanes,
+                              sim::LaneCell& out,
+                              uint64_t* out_plane) override {
+        do_read_array(arr, idx, idx_plane, lanes, out, out_plane, false);
+    }
+    void write_signal(SignalId sig, const sim::LaneCell& cell,
+                      const uint64_t* plane, bool nonblocking) override {
+        if (nonblocking) {
+            act_.nba.emplace_back(sig, LaneStoredCell{});
+            act_.nba.back().second.store(cell, plane);
+            return;
+        }
+        if (const uint32_t* i = act_.sig_idx.find(sig)) {
+            act_.sigs[*i].second.store(cell, plane);
+            return;
+        }
+        act_.sig_idx.upsert(sig, static_cast<uint32_t>(act_.sigs.size()));
+        act_.sigs.emplace_back(sig, LaneStoredCell{});
+        act_.sigs.back().second.store(cell, plane);
+    }
+    void write_array(ArrayId arr, uint64_t idx, const sim::LaneCell& cell,
+                     const uint64_t* plane, bool nonblocking) override {
+        const ArrKey key{arr, idx};
+        if (nonblocking) {
+            act_.arr_nba.emplace_back(key, LaneStoredCell{});
+            act_.arr_nba.back().second.store(cell, plane);
+            return;
+        }
+        if (const uint32_t* i = act_.arr_idx.find(key)) {
+            act_.arrs[*i].second.store(cell, plane);
+            return;
+        }
+        act_.arr_idx.upsert(key, static_cast<uint32_t>(act_.arrs.size()));
+        act_.arrs.emplace_back(key, LaneStoredCell{});
+        act_.arrs.back().second.store(cell, plane);
+    }
+    void read_for_nba_update(SignalId sig, uint64_t lanes,
+                             sim::LaneCell& cell, uint64_t* plane) override {
+        for (auto it = act_.nba.rbegin(); it != act_.nba.rend(); ++it) {
+            if (it->first == sig) {
+                it->second.load(lanes, cell, plane);
+                return;
+            }
+        }
+        read_signal(sig, lanes, cell, plane);
+    }
+
+  private:
+    void do_read_array(ArrayId arr, const sim::LaneCell& idx,
+                       const uint64_t* idx_plane, uint64_t lanes,
+                       sim::LaneCell& out, uint64_t* out_plane,
+                       bool overlay) {
+        const unsigned w = sim_.design_.arrays[arr].width;
+        const uint64_t base_idx = idx.base.bits();
+        // Lanes that can differ from base: index divergence, global array
+        // divergence, or any lane-divergent overlay write to this array.
+        uint64_t own_dmask = 0;
+        if (overlay && !act_.arrs.empty()) {
+            for (const auto& [key, cell] : act_.arrs) {
+                if (key.first == arr) own_dmask |= cell.dmask;
+            }
+        }
+        uint64_t base_bits;
+        const LaneStoredCell* own_base =
+            overlay ? act_.find_arr({arr, base_idx}) : nullptr;
+        if (own_base != nullptr) {
+            base_bits = own_base->base.bits();
+        } else {
+            const auto& storage = sim_.good_arrays_[arr];
+            base_bits = base_idx < storage.size() ? storage[base_idx] : 0;
+        }
+        out.base = Value(base_bits, w);
+        uint64_t cand =
+            (idx.dmask | sim_.arr_div_mask_[arr][g_] | own_dmask) & lanes;
+        uint64_t out_mask = 0;
+        while (cand != 0) {
+            const uint32_t l = static_cast<uint32_t>(std::countr_zero(cand));
+            cand &= cand - 1;
+            const uint64_t idx_l =
+                (idx.dmask >> l) & 1 ? idx_plane[l] : base_idx;
+            uint64_t v;
+            const LaneStoredCell* own =
+                overlay ? act_.find_arr({arr, idx_l}) : nullptr;
+            if (own != nullptr) {
+                v = own->lane_bits(l);
+            } else {
+                v = sim_.fault_array_view(arr, idx_l,
+                                          fault::fault_id(g_, l));
+            }
+            if (v != base_bits) {
+                out_mask |= uint64_t{1} << l;
+                out_plane[l] = v;
+            }
+        }
+        out.dmask = out_mask;
+    }
+
+    ConcurrentSim& sim_;
+    LaneAct& act_;
+    uint32_t g_;
+};
+
 ConcurrentSim::ConcurrentSim(const Design& design,
                              std::span<const fault::Fault> faults,
                              const EngineOptions& opts)
@@ -286,14 +349,41 @@ ConcurrentSim::ConcurrentSim(const CompiledDesign& compiled,
     for (const auto& a : design.arrays) {
         good_arrays_.emplace_back(a.size, uint64_t{0});
     }
-    sig_div_.resize(design.signals.size());
+    batched_ = opts.batching == FaultBatching::Word;
+    lane_exec_ = batched_ && opts.interp == sim::InterpMode::Bytecode;
+    groups_ = fault::num_groups(faults_.size());
     arr_div_.resize(design.arrays.size());
     pins_.resize(design.signals.size());
     for (FaultId f = 0; f < faults_.size(); ++f) {
         pins_[faults_[f].sig].push_back(f);
     }
     edge_prev_good_.assign(design.signals.size(), 0);
-    edge_prev_div_.resize(design.signals.size());
+    if (batched_) {
+        bsig_div_.resize(design.signals.size());
+        bedge_prev_div_.resize(design.signals.size());
+        for (auto& s : bsig_div_) s.reset(groups_);
+        for (auto& s : bedge_prev_div_) s.reset(groups_);
+        arr_div_mask_.assign(design.arrays.size(),
+                             std::vector<uint64_t>(groups_, 0));
+        pin_mask_.resize(design.signals.size());
+        for (rtl::SignalId sig = 0; sig < design.signals.size(); ++sig) {
+            if (pins_[sig].empty()) continue;
+            pin_mask_[sig].assign(groups_, 0);
+            for (FaultId f : pins_[sig]) {
+                pin_mask_[sig][fault::group_of(f)] |=
+                    fault::lane_bit(fault::lane_of(f));
+            }
+        }
+        detected_mask_.assign(groups_, 0);
+        scr_vis_sig_.assign(groups_, 0);
+        scr_vis_arr_.assign(groups_, 0);
+        scr_cand_mask_.assign(groups_, 0);
+        scr_exec_mask_.assign(groups_, 0);
+        scr_lane_idx_.assign(faults_.size(), UINT32_MAX);
+    } else {
+        sig_div_.resize(design.signals.size());
+        edge_prev_div_.resize(design.signals.size());
+    }
 
     scr_good_act_ = std::make_unique<Activation>();
     scr_shadow_act_ = std::make_unique<Activation>();
@@ -360,6 +450,23 @@ void ConcurrentSim::commit_good_signal(SignalId sig, Value v) {
     for (FaultId f : pins_[sig]) {
         if (detected_[f]) continue;
         const Value pinned = apply_pin(f, sig, v);
+        if (batched_) {
+            const uint32_t g = fault::group_of(f);
+            const uint32_t l = fault::lane_of(f);
+            const uint64_t* existing = bsig_div_[sig].find(g, l);
+            if (existing != nullptr &&
+                *existing != apply_pin(f, sig, old).bits()) {
+                continue;
+            }
+            if (pinned != v) {
+                if (bsig_div_[sig].set(g, l, pinned.bits()) && !changed) {
+                    schedule_signal_fanout(sig);
+                }
+            } else if (bsig_div_[sig].erase(g, l) && !changed) {
+                schedule_signal_fanout(sig);
+            }
+            continue;
+        }
         const Value* existing = sig_div_[sig].find(f);
         if (existing != nullptr && *existing != apply_pin(f, sig, old)) {
             continue;
@@ -399,10 +506,20 @@ void ConcurrentSim::reconcile_array(FaultId f, ArrayId arr, uint64_t idx,
             overlay[idx] = fault_val;
             changed = true;
         }
+        if (batched_) {
+            arr_div_mask_[arr][fault::group_of(f)] |=
+                fault::lane_bit(fault::lane_of(f));
+        }
     } else {
         auto fit = per_fault.find(f);
         if (fit != per_fault.end() && fit->second.erase(idx) > 0) {
-            if (fit->second.empty()) per_fault.erase(fit);
+            if (fit->second.empty()) {
+                per_fault.erase(fit);
+                if (batched_) {
+                    arr_div_mask_[arr][fault::group_of(f)] &=
+                        ~fault::lane_bit(fault::lane_of(f));
+                }
+            }
             changed = true;
         }
     }
@@ -441,6 +558,10 @@ void ConcurrentSim::comb_propagate() {
 }
 
 void ConcurrentSim::eval_rtl_node(NodeId n_id) {
+    if (batched_) {
+        beval_rtl_node(n_id);
+        return;
+    }
     TimeAccumulator::Section section(stats_.time_rtl, opts_.time_phases);
     const rtl::RtlNode& n = design_.nodes[n_id];
     const unsigned out_w = design_.signals[n.output].width;
@@ -527,6 +648,21 @@ void ConcurrentSim::eval_rtl_node(NodeId n_id) {
 void ConcurrentSim::collect_candidates(const BehavNode& behav,
                                        std::vector<FaultId>& out) const {
     out.clear();
+    if (batched_) {
+        // Candidate collection over masks: one word OR per (signal, group)
+        // instead of walking entry lists, then a single expansion pass. The
+        // expansion ascends (groups ascending, lanes ascending), so the
+        // output is already sorted and unique.
+        for (uint32_t g = 0; g < groups_; ++g) {
+            uint64_t m = group_sig_mask(behav.reads, g) |
+                         group_sig_mask(behav.writes, g) |
+                         group_arr_mask(behav.array_reads, g) |
+                         group_arr_mask(behav.array_writes, g);
+            m &= ~detected_mask_[g];
+            expand_mask(m, g, out);
+        }
+        return;
+    }
     auto take_signal = [&](SignalId sig) {
         for (const auto& e : sig_div_[sig].entries()) {
             if (!detected_[e.fault]) out.push_back(e.fault);
@@ -611,46 +747,71 @@ void ConcurrentSim::process_behavior(
         stats_.bn_candidates += normal.size() + solo_active.size();
 
         // Explicit filter (prior art): a fault whose read inputs are all
-        // consistent with good executes identically — skip it. Only the
-        // read signals that carry any divergence at all can make a fault
-        // visible; that subset is typically tiny, so hoist it.
-        std::vector<SignalId>& divergent_reads = scr_div_reads_;
-        divergent_reads.clear();
-        for (SignalId sig : behav.reads) {
-            if (!sig_div_[sig].empty()) divergent_reads.push_back(sig);
-        }
-        std::vector<ArrayId>& divergent_arrays = scr_div_arrays_;
-        divergent_arrays.clear();
-        for (ArrayId arr : behav.array_reads) {
-            if (!arr_div_[arr].empty()) divergent_arrays.push_back(arr);
-        }
-        // One pass over the divergence entries marks every visible fault —
-        // this replaces a per-(fault, signal) binary-search loop.
-        for (SignalId sig : divergent_reads) {
-            for (const auto& e : sig_div_[sig].entries()) {
-                if (scr_mark_[e.fault] == 0) scr_marked_.push_back(e.fault);
-                scr_mark_[e.fault] |= 1;
+        // consistent with good executes identically — skip it.
+        if (batched_) {
+            // Visibility over masks: one word OR per (signal, group), one
+            // bit test per candidate.
+            for (uint32_t g = 0; g < groups_; ++g) {
+                scr_vis_sig_[g] = group_sig_mask(behav.reads, g) |
+                                  group_arr_mask(behav.array_reads, g);
             }
-        }
-        for (ArrayId arr : divergent_arrays) {
-            for (const auto& [f, overlay] : arr_div_[arr]) {
-                if (overlay.empty()) continue;
-                if (scr_mark_[f] == 0) scr_marked_.push_back(f);
-                scr_mark_[f] |= 1;
+            for (FaultId f : normal) {
+                const bool visible =
+                    (scr_vis_sig_[fault::group_of(f)] &
+                     fault::lane_bit(fault::lane_of(f))) != 0;
+                if (opts_.mode != RedundancyMode::None && !visible) {
+                    explicit_skip.push_back(f);
+                } else if (opts_.mode == RedundancyMode::Full && visible) {
+                    implicit_alive.push_back(f);
+                } else {
+                    to_execute.push_back(f);
+                }
             }
-        }
-        for (FaultId f : normal) {
-            const bool visible = scr_mark_[f] != 0;
-            if (opts_.mode != RedundancyMode::None && !visible) {
-                explicit_skip.push_back(f);
-            } else if (opts_.mode == RedundancyMode::Full && visible) {
-                implicit_alive.push_back(f);
-            } else {
-                to_execute.push_back(f);
+        } else {
+            // Only the read signals that carry any divergence at all can
+            // make a fault visible; that subset is typically tiny, so
+            // hoist it.
+            std::vector<SignalId>& divergent_reads = scr_div_reads_;
+            divergent_reads.clear();
+            for (SignalId sig : behav.reads) {
+                if (!sig_div_[sig].empty()) divergent_reads.push_back(sig);
             }
+            std::vector<ArrayId>& divergent_arrays = scr_div_arrays_;
+            divergent_arrays.clear();
+            for (ArrayId arr : behav.array_reads) {
+                if (!arr_div_[arr].empty()) divergent_arrays.push_back(arr);
+            }
+            // One pass over the divergence entries marks every visible
+            // fault — this replaces a per-(fault, signal) binary-search
+            // loop.
+            for (SignalId sig : divergent_reads) {
+                for (const auto& e : sig_div_[sig].entries()) {
+                    if (scr_mark_[e.fault] == 0) {
+                        scr_marked_.push_back(e.fault);
+                    }
+                    scr_mark_[e.fault] |= 1;
+                }
+            }
+            for (ArrayId arr : divergent_arrays) {
+                for (const auto& [f, overlay] : arr_div_[arr]) {
+                    if (overlay.empty()) continue;
+                    if (scr_mark_[f] == 0) scr_marked_.push_back(f);
+                    scr_mark_[f] |= 1;
+                }
+            }
+            for (FaultId f : normal) {
+                const bool visible = scr_mark_[f] != 0;
+                if (opts_.mode != RedundancyMode::None && !visible) {
+                    explicit_skip.push_back(f);
+                } else if (opts_.mode == RedundancyMode::Full && visible) {
+                    implicit_alive.push_back(f);
+                } else {
+                    to_execute.push_back(f);
+                }
+            }
+            for (FaultId f : scr_marked_) scr_mark_[f] = 0;
+            scr_marked_.clear();
         }
-        for (FaultId f : scr_marked_) scr_mark_[f] = 0;
-        scr_marked_.clear();
 
         GoodCtx gctx(*this, good_act);
         if (!behav.body) {
@@ -670,6 +831,19 @@ void ConcurrentSim::process_behavior(
                 bytecode ? &compiled_.compiled_cfgs()[b] : nullptr;
             std::vector<SignalId>& node_div_reads = scr_node_div_reads_;
             std::vector<ArrayId>& node_div_arrays = scr_node_div_arrays_;
+            // Visibility of fault f at the current node: bit 0 = divergent
+            // signal read, bit 1 = divergent array read. Batched mode
+            // answers from the per-group mask buffers, scalar mode from the
+            // per-fault marks.
+            auto vis_bits = [&](FaultId f) -> unsigned {
+                if (batched_) {
+                    const uint32_t g = fault::group_of(f);
+                    const uint64_t bit = fault::lane_bit(fault::lane_of(f));
+                    return ((scr_vis_sig_[g] & bit) != 0 ? 1u : 0u) |
+                           ((scr_vis_arr_[g] & bit) != 0 ? 2u : 0u);
+                }
+                return scr_mark_[f];
+            };
             uint32_t cur = cfg.entry;
             while (cur != cfg.exit) {
                 const cfg::CfgNode& node = cfg.nodes[cur];
@@ -678,40 +852,67 @@ void ConcurrentSim::process_behavior(
                 // path already assigned in this activation is consistent for
                 // every still-alive fault (their execution so far is
                 // provably identical).
-                node_div_reads.clear();
-                for (SignalId sig : node.reads) {
-                    if (!sig_div_[sig].empty() &&
-                        good_act.blocking.find(sig) == nullptr) {
-                        node_div_reads.push_back(sig);
-                    }
-                }
-                node_div_arrays.clear();
-                for (ArrayId arr : node.array_reads) {
-                    if (!arr_div_[arr].empty()) node_div_arrays.push_back(arr);
-                }
-                // Mark visible faults in one pass over the divergence
-                // entries (bit 0: signal read, bit 1: array read) instead
-                // of per-(fault, signal) binary searches.
-                for (SignalId sig : node_div_reads) {
-                    for (const auto& e : sig_div_[sig].entries()) {
-                        if (scr_mark_[e.fault] == 0) {
-                            scr_marked_.push_back(e.fault);
+                bool any_vis = false;
+                if (batched_) {
+                    std::fill_n(scr_vis_sig_.begin(), groups_, uint64_t{0});
+                    std::fill_n(scr_vis_arr_.begin(), groups_, uint64_t{0});
+                    for (SignalId sig : node.reads) {
+                        if (bsig_div_[sig].empty() ||
+                            good_act.blocking.find(sig) != nullptr) {
+                            continue;
                         }
-                        scr_mark_[e.fault] |= 1;
+                        for (uint32_t g = 0; g < groups_; ++g) {
+                            scr_vis_sig_[g] |= bsig_div_[sig].mask(g);
+                        }
                     }
-                }
-                for (ArrayId arr : node_div_arrays) {
-                    for (const auto& [f, overlay] : arr_div_[arr]) {
-                        if (overlay.empty()) continue;
-                        if (scr_mark_[f] == 0) scr_marked_.push_back(f);
-                        scr_mark_[f] |= 2;
+                    for (ArrayId arr : node.array_reads) {
+                        const auto& am = arr_div_mask_[arr];
+                        for (uint32_t g = 0; g < groups_; ++g) {
+                            scr_vis_arr_[g] |= am[g];
+                        }
                     }
+                    for (uint32_t g = 0; g < groups_ && !any_vis; ++g) {
+                        any_vis = (scr_vis_sig_[g] | scr_vis_arr_[g]) != 0;
+                    }
+                } else {
+                    node_div_reads.clear();
+                    for (SignalId sig : node.reads) {
+                        if (!sig_div_[sig].empty() &&
+                            good_act.blocking.find(sig) == nullptr) {
+                            node_div_reads.push_back(sig);
+                        }
+                    }
+                    node_div_arrays.clear();
+                    for (ArrayId arr : node.array_reads) {
+                        if (!arr_div_[arr].empty()) {
+                            node_div_arrays.push_back(arr);
+                        }
+                    }
+                    // Mark visible faults in one pass over the divergence
+                    // entries (bit 0: signal read, bit 1: array read)
+                    // instead of per-(fault, signal) binary searches.
+                    for (SignalId sig : node_div_reads) {
+                        for (const auto& e : sig_div_[sig].entries()) {
+                            if (scr_mark_[e.fault] == 0) {
+                                scr_marked_.push_back(e.fault);
+                            }
+                            scr_mark_[e.fault] |= 1;
+                        }
+                    }
+                    for (ArrayId arr : node_div_arrays) {
+                        for (const auto& [f, overlay] : arr_div_[arr]) {
+                            if (overlay.empty()) continue;
+                            if (scr_mark_[f] == 0) scr_marked_.push_back(f);
+                            scr_mark_[f] |= 2;
+                        }
+                    }
+                    any_vis = !scr_marked_.empty();
                 }
                 if (node.kind == cfg::CfgNode::Kind::Segment) {
                     // Path dependency node: any visible read kills redundancy.
-                    if (!scr_marked_.empty()) {
+                    if (any_vis) {
                         std::erase_if(implicit_alive, [&](FaultId f) {
-                            if (scr_mark_[f] != 0) {
+                            if (vis_bits(f) != 0) {
                                 to_execute.push_back(f);
                                 return true;
                             }
@@ -733,14 +934,15 @@ void ConcurrentSim::process_behavior(
                         ccfg != nullptr
                             ? vm_.select(ccfg->decisions[cur], gctx)
                             : cfg::Cfg::evaluate_decision(node, gctx);
-                    if (scr_marked_.empty()) {
+                    if (!any_vis) {
                         cur = node.succs[good_next];
                         continue;
                     }
                     std::erase_if(implicit_alive, [&](FaultId f) {
-                        const bool need_eval = (scr_mark_[f] & 1) != 0;
+                        const unsigned vis = vis_bits(f);
+                        const bool need_eval = (vis & 1) != 0;
                         if (!need_eval) {
-                            if ((scr_mark_[f] & 2) != 0) {
+                            if ((vis & 2) != 0) {
                                 // Conservative: divergent memory feeding
                                 // a branch — treat as path divergence.
                                 to_execute.push_back(f);
@@ -778,6 +980,7 @@ void ConcurrentSim::process_behavior(
     // Pool of FaultRuns with live-prefix semantics: [0, scr_runs_used_) are
     // this activation's runs; reused entries keep their buffer capacity.
     scr_runs_used_ = 0;
+    scr_lane_runs_used_ = 0;
     auto run_fault = [&](FaultId f) {
         ++stats_.bn_executed;
         if (scr_runs_used_ == scr_runs_.size()) scr_runs_.emplace_back();
@@ -787,9 +990,63 @@ void ConcurrentSim::process_behavior(
         FaultCtx fctx(*this, run.act, f);
         if (behav.body) exec_body(b, fctx);
     };
-    for (FaultId f : to_execute) run_fault(f);
-    for (FaultId f : solo_active) run_fault(f);
+    // Superword execution: every execute-set lane of a group runs through
+    // ONE walk over the instruction stream (vm_.exec_lanes); lanes whose
+    // control flow or store indexing diverges from the base path fall back
+    // to the scalar per-fault walk, as does a single-candidate group (the
+    // lane-pass setup outweighs one scalar walk) and the audit path (which
+    // compares per-fault activations).
+    const bool use_lanes = lane_exec_ && !opts_.audit && behav.body != nullptr;
+    if (use_lanes && to_execute.size() + solo_active.size() > 1) {
+        std::fill_n(scr_exec_mask_.begin(), groups_, uint64_t{0});
+        for (FaultId f : to_execute) {
+            scr_exec_mask_[fault::group_of(f)] |=
+                fault::lane_bit(fault::lane_of(f));
+        }
+        for (FaultId f : solo_active) {
+            scr_exec_mask_[fault::group_of(f)] |=
+                fault::lane_bit(fault::lane_of(f));
+        }
+        const sim::BcProgram& prog = compiled_.body_programs()[b];
+        for (uint32_t g = 0; g < groups_; ++g) {
+            const uint64_t e = scr_exec_mask_[g];
+            if (e == 0) continue;
+            if (std::popcount(e) == 1) {
+                run_fault(fault::fault_id(
+                    g, static_cast<uint32_t>(std::countr_zero(e))));
+                continue;
+            }
+            if (scr_lane_runs_used_ == scr_lane_runs_.size()) {
+                scr_lane_runs_.push_back(std::make_unique<LaneRun>());
+            }
+            LaneRun& lr = *scr_lane_runs_[scr_lane_runs_used_];
+            lr.group = g;
+            lr.act.clear();
+            BatchLaneCtx lctx(*this, lr.act, g);
+            lr.survivors = vm_.exec_lanes(prog, lctx, e);
+            ++stats_.bn_lane_passes;
+            stats_.bn_lane_survivors +=
+                static_cast<uint64_t>(std::popcount(lr.survivors));
+            stats_.bn_lane_deferred +=
+                static_cast<uint64_t>(std::popcount(e & ~lr.survivors));
+            stats_.bn_executed +=
+                static_cast<uint64_t>(std::popcount(lr.survivors));
+            if (lr.survivors != 0) ++scr_lane_runs_used_;
+            uint64_t deferred = e & ~lr.survivors;
+            while (deferred != 0) {
+                const uint32_t l =
+                    static_cast<uint32_t>(std::countr_zero(deferred));
+                deferred &= deferred - 1;
+                run_fault(fault::fault_id(g, l));
+            }
+        }
+    } else {
+        for (FaultId f : to_execute) run_fault(f);
+        for (FaultId f : solo_active) run_fault(f);
+    }
     const std::span<const FaultRun> runs(scr_runs_.data(), scr_runs_used_);
+    const std::span<const std::unique_ptr<LaneRun>> lane_runs(
+        scr_lane_runs_.data(), scr_lane_runs_used_);
 
     stats_.bn_skipped_explicit += explicit_skip.size();
     stats_.bn_skipped_implicit += implicit_alive.size();
@@ -817,7 +1074,7 @@ void ConcurrentSim::process_behavior(
                 // Executed although redundant: classify by input consistency.
                 bool vis = false;
                 for (SignalId sig : behav.reads) {
-                    if (sig_div_[sig].contains(run.f)) {
+                    if (contains_div(sig, run.f)) {
                         vis = true;
                         break;
                     }
@@ -844,12 +1101,27 @@ void ConcurrentSim::process_behavior(
     // Per-fault resolution state for the commit loops (O(1) lookups;
     // touched entries are reset at the end of this activation).
     for (const FaultRun& run : runs) scr_fact_of_[run.f] = &run.act;
+    for (uint32_t r = 0; r < lane_runs.size(); ++r) {
+        uint64_t m = lane_runs[r]->survivors;
+        const uint32_t g = lane_runs[r]->group;
+        while (m != 0) {
+            const uint32_t l = static_cast<uint32_t>(std::countr_zero(m));
+            m &= m - 1;
+            scr_lane_idx_[fault::fault_id(g, l)] = r;
+        }
+    }
+    auto lane_run_of = [&](FaultId f) -> const LaneRun* {
+        if (lane_runs.empty()) return nullptr;
+        const uint32_t r = scr_lane_idx_[f];
+        return r != UINT32_MAX ? lane_runs[r].get() : nullptr;
+    };
 
     scr_pre_views_used_ = 0;
     auto need_pre_view = [&](FaultId f) {
         // Executed faults may not write everything good wrote; missed faults
         // write nothing. Redundant skips use the good values directly.
-        return contains(missed, f) || scr_fact_of_[f] != nullptr;
+        return contains(missed, f) || scr_fact_of_[f] != nullptr ||
+               lane_run_of(f) != nullptr;
     };
     for (FaultId f : candidates) {
         if (!need_pre_view(f)) continue;
@@ -895,9 +1167,57 @@ void ConcurrentSim::process_behavior(
     auto& rebuilt = scr_entries_;
     for (size_t i = 0; i < gw.size(); ++i) {
         const SignalId sig = gw[i].first;
+        const Value good_v = good_values_[sig];
+        if (batched_) {
+            // Lane-indexed store: each candidate's entry updates in O(1),
+            // non-candidate lanes are untouched by construction — no merge
+            // pass needed. Lane-pass survivors resolve their own write from
+            // the group's shared lane cell (cached across the ascending
+            // candidate walk).
+            fault::DivergenceBlockStore& store = bsig_div_[sig];
+            bool changed = false;
+            const LaneRun* cached_lr = nullptr;
+            const LaneStoredCell* cached_cell = nullptr;
+            for (FaultId f : candidates) {
+                const Activation* fact = scr_fact_of_[f];
+                const Value* own =
+                    fact != nullptr ? fact->blocking.find(sig) : nullptr;
+                Value fval;
+                bool have = false;
+                if (own != nullptr) {
+                    fval = *own;
+                    have = true;
+                } else if (const LaneRun* lr = lane_run_of(f)) {
+                    if (lr != cached_lr) {
+                        cached_lr = lr;
+                        cached_cell = lr->act.find_sig(sig);
+                    }
+                    if (cached_cell != nullptr) {
+                        fval = cached_cell->lane(fault::lane_of(f));
+                        have = true;
+                    }
+                }
+                if (!have) {
+                    if (scr_pre_idx_[f] != UINT32_MAX) {
+                        fval = scr_pre_views_[scr_pre_idx_[f]].sig_views[i];
+                    } else {
+                        fval = gw[i].second;
+                    }
+                }
+                fval = apply_pin(f, sig, fval);
+                if (fval != good_v) {
+                    changed |= store.set(fault::group_of(f),
+                                         fault::lane_of(f), fval.bits());
+                } else {
+                    changed |= store.erase(fault::group_of(f),
+                                           fault::lane_of(f));
+                }
+            }
+            if (changed) schedule_signal_fanout(sig);
+            continue;
+        }
         DivergenceList& div = sig_div_[sig];
         const auto& old = div.entries();
-        const Value good_v = good_values_[sig];
         rebuilt.clear();
         size_t oc = 0;
         for (FaultId f : candidates) {
@@ -931,6 +1251,20 @@ void ConcurrentSim::process_behavior(
         for (const auto& [sig, v] : run.act.blocking.items()) {
             if (good_act.blocking.find(sig) == nullptr) {
                 reconcile(run.f, sig, v);
+            }
+        }
+    }
+    for (const auto& lrp : lane_runs) {
+        const LaneRun& lr = *lrp;
+        for (const auto& [sig, cell] : lr.act.sigs) {
+            if (good_act.blocking.find(sig) != nullptr) continue;
+            uint64_t m = lr.survivors;
+            while (m != 0) {
+                const uint32_t l =
+                    static_cast<uint32_t>(std::countr_zero(m));
+                m &= m - 1;
+                reconcile(fault::fault_id(lr.group, l), sig,
+                          cell.lane(l));
             }
         }
     }
@@ -971,9 +1305,47 @@ void ConcurrentSim::process_behavior(
     for (const FaultRun& run : runs) {
         reconcile_array_writes(run.f, &run.act);
     }
+    // Lane-pass array writes, same resolution rules per surviving lane.
+    for (const auto& lrp : lane_runs) {
+        const LaneRun& lr = *lrp;
+        uint64_t m = lr.survivors;
+        while (m != 0) {
+            const uint32_t l = static_cast<uint32_t>(std::countr_zero(m));
+            m &= m - 1;
+            const FaultId f = fault::fault_id(lr.group, l);
+            const uint32_t pvi = scr_pre_idx_[f];
+            for (size_t i = 0; i < gaw.size(); ++i) {
+                const ArrKey key = gaw[i].first;
+                uint64_t fval;
+                const LaneStoredCell* own = lr.act.find_arr(key);
+                if (own != nullptr) {
+                    fval = own->lane_bits(l);
+                } else if (pvi != UINT32_MAX) {
+                    fval = scr_pre_views_[pvi].arr_views[i];
+                } else {
+                    fval = gaw[i].second;
+                }
+                reconcile_array(f, key.first, key.second, fval);
+            }
+            for (const auto& [key, cell] : lr.act.arrs) {
+                if (good_act.arr_blocking.find(key) == nullptr) {
+                    reconcile_array(f, key.first, key.second,
+                                    cell.lane_bits(l));
+                }
+            }
+        }
+    }
 
     // Reset the per-fault scratch indices (touched entries only).
     for (const FaultRun& run : runs) scr_fact_of_[run.f] = nullptr;
+    for (const auto& lrp : lane_runs) {
+        uint64_t m = lrp->survivors;
+        while (m != 0) {
+            const uint32_t l = static_cast<uint32_t>(std::countr_zero(m));
+            m &= m - 1;
+            scr_lane_idx_[fault::fault_id(lrp->group, l)] = UINT32_MAX;
+        }
+    }
     for (uint32_t i = 0; i < scr_pre_views_used_; ++i) {
         scr_pre_idx_[scr_pre_views_[i].f] = UINT32_MAX;
     }
@@ -1011,7 +1383,7 @@ void ConcurrentSim::process_behavior(
         bool pushed = false;
         for (const auto& [sig, v] : good_act.nba) {
             if (pending || faults_[f].sig == sig ||
-                sig_div_[sig].contains(f)) {
+                contains_div(sig, f)) {
                 nba_fault_sigs_.emplace_back(f, sig, v);
                 pushed = true;
             }
@@ -1091,22 +1463,69 @@ void ConcurrentSim::process_behavior(
             }
         }
     };
+    // Lane-run records: one shared cell per written target; each surviving
+    // lane contributes its lane value under the scalar record rules.
+    auto lane_nba_records = [&](const LaneRun& lr) {
+        nsc.lane_sig_last.clear();
+        for (uint32_t k = 0; k < lr.act.nba.size(); ++k) {
+            nsc.lane_sig_last.upsert(lr.act.nba[k].first, k);
+        }
+        nsc.lane_arr_last.clear();
+        for (uint32_t k = 0; k < lr.act.arr_nba.size(); ++k) {
+            nsc.lane_arr_last.upsert(lr.act.arr_nba[k].first, k);
+        }
+        const bool any_nba =
+            !good_act.nba.empty() || !good_act.arr_nba.empty() ||
+            !lr.act.nba.empty() || !lr.act.arr_nba.empty();
+        uint64_t m = lr.survivors;
+        while (m != 0) {
+            const uint32_t l = static_cast<uint32_t>(std::countr_zero(m));
+            m &= m - 1;
+            const FaultId f = fault::fault_id(lr.group, l);
+            if (nba_pending_[f] == 0 && any_nba) {
+                nba_pending_[f] = 1;
+                nba_pending_list_.push_back(f);
+            }
+            for (const auto& [sig, v] : good_act.nba) {
+                const uint32_t* ki = nsc.lane_sig_last.find(sig);
+                const Value fval = ki != nullptr
+                                       ? lr.act.nba[*ki].second.lane(l)
+                                       : fault_view(sig, f);
+                nba_fault_sigs_.emplace_back(f, sig, fval);
+            }
+            for (const auto& [sig, cell] : lr.act.nba) {
+                if (good_act.nba.empty() ||
+                    !std::binary_search(nsc.good_sigs.begin(),
+                                        nsc.good_sigs.end(), sig)) {
+                    nba_fault_sigs_.emplace_back(f, sig, cell.lane(l));
+                }
+            }
+            for (const auto& [arr, idx, v] : good_act.arr_nba) {
+                const uint32_t* ki =
+                    nsc.lane_arr_last.find(ArrKey{arr, idx});
+                const uint64_t fval =
+                    ki != nullptr ? lr.act.arr_nba[*ki].second.lane_bits(l)
+                                  : fault_array_view(arr, idx, f);
+                nba_fault_arrs_.emplace_back(f, arr, idx, fval);
+            }
+            for (const auto& [key, cell] : lr.act.arr_nba) {
+                if (good_act.arr_nba.empty() ||
+                    !std::binary_search(nsc.good_keys.begin(),
+                                        nsc.good_keys.end(), key)) {
+                    nba_fault_arrs_.emplace_back(f, key.first, key.second,
+                                                 cell.lane_bits(l));
+                }
+            }
+        }
+    };
     for (FaultId f : explicit_skip) skipped_nba_records(f);
     for (FaultId f : implicit_alive) skipped_nba_records(f);
     for (FaultId f : missed) fault_nba_records(f, nullptr);
     for (const FaultRun& run : runs) fault_nba_records(run.f, &run.act);
+    for (const auto& lrp : lane_runs) lane_nba_records(*lrp);
 }
 
-bool ConcurrentSim::run_edge_round() {
-    // Transition records per watched signal, sampled after the combinational
-    // fixpoint (postponed evaluation, the fake-event fix).
-    struct Record {
-        SignalId sig;
-        uint64_t prev_good, cur_good;
-        std::vector<std::tuple<FaultId, uint64_t, uint64_t>> fault_prev_cur;
-    };
-    std::vector<Record> records;
-
+void ConcurrentSim::collect_edge_records(std::vector<EdgeRecord>& records) {
     for (SignalId sig = 0; sig < design_.signals.size(); ++sig) {
         const rtl::Signal& s = design_.signals[sig];
         if (s.fanout_edges.empty()) continue;
@@ -1118,7 +1537,7 @@ bool ConcurrentSim::run_edge_round() {
         // prev == cur, so no edge (good or faulty) can fire from this
         // signal — skip the record and the list copy entirely.
         if (prev_good == cur_good && prev_div == cur_div) continue;
-        Record rec;
+        EdgeRecord rec;
         rec.sig = sig;
         rec.prev_good = prev_good;
         rec.cur_good = cur_good;
@@ -1144,6 +1563,15 @@ bool ConcurrentSim::run_edge_round() {
             records.push_back(std::move(rec));
         }
     }
+}
+
+bool ConcurrentSim::run_edge_round() {
+    std::vector<EdgeRecord> records;
+    if (batched_) {
+        bcollect_edge_records(records);
+    } else {
+        collect_edge_records(records);
+    }
     if (records.empty()) return false;
 
     auto fired = [](rtl::EdgeKind kind, uint64_t prev, uint64_t cur) {
@@ -1151,7 +1579,7 @@ bool ConcurrentSim::run_edge_round() {
         const bool p1 = (prev & 1) == 1, c0 = (cur & 1) == 0;
         return kind == rtl::EdgeKind::Pos ? (p0 && c1) : (p1 && c0);
     };
-    auto record_for = [&](SignalId sig) -> const Record* {
+    auto record_for = [&](SignalId sig) -> const EdgeRecord* {
         for (const auto& r : records) {
             if (r.sig == sig) return &r;
         }
@@ -1160,7 +1588,7 @@ bool ConcurrentSim::run_edge_round() {
 
     // Determine activations per sequential block touched by any record.
     std::vector<BehavId> blocks;
-    for (const Record& rec : records) {
+    for (const EdgeRecord& rec : records) {
         for (BehavId b : design_.signals[rec.sig].fanout_edges) {
             if (std::find(blocks.begin(), blocks.end(), b) == blocks.end()) {
                 blocks.push_back(b);
@@ -1182,7 +1610,7 @@ bool ConcurrentSim::run_edge_round() {
             fault_activity.emplace_back(f, false);
         };
         for (const rtl::EdgeSpec& e : behav.edges) {
-            const Record* rec = record_for(e.sig);
+            const EdgeRecord* rec = record_for(e.sig);
             const uint64_t prev =
                 rec != nullptr ? rec->prev_good : edge_prev_good_[e.sig];
             const uint64_t cur =
@@ -1196,7 +1624,7 @@ bool ConcurrentSim::run_edge_round() {
         }
         for (auto& [f, act] : fault_activity) {
             for (const rtl::EdgeSpec& e : behav.edges) {
-                const Record* rec = record_for(e.sig);
+                const EdgeRecord* rec = record_for(e.sig);
                 uint64_t fp, fc;
                 bool have = false;
                 if (rec != nullptr) {
@@ -1258,8 +1686,47 @@ bool ConcurrentSim::apply_nba() {
     for (const auto& [arr, idx, v] : good_arrs) {
         commit_good_array(arr, idx, v);
     }
-    for (const auto& [f, sig, v] : fault_sigs) {
-        if (!detected_[f]) reconcile(f, sig, v);
+    if (batched_) {
+        // Lane-indexed store: every record commits in O(1); no merge needed.
+        for (const auto& [f, sig, v] : fault_sigs) {
+            if (!detected_[f]) reconcile(f, sig, v);
+        }
+        for (const auto& [f, arr, idx, v] : fault_arrs) {
+            if (!detected_[f]) reconcile_array(f, arr, idx, v);
+        }
+        return true;
+    }
+    // Fault records commit per signal through DivergenceList::merge_from —
+    // one merge pass per touched signal instead of a set/erase call per
+    // record (each of which memmoved the list tail). Records are grouped by
+    // (signal, fault) stably, so the LAST record of a (fault, signal) pair
+    // wins exactly as the sequential reconcile loop resolved it.
+    std::stable_sort(fault_sigs.begin(), fault_sigs.end(),
+                     [](const auto& a, const auto& b) {
+                         return std::tie(std::get<1>(a), std::get<0>(a)) <
+                                std::tie(std::get<1>(b), std::get<0>(b));
+                     });
+    auto& updates = scr_nba_updates_;
+    for (size_t i = 0; i < fault_sigs.size();) {
+        const SignalId sig = std::get<1>(fault_sigs[i]);
+        updates.clear();
+        for (; i < fault_sigs.size() && std::get<1>(fault_sigs[i]) == sig;
+             ++i) {
+            const FaultId f = std::get<0>(fault_sigs[i]);
+            // Last record of this (fault, signal) pair wins.
+            if (i + 1 < fault_sigs.size() &&
+                std::get<0>(fault_sigs[i + 1]) == f &&
+                std::get<1>(fault_sigs[i + 1]) == sig) {
+                continue;
+            }
+            if (detected_[f]) continue;
+            updates.push_back(
+                {f, apply_pin(f, sig, std::get<2>(fault_sigs[i]))});
+        }
+        if (sig_div_[sig].merge_from(updates, good_values_[sig],
+                                     scr_entries_)) {
+            schedule_signal_fanout(sig);
+        }
     }
     for (const auto& [f, arr, idx, v] : fault_arrs) {
         if (!detected_[f]) reconcile_array(f, arr, idx, v);
@@ -1301,9 +1768,12 @@ void ConcurrentSim::reset() {
     }
     for (auto& a : good_arrays_) std::fill(a.begin(), a.end(), 0);
     for (auto& d : sig_div_) d.clear();
+    for (auto& d : bsig_div_) d.clear();
     for (auto& d : arr_div_) d.clear();
+    for (auto& m : arr_div_mask_) std::fill(m.begin(), m.end(), 0);
     std::fill(edge_prev_good_.begin(), edge_prev_good_.end(), 0);
     for (auto& d : edge_prev_div_) d.clear();
+    for (auto& d : bedge_prev_div_) d.clear();
     for (auto& bucket : rank_buckets_) bucket.clear();
     std::fill(in_queue_.begin(), in_queue_.end(), false);
     nba_good_sigs_.clear();
@@ -1352,10 +1822,41 @@ void ConcurrentSim::reset() {
 void ConcurrentSim::mark_detected(FaultId f) {
     if (detected_[f]) return;
     detected_[f] = true;
+    if (batched_) {
+        detected_mask_[fault::group_of(f)] |=
+            fault::lane_bit(fault::lane_of(f));
+    }
     ++num_detected_;
 }
 
 void ConcurrentSim::prune_detected() {
+    if (batched_) {
+        // Mask subtraction per (signal, group) block — no list rewriting.
+        for (auto& s : bsig_div_) {
+            for (uint32_t g = 0; g < groups_; ++g) {
+                s.erase_lanes(g, detected_mask_[g]);
+            }
+        }
+        for (auto& s : bedge_prev_div_) {
+            for (uint32_t g = 0; g < groups_; ++g) {
+                s.erase_lanes(g, detected_mask_[g]);
+            }
+        }
+        for (ArrayId arr = 0; arr < arr_div_.size(); ++arr) {
+            auto& per_arr = arr_div_[arr];
+            for (auto it = per_arr.begin(); it != per_arr.end();) {
+                if (detected_[it->first]) {
+                    arr_div_mask_[arr][fault::group_of(it->first)] &=
+                        ~fault::lane_bit(fault::lane_of(it->first));
+                    it = per_arr.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+        pruned_detected_ = num_detected_;
+        return;
+    }
     for (auto& d : sig_div_) {
         d.erase_if([&](FaultId f) { return detected_[f]; });
     }
@@ -1375,6 +1876,23 @@ void ConcurrentSim::prune_detected() {
 }
 
 void ConcurrentSim::observe_outputs() {
+    if (batched_) {
+        for (SignalId out : design_.outputs) {
+            const fault::DivergenceBlockStore& store = bsig_div_[out];
+            if (store.empty()) continue;
+            for (uint32_t g = 0; g < groups_; ++g) {
+                uint64_t m = store.mask(g) & ~detected_mask_[g];
+                while (m != 0) {
+                    const uint32_t l =
+                        static_cast<uint32_t>(std::countr_zero(m));
+                    m &= m - 1;
+                    mark_detected(fault::fault_id(g, l));
+                }
+            }
+        }
+        if (num_detected_ != pruned_detected_) prune_detected();
+        return;
+    }
     for (SignalId out : design_.outputs) {
         for (const auto& e : sig_div_[out].entries()) {
             mark_detected(e.fault);

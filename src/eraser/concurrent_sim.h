@@ -24,7 +24,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include <array>
+#include <bit>
+
 #include "eraser/instrumentation.h"
+#include "eraser/small_map.h"
 #include "fault/divergence.h"
 #include "fault/fault.h"
 #include "rtl/design.h"
@@ -38,12 +42,31 @@ class CompiledDesign;
 
 enum class RedundancyMode : uint8_t { None, Explicit, Full };
 
+/// Fault batching (bit-parallel fault simulation). Word packs the engine's
+/// faults 64 lanes to a group: divergence membership lives in one machine
+/// word per (signal, group) with packed value planes
+/// (fault::DivergenceBlockStore), candidate collection / the explicit
+/// filter / Algorithm 1's visibility checks become word ORs, the commit
+/// and NBA paths update lanes in O(1), and surviving faulty executions of
+/// a group run through the bytecode VM's superword lane pass in one walk
+/// over the instruction stream. Off keeps the scalar sorted-list engine —
+/// the differential oracle. Verdicts are bit-identical either way
+/// (tests/batch_equiv_test.cpp).
+enum class FaultBatching : uint8_t { Off, Word };
+
 struct EngineOptions {
     RedundancyMode mode = RedundancyMode::Full;
     /// Behavioral executor: Bytecode runs bodies/CFG nodes as the flat
     /// instruction streams the CompiledDesign carries (production path);
     /// Tree keeps the recursive interpreter as the differential oracle.
     sim::InterpMode interp = sim::InterpMode::Bytecode;
+    /// Fault batching: Word is the production path (default since the
+    /// differential suite in tests/batch_equiv_test.cpp pinned it
+    /// bit-identical across the whole benchmark suite); Off is the scalar
+    /// oracle. The superword lane pass requires the bytecode interpreter —
+    /// under InterpMode::Tree a Word engine keeps the block store but runs
+    /// faulty executions per lane.
+    FaultBatching batching = FaultBatching::Word;
     /// Shadow-execute every candidate to classify ground-truth redundancy
     /// (explicit / implicit / none) and cross-check implicit skips.
     bool audit = false;
@@ -107,10 +130,101 @@ class ConcurrentSim {
 
     class GoodCtx;
     class FaultCtx;
+    class BatchLaneCtx;
     struct Activation;
     struct FaultRun;
     struct PreView;
     struct NbaScratch;
+
+    // --- lane-pass activation records (batched mode) -----------------------
+    /// A lane-vector write buffered by the superword pass: base value,
+    /// diverged-lane word, and the diverged lanes' raw bits. Lane l's value
+    /// is plane[l] when its dmask bit is set, base otherwise (dmask is an
+    /// over-approximation: a flagged lane may hold base's bits).
+    struct LaneStoredCell {
+        Value base;
+        uint64_t dmask = 0;
+        std::array<uint64_t, 64> plane;
+
+        void store(const sim::LaneCell& c, const uint64_t* src) {
+            base = c.base;
+            dmask = c.dmask;
+            uint64_t rest = dmask;
+            while (rest != 0) {
+                const uint32_t l =
+                    static_cast<uint32_t>(std::countr_zero(rest));
+                rest &= rest - 1;
+                plane[l] = src[l];
+            }
+        }
+        void load(uint64_t lanes, sim::LaneCell& c, uint64_t* dst) const {
+            c.base = base;
+            c.dmask = dmask & lanes;
+            uint64_t rest = c.dmask;
+            while (rest != 0) {
+                const uint32_t l =
+                    static_cast<uint32_t>(std::countr_zero(rest));
+                rest &= rest - 1;
+                dst[l] = plane[l];
+            }
+        }
+        [[nodiscard]] uint64_t lane_bits(uint32_t l) const {
+            return (dmask >> l) & 1 ? plane[l] : base.bits();
+        }
+        [[nodiscard]] Value lane(uint32_t l) const {
+            return Value(lane_bits(l), base.width());
+        }
+    };
+
+    /// One lane pass's buffered writes (the lane analogue of Activation):
+    /// uniform control flow means every surviving lane wrote exactly the
+    /// targets recorded here. Blocking maps keep first-write order; NBA
+    /// lists keep program order (duplicates resolve last-wins downstream,
+    /// exactly like the scalar per-fault records).
+    struct LaneAct {
+        detail::SmallMap<rtl::SignalId, uint32_t> sig_idx;
+        std::vector<std::pair<rtl::SignalId, LaneStoredCell>> sigs;
+        detail::SmallMap<detail::ArrKey, uint32_t> arr_idx;
+        std::vector<std::pair<detail::ArrKey, LaneStoredCell>> arrs;
+        std::vector<std::pair<rtl::SignalId, LaneStoredCell>> nba;
+        std::vector<std::pair<detail::ArrKey, LaneStoredCell>> arr_nba;
+
+        void clear() {
+            sig_idx.clear();
+            sigs.clear();
+            arr_idx.clear();
+            arrs.clear();
+            nba.clear();
+            arr_nba.clear();
+        }
+        [[nodiscard]] const LaneStoredCell* find_sig(
+            rtl::SignalId sig) const {
+            const uint32_t* i = sig_idx.find(sig);
+            return i != nullptr ? &sigs[*i].second : nullptr;
+        }
+        [[nodiscard]] const LaneStoredCell* find_arr(
+            const detail::ArrKey& key) const {
+            const uint32_t* i = arr_idx.find(key);
+            return i != nullptr ? &arrs[*i].second : nullptr;
+        }
+    };
+
+    /// One group's lane-pass execution, pooled across activations.
+    struct LaneRun {
+        uint32_t group = 0;
+        uint64_t survivors = 0;
+        LaneAct act;
+    };
+
+    /// Transition record of one edge-watched signal, sampled after the
+    /// combinational fixpoint (postponed evaluation, the fake-event fix).
+    /// Built per store representation; consumed by shared edge logic.
+    struct EdgeRecord {
+        rtl::SignalId sig;
+        uint64_t prev_good, cur_good;
+        std::vector<std::tuple<fault::FaultId, uint64_t, uint64_t>>
+            fault_prev_cur;
+    };
 
     // --- value plumbing ----------------------------------------------------
     // The one-liners here are defined in-class: they are the innermost calls
@@ -123,7 +237,16 @@ class ConcurrentSim {
     void reconcile(fault::FaultId f, rtl::SignalId sig, Value fault_val) {
         fault_val = apply_pin(f, sig, fault_val);
         bool changed;
-        if (fault_val != good_values_[sig]) {
+        if (batched_) {
+            if (fault_val != good_values_[sig]) {
+                changed = bsig_div_[sig].set(fault::group_of(f),
+                                             fault::lane_of(f),
+                                             fault_val.bits());
+            } else {
+                changed = bsig_div_[sig].erase(fault::group_of(f),
+                                               fault::lane_of(f));
+            }
+        } else if (fault_val != good_values_[sig]) {
             changed = sig_div_[sig].set(f, fault_val);
         } else {
             changed = sig_div_[sig].erase(f);
@@ -134,8 +257,26 @@ class ConcurrentSim {
                          uint64_t fault_val);
     [[nodiscard]] Value fault_view(rtl::SignalId sig,
                                    fault::FaultId f) const {
+        if (batched_) {
+            if (const uint64_t* v = bsig_div_[sig].find(fault::group_of(f),
+                                                        fault::lane_of(f))) {
+                return Value(*v, good_values_[sig].width());
+            }
+            return good_values_[sig];
+        }
         if (const Value* v = sig_div_[sig].find(f)) return *v;
         return good_values_[sig];
+    }
+    /// True when the fault currently diverges at the signal (store-agnostic).
+    [[nodiscard]] bool contains_div(rtl::SignalId sig,
+                                    fault::FaultId f) const {
+        return batched_ ? bsig_div_[sig].contains(fault::group_of(f),
+                                                  fault::lane_of(f))
+                        : sig_div_[sig].contains(f);
+    }
+    /// True when no fault diverges at the signal (store-agnostic).
+    [[nodiscard]] bool div_empty(rtl::SignalId sig) const {
+        return batched_ ? bsig_div_[sig].empty() : sig_div_[sig].empty();
     }
     [[nodiscard]] uint64_t fault_array_view(rtl::ArrayId arr, uint64_t idx,
                                             fault::FaultId f) const;
@@ -169,6 +310,26 @@ class ConcurrentSim {
     bool apply_nba();
     void materialize_pins();
     void prune_detected();
+
+    // --- batched (FaultBatching::Word) helpers -----------------------------
+    // Group-level twins of the scalar hot-path pieces; definitions live in
+    // batch_exec.cpp. Shared control flow (process_behavior, settle, edge
+    // rounds, commit ordering) branches into these at every divergence-store
+    // touchpoint, so both representations run the identical algorithm.
+    /// OR of the divergence masks of group `g` across `sigs` (candidate
+    /// collection / visibility over masks).
+    [[nodiscard]] uint64_t group_sig_mask(std::span<const rtl::SignalId> sigs,
+                                          uint32_t g) const;
+    [[nodiscard]] uint64_t group_arr_mask(std::span<const rtl::ArrayId> arrs,
+                                          uint32_t g) const;
+    /// Appends ascending fault ids of set lanes in `mask` of group `g`.
+    static void expand_mask(uint64_t mask, uint32_t g,
+                            std::vector<fault::FaultId>& out);
+    void beval_rtl_node(rtl::NodeId n);
+    /// Edge-record collection twins (scalar list walk vs mask walk); the
+    /// shared half of run_edge_round consumes the records either way.
+    void collect_edge_records(std::vector<EdgeRecord>& records);
+    void bcollect_edge_records(std::vector<EdgeRecord>& records);
 
     // --- element evaluation -------------------------------------------------
     void eval_rtl_node(rtl::NodeId n);
@@ -204,18 +365,35 @@ class ConcurrentSim {
     std::vector<Value> good_values_;
     std::vector<std::vector<uint64_t>> good_arrays_;
 
-    // Divergence state.
+    // Divergence state. Scalar mode uses the sorted lists; batched
+    // (FaultBatching::Word) mode uses the mask + value-plane block stores.
+    // Exactly one of the two is populated, selected by batched_.
     std::vector<fault::DivergenceList> sig_div_;
-    /// arr_div_[arr][fault] -> sparse element overlay.
+    std::vector<fault::DivergenceBlockStore> bsig_div_;
+    /// arr_div_[arr][fault] -> sparse element overlay (both modes).
     std::vector<std::unordered_map<fault::FaultId,
                                    std::unordered_map<uint64_t, uint64_t>>>
         arr_div_;
+    /// Batched mode: per-array, per-group membership word (lane l set iff
+    /// the fault's overlay on the array is nonempty) — candidate collection
+    /// over arrays without walking the hash maps.
+    std::vector<std::vector<uint64_t>> arr_div_mask_;
     /// Faults pinned on each signal (their stuck bits always override).
     std::vector<std::vector<fault::FaultId>> pins_;
+    /// Batched mode: pins_ as per-group masks (empty for unpinned signals).
+    std::vector<std::vector<uint64_t>> pin_mask_;
+
+    // Batched mode: lane addressing. groups_ = ceil(|faults| / 64);
+    // detected lanes as per-group masks (kept in sync with detected_).
+    bool batched_ = false;
+    bool lane_exec_ = false;   // superword VM pass enabled (needs Bytecode)
+    uint32_t groups_ = 0;
+    std::vector<uint64_t> detected_mask_;
 
     // Edge state (previous sampled values).
     std::vector<uint64_t> edge_prev_good_;
     std::vector<fault::DivergenceList> edge_prev_div_;
+    std::vector<fault::DivergenceBlockStore> bedge_prev_div_;
 
     // CFGs, VDGs, and all compiled programs live in compiled_ (shared,
     // immutable). One VM per engine — shards never share a VM.
@@ -255,6 +433,7 @@ class ConcurrentSim {
     std::vector<fault::FaultId> scr_rtl_candidates_;
     std::vector<uint32_t> scr_cursors_;        // per-input divergence cursor
     std::vector<fault::DivergenceList::Entry> scr_entries_;
+    std::vector<fault::DivergenceList::Entry> scr_nba_updates_;
     std::vector<uint32_t> scr_batch_;          // comb_propagate drain buffer
     // Pools with live prefix semantics: entries keep their inner capacity.
     std::vector<FaultRun> scr_runs_;
@@ -271,6 +450,19 @@ class ConcurrentSim {
     // touched faults for O(touched) clearing.
     std::vector<uint8_t> scr_mark_;
     std::vector<fault::FaultId> scr_marked_;
+    // Batched-mode scratch: per-group mask buffers (visibility bit 0 twin =
+    // scr_vis_sig_, bit 1 twin = scr_vis_arr_; candidate masks; the lane
+    // pass's per-group execute masks).
+    std::vector<uint64_t> scr_vis_sig_;
+    std::vector<uint64_t> scr_vis_arr_;
+    std::vector<uint64_t> scr_cand_mask_;
+    std::vector<uint64_t> scr_exec_mask_;
+    // Lane-run pool (live prefix [0, scr_lane_runs_used_)); scr_lane_idx_
+    // maps a surviving fault to its run for the commit phase (UINT32_MAX
+    // when the fault ran scalar or not at all; reset per activation).
+    std::vector<std::unique_ptr<LaneRun>> scr_lane_runs_;
+    size_t scr_lane_runs_used_ = 0;
+    std::vector<uint32_t> scr_lane_idx_;
     // Faults with NBA records already pending in the current batch (i.e.
     // since the last apply_nba). A redundant-skip record may only be
     // dropped when the fault has no divergence/pin on the target AND no

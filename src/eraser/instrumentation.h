@@ -43,6 +43,15 @@ struct Instrumentation {
     /// Skips by the execution-path walk (implicit redundancy, Algorithm 1).
     uint64_t bn_skipped_implicit = 0;
 
+    // --- superword lane passes (batched mode only) -------------------------
+    /// Lane passes run (one per (activation, group) with 2+ execute lanes).
+    uint64_t bn_lane_passes = 0;
+    /// Faulty executions completed inside a lane pass (subset of
+    /// bn_executed).
+    uint64_t bn_lane_survivors = 0;
+    /// Lanes that diverged out of a pass and re-executed scalar.
+    uint64_t bn_lane_deferred = 0;
+
     // --- audit classification (ground truth, measured by shadow-executing
     // every candidate and comparing results; fills Fig. 1b / Table III) ----
     uint64_t audit_explicit = 0;      // inputs identical -> same result
@@ -81,6 +90,9 @@ struct Instrumentation {
         bn_executed += o.bn_executed;
         bn_skipped_explicit += o.bn_skipped_explicit;
         bn_skipped_implicit += o.bn_skipped_implicit;
+        bn_lane_passes += o.bn_lane_passes;
+        bn_lane_survivors += o.bn_lane_survivors;
+        bn_lane_deferred += o.bn_lane_deferred;
         audit_explicit += o.audit_explicit;
         audit_implicit += o.audit_implicit;
         audit_nonredundant += o.audit_nonredundant;

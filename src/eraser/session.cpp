@@ -316,8 +316,14 @@ CampaignHandle Session::submit(std::span<const fault::Fault> faults,
     const uint32_t threads = static_cast<uint32_t>(workers.num_threads());
     const uint32_t want_shards =
         opts.num_shards > 0 ? opts.num_shards : threads;
+    // Batched engines pack faults 64 lanes to a group, so their shards are
+    // balanced at group granularity (lane-aligned work per shard).
     st->shards =
-        make_shards(*compiled_, faults, want_shards, opts.shard_policy);
+        opts.engine.batching == FaultBatching::Word
+            ? make_shards_grouped(*compiled_, faults, want_shards,
+                                  opts.shard_policy)
+            : make_shards(*compiled_, faults, want_shards,
+                          opts.shard_policy);
     st->num_threads = std::min<uint32_t>(
         threads, static_cast<uint32_t>(st->shards.size()));
     st->outcomes.resize(st->shards.size());

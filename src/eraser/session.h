@@ -140,7 +140,10 @@ class Session {
     /// stimulus per shard (callable from multiple threads, every instance
     /// driving the identical sequence). `opts.num_threads` is ignored — the
     /// Session pool governs parallelism; `opts.num_shards == 0` defaults to
-    /// one shard per pool thread.
+    /// one shard per pool thread. Batched campaigns (the default
+    /// FaultBatching::Word) partition at 64-lane group granularity
+    /// (make_shards_grouped), so shards receive lane-aligned work; verdicts
+    /// are identical under every partition either way.
     [[nodiscard]] CampaignHandle submit(std::span<const fault::Fault> faults,
                                         StimulusFactory make_stimulus,
                                         const CampaignOptions& opts = {},

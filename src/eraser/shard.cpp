@@ -6,6 +6,7 @@
 #include "cfg/cfg.h"
 #include "cfg/vdg.h"
 #include "eraser/compiled_design.h"
+#include "fault/divergence.h"
 #include "util/diagnostics.h"
 
 namespace eraser::core {
@@ -107,6 +108,106 @@ std::vector<Shard> make_shards(const CompiledDesign& compiled,
                                uint32_t num_shards, ShardPolicy policy) {
     return make_shards(faults, compiled.fault_costs(faults), num_shards,
                        policy);
+}
+
+std::vector<Shard> make_shards_grouped(std::span<const fault::Fault> faults,
+                                       std::span<const uint64_t> costs,
+                                       uint32_t num_shards,
+                                       ShardPolicy policy) {
+    if (costs.size() != faults.size()) {
+        throw SimError("make_shards_grouped: costs span must parallel the "
+                       "fault list (stale cache after regenerating faults?)");
+    }
+    const uint32_t n = static_cast<uint32_t>(faults.size());
+    uint32_t k = num_shards == 0 ? 1 : num_shards;
+    if (k > n && n > 0) k = n;   // no empty shards
+    if (n == 0) return std::vector<Shard>(1);
+
+    // Unit width: full 64-lane groups, shrunk when the requested shard
+    // count needs more units than full groups exist.
+    const uint32_t cap =
+        std::min<uint32_t>(fault::kLanesPerGroup, (n + k - 1) / k);
+    const uint32_t nunits = (n + cap - 1) / cap;
+    if (k > nunits) k = nunits;   // still no empty shards
+    std::vector<Shard> shards(k);
+    std::vector<std::vector<uint32_t>> units(nunits);
+    std::vector<uint64_t> unit_cost(nunits, 0);
+
+    switch (policy) {
+        case ShardPolicy::RoundRobin: {
+            for (uint32_t i = 0; i < n; ++i) {
+                units[i / cap].push_back(i);
+                unit_cost[i / cap] += costs[i];
+            }
+            break;
+        }
+        case ShardPolicy::CostBalanced: {
+            // Units = consecutive chunks of the cost-descending order, so
+            // at most ONE unit anywhere is narrower than the lane width
+            // (shard sizes stay lane-aligned after whole-unit assignment;
+            // the engine re-chunks each shard's ascending fault list into
+            // 64-lane groups by position, so only the sizes matter). Unit
+            // costs descend chunk over chunk, which is exactly the order
+            // the LPT below consumes.
+            std::vector<uint32_t> order(n);
+            std::iota(order.begin(), order.end(), 0);
+            std::stable_sort(order.begin(), order.end(),
+                             [&](uint32_t a, uint32_t b) {
+                                 return costs[a] > costs[b];
+                             });
+            for (uint32_t i = 0; i < n; ++i) {
+                units[i / cap].push_back(order[i]);
+                unit_cost[i / cap] += costs[order[i]];
+            }
+            break;
+        }
+    }
+
+    // Whole units to shards (LPT under CostBalanced, round-robin
+    // otherwise), then materialize each shard ascending by global id.
+    std::vector<uint32_t> shard_of(nunits);
+    if (policy == ShardPolicy::CostBalanced) {
+        std::vector<uint32_t> uorder(nunits);
+        std::iota(uorder.begin(), uorder.end(), 0);
+        std::stable_sort(uorder.begin(), uorder.end(),
+                         [&](uint32_t a, uint32_t b) {
+                             return unit_cost[a] > unit_cost[b];
+                         });
+        std::vector<uint64_t> load(k, 0);
+        for (uint32_t u : uorder) {
+            uint32_t best = 0;
+            for (uint32_t s = 1; s < k; ++s) {
+                if (load[s] < load[best]) best = s;
+            }
+            shard_of[u] = best;
+            load[best] += unit_cost[u];
+        }
+    } else {
+        for (uint32_t u = 0; u < nunits; ++u) shard_of[u] = u % k;
+    }
+    std::vector<std::vector<uint32_t>> members(k);
+    for (uint32_t u = 0; u < nunits; ++u) {
+        auto& m = members[shard_of[u]];
+        m.insert(m.end(), units[u].begin(), units[u].end());
+    }
+    for (uint32_t s = 0; s < k; ++s) {
+        std::sort(members[s].begin(), members[s].end());
+        Shard& shard = shards[s];
+        for (uint32_t i : members[s]) {
+            shard.faults.push_back(faults[i]);
+            shard.global_ids.push_back(i);
+            shard.est_cost += costs[i];
+        }
+    }
+    return shards;
+}
+
+std::vector<Shard> make_shards_grouped(const CompiledDesign& compiled,
+                                       std::span<const fault::Fault> faults,
+                                       uint32_t num_shards,
+                                       ShardPolicy policy) {
+    return make_shards_grouped(faults, compiled.fault_costs(faults),
+                               num_shards, policy);
 }
 
 std::vector<Shard> make_shards(const rtl::Design& design,

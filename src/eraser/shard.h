@@ -94,6 +94,22 @@ struct Shard {
     const CompiledDesign& compiled, std::span<const fault::Fault> faults,
     uint32_t num_shards, ShardPolicy policy);
 
+/// Group-aware partition for batched (FaultBatching::Word) campaigns: the
+/// LPT balances 64-lane *groups*, not individual faults. Faults are first
+/// packed into units of at most 64 (cost-balanced packing under
+/// CostBalanced, consecutive chunks under RoundRobin; the unit width
+/// shrinks below 64 when the requested shard count needs more units than
+/// full groups exist), then whole units are assigned to shards. Shards thus
+/// receive lane-aligned work: at most one partial group each instead of a
+/// ragged remainder per shard, which is what the engine's superword pass
+/// packs against. Verdicts are partition-independent as always.
+[[nodiscard]] std::vector<Shard> make_shards_grouped(
+    std::span<const fault::Fault> faults, std::span<const uint64_t> costs,
+    uint32_t num_shards, ShardPolicy policy);
+[[nodiscard]] std::vector<Shard> make_shards_grouped(
+    const CompiledDesign& compiled, std::span<const fault::Fault> faults,
+    uint32_t num_shards, ShardPolicy policy);
+
 /// Deprecated pre-Session entry point: recomputes the cost model per call
 /// (or trusts a caller-maintained `costs` pointer). Delegates to the
 /// span-based overloads above.

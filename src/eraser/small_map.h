@@ -1,0 +1,99 @@
+// SmallMap: the ordered upsert map used for activation-local write buffers
+// of the concurrent engine (scalar Activations and batched lane
+// activations). Items keep program (insertion) order — commits and
+// cross-execution comparisons depend on it. Lookup is a linear scan while
+// the map is small (the common case: behavioral blocks write a handful of
+// signals), switching to a side hash index once it grows (e.g. the SHA-256
+// message-schedule block writes every w_mem element in one activation; the
+// scan was 30%+ of campaign time). Pooled activations keep both buffers'
+// capacity across reuses.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace eraser::core::detail {
+
+using ArrKey = std::pair<uint32_t, uint64_t>;   // (array, index)
+
+struct SmallMapHash {
+    size_t operator()(uint32_t k) const { return k; }
+    size_t operator()(const ArrKey& k) const {
+        return (static_cast<size_t>(k.first) << 40) ^
+               (k.second * 0x9E3779B97F4A7C15ull);
+    }
+};
+
+template <typename K, typename V>
+class SmallMap {
+  public:
+    void upsert(const K& k, const V& v) {
+        if (items_.size() <= kLinearLimit) {
+            for (auto& [key, val] : items_) {
+                if (key == k) {
+                    val = v;
+                    return;
+                }
+            }
+            items_.emplace_back(k, v);
+            if (items_.size() == kLinearLimit + 1) reindex();
+            return;
+        }
+        const auto [it, inserted] =
+            index_.try_emplace(k, static_cast<uint32_t>(items_.size()));
+        if (inserted) {
+            items_.emplace_back(k, v);
+        } else {
+            items_[it->second].second = v;
+        }
+    }
+    [[nodiscard]] const V* find(const K& k) const {
+        if (items_.size() <= kLinearLimit) {
+            for (const auto& [key, val] : items_) {
+                if (key == k) return &val;
+            }
+            return nullptr;
+        }
+        const auto it = index_.find(k);
+        return it != index_.end() ? &items_[it->second].second : nullptr;
+    }
+    [[nodiscard]] const std::vector<std::pair<K, V>>& items() const {
+        return items_;
+    }
+    [[nodiscard]] bool empty() const { return items_.empty(); }
+    void clear() {
+        items_.clear();
+        index_.clear();
+    }
+    /// Key-wise equality, insertion order ignored. Writes land in
+    /// first-write order, which differs between the whole-body program and
+    /// the fused walk's per-segment programs (their slot-exclusion sets
+    /// differ), so the audit's activation comparison must not depend on it.
+    /// Keys are unique, so equal sizes plus a one-way subset check suffice.
+    friend bool operator==(const SmallMap& a, const SmallMap& b) {
+        if (a.items_.size() != b.items_.size()) return false;
+        for (const auto& [key, val] : a.items_) {
+            const V* other = b.find(key);
+            if (other == nullptr || !(*other == val)) return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr size_t kLinearLimit = 12;
+
+    void reindex() {
+        index_.clear();
+        for (uint32_t i = 0; i < items_.size(); ++i) {
+            index_.emplace(items_[i].first, i);
+        }
+    }
+
+    std::vector<std::pair<K, V>> items_;
+    /// key -> position in items_; populated past kLinearLimit.
+    std::unordered_map<K, uint32_t, SmallMapHash> index_;
+};
+
+}  // namespace eraser::core::detail

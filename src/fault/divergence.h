@@ -1,13 +1,28 @@
-// DivergenceList: the per-signal "bad gate" storage of concurrent fault
+// Divergence storage: the per-signal "bad gate" state of concurrent fault
 // simulation — for each fault whose value at this signal differs from the
-// good value, one entry holding the fault's absolute value. Invariant: an
-// entry exists iff the fault's value differs from the good value (invisible
-// bad gates are removed eagerly).
+// good value, the fault's absolute value. Invariant: an entry exists iff
+// the fault's value differs from the good value (invisible bad gates are
+// removed eagerly).
+//
+// Two representations share that invariant:
+//
+//  * DivergenceList  — sorted vector of {fault, Value} entries; the scalar
+//    oracle representation. O(log n) find, O(n) set/erase.
+//  * DivergenceBlockStore — the batched (FaultBatching::Word) layout: faults
+//    are packed W = 64 lanes to a *group* (fault f -> group f>>6, lane
+//    f&63), and each signal stores one machine word per group whose bit l
+//    says "lane l diverges here", plus a packed 64-entry value plane holding
+//    the diverged lanes' raw bits. Membership tests, inserts, and erases
+//    are O(1) bit operations; whole-group questions ("any candidate fault
+//    reading this signal?") collapse to one word OR.
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "rtl/value.h"
@@ -15,6 +30,32 @@
 namespace eraser::fault {
 
 using FaultId = uint32_t;
+
+// --- lane addressing (batched mode) ------------------------------------------
+
+/// Lanes per group: one bit of a machine word per fault.
+inline constexpr uint32_t kLanesPerGroup = 64;
+inline constexpr uint32_t kLaneBits = 6;
+
+[[nodiscard]] inline constexpr uint32_t group_of(FaultId f) {
+    return f >> kLaneBits;
+}
+[[nodiscard]] inline constexpr uint32_t lane_of(FaultId f) {
+    return f & (kLanesPerGroup - 1);
+}
+[[nodiscard]] inline constexpr uint64_t lane_bit(uint32_t lane) {
+    return uint64_t{1} << lane;
+}
+/// Inverse of group_of/lane_of: the fault id at (group, lane).
+[[nodiscard]] inline constexpr FaultId fault_id(uint32_t group,
+                                                uint32_t lane) {
+    return (group << kLaneBits) | lane;
+}
+/// Number of 64-lane groups covering `num_faults` faults.
+[[nodiscard]] inline constexpr uint32_t num_groups(size_t num_faults) {
+    return static_cast<uint32_t>((num_faults + kLanesPerGroup - 1) >>
+                                 kLaneBits);
+}
 
 class DivergenceList {
   public:
@@ -60,6 +101,36 @@ class DivergenceList {
         return true;
     }
 
+    /// Batched commit: applies `updates` (ascending by fault, unique) in ONE
+    /// merge pass — an update whose value equals `good` clears the fault's
+    /// entry, any other value sets it. Replaces an update-loop of set/erase
+    /// calls, each of which memmoved the vector tail (O(n) per update, the
+    /// NBA-commit hot spot on large lists). `scratch` is caller-owned merge
+    /// storage that keeps its capacity across calls. Returns true when the
+    /// stored entries changed.
+    bool merge_from(std::span<const Entry> updates, const Value& good,
+                    std::vector<Entry>& scratch) {
+        assert(std::is_sorted(updates.begin(), updates.end(),
+                              [](const Entry& a, const Entry& b) {
+                                  return a.fault < b.fault;
+                              }));
+        scratch.clear();
+        size_t oc = 0;
+        const auto& old = entries_;
+        for (const Entry& u : updates) {
+            while (oc < old.size() && old[oc].fault < u.fault) {
+                scratch.push_back(old[oc++]);
+            }
+            const bool has_old = oc < old.size() && old[oc].fault == u.fault;
+            if (u.value != good) scratch.push_back(u);
+            if (has_old) ++oc;
+        }
+        while (oc < old.size()) scratch.push_back(old[oc++]);
+        if (scratch == entries_) return false;
+        entries_.swap(scratch);
+        return true;
+    }
+
     /// Drops entries of faults for which `pred(fault)` holds (fault
     /// dropping after detection).
     template <typename Pred>
@@ -99,6 +170,149 @@ class DivergenceList {
     }
 
     std::vector<Entry> entries_;
+};
+
+// --- batched representation ---------------------------------------------------
+
+/// One group's divergence at one signal: the membership word plus the value
+/// plane (raw bits; the signal's width is implied by the signal). Lanes
+/// whose mask bit is clear hold garbage in the plane.
+struct DivergenceBlock {
+    uint64_t mask = 0;
+    uint64_t bits[kLanesPerGroup];
+};
+
+/// One signal's divergence across all groups of the engine. Blocks are
+/// allocated lazily the first time a group diverges at the signal and kept
+/// (mask zeroed) afterwards, so steady-state set/erase never allocates.
+class DivergenceBlockStore {
+  public:
+    /// Sizes the store for `groups` groups and clears every block.
+    void reset(uint32_t groups) {
+        if (blocks_.size() != groups) blocks_.resize(groups);
+        clear();
+    }
+
+    [[nodiscard]] uint32_t groups() const {
+        return static_cast<uint32_t>(blocks_.size());
+    }
+    /// True when no lane of any group diverges (O(1)).
+    [[nodiscard]] bool empty() const { return live_ == 0; }
+    /// Number of groups with a nonzero mask (cheap emptiness summary).
+    [[nodiscard]] uint32_t live_groups() const { return live_; }
+
+    [[nodiscard]] uint64_t mask(uint32_t g) const {
+        const DivergenceBlock* b = blocks_[g].get();
+        return b != nullptr ? b->mask : 0;
+    }
+    /// The block for group `g`, or nullptr when never diverged. The mask
+    /// may still be zero.
+    [[nodiscard]] const DivergenceBlock* block(uint32_t g) const {
+        return blocks_[g].get();
+    }
+
+    /// Lane value; only meaningful when mask(g) has the lane bit.
+    [[nodiscard]] uint64_t value(uint32_t g, uint32_t lane) const {
+        return blocks_[g]->bits[lane];
+    }
+    [[nodiscard]] bool contains(uint32_t g, uint32_t lane) const {
+        return (mask(g) & lane_bit(lane)) != 0;
+    }
+    /// Pointer to the lane's raw bits, or nullptr when the lane agrees with
+    /// good here (the block-store analogue of DivergenceList::find).
+    [[nodiscard]] const uint64_t* find(uint32_t g, uint32_t lane) const {
+        const DivergenceBlock* b = blocks_[g].get();
+        if (b == nullptr || (b->mask & lane_bit(lane)) == 0) return nullptr;
+        return &b->bits[lane];
+    }
+
+    /// Inserts or updates one lane; returns true when state changed.
+    bool set(uint32_t g, uint32_t lane, uint64_t v) {
+        DivergenceBlock& b = ensure(g);
+        const uint64_t bit = lane_bit(lane);
+        if ((b.mask & bit) != 0 && b.bits[lane] == v) return false;
+        if (b.mask == 0) ++live_;
+        b.mask |= bit;
+        b.bits[lane] = v;
+        return true;
+    }
+
+    /// Clears one lane; returns true when it was set.
+    bool erase(uint32_t g, uint32_t lane) {
+        DivergenceBlock* b = blocks_[g].get();
+        const uint64_t bit = lane_bit(lane);
+        if (b == nullptr || (b->mask & bit) == 0) return false;
+        b->mask &= ~bit;
+        if (b->mask == 0) --live_;
+        return true;
+    }
+
+    /// Clears every lane in `m` of group `g` (detection pruning).
+    void erase_lanes(uint32_t g, uint64_t m) {
+        DivergenceBlock* b = blocks_[g].get();
+        if (b == nullptr || (b->mask & m) == 0) return;
+        b->mask &= ~m;
+        if (b->mask == 0) --live_;
+    }
+
+    void clear() {
+        if (live_ == 0) return;
+        for (auto& b : blocks_) {
+            if (b) b->mask = 0;
+        }
+        live_ = 0;
+    }
+
+    /// Copies group `g` of `other` into this store (edge-state sampling).
+    void copy_group_from(const DivergenceBlockStore& other, uint32_t g) {
+        const DivergenceBlock* src = other.blocks_[g].get();
+        const uint64_t src_mask = src != nullptr ? src->mask : 0;
+        if (src_mask == 0) {
+            DivergenceBlock* dst = blocks_[g].get();
+            if (dst != nullptr && dst->mask != 0) {
+                dst->mask = 0;
+                --live_;
+            }
+            return;
+        }
+        DivergenceBlock& dst = ensure(g);
+        if (dst.mask == 0) ++live_;
+        dst.mask = src_mask;
+        uint64_t m = src_mask;
+        while (m != 0) {
+            const uint32_t l = static_cast<uint32_t>(std::countr_zero(m));
+            m &= m - 1;
+            dst.bits[l] = src->bits[l];
+        }
+    }
+
+    /// Masks and values of group `g` equal between two stores (lanes outside
+    /// the mask are ignored).
+    [[nodiscard]] bool group_equals(const DivergenceBlockStore& other,
+                                    uint32_t g) const {
+        const uint64_t m = mask(g);
+        if (m != other.mask(g)) return false;
+        if (m == 0) return true;
+        const DivergenceBlock* a = blocks_[g].get();
+        const DivergenceBlock* b = other.blocks_[g].get();
+        uint64_t rest = m;
+        while (rest != 0) {
+            const uint32_t l = static_cast<uint32_t>(std::countr_zero(rest));
+            rest &= rest - 1;
+            if (a->bits[l] != b->bits[l]) return false;
+        }
+        return true;
+    }
+
+  private:
+    DivergenceBlock& ensure(uint32_t g) {
+        auto& slot = blocks_[g];
+        if (!slot) slot = std::make_unique<DivergenceBlock>();
+        return *slot;
+    }
+
+    std::vector<std::unique_ptr<DivergenceBlock>> blocks_;
+    uint32_t live_ = 0;
 };
 
 }  // namespace eraser::fault

@@ -1,6 +1,8 @@
 #include "sim/bcvm.h"
 
+#include <bit>
 #include <cassert>
+#include <span>
 
 namespace eraser::sim {
 
@@ -162,6 +164,31 @@ Value BcVm::run(const BcProgram& p, EvalContext& ctx) {
                 ++pc;
                 break;
             }
+            case BcOp::ApplyStore: {
+                // Fused Apply + StoreFull (same width, Slice excluded).
+                const Value r = rtl::eval_op(
+                    i.op, std::span<const Value>(st + (sp - i.nargs), i.nargs),
+                    i.width, 0);
+                sp -= i.nargs;
+                ctx.write_signal(i.a, r, (i.flags & kBcNonblocking) != 0);
+                ++pc;
+                break;
+            }
+            case BcOp::ApplyStoreSlot: {
+                // Fused Apply + StoreFullSlot; the slot id rides in imm.
+                const Value r = rtl::eval_op(
+                    i.op, std::span<const Value>(st + (sp - i.nargs), i.nargs),
+                    i.width, 0);
+                sp -= i.nargs;
+                const uint32_t slot = i.imm;
+                slots_[slot] = r;
+                if (!slot_written_[slot]) {
+                    slot_written_[slot] = 1;
+                    slot_touched_.push_back(slot);
+                }
+                ++pc;
+                break;
+            }
             case BcOp::Halt:
                 // Flush written slots into the activation in first-write
                 // order — the record downstream is bit-identical to the
@@ -172,6 +199,473 @@ Value BcVm::run(const BcProgram& p, EvalContext& ctx) {
                 }
                 slot_touched_.clear();
                 return sp > 0 ? st[sp - 1] : Value();
+        }
+    }
+}
+
+// --- superword lane pass -----------------------------------------------------
+
+namespace {
+
+/// Masks a lane cell's plane values down to a new width (the lane analogue
+/// of Value::resized; dmask is kept — lanes equal to base after truncation
+/// stay flagged, which is an over-approximation the commit layer resolves
+/// by value comparison).
+inline void resize_cell(LaneCell& c, uint64_t* plane, unsigned w) {
+    if (c.base.width() == w) return;
+    c.base = c.base.resized(w);
+    if (c.dmask != 0 && w < kMaxWidth) {
+        const uint64_t m = Value::mask(w);
+        uint64_t rest = c.dmask;
+        while (rest != 0) {
+            const uint32_t l = static_cast<uint32_t>(std::countr_zero(rest));
+            rest &= rest - 1;
+            plane[l] &= m;
+        }
+    }
+}
+
+/// Lane l's value of a cell.
+inline Value lane_value(const LaneCell& c, const uint64_t* plane,
+                        uint32_t l) {
+    return Value((c.dmask >> l) & 1 ? plane[l] : c.base.bits(),
+                 c.base.width());
+}
+
+}  // namespace
+
+uint64_t BcVm::exec_lanes(const BcProgram& p, LaneEvalContext& ctx,
+                          uint64_t lanes) {
+    if (lstack_.size() < p.max_stack) {
+        lstack_.resize(p.max_stack);
+        lplanes_.resize(static_cast<size_t>(p.max_stack) * 64);
+    }
+    if (lslots_.size() < p.slot_sigs.size()) {
+        lslots_.resize(p.slot_sigs.size());
+        lslot_planes_.resize(p.slot_sigs.size() * 64);
+        lslot_written_.resize(p.slot_sigs.size(), 0);
+    }
+    LaneCell* st = lstack_.data();
+    uint64_t* planes = lplanes_.data();
+    const BcInstr* code = p.code.data();
+    uint64_t active = lanes;
+    size_t sp = 0;
+    size_t pc = 0;
+
+    auto plane = [&](size_t slot) { return planes + slot * 64; };
+    auto slot_plane = [&](size_t slot) {
+        return lslot_planes_.data() + slot * 64;
+    };
+    auto abort_pass = [&]() -> uint64_t {
+        for (const uint32_t slot : lslot_touched_) lslot_written_[slot] = 0;
+        lslot_touched_.clear();
+        return 0;
+    };
+    auto touch_slot = [&](uint32_t slot) {
+        if (!lslot_written_[slot]) {
+            lslot_written_[slot] = 1;
+            lslot_touched_.push_back(slot);
+        }
+    };
+    // Per-lane scalar Apply over the operand cells [base_sp, base_sp+n):
+    // evaluates base once, then only the diverged lanes. The result lands
+    // in st[base_sp] / plane(base_sp); operand 0's plane is read for lane l
+    // strictly before lane l's result overwrites it.
+    auto apply_lanes = [&](const BcInstr& i, size_t base_sp,
+                           unsigned imm) {
+        const uint8_t n = i.nargs;
+        if (lane_ops_.size() < n) {
+            lane_ops_.resize(n);
+            lane_args_.resize(n);
+        }
+        uint64_t u = 0;
+        for (uint8_t k = 0; k < n; ++k) {
+            lane_args_[k] = st[base_sp + k];
+            u |= lane_args_[k].dmask;
+        }
+        u &= active;
+        for (uint8_t k = 0; k < n; ++k) lane_ops_[k] = lane_args_[k].base;
+        const Value rbase = rtl::eval_op(
+            i.op, std::span<const Value>(lane_ops_.data(), n), i.width, imm);
+        uint64_t out_mask = 0;
+        uint64_t* out_plane = plane(base_sp);
+        uint64_t rest = u;
+        while (rest != 0) {
+            const uint32_t l = static_cast<uint32_t>(std::countr_zero(rest));
+            rest &= rest - 1;
+            for (uint8_t k = 0; k < n; ++k) {
+                lane_ops_[k] =
+                    lane_value(lane_args_[k], plane(base_sp + k), l);
+            }
+            const Value r = rtl::eval_op(
+                i.op, std::span<const Value>(lane_ops_.data(), n), i.width,
+                imm);
+            if (r.bits() != rbase.bits()) {
+                out_mask |= uint64_t{1} << l;
+                out_plane[l] = r.bits();
+            }
+        }
+        st[base_sp] = {rbase, out_mask};
+    };
+
+    for (;;) {
+        const BcInstr& i = code[pc];
+        switch (i.kind) {
+            case BcOp::PushConst:
+                st[sp] = {p.consts[i.a], 0};
+                ++sp;
+                ++pc;
+                break;
+            case BcOp::PushSignal:
+                ctx.read_signal(i.a, active, st[sp], plane(sp));
+                resize_cell(st[sp], plane(sp), i.width);
+                ++sp;
+                ++pc;
+                break;
+            case BcOp::PushSignalG:
+                ctx.read_signal_unwritten(i.a, active, st[sp], plane(sp));
+                resize_cell(st[sp], plane(sp), i.width);
+                ++sp;
+                ++pc;
+                break;
+            case BcOp::ArrayRead: {
+                const LaneCell idx = st[sp - 1];
+                ctx.read_array(i.a, idx, plane(sp - 1), active, st[sp - 1],
+                               plane(sp - 1));
+                resize_cell(st[sp - 1], plane(sp - 1), i.width);
+                ++pc;
+                break;
+            }
+            case BcOp::ArrayReadG: {
+                const LaneCell idx = st[sp - 1];
+                ctx.read_array_unwritten(i.a, idx, plane(sp - 1), active,
+                                         st[sp - 1], plane(sp - 1));
+                resize_cell(st[sp - 1], plane(sp - 1), i.width);
+                ++pc;
+                break;
+            }
+            case BcOp::Apply:
+                apply_lanes(i, sp - i.nargs, i.imm);
+                sp -= i.nargs;
+                ++sp;
+                ++pc;
+                break;
+            case BcOp::StoreFull: {
+                --sp;
+                resize_cell(st[sp], plane(sp), i.width);
+                ctx.write_signal(i.a, st[sp], plane(sp),
+                                 (i.flags & kBcNonblocking) != 0);
+                ++pc;
+                break;
+            }
+            case BcOp::StorePart: {
+                const bool nb = (i.flags & kBcNonblocking) != 0;
+                --sp;
+                const LaneCell rhs = st[sp];
+                const uint64_t* rhs_plane = plane(sp);
+                LaneCell cur;
+                if (nb) {
+                    ctx.read_for_nba_update(i.a, active, cur, tmp_plane_);
+                } else {
+                    ctx.read_signal(i.a, active, cur, tmp_plane_);
+                }
+                const Value rbase =
+                    cur.base.with_bits(i.imm, i.width, rhs.base.bits());
+                uint64_t u = (cur.dmask | rhs.dmask) & active;
+                uint64_t out_mask = 0;
+                uint64_t* out_plane = plane(sp);
+                uint64_t rest = u;
+                while (rest != 0) {
+                    const uint32_t l =
+                        static_cast<uint32_t>(std::countr_zero(rest));
+                    rest &= rest - 1;
+                    const Value cv = lane_value(cur, tmp_plane_, l);
+                    const Value rv = lane_value(rhs, rhs_plane, l);
+                    const Value r = cv.with_bits(i.imm, i.width, rv.bits());
+                    if (r.bits() != rbase.bits()) {
+                        out_mask |= uint64_t{1} << l;
+                        out_plane[l] = r.bits();
+                    }
+                }
+                ctx.write_signal(i.a, {rbase, out_mask}, out_plane, nb);
+                ++pc;
+                break;
+            }
+            case BcOp::StoreBit: {
+                --sp;
+                const LaneCell idx = st[sp];
+                --sp;
+                const LaneCell rhs = st[sp];
+                const uint64_t* rhs_plane = plane(sp);
+                // Lanes whose bit index diverges leave the pass (their
+                // writes would target different bits).
+                if ((idx.dmask & active) != 0) {
+                    active &= ~idx.dmask;
+                    if (active == 0) return abort_pass();
+                }
+                const uint64_t bit_idx = idx.base.bits();
+                if (bit_idx < i.width) {
+                    const bool nb = (i.flags & kBcNonblocking) != 0;
+                    LaneCell cur;
+                    if (nb) {
+                        ctx.read_for_nba_update(i.a, active, cur,
+                                                tmp_plane_);
+                    } else {
+                        ctx.read_signal(i.a, active, cur, tmp_plane_);
+                    }
+                    const Value rbase = cur.base.with_bits(
+                        static_cast<unsigned>(bit_idx), 1, rhs.base.bits());
+                    uint64_t out_mask = 0;
+                    uint64_t* out_plane = plane(sp);
+                    uint64_t rest = (cur.dmask | rhs.dmask) & active;
+                    while (rest != 0) {
+                        const uint32_t l =
+                            static_cast<uint32_t>(std::countr_zero(rest));
+                        rest &= rest - 1;
+                        const Value cv = lane_value(cur, tmp_plane_, l);
+                        const Value rv = lane_value(rhs, rhs_plane, l);
+                        const Value r = cv.with_bits(
+                            static_cast<unsigned>(bit_idx), 1, rv.bits());
+                        if (r.bits() != rbase.bits()) {
+                            out_mask |= uint64_t{1} << l;
+                            out_plane[l] = r.bits();
+                        }
+                    }
+                    ctx.write_signal(i.a, {rbase, out_mask}, out_plane, nb);
+                }
+                ++pc;
+                break;
+            }
+            case BcOp::StoreArray: {
+                --sp;
+                const LaneCell idx = st[sp];
+                --sp;
+                const LaneCell rhs = st[sp];
+                if ((idx.dmask & active) != 0) {
+                    active &= ~idx.dmask;
+                    if (active == 0) return abort_pass();
+                }
+                const uint64_t elem = idx.base.bits();
+                if (elem < design_.arrays[i.a].size) {
+                    LaneCell v = rhs;
+                    resize_cell(v, plane(sp), i.width);
+                    ctx.write_array(i.a, elem, v, plane(sp),
+                                    (i.flags & kBcNonblocking) != 0);
+                }
+                ++pc;
+                break;
+            }
+            case BcOp::Jump:
+                pc = i.a;
+                break;
+            case BcOp::JumpIfFalse: {
+                --sp;
+                const LaneCell cond = st[sp];
+                const bool base_true = cond.base.is_true();
+                uint64_t disagree = 0;
+                uint64_t rest = cond.dmask & active;
+                const uint64_t* cp = plane(sp);
+                while (rest != 0) {
+                    const uint32_t l =
+                        static_cast<uint32_t>(std::countr_zero(rest));
+                    rest &= rest - 1;
+                    if ((cp[l] != 0) != base_true) {
+                        disagree |= uint64_t{1} << l;
+                    }
+                }
+                if (disagree != 0) {
+                    active &= ~disagree;
+                    if (active == 0) return abort_pass();
+                }
+                pc = base_true ? pc + 1 : i.a;
+                break;
+            }
+            case BcOp::CaseJump: {
+                --sp;
+                const LaneCell subj = st[sp];
+                const BcCaseTable& t = p.case_tables[i.a];
+                const BcCaseEntry* entries = p.case_entries.data() + t.first;
+                auto target_of = [&](uint64_t v) {
+                    for (uint32_t k = 0; k < t.count; ++k) {
+                        if (entries[k].label == v) return entries[k].target;
+                    }
+                    return t.no_match;
+                };
+                const uint32_t base_target = target_of(subj.base.bits());
+                uint64_t disagree = 0;
+                uint64_t rest = subj.dmask & active;
+                const uint64_t* spn = plane(sp);
+                while (rest != 0) {
+                    const uint32_t l =
+                        static_cast<uint32_t>(std::countr_zero(rest));
+                    rest &= rest - 1;
+                    if (target_of(spn[l]) != base_target) {
+                        disagree |= uint64_t{1} << l;
+                    }
+                }
+                if (disagree != 0) {
+                    active &= ~disagree;
+                    if (active == 0) return abort_pass();
+                }
+                pc = base_target;
+                break;
+            }
+            case BcOp::PushSlot: {
+                const uint8_t slot = i.nargs;
+                if (lslot_written_[slot]) {
+                    st[sp] = lslots_[slot];
+                    st[sp].dmask &= active;
+                    uint64_t rest = st[sp].dmask;
+                    uint64_t* dst = plane(sp);
+                    const uint64_t* src = slot_plane(slot);
+                    while (rest != 0) {
+                        const uint32_t l = static_cast<uint32_t>(
+                            std::countr_zero(rest));
+                        rest &= rest - 1;
+                        dst[l] = src[l];
+                    }
+                } else {
+                    ctx.read_signal(i.a, active, st[sp], plane(sp));
+                }
+                resize_cell(st[sp], plane(sp), i.width);
+                ++sp;
+                ++pc;
+                break;
+            }
+            case BcOp::StoreFullSlot: {
+                const uint8_t slot = i.nargs;
+                --sp;
+                resize_cell(st[sp], plane(sp), i.width);
+                lslots_[slot] = st[sp];
+                uint64_t rest = st[sp].dmask;
+                uint64_t* dst = slot_plane(slot);
+                const uint64_t* src = plane(sp);
+                while (rest != 0) {
+                    const uint32_t l =
+                        static_cast<uint32_t>(std::countr_zero(rest));
+                    rest &= rest - 1;
+                    dst[l] = src[l];
+                }
+                touch_slot(slot);
+                ++pc;
+                break;
+            }
+            case BcOp::StorePartSlot: {
+                const uint8_t slot = i.nargs;
+                --sp;
+                const LaneCell rhs = st[sp];
+                const uint64_t* rhs_plane = plane(sp);
+                LaneCell cur;
+                const uint64_t* cur_plane;
+                if (lslot_written_[slot]) {
+                    cur = lslots_[slot];
+                    cur_plane = slot_plane(slot);
+                } else {
+                    ctx.read_signal(i.a, active, cur, tmp_plane_);
+                    cur_plane = tmp_plane_;
+                }
+                const Value rbase =
+                    cur.base.with_bits(i.imm, i.width, rhs.base.bits());
+                uint64_t out_mask = 0;
+                uint64_t* dst = slot_plane(slot);
+                uint64_t rest = (cur.dmask | rhs.dmask) & active;
+                while (rest != 0) {
+                    const uint32_t l =
+                        static_cast<uint32_t>(std::countr_zero(rest));
+                    rest &= rest - 1;
+                    const Value cv = lane_value(cur, cur_plane, l);
+                    const Value rv = lane_value(rhs, rhs_plane, l);
+                    const Value r = cv.with_bits(i.imm, i.width, rv.bits());
+                    if (r.bits() != rbase.bits()) {
+                        out_mask |= uint64_t{1} << l;
+                        dst[l] = r.bits();
+                    }
+                }
+                lslots_[slot] = {rbase, out_mask};
+                touch_slot(slot);
+                ++pc;
+                break;
+            }
+            case BcOp::StoreBitSlot: {
+                const uint8_t slot = i.nargs;
+                --sp;
+                const LaneCell idx = st[sp];
+                --sp;
+                const LaneCell rhs = st[sp];
+                const uint64_t* rhs_plane = plane(sp);
+                if ((idx.dmask & active) != 0) {
+                    active &= ~idx.dmask;
+                    if (active == 0) return abort_pass();
+                }
+                const uint64_t bit_idx = idx.base.bits();
+                if (bit_idx < i.width) {
+                    LaneCell cur;
+                    const uint64_t* cur_plane;
+                    if (lslot_written_[slot]) {
+                        cur = lslots_[slot];
+                        cur_plane = slot_plane(slot);
+                    } else {
+                        ctx.read_signal(i.a, active, cur, tmp_plane_);
+                        cur_plane = tmp_plane_;
+                    }
+                    const Value rbase = cur.base.with_bits(
+                        static_cast<unsigned>(bit_idx), 1, rhs.base.bits());
+                    uint64_t out_mask = 0;
+                    uint64_t* dst = slot_plane(slot);
+                    uint64_t rest = (cur.dmask | rhs.dmask) & active;
+                    while (rest != 0) {
+                        const uint32_t l =
+                            static_cast<uint32_t>(std::countr_zero(rest));
+                        rest &= rest - 1;
+                        const Value cv = lane_value(cur, cur_plane, l);
+                        const Value rv = lane_value(rhs, rhs_plane, l);
+                        const Value r = cv.with_bits(
+                            static_cast<unsigned>(bit_idx), 1, rv.bits());
+                        if (r.bits() != rbase.bits()) {
+                            out_mask |= uint64_t{1} << l;
+                            dst[l] = r.bits();
+                        }
+                    }
+                    lslots_[slot] = {rbase, out_mask};
+                    touch_slot(slot);
+                }
+                ++pc;
+                break;
+            }
+            case BcOp::ApplyStore: {
+                apply_lanes(i, sp - i.nargs, 0);
+                sp -= i.nargs;
+                ctx.write_signal(i.a, st[sp], plane(sp),
+                                 (i.flags & kBcNonblocking) != 0);
+                ++pc;
+                break;
+            }
+            case BcOp::ApplyStoreSlot: {
+                const uint32_t slot = i.imm;
+                apply_lanes(i, sp - i.nargs, 0);
+                sp -= i.nargs;
+                lslots_[slot] = st[sp];
+                uint64_t rest = st[sp].dmask;
+                uint64_t* dst = slot_plane(slot);
+                const uint64_t* src = plane(sp);
+                while (rest != 0) {
+                    const uint32_t l =
+                        static_cast<uint32_t>(std::countr_zero(rest));
+                    rest &= rest - 1;
+                    dst[l] = src[l];
+                }
+                touch_slot(slot);
+                ++pc;
+                break;
+            }
+            case BcOp::Halt:
+                for (const uint32_t slot : lslot_touched_) {
+                    ctx.write_signal(p.slot_sigs[slot], lslots_[slot],
+                                     slot_plane(slot), false);
+                    lslot_written_[slot] = 0;
+                }
+                lslot_touched_.clear();
+                return active;
         }
     }
 }

@@ -5,8 +5,21 @@
 // instruction** — operand spans point into the preallocated stack and every
 // store resolves through the same EvalContext virtuals as the tree
 // interpreter.
+//
+// Superword lane pass (exec_lanes): the batched fault engine executes ALL
+// surviving faulty lanes of a 64-lane group in ONE walk over the
+// instruction stream instead of one VM run per fault. Each stack cell is a
+// lane vector {base value, diverged-lane word, value plane}: instructions
+// whose operands carry no diverged lanes cost exactly one scalar operation;
+// diverged lanes are evaluated per lane with the same rtl::eval_op the
+// scalar path uses, so every lane's result is bit-identical to a scalar
+// re-execution. Lanes whose control flow (branch direction, case target,
+// store/bit index) diverges from the base path are moved out of the pass —
+// the caller re-executes them scalar — so the lane pass itself never needs
+// divergent-control machinery.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "rtl/design.h"
@@ -14,6 +27,50 @@
 #include "sim/context.h"
 
 namespace eraser::sim {
+
+/// One lane-vector value of the superword pass. Lanes outside `dmask` hold
+/// `base`; lane l inside holds Value(plane[l], base.width()) where the
+/// plane is the 64-entry storage the cell travels with (VM stack slot,
+/// slot register, or activation buffer).
+struct LaneCell {
+    Value base;
+    uint64_t dmask = 0;
+};
+
+/// Lane-group evaluation context of the superword pass: supplies the global
+/// (pre-activation) view of one 64-lane fault group and buffers the pass's
+/// writes. The same read/write conventions as EvalContext, widened to lane
+/// vectors; `lanes` restricts the lanes the caller still cares about.
+/// Plane-pointer aliasing: read_array's `out_plane` may alias `idx_plane`
+/// (the VM evaluates in place); implementations must read lane l's index
+/// before writing lane l's result and touch no other lane.
+class LaneEvalContext {
+  public:
+    virtual ~LaneEvalContext() = default;
+
+    /// Overlay-then-global view (this activation's earlier writes win).
+    virtual void read_signal(rtl::SignalId sig, uint64_t lanes,
+                             LaneCell& cell, uint64_t* plane) = 0;
+    /// Global view only (signal provably outside the body's write set).
+    virtual void read_signal_unwritten(rtl::SignalId sig, uint64_t lanes,
+                                       LaneCell& cell, uint64_t* plane) = 0;
+    virtual void read_array(rtl::ArrayId arr, const LaneCell& idx,
+                            const uint64_t* idx_plane, uint64_t lanes,
+                            LaneCell& out, uint64_t* out_plane) = 0;
+    virtual void read_array_unwritten(rtl::ArrayId arr, const LaneCell& idx,
+                                      const uint64_t* idx_plane,
+                                      uint64_t lanes, LaneCell& out,
+                                      uint64_t* out_plane) = 0;
+    virtual void write_signal(rtl::SignalId sig, const LaneCell& cell,
+                              const uint64_t* plane, bool nonblocking) = 0;
+    /// Uniform element index (the VM defers index-divergent lanes first).
+    virtual void write_array(rtl::ArrayId arr, uint64_t idx,
+                             const LaneCell& cell, const uint64_t* plane,
+                             bool nonblocking) = 0;
+    /// Last NBA write of this activation to `sig`, else read_signal.
+    virtual void read_for_nba_update(rtl::SignalId sig, uint64_t lanes,
+                                     LaneCell& cell, uint64_t* plane) = 0;
+};
 
 class BcVm {
   public:
@@ -42,6 +99,15 @@ class BcVm {
         return d.no_match;
     }
 
+    /// Superword pass: executes `p` once for every lane in `lanes` of one
+    /// 64-lane fault group, buffering writes through `ctx`. Returns the
+    /// surviving lane mask; lanes dropped along the way diverged in control
+    /// flow or store indexing and must be re-executed scalar by the caller
+    /// (their contribution to any buffered write is garbage and must be
+    /// masked out). Returns 0 immediately when every lane diverges.
+    [[nodiscard]] uint64_t exec_lanes(const BcProgram& p,
+                                      LaneEvalContext& ctx, uint64_t lanes);
+
   private:
     Value run(const BcProgram& p, EvalContext& ctx);
 
@@ -52,6 +118,18 @@ class BcVm {
     std::vector<Value> slots_;
     std::vector<uint8_t> slot_written_;
     std::vector<uint32_t> slot_touched_;
+
+    // Lane-pass state: stack cells + planes (64 words per stack slot),
+    // lane slot registers, and per-instruction operand scratch.
+    std::vector<LaneCell> lstack_;
+    std::vector<uint64_t> lplanes_;
+    std::vector<LaneCell> lslots_;
+    std::vector<uint64_t> lslot_planes_;
+    std::vector<uint8_t> lslot_written_;
+    std::vector<uint32_t> lslot_touched_;
+    std::vector<Value> lane_ops_;        // per-lane operand gather
+    std::vector<LaneCell> lane_args_;    // operand cell copies (Apply)
+    uint64_t tmp_plane_[64];             // RMW current-value scratch
 };
 
 }  // namespace eraser::sim

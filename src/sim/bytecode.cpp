@@ -192,7 +192,77 @@ class Compiler {
         emit({.kind = BcOp::Halt}, 0);
         prog_.max_stack = static_cast<uint32_t>(max_depth_);
         prog_.slot_sigs = std::move(slot_sigs_);
+        fuse_superword_pairs(prog_);
         return std::move(prog_);
+    }
+
+    /// Peephole: Apply followed by a same-width full store fuses into
+    /// ApplyStore / ApplyStoreSlot (see bytecode.h). The store instruction
+    /// is removed, so every jump target and case-table entry is remapped;
+    /// a pair whose store is itself a jump target stays unfused.
+    static void fuse_superword_pairs(BcProgram& p) {
+        std::vector<BcInstr>& code = p.code;
+        std::vector<uint8_t> is_target(code.size(), 0);
+        for (const BcInstr& i : code) {
+            if (i.kind == BcOp::Jump || i.kind == BcOp::JumpIfFalse) {
+                is_target[i.a] = 1;
+            }
+        }
+        for (const BcCaseTable& t : p.case_tables) {
+            is_target[t.no_match] = 1;
+            for (uint32_t k = 0; k < t.count; ++k) {
+                is_target[p.case_entries[t.first + k].target] = 1;
+            }
+        }
+
+        std::vector<BcInstr> out;
+        out.reserve(code.size());
+        std::vector<uint32_t> remap(code.size());
+        for (uint32_t pc = 0; pc < code.size(); ++pc) {
+            remap[pc] = static_cast<uint32_t>(out.size());
+            const BcInstr& i = code[pc];
+            // Slice is excluded: its Apply carries `imm`, which the fused
+            // slot variant repurposes as the slot id.
+            if (i.kind == BcOp::Apply && i.op != rtl::Op::Slice &&
+                pc + 1 < code.size() && !is_target[pc + 1]) {
+                const BcInstr& s = code[pc + 1];
+                if (s.kind == BcOp::StoreFull && s.width == i.width) {
+                    BcInstr fused = i;
+                    fused.kind = BcOp::ApplyStore;
+                    fused.flags = s.flags;
+                    fused.a = s.a;
+                    out.push_back(fused);
+                    remap[pc + 1] = remap[pc];   // never a jump target
+                    ++pc;
+                    continue;
+                }
+                if (s.kind == BcOp::StoreFullSlot && s.width == i.width) {
+                    BcInstr fused = i;
+                    fused.kind = BcOp::ApplyStoreSlot;
+                    fused.imm = s.nargs;   // slot id
+                    fused.a = s.a;
+                    out.push_back(fused);
+                    remap[pc + 1] = remap[pc];
+                    ++pc;
+                    continue;
+                }
+            }
+            out.push_back(i);
+        }
+        if (out.size() == code.size()) return;   // nothing fused
+        for (BcInstr& i : out) {
+            if (i.kind == BcOp::Jump || i.kind == BcOp::JumpIfFalse) {
+                i.a = remap[i.a];
+            }
+        }
+        for (BcCaseTable& t : p.case_tables) {
+            t.no_match = remap[t.no_match];
+            for (uint32_t k = 0; k < t.count; ++k) {
+                p.case_entries[t.first + k].target =
+                    remap[p.case_entries[t.first + k].target];
+            }
+        }
+        code = std::move(out);
     }
 
   private:

@@ -65,6 +65,15 @@ enum class BcOp : uint8_t {
     StoreFullSlot, // pop rhs; slot = rhs.resized(width)   (blocking only)
     StorePartSlot, // pop rhs; RMW bits [imm, imm+width) against slot/ctx
     StoreBitSlot,  // pop idx, rhs; RMW bit idx against slot/ctx
+
+    // Superword fusions: an Apply whose result feeds straight into a
+    // full-width store of the same width collapses into one instruction
+    // (`x = a op b` — the most common statement shape), saving a dispatch
+    // plus a stack round-trip per executed assignment. Fused by a peephole
+    // pass after emission; never fused across a jump target or for Slice
+    // (whose Apply carries `imm`, reused as the slot id below).
+    ApplyStore,     // pop nargs; write_signal(a, eval_op(...), nb)
+    ApplyStoreSlot, // pop nargs; slot[imm] = eval_op(...)   (blocking only)
 };
 
 /// Store-instruction flag: the write is nonblocking (`<=`).

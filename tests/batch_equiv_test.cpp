@@ -1,0 +1,199 @@
+// Differential suite for bit-parallel fault batching (FaultBatching::Word):
+// the batched engine must produce detection bitmaps bit-identical to the
+// scalar oracle on every circuit of the benchmark suite, under every
+// RedundancyMode, for fault lists whose size is not a multiple of the
+// 64-lane group width, through sharded Session submission, and under
+// mid-campaign cancellation. The scalar path (FaultBatching::Off) is the
+// reference — it is the pre-batching engine unchanged.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "eraser/eraser.h"
+#include "frontend/compile.h"
+#include "suite/random_stimulus.h"
+#include "suite/suite.h"
+
+namespace eraser {
+namespace {
+
+std::vector<fault::Fault> sample_faults(const rtl::Design& design,
+                                        uint32_t n, uint64_t seed = 7) {
+    fault::FaultGenOptions fopts;
+    fopts.sample_max = n;
+    fopts.sample_seed = seed;
+    return fault::generate_faults(design, fopts);
+}
+
+core::CampaignResult run_one(core::Session& session,
+                             const suite::Benchmark& b,
+                             std::span<const fault::Fault> faults,
+                             uint32_t cycles, core::RedundancyMode mode,
+                             core::FaultBatching batching,
+                             sim::InterpMode interp =
+                                 sim::InterpMode::Bytecode) {
+    auto stim = suite::make_stimulus(b, cycles);
+    core::CampaignOptions opts;
+    opts.engine.mode = mode;
+    opts.engine.batching = batching;
+    opts.engine.interp = interp;
+    return session.run(faults, *stim, opts);
+}
+
+const char* mode_name(core::RedundancyMode m) {
+    switch (m) {
+        case core::RedundancyMode::None: return "None";
+        case core::RedundancyMode::Explicit: return "Explicit";
+        case core::RedundancyMode::Full: return "Full";
+    }
+    return "?";
+}
+
+// --- whole suite, every redundancy mode -------------------------------------
+
+TEST(BatchEquivalence, AllCircuitsAllModesBitIdentical) {
+    for (const auto& b : suite::registry()) {
+        auto design = suite::load_design(b);
+        // 90 % 64 != 0: every circuit exercises a partial trailing group.
+        const auto faults = sample_faults(*design, 90);
+        ASSERT_FALSE(faults.empty()) << b.name;
+        core::Session session(*design);
+        for (const auto mode :
+             {core::RedundancyMode::None, core::RedundancyMode::Explicit,
+              core::RedundancyMode::Full}) {
+            const auto scalar =
+                run_one(session, b, faults, b.test_cycles, mode,
+                        core::FaultBatching::Off);
+            const auto batched =
+                run_one(session, b, faults, b.test_cycles, mode,
+                        core::FaultBatching::Word);
+            EXPECT_EQ(scalar.detected, batched.detected)
+                << b.name << " mode=" << mode_name(mode);
+            EXPECT_EQ(scalar.num_detected, batched.num_detected)
+                << b.name << " mode=" << mode_name(mode);
+        }
+    }
+}
+
+// --- odd group remainders ----------------------------------------------------
+
+// Group packing must be correct at every |faults| % 64 boundary shape:
+// below one group, exactly one group, one lane into the second group, and a
+// large non-multiple.
+TEST(BatchEquivalence, OddGroupRemainders) {
+    const suite::Benchmark& b = suite::find_benchmark("riscv_mini");
+    auto design = suite::load_design(b);
+    core::Session session(*design);
+    for (const uint32_t n : {1u, 63u, 64u, 65u, 130u, 200u}) {
+        const auto faults = sample_faults(*design, n, /*seed=*/n);
+        ASSERT_FALSE(faults.empty());
+        const auto scalar = run_one(session, b, faults, b.test_cycles,
+                                    core::RedundancyMode::Full,
+                                    core::FaultBatching::Off);
+        const auto batched = run_one(session, b, faults, b.test_cycles,
+                                     core::RedundancyMode::Full,
+                                     core::FaultBatching::Word);
+        EXPECT_EQ(scalar.detected, batched.detected) << "n=" << n;
+    }
+}
+
+// --- sharded submission ------------------------------------------------------
+
+// Batched engines under the sharded Session scheduler (odd shard sizes, so
+// shards end in partial groups) must reproduce the scalar single-engine
+// bitmap.
+TEST(BatchEquivalence, ShardedSubmitMatchesScalar) {
+    const suite::Benchmark& b = suite::find_benchmark("mips_cpu");
+    auto design = suite::load_design(b);
+    const auto faults = sample_faults(*design, 150);
+    core::Session session(*design, {.num_threads = 2});
+    auto factory = [&] { return suite::make_stimulus(b, b.test_cycles); };
+
+    const auto scalar = run_one(session, b, faults, b.test_cycles,
+                                core::RedundancyMode::Full,
+                                core::FaultBatching::Off);
+    for (const uint32_t shards : {1u, 3u, 7u}) {
+        core::CampaignOptions opts;
+        opts.engine.batching = core::FaultBatching::Word;
+        opts.num_shards = shards;
+        const auto batched = session.submit(faults, factory, opts).wait();
+        EXPECT_EQ(scalar.detected, batched.detected)
+            << "shards=" << shards;
+    }
+}
+
+// --- audit + tree-interpreter fallback ---------------------------------------
+
+// The audit shadow-execution cross-check must hold under batching (no
+// soundness violations), and a Word engine forced onto the tree
+// interpreter (no bytecode lane pass available) still matches.
+TEST(BatchEquivalence, AuditAndTreeInterp) {
+    const suite::Benchmark& b = suite::find_benchmark("sodor");
+    auto design = suite::load_design(b);
+    const auto faults = sample_faults(*design, 80);
+    core::Session session(*design);
+
+    auto stim = suite::make_stimulus(b, b.test_cycles);
+    core::CampaignOptions audit_opts;
+    audit_opts.engine.batching = core::FaultBatching::Word;
+    audit_opts.engine.audit = true;
+    const auto audited = session.run(faults, *stim, audit_opts);
+    EXPECT_EQ(audited.stats.audit_soundness_violations, 0u);
+
+    const auto scalar = run_one(session, b, faults, b.test_cycles,
+                                core::RedundancyMode::Full,
+                                core::FaultBatching::Off);
+    EXPECT_EQ(scalar.detected, audited.detected);
+
+    const auto tree = run_one(session, b, faults, b.test_cycles,
+                              core::RedundancyMode::Full,
+                              core::FaultBatching::Word,
+                              sim::InterpMode::Tree);
+    EXPECT_EQ(scalar.detected, tree.detected);
+}
+
+// --- cancellation mid-campaign ----------------------------------------------
+
+TEST(BatchEquivalence, CancellationMidCampaign) {
+    // `dead` never reaches an output, so its faults are undetectable and
+    // no engine can early-exit by detecting everything.
+    auto design = frontend::compile(R"(
+        module cancel_dut(input clk, input in, output reg out);
+          reg dead;
+          always @(posedge clk) begin
+            dead <= in;
+            out <= in;
+          end
+        endmodule
+    )",
+                                    "cancel_dut");
+    std::vector<fault::Fault> faults;
+    const rtl::SignalId dead = design->signal_id("dead");
+    faults.push_back({dead, 0, false});
+    faults.push_back({dead, 0, true});
+
+    suite::RandomStimulus::Config cfg;
+    cfg.cycles = 500'000'000;   // hours of simulation if not canceled
+    auto factory = [&] {
+        return std::make_unique<suite::RandomStimulus>(cfg);
+    };
+
+    core::Session session(*design, {.num_threads = 2});
+    core::CampaignOptions opts;
+    opts.engine.batching = core::FaultBatching::Word;
+    opts.num_shards = 2;
+    auto handle = session.submit(faults, factory, opts);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(handle.finished());
+    EXPECT_TRUE(handle.cancel());
+    const auto& result = handle.wait();
+    EXPECT_TRUE(result.canceled);
+    EXPECT_EQ(result.num_faults, 2u);
+}
+
+}  // namespace
+}  // namespace eraser

@@ -54,6 +54,103 @@ TEST(DivergenceList, EraseIfDropsPredicateMatches) {
     for (const auto& e : list.entries()) EXPECT_EQ(e.fault % 2, 1u);
 }
 
+TEST(DivergenceList, MergeFromMatchesSetEraseLoop) {
+    // merge_from(updates, good) must leave the list exactly as the
+    // equivalent per-update set/erase loop would, across random batches.
+    Prng rng(11);
+    const Value good(0, 16);
+    for (int round = 0; round < 200; ++round) {
+        DivergenceList merged, looped;
+        // Random pre-state shared by both.
+        for (int i = 0; i < 12; ++i) {
+            const FaultId f = static_cast<FaultId>(rng.below(48));
+            const Value v(rng.bits(16), 16);
+            merged.set(f, v);
+            looped.set(f, v);
+        }
+        // Random update batch: ascending unique faults, ~half equal good.
+        std::vector<DivergenceList::Entry> updates;
+        for (FaultId f = 0; f < 48; ++f) {
+            if (rng.below(3) == 0) {
+                updates.push_back(
+                    {f, rng.below(2) == 0 ? good : Value(rng.bits(16), 16)});
+            }
+        }
+        std::vector<DivergenceList::Entry> scratch;
+        const bool changed = merged.merge_from(updates, good, scratch);
+        bool loop_changed = false;
+        for (const auto& u : updates) {
+            if (u.value != good) {
+                loop_changed |= looped.set(u.fault, u.value);
+            } else {
+                loop_changed |= looped.erase(u.fault);
+            }
+        }
+        EXPECT_EQ(merged, looped) << "round " << round;
+        EXPECT_EQ(changed, loop_changed) << "round " << round;
+    }
+}
+
+TEST(DivergenceBlockStore, SetFindEraseMirrorsList) {
+    DivergenceBlockStore store;
+    store.reset(2);
+    EXPECT_TRUE(store.empty());
+    EXPECT_EQ(store.find(1, 3), nullptr);
+
+    EXPECT_TRUE(store.set(1, 3, 7));
+    EXPECT_TRUE(store.set(0, 63, 5));
+    EXPECT_FALSE(store.empty());
+    EXPECT_EQ(store.live_groups(), 2u);
+
+    ASSERT_NE(store.find(1, 3), nullptr);
+    EXPECT_EQ(*store.find(1, 3), 7u);
+    EXPECT_TRUE(store.contains(0, 63));
+    EXPECT_FALSE(store.contains(0, 62));
+    EXPECT_EQ(store.mask(0), uint64_t{1} << 63);
+
+    EXPECT_FALSE(store.set(1, 3, 7));   // unchanged -> false
+    EXPECT_TRUE(store.set(1, 3, 8));    // changed -> true
+    EXPECT_EQ(store.value(1, 3), 8u);
+
+    EXPECT_TRUE(store.erase(0, 63));
+    EXPECT_FALSE(store.erase(0, 63));
+    EXPECT_EQ(store.live_groups(), 1u);
+
+    store.erase_lanes(1, ~uint64_t{0});
+    EXPECT_TRUE(store.empty());
+}
+
+TEST(DivergenceBlockStore, CopyAndCompareGroups) {
+    DivergenceBlockStore a, b;
+    a.reset(1);
+    b.reset(1);
+    EXPECT_TRUE(a.group_equals(b, 0));
+    a.set(0, 5, 42);
+    a.set(0, 17, 9);
+    EXPECT_FALSE(a.group_equals(b, 0));
+    b.copy_group_from(a, 0);
+    EXPECT_TRUE(a.group_equals(b, 0));
+    EXPECT_EQ(b.value(0, 5), 42u);
+    // Same mask, different value.
+    b.set(0, 5, 43);
+    EXPECT_FALSE(a.group_equals(b, 0));
+    // Copying an empty group clears the destination.
+    DivergenceBlockStore empty;
+    empty.reset(1);
+    b.copy_group_from(empty, 0);
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(LaneAddressing, GroupAndLaneRoundTrip) {
+    for (const FaultId f : {0u, 1u, 63u, 64u, 65u, 200u, 4095u}) {
+        EXPECT_EQ((group_of(f) << kLaneBits) | lane_of(f), f);
+    }
+    EXPECT_EQ(num_groups(0), 0u);
+    EXPECT_EQ(num_groups(1), 1u);
+    EXPECT_EQ(num_groups(64), 1u);
+    EXPECT_EQ(num_groups(65), 2u);
+}
+
 TEST(DivergenceList, WidthIsPartOfTheValue) {
     DivergenceList list;
     list.set(1, Value(3, 4));

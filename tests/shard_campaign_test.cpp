@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "eraser/campaign.h"
+#include "eraser/compiled_design.h"
 #include "eraser/shard.h"
 #include "suite/suite.h"
 
@@ -166,6 +167,59 @@ TEST(ShardPartition, CoversEveryFaultExactlyOnce) {
                 EXPECT_EQ(again[s].est_cost, shards[s].est_cost);
             }
         }
+    }
+}
+
+TEST(ShardPartition, GroupedCoversEveryFaultAndAlignsToLanes) {
+    const auto& b = suite::registry().front();
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    auto compiled = core::CompiledDesign::build(*design);
+
+    for (const auto policy :
+         {core::ShardPolicy::RoundRobin, core::ShardPolicy::CostBalanced}) {
+        for (const uint32_t k : {1u, 3u, 7u, 1000u}) {
+            const auto shards =
+                core::make_shards_grouped(*compiled, faults, k, policy);
+            std::vector<uint32_t> seen(faults.size(), 0);
+            for (const auto& shard : shards) {
+                ASSERT_EQ(shard.faults.size(), shard.global_ids.size());
+                EXPECT_FALSE(shard.faults.empty());
+                for (size_t i = 0; i < shard.global_ids.size(); ++i) {
+                    if (i > 0) {
+                        EXPECT_LT(shard.global_ids[i - 1],
+                                  shard.global_ids[i]);
+                    }
+                    ASSERT_LT(shard.global_ids[i], faults.size());
+                    ++seen[shard.global_ids[i]];
+                }
+            }
+            for (uint32_t count : seen) EXPECT_EQ(count, 1u);
+
+            // Determinism: same inputs, same partition.
+            const auto again =
+                core::make_shards_grouped(*compiled, faults, k, policy);
+            ASSERT_EQ(again.size(), shards.size());
+            for (size_t s = 0; s < shards.size(); ++s) {
+                EXPECT_EQ(again[s].global_ids, shards[s].global_ids);
+            }
+        }
+        // At shard counts below the group count, every shard's size is a
+        // whole number of 64-lane units except at most one partial unit
+        // overall (lane-aligned work per shard). Needs > 64 * k faults.
+        fault::FaultGenOptions fopts;
+        fopts.sample_max = 200;
+        fopts.sample_seed = 5;
+        const auto many = fault::generate_faults(*design, fopts);
+        ASSERT_GT(many.size(), 128u);
+        const auto shards =
+            core::make_shards_grouped(*compiled, many, 2, policy);
+        uint32_t partials = 0;
+        for (const auto& shard : shards) {
+            partials += shard.faults.size() % 64 != 0;
+        }
+        EXPECT_LE(partials, 1u) << "policy "
+                                << static_cast<int>(policy);
     }
 }
 

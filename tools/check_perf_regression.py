@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_fig6.json artifacts.
+
+Compares the geomean IFsim-relative speedup of a chosen engine mode
+(default: `eraser`, the batched production engine) between a freshly
+produced BENCH_fig6.json and the committed baseline under bench/baselines/.
+Speedups are relative to the serial IFsim* baseline measured in the same
+run, so host speed largely cancels; the gate trips when the geomean drops
+more than --tolerance (default 10%) below the baseline.
+
+The two artifacts must cover the same circuits — a circuit appearing in
+only one of them is an error, not a silent skip (dropping a slow circuit
+would otherwise raise the geomean and mask a real regression).
+--min-wall-ms drops circuits whose BASELINE row is faster than the floor
+(sub-millisecond rows are scheduler-noise-dominated on shared CI runners);
+the filter keys off the committed baseline so both sides drop the same set.
+
+Usage:
+  tools/check_perf_regression.py CURRENT.json BASELINE.json \
+      [--mode eraser] [--tolerance 0.10] [--min-wall-ms 0]
+
+Exit status: 0 = within tolerance, 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_mode_rows(path, mode):
+    """circuit -> (speedup, wall_ms) for every row of the given mode."""
+    with open(path, "r", encoding="utf-8") as f:
+        rows = json.load(f)
+    out = {}
+    for row in rows:
+        if row.get("mode") == mode:
+            speedup = float(row["speedup"])
+            if speedup <= 0.0:
+                raise ValueError(
+                    f"{path}: non-positive speedup {speedup} for "
+                    f"circuit '{row.get('circuit')}'")
+            out[row["circuit"]] = (speedup, float(row["wall_ms"]))
+    if not out:
+        raise ValueError(f"{path}: no rows with mode '{mode}'")
+    return out
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly produced BENCH_fig6.json")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("--mode", default="eraser",
+                        help="engine mode to gate (default: eraser)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional geomean drop (default 0.10)")
+    parser.add_argument("--min-wall-ms", type=float, default=0.0,
+                        help="drop circuits whose baseline row is faster "
+                             "than this floor (noise guard; default 0)")
+    args = parser.parse_args()
+
+    try:
+        cur = load_mode_rows(args.current, args.mode)
+        base = load_mode_rows(args.baseline, args.mode)
+        if set(cur) != set(base):
+            only_cur = sorted(set(cur) - set(base))
+            only_base = sorted(set(base) - set(cur))
+            raise ValueError(
+                "circuit sets differ — refresh the committed baseline "
+                f"(only in current: {only_cur}; only in baseline: "
+                f"{only_base})")
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    gated = [c for c in sorted(base)
+             if base[c][1] >= args.min_wall_ms]
+    skipped = [c for c in sorted(base) if c not in gated]
+    if not gated:
+        print(f"error: --min-wall-ms {args.min_wall_ms} excludes every "
+              "circuit", file=sys.stderr)
+        return 2
+
+    print(f"mode '{args.mode}' speedup vs IFsim* (current / baseline):")
+    for circuit in gated:
+        c, b = cur[circuit][0], base[circuit][0]
+        print(f"  {circuit:<12} {c:8.2f} {b:8.2f}  {c / b:5.2f}x")
+    for circuit in skipped:
+        print(f"  {circuit:<12} (skipped: baseline wall "
+              f"{base[circuit][1]:.3f} ms < {args.min_wall_ms} ms floor)")
+    cur_geo = geomean([cur[c][0] for c in gated])
+    base_geo = geomean([base[c][0] for c in gated])
+    print(f"  {'geomean':<12} {cur_geo:8.2f} {base_geo:8.2f}  "
+          f"{cur_geo / base_geo:5.2f}x")
+
+    floor = base_geo * (1.0 - args.tolerance)
+    if cur_geo < floor:
+        print(f"REGRESSION: geomean {cur_geo:.2f} below floor {floor:.2f} "
+              f"(baseline {base_geo:.2f} - {args.tolerance:.0%})",
+              file=sys.stderr)
+        return 1
+    print(f"OK: geomean {cur_geo:.2f} >= floor {floor:.2f} "
+          f"(baseline {base_geo:.2f} - {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
