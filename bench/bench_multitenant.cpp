@@ -1,0 +1,231 @@
+// Multi-tenant tail latency: how long a latency-sensitive campaign waits
+// when it lands behind a saturating background campaign on the same
+// Session. Two scheduler configurations are measured per circuit:
+//
+//   fifo      — fair share off, both campaigns Normal priority: strict
+//               submission order, the pre-scheduler behavior (the
+//               foreground's first shard waits for every already-
+//               dispatched background shard).
+//   priority  — the default scheduler: background Low, foreground High.
+//               Workers re-pick at every shard boundary, so the foreground
+//               overtakes after at most one in-flight background shard.
+//
+// The headline metric is the foreground's wait-to-first-shard (the minimum
+// ShardBreakdown::queue_seconds across its shards); the background runs
+// many small shards (16 per worker) so the FIFO wait approximates the whole
+// background campaign while the priority wait approximates a single shard.
+// Verdicts are checked bit-identical across both configurations — QoS must
+// never move a detection bit.
+//
+// Machine-readable results go to BENCH_multitenant.json (schema in README
+// "Benchmark result files").
+//
+//   $ ./build/bench/bench_multitenant [--quick] [--threads N]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace eraser;
+
+namespace {
+
+/// The circuits this bench exercises: one heavy straight-line circuit and
+/// two control-heavy cores keep the runtime moderate while covering both
+/// shard-cost profiles. Falls back to the suite's first circuits when a
+/// name is missing.
+std::vector<const suite::Benchmark*> pick_circuits() {
+    const std::vector<std::string> wanted = {"sha256_hv", "picorv32", "alu"};
+    std::vector<const suite::Benchmark*> picked;
+    for (const auto& name : wanted) {
+        for (const auto& b : suite::registry()) {
+            if (b.name == name) {
+                picked.push_back(&b);
+                break;
+            }
+        }
+    }
+    for (const auto& b : suite::registry()) {
+        if (picked.size() >= 3) break;
+        if (std::find(picked.begin(), picked.end(), &b) == picked.end()) {
+            picked.push_back(&b);
+        }
+    }
+    return picked;
+}
+
+double min_queue_seconds(const std::vector<core::ShardBreakdown>& shards) {
+    double min_queue = -1.0;
+    for (const auto& sb : shards) {
+        if (min_queue < 0.0 || sb.queue_seconds < min_queue) {
+            min_queue = sb.queue_seconds;
+        }
+    }
+    return std::max(min_queue, 0.0);
+}
+
+struct ModeResult {
+    double first_shard_wait = 0.0;   // foreground submit -> first engine start
+    double fg_latency = 0.0;         // foreground submit -> merged result
+    double bg_seconds = 0.0;
+    uint32_t bg_shards = 0;          // shards the campaign actually ran
+    std::vector<bool> fg_detected;
+    std::vector<bool> bg_detected;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto scale = bench::parse_scale(argc, argv);
+    bench::print_environment(
+        "Multi-tenant QoS: high-priority latency behind a saturating "
+        "background campaign");
+
+    const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+    const uint32_t threads = scale.threads > 0 ? scale.threads : hw;
+
+    std::printf("%-12s %-9s %10s %12s %12s %10s\n", "Benchmark", "Mode",
+                "Wait(ms)", "FgLat(ms)", "BgTime(ms)", "Threads");
+    bench::JsonRows json;
+    std::vector<double> wait_ratios;   // fifo/priority, measurable circuits
+
+    for (const suite::Benchmark* bp : pick_circuits()) {
+        const suite::Benchmark& b = *bp;
+        auto design = suite::load_design(b);
+        const auto faults = bench::faults_for(*design, scale.faults(b));
+        const uint32_t cycles = scale.cycles(b);
+        auto factory = [&]() { return suite::make_stimulus(b, cycles); };
+
+        // Foreground: a small latency-sensitive slice of the fault list.
+        const size_t fg_count = std::max<size_t>(1, faults.size() / 8);
+        const std::span<const fault::Fault> fg_faults(faults.data(),
+                                                      fg_count);
+
+        auto compiled = core::CompiledDesign::build(*design);
+        const double compile_s = compiled->compile_seconds();
+        ModeResult results[2];
+
+        for (const int mode : {0, 1}) {   // 0 = fifo, 1 = priority
+            core::SessionOptions sopts;
+            sopts.num_threads = threads;
+            sopts.scheduler.fair_share = mode == 1;
+            core::Session session(compiled, sopts);
+
+            core::CampaignOptions bg_opts;
+            bg_opts.num_shards = 16 * threads;
+            bg_opts.priority =
+                mode == 1 ? core::Priority::Low : core::Priority::Normal;
+            auto bg = session.submit(faults, factory, bg_opts);
+
+            // Let the background actually saturate: at least one of its
+            // shards must have completed (so workers are mid-campaign, not
+            // mid-submission) before the foreground arrives.
+            while (bg.progress().shards_done < 1) {
+                std::this_thread::yield();
+            }
+
+            core::CampaignOptions fg_opts;
+            fg_opts.num_shards = threads;
+            fg_opts.priority =
+                mode == 1 ? core::Priority::High : core::Priority::Normal;
+            Stopwatch fg_watch;
+            auto fg = session.submit(fg_faults, factory, fg_opts);
+            const auto fg_result = fg.wait();
+            ModeResult& r = results[mode];
+            r.fg_latency = fg_watch.seconds();
+            r.first_shard_wait = min_queue_seconds(fg_result.stats.shards);
+            r.fg_detected = fg_result.detected;
+            const auto bg_result = bg.wait();
+            r.bg_seconds = bg_result.seconds;
+            r.bg_shards = bg_result.num_shards;
+            r.bg_detected = bg_result.detected;
+
+            const char* mode_name = mode == 1 ? "priority" : "fifo";
+            std::printf("%-12s %-9s %10.2f %12.2f %12.2f %10u\n",
+                        b.display.c_str(), mode_name,
+                        r.first_shard_wait * 1e3, r.fg_latency * 1e3,
+                        r.bg_seconds * 1e3, threads);
+            json.add(
+                "{" +
+                bench::perf_row_prefix(b.name.c_str(), mode_name, threads,
+                                       bench::batch_name(
+                                           bg_opts.engine.batching),
+                                       r.fg_latency, compile_s) +
+                bench::format(
+                    R"(, "first_shard_wait_ms": %.3f, )"
+                    R"("bg_wall_ms": %.3f, "bg_shards": %u)",
+                    r.first_shard_wait * 1e3, r.bg_seconds * 1e3,
+                    r.bg_shards) +
+                "}");
+        }
+
+        if (results[0].fg_detected != results[1].fg_detected ||
+            results[0].bg_detected != results[1].bg_detected) {
+            std::printf("%-12s VERDICT MISMATCH between fifo and priority\n",
+                        b.display.c_str());
+            return 1;
+        }
+        // Circuits whose FIFO wait is itself at timer resolution carry no
+        // QoS signal (their background campaign barely saturates): keep
+        // them out of the gate's geomean so a slow shared runner cannot
+        // dilute it with structural ~1x ratios. A sub-tick *priority* wait
+        // is the opposite — the strongest possible win — so it is floored
+        // at 10us rather than excluded.
+        constexpr double kMinFifoWaitSeconds = 1e-3;
+        constexpr double kPriorityWaitFloorSeconds = 1e-5;
+        if (results[0].first_shard_wait < kMinFifoWaitSeconds) {
+            std::printf("  -> fifo wait %.2f ms below the %.0f ms gate "
+                        "floor; circuit excluded from the geomean\n",
+                        results[0].first_shard_wait * 1e3,
+                        kMinFifoWaitSeconds * 1e3);
+        } else {
+            const double ratio =
+                results[0].first_shard_wait /
+                std::max(results[1].first_shard_wait,
+                         kPriorityWaitFloorSeconds);
+            std::printf("  -> priority admission cuts wait-to-first-shard "
+                        "%.1fx (%.2f ms -> %.2f ms)\n",
+                        ratio, results[0].first_shard_wait * 1e3,
+                        results[1].first_shard_wait * 1e3);
+            wait_ratios.push_back(ratio);
+        }
+    }
+
+    std::printf("\nVerdicts identical across scheduler configurations.\n");
+    if (json.write("BENCH_multitenant.json")) {
+        std::printf("Wrote BENCH_multitenant.json\n");
+    } else {
+        std::fprintf(stderr, "failed to write BENCH_multitenant.json\n");
+        return 1;
+    }
+    // The QoS acceptance gate: priority admission must cut the wait-to-
+    // first-shard at least 5x geomean (per-circuit noise on a shared
+    // runner can dent one circuit; a real preemption regression dents
+    // them all). Immeasurably small priority waits count as wins already.
+    if (!wait_ratios.empty()) {
+        double log_sum = 0.0;
+        for (double r : wait_ratios) log_sum += std::log(r);
+        const double geomean =
+            std::exp(log_sum / static_cast<double>(wait_ratios.size()));
+        std::printf("Wait-to-first-shard reduction geomean: %.1fx "
+                    "(gate: >= 5x, %zu circuit%s)\n",
+                    geomean, wait_ratios.size(),
+                    wait_ratios.size() == 1 ? "" : "s");
+        if (geomean < 5.0) {
+            std::fprintf(stderr,
+                         "QoS REGRESSION: priority admission no longer "
+                         "beats FIFO >= 5x\n");
+            return 1;
+        }
+    } else {
+        // Every circuit fell under the measurability floor: the run cannot
+        // catch a QoS regression. Say so loudly rather than pass quietly.
+        std::printf("WARNING: QoS gate VACUOUS — no circuit's fifo wait "
+                    "cleared the measurability floor; nothing was gated.\n");
+    }
+    return 0;
+}

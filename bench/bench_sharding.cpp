@@ -54,6 +54,16 @@ double wall_imbalance(const std::vector<core::ShardBreakdown>& shards) {
                        : 1.0;
 }
 
+/// Largest scheduler queue wait across a run's shards (submit -> engine
+/// start): how long the unluckiest shard sat behind other work.
+double max_queue_seconds(const std::vector<core::ShardBreakdown>& shards) {
+    double max_queue = 0.0;
+    for (const auto& sb : shards) {
+        max_queue = std::max(max_queue, sb.queue_seconds);
+    }
+    return max_queue;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -64,9 +74,9 @@ int main(int argc, char** argv) {
     const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
     const uint32_t max_threads = scale.threads > 0 ? scale.threads : hw;
 
-    std::printf("%-12s %-14s %8s %8s %10s %9s %9s %9s\n", "Benchmark",
+    std::printf("%-12s %-14s %8s %8s %10s %9s %9s %9s %9s\n", "Benchmark",
                 "Policy", "Threads", "Shards", "Time(s)", "Speedup",
-                "Balance", "WallImb");
+                "Balance", "WallImb", "MaxQ(ms)");
     bench::JsonRows json;
 
     for (const auto& b : suite::registry()) {
@@ -103,37 +113,43 @@ int main(int argc, char** argv) {
                 }
                 if (threads == 1) base_seconds = run.seconds;
 
-                // Balance: max shard cost / mean shard cost (1.0 = perfect),
-                // in estimated-cost units under both policies. Campaigns run
-                // batched by default, so reproduce the group-aware partition
-                // the Session actually used.
-                const auto shards = core::make_shards_grouped(
-                    *compiled, faults, run.num_shards, policy);
+                // Balance: max shard cost / mean shard cost (1.0 =
+                // perfect), in estimated-cost units under both policies —
+                // read straight off the partition the run actually used
+                // (each ShardBreakdown carries its shard's est_cost).
                 uint64_t max_cost = 0, total_cost = 0;
-                for (const auto& s : shards) {
-                    max_cost = std::max(max_cost, s.est_cost);
-                    total_cost += s.est_cost;
+                for (const auto& sb : run.stats.shards) {
+                    max_cost = std::max(max_cost, sb.est_cost);
+                    total_cost += sb.est_cost;
                 }
                 const double balance =
                     total_cost == 0
                         ? 1.0
-                        : static_cast<double>(max_cost) * shards.size() /
+                        : static_cast<double>(max_cost) *
+                              static_cast<double>(run.stats.shards.size()) /
                               static_cast<double>(total_cost);
                 const double wall_imb = wall_imbalance(run.stats.shards);
-                std::printf("%-12s %-14s %8u %8u %10.3f %8.2fx %9.2f %9.2f\n",
-                            b.display.c_str(), policy_name(policy), threads,
-                            run.num_shards, run.seconds,
-                            base_seconds > 0 ? base_seconds / run.seconds
-                                             : 1.0,
-                            balance, wall_imb);
+                const double max_q = max_queue_seconds(run.stats.shards);
+                std::printf(
+                    "%-12s %-14s %8u %8u %10.3f %8.2fx %9.2f %9.2f %9.2f\n",
+                    b.display.c_str(), policy_name(policy), threads,
+                    run.num_shards, run.seconds,
+                    base_seconds > 0 ? base_seconds / run.seconds : 1.0,
+                    balance, wall_imb, max_q * 1e3);
 
-                std::string shard_walls = "[";
-                for (size_t s = 0; s < run.stats.shards.size(); ++s) {
-                    shard_walls += bench::format(
-                        "%s%.3f", s > 0 ? ", " : "",
-                        run.stats.shards[s].wall_seconds * 1e3);
-                }
-                shard_walls += "]";
+                const std::string shard_walls = bench::shard_ms_array(
+                    run.stats.shards,
+                    [](const core::ShardBreakdown& sb) {
+                        return sb.wall_seconds;
+                    });
+                const std::string shard_queues = bench::shard_ms_array(
+                    run.stats.shards,
+                    [](const core::ShardBreakdown& sb) {
+                        return sb.queue_seconds;
+                    });
+                // serial_ratio: this run / the unsharded blocking run on
+                // the same host — the sharding+scheduler overhead metric
+                // CI gates at 1 thread (host speed cancels).
                 json.add(
                     "{" +
                     bench::perf_row_prefix(b.name.c_str(),
@@ -143,11 +159,14 @@ int main(int argc, char** argv) {
                                            run.seconds, compile_s) +
                     bench::format(
                         R"(, "shards": %u, "speedup": %.3f, )"
+                        R"("serial_ratio": %.3f, )"
                         R"("balance": %.3f, "wall_imbalance": %.3f, )"
-                        R"("shard_wall_ms": %s})",
+                        R"("shard_wall_ms": %s, "shard_queue_ms": %s})",
                         run.num_shards,
                         base_seconds > 0 ? base_seconds / run.seconds : 1.0,
-                        balance, wall_imb, shard_walls.c_str()));
+                        ref.seconds > 0 ? run.seconds / ref.seconds : 1.0,
+                        balance, wall_imb, shard_walls.c_str(),
+                        shard_queues.c_str()));
             }
         }
 
@@ -158,13 +177,14 @@ int main(int argc, char** argv) {
         wide.engine.time_phases = true;
         const auto diag = diag_session.submit(faults, factory, wide).wait();
         std::printf("  per-shard (cost-balanced, %u threads): shard "
-                    "faults/detected wall(ms) behav(ms) rtl(ms) est-cost\n",
+                    "faults/detected queue(ms) wall(ms) behav(ms) rtl(ms) "
+                    "est-cost\n",
                     diag.num_threads);
         for (const auto& sb : diag.stats.shards) {
-            std::printf("    #%-3u %5u/%-5u %9.2f %9.2f %7.2f %9llu\n",
+            std::printf("    #%-3u %5u/%-5u %9.2f %9.2f %9.2f %7.2f %9llu\n",
                         sb.shard, sb.faults, sb.detected,
-                        sb.wall_seconds * 1e3, sb.behavioral_seconds * 1e3,
-                        sb.rtl_seconds * 1e3,
+                        sb.queue_seconds * 1e3, sb.wall_seconds * 1e3,
+                        sb.behavioral_seconds * 1e3, sb.rtl_seconds * 1e3,
                         static_cast<unsigned long long>(sb.est_cost));
         }
     }

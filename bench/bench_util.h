@@ -88,6 +88,21 @@ inline const char* batch_name(core::FaultBatching b) {
     return b == core::FaultBatching::Word ? "word" : "off";
 }
 
+/// "[a.aaa, b.bbb, ...]" of one per-shard field in milliseconds — the
+/// per-shard arrays of BENCH_sharding.json / BENCH_multitenant.json
+/// (wall, scheduler queue wait, ...). `get` maps a ShardBreakdown to
+/// seconds.
+template <typename Get>
+inline std::string shard_ms_array(
+    const std::vector<core::ShardBreakdown>& shards, Get get) {
+    std::string out = "[";
+    for (size_t s = 0; s < shards.size(); ++s) {
+        out += format("%s%.3f", s > 0 ? ", " : "", get(shards[s]) * 1e3);
+    }
+    out += "]";
+    return out;
+}
+
 /// Prints the Table I analogue: the environment this run measures on.
 inline void print_environment(const char* what) {
     std::printf("================================================================\n");

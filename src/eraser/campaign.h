@@ -31,6 +31,13 @@
 
 namespace eraser::core {
 
+/// Scheduling class of a campaign (see eraser/scheduler.h). Strict across
+/// classes: whenever a worker reaches a shard boundary, any dispatchable
+/// High shard starts before any Normal one, and Normal before Low.
+/// Admission from a full queue is FIFO within a class; workers are split
+/// weighted-fair-share among concurrently running campaigns of one class.
+enum class Priority : uint8_t { Low = 0, Normal = 1, High = 2 };
+
 struct CampaignOptions {
     EngineOptions engine;
     /// Worker threads. Session campaigns run on the Session's persistent
@@ -39,9 +46,52 @@ struct CampaignOptions {
     /// concurrency).
     uint32_t num_threads = 1;
     /// Fault shards. 0 = one per worker thread. More shards than threads is
-    /// useful with CostBalanced: smaller shards steal-balance better.
+    /// useful with CostBalanced: smaller shards steal-balance better — and,
+    /// under the scheduler, smaller shards tighten the preemption grain
+    /// (higher-priority campaigns overtake at shard boundaries).
     uint32_t num_shards = 0;
     ShardPolicy shard_policy = ShardPolicy::CostBalanced;
+    /// Scheduling class relative to other campaigns of the same Session.
+    Priority priority = Priority::Normal;
+    /// Per-campaign worker quota: at most this many of the campaign's
+    /// shards run concurrently (0 = no quota). Lets a bulk background
+    /// campaign coexist with latency-sensitive ones without saturating the
+    /// pool. Verdicts are quota-independent.
+    uint32_t max_workers = 0;
+    /// Fair-share weight among concurrently running campaigns of the same
+    /// priority class: workers are split roughly proportionally to weight
+    /// (ignored across classes — higher classes always win). Must be >= 1.
+    uint32_t weight = 1;
+};
+
+/// Configuration of a Session's CampaignScheduler (eraser/scheduler.h).
+/// The defaults preserve the historical submit() contract: non-blocking
+/// admission, every campaign active immediately.
+struct SchedulerOptions {
+    /// Bounded admission queue: campaigns beyond `max_active` wait here;
+    /// once `queue_capacity` campaigns are waiting, submit() blocks and
+    /// try_submit() returns an invalid handle (backpressure). 0 = unbounded
+    /// (submit never blocks). Only meaningful together with `max_active` —
+    /// with unlimited active campaigns the queue is pass-through and never
+    /// fills, so backpressure never engages.
+    uint32_t queue_capacity = 0;
+    /// Campaigns running concurrently; further submissions wait in the
+    /// admission queue in (priority, FIFO) order. 0 = unlimited.
+    uint32_t max_active = 0;
+    /// Weighted fair share across running campaigns of one priority class.
+    /// Off = strict FIFO by submission order within a class (the
+    /// bench_multitenant "fifo" baseline).
+    bool fair_share = true;
+    /// Feed measured ShardBreakdown::wall_seconds back into the CostModel
+    /// and partition subsequent submits with the learned per-signal costs.
+    /// Off = always the static VDG estimate.
+    bool learn_costs = true;
+    /// Under FaultBatching::Word, order faults by learned lane-deferral
+    /// rate before 64-lane grouping, clustering control-correlated faults
+    /// into the same unit (needs learn_costs and at least one observation).
+    bool learned_packing = true;
+    /// EWMA smoothing of the cost feedback (0 < alpha <= 1).
+    double cost_alpha = 0.25;
 };
 
 struct CampaignResult {

@@ -1,6 +1,8 @@
 #include "eraser/compiled_design.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 
 #include "eraser/shard.h"
 #include "util/diagnostics.h"
@@ -58,6 +60,104 @@ std::vector<uint64_t> CompiledDesign::fault_costs(
 
 uint64_t CompiledDesign::builds() {
     return g_builds.load(std::memory_order_relaxed);
+}
+
+// --- CostModel ---------------------------------------------------------------
+
+namespace {
+
+/// Distinct signal ids of a fault list, ascending (both stuck-at polarities
+/// of one signal share a table entry, so updates must hit each signal once).
+std::vector<rtl::SignalId> distinct_signals(
+    std::span<const fault::Fault> faults) {
+    std::vector<rtl::SignalId> sigs;
+    sigs.reserve(faults.size());
+    for (const fault::Fault& f : faults) sigs.push_back(f.sig);
+    std::sort(sigs.begin(), sigs.end());
+    sigs.erase(std::unique(sigs.begin(), sigs.end()), sigs.end());
+    return sigs;
+}
+
+}  // namespace
+
+CostModel::CostModel(const CompiledDesign& compiled, double alpha)
+    : alpha_(alpha) {
+    if (!(alpha > 0.0) || alpha > 1.0) {
+        throw SimError("CostModel: alpha must be in (0, 1]");
+    }
+    const std::vector<uint64_t>& seed = compiled.signal_costs();
+    cost_.assign(seed.begin(), seed.end());
+    defer_.assign(seed.size(), 0.0);
+}
+
+std::vector<uint64_t> CostModel::fault_costs(
+    std::span<const fault::Fault> faults) const {
+    std::vector<uint64_t> costs;
+    costs.reserve(faults.size());
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const fault::Fault& f : faults) {
+        const double c = cost_[f.sig] * static_cast<double>(kCostScale);
+        costs.push_back(std::max<uint64_t>(1, std::llround(c)));
+    }
+    return costs;
+}
+
+std::vector<double> CostModel::defer_rates(
+    std::span<const fault::Fault> faults) const {
+    std::vector<double> rates;
+    rates.reserve(faults.size());
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const fault::Fault& f : faults) rates.push_back(defer_[f.sig]);
+    return rates;
+}
+
+void CostModel::observe_shard(std::span<const fault::Fault> faults,
+                              const ShardBreakdown& breakdown,
+                              const Instrumentation& stats) {
+    if (faults.empty() || breakdown.wall_seconds <= 0.0) return;
+    const std::vector<rtl::SignalId> sigs = distinct_signals(faults);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    double predicted = 0.0;
+    for (const fault::Fault& f : faults) predicted += cost_[f.sig];
+    if (predicted <= 0.0) return;
+
+    const double spu = breakdown.wall_seconds / predicted;
+    if (observations_ == 0) unit_scale_ = spu;
+    // Bounded multiplicative step: one wild shard (scheduler hiccup, cold
+    // cache) cannot blow a signal's cost out by more than 2x either way.
+    const double surprise = spu / unit_scale_;
+    const double gain =
+        std::clamp(1.0 - alpha_ + alpha_ * surprise, 0.5, 2.0);
+    for (rtl::SignalId sig : sigs) {
+        cost_[sig] = std::max(1e-3, cost_[sig] * gain);
+    }
+    unit_scale_ = (1.0 - alpha_) * unit_scale_ + alpha_ * spu;
+
+    const uint64_t lanes = stats.bn_lane_survivors + stats.bn_lane_deferred;
+    if (lanes > 0) {
+        const double rate = static_cast<double>(stats.bn_lane_deferred) /
+                            static_cast<double>(lanes);
+        for (rtl::SignalId sig : sigs) {
+            defer_[sig] = (1.0 - alpha_) * defer_[sig] + alpha_ * rate;
+        }
+    }
+    ++observations_;
+}
+
+uint64_t CostModel::observations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return observations_;
+}
+
+double CostModel::signal_cost(rtl::SignalId sig) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cost_[sig];
+}
+
+double CostModel::signal_defer_rate(rtl::SignalId sig) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return defer_[sig];
 }
 
 }  // namespace eraser::core

@@ -23,11 +23,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "cfg/cfg.h"
 #include "cfg/vdg.h"
+#include "eraser/instrumentation.h"
 #include "fault/fault.h"
 #include "rtl/design.h"
 #include "sim/bytecode.h"
@@ -102,6 +104,73 @@ class CompiledDesign {
     std::vector<uint64_t> behavior_weights_;
     std::vector<uint64_t> signal_costs_;
     double compile_seconds_ = 0.0;
+};
+
+/// The measured-cost feedback loop that replaces the static VDG estimate
+/// over time. Lives beside the immutable artifact: the CompiledDesign's
+/// signal_costs() seed this table, and every completed shard of a scheduled
+/// campaign feeds its measured ShardBreakdown::wall_seconds back (see
+/// eraser/scheduler.h), so the *next* submit's LPT balances on observed
+/// rather than estimated work.
+///
+/// Learning scheme: a shard predicts cost P = sum of the current per-signal
+/// costs of its faults and measures wall time S. The surprise q = (S/P)
+/// relative to the EWMA-calibrated seconds-per-unit scale multiplies every
+/// distinct signal in the shard by (1 - alpha + alpha*q), clamped — a
+/// multiplicative-weights update: signals that keep landing in
+/// slower-than-predicted shards drift up, fast ones down, and over shards
+/// with different signal mixes the per-signal attribution separates.
+///
+/// Batched campaigns additionally learn a per-signal lane-deferral rate
+/// from Instrumentation::bn_lane_* (what fraction of a shard's lane-pass
+/// executions control-diverged back to scalar), which the scheduler's group
+/// packer uses to cluster control-correlated faults into the same 64-lane
+/// unit.
+///
+/// Thread-safe: observe_shard lands from worker threads while fault_costs
+/// snapshots for the next submit. Learned costs never change verdicts —
+/// they only move the partition (pinned by tests/scheduler_test.cpp).
+class CostModel {
+  public:
+    /// Integer resolution of fault_costs(): learned costs are reported in
+    /// units of 1/kCostScale of a static VDG cost unit, so fractional EWMA
+    /// corrections survive the round-trip to the integer LPT.
+    static constexpr uint64_t kCostScale = 16;
+
+    /// Seeds the table from the artifact's static per-signal costs.
+    explicit CostModel(const CompiledDesign& compiled, double alpha = 0.25);
+
+    /// Learned per-fault costs, parallel to `faults`, in kCostScale units
+    /// (exactly the static estimate until the first observation).
+    [[nodiscard]] std::vector<uint64_t> fault_costs(
+        std::span<const fault::Fault> faults) const;
+
+    /// Learned lane-deferral rate per fault in [0, 1] (0 until observed).
+    [[nodiscard]] std::vector<double> defer_rates(
+        std::span<const fault::Fault> faults) const;
+
+    /// Feeds one completed shard back: `faults` is the shard's fault list,
+    /// `breakdown` its measured timings, `stats` the engine's counters
+    /// (bn_lane_* feed the deferral-rate table). Shards that did not run
+    /// (canceled before start, zero wall time) are ignored.
+    void observe_shard(std::span<const fault::Fault> faults,
+                       const ShardBreakdown& breakdown,
+                       const Instrumentation& stats);
+
+    /// Completed shards folded in so far.
+    [[nodiscard]] uint64_t observations() const;
+
+    /// Current learned cost / deferral rate of one signal (test hooks).
+    [[nodiscard]] double signal_cost(rtl::SignalId sig) const;
+    [[nodiscard]] double signal_defer_rate(rtl::SignalId sig) const;
+
+  private:
+    const double alpha_;
+    mutable std::mutex mu_;
+    std::vector<double> cost_;    // per-signal, seeded from signal_costs()
+    std::vector<double> defer_;   // per-signal lane-deferral EWMA
+    double unit_scale_ = 0.0;     // EWMA of measured seconds per cost unit
+    uint64_t observations_ = 0;
 };
 
 }  // namespace eraser::core

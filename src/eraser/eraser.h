@@ -46,6 +46,7 @@
 #include "eraser/campaign.h"
 #include "eraser/compiled_design.h"
 #include "eraser/concurrent_sim.h"
+#include "eraser/scheduler.h"
 #include "eraser/session.h"
 #include "fault/fault.h"
 #include "frontend/compile.h"

@@ -19,7 +19,14 @@ struct ShardBreakdown {
     uint32_t shard = 0;            // shard index within its campaign
     uint32_t faults = 0;
     uint32_t detected = 0;
-    uint64_t est_cost = 0;         // cost-model units (see shard.h)
+    /// Cost units of the partition that produced the shard: static VDG
+    /// units, or learned CostModel units (1/CostModel::kCostScale of a
+    /// static unit) when the scheduler's cost feedback is active.
+    uint64_t est_cost = 0;
+    /// Campaign submit() -> this shard's engine start: admission-queue wait
+    /// plus time spent behind higher-priority / earlier work. Filled by the
+    /// scheduler; 0 on the blocking Session::run path.
+    double queue_seconds = 0.0;
     double wall_seconds = 0.0;     // this shard's engine run, wall clock
     double behavioral_seconds = 0.0;
     double rtl_seconds = 0.0;

@@ -1,0 +1,612 @@
+#include "eraser/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <utility>
+
+#include "util/diagnostics.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace eraser::core {
+
+// --- engine loop (shared with the blocking Session::run path) ---------------
+
+namespace detail {
+
+namespace {
+
+/// DriveHandle over the concurrent engine (good-network inputs; fault views
+/// follow automatically, modulo pinned input faults).
+class ConcurrentHandle final : public sim::DriveHandle {
+  public:
+    explicit ConcurrentHandle(ConcurrentSim& sim) : sim_(sim) {}
+    void set_input(rtl::SignalId sig, uint64_t value) override {
+        sim_.poke(sig, value);
+    }
+    void load_array(rtl::ArrayId arr,
+                    std::span<const uint64_t> words) override {
+        sim_.load_array(arr, words);
+    }
+
+  private:
+    ConcurrentSim& sim_;
+};
+
+}  // namespace
+
+EngineOutcome run_engine(const CompiledDesign& compiled,
+                         std::span<const fault::Fault> faults,
+                         sim::Stimulus& stim, const EngineOptions& opts,
+                         const std::atomic<bool>* cancel) {
+    Stopwatch engine_watch;
+    ConcurrentSim sim(compiled, faults, opts);
+    ConcurrentHandle handle(sim);
+    const rtl::Design& design = compiled.design();
+    stim.bind(design);
+    const rtl::SignalId clk = design.signal_id(stim.clock_name());
+
+    EngineOutcome out;
+    out.ran = true;
+    sim.reset();
+    stim.initialize(handle);
+    const uint32_t cycles = stim.num_cycles();
+    for (uint32_t c = 0; c < cycles; ++c) {
+        if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+            out.canceled = true;
+            break;
+        }
+        stim.apply(c, handle);
+        sim.tick(clk);
+        sim.observe_outputs();
+        if (sim.num_detected() == faults.size()) break;   // all dropped
+    }
+
+    out.detected = sim.detected();
+    out.num_detected = sim.num_detected();
+    out.stats = sim.stats();
+    out.breakdown.wall_seconds = engine_watch.seconds();
+    out.breakdown.behavioral_seconds =
+        out.stats.time_behavioral.total_seconds();
+    out.breakdown.rtl_seconds = out.stats.time_rtl.total_seconds();
+    return out;
+}
+
+CampaignResult finish_result(CampaignResult result, uint32_t num_faults,
+                             double seconds) {
+    result.num_faults = num_faults;
+    result.coverage_percent =
+        num_faults == 0 ? 0.0
+                        : 100.0 * static_cast<double>(result.num_detected) /
+                              static_cast<double>(num_faults);
+    result.seconds = seconds;
+    return result;
+}
+
+/// Everything one submitted campaign owns. Kept alive by the handle copies
+/// and by every in-flight shard job, so it outlives the Session if needed.
+struct CampaignState {
+    // Immutable after submit().
+    std::shared_ptr<const CompiledDesign> compiled;
+    EngineOptions engine_opts;
+    StimulusFactory make_stimulus;
+    ShardObserver observer;
+    std::vector<Shard> shards;
+    uint32_t num_faults = 0;
+    uint32_t num_threads = 0;   // reported in the result
+
+    // Scheduling identity/state, guarded by the scheduler's mutex (never
+    // by st->mu — the scheduler may outlive neither).
+    Priority priority = Priority::Normal;
+    uint32_t weight = 1;
+    uint32_t quota = 0;          // max shards in flight, 0 = unlimited
+    uint64_t seq = 0;            // admission FIFO order within a class
+    uint32_t dispatched = 0;     // shards handed to workers
+    uint32_t inflight = 0;       // shards currently running
+    uint32_t jobs_done = 0;      // shards whose job returned
+
+    // Lock-free progress counters (shard-granular).
+    std::atomic<bool> cancel{false};
+    std::atomic<uint32_t> shards_done{0};
+    std::atomic<uint32_t> faults_done{0};
+    std::atomic<uint32_t> detected_done{0};
+    std::atomic<bool> finished_flag{false};
+
+    // Written by the owning shard job only (disjoint indices).
+    std::vector<EngineOutcome> outcomes;
+    std::vector<std::exception_ptr> errors;
+
+    std::mutex observer_mu;   // serializes ShardObserver invocations
+
+    std::mutex mu;            // guards finished/result/finished_jobs
+    std::condition_variable cv;
+    uint32_t finished_jobs = 0;
+    bool finished = false;
+    CampaignResult result;
+
+    /// Installed by the scheduler before acceptance, cleared at
+    /// finalization under `mu`, consumed and invoked under `mu` by the
+    /// first cancel(): withdraws the campaign from the admission queue (if
+    /// still waiting there) and finalizes it in place, so wait() returns
+    /// without needing a worker. The under-`mu` protocol is what keeps the
+    /// captured scheduler pointer safe: a live hook implies an unfinalized
+    /// campaign, which keeps the Session's drain (and thus the scheduler's
+    /// destruction) blocked while the hook runs.
+    std::function<void()> notify_cancel;
+
+    Stopwatch watch;          // started at submit(); queue_seconds baseline
+};
+
+}  // namespace detail
+
+using detail::CampaignState;
+using detail::EngineOutcome;
+
+namespace {
+
+/// Deterministic merge: shards in index order, global ids within each
+/// shard are ascending, so the bitmap assembly order is fixed regardless
+/// of completion order. Partial (canceled) shard outcomes contribute their
+/// verdicts-so-far but do not count as completed work.
+CampaignResult merged_result(const CampaignState& st) {
+    CampaignResult result;
+    result.detected.assign(st.num_faults, false);
+    uint32_t completed = 0;
+    for (size_t s = 0; s < st.shards.size(); ++s) {
+        const EngineOutcome& out = st.outcomes[s];
+        if (!out.ran) continue;
+        const Shard& shard = st.shards[s];
+        for (size_t i = 0; i < shard.global_ids.size(); ++i) {
+            result.detected[shard.global_ids[i]] = out.detected[i];
+        }
+        result.num_detected += out.num_detected;
+        result.stats.merge_from(out.stats);
+        result.stats.shards.push_back(out.breakdown);
+        if (!out.canceled) ++completed;
+    }
+    result.canceled = completed != st.shards.size();
+    result.num_shards = static_cast<uint32_t>(st.shards.size());
+    result.num_threads = st.num_threads;
+    return detail::finish_result(std::move(result), st.num_faults,
+                                 st.watch.seconds());
+}
+
+/// Publishes the merged result and flips the finished flags. Caller holds
+/// st.mu and must notify st.cv afterwards.
+void publish_result_locked(CampaignState& st, CampaignResult result) {
+    st.result = std::move(result);
+    st.finished = true;
+    // Under the lock: once a waiter can observe finished, the lock-free
+    // flag must agree (cancel()/finished() read it).
+    st.finished_flag.store(true, std::memory_order_release);
+    st.notify_cancel = nullptr;   // the scheduler is done with us
+}
+
+void finalize_campaign(CampaignState& st) {
+    CampaignResult result = merged_result(st);
+    {
+        std::lock_guard<std::mutex> lock(st.mu);
+        publish_result_locked(st, std::move(result));
+    }
+    st.cv.notify_all();
+}
+
+/// Runs shard `s` of `st` on the calling worker thread and performs the
+/// post-run bookkeeping (progress counters, observer streaming, campaign
+/// finalization when this was the last job). Returns true when the shard
+/// ran to completion (its outcome should feed the cost model).
+bool run_shard_job(const std::shared_ptr<CampaignState>& st, size_t s) {
+    EngineOutcome out;
+    const double queue_seconds = st->watch.seconds();
+    if (!st->cancel.load(std::memory_order_relaxed)) {
+        try {
+            auto stim = st->make_stimulus();
+            out = detail::run_engine(*st->compiled, st->shards[s].faults,
+                                     *stim, st->engine_opts, &st->cancel);
+        } catch (...) {
+            st->errors[s] = std::current_exception();
+            out = EngineOutcome{};
+        }
+    }
+    const Shard& shard = st->shards[s];
+    out.breakdown.shard = static_cast<uint32_t>(s);
+    out.breakdown.faults = static_cast<uint32_t>(shard.faults.size());
+    out.breakdown.detected = out.num_detected;
+    out.breakdown.est_cost = shard.est_cost;
+    out.breakdown.queue_seconds = queue_seconds;
+    st->outcomes[s] = std::move(out);
+
+    const EngineOutcome& stored = st->outcomes[s];
+    const bool completed = stored.ran && !stored.canceled;
+    if (completed) {
+        st->shards_done.fetch_add(1, std::memory_order_relaxed);
+        st->faults_done.fetch_add(
+            static_cast<uint32_t>(shard.faults.size()),
+            std::memory_order_relaxed);
+        st->detected_done.fetch_add(stored.num_detected,
+                                    std::memory_order_relaxed);
+        if (st->observer) {
+            // An observer that throws must not stall the campaign (the
+            // finished_jobs increment below is what unblocks wait()); the
+            // exception is recorded and rethrown from wait() instead.
+            try {
+                const ShardEvent event{static_cast<uint32_t>(s),
+                                       shard.global_ids, stored.detected,
+                                       stored.breakdown};
+                std::lock_guard<std::mutex> lock(st->observer_mu);
+                st->observer(event);
+            } catch (...) {
+                st->errors[s] = std::current_exception();
+            }
+        }
+    }
+
+    bool last = false;
+    {
+        std::lock_guard<std::mutex> lock(st->mu);
+        last = ++st->finished_jobs == st->shards.size();
+    }
+    if (last) finalize_campaign(*st);
+    return completed;
+}
+
+void require_valid(const std::shared_ptr<CampaignState>& state) {
+    if (!state) {
+        throw SimError("empty CampaignHandle (default-constructed or "
+                       "refused by try_submit; only accepted submissions "
+                       "produce live handles)");
+    }
+}
+
+}  // namespace
+
+// --- CampaignHandle ---------------------------------------------------------
+
+const CampaignResult& CampaignHandle::wait() {
+    require_valid(state_);
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->finished; });
+    for (const auto& err : state_->errors) {
+        if (err) std::rethrow_exception(err);
+    }
+    return state_->result;
+}
+
+bool CampaignHandle::cancel() {
+    require_valid(state_);
+    const bool already_finished =
+        state_->finished_flag.load(std::memory_order_acquire);
+    state_->cancel.store(true, std::memory_order_relaxed);
+    // Poke the scheduler: a campaign still waiting in the admission queue
+    // is withdrawn and finalized right here instead of waiting out the
+    // campaigns ahead of it. The hook is consumed and invoked UNDER st->mu:
+    // finalization clears it under the same mutex, so a live hook implies
+    // the campaign is unfinalized, hence still in the scheduler's
+    // queued/active sets, hence Session::~Session's drain has not returned
+    // and the captured scheduler is alive for the duration of the call.
+    {
+        std::lock_guard<std::mutex> lock(state_->mu);
+        std::function<void()> notify = std::move(state_->notify_cancel);
+        state_->notify_cancel = nullptr;
+        if (notify) notify();
+    }
+    return !already_finished;
+}
+
+CampaignProgress CampaignHandle::progress() const {
+    require_valid(state_);
+    CampaignProgress p;
+    p.shards_total = static_cast<uint32_t>(state_->shards.size());
+    p.shards_done = state_->shards_done.load(std::memory_order_relaxed);
+    p.faults_total = state_->num_faults;
+    p.faults_done = state_->faults_done.load(std::memory_order_relaxed);
+    p.detected_so_far =
+        state_->detected_done.load(std::memory_order_relaxed);
+    p.cancel_requested = state_->cancel.load(std::memory_order_relaxed);
+    p.finished = state_->finished_flag.load(std::memory_order_acquire);
+    return p;
+}
+
+bool CampaignHandle::finished() const {
+    require_valid(state_);
+    return state_->finished_flag.load(std::memory_order_acquire);
+}
+
+// --- CampaignScheduler ------------------------------------------------------
+
+CampaignScheduler::CampaignScheduler(
+    std::shared_ptr<const CompiledDesign> compiled, util::ThreadPool& pool,
+    const SchedulerOptions& opts)
+    : compiled_(std::move(compiled)),
+      pool_(pool),
+      opts_(opts),
+      cost_model_(std::make_shared<CostModel>(*compiled_, opts.cost_alpha)) {}
+
+// The Session drains before tearing the pool down, so by the time the
+// scheduler destructs no ticket references it.
+CampaignScheduler::~CampaignScheduler() = default;
+
+std::shared_ptr<CampaignState> CampaignScheduler::make_state(
+    std::span<const fault::Fault> faults, StimulusFactory make_stimulus,
+    const CampaignOptions& opts, ShardObserver observer) {
+    auto st = std::make_shared<CampaignState>();
+    st->compiled = compiled_;
+    st->engine_opts = opts.engine;
+    st->make_stimulus = std::move(make_stimulus);
+    st->observer = std::move(observer);
+    st->num_faults = static_cast<uint32_t>(faults.size());
+    st->priority = opts.priority;
+    st->weight = std::max<uint32_t>(1, opts.weight);
+    st->quota = opts.max_workers;
+
+    const uint32_t threads = static_cast<uint32_t>(pool_.num_threads());
+    const uint32_t want_shards =
+        opts.num_shards > 0 ? opts.num_shards : threads;
+
+    // Partition on the learned cost table when the feedback loop is on
+    // (identical to the static estimate until the first observation), the
+    // static VDG estimate otherwise. Batched engines pack faults 64 lanes
+    // to a group, so their shards are balanced at group granularity
+    // (lane-aligned work per shard) — with the learned deferral-rate packer
+    // clustering control-correlated faults into the same unit once
+    // measurements exist.
+    const std::vector<uint64_t> costs = opts_.learn_costs
+                                            ? cost_model_->fault_costs(faults)
+                                            : compiled_->fault_costs(faults);
+    if (opts.engine.batching == FaultBatching::Word) {
+        GroupPacker packer;
+        if (opts_.learn_costs && opts_.learned_packing &&
+            cost_model_->observations() > 0) {
+            std::shared_ptr<CostModel> model = cost_model_;
+            packer = [model](std::span<const fault::Fault> fs,
+                             std::span<const uint64_t> cs) {
+                // Cluster by quantized deferral rate (worst first), then
+                // cost-descending so unit chunking still feeds the LPT
+                // heavy-first within a cluster; ties keep ascending fault
+                // order — fully deterministic for a given table state.
+                const std::vector<double> rates = model->defer_rates(fs);
+                std::vector<uint32_t> order(fs.size());
+                for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+                auto bucket = [&](uint32_t i) {
+                    return static_cast<int>(std::lround(rates[i] * 8.0));
+                };
+                std::stable_sort(order.begin(), order.end(),
+                                 [&](uint32_t a, uint32_t b) {
+                                     const int ba = bucket(a), bb = bucket(b);
+                                     if (ba != bb) return ba > bb;
+                                     return cs[a] > cs[b];
+                                 });
+                return order;
+            };
+        }
+        st->shards = make_shards_grouped(faults, costs, want_shards,
+                                         opts.shard_policy, packer);
+    } else {
+        st->shards =
+            make_shards(faults, costs, want_shards, opts.shard_policy);
+    }
+
+    uint32_t parallelism = std::min<uint32_t>(
+        threads, static_cast<uint32_t>(st->shards.size()));
+    if (st->quota > 0) parallelism = std::min(parallelism, st->quota);
+    st->num_threads = parallelism;
+    st->outcomes.resize(st->shards.size());
+    st->errors.resize(st->shards.size());
+    // st->watch starts in accept_locked: queue_seconds and campaign
+    // latency both measure from accepted submission, not from sharding.
+
+    // The cancel-before-admission hook (see CampaignState::notify_cancel).
+    // It runs under st->mu (cancel() invokes it there), so after the
+    // withdrawal it publishes the empty merged result directly instead of
+    // re-locking through finalize_campaign.
+    CampaignState* raw = st.get();
+    st->notify_cancel = [this, raw] {
+        if (std::shared_ptr<CampaignState> orphan = take_if_queued(raw)) {
+            publish_result_locked(*orphan, merged_result(*orphan));
+            orphan->cv.notify_all();
+        }
+    };
+    return st;
+}
+
+uint32_t CampaignScheduler::dispatchable_locked(
+    const CampaignState& st) const {
+    const uint32_t remaining =
+        static_cast<uint32_t>(st.shards.size()) - st.dispatched;
+    if (st.quota == 0) return remaining;
+    const uint32_t headroom = st.quota > st.inflight ? st.quota - st.inflight
+                                                     : 0;
+    return std::min(remaining, headroom);
+}
+
+void CampaignScheduler::issue_tickets_locked(uint32_t count, unsigned cls) {
+    for (uint32_t i = 0; i < count; ++i) {
+        pool_.submit([this] { run_ticket(); }, cls);
+    }
+}
+
+void CampaignScheduler::admit_locked() {
+    while (!queued_.empty() &&
+           (draining_ || opts_.max_active == 0 ||
+            active_.size() < opts_.max_active)) {
+        // Highest class first, FIFO (seq) within a class.
+        size_t best = 0;
+        for (size_t i = 1; i < queued_.size(); ++i) {
+            const CampaignState& c = *queued_[i];
+            const CampaignState& b = *queued_[best];
+            if (c.priority > b.priority ||
+                (c.priority == b.priority && c.seq < b.seq)) {
+                best = i;
+            }
+        }
+        std::shared_ptr<CampaignState> st = queued_[best];
+        queued_.erase(queued_.begin() + static_cast<ptrdiff_t>(best));
+        active_.push_back(st);
+        issue_tickets_locked(dispatchable_locked(*st),
+                             static_cast<unsigned>(st->priority));
+        space_cv_.notify_all();   // queue shrank; a blocked submit may enter
+    }
+}
+
+void CampaignScheduler::run_ticket() {
+    std::shared_ptr<CampaignState> st;
+    size_t shard_index = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        CampaignState* best = nullptr;
+        for (const auto& c : active_) {
+            if (dispatchable_locked(*c) == 0) continue;
+            if (best == nullptr) {
+                best = c.get();
+                st = c;
+                continue;
+            }
+            bool wins = false;
+            const bool c_canceled =
+                c->cancel.load(std::memory_order_relaxed);
+            const bool best_canceled =
+                best->cancel.load(std::memory_order_relaxed);
+            if (c_canceled != best_canceled) {
+                // Canceled campaigns' jobs are no-ops: draining them first
+                // unblocks their waiters at zero cost to real work.
+                wins = c_canceled;
+            } else if (c->priority != best->priority) {
+                wins = c->priority > best->priority;
+            } else if (opts_.fair_share) {
+                const double c_share = static_cast<double>(c->inflight) /
+                                       static_cast<double>(c->weight);
+                const double b_share =
+                    static_cast<double>(best->inflight) /
+                    static_cast<double>(best->weight);
+                wins = c_share != b_share ? c_share < b_share
+                                          : c->seq < best->seq;
+            } else {
+                wins = c->seq < best->seq;
+            }
+            if (wins) {
+                best = c.get();
+                st = c;
+            }
+        }
+        // Ticket count always equals the dispatchable total, so a ticket
+        // finds work unless the invariant was broken — bail defensively.
+        if (best == nullptr) return;
+        shard_index = best->dispatched++;
+        ++best->inflight;
+        ++shards_dispatched_;
+    }
+
+    const bool completed = run_shard_job(st, shard_index);
+    if (completed && opts_.learn_costs) {
+        const EngineOutcome& out = st->outcomes[shard_index];
+        cost_model_->observe_shard(st->shards[shard_index].faults,
+                                   out.breakdown, out.stats);
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const uint32_t before = dispatchable_locked(*st);
+        --st->inflight;
+        ++st->jobs_done;
+        const uint32_t after = dispatchable_locked(*st);
+        issue_tickets_locked(after - before,
+                             static_cast<unsigned>(st->priority));
+        if (st->jobs_done == st->shards.size()) {
+            active_.erase(std::find(active_.begin(), active_.end(), st));
+            admit_locked();
+            drain_cv_.notify_all();
+        }
+    }
+}
+
+std::shared_ptr<CampaignState> CampaignScheduler::take_if_queued(
+    detail::CampaignState* raw) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = queued_.begin(); it != queued_.end(); ++it) {
+        if (it->get() != raw) continue;
+        std::shared_ptr<CampaignState> st = *it;
+        queued_.erase(it);
+        // The queue shrank: blocked submitters may enter, and a draining
+        // Session may now be quiescent.
+        space_cv_.notify_all();
+        drain_cv_.notify_all();
+        return st;
+    }
+    return nullptr;
+}
+
+/// The shared acceptance tail of submit()/try_submit(): stamps the FIFO
+/// sequence, enqueues, and kicks admission. Caller holds `lock` on mu_ and
+/// has already resolved backpressure (waited or refused).
+CampaignHandle CampaignScheduler::accept_locked(
+    std::shared_ptr<CampaignState> st) {
+    st->seq = next_seq_++;
+    ++submitted_;
+    st->watch.reset();   // queue_seconds measures from accepted submission
+    queued_.push_back(st);
+    admit_locked();
+    return CampaignHandle(std::move(st));
+}
+
+CampaignHandle CampaignScheduler::submit(std::span<const fault::Fault> faults,
+                                         StimulusFactory make_stimulus,
+                                         const CampaignOptions& opts,
+                                         ShardObserver observer) {
+    auto st = make_state(faults, std::move(make_stimulus), opts,
+                         std::move(observer));
+    std::unique_lock<std::mutex> lock(mu_);
+    if (opts_.queue_capacity > 0) {
+        space_cv_.wait(lock, [&] {
+            return queued_.size() < opts_.queue_capacity;
+        });
+    }
+    return accept_locked(std::move(st));
+}
+
+CampaignHandle CampaignScheduler::try_submit(
+    std::span<const fault::Fault> faults, StimulusFactory make_stimulus,
+    const CampaignOptions& opts, ShardObserver observer) {
+    const auto queue_full = [this] {
+        return opts_.queue_capacity > 0 &&
+               queued_.size() >= opts_.queue_capacity;
+    };
+    // Refuse before sharding: backpressure exists to shed load, so the
+    // overload path must not pay the O(n log n) partition it is shedding.
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (queue_full()) {
+            ++rejected_;
+            return CampaignHandle();
+        }
+    }
+    auto st = make_state(faults, std::move(make_stimulus), opts,
+                         std::move(observer));
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_full()) {   // filled while we sharded — refuse, don't block
+        ++rejected_;
+        return CampaignHandle();
+    }
+    return accept_locked(std::move(st));
+}
+
+void CampaignScheduler::drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    draining_ = true;
+    admit_locked();
+    drain_cv_.wait(lock, [&] { return queued_.empty() && active_.empty(); });
+    draining_ = false;
+}
+
+SchedulerStats CampaignScheduler::stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    SchedulerStats s;
+    s.active = static_cast<uint32_t>(active_.size());
+    s.queued = static_cast<uint32_t>(queued_.size());
+    s.submitted = submitted_;
+    s.rejected = rejected_;
+    s.shards_dispatched = shards_dispatched_;
+    return s;
+}
+
+}  // namespace eraser::core

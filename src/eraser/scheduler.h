@@ -1,0 +1,185 @@
+// CampaignScheduler: admission, priority/QoS dispatch, and the measured-cost
+// feedback loop behind the Session API (each core::Session owns one).
+//
+// Session::submit used to bulk-enqueue every shard of every campaign onto
+// the work-stealing pool in submission order; under multi-tenant load that
+// gives no priority ordering, no per-campaign quota, and no backpressure.
+// The scheduler instead owns every submitted campaign and feeds the pool
+// one *ticket* per dispatchable shard. A ticket binds to a concrete shard
+// only when a worker runs it: the worker picks, under the scheduler lock,
+// the best campaign at that instant —
+//
+//   1. highest Priority class (strict: High > Normal > Low);
+//   2. within the class, lowest inflight/weight (weighted fair share across
+//      concurrently running campaigns) — or strict submission order when
+//      SchedulerOptions::fair_share is off;
+//   3. ties break toward the earlier submission (FIFO).
+//
+// A saturating campaign is therefore overtaken at every shard boundary:
+// preemption is shard-granular, exactly as cancellation is cycle-granular.
+// Tickets carry their campaign's class into the pool's priority-aware
+// deques, so queued high-class tickets also start before queued low-class
+// ones when workers free up.
+//
+// QoS knobs (CampaignOptions): `priority`, `max_workers` (per-campaign
+// concurrent-shard quota), `weight` (fair-share proportion). Backpressure
+// (SchedulerOptions): at most `max_active` campaigns run concurrently,
+// further ones wait in a (priority, FIFO)-ordered admission queue of
+// capacity `queue_capacity`; a full queue blocks submit() and refuses
+// try_submit(). The defaults (0/0) keep the historical contract: submit is
+// non-blocking and every campaign starts immediately.
+//
+// Cost feedback: completed shards stream their measured wall seconds and
+// lane-deferral counters into the Session's CostModel (see
+// eraser/compiled_design.h); subsequent submits partition with the learned
+// per-signal costs, and batched campaigns order faults by learned deferral
+// rate before 64-lane grouping so control-correlated faults co-batch.
+//
+// Determinism is non-negotiable and none of the above touches it: per-
+// campaign verdict bitmaps are merged in shard-index order and are
+// bit-identical under every priority / quota / fair-share / learned-cost
+// configuration (pinned by tests/scheduler_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "eraser/session.h"
+
+namespace eraser::util {
+class ThreadPool;
+}  // namespace eraser::util
+
+namespace eraser::core {
+
+class CostModel;
+
+namespace detail {
+
+/// Result of one engine run over one fault subset (local fault indexing).
+struct EngineOutcome {
+    std::vector<bool> detected;
+    uint32_t num_detected = 0;
+    Instrumentation stats;
+    ShardBreakdown breakdown;
+    bool ran = false;        // engine executed (even partially)
+    bool canceled = false;   // engine stopped at a cancel check
+};
+
+/// The campaign loop for one ConcurrentSim over `faults`: reset, stimulus
+/// initialization, one clocked cycle per stimulus step with output
+/// observation after each cycle. Early-exits once every fault is detected,
+/// or (cooperatively, at the cycle boundary) when `cancel` is raised.
+/// Shared by the scheduler's shard jobs and the blocking Session::run path.
+EngineOutcome run_engine(const CompiledDesign& compiled,
+                         std::span<const fault::Fault> faults,
+                         sim::Stimulus& stim, const EngineOptions& opts,
+                         const std::atomic<bool>* cancel);
+
+/// Fills the derived result fields (num_faults, coverage, wall seconds).
+CampaignResult finish_result(CampaignResult result, uint32_t num_faults,
+                             double seconds);
+
+}  // namespace detail
+
+/// Point-in-time counters of a scheduler (diagnostics; individual campaign
+/// progress lives on CampaignHandle).
+struct SchedulerStats {
+    uint32_t active = 0;             // campaigns admitted, not yet finished
+    uint32_t queued = 0;             // campaigns waiting for admission
+    uint64_t submitted = 0;          // campaigns accepted (incl. finished)
+    uint64_t rejected = 0;           // try_submit refusals by a full queue
+    uint64_t shards_dispatched = 0;  // shard jobs handed to workers
+};
+
+class CampaignScheduler {
+  public:
+    /// `pool` must outlive the scheduler's last in-flight ticket (the
+    /// Session drains the scheduler, then joins the pool).
+    CampaignScheduler(std::shared_ptr<const CompiledDesign> compiled,
+                      util::ThreadPool& pool,
+                      const SchedulerOptions& opts = {});
+    ~CampaignScheduler();
+
+    CampaignScheduler(const CampaignScheduler&) = delete;
+    CampaignScheduler& operator=(const CampaignScheduler&) = delete;
+
+    /// Shards `faults` (with the learned cost table when enabled), enqueues
+    /// the campaign, and returns a handle. Non-blocking unless a bounded
+    /// admission queue is full, in which case it waits for space. Must not
+    /// be called from a pool worker (a full queue would deadlock).
+    [[nodiscard]] CampaignHandle submit(std::span<const fault::Fault> faults,
+                                        StimulusFactory make_stimulus,
+                                        const CampaignOptions& opts,
+                                        ShardObserver observer);
+
+    /// Like submit(), but a full admission queue refuses instead of
+    /// blocking: the returned handle is invalid (`valid() == false`) and
+    /// the campaign was not accepted.
+    [[nodiscard]] CampaignHandle try_submit(
+        std::span<const fault::Fault> faults, StimulusFactory make_stimulus,
+        const CampaignOptions& opts, ShardObserver observer);
+
+    /// Blocks until every accepted campaign has finished (admitting queued
+    /// ones past max_active). The Session destructor's drain step; requires
+    /// pool workers to still be running.
+    void drain();
+
+    [[nodiscard]] const CostModel& cost_model() const { return *cost_model_; }
+    [[nodiscard]] SchedulerStats stats() const;
+
+  private:
+    std::shared_ptr<detail::CampaignState> make_state(
+        std::span<const fault::Fault> faults, StimulusFactory make_stimulus,
+        const CampaignOptions& opts, ShardObserver observer);
+
+    /// Shared acceptance tail of submit()/try_submit(); caller holds mu_
+    /// with backpressure already resolved.
+    CampaignHandle accept_locked(std::shared_ptr<detail::CampaignState> st);
+
+    /// Shards of `st` a worker could start right now (remaining undispatched,
+    /// capped by the campaign's quota headroom). Caller holds mu_.
+    [[nodiscard]] uint32_t dispatchable_locked(
+        const detail::CampaignState& st) const;
+
+    /// Admits queued campaigns while the active set has room (always, when
+    /// draining), issuing their tickets. Caller holds mu_.
+    void admit_locked();
+
+    /// Submits `count` tickets at priority class `cls`. Caller holds mu_.
+    void issue_tickets_locked(uint32_t count, unsigned cls);
+
+    /// Withdraws a campaign from the admission queue if it is still
+    /// waiting there (cancel-before-admission path); returns null when it
+    /// was already admitted or finalized elsewhere.
+    std::shared_ptr<detail::CampaignState> take_if_queued(
+        detail::CampaignState* raw);
+
+    /// One pool ticket: pick the best dispatchable shard, run it, feed the
+    /// cost model, update scheduling state.
+    void run_ticket();
+
+    std::shared_ptr<const CompiledDesign> compiled_;
+    util::ThreadPool& pool_;
+    SchedulerOptions opts_;
+    std::shared_ptr<CostModel> cost_model_;
+
+    mutable std::mutex mu_;
+    std::condition_variable space_cv_;   // submitters blocked on a full queue
+    std::condition_variable drain_cv_;   // drain() waits for quiescence
+    std::deque<std::shared_ptr<detail::CampaignState>> queued_;
+    std::vector<std::shared_ptr<detail::CampaignState>> active_;
+    uint64_t next_seq_ = 0;
+    uint64_t submitted_ = 0;
+    uint64_t rejected_ = 0;
+    uint64_t shards_dispatched_ = 0;
+    bool draining_ = false;
+};
+
+}  // namespace eraser::core

@@ -1,280 +1,12 @@
 #include "eraser/session.h"
 
-#include <algorithm>
-#include <atomic>
-#include <condition_variable>
-#include <exception>
+#include <utility>
 
-#include "util/diagnostics.h"
+#include "eraser/scheduler.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace eraser::core {
-
-namespace {
-
-/// DriveHandle over the concurrent engine (good-network inputs; fault views
-/// follow automatically, modulo pinned input faults).
-class ConcurrentHandle final : public sim::DriveHandle {
-  public:
-    explicit ConcurrentHandle(ConcurrentSim& sim) : sim_(sim) {}
-    void set_input(rtl::SignalId sig, uint64_t value) override {
-        sim_.poke(sig, value);
-    }
-    void load_array(rtl::ArrayId arr,
-                    std::span<const uint64_t> words) override {
-        sim_.load_array(arr, words);
-    }
-
-  private:
-    ConcurrentSim& sim_;
-};
-
-/// Result of one engine run over one fault subset (local fault indexing).
-struct EngineOutcome {
-    std::vector<bool> detected;
-    uint32_t num_detected = 0;
-    Instrumentation stats;
-    ShardBreakdown breakdown;
-    bool ran = false;        // engine executed (even partially)
-    bool canceled = false;   // engine stopped at a cancel check
-};
-
-/// The campaign loop for one ConcurrentSim over `faults`: reset, stimulus
-/// initialization, one clocked cycle per stimulus step with output
-/// observation (fault detection + dropping) after each cycle. Early-exits
-/// once every fault of this engine is detected, or (cooperatively, at the
-/// cycle boundary) when `cancel` is raised.
-EngineOutcome run_engine(const CompiledDesign& compiled,
-                         std::span<const fault::Fault> faults,
-                         sim::Stimulus& stim, const EngineOptions& opts,
-                         const std::atomic<bool>* cancel) {
-    Stopwatch engine_watch;
-    ConcurrentSim sim(compiled, faults, opts);
-    ConcurrentHandle handle(sim);
-    const rtl::Design& design = compiled.design();
-    stim.bind(design);
-    const rtl::SignalId clk = design.signal_id(stim.clock_name());
-
-    EngineOutcome out;
-    out.ran = true;
-    sim.reset();
-    stim.initialize(handle);
-    const uint32_t cycles = stim.num_cycles();
-    for (uint32_t c = 0; c < cycles; ++c) {
-        if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
-            out.canceled = true;
-            break;
-        }
-        stim.apply(c, handle);
-        sim.tick(clk);
-        sim.observe_outputs();
-        if (sim.num_detected() == faults.size()) break;   // all dropped
-    }
-
-    out.detected = sim.detected();
-    out.num_detected = sim.num_detected();
-    out.stats = sim.stats();
-    out.breakdown.wall_seconds = engine_watch.seconds();
-    out.breakdown.behavioral_seconds =
-        out.stats.time_behavioral.total_seconds();
-    out.breakdown.rtl_seconds = out.stats.time_rtl.total_seconds();
-    return out;
-}
-
-CampaignResult finish(CampaignResult result, uint32_t num_faults,
-                      double seconds) {
-    result.num_faults = num_faults;
-    result.coverage_percent =
-        num_faults == 0 ? 0.0
-                        : 100.0 * static_cast<double>(result.num_detected) /
-                              static_cast<double>(num_faults);
-    result.seconds = seconds;
-    return result;
-}
-
-}  // namespace
-
-namespace detail {
-
-/// Everything one submitted campaign owns. Kept alive by the handle copies
-/// and by every enqueued shard job, so it outlives the Session if needed.
-struct CampaignState {
-    // Immutable after submit().
-    std::shared_ptr<const CompiledDesign> compiled;
-    EngineOptions engine_opts;
-    StimulusFactory make_stimulus;
-    ShardObserver observer;
-    std::vector<Shard> shards;
-    uint32_t num_faults = 0;
-    uint32_t num_threads = 0;   // reported in the result
-
-    // Lock-free progress counters (shard-granular).
-    std::atomic<bool> cancel{false};
-    std::atomic<uint32_t> shards_done{0};
-    std::atomic<uint32_t> faults_done{0};
-    std::atomic<uint32_t> detected_done{0};
-    std::atomic<bool> finished_flag{false};
-
-    // Written by the owning shard job only (disjoint indices).
-    std::vector<EngineOutcome> outcomes;
-    std::vector<std::exception_ptr> errors;
-
-    std::mutex observer_mu;   // serializes ShardObserver invocations
-
-    std::mutex mu;            // guards finished/result/finished_jobs
-    std::condition_variable cv;
-    uint32_t finished_jobs = 0;
-    bool finished = false;
-    CampaignResult result;
-
-    Stopwatch watch;
-};
-
-}  // namespace detail
-
-using detail::CampaignState;
-
-namespace {
-
-/// Deterministic merge: shards in index order, global ids within each
-/// shard are ascending, so the bitmap assembly order is fixed regardless
-/// of completion order. Partial (canceled) shard outcomes contribute their
-/// verdicts-so-far but do not count as completed work.
-void finalize_campaign(CampaignState& st) {
-    CampaignResult result;
-    result.detected.assign(st.num_faults, false);
-    uint32_t completed = 0;
-    for (size_t s = 0; s < st.shards.size(); ++s) {
-        const EngineOutcome& out = st.outcomes[s];
-        if (!out.ran) continue;
-        const Shard& shard = st.shards[s];
-        for (size_t i = 0; i < shard.global_ids.size(); ++i) {
-            result.detected[shard.global_ids[i]] = out.detected[i];
-        }
-        result.num_detected += out.num_detected;
-        result.stats.merge_from(out.stats);
-        result.stats.shards.push_back(out.breakdown);
-        if (!out.canceled) ++completed;
-    }
-    result.canceled = completed != st.shards.size();
-    result.num_shards = static_cast<uint32_t>(st.shards.size());
-    result.num_threads = st.num_threads;
-    result = finish(std::move(result), st.num_faults, st.watch.seconds());
-
-    {
-        std::lock_guard<std::mutex> lock(st.mu);
-        st.result = std::move(result);
-        st.finished = true;
-        // Inside the lock: once a waiter can observe finished, the
-        // lock-free flag must agree (cancel()/finished() read it).
-        st.finished_flag.store(true, std::memory_order_release);
-    }
-    st.cv.notify_all();
-}
-
-void run_shard_job(const std::shared_ptr<CampaignState>& st, size_t s) {
-    EngineOutcome out;
-    if (!st->cancel.load(std::memory_order_relaxed)) {
-        try {
-            auto stim = st->make_stimulus();
-            out = run_engine(*st->compiled, st->shards[s].faults, *stim,
-                             st->engine_opts, &st->cancel);
-        } catch (...) {
-            st->errors[s] = std::current_exception();
-            out = EngineOutcome{};
-        }
-    }
-    const Shard& shard = st->shards[s];
-    out.breakdown.shard = static_cast<uint32_t>(s);
-    out.breakdown.faults = static_cast<uint32_t>(shard.faults.size());
-    out.breakdown.detected = out.num_detected;
-    out.breakdown.est_cost = shard.est_cost;
-    st->outcomes[s] = std::move(out);
-
-    const EngineOutcome& stored = st->outcomes[s];
-    if (stored.ran && !stored.canceled) {
-        st->shards_done.fetch_add(1, std::memory_order_relaxed);
-        st->faults_done.fetch_add(
-            static_cast<uint32_t>(shard.faults.size()),
-            std::memory_order_relaxed);
-        st->detected_done.fetch_add(stored.num_detected,
-                                    std::memory_order_relaxed);
-        if (st->observer) {
-            // An observer that throws must not stall the campaign (the
-            // finished_jobs increment below is what unblocks wait()); the
-            // exception is recorded and rethrown from wait() instead.
-            try {
-                const ShardEvent event{static_cast<uint32_t>(s),
-                                       shard.global_ids, stored.detected,
-                                       stored.breakdown};
-                std::lock_guard<std::mutex> lock(st->observer_mu);
-                st->observer(event);
-            } catch (...) {
-                st->errors[s] = std::current_exception();
-            }
-        }
-    }
-
-    bool last = false;
-    {
-        std::lock_guard<std::mutex> lock(st->mu);
-        last = ++st->finished_jobs == st->shards.size();
-    }
-    if (last) finalize_campaign(*st);
-}
-
-}  // namespace
-
-// --- CampaignHandle ---------------------------------------------------------
-
-namespace {
-void require_valid(const std::shared_ptr<CampaignState>& state) {
-    if (!state) {
-        throw SimError("empty CampaignHandle (default-constructed; only "
-                       "Session::submit produces live handles)");
-    }
-}
-}  // namespace
-
-const CampaignResult& CampaignHandle::wait() {
-    require_valid(state_);
-    std::unique_lock<std::mutex> lock(state_->mu);
-    state_->cv.wait(lock, [&] { return state_->finished; });
-    for (const auto& err : state_->errors) {
-        if (err) std::rethrow_exception(err);
-    }
-    return state_->result;
-}
-
-bool CampaignHandle::cancel() {
-    require_valid(state_);
-    const bool already_finished =
-        state_->finished_flag.load(std::memory_order_acquire);
-    state_->cancel.store(true, std::memory_order_relaxed);
-    return !already_finished;
-}
-
-CampaignProgress CampaignHandle::progress() const {
-    require_valid(state_);
-    CampaignProgress p;
-    p.shards_total = static_cast<uint32_t>(state_->shards.size());
-    p.shards_done = state_->shards_done.load(std::memory_order_relaxed);
-    p.faults_total = state_->num_faults;
-    p.faults_done = state_->faults_done.load(std::memory_order_relaxed);
-    p.detected_so_far =
-        state_->detected_done.load(std::memory_order_relaxed);
-    p.cancel_requested = state_->cancel.load(std::memory_order_relaxed);
-    p.finished = state_->finished_flag.load(std::memory_order_acquire);
-    return p;
-}
-
-bool CampaignHandle::finished() const {
-    require_valid(state_);
-    return state_->finished_flag.load(std::memory_order_acquire);
-}
-
-// --- Session ----------------------------------------------------------------
 
 Session::Session(std::shared_ptr<const CompiledDesign> compiled,
                  const SessionOptions& opts)
@@ -283,74 +15,76 @@ Session::Session(std::shared_ptr<const CompiledDesign> compiled,
 Session::Session(const rtl::Design& design, const SessionOptions& opts)
     : Session(CompiledDesign::build(design), opts) {}
 
-// The pool destructor drains every queued shard job before joining, so all
-// outstanding campaigns finish (handles held by callers stay usable — the
-// state is shared).
-Session::~Session() = default;
+// Drain first (queued campaigns may still need admission), then the pool
+// destructor runs every remaining ticket before joining; handles held by
+// callers stay usable — the campaign state is shared.
+Session::~Session() {
+    if (sched_) sched_->drain();
+}
 
 uint32_t Session::num_threads() const {
     return opts_.num_threads > 0 ? opts_.num_threads
                                  : util::ThreadPool::default_threads();
 }
 
-util::ThreadPool& Session::pool() {
+CampaignScheduler& Session::ensure_scheduler() {
     std::lock_guard<std::mutex> lock(pool_mu_);
-    if (!pool_) {
+    if (!sched_) {
         pool_ = std::make_unique<util::ThreadPool>(opts_.num_threads);
+        sched_ = std::make_unique<CampaignScheduler>(compiled_, *pool_,
+                                                     opts_.scheduler);
     }
-    return *pool_;
+    return *sched_;
 }
+
+CampaignScheduler& Session::scheduler() { return ensure_scheduler(); }
 
 CampaignHandle Session::submit(std::span<const fault::Fault> faults,
                                StimulusFactory make_stimulus,
                                const CampaignOptions& opts,
                                ShardObserver observer) {
-    auto st = std::make_shared<CampaignState>();
-    st->compiled = compiled_;
-    st->engine_opts = opts.engine;
-    st->make_stimulus = std::move(make_stimulus);
-    st->observer = std::move(observer);
-    st->num_faults = static_cast<uint32_t>(faults.size());
+    return ensure_scheduler().submit(faults, std::move(make_stimulus), opts,
+                                     std::move(observer));
+}
 
-    util::ThreadPool& workers = pool();
-    const uint32_t threads = static_cast<uint32_t>(workers.num_threads());
-    const uint32_t want_shards =
-        opts.num_shards > 0 ? opts.num_shards : threads;
-    // Batched engines pack faults 64 lanes to a group, so their shards are
-    // balanced at group granularity (lane-aligned work per shard).
-    st->shards =
-        opts.engine.batching == FaultBatching::Word
-            ? make_shards_grouped(*compiled_, faults, want_shards,
-                                  opts.shard_policy)
-            : make_shards(*compiled_, faults, want_shards,
-                          opts.shard_policy);
-    st->num_threads = std::min<uint32_t>(
-        threads, static_cast<uint32_t>(st->shards.size()));
-    st->outcomes.resize(st->shards.size());
-    st->errors.resize(st->shards.size());
-    st->watch.reset();
-
-    for (size_t s = 0; s < st->shards.size(); ++s) {
-        workers.submit([st, s] { run_shard_job(st, s); });
-    }
-    return CampaignHandle(std::move(st));
+CampaignHandle Session::try_submit(std::span<const fault::Fault> faults,
+                                   StimulusFactory make_stimulus,
+                                   const CampaignOptions& opts,
+                                   ShardObserver observer) {
+    return ensure_scheduler().try_submit(faults, std::move(make_stimulus),
+                                         opts, std::move(observer));
 }
 
 CampaignResult Session::run(std::span<const fault::Fault> faults,
                             sim::Stimulus& stim,
                             const CampaignOptions& opts) {
     Stopwatch watch;
-    EngineOutcome out =
-        run_engine(*compiled_, faults, stim, opts.engine, nullptr);
+    detail::EngineOutcome out =
+        detail::run_engine(*compiled_, faults, stim, opts.engine, nullptr);
+
+    // The blocking path is a one-shard campaign: record the same shard-0
+    // breakdown a single-shard submit would, so bench rows built on
+    // result.stats.shards keep their phase timing. No scheduler is
+    // involved, so the queue wait is genuinely zero and est_cost is in
+    // static VDG units.
+    out.breakdown.shard = 0;
+    out.breakdown.faults = static_cast<uint32_t>(faults.size());
+    out.breakdown.detected = out.num_detected;
+    uint64_t est_cost = 0;
+    for (uint64_t c : compiled_->fault_costs(faults)) est_cost += c;
+    out.breakdown.est_cost = est_cost;
+    out.breakdown.queue_seconds = 0.0;
 
     CampaignResult result;
     result.detected = std::move(out.detected);
     result.num_detected = out.num_detected;
     result.stats = std::move(out.stats);
+    result.stats.shards.push_back(out.breakdown);
     result.num_shards = 1;
     result.num_threads = 1;
-    return finish(std::move(result), static_cast<uint32_t>(faults.size()),
-                  watch.seconds());
+    return detail::finish_result(std::move(result),
+                                 static_cast<uint32_t>(faults.size()),
+                                 watch.seconds());
 }
 
 }  // namespace eraser::core

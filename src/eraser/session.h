@@ -3,20 +3,25 @@
 // The paper's Fig. 4 flow compiles the design once and then drives many
 // faulty executions; a Session is that flow as an object. It owns an
 // immutable CompiledDesign (bytecode programs, compiled CFGs, VDG cost
-// model — see eraser/compiled_design.h) plus a persistent work-stealing
-// worker pool, and accepts any number of campaigns:
+// model — see eraser/compiled_design.h), a persistent work-stealing worker
+// pool, and a CampaignScheduler (eraser/scheduler.h) that turns submitted
+// campaigns into scheduled work:
 //
 //   core::Session session(design);                  // compiles exactly once
 //   auto h1 = session.submit(faults, factory, opts);        // async
 //   auto h2 = session.submit(faults, factory, other_opts);  // overlaps h1
 //   h1.wait();  h2.wait();                                  // merged results
 //
-// submit() is non-blocking and thread-safe: campaigns from concurrent
-// callers interleave on the shared pool. Each campaign is sharded exactly
-// like the classic sharded runner and merged in shard-index order, so its
-// detection bitmap is bit-identical to every other configuration of the
-// same fault list — including the legacy one-shot free functions, which are
-// now wrappers over a temporary Session.
+// submit() is non-blocking (under the default unbounded scheduler) and
+// thread-safe: campaigns from concurrent callers interleave on the shared
+// pool under the scheduler's priority / fair-share / quota policy
+// (CampaignOptions::priority, max_workers, weight). A bounded scheduler
+// (SessionOptions::scheduler) adds backpressure: submit() then blocks on a
+// full admission queue and try_submit() refuses instead. Each campaign is
+// sharded exactly like the classic sharded runner and merged in shard-index
+// order, so its detection bitmap is bit-identical under every scheduling
+// configuration — including the legacy one-shot free functions, which are
+// wrappers over a temporary Session.
 //
 // Streaming: an optional ShardObserver receives each shard's verdict slice
 // and ShardBreakdown as it lands (completion order, not shard order);
@@ -41,6 +46,8 @@ class ThreadPool;
 }  // namespace eraser::util
 
 namespace eraser::core {
+
+class CampaignScheduler;
 
 namespace detail {
 struct CampaignState;
@@ -97,10 +104,12 @@ class CampaignHandle {
 
     [[nodiscard]] CampaignProgress progress() const;
     [[nodiscard]] bool finished() const;
+    /// False for default-constructed handles and try_submit refusals.
     [[nodiscard]] bool valid() const { return state_ != nullptr; }
 
   private:
     friend class Session;
+    friend class CampaignScheduler;
     explicit CampaignHandle(std::shared_ptr<detail::CampaignState> state)
         : state_(std::move(state)) {}
 
@@ -109,9 +118,14 @@ class CampaignHandle {
 
 struct SessionOptions {
     /// Worker threads in the persistent pool (0 = hardware concurrency).
-    /// The pool is created lazily on the first submit(), so blocking-only
-    /// Sessions never spawn threads.
+    /// The pool is created lazily on the first submit()/try_submit()/
+    /// scheduler() access, so Sessions used only through the blocking
+    /// run() path never spawn threads.
     uint32_t num_threads = 0;
+    /// Scheduler policy: admission-queue bounds (backpressure), fair-share
+    /// vs strict FIFO within a priority class, and the measured-cost
+    /// feedback loop. Defaults preserve the historical non-blocking submit.
+    SchedulerOptions scheduler = {};
 };
 
 class Session {
@@ -134,38 +148,61 @@ class Session {
         return compiled_;
     }
 
-    /// Shards `faults`, enqueues one engine run per shard on the persistent
-    /// pool, and returns immediately. Thread-safe: concurrent submitters
-    /// interleave on the pool. `make_stimulus` builds one replayable
-    /// stimulus per shard (callable from multiple threads, every instance
-    /// driving the identical sequence). `opts.num_threads` is ignored — the
-    /// Session pool governs parallelism; `opts.num_shards == 0` defaults to
-    /// one shard per pool thread. Batched campaigns (the default
-    /// FaultBatching::Word) partition at 64-lane group granularity
-    /// (make_shards_grouped), so shards receive lane-aligned work; verdicts
-    /// are identical under every partition either way.
+    /// Shards `faults` (on the learned cost table once measurements exist)
+    /// and hands the campaign to the scheduler, which feeds the persistent
+    /// pool shard-by-shard under the (priority, fair-share, quota) policy.
+    /// Non-blocking under the default unbounded scheduler; with a bounded
+    /// admission queue it blocks until space frees (use try_submit to
+    /// refuse instead). Thread-safe: concurrent submitters interleave.
+    /// `make_stimulus` builds one replayable stimulus per shard (callable
+    /// from multiple threads, every instance driving the identical
+    /// sequence). `opts.num_threads` is ignored — the Session pool governs
+    /// parallelism; `opts.num_shards == 0` defaults to one shard per pool
+    /// thread. Batched campaigns (the default FaultBatching::Word)
+    /// partition at 64-lane group granularity (make_shards_grouped), so
+    /// shards receive lane-aligned work; verdicts are identical under every
+    /// partition and every scheduling configuration either way.
     [[nodiscard]] CampaignHandle submit(std::span<const fault::Fault> faults,
                                         StimulusFactory make_stimulus,
                                         const CampaignOptions& opts = {},
                                         ShardObserver observer = nullptr);
 
+    /// Like submit(), but never blocks: when the scheduler's bounded
+    /// admission queue is full the campaign is refused and the returned
+    /// handle is invalid (`valid() == false`).
+    [[nodiscard]] CampaignHandle try_submit(
+        std::span<const fault::Fault> faults, StimulusFactory make_stimulus,
+        const CampaignOptions& opts = {}, ShardObserver observer = nullptr);
+
     /// Blocking single-engine campaign on the calling thread, driven by a
     /// caller-owned stimulus (no factory/replay requirement). Bit-identical
-    /// to every sharded configuration of the same fault list.
+    /// to every sharded configuration of the same fault list. Records a
+    /// single shard-0 ShardBreakdown in result.stats.shards, like a
+    /// one-shard submit.
     [[nodiscard]] CampaignResult run(std::span<const fault::Fault> faults,
                                      sim::Stimulus& stim,
                                      const CampaignOptions& opts = {});
+
+    /// The Session's scheduler: QoS stats and the learned CostModel live
+    /// here. First use creates it TOGETHER WITH the worker pool — calling
+    /// this on a blocking-only Session spawns the pool threads just like a
+    /// submit would.
+    [[nodiscard]] CampaignScheduler& scheduler();
 
     /// Threads the pool will use once created (resolves 0 to hardware
     /// concurrency without forcing pool creation).
     [[nodiscard]] uint32_t num_threads() const;
 
   private:
-    util::ThreadPool& pool();
+    CampaignScheduler& ensure_scheduler();
 
     std::shared_ptr<const CompiledDesign> compiled_;
     SessionOptions opts_;
     std::mutex pool_mu_;
+    // Destruction order matters: ~Session drains the scheduler, then the
+    // pool joins (declared after the scheduler so it destructs first),
+    // then the scheduler — no ticket outlives the pool.
+    std::unique_ptr<CampaignScheduler> sched_;
     std::unique_ptr<util::ThreadPool> pool_;
 };
 

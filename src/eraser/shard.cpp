@@ -113,7 +113,8 @@ std::vector<Shard> make_shards(const CompiledDesign& compiled,
 std::vector<Shard> make_shards_grouped(std::span<const fault::Fault> faults,
                                        std::span<const uint64_t> costs,
                                        uint32_t num_shards,
-                                       ShardPolicy policy) {
+                                       ShardPolicy policy,
+                                       const GroupPacker& packer) {
     if (costs.size() != faults.size()) {
         throw SimError("make_shards_grouped: costs span must parallel the "
                        "fault list (stale cache after regenerating faults?)");
@@ -133,33 +134,57 @@ std::vector<Shard> make_shards_grouped(std::span<const fault::Fault> faults,
     std::vector<std::vector<uint32_t>> units(nunits);
     std::vector<uint64_t> unit_cost(nunits, 0);
 
-    switch (policy) {
-        case ShardPolicy::RoundRobin: {
-            for (uint32_t i = 0; i < n; ++i) {
-                units[i / cap].push_back(i);
-                unit_cost[i / cap] += costs[i];
-            }
-            break;
+    if (packer) {
+        // Caller-supplied fault order (e.g. the scheduler's learned
+        // deferral-rate clustering): consecutive runs share a unit. The LPT
+        // below re-sorts units by cost, so the order only decides
+        // co-residency, not balance.
+        std::vector<uint32_t> order = packer(faults, costs);
+        if (order.size() != n) {
+            throw SimError("make_shards_grouped: packer must return a "
+                           "permutation of the fault indices");
         }
-        case ShardPolicy::CostBalanced: {
-            // Units = consecutive chunks of the cost-descending order, so
-            // at most ONE unit anywhere is narrower than the lane width
-            // (shard sizes stay lane-aligned after whole-unit assignment;
-            // the engine re-chunks each shard's ascending fault list into
-            // 64-lane groups by position, so only the sizes matter). Unit
-            // costs descend chunk over chunk, which is exactly the order
-            // the LPT below consumes.
-            std::vector<uint32_t> order(n);
-            std::iota(order.begin(), order.end(), 0);
-            std::stable_sort(order.begin(), order.end(),
-                             [&](uint32_t a, uint32_t b) {
-                                 return costs[a] > costs[b];
-                             });
-            for (uint32_t i = 0; i < n; ++i) {
-                units[i / cap].push_back(order[i]);
-                unit_cost[i / cap] += costs[order[i]];
+        std::vector<bool> seen(n, false);
+        for (uint32_t idx : order) {
+            if (idx >= n || seen[idx]) {
+                throw SimError("make_shards_grouped: packer order is not a "
+                               "permutation of the fault indices");
             }
-            break;
+            seen[idx] = true;
+        }
+        for (uint32_t i = 0; i < n; ++i) {
+            units[i / cap].push_back(order[i]);
+            unit_cost[i / cap] += costs[order[i]];
+        }
+    } else {
+        switch (policy) {
+            case ShardPolicy::RoundRobin: {
+                for (uint32_t i = 0; i < n; ++i) {
+                    units[i / cap].push_back(i);
+                    unit_cost[i / cap] += costs[i];
+                }
+                break;
+            }
+            case ShardPolicy::CostBalanced: {
+                // Units = consecutive chunks of the cost-descending order,
+                // so at most ONE unit anywhere is narrower than the lane
+                // width (shard sizes stay lane-aligned after whole-unit
+                // assignment; the engine re-chunks each shard's ascending
+                // fault list into 64-lane groups by position, so only the
+                // sizes matter). Unit costs descend chunk over chunk, which
+                // is exactly the order the LPT below consumes.
+                std::vector<uint32_t> order(n);
+                std::iota(order.begin(), order.end(), 0);
+                std::stable_sort(order.begin(), order.end(),
+                                 [&](uint32_t a, uint32_t b) {
+                                     return costs[a] > costs[b];
+                                 });
+                for (uint32_t i = 0; i < n; ++i) {
+                    units[i / cap].push_back(order[i]);
+                    unit_cost[i / cap] += costs[order[i]];
+                }
+                break;
+            }
         }
     }
 
@@ -205,9 +230,10 @@ std::vector<Shard> make_shards_grouped(std::span<const fault::Fault> faults,
 std::vector<Shard> make_shards_grouped(const CompiledDesign& compiled,
                                        std::span<const fault::Fault> faults,
                                        uint32_t num_shards,
-                                       ShardPolicy policy) {
+                                       ShardPolicy policy,
+                                       const GroupPacker& packer) {
     return make_shards_grouped(faults, compiled.fault_costs(faults),
-                               num_shards, policy);
+                               num_shards, policy, packer);
 }
 
 std::vector<Shard> make_shards(const rtl::Design& design,

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -94,6 +95,16 @@ struct Shard {
     const CompiledDesign& compiled, std::span<const fault::Fault> faults,
     uint32_t num_shards, ShardPolicy policy);
 
+/// Packer hook for make_shards_grouped: given the fault list and its costs,
+/// returns the fault order (a permutation of [0, faults.size())) that unit
+/// chunking consumes — consecutive runs of the returned order share a
+/// 64-lane unit. The seam lets a learned packer cluster control-correlated
+/// faults (similar lane-deferral rates, see core::CostModel) into the same
+/// unit so the superword pass defers less. Verdicts are
+/// partition-independent regardless of the order returned.
+using GroupPacker = std::function<std::vector<uint32_t>(
+    std::span<const fault::Fault>, std::span<const uint64_t>)>;
+
 /// Group-aware partition for batched (FaultBatching::Word) campaigns: the
 /// LPT balances 64-lane *groups*, not individual faults. Faults are first
 /// packed into units of at most 64 (cost-balanced packing under
@@ -102,13 +113,17 @@ struct Shard {
 /// full groups exist), then whole units are assigned to shards. Shards thus
 /// receive lane-aligned work: at most one partial group each instead of a
 /// ragged remainder per shard, which is what the engine's superword pass
-/// packs against. Verdicts are partition-independent as always.
+/// packs against. A non-null `packer` overrides the policy's fault order
+/// for unit chunking (unit-to-shard assignment is unchanged). Verdicts are
+/// partition-independent as always.
 [[nodiscard]] std::vector<Shard> make_shards_grouped(
     std::span<const fault::Fault> faults, std::span<const uint64_t> costs,
-    uint32_t num_shards, ShardPolicy policy);
+    uint32_t num_shards, ShardPolicy policy,
+    const GroupPacker& packer = nullptr);
 [[nodiscard]] std::vector<Shard> make_shards_grouped(
     const CompiledDesign& compiled, std::span<const fault::Fault> faults,
-    uint32_t num_shards, ShardPolicy policy);
+    uint32_t num_shards, ShardPolicy policy,
+    const GroupPacker& packer = nullptr);
 
 /// Deprecated pre-Session entry point: recomputes the cost model per call
 /// (or trusts a caller-maintained `costs` pointer). Delegates to the

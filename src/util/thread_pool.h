@@ -1,12 +1,16 @@
-// Small work-stealing thread pool used by the sharded fault-campaign
-// scheduler. Each worker owns a deque: it pops its own work LIFO and steals
-// FIFO from the other workers when empty, so unbalanced shard costs still
-// keep every thread busy. All deques share one mutex — simplicity over
-// scalability, which is fine for the intended workload of a handful of
-// coarse-grained jobs (one per fault shard, seconds each); revisit if tasks
-// ever become fine-grained. Tasks must not block on each other.
+// Small work-stealing thread pool used by the campaign scheduler. Each
+// worker owns one deque per priority class: it serves the highest non-empty
+// class across the whole pool first (own deque LIFO, then steal FIFO from
+// the other workers), so a task submitted at a higher class starts before
+// any queued lower-class task, while classes never reorder within
+// themselves beyond the LIFO/steal discipline. All deques share one mutex —
+// simplicity over scalability, which is fine for the intended workload of a
+// handful of coarse-grained jobs (one per fault shard, seconds each);
+// revisit if tasks ever become fine-grained. Tasks must not block on each
+// other.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -20,6 +24,13 @@ namespace eraser::util {
 
 class ThreadPool {
   public:
+    /// Priority classes of submit(): tasks of a higher class are popped
+    /// before any queued task of a lower class, pool-wide. Matches
+    /// core::Priority (Low/Normal/High) so the campaign scheduler can
+    /// forward a campaign's class directly.
+    static constexpr unsigned kClasses = 3;
+    static constexpr unsigned kDefaultClass = 1;
+
     /// Spawns `num_threads` workers (0 = hardware concurrency, at least 1).
     explicit ThreadPool(unsigned num_threads)
         : workers_(resolve(num_threads)) {
@@ -43,13 +54,17 @@ class ThreadPool {
 
     [[nodiscard]] size_t num_threads() const { return workers_.size(); }
 
-    /// Enqueues a task; round-robins across worker deques so stealing is the
-    /// exception rather than the rule when task costs are balanced.
-    void submit(std::function<void()> task) {
+    /// Enqueues a task at the given priority class; an out-of-range class
+    /// fails safe to the default class (never silently promoted to the top,
+    /// which would let a miscast value preempt genuine high-priority work).
+    /// Round-robins across worker deques so stealing is the exception
+    /// rather than the rule when task costs are balanced.
+    void submit(std::function<void()> task, unsigned cls = kDefaultClass) {
+        if (cls >= kClasses) cls = kDefaultClass;
         {
             std::unique_lock<std::mutex> lock(mu_);
             const size_t w = next_worker_++ % workers_.size();
-            workers_[w].deque.push_back(std::move(task));
+            workers_[w].deques[cls].push_back(std::move(task));
             ++pending_;
         }
         cv_.notify_one();
@@ -73,7 +88,7 @@ class ThreadPool {
 
   private:
     struct Worker {
-        std::deque<std::function<void()>> deque;
+        std::array<std::deque<std::function<void()>>, kClasses> deques;
     };
 
     static unsigned resolve(unsigned requested) {
@@ -82,20 +97,25 @@ class ThreadPool {
         return hw > 0 ? hw : 1;
     }
 
-    /// Pops the next task for worker `self`: own deque back first (LIFO),
-    /// then steal from the front of the others (FIFO). Caller holds mu_.
+    /// Pops the next task for worker `self`: highest non-empty class
+    /// pool-wide, own deque back first (LIFO), then steal from the front of
+    /// the others (FIFO). Caller holds mu_.
     bool try_pop(size_t self, std::function<void()>& out) {
-        if (!workers_[self].deque.empty()) {
-            out = std::move(workers_[self].deque.back());
-            workers_[self].deque.pop_back();
-            return true;
-        }
-        for (size_t i = 1; i < workers_.size(); ++i) {
-            Worker& victim = workers_[(self + i) % workers_.size()];
-            if (!victim.deque.empty()) {
-                out = std::move(victim.deque.front());
-                victim.deque.pop_front();
+        for (unsigned cls = kClasses; cls-- > 0;) {
+            auto& own = workers_[self].deques[cls];
+            if (!own.empty()) {
+                out = std::move(own.back());
+                own.pop_back();
                 return true;
+            }
+            for (size_t i = 1; i < workers_.size(); ++i) {
+                auto& victim =
+                    workers_[(self + i) % workers_.size()].deques[cls];
+                if (!victim.empty()) {
+                    out = std::move(victim.front());
+                    victim.pop_front();
+                    return true;
+                }
             }
         }
         return false;

@@ -18,10 +18,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "eraser/eraser.h"
@@ -264,6 +266,122 @@ TEST(SessionObserver, ThrowingObserverSurfacesInWaitWithoutDeadlock) {
                                  });
     EXPECT_THROW((void)handle.wait(), std::runtime_error);
     EXPECT_TRUE(handle.finished());
+}
+
+// --- scheduler-era progress/observer guarantees -----------------------------
+
+// Four concurrent submitters with mixed priorities, plus one campaign
+// canceled mid-flight: CampaignProgress counters must never regress (the
+// monotone contract a polling UI depends on), shards_total must be stable
+// from submission, and every completed shard must stream to its observer
+// exactly once.
+TEST(SessionScheduler, ProgressMonotoneAndObserverExactlyOnceUnderLoad) {
+    const suite::Benchmark& b = suite::registry().front();
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    auto factory = [&] { return suite::make_stimulus(b, b.test_cycles); };
+
+    constexpr uint32_t kShards = 5;
+    constexpr int kSubmitters = 4;
+    constexpr int kPerThread = 2;
+    core::Session session(*design, {.num_threads = 4});
+
+    struct Tracked {
+        core::CampaignHandle handle;
+        std::array<std::atomic<int>, kShards> shard_events{};
+    };
+    std::vector<std::unique_ptr<Tracked>> tracked;
+    std::mutex tracked_mu;
+    std::atomic<bool> done{false};
+    std::atomic<int> monotonic_violations{0};
+
+    // Poller: progress snapshots of every known campaign must be monotone.
+    std::thread poller([&] {
+        std::vector<std::pair<const Tracked*, core::CampaignProgress>> last;
+        while (!done.load()) {
+            {
+                std::lock_guard<std::mutex> lock(tracked_mu);
+                for (const auto& t : tracked) {
+                    bool known = false;
+                    for (auto& [ptr, prev] : last) {
+                        if (ptr != t.get()) continue;
+                        known = true;
+                        const auto p = t->handle.progress();
+                        if (p.shards_total != prev.shards_total ||
+                            p.shards_done < prev.shards_done ||
+                            p.faults_done < prev.faults_done ||
+                            p.detected_so_far < prev.detected_so_far ||
+                            (prev.finished && !p.finished) ||
+                            (prev.cancel_requested && !p.cancel_requested)) {
+                            monotonic_violations.fetch_add(1);
+                        }
+                        prev = p;
+                    }
+                    if (!known) {
+                        last.emplace_back(t.get(), t->handle.progress());
+                    }
+                }
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    });
+
+    const core::Priority priorities[] = {core::Priority::Low,
+                                         core::Priority::Normal,
+                                         core::Priority::High};
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&, s] {
+            for (int i = 0; i < kPerThread; ++i) {
+                auto t = std::make_unique<Tracked>();
+                Tracked* raw = t.get();
+                core::CampaignOptions opts;
+                opts.num_shards = kShards;
+                opts.priority = priorities[(s + i) % 3];
+                opts.max_workers = 1 + static_cast<uint32_t>(s % 3);
+                auto handle = session.submit(
+                    faults, factory, opts, [raw](const core::ShardEvent& e) {
+                        raw->shard_events[e.shard].fetch_add(1);
+                    });
+                raw->handle = handle;
+                {
+                    std::lock_guard<std::mutex> lock(tracked_mu);
+                    tracked.push_back(std::move(t));
+                }
+                // One campaign per submitter gets canceled mid-flight.
+                if (i == 0 && s == 0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(2));
+                    (void)handle.cancel();
+                }
+                (void)handle.wait();
+            }
+        });
+    }
+    for (auto& t : submitters) t.join();
+    done.store(true);
+    poller.join();
+
+    EXPECT_EQ(monotonic_violations.load(), 0);
+    std::lock_guard<std::mutex> lock(tracked_mu);
+    ASSERT_EQ(tracked.size(),
+              static_cast<size_t>(kSubmitters * kPerThread));
+    for (const auto& t : tracked) {
+        const auto progress = t->handle.progress();
+        EXPECT_TRUE(progress.finished);
+        EXPECT_EQ(progress.shards_total, kShards);
+        uint32_t streamed = 0;
+        for (const auto& count : t->shard_events) {
+            EXPECT_LE(count.load(), 1) << "a shard streamed twice";
+            streamed += static_cast<uint32_t>(count.load());
+        }
+        // Completed shards stream exactly once; canceled campaigns stream
+        // only the shards that completed before the cancel landed.
+        EXPECT_EQ(streamed, progress.shards_done);
+        if (!t->handle.wait().canceled) {
+            EXPECT_EQ(streamed, kShards);
+        }
+    }
 }
 
 // --- serial baseline compile-once overloads ---------------------------------

@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over BENCH_fig6.json artifacts.
+"""Perf-regression gate over BENCH_*.json artifacts.
 
-Compares the geomean IFsim-relative speedup of a chosen engine mode
-(default: `eraser`, the batched production engine) between a freshly
-produced BENCH_fig6.json and the committed baseline under bench/baselines/.
-Speedups are relative to the serial IFsim* baseline measured in the same
-run, so host speed largely cancels; the gate trips when the geomean drops
-more than --tolerance (default 10%) below the baseline.
+Compares the geomean of a per-circuit metric for a chosen engine mode
+between a freshly produced artifact and the committed baseline under
+bench/baselines/. Both default metrics are within-run ratios, so host speed
+largely cancels:
+
+* BENCH_fig6.json (default): `speedup` of mode `eraser` — the IFsim*-
+  relative speedup of the batched production engine; higher is better; the
+  gate trips when the geomean drops more than --tolerance below baseline.
+* BENCH_sharding.json: `serial_ratio` of mode `cost-balanced` at
+  `--threads 1` — sharded-campaign wall over the unsharded blocking run on
+  the same host, i.e. the scheduler + sharding overhead; lower is better
+  (--direction lower), so the gate trips when the geomean RISES more than
+  --tolerance above baseline.
 
 The two artifacts must cover the same circuits — a circuit appearing in
 only one of them is an error, not a silent skip (dropping a slow circuit
@@ -14,10 +21,13 @@ would otherwise raise the geomean and mask a real regression).
 --min-wall-ms drops circuits whose BASELINE row is faster than the floor
 (sub-millisecond rows are scheduler-noise-dominated on shared CI runners);
 the filter keys off the committed baseline so both sides drop the same set.
+--threads keeps only rows with that thread count (sharding artifacts carry
+one row per thread point; without the filter the last row wins).
 
 Usage:
   tools/check_perf_regression.py CURRENT.json BASELINE.json \
-      [--mode eraser] [--tolerance 0.10] [--min-wall-ms 0]
+      [--mode eraser] [--metric speedup] [--direction higher] \
+      [--threads N] [--tolerance 0.10] [--min-wall-ms 0]
 
 Exit status: 0 = within tolerance, 1 = regression, 2 = bad input.
 """
@@ -28,21 +38,26 @@ import math
 import sys
 
 
-def load_mode_rows(path, mode):
-    """circuit -> (speedup, wall_ms) for every row of the given mode."""
+def load_mode_rows(path, mode, metric, threads):
+    """circuit -> (metric value, wall_ms) for every matching row."""
     with open(path, "r", encoding="utf-8") as f:
         rows = json.load(f)
     out = {}
     for row in rows:
-        if row.get("mode") == mode:
-            speedup = float(row["speedup"])
-            if speedup <= 0.0:
-                raise ValueError(
-                    f"{path}: non-positive speedup {speedup} for "
-                    f"circuit '{row.get('circuit')}'")
-            out[row["circuit"]] = (speedup, float(row["wall_ms"]))
+        if row.get("mode") != mode:
+            continue
+        if threads is not None and row.get("threads") != threads:
+            continue
+        value = float(row[metric])
+        if value <= 0.0:
+            raise ValueError(
+                f"{path}: non-positive {metric} {value} for "
+                f"circuit '{row.get('circuit')}'")
+        out[row["circuit"]] = (value, float(row["wall_ms"]))
     if not out:
-        raise ValueError(f"{path}: no rows with mode '{mode}'")
+        raise ValueError(
+            f"{path}: no rows with mode '{mode}'"
+            + (f" at threads={threads}" if threads is not None else ""))
     return out
 
 
@@ -52,20 +67,32 @@ def geomean(values):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", help="freshly produced BENCH_fig6.json")
+    parser.add_argument("current", help="freshly produced BENCH json")
     parser.add_argument("baseline", help="committed baseline JSON")
     parser.add_argument("--mode", default="eraser",
-                        help="engine mode to gate (default: eraser)")
+                        help="row mode to gate (default: eraser)")
+    parser.add_argument("--metric", default="speedup",
+                        help="row field to gate (default: speedup)")
+    parser.add_argument("--direction", choices=["higher", "lower"],
+                        default="higher",
+                        help="which way is better for --metric "
+                             "(default: higher)")
+    parser.add_argument("--threads", type=int, default=None,
+                        help="keep only rows with this thread count "
+                             "(default: all; last row per circuit wins)")
     parser.add_argument("--tolerance", type=float, default=0.10,
-                        help="allowed fractional geomean drop (default 0.10)")
+                        help="allowed fractional geomean drift against the "
+                             "better direction (default 0.10)")
     parser.add_argument("--min-wall-ms", type=float, default=0.0,
                         help="drop circuits whose baseline row is faster "
                              "than this floor (noise guard; default 0)")
     args = parser.parse_args()
 
     try:
-        cur = load_mode_rows(args.current, args.mode)
-        base = load_mode_rows(args.baseline, args.mode)
+        cur = load_mode_rows(args.current, args.mode, args.metric,
+                             args.threads)
+        base = load_mode_rows(args.baseline, args.mode, args.metric,
+                              args.threads)
         if set(cur) != set(base):
             only_cur = sorted(set(cur) - set(base))
             only_base = sorted(set(base) - set(cur))
@@ -85,7 +112,8 @@ def main():
               "circuit", file=sys.stderr)
         return 2
 
-    print(f"mode '{args.mode}' speedup vs IFsim* (current / baseline):")
+    print(f"mode '{args.mode}' {args.metric} (current / baseline, "
+          f"{args.direction} is better):")
     for circuit in gated:
         c, b = cur[circuit][0], base[circuit][0]
         print(f"  {circuit:<12} {c:8.2f} {b:8.2f}  {c / b:5.2f}x")
@@ -97,14 +125,24 @@ def main():
     print(f"  {'geomean':<12} {cur_geo:8.2f} {base_geo:8.2f}  "
           f"{cur_geo / base_geo:5.2f}x")
 
-    floor = base_geo * (1.0 - args.tolerance)
-    if cur_geo < floor:
-        print(f"REGRESSION: geomean {cur_geo:.2f} below floor {floor:.2f} "
-              f"(baseline {base_geo:.2f} - {args.tolerance:.0%})",
-              file=sys.stderr)
-        return 1
-    print(f"OK: geomean {cur_geo:.2f} >= floor {floor:.2f} "
-          f"(baseline {base_geo:.2f} - {args.tolerance:.0%})")
+    if args.direction == "higher":
+        floor = base_geo * (1.0 - args.tolerance)
+        if cur_geo < floor:
+            print(f"REGRESSION: geomean {cur_geo:.2f} below floor "
+                  f"{floor:.2f} (baseline {base_geo:.2f} - "
+                  f"{args.tolerance:.0%})", file=sys.stderr)
+            return 1
+        print(f"OK: geomean {cur_geo:.2f} >= floor {floor:.2f} "
+              f"(baseline {base_geo:.2f} - {args.tolerance:.0%})")
+    else:
+        ceiling = base_geo * (1.0 + args.tolerance)
+        if cur_geo > ceiling:
+            print(f"REGRESSION: geomean {cur_geo:.2f} above ceiling "
+                  f"{ceiling:.2f} (baseline {base_geo:.2f} + "
+                  f"{args.tolerance:.0%})", file=sys.stderr)
+            return 1
+        print(f"OK: geomean {cur_geo:.2f} <= ceiling {ceiling:.2f} "
+              f"(baseline {base_geo:.2f} + {args.tolerance:.0%})")
     return 0
 
 
