@@ -1,0 +1,234 @@
+// Distributed campaign fabric bench + smoke: launches real eraser_worker
+// processes on loopback sockets and runs the same campaign three ways on
+// each quick-suite circuit —
+//
+//   local             single-process Session (the reference verdicts)
+//   distributed       2 worker processes + the local pool
+//   distributed_kill  same, but one worker is SIGKILLed mid-campaign, so
+//                     its claimed unit must re-dispatch
+//
+// Detection bitmaps must be bit-identical across all three (the fabric's
+// core contract: deterministic units make placement and retries
+// invisible). Wall times and fleet counters go to BENCH_distributed.json
+// (schema in README "Benchmark result files"); CI gates the
+// distributed/local wall ratio against bench/baselines/.
+//
+//   $ ./build/bench/bench_distributed [--quick] [--threads N]
+//
+// The worker binary is found next to this one (../tools/eraser_worker) or
+// via the ERASER_WORKER_BIN environment variable.
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace eraser;
+
+namespace {
+
+struct Worker {
+    pid_t pid = -1;
+    uint16_t port = 0;
+};
+
+std::string worker_binary(const char* argv0) {
+    if (const char* env = std::getenv("ERASER_WORKER_BIN")) return env;
+    std::string path(argv0);
+    const size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path.substr(0, slash);
+    return dir + "/../tools/eraser_worker";
+}
+
+/// fork/exec one worker on an ephemeral port; parses "LISTENING <port>"
+/// from its stdout so there is no bind race.
+Worker spawn_worker(const std::string& bin) {
+    int fds[2];
+    if (pipe(fds) != 0) {
+        std::perror("pipe");
+        return {};
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+        std::perror("fork");
+        return {};
+    }
+    if (pid == 0) {
+        dup2(fds[1], STDOUT_FILENO);
+        close(fds[0]);
+        close(fds[1]);
+        execl(bin.c_str(), bin.c_str(), "--port", "0",
+              static_cast<char*>(nullptr));
+        std::perror("execl eraser_worker");
+        _exit(127);
+    }
+    close(fds[1]);
+    std::string line;
+    char c;
+    while (read(fds[0], &c, 1) == 1 && c != '\n') line.push_back(c);
+    close(fds[0]);
+    Worker w;
+    w.pid = pid;
+    if (std::sscanf(line.c_str(), "LISTENING %hu", &w.port) != 1) {
+        std::fprintf(stderr, "worker did not report a port: '%s'\n",
+                     line.c_str());
+        kill(pid, SIGKILL);
+        waitpid(pid, nullptr, 0);
+        w.pid = -1;
+    }
+    return w;
+}
+
+void stop_worker(Worker& w) {
+    if (w.pid <= 0) return;
+    kill(w.pid, SIGKILL);
+    waitpid(w.pid, nullptr, 0);
+    w.pid = -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto scale = bench::parse_scale(argc, argv);
+    bench::print_environment(
+        "Distributed fabric: out-of-process workers + unit re-dispatch");
+    suite::register_remote_stimuli();
+
+    const std::string bin = worker_binary(argv[0]);
+    const std::vector<std::string> circuits = {"alu", "apb", "sha256_hv"};
+
+    std::printf("%-12s %-17s %10s %8s %8s %8s %8s\n", "Benchmark",
+                "Scenario", "Time(s)", "Units", "Redisp", "Lost", "Ratio");
+    bench::JsonRows json;
+
+    for (const std::string& name : circuits) {
+        const auto& b = suite::find_benchmark(name);
+        auto design = suite::load_design(b);
+        const auto faults = bench::faults_for(*design, scale.faults(b));
+        // Quick-suite cycle counts keep the smoke CI-sized; full runs use
+        // the paper campaign length.
+        const uint32_t cycles = scale.cycles(b);
+        auto compiled = core::CompiledDesign::build(*design);
+        const double compile_s = compiled->compile_seconds();
+        const core::StimulusSpec stim = suite::remote_stimulus(b, cycles);
+        const core::DesignSpec spec = suite::design_spec(b);
+
+        core::CampaignOptions copts;
+        copts.num_shards = 8;   // enough units that the fleet shares work
+
+        // Scenario 1: local-only reference.
+        core::CampaignResult local;
+        {
+            core::SessionOptions sopts;
+            sopts.num_threads = scale.threads > 0 ? scale.threads : 2;
+            core::Session session(compiled, sopts);
+            local = session.submit(faults, stim, copts).wait();
+        }
+        std::printf("%-12s %-17s %10.3f %8s %8s %8s %8s\n",
+                    b.display.c_str(), "local", local.seconds, "-", "-",
+                    "-", "-");
+        json.add("{" +
+                 bench::perf_row_prefix(
+                     b.name.c_str(), "local", local.num_threads,
+                     bench::batch_name(copts.engine.batching), local.seconds,
+                     compile_s) +
+                 bench::format(R"(, "faults": %zu, "units_remote": 0, )"
+                               R"("units_redispatched": 0, )"
+                               R"("workers_lost": 0, "remote_ratio": 1.0})",
+                               faults.size()));
+
+        // Scenarios 2 and 3: a 2-worker fleet, then the same with one
+        // worker SIGKILLed after the first completed shard.
+        for (const bool kill_one : {false, true}) {
+            Worker wa = spawn_worker(bin);
+            Worker wb = spawn_worker(bin);
+            if (wa.pid <= 0 || wb.pid <= 0) {
+                std::fprintf(stderr, "failed to launch workers (%s)\n",
+                             bin.c_str());
+                stop_worker(wa);
+                stop_worker(wb);
+                return 1;
+            }
+
+            core::SessionOptions sopts;
+            sopts.num_threads = 1;   // push most units onto the fleet
+            sopts.scheduler.remote.workers = {wa.port, wb.port};
+            sopts.scheduler.remote.design = spec;
+            core::CampaignResult dist;
+            core::RemoteFleetStats fleet;
+            {
+                core::Session session(compiled, sopts);
+                pid_t victim = kill_one ? wa.pid : -1;
+                core::ShardObserver observer =
+                    [&victim](const core::ShardEvent& e) {
+                        if (victim > 0 && !e.terminal) {
+                            kill(victim, SIGKILL);
+                            victim = -1;
+                        }
+                    };
+                dist = session
+                           .submit(faults, stim, copts,
+                                   kill_one ? observer
+                                            : core::ShardObserver())
+                           .wait();
+                fleet = session.scheduler().stats().remote;
+            }
+            stop_worker(wa);
+            stop_worker(wb);
+
+            if (dist.detected != local.detected) {
+                std::fprintf(stderr,
+                             "%s: VERDICT MISMATCH (%s) — distributed "
+                             "result differs from local\n",
+                             b.display.c_str(),
+                             kill_one ? "distributed_kill" : "distributed");
+                return 1;
+            }
+
+            const char* scenario =
+                kill_one ? "distributed_kill" : "distributed";
+            const double ratio =
+                local.seconds > 0 ? dist.seconds / local.seconds : 1.0;
+            std::printf("%-12s %-17s %10.3f %8llu %8llu %8u %8.2f\n",
+                        b.display.c_str(), scenario, dist.seconds,
+                        static_cast<unsigned long long>(
+                            fleet.units_completed),
+                        static_cast<unsigned long long>(
+                            fleet.units_redispatched),
+                        fleet.workers_lost, ratio);
+            json.add(
+                "{" +
+                bench::perf_row_prefix(
+                    b.name.c_str(), scenario, 1,
+                    bench::batch_name(copts.engine.batching), dist.seconds,
+                    compile_s) +
+                bench::format(R"(, "faults": %zu, "units_remote": %llu, )"
+                              R"("units_redispatched": %llu, )"
+                              R"("workers_lost": %u, "remote_ratio": %.3f})",
+                              faults.size(),
+                              static_cast<unsigned long long>(
+                                  fleet.units_completed),
+                              static_cast<unsigned long long>(
+                                  fleet.units_redispatched),
+                              fleet.workers_lost, ratio));
+        }
+    }
+
+    std::printf("\nAll distributed runs matched the local verdicts "
+                "bit-for-bit (including after a worker kill).\n");
+    if (json.write("BENCH_distributed.json")) {
+        std::printf("Wrote BENCH_distributed.json\n");
+    } else {
+        std::fprintf(stderr, "failed to write BENCH_distributed.json\n");
+        return 1;
+    }
+    return 0;
+}

@@ -88,6 +88,7 @@ int main() {
     auto handle = session.submit(
         faults, [&] { return std::make_unique<suite::RandomStimulus>(cfg); },
         opts, [](const core::ShardEvent& e) {
+            if (e.terminal) return;   // last callback: campaign finalizing
             std::printf("  shard %u landed: %u/%u faults detected in "
                         "%.2f ms\n",
                         e.shard, e.breakdown.detected, e.breakdown.faults,

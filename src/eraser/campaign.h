@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "eraser/concurrent_sim.h"
+#include "eraser/remote.h"
 #include "eraser/shard.h"
 #include "fault/fault.h"
 #include "rtl/design.h"
@@ -92,6 +93,11 @@ struct SchedulerOptions {
     bool learned_packing = true;
     /// EWMA smoothing of the cost feedback (0 < alpha <= 1).
     double cost_alpha = 0.25;
+    /// Distributed campaign fabric (eraser/remote.h): worker processes the
+    /// scheduler may place whole units on. Empty = local-only. Only
+    /// campaigns submitted with a serializable StimulusSpec are
+    /// remote-eligible; plain-factory campaigns always run locally.
+    RemoteOptions remote = {};
 };
 
 struct CampaignResult {

@@ -7,11 +7,46 @@
 #include "eraser/shard.h"
 #include "util/diagnostics.h"
 #include "util/timer.h"
+#include "util/wire.h"
 
 namespace eraser::core {
 
 namespace {
 std::atomic<uint64_t> g_builds{0};
+
+/// Structural FNV-1a over the elaborated design: enough detail that two
+/// designs with equal hashes have interchangeable SignalId spaces (names,
+/// widths, directions, per-behavior shape), which is what the distributed
+/// fabric's cross-process fault translation rests on.
+uint64_t structural_hash(const rtl::Design& d) {
+    uint64_t h = util::fnv1a64(d.top_name);
+    auto mix = [&h](uint64_t v) {
+        char bytes[8];
+        for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+        h = util::fnv1a64(std::string_view(bytes, 8), h);
+    };
+    mix(d.signals.size());
+    for (const rtl::Signal& s : d.signals) {
+        h = util::fnv1a64(s.name, h);
+        mix(s.width);
+        mix(static_cast<uint64_t>(s.kind));
+        mix((s.is_input ? 1u : 0u) | (s.is_output ? 2u : 0u));
+    }
+    mix(d.arrays.size());
+    for (const rtl::Array& a : d.arrays) {
+        h = util::fnv1a64(a.name, h);
+        mix(a.width);
+        mix(a.size);
+    }
+    mix(d.behaviors.size());
+    for (const rtl::BehavNode& b : d.behaviors) {
+        h = util::fnv1a64(b.name, h);
+        mix((b.is_comb ? 1u : 0u));
+        mix(b.edges.size());
+    }
+    mix(d.nodes.size());
+    return h;
+}
 }  // namespace
 
 CompiledDesign::CompiledDesign(const rtl::Design& design) : design_(design) {
@@ -45,6 +80,7 @@ CompiledDesign::CompiledDesign(const rtl::Design& design) : design_(design) {
         behavior_weights_.push_back(behavior_vdg_weight(vdg));
     }
     signal_costs_ = signal_fault_costs(design, behavior_weights_);
+    design_hash_ = structural_hash(design);
 
     compile_seconds_ = watch.seconds();
     g_builds.fetch_add(1, std::memory_order_relaxed);
@@ -148,6 +184,13 @@ void CostModel::observe_shard(std::span<const fault::Fault> faults,
 uint64_t CostModel::observations() const {
     std::lock_guard<std::mutex> lock(mu_);
     return observations_;
+}
+
+double CostModel::predict_seconds(uint64_t cost_units) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (observations_ == 0) return 0.0;
+    return unit_scale_ * static_cast<double>(cost_units) /
+           static_cast<double>(kCostScale);
 }
 
 double CostModel::signal_cost(rtl::SignalId sig) const {

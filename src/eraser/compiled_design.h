@@ -90,6 +90,13 @@ class CompiledDesign {
     /// that shares this artifact; bench JSON reports it separately).
     [[nodiscard]] double compile_seconds() const { return compile_seconds_; }
 
+    /// Structural fingerprint of the elaborated design (signal names /
+    /// widths / directions, arrays, behaviors, node count). The distributed
+    /// fabric (eraser/remote.h) compares it across the process boundary:
+    /// frontend compilation is deterministic, so equal hashes mean equal
+    /// SignalId spaces and raw fault triples translate verbatim.
+    [[nodiscard]] uint64_t design_hash() const { return design_hash_; }
+
     /// Process-wide count of CompiledDesign constructions — the
     /// instrumentation hook that lets tests assert a whole configuration
     /// sweep through one Session compiled exactly once.
@@ -104,6 +111,7 @@ class CompiledDesign {
     std::vector<uint64_t> behavior_weights_;
     std::vector<uint64_t> signal_costs_;
     double compile_seconds_ = 0.0;
+    uint64_t design_hash_ = 0;
 };
 
 /// The measured-cost feedback loop that replaces the static VDG estimate
@@ -159,6 +167,13 @@ class CostModel {
 
     /// Completed shards folded in so far.
     [[nodiscard]] uint64_t observations() const;
+
+    /// Predicted wall seconds of a shard whose est_cost sums to
+    /// `cost_units` (fault_costs() units, i.e. 1/kCostScale of a static
+    /// unit). 0.0 until the first observation calibrates the
+    /// seconds-per-unit scale — the scheduler's remote placement gate
+    /// treats 0 as "unknown, ship it and learn".
+    [[nodiscard]] double predict_seconds(uint64_t cost_units) const;
 
     /// Current learned cost / deferral rate of one signal (test hooks).
     [[nodiscard]] double signal_cost(rtl::SignalId sig) const;

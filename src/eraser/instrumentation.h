@@ -30,6 +30,13 @@ struct ShardBreakdown {
     double wall_seconds = 0.0;     // this shard's engine run, wall clock
     double behavioral_seconds = 0.0;
     double rtl_seconds = 0.0;
+    /// Executor provenance: true when the shard ran as a unit on a remote
+    /// worker process (eraser/remote.h). `rtt_seconds` is then the request
+    /// round trip minus the worker-reported wall — the pure shipping +
+    /// framing overhead the scheduler's placement gate weighs against
+    /// predicted compute.
+    bool remote = false;
+    double rtt_seconds = 0.0;
 };
 
 struct Instrumentation {

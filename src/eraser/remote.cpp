@@ -1,0 +1,467 @@
+#include "eraser/remote.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "eraser/compiled_design.h"
+#include "eraser/scheduler.h"
+#include "frontend/compile.h"
+#include "util/diagnostics.h"
+#include "util/timer.h"
+
+namespace eraser::core {
+
+using util::WireConn;
+using util::WireError;
+using util::WireReader;
+using util::WireWriter;
+
+// --- stimulus registry -------------------------------------------------------
+
+namespace {
+
+struct StimulusRegistry {
+    std::mutex mu;
+    std::unordered_map<std::string, StimulusBuilder> builders;
+};
+
+StimulusRegistry& stimulus_registry() {
+    static StimulusRegistry* reg = new StimulusRegistry();   // never torn down
+    return *reg;
+}
+
+}  // namespace
+
+void register_stimulus_kind(const std::string& kind, StimulusBuilder builder) {
+    StimulusRegistry& reg = stimulus_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.builders[kind] = std::move(builder);
+}
+
+std::unique_ptr<sim::Stimulus> build_stimulus(const StimulusSpec& spec) {
+    StimulusBuilder builder;
+    {
+        StimulusRegistry& reg = stimulus_registry();
+        std::lock_guard<std::mutex> lock(reg.mu);
+        auto it = reg.builders.find(spec.kind);
+        if (it == reg.builders.end()) {
+            throw SimError("unregistered stimulus kind '" + spec.kind +
+                           "' (call suite::register_remote_stimuli, or "
+                           "register_stimulus_kind for custom kinds)");
+        }
+        builder = it->second;
+    }
+    return builder(spec.payload);
+}
+
+// --- payload codecs ----------------------------------------------------------
+
+namespace {
+
+void put_bytes(WireWriter& w, std::span<const uint8_t> bytes) {
+    w.str(std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                           bytes.size()));
+}
+
+std::vector<uint8_t> get_bytes(WireReader& r) {
+    const std::string s = r.str();
+    return {s.begin(), s.end()};
+}
+
+void put_engine_options(WireWriter& w, const EngineOptions& o) {
+    w.u8(static_cast<uint8_t>(o.mode));
+    w.u8(static_cast<uint8_t>(o.interp));
+    w.u8(static_cast<uint8_t>(o.batching));
+    w.u8(o.audit ? 1 : 0);
+    w.u8(o.time_phases ? 1 : 0);
+}
+
+EngineOptions get_engine_options(WireReader& r) {
+    EngineOptions o;
+    o.mode = static_cast<RedundancyMode>(r.u8());
+    o.interp = static_cast<sim::InterpMode>(r.u8());
+    o.batching = static_cast<FaultBatching>(r.u8());
+    o.audit = r.u8() != 0;
+    o.time_phases = r.u8() != 0;
+    return o;
+}
+
+void put_faults(WireWriter& w, std::span<const fault::Fault> faults) {
+    w.varint(faults.size());
+    for (const fault::Fault& f : faults) {
+        w.varint(f.sig);
+        w.u8(static_cast<uint8_t>(f.bit));
+        w.u8(f.stuck_one ? 1 : 0);
+    }
+}
+
+std::vector<fault::Fault> get_faults(WireReader& r) {
+    const uint64_t n = r.varint();
+    // 4 bytes is the floor per encoded fault; bound before allocating.
+    if (n > r.remaining()) throw WireError("fault list longer than frame");
+    std::vector<fault::Fault> faults;
+    faults.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        fault::Fault f;
+        f.sig = static_cast<rtl::SignalId>(r.varint());
+        f.bit = r.u8();
+        f.stuck_one = r.u8() != 0;
+        faults.push_back(f);
+    }
+    return faults;
+}
+
+void put_bitmap(WireWriter& w, const std::vector<bool>& bits) {
+    std::vector<uint64_t> words((bits.size() + 63) / 64, 0);
+    for (size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i]) words[i >> 6] |= uint64_t(1) << (i & 63);
+    }
+    w.varint(bits.size());
+    w.words(words);
+}
+
+std::vector<bool> get_bitmap(WireReader& r) {
+    const uint64_t n = r.varint();
+    const std::vector<uint64_t> words = r.words();
+    if (words.size() != (n + 63) / 64) {
+        throw WireError("verdict bitmap word count mismatch");
+    }
+    std::vector<bool> bits(n, false);
+    for (uint64_t i = 0; i < n; ++i) {
+        bits[i] = (words[i >> 6] >> (i & 63)) & 1;
+    }
+    return bits;
+}
+
+// Every Instrumentation counter crosses the wire so the merged campaign
+// stats are executor-independent; field order here IS the schema (bump
+// kWireSchemaVersion on change).
+void put_stats(WireWriter& w, const Instrumentation& s) {
+    w.varint(s.bn_good_execs);
+    w.varint(s.bn_candidates);
+    w.varint(s.bn_executed);
+    w.varint(s.bn_skipped_explicit);
+    w.varint(s.bn_skipped_implicit);
+    w.varint(s.bn_lane_passes);
+    w.varint(s.bn_lane_survivors);
+    w.varint(s.bn_lane_deferred);
+    w.varint(s.audit_explicit);
+    w.varint(s.audit_implicit);
+    w.varint(s.audit_nonredundant);
+    w.varint(s.audit_soundness_violations);
+    w.varint(s.rtl_good_evals);
+    w.varint(s.rtl_fault_evals);
+    w.varint(static_cast<uint64_t>(s.time_behavioral.total_ns()));
+    w.varint(static_cast<uint64_t>(s.time_rtl.total_ns()));
+}
+
+Instrumentation get_stats(WireReader& r) {
+    Instrumentation s;
+    s.bn_good_execs = r.varint();
+    s.bn_candidates = r.varint();
+    s.bn_executed = r.varint();
+    s.bn_skipped_explicit = r.varint();
+    s.bn_skipped_implicit = r.varint();
+    s.bn_lane_passes = r.varint();
+    s.bn_lane_survivors = r.varint();
+    s.bn_lane_deferred = r.varint();
+    s.audit_explicit = r.varint();
+    s.audit_implicit = r.varint();
+    s.audit_nonredundant = r.varint();
+    s.audit_soundness_violations = r.varint();
+    s.rtl_good_evals = r.varint();
+    s.rtl_fault_evals = r.varint();
+    s.time_behavioral.add_ns(static_cast<int64_t>(r.varint()));
+    s.time_rtl.add_ns(static_cast<int64_t>(r.varint()));
+    return s;
+}
+
+void send_msg(WireConn& conn, const WireWriter& w) {
+    conn.send_frame(w.bytes());
+}
+
+void send_error(WireConn& conn, const std::string& message) {
+    WireWriter w;
+    w.u8(static_cast<uint8_t>(MsgType::Error));
+    w.str(message);
+    send_msg(conn, w);
+}
+
+}  // namespace
+
+// --- WorkerDesignCache -------------------------------------------------------
+
+std::shared_ptr<const CompiledDesign> WorkerDesignCache::compile(
+    uint64_t hash, const std::string& source, const std::string& top) {
+    // The mutex spans compilation on purpose: two connections racing on the
+    // same design must not both pay the compile (compile-once is the cache's
+    // contract), and worker processes have nothing better to do meanwhile.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(hash);
+    if (it != entries_.end()) return it->second.compiled;
+    Entry e;
+    e.design = frontend::compile(source, top);
+    e.compiled = CompiledDesign::build(*e.design);
+    auto compiled = e.compiled;
+    entries_.emplace(hash, std::move(e));
+    return compiled;
+}
+
+std::shared_ptr<const CompiledDesign> WorkerDesignCache::find(
+    uint64_t hash) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(hash);
+    return it == entries_.end() ? nullptr : it->second.compiled;
+}
+
+// --- worker serve loop -------------------------------------------------------
+
+uint64_t serve_connection(WireConn& conn, WorkerDesignCache& cache,
+                          const WorkerHooks& hooks) {
+    std::vector<uint8_t> buf;
+
+    // Versioned hello: refuse skew before trusting any field offset.
+    if (!conn.recv_frame(buf)) return 0;
+    {
+        WireReader r(buf);
+        if (static_cast<MsgType>(r.u8()) != MsgType::Hello) {
+            send_error(conn, "expected hello");
+            return 0;
+        }
+        const uint32_t version = r.u32();
+        r.expect_end();
+        if (version != kWireSchemaVersion) {
+            send_error(conn, "wire schema version mismatch: worker speaks " +
+                                 std::to_string(kWireSchemaVersion) +
+                                 ", client sent " + std::to_string(version));
+            return 0;
+        }
+        WireWriter w;
+        w.u8(static_cast<uint8_t>(MsgType::HelloAck));
+        w.u32(kWireSchemaVersion);
+        send_msg(conn, w);
+    }
+
+    uint64_t units = 0;
+    for (;;) {
+        if (!conn.recv_frame(buf)) return units;   // clean goodbye
+        WireReader r(buf);
+        switch (static_cast<MsgType>(r.u8())) {
+            case MsgType::CompileDesign: {
+                const uint64_t hash = r.u64();
+                const std::string top = r.str();
+                const std::string source = r.str();
+                r.expect_end();
+                try {
+                    auto compiled = cache.compile(hash, source, top);
+                    WireWriter w;
+                    w.u8(static_cast<uint8_t>(MsgType::CompileAck));
+                    w.u64(hash);
+                    w.u64(compiled->design_hash());
+                    w.f64(compiled->compile_seconds());
+                    send_msg(conn, w);
+                } catch (const EraserError& e) {
+                    send_error(conn, std::string("compile failed: ") +
+                                         e.what());
+                }
+                break;
+            }
+            case MsgType::RunUnit: {
+                const uint64_t request_id = r.u64();
+                const uint64_t hash = r.u64();
+                const uint32_t shard_index = r.u32();
+                const EngineOptions engine = get_engine_options(r);
+                StimulusSpec spec;
+                spec.kind = r.str();
+                spec.payload = get_bytes(r);
+                const std::vector<fault::Fault> faults = get_faults(r);
+                r.expect_end();
+                (void)shard_index;
+
+                ++units;
+                if (hooks.die_before_result_unit == units) {
+                    conn.close();   // simulated SIGKILL mid-campaign
+                    return units;
+                }
+                if (hooks.stall_before_result_unit == units) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(hooks.stall_ms));
+                }
+
+                std::shared_ptr<const CompiledDesign> compiled =
+                    cache.find(hash);
+                if (!compiled) {
+                    send_error(conn, "unit for uncompiled design hash");
+                    break;
+                }
+                WireWriter w;
+                try {
+                    auto stim = build_stimulus(spec);
+                    detail::EngineOutcome out = detail::run_engine(
+                        *compiled, faults, *stim, engine, nullptr);
+                    w.u8(static_cast<uint8_t>(MsgType::UnitResult));
+                    w.u64(request_id);
+                    w.u8((out.ran ? 1 : 0) |
+                         (out.canceled ? 2 : 0));
+                    put_bitmap(w, out.detected);
+                    w.u32(out.num_detected);
+                    w.f64(out.breakdown.wall_seconds);
+                    w.f64(out.breakdown.behavioral_seconds);
+                    w.f64(out.breakdown.rtl_seconds);
+                    put_stats(w, out.stats);
+                } catch (const EraserError& e) {
+                    send_error(conn, std::string("unit failed: ") + e.what());
+                    break;
+                }
+                if (hooks.garbage_result_unit == units) {
+                    WireWriter garbage;
+                    garbage.u8(static_cast<uint8_t>(MsgType::UnitResult));
+                    garbage.u64(request_id ^ 0xBAD0BAD0BAD0BAD0ULL);
+                    send_msg(conn, garbage);
+                    break;
+                }
+                send_msg(conn, w);
+                if (hooks.duplicate_result_unit == units) send_msg(conn, w);
+                break;
+            }
+            case MsgType::Shutdown:
+                return units;
+            default:
+                send_error(conn, "unexpected message type");
+                return units;
+        }
+    }
+}
+
+// --- client link -------------------------------------------------------------
+
+void RemoteWorkerLink::open(uint64_t expected_hash) {
+    conn_ = WireConn(util::connect_loopback(
+        port_, std::max(1, opts_.connect_timeout_ms)));
+
+    WireWriter hello;
+    hello.u8(static_cast<uint8_t>(MsgType::Hello));
+    hello.u32(kWireSchemaVersion);
+    send_msg(conn_, hello);
+
+    std::vector<uint8_t> buf;
+    if (!conn_.recv_frame(buf, opts_.connect_timeout_ms)) {
+        throw WireError("worker closed during hello");
+    }
+    {
+        WireReader r(buf);
+        const MsgType t = static_cast<MsgType>(r.u8());
+        if (t == MsgType::Error) throw WireError("worker refused: " + r.str());
+        if (t != MsgType::HelloAck) throw WireError("expected hello ack");
+        const uint32_t version = r.u32();
+        r.expect_end();
+        if (version != kWireSchemaVersion) {
+            throw WireError("worker wire schema version " +
+                            std::to_string(version) + " != " +
+                            std::to_string(kWireSchemaVersion));
+        }
+    }
+
+    WireWriter compile;
+    compile.u8(static_cast<uint8_t>(MsgType::CompileDesign));
+    compile.u64(opts_.design.hash());
+    compile.str(opts_.design.top);
+    compile.str(opts_.design.source);
+    send_msg(conn_, compile);
+
+    if (!conn_.recv_frame(buf, opts_.compile_timeout_ms)) {
+        throw WireError("worker closed during design compilation");
+    }
+    WireReader r(buf);
+    const MsgType t = static_cast<MsgType>(r.u8());
+    if (t == MsgType::Error) throw WireError("worker refused: " + r.str());
+    if (t != MsgType::CompileAck) throw WireError("expected compile ack");
+    if (r.u64() != opts_.design.hash()) {
+        throw WireError("compile ack for a different design spec");
+    }
+    const uint64_t structural = r.u64();
+    (void)r.f64();   // worker-side compile seconds (diagnostic)
+    r.expect_end();
+    if (structural != expected_hash) {
+        throw WireError(
+            "worker design structural hash mismatch — the shipped source "
+            "does not elaborate to this Session's design (SignalIds would "
+            "not translate)");
+    }
+}
+
+RemoteUnitReply RemoteWorkerLink::run_unit(
+    std::span<const fault::Fault> faults, const EngineOptions& engine,
+    const StimulusSpec& stimulus, uint32_t shard_index) {
+    const uint64_t request_id = next_request_++;
+    WireWriter w;
+    w.u8(static_cast<uint8_t>(MsgType::RunUnit));
+    w.u64(request_id);
+    w.u64(opts_.design.hash());
+    w.u32(shard_index);
+    put_engine_options(w, engine);
+    w.str(stimulus.kind);
+    put_bytes(w, stimulus.payload);
+    put_faults(w, faults);
+
+    Stopwatch rtt;
+    send_msg(conn_, w);
+    std::vector<uint8_t> buf;
+    const int timeout =
+        opts_.unit_timeout_ms > 0 ? opts_.unit_timeout_ms : -1;
+    if (!conn_.recv_frame(buf, timeout)) {
+        throw WireError("worker closed before answering unit");
+    }
+    const double round_trip = rtt.seconds();
+
+    WireReader r(buf);
+    const MsgType t = static_cast<MsgType>(r.u8());
+    if (t == MsgType::Error) throw WireError("worker error: " + r.str());
+    if (t != MsgType::UnitResult) throw WireError("expected unit result");
+    if (r.u64() != request_id) {
+        // A stale or duplicated frame: the stream can no longer be trusted
+        // to pair requests with results — abandon the worker.
+        throw WireError("unit result for a different request "
+                        "(duplicate or reordered frame)");
+    }
+    const uint8_t flags = r.u8();
+    RemoteUnitReply reply;
+    reply.ran = (flags & 1) != 0;
+    reply.canceled = (flags & 2) != 0;
+    reply.detected = get_bitmap(r);
+    reply.num_detected = r.u32();
+    reply.breakdown.wall_seconds = r.f64();
+    reply.breakdown.behavioral_seconds = r.f64();
+    reply.breakdown.rtl_seconds = r.f64();
+    reply.stats = get_stats(r);
+    r.expect_end();
+    if (reply.detected.size() != faults.size()) {
+        throw WireError("verdict bitmap length != shipped fault count");
+    }
+
+    reply.breakdown.remote = true;
+    reply.breakdown.rtt_seconds =
+        std::max(0.0, round_trip - reply.breakdown.wall_seconds);
+    overhead_ewma_ =
+        overhead_ewma_ == 0.0
+            ? reply.breakdown.rtt_seconds
+            : (1.0 - opts_.rtt_alpha) * overhead_ewma_ +
+                  opts_.rtt_alpha * reply.breakdown.rtt_seconds;
+    return reply;
+}
+
+void RemoteWorkerLink::shutdown() noexcept {
+    if (!conn_.valid()) return;
+    try {
+        WireWriter w;
+        w.u8(static_cast<uint8_t>(MsgType::Shutdown));
+        send_msg(conn_, w);
+    } catch (...) {
+        // Goodbye is best-effort; a vanished worker needs none.
+    }
+    conn_.close();
+}
+
+}  // namespace eraser::core

@@ -1,0 +1,272 @@
+// Distributed campaign fabric: the message schema and the two endpoints of
+// the out-of-process execution path.
+//
+// A *worker* (tools/eraser_worker, or an in-process server thread in tests)
+// executes whole shards — under FaultBatching::Word these are unions of
+// 64-lane units, so lane packing survives the process boundary: the client
+// ships the shard's faults in partition order and the worker's ConcurrentSim
+// re-derives the identical lane assignment (fault i -> group i>>6, lane
+// i&63). The worker returns the serialized verdict bitmap slice, the
+// ShardBreakdown timings, and the Instrumentation counters; because fault
+// simulation is deterministic, a unit re-dispatched after a worker failure
+// produces the bit-identical slice on any other executor, so retries are
+// free and the campaign merge stays index-ordered and bit-identical.
+//
+// Transport: length-prefixed CRC-checked frames over loopback stream
+// sockets (util/wire.h). Protocol, all little-endian, one message per
+// frame, first payload byte = MsgType:
+//
+//   client                          worker
+//   ------                          ------
+//   Hello{version}              ->
+//                               <-  HelloAck{version}       (or Error)
+//   CompileDesign{hash,top,src} ->
+//                               <-  CompileAck{hash, structural_hash,
+//                                              compile_seconds}
+//   RunUnit{req_id, hash, shard,
+//           engine opts, stimulus
+//           spec, faults}       ->
+//                               <-  UnitResult{req_id, verdicts, counts,
+//                                              timings, counters}
+//   ...                             (one RunUnit in flight per connection)
+//   Shutdown                    ->  (worker closes; also accepts clean EOF)
+//
+// Version skew is refused at the hello; design skew is caught by comparing
+// the worker's CompiledDesign::design_hash() (a structural fingerprint of
+// the elaborated design) against the client's — frontend compilation is
+// deterministic, so equal sources yield equal SignalId spaces and raw
+// (signal, bit, polarity) fault triples are valid across the boundary.
+// Workers cache compiled designs by the spec hash, so a fleet of campaigns
+// over one design compiles once per worker process, not once per unit.
+//
+// Failure semantics: every transport error (EOF, CRC mismatch, receive
+// deadline, stale request id) classifies the worker as *gone* — the client
+// abandons the connection permanently and re-dispatches the claimed unit to
+// another executor. Abandoning on the first error is what makes duplicate
+// or corrupted result frames safe: a late duplicate can never be read as a
+// second unit's result because nothing is ever read from that connection
+// again.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eraser/concurrent_sim.h"
+#include "eraser/instrumentation.h"
+#include "fault/fault.h"
+#include "sim/stimulus.h"
+#include "util/wire.h"
+
+namespace eraser::rtl {
+class Design;
+}  // namespace eraser::rtl
+
+namespace eraser::core {
+
+class CompiledDesign;
+
+/// Bumped on any frame-layout change; a worker refuses a mismatched hello
+/// rather than guessing at field offsets.
+inline constexpr uint32_t kWireSchemaVersion = 1;
+
+/// First payload byte of every frame.
+enum class MsgType : uint8_t {
+    Hello = 1,
+    HelloAck = 2,
+    CompileDesign = 3,
+    CompileAck = 4,
+    RunUnit = 5,
+    UnitResult = 6,
+    Error = 7,
+    Shutdown = 8,
+};
+
+/// What the client ships so a worker can build the identical design:
+/// Verilog source text plus the top module. hash() keys the worker-side
+/// compile-once cache.
+struct DesignSpec {
+    std::string source;
+    std::string top;
+
+    [[nodiscard]] uint64_t hash() const {
+        return util::fnv1a64(source, util::fnv1a64(top));
+    }
+};
+
+// --- serializable stimuli ----------------------------------------------------
+
+/// A stimulus a worker can rebuild from bytes. Arbitrary StimulusFactory
+/// closures cannot cross a process boundary, so remote-eligible campaigns
+/// name a registered `kind` plus an opaque payload that kind's builder
+/// decodes. The suite registers "random" (RandomStimulus config) and
+/// "suite" (benchmark name + cycle count) via
+/// suite::register_remote_stimuli().
+struct StimulusSpec {
+    std::string kind;
+    std::vector<uint8_t> payload;
+};
+
+/// Decodes one StimulusSpec payload into a fresh stimulus instance. Must be
+/// safe to call concurrently; every instance must drive the identical
+/// sequence (the determinism contract of StimulusFactory).
+using StimulusBuilder = std::function<std::unique_ptr<sim::Stimulus>(
+    std::span<const uint8_t> payload)>;
+
+/// Registers `builder` for `kind` process-wide (later registrations of the
+/// same kind replace earlier ones). Every process that *executes* specs —
+/// worker binaries, and clients, which also build local instances — must
+/// register the kinds it receives.
+void register_stimulus_kind(const std::string& kind, StimulusBuilder builder);
+
+/// Builds a stimulus from a spec; throws SimError for an unregistered kind,
+/// WireError for an undecodable payload.
+[[nodiscard]] std::unique_ptr<sim::Stimulus> build_stimulus(
+    const StimulusSpec& spec);
+
+// --- worker side -------------------------------------------------------------
+
+/// Fault-injection switches for the distributed determinism suite (ordinals
+/// are 1-based unit counts on one connection; 0 = never). Production
+/// workers pass the default.
+struct WorkerHooks {
+    /// Close the connection instead of answering this unit (worker "dies"
+    /// mid-campaign; the client sees EOF and re-dispatches).
+    uint32_t die_before_result_unit = 0;
+    /// Answer this unit with a well-framed garbage payload (exercises the
+    /// client's request-id / decode rejection).
+    uint32_t garbage_result_unit = 0;
+    /// Send this unit's result frame twice (the duplicate must be rejected
+    /// as stale by the next request's id check, never merged twice).
+    uint32_t duplicate_result_unit = 0;
+    /// Sleep this long before answering unit `stall_before_result_unit`
+    /// (exercises the client's receive deadline -> re-dispatch path).
+    uint32_t stall_before_result_unit = 0;
+    uint32_t stall_ms = 0;
+};
+
+/// Worker-side compile-once cache, shared across the connections of one
+/// worker process: spec hash -> owned rtl::Design + CompiledDesign.
+class WorkerDesignCache {
+  public:
+    /// Returns the compiled artifact for the spec, compiling at most once
+    /// per hash. Throws EraserError subclasses on parse/elab failure.
+    [[nodiscard]] std::shared_ptr<const CompiledDesign> compile(
+        uint64_t hash, const std::string& source, const std::string& top);
+
+    /// Cache lookup only (RunUnit path: the client always compiles first).
+    [[nodiscard]] std::shared_ptr<const CompiledDesign> find(
+        uint64_t hash) const;
+
+  private:
+    struct Entry {
+        std::unique_ptr<rtl::Design> design;   // compiled_ points into it
+        std::shared_ptr<const CompiledDesign> compiled;
+    };
+    mutable std::mutex mu_;
+    std::unordered_map<uint64_t, Entry> entries_;
+};
+
+/// Serves one client connection until clean EOF or Shutdown: hello
+/// handshake, design compilation, then one unit per request. Returns the
+/// number of units executed; throws WireError when the transport dies
+/// (caller decides whether to keep accepting).
+uint64_t serve_connection(util::WireConn& conn, WorkerDesignCache& cache,
+                          const WorkerHooks& hooks = {});
+
+// --- client side -------------------------------------------------------------
+
+/// The worker fleet a Session's scheduler places units on
+/// (SchedulerOptions::remote). Empty `workers` = local-only (the default).
+struct RemoteOptions {
+    /// Loopback TCP ports of running eraser_worker processes.
+    std::vector<uint16_t> workers;
+    /// Shipped to every worker at connect time; the worker's compiled
+    /// structural hash must match the Session's CompiledDesign or the
+    /// worker is refused (design skew would mistranslate SignalIds).
+    DesignSpec design;
+    int connect_timeout_ms = 5000;
+    /// Per-unit receive deadline; exceeding it abandons the worker and
+    /// re-dispatches the unit (<= 0 waits forever).
+    int unit_timeout_ms = 120000;
+    /// Covers the handshake's CompileAck (workers compile on first
+    /// contact).
+    int compile_timeout_ms = 120000;
+    /// Smoothing of the per-worker shipping-overhead EWMA the placement
+    /// gate uses (remote cost = predicted wall + this EWMA).
+    double rtt_alpha = 0.25;
+
+    [[nodiscard]] bool enabled() const { return !workers.empty(); }
+};
+
+/// One executed unit as reported by a worker.
+struct RemoteUnitReply {
+    bool ran = false;
+    bool canceled = false;
+    std::vector<bool> detected;   // parallel to the shipped fault list
+    uint32_t num_detected = 0;
+    Instrumentation stats;
+    ShardBreakdown breakdown;     // wall/behavioral/rtl + remote/rtt filled
+};
+
+/// Client endpoint of one worker connection. One request in flight at a
+/// time; not internally synchronized (each scheduler dispatcher thread owns
+/// one link). Every thrown WireError means "this worker is gone" — the
+/// owner must abandon the link (never reuse it) and re-dispatch.
+class RemoteWorkerLink {
+  public:
+    RemoteWorkerLink(const RemoteOptions& opts, uint16_t port)
+        : opts_(opts), port_(port) {}
+
+    /// Connect + hello + ship the design; `expected_hash` is the client
+    /// Session's CompiledDesign::design_hash(). Throws WireError on
+    /// transport failure, version skew, or structural-hash mismatch.
+    void open(uint64_t expected_hash);
+
+    /// Executes one unit remotely. `shard_index` is diagnostic (worker
+    /// logs); verdicts come back parallel to `faults`. Updates the
+    /// shipping-overhead EWMA on success.
+    [[nodiscard]] RemoteUnitReply run_unit(
+        std::span<const fault::Fault> faults, const EngineOptions& engine,
+        const StimulusSpec& stimulus, uint32_t shard_index);
+
+    /// Best-effort goodbye (lets an idle worker drop the connection
+    /// cleanly); never throws.
+    void shutdown() noexcept;
+
+    /// EWMA of observed shipping overhead (round trip minus worker wall);
+    /// 0 until the first completed unit.
+    [[nodiscard]] double overhead_ewma() const { return overhead_ewma_; }
+    [[nodiscard]] uint16_t port() const { return port_; }
+
+  private:
+    RemoteOptions opts_;
+    uint16_t port_;
+    util::WireConn conn_;
+    uint64_t next_request_ = 1;
+    double overhead_ewma_ = 0.0;
+};
+
+/// Fleet-level counters (SchedulerStats::remote): placement and failure
+/// diagnostics for the distributed path.
+struct RemoteFleetStats {
+    uint32_t workers_configured = 0;
+    uint32_t workers_connected = 0;   // currently usable links
+    uint32_t workers_lost = 0;        // failed handshakes + abandoned links
+    uint64_t units_dispatched = 0;    // units claimed by remote links
+    uint64_t units_completed = 0;
+    uint64_t units_redispatched = 0;  // worker failures -> requeued units
+    /// Placement-gate refusals: times a remote link passed over a campaign
+    /// because the predicted unit wall was below the link's shipping
+    /// overhead (counted per evaluation, so this grows while links idle).
+    uint64_t units_skipped_cost = 0;
+    /// Mean shipping-overhead EWMA across links that completed a unit.
+    double overhead_ewma_seconds = 0.0;
+};
+
+}  // namespace eraser::core

@@ -95,6 +95,11 @@ struct CampaignState {
     std::vector<Shard> shards;
     uint32_t num_faults = 0;
     uint32_t num_threads = 0;   // reported in the result
+    /// Wire form of the stimulus when the campaign was submitted with a
+    /// StimulusSpec; `remote_ok` marks it eligible for remote placement
+    /// (plain-factory campaigns can never cross a process boundary).
+    StimulusSpec stim_spec;
+    bool remote_ok = false;
 
     // Scheduling identity/state, guarded by the scheduler's mutex (never
     // by st->mu — the scheduler may outlive neither).
@@ -102,7 +107,8 @@ struct CampaignState {
     uint32_t weight = 1;
     uint32_t quota = 0;          // max shards in flight, 0 = unlimited
     uint64_t seq = 0;            // admission FIFO order within a class
-    uint32_t dispatched = 0;     // shards handed to workers
+    uint32_t next_shard = 0;     // first never-claimed shard index
+    std::vector<uint32_t> requeued;   // failed remote units awaiting retry
     uint32_t inflight = 0;       // shards currently running
     uint32_t jobs_done = 0;      // shards whose job returned
 
@@ -119,6 +125,13 @@ struct CampaignState {
 
     std::mutex observer_mu;   // serializes ShardObserver invocations
 
+    /// Guards the terminal observer event: fired exactly once per campaign
+    /// (by whichever finalization path gets there first), always before the
+    /// result becomes waitable. An observer throw on the terminal event is
+    /// recorded here and rethrown from wait().
+    std::atomic<bool> terminal_fired{false};
+    std::exception_ptr terminal_error;
+
     std::mutex mu;            // guards finished/result/finished_jobs
     std::condition_variable cv;
     uint32_t finished_jobs = 0;
@@ -127,13 +140,15 @@ struct CampaignState {
 
     /// Installed by the scheduler before acceptance, cleared at
     /// finalization under `mu`, consumed and invoked under `mu` by the
-    /// first cancel(): withdraws the campaign from the admission queue (if
-    /// still waiting there) and finalizes it in place, so wait() returns
-    /// without needing a worker. The under-`mu` protocol is what keeps the
-    /// captured scheduler pointer safe: a live hook implies an unfinalized
-    /// campaign, which keeps the Session's drain (and thus the scheduler's
-    /// destruction) blocked while the hook runs.
-    std::function<void()> notify_cancel;
+    /// first cancel(): withdraws the campaign from the admission queue if
+    /// it is still waiting there, returning true so cancel() finalizes it
+    /// in place (outside `mu` — the terminal observer callback must not run
+    /// under any campaign lock) and wait() returns without needing a
+    /// worker. The under-`mu` protocol is what keeps the captured scheduler
+    /// pointer safe: a live hook implies an unfinalized campaign, which
+    /// keeps the Session's drain (and thus the scheduler's destruction)
+    /// blocked while the hook runs.
+    std::function<bool()> notify_cancel;
 
     Stopwatch watch;          // started at submit(); queue_seconds baseline
 };
@@ -183,7 +198,30 @@ void publish_result_locked(CampaignState& st, CampaignResult result) {
     st.notify_cancel = nullptr;   // the scheduler is done with us
 }
 
+/// Fires the terminal observer event, exactly once per campaign no matter
+/// how many finalization paths race (last shard job vs cancel-before-
+/// admission vs empty submission). Must be called with NO campaign lock
+/// held, and before the result is published — wait() returning implies the
+/// observer has seen its last event.
+void fire_terminal(CampaignState& st) {
+    if (st.terminal_fired.exchange(true, std::memory_order_acq_rel)) return;
+    if (!st.observer) return;
+    static const std::vector<uint32_t> kNoIds;
+    static const std::vector<bool> kNoVerdicts;
+    const ShardBreakdown none{};
+    const ShardEvent event{ShardEvent::kTerminalShard, true, kNoIds,
+                           kNoVerdicts, none};
+    try {
+        std::lock_guard<std::mutex> lock(st.observer_mu);
+        st.observer(event);
+    } catch (...) {
+        // Rethrown from wait(); must not block finalization.
+        st.terminal_error = std::current_exception();
+    }
+}
+
 void finalize_campaign(CampaignState& st) {
+    fire_terminal(st);   // terminal strictly happens-before finished
     CampaignResult result = merged_result(st);
     {
         std::lock_guard<std::mutex> lock(st.mu);
@@ -192,29 +230,19 @@ void finalize_campaign(CampaignState& st) {
     st.cv.notify_all();
 }
 
-/// Runs shard `s` of `st` on the calling worker thread and performs the
-/// post-run bookkeeping (progress counters, observer streaming, campaign
-/// finalization when this was the last job). Returns true when the shard
-/// ran to completion (its outcome should feed the cost model).
-bool run_shard_job(const std::shared_ptr<CampaignState>& st, size_t s) {
-    EngineOutcome out;
-    const double queue_seconds = st->watch.seconds();
-    if (!st->cancel.load(std::memory_order_relaxed)) {
-        try {
-            auto stim = st->make_stimulus();
-            out = detail::run_engine(*st->compiled, st->shards[s].faults,
-                                     *stim, st->engine_opts, &st->cancel);
-        } catch (...) {
-            st->errors[s] = std::current_exception();
-            out = EngineOutcome{};
-        }
-    }
+/// Post-run bookkeeping shared by local shard jobs and remote unit
+/// replies: stores the outcome, bumps progress counters, streams the shard
+/// event, and finalizes the campaign when this was the last job. The
+/// caller has stamped `out.breakdown.queue_seconds`; the rest of the
+/// breakdown identity is stamped here. Returns true when the shard ran to
+/// completion (its outcome should feed the cost model).
+bool record_outcome(const std::shared_ptr<CampaignState>& st, size_t s,
+                    EngineOutcome out) {
     const Shard& shard = st->shards[s];
     out.breakdown.shard = static_cast<uint32_t>(s);
     out.breakdown.faults = static_cast<uint32_t>(shard.faults.size());
     out.breakdown.detected = out.num_detected;
     out.breakdown.est_cost = shard.est_cost;
-    out.breakdown.queue_seconds = queue_seconds;
     st->outcomes[s] = std::move(out);
 
     const EngineOutcome& stored = st->outcomes[s];
@@ -231,7 +259,7 @@ bool run_shard_job(const std::shared_ptr<CampaignState>& st, size_t s) {
             // finished_jobs increment below is what unblocks wait()); the
             // exception is recorded and rethrown from wait() instead.
             try {
-                const ShardEvent event{static_cast<uint32_t>(s),
+                const ShardEvent event{static_cast<uint32_t>(s), false,
                                        shard.global_ids, stored.detected,
                                        stored.breakdown};
                 std::lock_guard<std::mutex> lock(st->observer_mu);
@@ -249,6 +277,24 @@ bool run_shard_job(const std::shared_ptr<CampaignState>& st, size_t s) {
     }
     if (last) finalize_campaign(*st);
     return completed;
+}
+
+/// Runs shard `s` of `st` on the calling worker thread, then records it.
+bool run_shard_job(const std::shared_ptr<CampaignState>& st, size_t s) {
+    EngineOutcome out;
+    const double queue_seconds = st->watch.seconds();
+    if (!st->cancel.load(std::memory_order_relaxed)) {
+        try {
+            auto stim = st->make_stimulus();
+            out = detail::run_engine(*st->compiled, st->shards[s].faults,
+                                     *stim, st->engine_opts, &st->cancel);
+        } catch (...) {
+            st->errors[s] = std::current_exception();
+            out = EngineOutcome{};
+        }
+    }
+    out.breakdown.queue_seconds = queue_seconds;
+    return record_outcome(st, s, std::move(out));
 }
 
 void require_valid(const std::shared_ptr<CampaignState>& state) {
@@ -270,6 +316,9 @@ const CampaignResult& CampaignHandle::wait() {
     for (const auto& err : state_->errors) {
         if (err) std::rethrow_exception(err);
     }
+    if (state_->terminal_error) {
+        std::rethrow_exception(state_->terminal_error);
+    }
     return state_->result;
 }
 
@@ -285,11 +334,25 @@ bool CampaignHandle::cancel() {
     // the campaign is unfinalized, hence still in the scheduler's
     // queued/active sets, hence Session::~Session's drain has not returned
     // and the captured scheduler is alive for the duration of the call.
+    // The hook only *withdraws* (returning whether it did); finalization —
+    // terminal observer event, then result publication — happens out here,
+    // outside st->mu, because the observer is user code that may itself
+    // call cancel()/wait() on this handle.
+    bool withdrawn = false;
     {
         std::lock_guard<std::mutex> lock(state_->mu);
-        std::function<void()> notify = std::move(state_->notify_cancel);
+        std::function<bool()> notify = std::move(state_->notify_cancel);
         state_->notify_cancel = nullptr;
-        if (notify) notify();
+        if (notify) withdrawn = notify();
+    }
+    if (withdrawn) {
+        fire_terminal(*state_);
+        CampaignResult result = merged_result(*state_);
+        {
+            std::lock_guard<std::mutex> lock(state_->mu);
+            publish_result_locked(*state_, std::move(result));
+        }
+        state_->cv.notify_all();
     }
     return !already_finished;
 }
@@ -321,24 +384,57 @@ CampaignScheduler::CampaignScheduler(
     : compiled_(std::move(compiled)),
       pool_(pool),
       opts_(opts),
-      cost_model_(std::make_shared<CostModel>(*compiled_, opts.cost_alpha)) {}
+      cost_model_(std::make_shared<CostModel>(*compiled_, opts.cost_alpha)) {
+    if (opts_.remote.enabled()) {
+        remote_overheads_.assign(opts_.remote.workers.size(), 0.0);
+        remote_threads_.reserve(opts_.remote.workers.size());
+        for (size_t w = 0; w < opts_.remote.workers.size(); ++w) {
+            remote_threads_.emplace_back(
+                [this, w] { remote_worker_loop(w); });
+        }
+    }
+}
 
 // The Session drains before tearing the pool down, so by the time the
-// scheduler destructs no ticket references it.
-CampaignScheduler::~CampaignScheduler() = default;
+// scheduler destructs no ticket references it and every remote link is
+// idle — the dispatcher threads just need waking and joining.
+CampaignScheduler::~CampaignScheduler() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_remote_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : remote_threads_) t.join();
+}
 
 std::shared_ptr<CampaignState> CampaignScheduler::make_state(
     std::span<const fault::Fault> faults, StimulusFactory make_stimulus,
-    const CampaignOptions& opts, ShardObserver observer) {
+    const CampaignOptions& opts, ShardObserver observer,
+    const StimulusSpec* remote_spec) {
     auto st = std::make_shared<CampaignState>();
     st->compiled = compiled_;
     st->engine_opts = opts.engine;
     st->make_stimulus = std::move(make_stimulus);
     st->observer = std::move(observer);
+    if (remote_spec != nullptr) {
+        // Validates the kind eagerly: an unregistered spec must throw at
+        // submit time, not on a worker thread mid-campaign.
+        (void)build_stimulus(*remote_spec);
+        st->stim_spec = *remote_spec;
+        st->remote_ok = true;
+        const StimulusSpec spec = *remote_spec;
+        st->make_stimulus = [spec] { return build_stimulus(spec); };
+    }
     st->num_faults = static_cast<uint32_t>(faults.size());
     st->priority = opts.priority;
     st->weight = std::max<uint32_t>(1, opts.weight);
     st->quota = opts.max_workers;
+
+    // An empty fault list stays at zero shards: no engine run, no stimulus
+    // built, no queue slot — submit finalizes it on the spot
+    // (finish_empty). The shared partitioners keep their historical
+    // one-empty-shard result for the legacy blocking paths.
+    if (faults.empty()) return st;
 
     const uint32_t threads = static_cast<uint32_t>(pool_.num_threads());
     const uint32_t want_shards =
@@ -397,15 +493,11 @@ std::shared_ptr<CampaignState> CampaignScheduler::make_state(
     // latency both measure from accepted submission, not from sharding.
 
     // The cancel-before-admission hook (see CampaignState::notify_cancel).
-    // It runs under st->mu (cancel() invokes it there), so after the
-    // withdrawal it publishes the empty merged result directly instead of
-    // re-locking through finalize_campaign.
+    // It runs under st->mu (cancel() invokes it there) and only withdraws;
+    // cancel() fires the terminal event and publishes outside the lock.
     CampaignState* raw = st.get();
-    st->notify_cancel = [this, raw] {
-        if (std::shared_ptr<CampaignState> orphan = take_if_queued(raw)) {
-            publish_result_locked(*orphan, merged_result(*orphan));
-            orphan->cv.notify_all();
-        }
+    st->notify_cancel = [this, raw]() -> bool {
+        return take_if_queued(raw) != nullptr;
     };
     return st;
 }
@@ -413,11 +505,41 @@ std::shared_ptr<CampaignState> CampaignScheduler::make_state(
 uint32_t CampaignScheduler::dispatchable_locked(
     const CampaignState& st) const {
     const uint32_t remaining =
-        static_cast<uint32_t>(st.shards.size()) - st.dispatched;
+        static_cast<uint32_t>(st.shards.size()) - st.next_shard +
+        static_cast<uint32_t>(st.requeued.size());
     if (st.quota == 0) return remaining;
     const uint32_t headroom = st.quota > st.inflight ? st.quota - st.inflight
                                                      : 0;
     return std::min(remaining, headroom);
+}
+
+size_t CampaignScheduler::claim_shard_locked(CampaignState& st) {
+    size_t s;
+    if (!st.requeued.empty()) {
+        s = st.requeued.back();
+        st.requeued.pop_back();
+    } else {
+        s = st.next_shard++;
+    }
+    ++st.inflight;
+    ++shards_dispatched_;
+    return s;
+}
+
+void CampaignScheduler::release_claim_locked(
+    const std::shared_ptr<CampaignState>& st) {
+    const uint32_t before = dispatchable_locked(*st);
+    --st->inflight;
+    ++st->jobs_done;
+    const uint32_t after = dispatchable_locked(*st);
+    issue_tickets_locked(after - before,
+                         static_cast<unsigned>(st->priority));
+    if (after > before) work_cv_.notify_all();
+    if (st->jobs_done == st->shards.size()) {
+        active_.erase(std::find(active_.begin(), active_.end(), st));
+        admit_locked();
+        drain_cv_.notify_all();
+    }
 }
 
 void CampaignScheduler::issue_tickets_locked(uint32_t count, unsigned cls) {
@@ -445,6 +567,7 @@ void CampaignScheduler::admit_locked() {
         active_.push_back(st);
         issue_tickets_locked(dispatchable_locked(*st),
                              static_cast<unsigned>(st->priority));
+        work_cv_.notify_all();    // idle remote links may claim units now
         space_cv_.notify_all();   // queue shrank; a blocked submit may enter
     }
 }
@@ -489,12 +612,11 @@ void CampaignScheduler::run_ticket() {
                 st = c;
             }
         }
-        // Ticket count always equals the dispatchable total, so a ticket
-        // finds work unless the invariant was broken — bail defensively.
+        // A remote link may have claimed the units this ticket was issued
+        // for (placement races are benign — claims are what count), so an
+        // empty pick is a no-op, not an invariant break.
         if (best == nullptr) return;
-        shard_index = best->dispatched++;
-        ++best->inflight;
-        ++shards_dispatched_;
+        shard_index = claim_shard_locked(*best);
     }
 
     const bool completed = run_shard_job(st, shard_index);
@@ -506,18 +628,158 @@ void CampaignScheduler::run_ticket() {
 
     {
         std::lock_guard<std::mutex> lock(mu_);
-        const uint32_t before = dispatchable_locked(*st);
-        --st->inflight;
-        ++st->jobs_done;
-        const uint32_t after = dispatchable_locked(*st);
-        issue_tickets_locked(after - before,
-                             static_cast<unsigned>(st->priority));
-        if (st->jobs_done == st->shards.size()) {
-            active_.erase(std::find(active_.begin(), active_.end(), st));
-            admit_locked();
-            drain_cv_.notify_all();
+        release_claim_locked(st);
+    }
+}
+
+// --- remote dispatch ---------------------------------------------------------
+
+std::shared_ptr<CampaignState> CampaignScheduler::pick_remote_locked(
+    const RemoteWorkerLink& link) {
+    CampaignState* best = nullptr;
+    std::shared_ptr<CampaignState> picked;
+    for (const auto& c : active_) {
+        if (!c->remote_ok || dispatchable_locked(*c) == 0) continue;
+        const bool c_canceled = c->cancel.load(std::memory_order_relaxed);
+        if (!c_canceled) {
+            // Placement gate: shipping a unit whose predicted wall is
+            // below the link's observed overhead would slow the campaign
+            // down — leave it to the local pool. Unknown costs (no
+            // observation yet, or no completed remote unit) ship freely.
+            const size_t s = c->requeued.empty()
+                                 ? c->next_shard
+                                 : c->requeued.back();
+            const double predicted =
+                cost_model_->predict_seconds(c->shards[s].est_cost);
+            if (predicted > 0.0 && link.overhead_ewma() > 0.0 &&
+                predicted < link.overhead_ewma()) {
+                ++units_skipped_cost_;
+                continue;
+            }
+        }
+        if (best == nullptr) {
+            best = c.get();
+            picked = c;
+            continue;
+        }
+        bool wins = false;
+        const bool best_canceled =
+            best->cancel.load(std::memory_order_relaxed);
+        if (c_canceled != best_canceled) {
+            wins = c_canceled;
+        } else if (c->priority != best->priority) {
+            wins = c->priority > best->priority;
+        } else if (opts_.fair_share) {
+            const double c_share = static_cast<double>(c->inflight) /
+                                   static_cast<double>(c->weight);
+            const double b_share = static_cast<double>(best->inflight) /
+                                   static_cast<double>(best->weight);
+            wins = c_share != b_share ? c_share < b_share
+                                      : c->seq < best->seq;
+        } else {
+            wins = c->seq < best->seq;
+        }
+        if (wins) {
+            best = c.get();
+            picked = c;
         }
     }
+    return picked;
+}
+
+void CampaignScheduler::remote_worker_loop(size_t worker_index) {
+    RemoteWorkerLink link(opts_.remote,
+                          opts_.remote.workers[worker_index]);
+    try {
+        link.open(compiled_->design_hash());
+    } catch (const util::WireError&) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++workers_lost_;
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++workers_connected_;
+    }
+
+    for (;;) {
+        std::shared_ptr<CampaignState> st;
+        size_t s = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [&] {
+                if (stop_remote_) return true;
+                st = pick_remote_locked(link);
+                return st != nullptr;
+            });
+            if (stop_remote_) break;
+            s = claim_shard_locked(*st);
+            ++units_dispatched_;
+        }
+
+        if (st->cancel.load(std::memory_order_relaxed)) {
+            // Same as the local path: a canceled campaign's units are
+            // recorded unran without touching the wire.
+            EngineOutcome out;
+            out.breakdown.queue_seconds = st->watch.seconds();
+            record_outcome(st, s, std::move(out));
+            std::lock_guard<std::mutex> lock(mu_);
+            ++units_completed_;
+            release_claim_locked(st);
+            continue;
+        }
+
+        const double queue_seconds = st->watch.seconds();
+        EngineOutcome out;
+        bool link_dead = false;
+        try {
+            RemoteUnitReply reply =
+                link.run_unit(st->shards[s].faults, st->engine_opts,
+                              st->stim_spec, static_cast<uint32_t>(s));
+            out.ran = reply.ran;
+            out.canceled = reply.canceled;
+            out.detected = std::move(reply.detected);
+            out.num_detected = reply.num_detected;
+            out.stats = std::move(reply.stats);
+            out.breakdown = reply.breakdown;
+            out.breakdown.queue_seconds = queue_seconds;
+        } catch (const util::WireError&) {
+            link_dead = true;
+        }
+
+        if (link_dead) {
+            // The worker is gone; the claimed unit goes back on the
+            // campaign's requeue list and a fresh ticket lets the local
+            // pool (or another link) pick it up. Determinism makes the
+            // retry free — same faults, same stimulus, same verdicts.
+            std::lock_guard<std::mutex> lock(mu_);
+            const uint32_t before = dispatchable_locked(*st);
+            st->requeued.push_back(static_cast<uint32_t>(s));
+            --st->inflight;
+            const uint32_t after = dispatchable_locked(*st);
+            issue_tickets_locked(after - before,
+                                 static_cast<unsigned>(st->priority));
+            work_cv_.notify_all();
+            ++units_redispatched_;
+            ++workers_lost_;
+            --workers_connected_;
+            break;
+        }
+
+        const bool completed = record_outcome(st, s, std::move(out));
+        if (completed && opts_.learn_costs) {
+            const EngineOutcome& stored = st->outcomes[s];
+            cost_model_->observe_shard(st->shards[s].faults,
+                                       stored.breakdown, stored.stats);
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++units_completed_;
+            remote_overheads_[worker_index] = link.overhead_ewma();
+            release_claim_locked(st);
+        }
+    }
+    link.shutdown();
 }
 
 std::shared_ptr<CampaignState> CampaignScheduler::take_if_queued(
@@ -549,12 +811,28 @@ CampaignHandle CampaignScheduler::accept_locked(
     return CampaignHandle(std::move(st));
 }
 
+// An empty fault list shards to zero shards: no ticket would ever run, so
+// the campaign must finalize right here or wait()/drain() would hang on a
+// finished_jobs count that can never reach a nonzero shard total.
+CampaignHandle CampaignScheduler::finish_empty(
+    std::shared_ptr<CampaignState> st) {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        st->seq = next_seq_++;
+        ++submitted_;
+    }
+    st->watch.reset();
+    finalize_campaign(*st);   // fires the terminal event, then publishes
+    return CampaignHandle(std::move(st));
+}
+
 CampaignHandle CampaignScheduler::submit(std::span<const fault::Fault> faults,
                                          StimulusFactory make_stimulus,
                                          const CampaignOptions& opts,
                                          ShardObserver observer) {
     auto st = make_state(faults, std::move(make_stimulus), opts,
-                         std::move(observer));
+                         std::move(observer), nullptr);
+    if (st->shards.empty()) return finish_empty(std::move(st));
     std::unique_lock<std::mutex> lock(mu_);
     if (opts_.queue_capacity > 0) {
         space_cv_.wait(lock, [&] {
@@ -581,9 +859,51 @@ CampaignHandle CampaignScheduler::try_submit(
         }
     }
     auto st = make_state(faults, std::move(make_stimulus), opts,
-                         std::move(observer));
+                         std::move(observer), nullptr);
+    if (st->shards.empty()) return finish_empty(std::move(st));
     std::unique_lock<std::mutex> lock(mu_);
     if (queue_full()) {   // filled while we sharded — refuse, don't block
+        ++rejected_;
+        return CampaignHandle();
+    }
+    return accept_locked(std::move(st));
+}
+
+CampaignHandle CampaignScheduler::submit(std::span<const fault::Fault> faults,
+                                         const StimulusSpec& stimulus,
+                                         const CampaignOptions& opts,
+                                         ShardObserver observer) {
+    auto st = make_state(faults, nullptr, opts, std::move(observer),
+                         &stimulus);
+    if (st->shards.empty()) return finish_empty(std::move(st));
+    std::unique_lock<std::mutex> lock(mu_);
+    if (opts_.queue_capacity > 0) {
+        space_cv_.wait(lock, [&] {
+            return queued_.size() < opts_.queue_capacity;
+        });
+    }
+    return accept_locked(std::move(st));
+}
+
+CampaignHandle CampaignScheduler::try_submit(
+    std::span<const fault::Fault> faults, const StimulusSpec& stimulus,
+    const CampaignOptions& opts, ShardObserver observer) {
+    const auto queue_full = [this] {
+        return opts_.queue_capacity > 0 &&
+               queued_.size() >= opts_.queue_capacity;
+    };
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (queue_full()) {
+            ++rejected_;
+            return CampaignHandle();
+        }
+    }
+    auto st = make_state(faults, nullptr, opts, std::move(observer),
+                         &stimulus);
+    if (st->shards.empty()) return finish_empty(std::move(st));
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_full()) {
         ++rejected_;
         return CampaignHandle();
     }
@@ -606,6 +926,23 @@ SchedulerStats CampaignScheduler::stats() const {
     s.submitted = submitted_;
     s.rejected = rejected_;
     s.shards_dispatched = shards_dispatched_;
+    s.remote.workers_configured =
+        static_cast<uint32_t>(opts_.remote.workers.size());
+    s.remote.workers_connected = workers_connected_;
+    s.remote.workers_lost = workers_lost_;
+    s.remote.units_dispatched = units_dispatched_;
+    s.remote.units_completed = units_completed_;
+    s.remote.units_redispatched = units_redispatched_;
+    s.remote.units_skipped_cost = units_skipped_cost_;
+    double sum = 0.0;
+    uint32_t n = 0;
+    for (double o : remote_overheads_) {
+        if (o > 0.0) {
+            sum += o;
+            ++n;
+        }
+    }
+    s.remote.overhead_ewma_seconds = n > 0 ? sum / n : 0.0;
     return s;
 }
 

@@ -35,10 +35,27 @@
 // per-signal costs, and batched campaigns order faults by learned deferral
 // rate before 64-lane grouping so control-correlated faults co-batch.
 //
+// Distributed fabric (eraser/remote.h): when SchedulerOptions::remote
+// names worker processes, the scheduler is a fleet front-end. One
+// dispatcher thread per worker holds the connection and claims shards
+// through the same pick policy as local tickets, so placement decisions —
+// local thread vs remote worker — happen at the same instant and under the
+// same priority/fair-share/quota rules. Remote-eligible campaigns are the
+// ones submitted with a serializable StimulusSpec; a placement gate skips
+// shipping a unit whose CostModel-predicted wall is below the link's
+// observed shipping-overhead EWMA (remote cost = predicted wall + RTT).
+// Any transport failure abandons the worker and *re-dispatches* the
+// claimed unit: the shard index returns to a requeue list any executor can
+// claim, which is sound because fault simulation is deterministic — a
+// retried unit reproduces the bit-identical verdict slice, and each
+// shard's outcome is still recorded exactly once (an abandoned connection
+// is never read again, so duplicate/garbage frames cannot double-record).
+//
 // Determinism is non-negotiable and none of the above touches it: per-
 // campaign verdict bitmaps are merged in shard-index order and are
-// bit-identical under every priority / quota / fair-share / learned-cost
-// configuration (pinned by tests/scheduler_test.cpp).
+// bit-identical under every priority / quota / fair-share / learned-cost /
+// placement configuration (pinned by tests/scheduler_test.cpp and
+// tests/remote_campaign_test.cpp).
 #pragma once
 
 #include <atomic>
@@ -48,6 +65,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "eraser/session.h"
@@ -95,7 +113,9 @@ struct SchedulerStats {
     uint32_t queued = 0;             // campaigns waiting for admission
     uint64_t submitted = 0;          // campaigns accepted (incl. finished)
     uint64_t rejected = 0;           // try_submit refusals by a full queue
-    uint64_t shards_dispatched = 0;  // shard jobs handed to workers
+    uint64_t shards_dispatched = 0;  // shard claims (local + remote, incl.
+                                     // re-dispatched units)
+    RemoteFleetStats remote;         // distributed-fabric counters
 };
 
 class CampaignScheduler {
@@ -126,6 +146,18 @@ class CampaignScheduler {
         std::span<const fault::Fault> faults, StimulusFactory make_stimulus,
         const CampaignOptions& opts, ShardObserver observer);
 
+    /// submit()/try_submit() with a wire-serializable stimulus: verdicts
+    /// are identical to the factory form, and the campaign becomes
+    /// remote-eligible when a worker fleet is configured. Throws SimError
+    /// when the spec's kind is not registered in this process.
+    [[nodiscard]] CampaignHandle submit(std::span<const fault::Fault> faults,
+                                        const StimulusSpec& stimulus,
+                                        const CampaignOptions& opts,
+                                        ShardObserver observer);
+    [[nodiscard]] CampaignHandle try_submit(
+        std::span<const fault::Fault> faults, const StimulusSpec& stimulus,
+        const CampaignOptions& opts, ShardObserver observer);
+
     /// Blocks until every accepted campaign has finished (admitting queued
     /// ones past max_active). The Session destructor's drain step; requires
     /// pool workers to still be running.
@@ -137,7 +169,8 @@ class CampaignScheduler {
   private:
     std::shared_ptr<detail::CampaignState> make_state(
         std::span<const fault::Fault> faults, StimulusFactory make_stimulus,
-        const CampaignOptions& opts, ShardObserver observer);
+        const CampaignOptions& opts, ShardObserver observer,
+        const StimulusSpec* remote_spec);
 
     /// Shared acceptance tail of submit()/try_submit(); caller holds mu_
     /// with backpressure already resolved.
@@ -161,9 +194,34 @@ class CampaignScheduler {
     std::shared_ptr<detail::CampaignState> take_if_queued(
         detail::CampaignState* raw);
 
+    /// Finalizes a campaign with no shards in place (empty fault list):
+    /// it never touches the queue or the pool, wait() returns immediately.
+    CampaignHandle finish_empty(std::shared_ptr<detail::CampaignState> st);
+
     /// One pool ticket: pick the best dispatchable shard, run it, feed the
     /// cost model, update scheduling state.
     void run_ticket();
+
+    /// Claims one shard of `st` (requeued units first, then the cursor)
+    /// and bumps the inflight/dispatch counters. Caller holds mu_ and has
+    /// checked dispatchable_locked(st) > 0.
+    size_t claim_shard_locked(detail::CampaignState& st);
+
+    /// Returns a claim after its job ran (or failed): frees the quota
+    /// slot, issues tickets for newly dispatchable shards, and retires the
+    /// campaign when this was its last job. Caller holds mu_.
+    void release_claim_locked(const std::shared_ptr<detail::CampaignState>& st);
+
+    /// Dispatcher loop of one remote worker link: connect, then claim and
+    /// ship units until stopped or the link dies (which re-dispatches the
+    /// claimed unit and retires the thread).
+    void remote_worker_loop(size_t worker_index);
+
+    /// Best remote-eligible campaign right now under the local pick policy
+    /// plus the placement gate; null when the link should idle. Caller
+    /// holds mu_.
+    std::shared_ptr<detail::CampaignState> pick_remote_locked(
+        const RemoteWorkerLink& link);
 
     std::shared_ptr<const CompiledDesign> compiled_;
     util::ThreadPool& pool_;
@@ -173,6 +231,7 @@ class CampaignScheduler {
     mutable std::mutex mu_;
     std::condition_variable space_cv_;   // submitters blocked on a full queue
     std::condition_variable drain_cv_;   // drain() waits for quiescence
+    std::condition_variable work_cv_;    // remote dispatchers wait for units
     std::deque<std::shared_ptr<detail::CampaignState>> queued_;
     std::vector<std::shared_ptr<detail::CampaignState>> active_;
     uint64_t next_seq_ = 0;
@@ -180,6 +239,18 @@ class CampaignScheduler {
     uint64_t rejected_ = 0;
     uint64_t shards_dispatched_ = 0;
     bool draining_ = false;
+
+    // Distributed fabric (all counters under mu_; threads joined by the
+    // destructor after the Session's drain).
+    bool stop_remote_ = false;
+    uint32_t workers_connected_ = 0;
+    uint32_t workers_lost_ = 0;
+    uint64_t units_dispatched_ = 0;
+    uint64_t units_completed_ = 0;
+    uint64_t units_redispatched_ = 0;
+    uint64_t units_skipped_cost_ = 0;
+    std::vector<double> remote_overheads_;   // per-link EWMA snapshots
+    std::vector<std::thread> remote_threads_;
 };
 
 }  // namespace eraser::core

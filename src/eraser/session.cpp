@@ -55,6 +55,22 @@ CampaignHandle Session::try_submit(std::span<const fault::Fault> faults,
                                          opts, std::move(observer));
 }
 
+CampaignHandle Session::submit(std::span<const fault::Fault> faults,
+                               const StimulusSpec& stimulus,
+                               const CampaignOptions& opts,
+                               ShardObserver observer) {
+    return ensure_scheduler().submit(faults, stimulus, opts,
+                                     std::move(observer));
+}
+
+CampaignHandle Session::try_submit(std::span<const fault::Fault> faults,
+                                   const StimulusSpec& stimulus,
+                                   const CampaignOptions& opts,
+                                   ShardObserver observer) {
+    return ensure_scheduler().try_submit(faults, stimulus, opts,
+                                         std::move(observer));
+}
+
 CampaignResult Session::run(std::span<const fault::Fault> faults,
                             sim::Stimulus& stim,
                             const CampaignOptions& opts) {

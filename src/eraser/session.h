@@ -66,11 +66,20 @@ struct CampaignProgress {
     bool finished = false;         // wait() would return without blocking
 };
 
-/// One completed shard, streamed to the observer as it lands. The
-/// references point into campaign-owned storage and are valid only during
-/// the callback — copy what you keep.
+/// One completed shard, streamed to the observer as it lands — or the
+/// campaign's terminal event. The references point into campaign-owned
+/// storage and are valid only during the callback — copy what you keep.
 struct ShardEvent {
+    /// `shard` of the terminal event (no shard ran; spans are empty).
+    static constexpr uint32_t kTerminalShard = UINT32_MAX;
+
     uint32_t shard = 0;   // shard index within the campaign
+    /// True exactly once per campaign, on the last observer invocation:
+    /// the campaign is finalizing (completed or canceled — including a
+    /// cancel that lands before any shard ever dispatched) and no further
+    /// events will follow. global_ids/detected are empty; read the full
+    /// outcome from CampaignHandle::wait().
+    bool terminal = false;
     /// Global fault ids of this shard, ascending.
     const std::vector<uint32_t>& global_ids;
     /// This shard's verdicts, parallel to global_ids.
@@ -78,10 +87,11 @@ struct ShardEvent {
     const ShardBreakdown& breakdown;
 };
 
-/// Called once per completed shard, in completion order. Invocations are
-/// serialized (never concurrent), but arrive on worker threads. An
-/// observer that throws does not stall the campaign: the exception is
-/// recorded against that shard and rethrown from CampaignHandle::wait().
+/// Called once per completed shard, in completion order, then exactly once
+/// with `terminal == true`. Invocations are serialized (never concurrent),
+/// but arrive on worker threads. An observer that throws does not stall
+/// the campaign: the exception is recorded against that shard (or the
+/// terminal slot) and rethrown from CampaignHandle::wait().
 using ShardObserver = std::function<void(const ShardEvent&)>;
 
 /// Handle to a submitted campaign. Copyable (all copies address the same
@@ -172,6 +182,24 @@ class Session {
     /// handle is invalid (`valid() == false`).
     [[nodiscard]] CampaignHandle try_submit(
         std::span<const fault::Fault> faults, StimulusFactory make_stimulus,
+        const CampaignOptions& opts = {}, ShardObserver observer = nullptr);
+
+    /// submit() with a wire-serializable stimulus (eraser/remote.h) instead
+    /// of an opaque factory. Verdicts are identical to the factory form —
+    /// the spec is just a factory a worker process can also rebuild — and
+    /// the campaign becomes *remote-eligible*: when the scheduler was
+    /// configured with a worker fleet (SchedulerOptions::remote), its units
+    /// may execute out-of-process. The spec's kind must be registered in
+    /// this process too (local execution builds instances from the same
+    /// spec); throws SimError at submit time when it is not.
+    [[nodiscard]] CampaignHandle submit(std::span<const fault::Fault> faults,
+                                        const StimulusSpec& stimulus,
+                                        const CampaignOptions& opts = {},
+                                        ShardObserver observer = nullptr);
+
+    /// try_submit() with a wire-serializable stimulus (see above).
+    [[nodiscard]] CampaignHandle try_submit(
+        std::span<const fault::Fault> faults, const StimulusSpec& stimulus,
         const CampaignOptions& opts = {}, ShardObserver observer = nullptr);
 
     /// Blocking single-engine campaign on the calling thread, driven by a

@@ -1,9 +1,14 @@
 #include "suite/suite.h"
 
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
 #include "frontend/compile.h"
 #include "suite/asm.h"
 #include "suite/random_stimulus.h"
 #include "util/diagnostics.h"
+#include "util/wire.h"
 
 namespace eraser::suite {
 
@@ -306,6 +311,99 @@ std::unique_ptr<sim::Stimulus> make_stimulus(const Benchmark& b,
         return std::make_unique<CpuStimulus>(cycles, mips_program());
     }
     throw EraserError("no stimulus for benchmark '" + b.name + "'");
+}
+
+// --- distributed campaigns ---------------------------------------------------
+
+core::DesignSpec design_spec(const Benchmark& b) {
+    const std::string path =
+        std::string(ERASER_BENCHMARK_DIR) + "/" + b.file;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw EraserError("cannot read benchmark source '" + path + "'");
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return core::DesignSpec{text.str(), b.top};
+}
+
+namespace {
+std::vector<uint8_t> payload_of(const util::WireWriter& w) {
+    const std::span<const uint8_t> bytes = w.bytes();
+    return std::vector<uint8_t>(bytes.begin(), bytes.end());
+}
+}  // namespace
+
+core::StimulusSpec remote_stimulus(const Benchmark& b, uint32_t cycles) {
+    util::WireWriter w;
+    w.str(b.name);
+    w.u32(cycles);
+    return core::StimulusSpec{"suite", payload_of(w)};
+}
+
+core::StimulusSpec remote_stimulus(const RandomStimulus::Config& cfg) {
+    util::WireWriter w;
+    w.str(cfg.clock);
+    w.str(cfg.reset);
+    w.u8(cfg.reset_active_high ? 1 : 0);
+    w.u32(cfg.reset_cycles);
+    w.u32(cfg.cycles);
+    w.u64(cfg.seed);
+    w.varint(cfg.constants.size());
+    for (const auto& [name, value] : cfg.constants) {
+        w.str(name);
+        w.u64(value);
+    }
+    w.varint(cfg.slow_inputs.size());
+    for (const auto& [name, period] : cfg.slow_inputs) {
+        w.str(name);
+        w.u32(period);
+    }
+    return core::StimulusSpec{"random", payload_of(w)};
+}
+
+void register_remote_stimuli() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        core::register_stimulus_kind(
+            "suite",
+            [](std::span<const uint8_t> payload)
+                -> std::unique_ptr<sim::Stimulus> {
+                util::WireReader r(payload);
+                const std::string name = r.str();
+                const uint32_t cycles = r.u32();
+                r.expect_end();
+                return make_stimulus(find_benchmark(name), cycles);
+            });
+        core::register_stimulus_kind(
+            "random",
+            [](std::span<const uint8_t> payload)
+                -> std::unique_ptr<sim::Stimulus> {
+                util::WireReader r(payload);
+                RandomStimulus::Config cfg;
+                cfg.clock = r.str();
+                cfg.reset = r.str();
+                cfg.reset_active_high = r.u8() != 0;
+                cfg.reset_cycles = r.u32();
+                cfg.cycles = r.u32();
+                cfg.seed = r.u64();
+                const uint64_t n_const = r.varint();
+                for (uint64_t i = 0; i < n_const; ++i) {
+                    std::string name = r.str();
+                    const uint64_t value = r.u64();
+                    cfg.constants.emplace_back(std::move(name), value);
+                }
+                const uint64_t n_slow = r.varint();
+                for (uint64_t i = 0; i < n_slow; ++i) {
+                    std::string name = r.str();
+                    const uint32_t period =
+                        static_cast<uint32_t>(r.u32());
+                    cfg.slow_inputs.emplace_back(std::move(name), period);
+                }
+                r.expect_end();
+                return std::make_unique<RandomStimulus>(cfg);
+            });
+    });
 }
 
 }  // namespace eraser::suite

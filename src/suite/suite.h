@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "eraser/remote.h"
 #include "rtl/design.h"
 #include "sim/stimulus.h"
+#include "suite/random_stimulus.h"
 
 namespace eraser::suite {
 
@@ -34,5 +36,25 @@ struct Benchmark {
 /// Builds the benchmark's deterministic stimulus for `cycles` cycles.
 [[nodiscard]] std::unique_ptr<sim::Stimulus> make_stimulus(const Benchmark& b,
                                                            uint32_t cycles);
+
+// --- distributed campaigns (eraser/remote.h) --------------------------------
+
+/// The benchmark's Verilog source + top as a shippable DesignSpec (reads
+/// the file from ERASER_BENCHMARK_DIR; throws EraserError on I/O failure).
+[[nodiscard]] core::DesignSpec design_spec(const Benchmark& b);
+
+/// Wire form of make_stimulus(b, cycles): a "suite" StimulusSpec any
+/// process that called register_remote_stimuli() can rebuild.
+[[nodiscard]] core::StimulusSpec remote_stimulus(const Benchmark& b,
+                                                 uint32_t cycles);
+
+/// Wire form of a RandomStimulus configuration (kind "random").
+[[nodiscard]] core::StimulusSpec remote_stimulus(
+    const RandomStimulus::Config& cfg);
+
+/// Registers the suite's stimulus kinds ("suite", "random") with the
+/// process-wide registry. Idempotent; every worker binary and every client
+/// submitting suite StimulusSpecs must call it once.
+void register_remote_stimuli();
 
 }  // namespace eraser::suite

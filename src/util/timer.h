@@ -62,6 +62,11 @@ class TimeAccumulator {
     /// phase timers into campaign totals).
     void merge(const TimeAccumulator& other) { total_ns_ += other.total_ns_; }
 
+    /// Adds a duration measured elsewhere — the deserialization path of the
+    /// distributed fabric (eraser/remote.cpp), where a worker's accumulated
+    /// phase time arrives over the wire as a nanosecond count.
+    void add_ns(int64_t ns) { total_ns_ += ns; }
+
     [[nodiscard]] int64_t total_ns() const { return total_ns_; }
     [[nodiscard]] double total_seconds() const {
         return static_cast<double>(total_ns_) * 1e-9;

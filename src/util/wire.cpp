@@ -1,0 +1,337 @@
+#include "util/wire.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace eraser::util {
+
+namespace {
+
+std::string errno_str(const char* op) {
+    return std::string(op) + ": " + std::strerror(errno);
+}
+
+const std::array<uint32_t, 256>& crc_table() {
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k) {
+                c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+            }
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+}  // namespace
+
+uint32_t crc32(std::span<const uint8_t> data) {
+    const auto& table = crc_table();
+    uint32_t c = 0xFFFFFFFFu;
+    for (uint8_t b : data) c = table[(c ^ b) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+uint64_t fnv1a64(std::string_view data, uint64_t seed) {
+    uint64_t h = seed;
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+// --- WireWriter --------------------------------------------------------------
+
+void WireWriter::u32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(uint8_t(v >> (8 * i)));
+}
+
+void WireWriter::u64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(uint8_t(v >> (8 * i)));
+}
+
+void WireWriter::f64(double v) { u64(std::bit_cast<uint64_t>(v)); }
+
+void WireWriter::varint(uint64_t v) {
+    while (v >= 0x80) {
+        buf_.push_back(uint8_t(v) | 0x80);
+        v >>= 7;
+    }
+    buf_.push_back(uint8_t(v));
+}
+
+void WireWriter::str(std::string_view s) {
+    varint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void WireWriter::words(std::span<const uint64_t> ws) {
+    varint(ws.size());
+    for (uint64_t w : ws) u64(w);
+}
+
+// --- WireReader --------------------------------------------------------------
+
+uint8_t WireReader::u8() {
+    if (pos_ >= data_.size()) throw WireError("payload underrun (u8)");
+    return data_[pos_++];
+}
+
+uint32_t WireReader::u32() {
+    if (remaining() < 4) throw WireError("payload underrun (u32)");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t(data_[pos_++]) << (8 * i);
+    return v;
+}
+
+uint64_t WireReader::u64() {
+    if (remaining() < 8) throw WireError("payload underrun (u64)");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t(data_[pos_++]) << (8 * i);
+    return v;
+}
+
+double WireReader::f64() { return std::bit_cast<double>(u64()); }
+
+uint64_t WireReader::varint() {
+    uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        if (pos_ >= data_.size()) throw WireError("payload underrun (varint)");
+        const uint8_t b = data_[pos_++];
+        v |= uint64_t(b & 0x7F) << shift;
+        if (!(b & 0x80)) return v;
+    }
+    throw WireError("varint longer than 64 bits");
+}
+
+std::string WireReader::str() {
+    const uint64_t n = varint();
+    if (n > remaining()) throw WireError("payload underrun (string)");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+}
+
+std::vector<uint64_t> WireReader::words() {
+    const uint64_t n = varint();
+    if (n > remaining() / 8) throw WireError("payload underrun (words)");
+    std::vector<uint64_t> ws;
+    ws.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) ws.push_back(u64());
+    return ws;
+}
+
+void WireReader::expect_end() const {
+    if (pos_ != data_.size()) {
+        throw WireError("trailing bytes in frame (" +
+                        std::to_string(data_.size() - pos_) + ")");
+    }
+}
+
+// --- UniqueFd ----------------------------------------------------------------
+
+UniqueFd& UniqueFd::operator=(UniqueFd&& o) noexcept {
+    if (this != &o) {
+        reset();
+        fd_ = o.fd_;
+        o.fd_ = -1;
+    }
+    return *this;
+}
+
+int UniqueFd::release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+}
+
+void UniqueFd::reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+}
+
+// --- WireConn ----------------------------------------------------------------
+
+namespace {
+
+/// Waits for the fd to become readable. Throws on timeout or poll error;
+/// POLLHUP/POLLERR fall through to the read (which reports EOF/error).
+void wait_readable(int fd, int timeout_ms) {
+    struct pollfd pfd{fd, POLLIN, 0};
+    for (;;) {
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc > 0) return;
+        if (rc == 0) throw WireError("receive timeout");
+        if (errno != EINTR) throw WireError(errno_str("poll"));
+    }
+}
+
+void send_all(int fd, const uint8_t* data, size_t len) {
+    while (len > 0) {
+        const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw WireError(errno_str("send"));
+        }
+        data += static_cast<size_t>(n);
+        len -= static_cast<size_t>(n);
+    }
+}
+
+/// Reads exactly `len` bytes, applying a per-frame deadline so a peer that
+/// stalls mid-frame cannot wedge the caller. Returns false when the very
+/// first byte hits clean EOF and `eof_ok`; throws on EOF after that.
+bool recv_all(int fd, uint8_t* data, size_t len, int timeout_ms, bool eof_ok) {
+    using clock = std::chrono::steady_clock;
+    const auto deadline = timeout_ms >= 0
+        ? clock::now() + std::chrono::milliseconds(timeout_ms)
+        : clock::time_point::max();
+    bool first = true;
+    while (len > 0) {
+        int wait_ms = -1;
+        if (timeout_ms >= 0) {
+            const auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(deadline - clock::now()).count();
+            if (left <= 0) throw WireError("receive timeout");
+            wait_ms = static_cast<int>(left);
+        }
+        wait_readable(fd, wait_ms);
+        const ssize_t n = ::recv(fd, data, len, 0);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw WireError(errno_str("recv"));
+        }
+        if (n == 0) {
+            if (first && eof_ok) return false;
+            throw WireError("peer closed mid-frame");
+        }
+        first = false;
+        data += static_cast<size_t>(n);
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace
+
+void WireConn::send_frame(std::span<const uint8_t> payload) {
+    if (!fd_.valid()) throw WireError("send on closed connection");
+    WireWriter header;
+    header.varint(payload.size());
+    send_all(fd_.get(), header.bytes().data(), header.bytes().size());
+    send_all(fd_.get(), payload.data(), payload.size());
+    WireWriter trailer;
+    trailer.u32(crc32(payload));
+    send_all(fd_.get(), trailer.bytes().data(), trailer.bytes().size());
+}
+
+bool WireConn::recv_frame(std::vector<uint8_t>& payload, int timeout_ms) {
+    if (!fd_.valid()) throw WireError("receive on closed connection");
+    // Length varint, byte by byte: the first byte may hit clean EOF.
+    uint64_t len = 0;
+    for (unsigned shift = 0;; shift += 7) {
+        if (shift >= 64) throw WireError("frame length varint overflow");
+        uint8_t b;
+        if (!recv_all(fd_.get(), &b, 1, timeout_ms, shift == 0)) return false;
+        len |= uint64_t(b & 0x7F) << shift;
+        if (!(b & 0x80)) break;
+    }
+    if (len > kMaxFrameBytes) {
+        throw WireError("frame length " + std::to_string(len) +
+                        " exceeds limit (desynchronized stream?)");
+    }
+    payload.resize(len);
+    if (len > 0) {
+        recv_all(fd_.get(), payload.data(), len, timeout_ms, false);
+    }
+    uint8_t crc_bytes[4];
+    recv_all(fd_.get(), crc_bytes, 4, timeout_ms, false);
+    uint32_t expect = 0;
+    for (int i = 0; i < 4; ++i) expect |= uint32_t(crc_bytes[i]) << (8 * i);
+    if (crc32(payload) != expect) throw WireError("CRC mismatch");
+    return true;
+}
+
+// --- loopback plumbing -------------------------------------------------------
+
+UniqueFd listen_loopback(uint16_t& port) {
+    UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) throw WireError(errno_str("socket"));
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+        throw WireError(errno_str("bind"));
+    }
+    if (::listen(fd.get(), 16) < 0) throw WireError(errno_str("listen"));
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                      &len) < 0) {
+        throw WireError(errno_str("getsockname"));
+    }
+    port = ntohs(addr.sin_port);
+    return fd;
+}
+
+UniqueFd accept_connection(int listen_fd, int timeout_ms) {
+    wait_readable(listen_fd, timeout_ms);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) throw WireError(errno_str("accept"));
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return UniqueFd(fd);
+}
+
+UniqueFd connect_loopback(uint16_t port, int timeout_ms) {
+    using clock = std::chrono::steady_clock;
+    const auto deadline = clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+        if (!fd.valid()) throw WireError(errno_str("socket"));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0) {
+            const int one = 1;
+            ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            return fd;
+        }
+        // Workers publish their port before the listener may be fully up on
+        // slow CI machines; retry refusals until the deadline.
+        if ((errno != ECONNREFUSED && errno != EINTR) ||
+            clock::now() >= deadline) {
+            throw WireError(errno_str("connect"));
+        }
+        ::usleep(20 * 1000);
+    }
+}
+
+SocketPair socket_pair() {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) {
+        throw WireError(errno_str("socketpair"));
+    }
+    return {UniqueFd(fds[0]), UniqueFd(fds[1])};
+}
+
+}  // namespace eraser::util

@@ -1,0 +1,466 @@
+// Distributed campaign fabric (eraser/remote.h) contract:
+//
+//  * wire framing survives roundtrips and refuses corruption (CRC, bounds,
+//    deadlines, version skew) with WireError, never silent damage;
+//  * a distributed campaign over in-process workers is bit-identical to
+//    the single-process engine across Word/Off batching and every
+//    RedundancyMode, on >= 3 suite circuits;
+//  * every worker failure mode — death mid-unit, garbage reply, duplicated
+//    reply frame, stalled reply past the deadline — abandons the worker and
+//    re-dispatches the claimed unit, with bit-identical final verdicts;
+//  * design skew (structural hash mismatch) refuses the worker at
+//    handshake; the campaign falls back to local execution, still correct;
+//  * StimulusSpec kinds must be registered at submit time (SimError).
+//
+// Workers here are in-process serve_connection threads over loopback
+// sockets — the exact framing/protocol path tools/eraser_worker ships, in
+// a form tests can inject faults into (WorkerHooks) and tear down
+// deterministically. Forcing units onto workers is done by pinning the
+// Session's single pool thread with a gated campaign: while the gate
+// holds, remote links are the only executors making progress.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eraser/eraser.h"
+#include "eraser/remote.h"
+#include "suite/suite.h"
+#include "util/diagnostics.h"
+#include "util/wire.h"
+
+namespace eraser {
+namespace {
+
+using core::CampaignOptions;
+using core::FaultBatching;
+using core::RedundancyMode;
+
+std::vector<fault::Fault> ci_faults(const rtl::Design& design,
+                                    uint32_t sample = 60) {
+    fault::FaultGenOptions fopts;
+    fopts.sample_max = sample;
+    fopts.sample_seed = 42;
+    return fault::generate_faults(design, fopts);
+}
+
+/// Blocks initialize() until released — pins the Session's pool thread so
+/// a remote-eligible campaign can only progress on worker links.
+class GateStimulus final : public sim::Stimulus {
+  public:
+    GateStimulus(std::unique_ptr<sim::Stimulus> inner,
+                 std::atomic<bool>& release)
+        : inner_(std::move(inner)), release_(&release) {}
+    void bind(const rtl::Design& design) override { inner_->bind(design); }
+    [[nodiscard]] std::string clock_name() const override {
+        return inner_->clock_name();
+    }
+    [[nodiscard]] uint32_t num_cycles() const override {
+        return inner_->num_cycles();
+    }
+    void initialize(sim::DriveHandle& h) override {
+        while (!release_->load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        inner_->initialize(h);
+    }
+    void apply(uint32_t cycle, sim::DriveHandle& h) override {
+        inner_->apply(cycle, h);
+    }
+
+  private:
+    std::unique_ptr<sim::Stimulus> inner_;
+    std::atomic<bool>* release_;
+};
+
+/// In-process worker: accept loop + serve_connection on a loopback port,
+/// with fault-injection hooks. Stop AFTER the client Session is gone (the
+/// scheduler's goodbye unblocks the serve loop).
+class TestWorker {
+  public:
+    explicit TestWorker(core::WorkerHooks hooks = {}) : hooks_(hooks) {
+        listener_ = util::listen_loopback(port_);
+        thread_ = std::thread([this] { accept_loop(); });
+    }
+    ~TestWorker() { stop(); }
+    [[nodiscard]] uint16_t port() const { return port_; }
+    [[nodiscard]] uint64_t units_served() const { return units_.load(); }
+
+    void stop() {
+        stop_.store(true, std::memory_order_release);
+        if (thread_.joinable()) thread_.join();
+    }
+
+  private:
+    void accept_loop() {
+        while (!stop_.load(std::memory_order_acquire)) {
+            try {
+                util::UniqueFd fd =
+                    util::accept_connection(listener_.get(), 50);
+                util::WireConn conn(std::move(fd));
+                units_.fetch_add(
+                    core::serve_connection(conn, cache_, hooks_));
+            } catch (const util::WireError&) {
+                // Accept timeout (poll for stop_) or a vanished client —
+                // both only end this connection attempt.
+            }
+        }
+    }
+
+    uint16_t port_ = 0;
+    util::UniqueFd listener_;
+    core::WorkerHooks hooks_;
+    core::WorkerDesignCache cache_;
+    std::atomic<uint64_t> units_{0};
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+void register_suite_stimuli() { suite::register_remote_stimuli(); }
+
+// --- wire layer -------------------------------------------------------------
+
+TEST(Wire, WriterReaderRoundtripAndBounds) {
+    util::WireWriter w;
+    w.u8(0xAB);
+    w.u32(0xDEADBEEF);
+    w.u64(0x0123456789ABCDEFULL);
+    w.f64(3.25);
+    w.varint(300);
+    w.str("hello wire");
+    const std::vector<uint64_t> words = {1, 2, 0xFFFFFFFFFFFFFFFFULL};
+    w.words(words);
+
+    util::WireReader r(w.bytes());
+    EXPECT_EQ(r.u8(), 0xAB);
+    EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+    EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+    EXPECT_EQ(r.varint(), 300u);
+    EXPECT_EQ(r.str(), "hello wire");
+    EXPECT_EQ(r.words(), words);
+    EXPECT_NO_THROW(r.expect_end());
+    EXPECT_THROW((void)r.u8(), util::WireError);   // over-read
+}
+
+TEST(Wire, FrameRoundtripOverSocketPair) {
+    util::SocketPair pair = util::socket_pair();
+    util::WireConn a(std::move(pair.a));
+    util::WireConn b(std::move(pair.b));
+
+    const std::vector<uint8_t> payload = {1, 2, 3, 250, 251, 252};
+    a.send_frame(payload);
+    std::vector<uint8_t> got;
+    ASSERT_TRUE(b.recv_frame(got, 1000));
+    EXPECT_EQ(got, payload);
+
+    a.close();   // clean EOF at a frame boundary
+    EXPECT_FALSE(b.recv_frame(got, 1000));
+}
+
+TEST(Wire, CorruptCrcIsRefused) {
+    util::SocketPair pair = util::socket_pair();
+    util::WireConn reader(std::move(pair.a));
+
+    // Hand-build a frame with a wrong CRC trailer: varint(3) | 3 bytes |
+    // 4 garbage CRC bytes.
+    const uint8_t raw[] = {3, 0x10, 0x20, 0x30, 0xAA, 0xBB, 0xCC, 0xDD};
+    ASSERT_EQ(send(pair.b.get(), raw, sizeof(raw), 0),
+              static_cast<ssize_t>(sizeof(raw)));
+    std::vector<uint8_t> got;
+    EXPECT_THROW((void)reader.recv_frame(got, 1000), util::WireError);
+}
+
+TEST(Wire, OversizedFrameLengthIsRefusedBeforeAllocation) {
+    util::SocketPair pair = util::socket_pair();
+    util::WireConn reader(std::move(pair.a));
+
+    // varint(2^62): far beyond kMaxFrameBytes.
+    const uint8_t raw[] = {0x80, 0x80, 0x80, 0x80, 0x80,
+                           0x80, 0x80, 0x80, 0x40};
+    ASSERT_EQ(send(pair.b.get(), raw, sizeof(raw), 0),
+              static_cast<ssize_t>(sizeof(raw)));
+    std::vector<uint8_t> got;
+    EXPECT_THROW((void)reader.recv_frame(got, 1000), util::WireError);
+}
+
+TEST(Wire, ReceiveDeadlineFires) {
+    util::SocketPair pair = util::socket_pair();
+    util::WireConn reader(std::move(pair.a));
+    std::vector<uint8_t> got;
+    EXPECT_THROW((void)reader.recv_frame(got, 30), util::WireError);
+}
+
+TEST(Wire, MidFrameEofIsAnErrorNotACleanClose) {
+    util::SocketPair pair = util::socket_pair();
+    util::WireConn reader(std::move(pair.a));
+    const uint8_t raw[] = {200, 0x01};   // promises 200 bytes, delivers 1
+    ASSERT_EQ(send(pair.b.get(), raw, sizeof(raw), 0),
+              static_cast<ssize_t>(sizeof(raw)));
+    pair.b.reset();
+    std::vector<uint8_t> got;
+    EXPECT_THROW((void)reader.recv_frame(got, 1000), util::WireError);
+}
+
+// --- protocol handshake -----------------------------------------------------
+
+TEST(RemoteProtocol, VersionSkewIsRefusedAtHello) {
+    util::SocketPair pair = util::socket_pair();
+    core::WorkerDesignCache cache;
+    std::thread server([fd = std::move(pair.a), &cache]() mutable {
+        util::WireConn conn(std::move(fd));
+        EXPECT_EQ(core::serve_connection(conn, cache), 0u);
+    });
+
+    util::WireConn client(std::move(pair.b));
+    util::WireWriter hello;
+    hello.u8(static_cast<uint8_t>(core::MsgType::Hello));
+    hello.u32(core::kWireSchemaVersion + 7);
+    client.send_frame(hello.bytes());
+
+    std::vector<uint8_t> reply;
+    ASSERT_TRUE(client.recv_frame(reply, 2000));
+    util::WireReader r(reply);
+    EXPECT_EQ(static_cast<core::MsgType>(r.u8()), core::MsgType::Error);
+    EXPECT_NE(r.str().find("version"), std::string::npos);
+    client.close();
+    server.join();
+}
+
+TEST(RemoteProtocol, DesignStructuralHashMismatchRefusesWorker) {
+    register_suite_stimuli();
+    const suite::Benchmark& alu = suite::find_benchmark("alu");
+    const suite::Benchmark& apb = suite::find_benchmark("apb");
+    auto design = suite::load_design(alu);
+    const auto faults = ci_faults(*design);
+
+    TestWorker worker;
+    core::CampaignResult local;
+    {
+        core::Session session(*design, {.num_threads = 2});
+        local = session
+                    .submit(faults, suite::remote_stimulus(alu,
+                                                           alu.test_cycles))
+                    .wait();
+    }
+
+    // The Session simulates the ALU but ships the APB source: the worker
+    // compiles it fine, the structural hashes disagree, the link must be
+    // refused — and the campaign must complete locally regardless.
+    core::SessionOptions sopts;
+    sopts.num_threads = 2;
+    sopts.scheduler.remote.workers = {worker.port()};
+    sopts.scheduler.remote.design = suite::design_spec(apb);
+    core::Session session(*design, sopts);
+    const auto result =
+        session.submit(faults, suite::remote_stimulus(alu, alu.test_cycles))
+            .wait();
+    EXPECT_EQ(result.detected, local.detected);
+    // The handshake runs on the dispatcher thread, concurrently with the
+    // (local) campaign — poll for the refusal rather than racing it.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (session.scheduler().stats().remote.workers_lost == 0) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "design-hash mismatch never refused the worker";
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const auto remote = session.scheduler().stats().remote;
+    EXPECT_EQ(remote.workers_connected, 0u);
+    EXPECT_EQ(remote.workers_lost, 1u);
+    EXPECT_EQ(remote.units_completed, 0u);
+}
+
+TEST(RemoteProtocol, UnregisteredStimulusKindThrowsAtSubmit) {
+    const suite::Benchmark& b = suite::find_benchmark("alu");
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    core::Session session(*design, {.num_threads = 1});
+    core::StimulusSpec bogus{"no-such-kind", {}};
+    EXPECT_THROW((void)session.submit(faults, bogus), SimError);
+}
+
+// --- distributed determinism ------------------------------------------------
+
+// The acceptance criterion: a campaign spread over two worker processes
+// (every unit shipped, local pool pinned) is bit-identical to the
+// single-process engine, across Word/Off batching and every
+// RedundancyMode, on three suite circuits.
+TEST(RemoteCampaign, DistributedMatchesLocalAcrossModesAndBatching) {
+    register_suite_stimuli();
+    for (const char* name : {"alu", "apb", "sha256_hv"}) {
+        const suite::Benchmark& b = suite::find_benchmark(name);
+        auto design = suite::load_design(b);
+        const auto faults = ci_faults(*design);
+        ASSERT_FALSE(faults.empty()) << name;
+        auto compiled = core::CompiledDesign::build(*design);
+        const core::StimulusSpec stim =
+            suite::remote_stimulus(b, b.test_cycles);
+
+        // Local reference (blocking path, one engine).
+        core::Session ref_session(compiled, {.num_threads = 1});
+        auto ref_stim = suite::make_stimulus(b, b.test_cycles);
+        const auto ref = ref_session.run(faults, *ref_stim, {});
+
+        TestWorker w1, w2;
+        for (const auto batching :
+             {FaultBatching::Word, FaultBatching::Off}) {
+            for (const auto mode :
+                 {RedundancyMode::None, RedundancyMode::Explicit,
+                  RedundancyMode::Full}) {
+                core::SessionOptions sopts;
+                sopts.num_threads = 1;
+                sopts.scheduler.remote.workers = {w1.port(), w2.port()};
+                sopts.scheduler.remote.design = suite::design_spec(b);
+                // With the pool pinned, the placement gate must never
+                // refuse a unit (nothing else could run it): keep the cost
+                // model unlearned so predicted wall stays 0.
+                sopts.scheduler.learn_costs = false;
+                core::Session session(compiled, sopts);
+
+                // Pin the pool thread so every unit must go remote.
+                std::atomic<bool> release{false};
+                auto gate_factory = [&]() -> std::unique_ptr<sim::Stimulus> {
+                    return std::make_unique<GateStimulus>(
+                        suite::make_stimulus(b, b.test_cycles), release);
+                };
+                CampaignOptions gate_opts;
+                gate_opts.num_shards = 1;
+                auto gate = session.submit(faults, gate_factory, gate_opts);
+
+                CampaignOptions opts;
+                opts.engine.batching = batching;
+                opts.engine.mode = mode;
+                opts.num_shards = 4;
+                const auto result = session.submit(faults, stim, opts).wait();
+                release.store(true, std::memory_order_release);
+                (void)gate.wait();
+
+                EXPECT_EQ(result.detected, ref.detected)
+                    << name << " batching=" << static_cast<int>(batching)
+                    << " mode=" << static_cast<int>(mode);
+                EXPECT_EQ(result.num_detected, ref.num_detected);
+                EXPECT_FALSE(result.canceled);
+
+                const auto remote = session.scheduler().stats().remote;
+                EXPECT_EQ(remote.units_completed, 4u)
+                    << "pinned pool: every unit must have run remotely";
+                EXPECT_EQ(remote.units_redispatched, 0u);
+                // Provenance: remote shards are marked, with the shipping
+                // overhead recorded.
+                uint32_t remote_shards = 0;
+                for (const auto& sb : result.stats.shards) {
+                    if (sb.remote) {
+                        ++remote_shards;
+                        EXPECT_GE(sb.rtt_seconds, 0.0);
+                    }
+                }
+                EXPECT_EQ(remote_shards, 4u);
+            }
+        }
+    }
+}
+
+// --- failure injection ------------------------------------------------------
+
+namespace {
+
+/// Shared body of the failure-injection tests: one faulty worker, pinned
+/// local pool, poll the fleet counters until the failure re-dispatched a
+/// unit, then release the pool and require bit-identical verdicts.
+void run_failure_injection(const core::WorkerHooks& hooks,
+                           int unit_timeout_ms = 0) {
+    register_suite_stimuli();
+    const suite::Benchmark& b = suite::find_benchmark("alu");
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    auto compiled = core::CompiledDesign::build(*design);
+    const core::StimulusSpec stim = suite::remote_stimulus(b, b.test_cycles);
+
+    core::Session ref_session(compiled, {.num_threads = 1});
+    auto ref_stim = suite::make_stimulus(b, b.test_cycles);
+    const auto ref = ref_session.run(faults, *ref_stim, {});
+
+    TestWorker worker(hooks);
+    core::SessionOptions sopts;
+    sopts.num_threads = 1;
+    sopts.scheduler.remote.workers = {worker.port()};
+    sopts.scheduler.remote.design = suite::design_spec(b);
+    sopts.scheduler.learn_costs = false;   // see determinism test: no gate
+    if (unit_timeout_ms > 0) {
+        sopts.scheduler.remote.unit_timeout_ms = unit_timeout_ms;
+    }
+    core::Session session(compiled, sopts);
+
+    std::atomic<bool> release{false};
+    auto gate_factory = [&]() -> std::unique_ptr<sim::Stimulus> {
+        return std::make_unique<GateStimulus>(
+            suite::make_stimulus(b, b.test_cycles), release);
+    };
+    CampaignOptions gate_opts;
+    gate_opts.num_shards = 1;
+    auto gate = session.submit(faults, gate_factory, gate_opts);
+
+    CampaignOptions opts;
+    opts.num_shards = 3;
+    auto handle = session.submit(faults, stim, opts);
+
+    // The pinned pool makes the faulty worker the only executor: it MUST
+    // hit its injected failure. Wait for the re-dispatch before releasing
+    // the pool thread to mop up the requeued units.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (session.scheduler().stats().remote.units_redispatched == 0) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "worker failure never re-dispatched a unit";
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    release.store(true, std::memory_order_release);
+    const auto result = handle.wait();
+    (void)gate.wait();
+
+    EXPECT_EQ(result.detected, ref.detected)
+        << "re-dispatched units changed verdicts";
+    EXPECT_EQ(result.num_detected, ref.num_detected);
+    EXPECT_FALSE(result.canceled);
+    const auto remote = session.scheduler().stats().remote;
+    EXPECT_GE(remote.units_redispatched, 1u);
+    EXPECT_EQ(remote.workers_lost, 1u);
+    EXPECT_EQ(remote.workers_connected, 0u);   // abandoned permanently
+}
+
+}  // namespace
+
+TEST(RemoteFailure, WorkerDeathMidCampaignRedispatchesBitIdentical) {
+    core::WorkerHooks hooks;
+    hooks.die_before_result_unit = 2;   // die with units in flight
+    run_failure_injection(hooks);
+}
+
+TEST(RemoteFailure, GarbageResultFrameRedispatchesBitIdentical) {
+    core::WorkerHooks hooks;
+    hooks.garbage_result_unit = 1;
+    run_failure_injection(hooks);
+}
+
+TEST(RemoteFailure, DuplicateResultFrameIsRejectedNotDoubleMerged) {
+    core::WorkerHooks hooks;
+    hooks.duplicate_result_unit = 1;   // poisons the NEXT unit's reply
+    run_failure_injection(hooks);
+}
+
+TEST(RemoteFailure, StalledWorkerHitsDeadlineAndRedispatches) {
+    core::WorkerHooks hooks;
+    hooks.stall_before_result_unit = 1;
+    hooks.stall_ms = 2000;
+    run_failure_injection(hooks, /*unit_timeout_ms=*/100);
+}
+
+}  // namespace
+}  // namespace eraser

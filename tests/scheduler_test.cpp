@@ -210,7 +210,8 @@ TEST(SchedulerPriority, HighClassOvertakesLowAtShardBoundary) {
     std::mutex order_mu;
     std::vector<char> order;   // 'L' / 'H' per completed shard
     auto tagged_observer = [&](char tag) {
-        return [&, tag](const core::ShardEvent&) {
+        return [&, tag](const core::ShardEvent& e) {
+            if (e.terminal) return;
             std::lock_guard<std::mutex> lock(order_mu);
             order.push_back(tag);
         };
@@ -270,7 +271,8 @@ TEST(SchedulerPriority, FifoWithinClassWhenFairShareOff) {
     std::mutex order_mu;
     std::vector<char> order;
     auto tagged_observer = [&](char tag) {
-        return [&, tag](const core::ShardEvent&) {
+        return [&, tag](const core::ShardEvent& e) {
+            if (e.terminal) return;
             std::lock_guard<std::mutex> lock(order_mu);
             order.push_back(tag);
         };
@@ -595,6 +597,241 @@ TEST(SchedulerBreakdown, QueueSecondsReflectSchedulerWait) {
         EXPECT_GE(sb.queue_seconds, 0.025)
             << "shard started before the gate released";
     }
+}
+
+// --- terminal events and cancellation edges ---------------------------------
+
+// Every campaign's observer sequence ends with exactly one terminal event,
+// after every shard event, with the sentinel shard index and empty spans.
+TEST(SchedulerTerminal, TerminalEventIsLastAndExactlyOnce) {
+    const suite::Benchmark& b = suite::registry().front();
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    auto factory = [&] { return suite::make_stimulus(b, b.test_cycles); };
+
+    core::Session session(*design, {.num_threads = 4});
+    CampaignOptions opts;
+    opts.num_shards = 3;
+    std::atomic<int> shard_events{0};
+    std::atomic<int> terminal_events{0};
+    auto handle = session.submit(
+        faults, factory, opts, [&](const core::ShardEvent& e) {
+            if (e.terminal) {
+                EXPECT_EQ(e.shard, core::ShardEvent::kTerminalShard);
+                EXPECT_TRUE(e.global_ids.empty());
+                EXPECT_TRUE(e.detected.empty());
+                ++terminal_events;
+                return;
+            }
+            EXPECT_EQ(terminal_events.load(), 0)
+                << "shard event after the terminal event";
+            ++shard_events;
+        });
+    const auto& result = handle.wait();
+    EXPECT_FALSE(result.canceled);
+    EXPECT_EQ(shard_events.load(), 3);
+    EXPECT_EQ(terminal_events.load(), 1);
+}
+
+// An empty fault list used to leave the campaign with zero shards and zero
+// pending jobs — nothing ever finalized it and wait() hung forever. It must
+// finalize at submit: complete, empty verdicts, terminal event fired.
+TEST(SchedulerTerminal, EmptyFaultListCampaignFinishesImmediately) {
+    const suite::Benchmark& b = suite::registry().front();
+    auto design = suite::load_design(b);
+    auto factory = [&] { return suite::make_stimulus(b, b.test_cycles); };
+
+    core::Session session(*design, {.num_threads = 1});
+    std::atomic<int> terminal_events{0};
+    std::atomic<int> shard_events{0};
+    const std::vector<fault::Fault> none;
+    auto handle = session.submit(
+        none, factory, {}, [&](const core::ShardEvent& e) {
+            (e.terminal ? terminal_events : shard_events)++;
+        });
+    const auto& result = handle.wait();   // pre-fix: hangs here
+    EXPECT_FALSE(result.canceled);
+    EXPECT_EQ(result.num_faults, 0u);
+    EXPECT_EQ(result.num_detected, 0u);
+    EXPECT_TRUE(result.detected.empty());
+    EXPECT_EQ(result.num_shards, 0u);
+    EXPECT_TRUE(handle.progress().finished);
+    EXPECT_EQ(shard_events.load(), 0);
+    EXPECT_EQ(terminal_events.load(), 1);
+}
+
+// The cancel <-> admission race: a cancel landing while the campaign still
+// waits in the admission queue must withdraw it, produce a canceled result,
+// and fire the terminal event exactly once — with zero shard events and
+// without ever needing the (pinned) worker.
+TEST(SchedulerTerminal, CancelBeforeAdmissionFiresTerminalExactlyOnce) {
+    const suite::Benchmark& b = suite::registry().front();
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    auto factory = [&] { return suite::make_stimulus(b, b.test_cycles); };
+
+    core::SessionOptions sopts;
+    sopts.num_threads = 1;
+    sopts.scheduler.max_active = 1;
+    sopts.scheduler.queue_capacity = 4;
+    core::Session session(*design, sopts);
+
+    std::atomic<bool> release{false};
+    auto gate_factory = [&]() -> std::unique_ptr<sim::Stimulus> {
+        return std::make_unique<GateStimulus>(
+            suite::make_stimulus(b, b.test_cycles), release);
+    };
+    CampaignOptions opts;
+    opts.num_shards = 2;
+    auto gate = session.submit(faults, gate_factory, opts);
+
+    std::atomic<int> shard_events{0};
+    std::atomic<int> terminal_events{0};
+    auto victim = session.submit(
+        faults, factory, opts, [&](const core::ShardEvent& e) {
+            (e.terminal ? terminal_events : shard_events)++;
+        });
+    EXPECT_TRUE(victim.cancel());
+    const auto& result = victim.wait();
+    EXPECT_TRUE(result.canceled);
+    EXPECT_EQ(shard_events.load(), 0);
+    EXPECT_EQ(terminal_events.load(), 1);
+
+    release.store(true, std::memory_order_release);
+    EXPECT_FALSE(gate.wait().canceled);
+    EXPECT_EQ(terminal_events.load(), 1);
+}
+
+// Stress the same race from the other side: cancel() fired concurrently
+// with the admission that a released gate triggers. Whatever interleaving
+// wins, the invariants hold — terminal exactly once, and the result is
+// flagged canceled iff not every shard event was delivered.
+TEST(SchedulerTerminal, CancelAdmissionRaceKeepsTerminalInvariants) {
+    const suite::Benchmark& b = suite::registry().front();
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    auto factory = [&] { return suite::make_stimulus(b, b.test_cycles); };
+
+    core::SessionOptions sopts;
+    sopts.num_threads = 2;
+    sopts.scheduler.max_active = 1;
+    sopts.scheduler.queue_capacity = 4;
+    core::Session session(*design, sopts);
+    CampaignOptions opts;
+    opts.num_shards = 2;
+
+    for (int iter = 0; iter < 40; ++iter) {
+        std::atomic<bool> release{false};
+        auto gate_factory = [&]() -> std::unique_ptr<sim::Stimulus> {
+            return std::make_unique<GateStimulus>(
+                suite::make_stimulus(b, b.test_cycles), release);
+        };
+        CampaignOptions gate_opts;
+        gate_opts.num_shards = 1;
+        auto gate = session.submit(faults, gate_factory, gate_opts);
+
+        std::atomic<int> shard_events{0};
+        std::atomic<int> terminal_events{0};
+        auto victim = session.submit(
+            faults, factory, opts, [&](const core::ShardEvent& e) {
+                (e.terminal ? terminal_events : shard_events)++;
+            });
+
+        std::thread releaser(
+            [&] { release.store(true, std::memory_order_release); });
+        (void)victim.cancel();
+        releaser.join();
+
+        (void)gate.wait();
+        const auto& result = victim.wait();
+        EXPECT_EQ(terminal_events.load(), 1) << "iteration " << iter;
+        EXPECT_EQ(result.canceled, shard_events.load() != 2)
+            << "iteration " << iter << ": " << shard_events.load()
+            << " shard events";
+        if (!result.canceled) {
+            const auto& full =
+                session.submit(faults, factory, opts).wait();
+            EXPECT_EQ(result.detected, full.detected) << "iteration " << iter;
+        }
+    }
+}
+
+// The CostModel must never learn from a canceled shard: a partial
+// engine run's wall time covers an unknown fraction of the work, so
+// feeding it into the EWMA would poison every subsequent partition.
+// Campaign-level regression for the scheduler's `completed` gate (the
+// unit-level guard lives in CostModel.EwmaMoves...).
+TEST(CostModel, CanceledShardsAreNeverLearnedByTheScheduler) {
+    const suite::Benchmark& b = suite::registry().front();
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+
+    core::Session session(*design, {.num_threads = 1});
+
+    // Gate that also reports when the engine has actually entered the
+    // stimulus: the cancel below provably lands on a *running* engine, and
+    // the partial run still accumulates real wall time behind the gate.
+    std::atomic<bool> started{false};
+    std::atomic<bool> release{false};
+    class StartedGate final : public sim::Stimulus {
+      public:
+        StartedGate(std::unique_ptr<sim::Stimulus> inner,
+                    std::atomic<bool>& started, std::atomic<bool>& release)
+            : inner_(std::move(inner)),
+              started_(&started),
+              release_(&release) {}
+        void bind(const rtl::Design& design) override {
+            inner_->bind(design);
+        }
+        [[nodiscard]] std::string clock_name() const override {
+            return inner_->clock_name();
+        }
+        [[nodiscard]] uint32_t num_cycles() const override {
+            return inner_->num_cycles();
+        }
+        void initialize(sim::DriveHandle& h) override {
+            started_->store(true, std::memory_order_release);
+            while (!release_->load(std::memory_order_acquire)) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+            inner_->initialize(h);
+        }
+        void apply(uint32_t cycle, sim::DriveHandle& h) override {
+            inner_->apply(cycle, h);
+        }
+
+      private:
+        std::unique_ptr<sim::Stimulus> inner_;
+        std::atomic<bool>* started_;
+        std::atomic<bool>* release_;
+    };
+    auto factory = [&]() -> std::unique_ptr<sim::Stimulus> {
+        return std::make_unique<StartedGate>(
+            suite::make_stimulus(b, b.test_cycles), started, release);
+    };
+    CampaignOptions opts;
+    opts.num_shards = 1;
+    auto handle = session.submit(faults, factory, opts);
+    while (!started.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(handle.cancel());
+    release.store(true, std::memory_order_release);
+    const auto& result = handle.wait();
+    EXPECT_TRUE(result.canceled);
+    EXPECT_EQ(session.scheduler().cost_model().observations(), 0u)
+        << "a canceled shard's partial wall time leaked into the EWMA";
+
+    // Positive control: the same campaign left alone is learned from.
+    auto plain = [&] { return suite::make_stimulus(b, b.test_cycles); };
+    EXPECT_FALSE(session.submit(faults, plain, opts).wait().canceled);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (session.scheduler().cost_model().observations() == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+    }
+    EXPECT_GT(session.scheduler().cost_model().observations(), 0u);
 }
 
 }  // namespace

@@ -228,7 +228,15 @@ TEST(SessionObserver, StreamsEveryShardExactlyOnce) {
     std::vector<bool> reassembled(faults.size(), false);
     std::vector<uint32_t> seen_shards;
     uint64_t streamed_detected = 0;
+    int terminal_events = 0;
     auto observer = [&](const core::ShardEvent& e) {
+        if (e.terminal) {
+            ++terminal_events;
+            EXPECT_EQ(e.shard, core::ShardEvent::kTerminalShard);
+            EXPECT_TRUE(e.global_ids.empty());
+            EXPECT_TRUE(e.detected.empty());
+            return;
+        }
         seen_shards.push_back(e.shard);
         ASSERT_EQ(e.global_ids.size(), e.detected.size());
         for (size_t i = 0; i < e.global_ids.size(); ++i) {
@@ -239,6 +247,7 @@ TEST(SessionObserver, StreamsEveryShardExactlyOnce) {
     const auto result =
         session.submit(faults, factory, opts, observer).wait();
 
+    EXPECT_EQ(terminal_events, 1);
     EXPECT_EQ(seen_shards.size(), result.num_shards);
     std::vector<uint32_t> sorted = seen_shards;
     std::sort(sorted.begin(), sorted.end());
@@ -341,6 +350,7 @@ TEST(SessionScheduler, ProgressMonotoneAndObserverExactlyOnceUnderLoad) {
                 opts.max_workers = 1 + static_cast<uint32_t>(s % 3);
                 auto handle = session.submit(
                     faults, factory, opts, [raw](const core::ShardEvent& e) {
+                        if (e.terminal) return;
                         raw->shard_events[e.shard].fetch_add(1);
                     });
                 raw->handle = handle;

@@ -1,0 +1,71 @@
+// eraser_worker: out-of-process campaign executor of the distributed
+// fabric (eraser/remote.h).
+//
+//   eraser_worker [--port N]
+//
+// Listens on 127.0.0.1:N (N=0 picks an ephemeral port), prints
+// "LISTENING <port>" on stdout once bound (launchers parse this line —
+// bench/bench_distributed.cpp and the CI smoke job both do), then serves
+// connections forever: one thread per connection, all sharing one
+// compile-once design cache. The process has no graceful shutdown beyond
+// SIGTERM/SIGKILL — clients say goodbye per connection (Shutdown frame or
+// clean EOF), and a killed worker is exactly the failure mode the
+// scheduler's re-dispatch path is built for.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "eraser/remote.h"
+#include "suite/suite.h"
+#include "util/wire.h"
+
+int main(int argc, char** argv) {
+    uint16_t port = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+            port = static_cast<uint16_t>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: %s [--port N]\n", argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+            return 2;
+        }
+    }
+
+    // Clients may ship suite stimuli ("suite"/"random" kinds); custom kinds
+    // would need a custom worker binary linking their builders.
+    eraser::suite::register_remote_stimuli();
+
+    eraser::util::UniqueFd listener;
+    try {
+        listener = eraser::util::listen_loopback(port);
+    } catch (const eraser::util::WireError& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    std::printf("LISTENING %u\n", static_cast<unsigned>(port));
+    std::fflush(stdout);
+
+    eraser::core::WorkerDesignCache cache;
+    for (;;) {
+        eraser::util::UniqueFd fd;
+        try {
+            fd = eraser::util::accept_connection(listener.get());
+        } catch (const eraser::util::WireError& e) {
+            std::fprintf(stderr, "accept: %s\n", e.what());
+            continue;
+        }
+        std::thread([fd = std::move(fd), &cache]() mutable {
+            eraser::util::WireConn conn(std::move(fd));
+            try {
+                (void)eraser::core::serve_connection(conn, cache);
+            } catch (const std::exception& e) {
+                // A vanished client only costs this connection.
+                std::fprintf(stderr, "connection: %s\n", e.what());
+            }
+        }).detach();
+    }
+}
