@@ -1,11 +1,13 @@
 // Distributed campaign fabric bench + smoke: launches real eraser_worker
-// processes on loopback sockets and runs the same campaign three ways on
-// each quick-suite circuit —
+// processes (under a WorkerSupervisor) on loopback sockets and runs the
+// same campaign three ways on each quick-suite circuit —
 //
 //   local             single-process Session (the reference verdicts)
 //   distributed       2 worker processes + the local pool
-//   distributed_kill  same, but one worker is SIGKILLed mid-campaign, so
-//                     its claimed unit must re-dispatch
+//   distributed_kill  same, but one worker is SIGKILLed mid-campaign: its
+//                     claimed unit re-dispatches, the supervisor respawns
+//                     the process on the same port, and the scheduler's
+//                     link lifecycle reconnects to it
 //
 // Detection bitmaps must be bit-identical across all three (the fabric's
 // core contract: deterministic units make placement and retries
@@ -17,26 +19,18 @@
 //
 // The worker binary is found next to this one (../tools/eraser_worker) or
 // via the ERASER_WORKER_BIN environment variable.
-#include <sys/types.h>
-#include <sys/wait.h>
-
 #include <csignal>
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <string>
-#include <unistd.h>
 #include <vector>
 
 #include "bench_util.h"
+#include "eraser/supervisor.h"
 
 using namespace eraser;
 
 namespace {
-
-struct Worker {
-    pid_t pid = -1;
-    uint16_t port = 0;
-};
 
 std::string worker_binary(const char* argv0) {
     if (const char* env = std::getenv("ERASER_WORKER_BIN")) return env;
@@ -46,52 +40,6 @@ std::string worker_binary(const char* argv0) {
                                 ? std::string(".")
                                 : path.substr(0, slash);
     return dir + "/../tools/eraser_worker";
-}
-
-/// fork/exec one worker on an ephemeral port; parses "LISTENING <port>"
-/// from its stdout so there is no bind race.
-Worker spawn_worker(const std::string& bin) {
-    int fds[2];
-    if (pipe(fds) != 0) {
-        std::perror("pipe");
-        return {};
-    }
-    const pid_t pid = fork();
-    if (pid < 0) {
-        std::perror("fork");
-        return {};
-    }
-    if (pid == 0) {
-        dup2(fds[1], STDOUT_FILENO);
-        close(fds[0]);
-        close(fds[1]);
-        execl(bin.c_str(), bin.c_str(), "--port", "0",
-              static_cast<char*>(nullptr));
-        std::perror("execl eraser_worker");
-        _exit(127);
-    }
-    close(fds[1]);
-    std::string line;
-    char c;
-    while (read(fds[0], &c, 1) == 1 && c != '\n') line.push_back(c);
-    close(fds[0]);
-    Worker w;
-    w.pid = pid;
-    if (std::sscanf(line.c_str(), "LISTENING %hu", &w.port) != 1) {
-        std::fprintf(stderr, "worker did not report a port: '%s'\n",
-                     line.c_str());
-        kill(pid, SIGKILL);
-        waitpid(pid, nullptr, 0);
-        w.pid = -1;
-    }
-    return w;
-}
-
-void stop_worker(Worker& w) {
-    if (w.pid <= 0) return;
-    kill(w.pid, SIGKILL);
-    waitpid(w.pid, nullptr, 0);
-    w.pid = -1;
 }
 
 }  // namespace
@@ -105,8 +53,9 @@ int main(int argc, char** argv) {
     const std::string bin = worker_binary(argv[0]);
     const std::vector<std::string> circuits = {"alu", "apb", "sha256_hv"};
 
-    std::printf("%-12s %-17s %10s %8s %8s %8s %8s\n", "Benchmark",
-                "Scenario", "Time(s)", "Units", "Redisp", "Lost", "Ratio");
+    std::printf("%-12s %-17s %10s %8s %8s %8s %8s %8s\n", "Benchmark",
+                "Scenario", "Time(s)", "Units", "Redisp", "Reconn", "Quar",
+                "Ratio");
     bench::JsonRows json;
 
     for (const std::string& name : circuits) {
@@ -132,9 +81,9 @@ int main(int argc, char** argv) {
             core::Session session(compiled, sopts);
             local = session.submit(faults, stim, copts).wait();
         }
-        std::printf("%-12s %-17s %10.3f %8s %8s %8s %8s\n",
+        std::printf("%-12s %-17s %10.3f %8s %8s %8s %8s %8s\n",
                     b.display.c_str(), "local", local.seconds, "-", "-",
-                    "-", "-");
+                    "-", "-", "-");
         json.add("{" +
                  bench::perf_row_prefix(
                      b.name.c_str(), "local", local.num_threads,
@@ -142,36 +91,41 @@ int main(int argc, char** argv) {
                      compile_s) +
                  bench::format(R"(, "faults": %zu, "units_remote": 0, )"
                                R"("units_redispatched": 0, )"
-                               R"("workers_lost": 0, "remote_ratio": 1.0})",
+                               R"("handshake_failures": 0, )"
+                               R"("links_lost": 0, "reconnects": 0, )"
+                               R"("quarantines": 0, "remote_ratio": 1.0})",
                                faults.size()));
 
-        // Scenarios 2 and 3: a 2-worker fleet, then the same with one
-        // worker SIGKILLed after the first completed shard.
+        // Scenarios 2 and 3: a supervised 2-worker fleet, then the same
+        // with one worker SIGKILLed after the first completed shard (the
+        // supervisor respawns it; the scheduler reconnects).
         for (const bool kill_one : {false, true}) {
-            Worker wa = spawn_worker(bin);
-            Worker wb = spawn_worker(bin);
-            if (wa.pid <= 0 || wb.pid <= 0) {
-                std::fprintf(stderr, "failed to launch workers (%s)\n",
-                             bin.c_str());
-                stop_worker(wa);
-                stop_worker(wb);
+            core::SupervisorOptions supo;
+            supo.binary = bin;
+            supo.workers = 2;
+            core::WorkerSupervisor sup(supo);
+            try {
+                sup.start();
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "failed to launch workers (%s): %s\n",
+                             bin.c_str(), e.what());
                 return 1;
             }
 
             core::SessionOptions sopts;
             sopts.num_threads = 1;   // push most units onto the fleet
-            sopts.scheduler.remote.workers = {wa.port, wb.port};
+            sopts.scheduler.remote.workers = sup.ports();
             sopts.scheduler.remote.design = spec;
             core::CampaignResult dist;
             core::RemoteFleetStats fleet;
             {
                 core::Session session(compiled, sopts);
-                pid_t victim = kill_one ? wa.pid : -1;
+                bool killed = false;
                 core::ShardObserver observer =
-                    [&victim](const core::ShardEvent& e) {
-                        if (victim > 0 && !e.terminal) {
-                            kill(victim, SIGKILL);
-                            victim = -1;
+                    [&killed, &sup](const core::ShardEvent& e) {
+                        if (!killed && !e.terminal) {
+                            sup.kill_worker(0);
+                            killed = true;
                         }
                     };
                 dist = session
@@ -181,8 +135,7 @@ int main(int argc, char** argv) {
                            .wait();
                 fleet = session.scheduler().stats().remote;
             }
-            stop_worker(wa);
-            stop_worker(wb);
+            sup.stop();
 
             if (dist.detected != local.detected) {
                 std::fprintf(stderr,
@@ -197,13 +150,13 @@ int main(int argc, char** argv) {
                 kill_one ? "distributed_kill" : "distributed";
             const double ratio =
                 local.seconds > 0 ? dist.seconds / local.seconds : 1.0;
-            std::printf("%-12s %-17s %10.3f %8llu %8llu %8u %8.2f\n",
+            std::printf("%-12s %-17s %10.3f %8llu %8llu %8u %8u %8.2f\n",
                         b.display.c_str(), scenario, dist.seconds,
                         static_cast<unsigned long long>(
                             fleet.units_completed),
                         static_cast<unsigned long long>(
                             fleet.units_redispatched),
-                        fleet.workers_lost, ratio);
+                        fleet.reconnects, fleet.quarantines, ratio);
             json.add(
                 "{" +
                 bench::perf_row_prefix(
@@ -212,13 +165,16 @@ int main(int argc, char** argv) {
                     compile_s) +
                 bench::format(R"(, "faults": %zu, "units_remote": %llu, )"
                               R"("units_redispatched": %llu, )"
-                              R"("workers_lost": %u, "remote_ratio": %.3f})",
+                              R"("handshake_failures": %u, )"
+                              R"("links_lost": %u, "reconnects": %u, )"
+                              R"("quarantines": %u, "remote_ratio": %.3f})",
                               faults.size(),
                               static_cast<unsigned long long>(
                                   fleet.units_completed),
                               static_cast<unsigned long long>(
                                   fleet.units_redispatched),
-                              fleet.workers_lost, ratio));
+                              fleet.handshake_failures, fleet.links_lost,
+                              fleet.reconnects, fleet.quarantines, ratio));
         }
     }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <thread>
 #include <utility>
 
@@ -9,6 +10,7 @@
 #include "eraser/scheduler.h"
 #include "frontend/compile.h"
 #include "util/diagnostics.h"
+#include "util/prng.h"
 #include "util/timer.h"
 
 namespace eraser::core {
@@ -17,6 +19,17 @@ using util::WireConn;
 using util::WireError;
 using util::WireReader;
 using util::WireWriter;
+
+const char* to_string(LinkState s) {
+    switch (s) {
+        case LinkState::Connecting: return "connecting";
+        case LinkState::Healthy: return "healthy";
+        case LinkState::Suspect: return "suspect";
+        case LinkState::Down: return "down";
+        case LinkState::Probing: return "probing";
+    }
+    return "?";
+}
 
 // --- stimulus registry -------------------------------------------------------
 
@@ -189,6 +202,60 @@ void send_error(WireConn& conn, const std::string& message) {
     send_msg(conn, w);
 }
 
+/// Worker-side liveness pinger: sends Heartbeat{request_id} every
+/// `interval_ms` until stopped. Started AFTER any stall hook fires (a
+/// wedged worker must be silent, that is the point) and stopped + joined
+/// BEFORE the result or error frame goes out, so the pump is the only
+/// sender while it runs and every heartbeat for request N precedes
+/// result N on the wire.
+class HeartbeatPump {
+  public:
+    HeartbeatPump(WireConn& conn, uint64_t request_id, uint32_t interval_ms) {
+        if (interval_ms == 0) return;
+        thread_ = std::thread([this, &conn, request_id, interval_ms] {
+            std::unique_lock<std::mutex> lock(mu_);
+            for (;;) {
+                if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                                 [this] { return stop_; })) {
+                    return;
+                }
+                WireWriter w;
+                w.u8(static_cast<uint8_t>(MsgType::Heartbeat));
+                w.u64(request_id);
+                try {
+                    conn.send_frame(w.bytes());
+                } catch (const WireError&) {
+                    return;   // peer gone; the serve loop will see it too
+                }
+            }
+        });
+    }
+
+    ~HeartbeatPump() { stop(); }
+
+    void stop() {
+        if (!thread_.joinable()) return;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+  private:
+    std::thread thread_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/// One chaos die: true with probability pct/100. Always consumes exactly
+/// one draw so the Prng stream stays aligned across runs.
+bool chaos_roll(Prng& rng, uint32_t pct) {
+    return rng.below(100) < pct;
+}
+
 }  // namespace
 
 // --- WorkerDesignCache -------------------------------------------------------
@@ -223,6 +290,7 @@ uint64_t serve_connection(WireConn& conn, WorkerDesignCache& cache,
     std::vector<uint8_t> buf;
 
     // Versioned hello: refuse skew before trusting any field offset.
+    uint32_t heartbeat_interval_ms = 0;
     if (!conn.recv_frame(buf)) return 0;
     {
         WireReader r(buf);
@@ -231,19 +299,22 @@ uint64_t serve_connection(WireConn& conn, WorkerDesignCache& cache,
             return 0;
         }
         const uint32_t version = r.u32();
-        r.expect_end();
         if (version != kWireSchemaVersion) {
             send_error(conn, "wire schema version mismatch: worker speaks " +
                                  std::to_string(kWireSchemaVersion) +
                                  ", client sent " + std::to_string(version));
             return 0;
         }
+        heartbeat_interval_ms = r.u32();
+        r.expect_end();
         WireWriter w;
         w.u8(static_cast<uint8_t>(MsgType::HelloAck));
         w.u32(kWireSchemaVersion);
         send_msg(conn, w);
     }
 
+    // Per-connection chaos dice: the same seed replays the same schedule.
+    Prng chaos_rng(hooks.chaos.seed);
     uint64_t units = 0;
     for (;;) {
         if (!conn.recv_frame(buf)) return units;   // clean goodbye
@@ -285,9 +356,32 @@ uint64_t serve_connection(WireConn& conn, WorkerDesignCache& cache,
                     conn.close();   // simulated SIGKILL mid-campaign
                     return units;
                 }
+                // All five chaos dice roll on every unit, in field order,
+                // so the schedule for a seed never depends on which faults
+                // fired earlier.
+                bool c_kill = false, c_stall = false, c_corrupt = false;
+                bool c_drop = false, c_delay = false;
+                if (hooks.chaos.enabled()) {
+                    c_kill = chaos_roll(chaos_rng, hooks.chaos.kill_pct);
+                    c_stall = chaos_roll(chaos_rng, hooks.chaos.stall_pct);
+                    c_corrupt = chaos_roll(chaos_rng, hooks.chaos.corrupt_pct);
+                    c_drop = chaos_roll(chaos_rng, hooks.chaos.drop_pct);
+                    c_delay = chaos_roll(chaos_rng, hooks.chaos.delay_pct);
+                }
+                if (c_kill) {
+                    conn.close();   // simulated crash mid-unit
+                    return units;
+                }
+                // Stalls (ordinal and chaos) happen BEFORE the heartbeat
+                // pump starts: a wedged worker is silent, and the client's
+                // heartbeat deadline is what must catch it.
                 if (hooks.stall_before_result_unit == units) {
                     std::this_thread::sleep_for(
                         std::chrono::milliseconds(hooks.stall_ms));
+                }
+                if (c_stall) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(hooks.chaos.stall_ms));
                 }
 
                 std::shared_ptr<const CompiledDesign> compiled =
@@ -297,22 +391,45 @@ uint64_t serve_connection(WireConn& conn, WorkerDesignCache& cache,
                     break;
                 }
                 WireWriter w;
-                try {
-                    auto stim = build_stimulus(spec);
-                    detail::EngineOutcome out = detail::run_engine(
-                        *compiled, faults, *stim, engine, nullptr);
-                    w.u8(static_cast<uint8_t>(MsgType::UnitResult));
-                    w.u64(request_id);
-                    w.u8((out.ran ? 1 : 0) |
-                         (out.canceled ? 2 : 0));
-                    put_bitmap(w, out.detected);
-                    w.u32(out.num_detected);
-                    w.f64(out.breakdown.wall_seconds);
-                    w.f64(out.breakdown.behavioral_seconds);
-                    w.f64(out.breakdown.rtl_seconds);
-                    put_stats(w, out.stats);
-                } catch (const EraserError& e) {
-                    send_error(conn, std::string("unit failed: ") + e.what());
+                bool failed = false;
+                std::string failure;
+                {
+                    // Pump covers execution (and the chaos delay — a slow
+                    // but alive worker keeps beating and must NOT be
+                    // re-dispatched); joined before any frame below goes
+                    // out, so it is the sole sender while alive.
+                    HeartbeatPump pump(conn, request_id,
+                                       heartbeat_interval_ms);
+                    if (c_delay) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(hooks.chaos.delay_ms));
+                    }
+                    try {
+                        auto stim = build_stimulus(spec);
+                        detail::EngineOutcome out = detail::run_engine(
+                            *compiled, faults, *stim, engine, nullptr);
+                        w.u8(static_cast<uint8_t>(MsgType::UnitResult));
+                        w.u64(request_id);
+                        w.u8((out.ran ? 1 : 0) |
+                             (out.canceled ? 2 : 0));
+                        put_bitmap(w, out.detected);
+                        w.u32(out.num_detected);
+                        w.f64(out.breakdown.wall_seconds);
+                        w.f64(out.breakdown.behavioral_seconds);
+                        w.f64(out.breakdown.rtl_seconds);
+                        put_stats(w, out.stats);
+                    } catch (const EraserError& e) {
+                        failed = true;
+                        failure = e.what();
+                    }
+                }
+                if (failed) {
+                    send_error(conn, "unit failed: " + failure);
+                    break;
+                }
+                if (c_drop) break;   // executed, result never sent
+                if (c_corrupt) {
+                    conn.send_corrupted_frame(w.bytes());
                     break;
                 }
                 if (hooks.garbage_result_unit == units) {
@@ -338,12 +455,23 @@ uint64_t serve_connection(WireConn& conn, WorkerDesignCache& cache,
 // --- client link -------------------------------------------------------------
 
 void RemoteWorkerLink::open(uint64_t expected_hash) {
+    conn_.close();   // re-callable: drop any dead predecessor first
+    try {
+        open_impl(expected_hash);
+    } catch (...) {
+        conn_.close();
+        throw;
+    }
+}
+
+void RemoteWorkerLink::open_impl(uint64_t expected_hash) {
     conn_ = WireConn(util::connect_loopback(
         port_, std::max(1, opts_.connect_timeout_ms)));
 
     WireWriter hello;
     hello.u8(static_cast<uint8_t>(MsgType::Hello));
     hello.u32(kWireSchemaVersion);
+    hello.u32(opts_.heartbeat_interval_ms);
     send_msg(conn_, hello);
 
     std::vector<uint8_t> buf;
@@ -408,18 +536,50 @@ RemoteUnitReply RemoteWorkerLink::run_unit(
 
     Stopwatch rtt;
     send_msg(conn_, w);
+
+    // Receive loop: heartbeats from the worker re-arm a short liveness
+    // deadline, so a wedged worker surfaces in ~heartbeat_timeout_ms while
+    // the absolute unit deadline still bounds total wait.
+    using clock = std::chrono::steady_clock;
+    const auto unit_deadline = opts_.unit_timeout_ms > 0
+        ? clock::now() + std::chrono::milliseconds(opts_.unit_timeout_ms)
+        : clock::time_point::max();
+    const bool heartbeats = opts_.heartbeat_interval_ms > 0 &&
+                            opts_.heartbeat_timeout_ms > 0;
     std::vector<uint8_t> buf;
-    const int timeout =
-        opts_.unit_timeout_ms > 0 ? opts_.unit_timeout_ms : -1;
-    if (!conn_.recv_frame(buf, timeout)) {
-        throw WireError("worker closed before answering unit");
+    WireReader r{std::span<const uint8_t>{}};
+    for (;;) {
+        int wait_ms = -1;
+        if (unit_deadline != clock::time_point::max()) {
+            const auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(unit_deadline - clock::now())
+                .count();
+            if (left <= 0) throw WireError("unit deadline exceeded");
+            wait_ms = static_cast<int>(left);
+        }
+        if (heartbeats) {
+            wait_ms = wait_ms < 0
+                ? opts_.heartbeat_timeout_ms
+                : std::min(wait_ms, opts_.heartbeat_timeout_ms);
+        }
+        if (!conn_.recv_frame(buf, wait_ms)) {
+            throw WireError("worker closed before answering unit");
+        }
+        r = WireReader(buf);
+        const MsgType t = static_cast<MsgType>(r.u8());
+        if (t == MsgType::Heartbeat) {
+            if (r.u64() != request_id) {
+                throw WireError("heartbeat for a different request");
+            }
+            r.expect_end();
+            continue;   // alive — re-arm the liveness deadline
+        }
+        if (t == MsgType::Error) throw WireError("worker error: " + r.str());
+        if (t != MsgType::UnitResult) throw WireError("expected unit result");
+        break;
     }
     const double round_trip = rtt.seconds();
 
-    WireReader r(buf);
-    const MsgType t = static_cast<MsgType>(r.u8());
-    if (t == MsgType::Error) throw WireError("worker error: " + r.str());
-    if (t != MsgType::UnitResult) throw WireError("expected unit result");
     if (r.u64() != request_id) {
         // A stale or duplicated frame: the stream can no longer be trusted
         // to pair requests with results — abandon the worker.

@@ -18,7 +18,8 @@
 //
 //   client                          worker
 //   ------                          ------
-//   Hello{version}              ->
+//   Hello{version,
+//         heartbeat_interval_ms} ->
 //                               <-  HelloAck{version}       (or Error)
 //   CompileDesign{hash,top,src} ->
 //                               <-  CompileAck{hash, structural_hash,
@@ -26,10 +27,18 @@
 //   RunUnit{req_id, hash, shard,
 //           engine opts, stimulus
 //           spec, faults}       ->
+//                               <-  Heartbeat{req_id}  (every interval while
+//                               <-  Heartbeat{req_id}   the unit executes)
 //                               <-  UnitResult{req_id, verdicts, counts,
 //                                              timings, counters}
 //   ...                             (one RunUnit in flight per connection)
 //   Shutdown                    ->  (worker closes; also accepts clean EOF)
+//
+// Heartbeats (schema v2) are worker->client liveness pings during unit
+// execution: the client's receive loop re-arms its `heartbeat_timeout_ms`
+// deadline on each matching ping, so a wedged worker is detected in ~2s
+// instead of waiting out the whole `unit_timeout_ms`. A client hello with
+// heartbeat_interval_ms = 0 disables them (v1 behavior).
 //
 // Version skew is refused at the hello; design skew is caught by comparing
 // the worker's CompiledDesign::design_hash() (a structural fingerprint of
@@ -39,13 +48,17 @@
 // Workers cache compiled designs by the spec hash, so a fleet of campaigns
 // over one design compiles once per worker process, not once per unit.
 //
-// Failure semantics: every transport error (EOF, CRC mismatch, receive
-// deadline, stale request id) classifies the worker as *gone* — the client
-// abandons the connection permanently and re-dispatches the claimed unit to
-// another executor. Abandoning on the first error is what makes duplicate
-// or corrupted result frames safe: a late duplicate can never be read as a
+// Failure semantics: every transport error (EOF, CRC mismatch, receive or
+// heartbeat deadline, stale request id) classifies the *connection* as gone
+// — the client abandons it and re-dispatches the claimed unit to another
+// executor. Abandoning on the first error is what makes duplicate or
+// corrupted result frames safe: a late duplicate can never be read as a
 // second unit's result because nothing is ever read from that connection
-// again.
+// again. The *worker slot*, however, is not abandoned: the scheduler's link
+// lifecycle (LinkState below) reconnects with capped exponential backoff,
+// re-handshakes, re-warms the design cache, and keeps the learned
+// shipping-overhead EWMA — only a flapper that trips the failure-rate
+// window repeatedly is quarantined and eventually ejected.
 #pragma once
 
 #include <cstdint>
@@ -72,8 +85,9 @@ namespace eraser::core {
 class CompiledDesign;
 
 /// Bumped on any frame-layout change; a worker refuses a mismatched hello
-/// rather than guessing at field offsets.
-inline constexpr uint32_t kWireSchemaVersion = 1;
+/// rather than guessing at field offsets. v2 added the hello's
+/// heartbeat_interval_ms field and the Heartbeat frame.
+inline constexpr uint32_t kWireSchemaVersion = 2;
 
 /// First payload byte of every frame.
 enum class MsgType : uint8_t {
@@ -85,6 +99,7 @@ enum class MsgType : uint8_t {
     UnitResult = 6,
     Error = 7,
     Shutdown = 8,
+    Heartbeat = 9,   // worker -> client liveness ping during unit execution
 };
 
 /// What the client ships so a worker can build the identical design:
@@ -131,6 +146,32 @@ void register_stimulus_kind(const std::string& kind, StimulusBuilder builder);
 
 // --- worker side -------------------------------------------------------------
 
+/// Seeded probabilistic fault injection for the chaos soak: each unit rolls
+/// all five dice (in this field order, one `below(100)` draw each, so the
+/// stream stays aligned no matter which faults fire) against a per-connection
+/// Prng seeded with `seed`. A given seed therefore produces the identical
+/// fault schedule on every run — the harness is chaos you can replay.
+/// seed == 0 disables everything.
+struct ChaosHooks {
+    uint64_t seed = 0;
+    /// Close the connection instead of answering (simulated crash).
+    uint32_t kill_pct = 0;
+    /// Wedge silently for `stall_ms` BEFORE heartbeats start (the client's
+    /// heartbeat deadline must catch it).
+    uint32_t stall_pct = 0;
+    uint32_t stall_ms = 1000;
+    /// Answer with a frame whose CRC trailer is wrong (client must refuse).
+    uint32_t corrupt_pct = 0;
+    /// Execute the unit but never send the result (client times out).
+    uint32_t drop_pct = 0;
+    /// Sleep `delay_ms` WHILE heartbeats run — a slow-but-alive worker the
+    /// heartbeat path must NOT classify as dead.
+    uint32_t delay_pct = 0;
+    uint32_t delay_ms = 50;
+
+    [[nodiscard]] bool enabled() const { return seed != 0; }
+};
+
 /// Fault-injection switches for the distributed determinism suite (ordinals
 /// are 1-based unit counts on one connection; 0 = never). Production
 /// workers pass the default.
@@ -148,6 +189,8 @@ struct WorkerHooks {
     /// (exercises the client's receive deadline -> re-dispatch path).
     uint32_t stall_before_result_unit = 0;
     uint32_t stall_ms = 0;
+    /// Seeded probabilistic injection on top of the ordinal hooks above.
+    ChaosHooks chaos;
 };
 
 /// Worker-side compile-once cache, shared across the connections of one
@@ -191,7 +234,7 @@ struct RemoteOptions {
     /// worker is refused (design skew would mistranslate SignalIds).
     DesignSpec design;
     int connect_timeout_ms = 5000;
-    /// Per-unit receive deadline; exceeding it abandons the worker and
+    /// Per-unit receive deadline; exceeding it abandons the connection and
     /// re-dispatches the unit (<= 0 waits forever).
     int unit_timeout_ms = 120000;
     /// Covers the handshake's CompileAck (workers compile on first
@@ -200,6 +243,27 @@ struct RemoteOptions {
     /// Smoothing of the per-worker shipping-overhead EWMA the placement
     /// gate uses (remote cost = predicted wall + this EWMA).
     double rtt_alpha = 0.25;
+
+    // -- fleet health (link lifecycle; see LinkState) --
+    /// Interval at which a worker pings during unit execution; shipped in
+    /// the hello. 0 disables heartbeats (unit_timeout_ms alone applies).
+    uint32_t heartbeat_interval_ms = 500;
+    /// Max silence mid-unit before the worker counts as wedged and the unit
+    /// re-dispatches; only meaningful when heartbeats are enabled. Keep it
+    /// several intervals wide.
+    int heartbeat_timeout_ms = 2000;
+    /// Reconnect backoff after a link failure: capped exponential with
+    /// deterministic jitter (util::Backoff), base doubling up to max.
+    uint32_t reconnect_base_ms = 50;
+    uint32_t reconnect_max_ms = 2000;
+    /// Failure-rate window: `failure_threshold` failures (handshake or
+    /// link loss) within `failure_window_ms` quarantines the worker for
+    /// `quarantine_cooldown_ms`; `max_quarantines` quarantines ejects it
+    /// permanently (0 = never eject).
+    uint32_t failure_threshold = 3;
+    uint32_t failure_window_ms = 10000;
+    uint32_t quarantine_cooldown_ms = 1000;
+    uint32_t max_quarantines = 3;
 
     [[nodiscard]] bool enabled() const { return !workers.empty(); }
 };
@@ -216,8 +280,12 @@ struct RemoteUnitReply {
 
 /// Client endpoint of one worker connection. One request in flight at a
 /// time; not internally synchronized (each scheduler dispatcher thread owns
-/// one link). Every thrown WireError means "this worker is gone" — the
-/// owner must abandon the link (never reuse it) and re-dispatch.
+/// one link). Every thrown WireError means "this connection is gone" — the
+/// owner must stop using the current connection and re-dispatch the unit;
+/// it may then call open() again to reconnect the same link object, which
+/// keeps the learned shipping-overhead EWMA and the request-id counter
+/// (late frames from a previous incarnation can never satisfy a new
+/// request's id check).
 class RemoteWorkerLink {
   public:
     RemoteWorkerLink(const RemoteOptions& opts, uint16_t port)
@@ -226,7 +294,13 @@ class RemoteWorkerLink {
     /// Connect + hello + ship the design; `expected_hash` is the client
     /// Session's CompiledDesign::design_hash(). Throws WireError on
     /// transport failure, version skew, or structural-hash mismatch.
+    /// Re-callable after a failure: closes any previous connection first
+    /// (the worker-side design cache makes the re-handshake's compile a
+    /// lookup, not a recompile).
     void open(uint64_t expected_hash);
+
+    /// Drops the current connection without a goodbye (reconnect path).
+    void close() noexcept { conn_.close(); }
 
     /// Executes one unit remotely. `shard_index` is diagnostic (worker
     /// logs); verdicts come back parallel to `faults`. Updates the
@@ -245,6 +319,8 @@ class RemoteWorkerLink {
     [[nodiscard]] uint16_t port() const { return port_; }
 
   private:
+    void open_impl(uint64_t expected_hash);
+
     RemoteOptions opts_;
     uint16_t port_;
     util::WireConn conn_;
@@ -252,12 +328,44 @@ class RemoteWorkerLink {
     double overhead_ewma_ = 0.0;
 };
 
+/// Link lifecycle (tentpole of the self-healing fleet): where one worker
+/// slot currently is.
+enum class LinkState : uint8_t {
+    Connecting,   // first connection attempt in progress
+    Healthy,      // handshaken, serving units
+    Suspect,      // failure observed; waiting out reconnect backoff
+    Down,         // quarantined (cooldown) or permanently ejected
+    Probing,      // reconnection attempt in progress
+};
+
+[[nodiscard]] const char* to_string(LinkState s);
+
+/// Per-worker health counters (RemoteFleetStats::workers).
+struct RemoteWorkerStats {
+    uint16_t port = 0;
+    LinkState state = LinkState::Connecting;
+    bool ejected = false;
+    uint32_t handshake_failures = 0;  // connect/hello/compile failures
+    uint32_t links_lost = 0;          // established links that later died
+    uint32_t reconnects = 0;          // successful re-handshakes
+    uint32_t quarantines = 0;         // failure-rate window trips
+    uint64_t units_completed = 0;
+    double overhead_ewma_seconds = 0.0;
+};
+
 /// Fleet-level counters (SchedulerStats::remote): placement and failure
-/// diagnostics for the distributed path.
+/// diagnostics for the distributed path. The failure counters are split by
+/// phase — a handshake that never produced a usable link, an established
+/// link that died, a reconnect that healed it, a quarantine that benched
+/// the worker — because they demand different operator responses.
 struct RemoteFleetStats {
     uint32_t workers_configured = 0;
     uint32_t workers_connected = 0;   // currently usable links
-    uint32_t workers_lost = 0;        // failed handshakes + abandoned links
+    uint32_t workers_ejected = 0;     // permanently removed flappers
+    uint32_t handshake_failures = 0;  // sum over workers
+    uint32_t links_lost = 0;
+    uint32_t reconnects = 0;
+    uint32_t quarantines = 0;
     uint64_t units_dispatched = 0;    // units claimed by remote links
     uint64_t units_completed = 0;
     uint64_t units_redispatched = 0;  // worker failures -> requeued units
@@ -267,6 +375,9 @@ struct RemoteFleetStats {
     uint64_t units_skipped_cost = 0;
     /// Mean shipping-overhead EWMA across links that completed a unit.
     double overhead_ewma_seconds = 0.0;
+    /// One entry per configured worker, index-aligned with
+    /// RemoteOptions::workers.
+    std::vector<RemoteWorkerStats> workers;
 };
 
 }  // namespace eraser::core

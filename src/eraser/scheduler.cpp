@@ -386,7 +386,7 @@ CampaignScheduler::CampaignScheduler(
       opts_(opts),
       cost_model_(std::make_shared<CostModel>(*compiled_, opts.cost_alpha)) {
     if (opts_.remote.enabled()) {
-        remote_overheads_.assign(opts_.remote.workers.size(), 0.0);
+        worker_slots_.resize(opts_.remote.workers.size());
         remote_threads_.reserve(opts_.remote.workers.size());
         for (size_t w = 0; w < opts_.remote.workers.size(); ++w) {
             remote_threads_.emplace_back(
@@ -687,21 +687,41 @@ std::shared_ptr<CampaignState> CampaignScheduler::pick_remote_locked(
     return picked;
 }
 
-void CampaignScheduler::remote_worker_loop(size_t worker_index) {
-    RemoteWorkerLink link(opts_.remote,
-                          opts_.remote.workers[worker_index]);
-    try {
-        link.open(compiled_->design_hash());
-    } catch (const util::WireError&) {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++workers_lost_;
-        return;
+CampaignScheduler::FailureAction CampaignScheduler::record_failure_locked(
+    WorkerSlotState& slot) {
+    using std::chrono::steady_clock;
+    const auto now = steady_clock::now();
+    const auto window =
+        std::chrono::milliseconds(opts_.remote.failure_window_ms);
+    slot.failures.push_back(now);
+    while (!slot.failures.empty() && now - slot.failures.front() > window) {
+        slot.failures.pop_front();
     }
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++workers_connected_;
+    if (opts_.remote.failure_threshold > 0 &&
+        slot.failures.size() >= opts_.remote.failure_threshold) {
+        // The window tripped: this worker is flapping, not hiccupping.
+        slot.failures.clear();
+        ++slot.quarantines;
+        slot.state = LinkState::Down;
+        if (opts_.remote.max_quarantines > 0 &&
+            slot.quarantines >= opts_.remote.max_quarantines) {
+            slot.ejected = true;
+            return FailureAction::kEject;
+        }
+        return FailureAction::kQuarantine;
     }
+    slot.state = LinkState::Suspect;
+    return FailureAction::kBackoff;
+}
 
+void CampaignScheduler::pause_remote_ms(uint32_t ms) {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait_for(lock, std::chrono::milliseconds(ms),
+                      [&] { return stop_remote_; });
+}
+
+bool CampaignScheduler::serve_link(size_t worker_index,
+                                   RemoteWorkerLink& link) {
     for (;;) {
         std::shared_ptr<CampaignState> st;
         size_t s = 0;
@@ -712,7 +732,7 @@ void CampaignScheduler::remote_worker_loop(size_t worker_index) {
                 st = pick_remote_locked(link);
                 return st != nullptr;
             });
-            if (stop_remote_) break;
+            if (stop_remote_) return true;
             s = claim_shard_locked(*st);
             ++units_dispatched_;
         }
@@ -748,10 +768,12 @@ void CampaignScheduler::remote_worker_loop(size_t worker_index) {
         }
 
         if (link_dead) {
-            // The worker is gone; the claimed unit goes back on the
+            // The connection is gone; the claimed unit goes back on the
             // campaign's requeue list and a fresh ticket lets the local
             // pool (or another link) pick it up. Determinism makes the
-            // retry free — same faults, same stimulus, same verdicts.
+            // retry free — same faults, same stimulus, same verdicts. The
+            // caller decides what happens to the *slot* (backoff /
+            // quarantine / ejection).
             std::lock_guard<std::mutex> lock(mu_);
             const uint32_t before = dispatchable_locked(*st);
             st->requeued.push_back(static_cast<uint32_t>(s));
@@ -761,9 +783,7 @@ void CampaignScheduler::remote_worker_loop(size_t worker_index) {
                                  static_cast<unsigned>(st->priority));
             work_cv_.notify_all();
             ++units_redispatched_;
-            ++workers_lost_;
-            --workers_connected_;
-            break;
+            return false;
         }
 
         const bool completed = record_outcome(st, s, std::move(out));
@@ -775,9 +795,72 @@ void CampaignScheduler::remote_worker_loop(size_t worker_index) {
         {
             std::lock_guard<std::mutex> lock(mu_);
             ++units_completed_;
-            remote_overheads_[worker_index] = link.overhead_ewma();
+            WorkerSlotState& slot = worker_slots_[worker_index];
+            ++slot.units_completed;
+            slot.overhead_ewma = link.overhead_ewma();
             release_claim_locked(st);
         }
+    }
+}
+
+void CampaignScheduler::remote_worker_loop(size_t worker_index) {
+    // The link object is hoisted out of the reconnect loop on purpose: its
+    // shipping-overhead EWMA and request-id counter survive reconnects.
+    RemoteWorkerLink link(opts_.remote,
+                          opts_.remote.workers[worker_index]);
+    util::Backoff backoff(std::max<uint32_t>(1, opts_.remote.reconnect_base_ms),
+                          std::max<uint32_t>(1, opts_.remote.reconnect_max_ms),
+                          0x5EEDF1EE7ULL ^ (worker_index * 0x9E3779B9ULL));
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (stop_remote_) break;
+            WorkerSlotState& slot = worker_slots_[worker_index];
+            slot.state = slot.ever_connected ? LinkState::Probing
+                                             : LinkState::Connecting;
+        }
+
+        bool opened = false;
+        try {
+            link.open(compiled_->design_hash());
+            opened = true;
+        } catch (const util::WireError&) {
+        }
+
+        FailureAction action = FailureAction::kBackoff;
+        if (opened) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                WorkerSlotState& slot = worker_slots_[worker_index];
+                slot.state = LinkState::Healthy;
+                if (slot.ever_connected) ++slot.reconnects;
+                slot.ever_connected = true;
+                ++workers_connected_;
+            }
+            backoff.reset();
+            const bool stopped = serve_link(worker_index, link);
+            std::lock_guard<std::mutex> lock(mu_);
+            --workers_connected_;
+            if (stopped || stop_remote_) {
+                worker_slots_[worker_index].state = LinkState::Down;
+                break;
+            }
+            WorkerSlotState& slot = worker_slots_[worker_index];
+            ++slot.links_lost;
+            action = record_failure_locked(slot);
+        } else {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (stop_remote_) break;
+            WorkerSlotState& slot = worker_slots_[worker_index];
+            ++slot.handshake_failures;
+            action = record_failure_locked(slot);
+        }
+        link.close();
+
+        if (action == FailureAction::kEject) break;   // flapper: bench it
+        pause_remote_ms(action == FailureAction::kQuarantine
+                            ? opts_.remote.quarantine_cooldown_ms
+                            : backoff.next_ms());
     }
     link.shutdown();
 }
@@ -929,16 +1012,33 @@ SchedulerStats CampaignScheduler::stats() const {
     s.remote.workers_configured =
         static_cast<uint32_t>(opts_.remote.workers.size());
     s.remote.workers_connected = workers_connected_;
-    s.remote.workers_lost = workers_lost_;
     s.remote.units_dispatched = units_dispatched_;
     s.remote.units_completed = units_completed_;
     s.remote.units_redispatched = units_redispatched_;
     s.remote.units_skipped_cost = units_skipped_cost_;
+    s.remote.workers.reserve(worker_slots_.size());
     double sum = 0.0;
     uint32_t n = 0;
-    for (double o : remote_overheads_) {
-        if (o > 0.0) {
-            sum += o;
+    for (size_t w = 0; w < worker_slots_.size(); ++w) {
+        const WorkerSlotState& slot = worker_slots_[w];
+        RemoteWorkerStats ws;
+        ws.port = opts_.remote.workers[w];
+        ws.state = slot.state;
+        ws.ejected = slot.ejected;
+        ws.handshake_failures = slot.handshake_failures;
+        ws.links_lost = slot.links_lost;
+        ws.reconnects = slot.reconnects;
+        ws.quarantines = slot.quarantines;
+        ws.units_completed = slot.units_completed;
+        ws.overhead_ewma_seconds = slot.overhead_ewma;
+        s.remote.workers.push_back(ws);
+        s.remote.workers_ejected += slot.ejected ? 1 : 0;
+        s.remote.handshake_failures += slot.handshake_failures;
+        s.remote.links_lost += slot.links_lost;
+        s.remote.reconnects += slot.reconnects;
+        s.remote.quarantines += slot.quarantines;
+        if (slot.overhead_ewma > 0.0) {
+            sum += slot.overhead_ewma;
             ++n;
         }
     }

@@ -44,12 +44,24 @@
 // ones submitted with a serializable StimulusSpec; a placement gate skips
 // shipping a unit whose CostModel-predicted wall is below the link's
 // observed shipping-overhead EWMA (remote cost = predicted wall + RTT).
-// Any transport failure abandons the worker and *re-dispatches* the
+// Any transport failure abandons the *connection* and re-dispatches the
 // claimed unit: the shard index returns to a requeue list any executor can
 // claim, which is sound because fault simulation is deterministic — a
 // retried unit reproduces the bit-identical verdict slice, and each
 // shard's outcome is still recorded exactly once (an abandoned connection
 // is never read again, so duplicate/garbage frames cannot double-record).
+//
+// The worker *slot* is supervised, not abandoned (the self-healing fleet):
+// each dispatcher runs a link lifecycle state machine (LinkState in
+// eraser/remote.h) — Connecting -> Healthy -> Suspect -> Probing ->
+// Healthy, reconnecting after failures with capped exponential backoff and
+// deterministic jitter, re-handshaking, and keeping the link's learned
+// shipping-overhead EWMA. A failure-rate window (failure_threshold within
+// failure_window_ms) quarantines a flapping worker (state Down) for
+// quarantine_cooldown_ms; max_quarantines trips permanent ejection.
+// Forward progress never depends on the fleet: every shard also has a
+// local pool ticket, so a campaign completes (bit-identically) even with
+// every link Down.
 //
 // Determinism is non-negotiable and none of the above touches it: per-
 // campaign verdict bitmaps are merged in shard-index order and are
@@ -59,6 +71,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -212,10 +225,42 @@ class CampaignScheduler {
     /// campaign when this was its last job. Caller holds mu_.
     void release_claim_locked(const std::shared_ptr<detail::CampaignState>& st);
 
-    /// Dispatcher loop of one remote worker link: connect, then claim and
-    /// ship units until stopped or the link dies (which re-dispatches the
-    /// claimed unit and retires the thread).
+    /// Health record of one configured worker slot, index-aligned with
+    /// RemoteOptions::workers. All fields guarded by mu_.
+    struct WorkerSlotState {
+        LinkState state = LinkState::Connecting;
+        bool ever_connected = false;
+        bool ejected = false;
+        uint32_t handshake_failures = 0;
+        uint32_t links_lost = 0;
+        uint32_t reconnects = 0;
+        uint32_t quarantines = 0;
+        uint64_t units_completed = 0;
+        double overhead_ewma = 0.0;
+        /// Recent failure timestamps inside the sliding window.
+        std::deque<std::chrono::steady_clock::time_point> failures;
+    };
+
+    /// What the failure-rate window decided for the latest failure.
+    enum class FailureAction { kBackoff, kQuarantine, kEject };
+
+    /// Records one failure (handshake or link loss) against slot `w`'s
+    /// sliding window and advances its state machine. Caller holds mu_.
+    FailureAction record_failure_locked(WorkerSlotState& slot);
+
+    /// Sleeps up to `ms` on work_cv_, returning early when stop_remote_
+    /// rises (so backoff/cooldown pauses never delay shutdown).
+    void pause_remote_ms(uint32_t ms);
+
+    /// Supervision loop of one remote worker slot: drives the link
+    /// lifecycle (connect/reconnect with backoff, quarantine cooldowns,
+    /// ejection) and hands healthy links to serve_link().
     void remote_worker_loop(size_t worker_index);
+
+    /// Claims and ships units over an open link until the scheduler stops
+    /// (returns true) or the link dies (returns false after requeuing the
+    /// claimed unit).
+    bool serve_link(size_t worker_index, RemoteWorkerLink& link);
 
     /// Best remote-eligible campaign right now under the local pick policy
     /// plus the placement gate; null when the link should idle. Caller
@@ -244,12 +289,11 @@ class CampaignScheduler {
     // destructor after the Session's drain).
     bool stop_remote_ = false;
     uint32_t workers_connected_ = 0;
-    uint32_t workers_lost_ = 0;
     uint64_t units_dispatched_ = 0;
     uint64_t units_completed_ = 0;
     uint64_t units_redispatched_ = 0;
     uint64_t units_skipped_cost_ = 0;
-    std::vector<double> remote_overheads_;   // per-link EWMA snapshots
+    std::vector<WorkerSlotState> worker_slots_;   // per-slot health records
     std::vector<std::thread> remote_threads_;
 };
 

@@ -1,0 +1,172 @@
+#include "eraser/supervisor.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "util/wire.h"
+
+namespace eraser::core {
+
+WorkerSupervisor::Spawned WorkerSupervisor::spawn(uint16_t port) {
+    int fds[2];
+    if (::pipe(fds) != 0) return {};
+
+    // argv is materialized before fork: only async-signal-safe calls are
+    // allowed in the child of a threaded process.
+    std::vector<std::string> args;
+    args.push_back(opts_.binary);
+    args.push_back("--port");
+    args.push_back(std::to_string(port));
+    for (const std::string& a : opts_.extra_args) args.push_back(a);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return {};
+    }
+    if (pid == 0) {
+        ::dup2(fds[1], STDOUT_FILENO);
+        ::close(fds[0]);
+        ::close(fds[1]);
+        ::execv(argv[0], argv.data());
+        _exit(127);
+    }
+    ::close(fds[1]);
+
+    // "LISTENING <port>" is the child's bind confirmation; EOF before the
+    // newline means it failed to launch (its stderr says why).
+    std::string line;
+    char c;
+    while (::read(fds[0], &c, 1) == 1 && c != '\n') line.push_back(c);
+    ::close(fds[0]);
+
+    Spawned s;
+    unsigned parsed = 0;
+    if (std::sscanf(line.c_str(), "LISTENING %u", &parsed) != 1) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+        return {};
+    }
+    s.pid = pid;
+    s.port = static_cast<uint16_t>(parsed);
+    return s;
+}
+
+void WorkerSupervisor::start() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (started_) return;
+        started_ = true;
+        stop_ = false;
+        slots_.assign(opts_.workers, Slot{});
+    }
+    for (uint32_t i = 0; i < opts_.workers; ++i) {
+        Spawned s = spawn(0);
+        if (s.pid <= 0) {
+            stop();
+            throw util::WireError("failed to launch worker '" +
+                                  opts_.binary + "'");
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        slots_[i].pid = s.pid;
+        slots_[i].port = s.port;
+    }
+    monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+void WorkerSupervisor::monitor_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        cv_.wait_for(lock, std::chrono::milliseconds(opts_.poll_interval_ms),
+                     [this] { return stop_; });
+        if (stop_) return;
+        for (size_t i = 0; i < slots_.size(); ++i) {
+            Slot& slot = slots_[i];
+            if (slot.pid <= 0 || slot.gave_up) continue;
+            int status = 0;
+            if (::waitpid(slot.pid, &status, WNOHANG) != slot.pid) continue;
+            slot.pid = -1;
+            if (slot.respawns >= opts_.restart_budget) {
+                slot.gave_up = true;
+                continue;
+            }
+            ++slot.respawns;
+            const uint16_t port = slot.port;   // same address on purpose
+            lock.unlock();
+            Spawned s = spawn(port);
+            lock.lock();
+            if (stop_) {
+                if (s.pid > 0) {
+                    ::kill(s.pid, SIGKILL);
+                    ::waitpid(s.pid, nullptr, 0);
+                }
+                return;
+            }
+            // slots_ is never resized after start(); the reference holds.
+            if (s.pid > 0) {
+                slot.pid = s.pid;
+            } else {
+                slot.gave_up = true;
+            }
+        }
+    }
+}
+
+void WorkerSupervisor::stop() noexcept {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!started_) return;
+        stop_ = true;
+    }
+    cv_.notify_all();
+    if (monitor_.joinable()) monitor_.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Slot& slot : slots_) {
+        if (slot.pid > 0) {
+            ::kill(slot.pid, SIGKILL);
+            ::waitpid(slot.pid, nullptr, 0);
+            slot.pid = -1;
+        }
+    }
+    started_ = false;
+}
+
+std::vector<uint16_t> WorkerSupervisor::ports() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<uint16_t> ps;
+    ps.reserve(slots_.size());
+    for (const Slot& slot : slots_) ps.push_back(slot.port);
+    return ps;
+}
+
+pid_t WorkerSupervisor::pid(size_t i) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return i < slots_.size() ? slots_[i].pid : -1;
+}
+
+void WorkerSupervisor::kill_worker(size_t i, int sig) {
+    pid_t p = -1;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (i < slots_.size()) p = slots_[i].pid;
+    }
+    if (p > 0) ::kill(p, sig);
+}
+
+uint32_t WorkerSupervisor::respawns() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint32_t n = 0;
+    for (const Slot& slot : slots_) n += slot.respawns;
+    return n;
+}
+
+}  // namespace eraser::core

@@ -1,0 +1,102 @@
+// WorkerSupervisor: fork/exec lifecycle management for locally-spawned
+// eraser_worker fleets (bench_distributed, tests, and any embedder that
+// wants a same-host fleet without hand-rolling process plumbing).
+//
+// start() launches `workers` copies of the worker binary on ephemeral
+// loopback ports, parsing each child's "LISTENING <port>" line so there is
+// no bind race; ports() feeds RemoteOptions::workers. A monitor thread
+// then reaps crashed children and respawns each one **on the port it
+// already held** (listen_loopback binds with SO_REUSEADDR), so the
+// scheduler's link lifecycle reconnects to the same address it already
+// knows — the respawn and the reconnect compose into end-to-end
+// self-healing. Respawns are bounded by `restart_budget` per slot; a slot
+// that exhausts it is given up (the scheduler will quarantine and
+// eventually eject its link).
+//
+// kill_worker() is the chaos harness's process-level fault: SIGKILL a
+// live worker mid-campaign and let the supervisor + scheduler heal around
+// it. POSIX only, like the rest of the fabric's transport.
+#pragma once
+
+#include <sys/types.h>
+
+#include <condition_variable>
+#include <csignal>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace eraser::core {
+
+struct SupervisorOptions {
+    /// Path to the worker binary (tools/eraser_worker or a custom build).
+    std::string binary;
+    uint32_t workers = 1;
+    /// Respawns allowed per slot before the supervisor gives up on it.
+    uint32_t restart_budget = 3;
+    /// Crash-detection latency (monitor waitpid poll period).
+    uint32_t poll_interval_ms = 20;
+    /// Extra argv entries appended after "--port N" (e.g. chaos flags).
+    std::vector<std::string> extra_args;
+};
+
+class WorkerSupervisor {
+  public:
+    explicit WorkerSupervisor(SupervisorOptions opts)
+        : opts_(std::move(opts)) {}
+    ~WorkerSupervisor() { stop(); }
+
+    WorkerSupervisor(const WorkerSupervisor&) = delete;
+    WorkerSupervisor& operator=(const WorkerSupervisor&) = delete;
+
+    /// Spawns the fleet and starts the monitor. Throws util::WireError when
+    /// any worker fails to launch or report its port.
+    void start();
+
+    /// Stops the monitor and SIGKILLs + reaps every live worker. Idempotent.
+    void stop() noexcept;
+
+    /// Listening ports, index-aligned with the slots (stable across
+    /// respawns). Valid after start().
+    [[nodiscard]] std::vector<uint16_t> ports() const;
+
+    /// Current pid of slot `i` (-1 while it is down or given up).
+    [[nodiscard]] pid_t pid(size_t i) const;
+
+    /// Sends `sig` to slot `i`'s current process, if any (chaos injection;
+    /// the monitor then respawns it under the restart budget).
+    void kill_worker(size_t i, int sig = SIGKILL);
+
+    /// Total respawns across all slots so far.
+    [[nodiscard]] uint32_t respawns() const;
+
+  private:
+    struct Slot {
+        pid_t pid = -1;
+        uint16_t port = 0;
+        uint32_t respawns = 0;
+        bool gave_up = false;
+    };
+    struct Spawned {
+        pid_t pid = -1;
+        uint16_t port = 0;
+    };
+
+    /// fork/exec one worker on `port` (0 = ephemeral) and parse its
+    /// "LISTENING <port>" line. Returns pid -1 on failure. No lock held.
+    Spawned spawn(uint16_t port);
+
+    void monitor_loop();
+
+    SupervisorOptions opts_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<Slot> slots_;   // sized at start(), never resized after
+    bool stop_ = false;
+    bool started_ = false;
+    std::thread monitor_;
+};
+
+}  // namespace eraser::core

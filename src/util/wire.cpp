@@ -191,20 +191,30 @@ void send_all(int fd, const uint8_t* data, size_t len) {
     }
 }
 
-/// Reads exactly `len` bytes, applying a per-frame deadline so a peer that
-/// stalls mid-frame cannot wedge the caller. Returns false when the very
-/// first byte hits clean EOF and `eof_ok`; throws on EOF after that.
-bool recv_all(int fd, uint8_t* data, size_t len, int timeout_ms, bool eof_ok) {
-    using clock = std::chrono::steady_clock;
-    const auto deadline = timeout_ms >= 0
-        ? clock::now() + std::chrono::milliseconds(timeout_ms)
-        : clock::time_point::max();
+using wire_clock = std::chrono::steady_clock;
+
+/// Maps a relative timeout to the absolute deadline shared by every segment
+/// of one frame (-1 = wait forever).
+wire_clock::time_point deadline_after(int timeout_ms) {
+    return timeout_ms >= 0
+        ? wire_clock::now() + std::chrono::milliseconds(timeout_ms)
+        : wire_clock::time_point::max();
+}
+
+/// Reads exactly `len` bytes against an absolute deadline, so the budget is
+/// genuinely per-frame: the length varint, payload, and CRC trailer all
+/// drain the same clock, and a byte-trickling peer cannot stretch it.
+/// Returns false when the very first byte hits clean EOF and `eof_ok`;
+/// throws on EOF after that.
+bool recv_all(int fd, uint8_t* data, size_t len,
+              wire_clock::time_point deadline, bool eof_ok) {
     bool first = true;
     while (len > 0) {
         int wait_ms = -1;
-        if (timeout_ms >= 0) {
+        if (deadline != wire_clock::time_point::max()) {
             const auto left = std::chrono::duration_cast<
-                std::chrono::milliseconds>(deadline - clock::now()).count();
+                std::chrono::milliseconds>(deadline - wire_clock::now())
+                .count();
             if (left <= 0) throw WireError("receive timeout");
             wait_ms = static_cast<int>(left);
         }
@@ -238,14 +248,27 @@ void WireConn::send_frame(std::span<const uint8_t> payload) {
     send_all(fd_.get(), trailer.bytes().data(), trailer.bytes().size());
 }
 
+void WireConn::send_corrupted_frame(std::span<const uint8_t> payload) {
+    if (!fd_.valid()) throw WireError("send on closed connection");
+    WireWriter header;
+    header.varint(payload.size());
+    send_all(fd_.get(), header.bytes().data(), header.bytes().size());
+    send_all(fd_.get(), payload.data(), payload.size());
+    WireWriter trailer;
+    trailer.u32(crc32(payload) ^ 0xDEADBEEFu);
+    send_all(fd_.get(), trailer.bytes().data(), trailer.bytes().size());
+}
+
 bool WireConn::recv_frame(std::vector<uint8_t>& payload, int timeout_ms) {
     if (!fd_.valid()) throw WireError("receive on closed connection");
+    // One absolute deadline for the whole frame.
+    const auto deadline = deadline_after(timeout_ms);
     // Length varint, byte by byte: the first byte may hit clean EOF.
     uint64_t len = 0;
     for (unsigned shift = 0;; shift += 7) {
         if (shift >= 64) throw WireError("frame length varint overflow");
         uint8_t b;
-        if (!recv_all(fd_.get(), &b, 1, timeout_ms, shift == 0)) return false;
+        if (!recv_all(fd_.get(), &b, 1, deadline, shift == 0)) return false;
         len |= uint64_t(b & 0x7F) << shift;
         if (!(b & 0x80)) break;
     }
@@ -255,10 +278,10 @@ bool WireConn::recv_frame(std::vector<uint8_t>& payload, int timeout_ms) {
     }
     payload.resize(len);
     if (len > 0) {
-        recv_all(fd_.get(), payload.data(), len, timeout_ms, false);
+        recv_all(fd_.get(), payload.data(), len, deadline, false);
     }
     uint8_t crc_bytes[4];
-    recv_all(fd_.get(), crc_bytes, 4, timeout_ms, false);
+    recv_all(fd_.get(), crc_bytes, 4, deadline, false);
     uint32_t expect = 0;
     for (int i = 0; i < 4; ++i) expect |= uint32_t(crc_bytes[i]) << (8 * i);
     if (crc32(payload) != expect) throw WireError("CRC mismatch");
@@ -302,6 +325,9 @@ UniqueFd accept_connection(int listen_fd, int timeout_ms) {
 UniqueFd connect_loopback(uint16_t port, int timeout_ms) {
     using clock = std::chrono::steady_clock;
     const auto deadline = clock::now() + std::chrono::milliseconds(timeout_ms);
+    // Same backoff policy as the scheduler's link reconnection; seeding with
+    // the port keeps the retry schedule deterministic per destination.
+    Backoff backoff(4, 50, 0x9E3779B97F4A7C15ULL ^ port);
     for (;;) {
         UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
         if (!fd.valid()) throw WireError(errno_str("socket"));
@@ -322,7 +348,7 @@ UniqueFd connect_loopback(uint16_t port, int timeout_ms) {
             clock::now() >= deadline) {
             throw WireError(errno_str("connect"));
         }
-        ::usleep(20 * 1000);
+        ::usleep(backoff.next_ms() * 1000);
     }
 }
 

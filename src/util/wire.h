@@ -29,6 +29,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/prng.h"
+
 namespace eraser::util {
 
 /// Transport-level failure: EOF mid-frame, CRC mismatch, receive deadline,
@@ -48,6 +50,34 @@ class WireError : public std::runtime_error {
 /// as `seed`.
 [[nodiscard]] uint64_t fnv1a64(std::string_view data,
                                uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Capped exponential backoff with deterministic jitter. next_ms() draws
+/// uniformly from [delay/2, delay] and doubles `delay` up to `max_ms`;
+/// reset() rewinds to `base_ms` after a success. The jitter stream is a
+/// seeded Prng, so a given seed always yields the same retry schedule —
+/// connection-refusal spins (connect_loopback) and the scheduler's link
+/// reconnection (eraser/scheduler.cpp) share this one policy, and the
+/// chaos harness stays reproducible.
+class Backoff {
+  public:
+    Backoff(uint32_t base_ms, uint32_t max_ms, uint64_t seed)
+        : base_ms_(base_ms), max_ms_(max_ms), delay_ms_(base_ms), rng_(seed) {}
+
+    [[nodiscard]] uint32_t next_ms() {
+        const uint32_t d = delay_ms_;
+        delay_ms_ = delay_ms_ >= max_ms_ / 2 ? max_ms_ : delay_ms_ * 2;
+        const uint32_t half = d / 2;
+        return half + static_cast<uint32_t>(rng_.below(d - half + 1));
+    }
+
+    void reset() { delay_ms_ = base_ms_; }
+
+  private:
+    uint32_t base_ms_;
+    uint32_t max_ms_;
+    uint32_t delay_ms_;
+    Prng rng_;
+};
 
 // --- payload encoding --------------------------------------------------------
 
@@ -130,10 +160,18 @@ class WireConn {
     /// WireError when the peer is gone.
     void send_frame(std::span<const uint8_t> payload);
 
+    /// Chaos-harness injector (eraser/remote.h ChaosHooks): writes a frame
+    /// whose CRC trailer is deliberately wrong, so the receiver MUST refuse
+    /// it with WireError. Never use outside fault-injection tests.
+    void send_corrupted_frame(std::span<const uint8_t> payload);
+
     /// Reads one frame into `payload`. Returns false on clean EOF at a
     /// frame boundary (peer closed between messages); throws WireError on
     /// mid-frame EOF, CRC mismatch, an oversized length, or when
-    /// `timeout_ms >= 0` elapses while waiting for bytes.
+    /// `timeout_ms >= 0` elapses while waiting for bytes. The deadline is
+    /// per-frame and absolute: one clock snapshot at frame start covers
+    /// every segment (length varint, payload, CRC trailer), so a
+    /// byte-trickling peer cannot stretch it.
     [[nodiscard]] bool recv_frame(std::vector<uint8_t>& payload,
                                   int timeout_ms = -1);
 

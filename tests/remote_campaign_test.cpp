@@ -6,8 +6,16 @@
 //    the single-process engine across Word/Off batching and every
 //    RedundancyMode, on >= 3 suite circuits;
 //  * every worker failure mode — death mid-unit, garbage reply, duplicated
-//    reply frame, stalled reply past the deadline — abandons the worker and
-//    re-dispatches the claimed unit, with bit-identical final verdicts;
+//    reply frame, stalled reply past the deadline — abandons the
+//    *connection* and re-dispatches the claimed unit, with bit-identical
+//    final verdicts;
+//  * the link lifecycle self-heals: a killed worker process respawned by
+//    the WorkerSupervisor is reconnected and finishes the campaign; a
+//    wedged worker is caught by the heartbeat deadline long before
+//    unit_timeout_ms; a flapper is quarantined and eventually ejected; a
+//    fully-down fleet never blocks the local pool's forward progress;
+//  * a seeded chaos soak (corruption, stalls, drops, SIGKILL + respawn)
+//    completes bit-identically while exercising reconnect + quarantine;
 //  * design skew (structural hash mismatch) refuses the worker at
 //    handshake; the campaign falls back to local execution, still correct;
 //  * StimulusSpec kinds must be registered at submit time (SimError).
@@ -31,6 +39,7 @@
 
 #include "eraser/eraser.h"
 #include "eraser/remote.h"
+#include "eraser/supervisor.h"
 #include "suite/suite.h"
 #include "util/diagnostics.h"
 #include "util/wire.h"
@@ -251,12 +260,17 @@ TEST(RemoteProtocol, DesignStructuralHashMismatchRefusesWorker) {
     }
 
     // The Session simulates the ALU but ships the APB source: the worker
-    // compiles it fine, the structural hashes disagree, the link must be
-    // refused — and the campaign must complete locally regardless.
+    // compiles it fine, the structural hashes disagree, the handshake must
+    // fail — and the campaign must complete locally regardless. The link
+    // lifecycle keeps probing (the mismatch is permanent, so every probe
+    // fails the same way); tight backoff knobs keep that spinning cheap.
     core::SessionOptions sopts;
     sopts.num_threads = 2;
     sopts.scheduler.remote.workers = {worker.port()};
     sopts.scheduler.remote.design = suite::design_spec(apb);
+    sopts.scheduler.remote.reconnect_base_ms = 5;
+    sopts.scheduler.remote.reconnect_max_ms = 20;
+    sopts.scheduler.remote.quarantine_cooldown_ms = 20;
     core::Session session(*design, sopts);
     const auto result =
         session.submit(faults, suite::remote_stimulus(alu, alu.test_cycles))
@@ -266,15 +280,18 @@ TEST(RemoteProtocol, DesignStructuralHashMismatchRefusesWorker) {
     // (local) campaign — poll for the refusal rather than racing it.
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(30);
-    while (session.scheduler().stats().remote.workers_lost == 0) {
+    while (session.scheduler().stats().remote.handshake_failures == 0) {
         ASSERT_LT(std::chrono::steady_clock::now(), deadline)
             << "design-hash mismatch never refused the worker";
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     const auto remote = session.scheduler().stats().remote;
     EXPECT_EQ(remote.workers_connected, 0u);
-    EXPECT_EQ(remote.workers_lost, 1u);
+    EXPECT_GE(remote.handshake_failures, 1u);
     EXPECT_EQ(remote.units_completed, 0u);
+    ASSERT_EQ(remote.workers.size(), 1u);
+    EXPECT_EQ(remote.workers[0].port, worker.port());
+    EXPECT_GE(remote.workers[0].handshake_failures, 1u);
 }
 
 TEST(RemoteProtocol, UnregisteredStimulusKindThrowsAtSubmit) {
@@ -431,8 +448,10 @@ void run_failure_injection(const core::WorkerHooks& hooks,
     EXPECT_FALSE(result.canceled);
     const auto remote = session.scheduler().stats().remote;
     EXPECT_GE(remote.units_redispatched, 1u);
-    EXPECT_EQ(remote.workers_lost, 1u);
-    EXPECT_EQ(remote.workers_connected, 0u);   // abandoned permanently
+    // The link lifecycle heals the slot (reconnect, or quarantine then
+    // reconnect), so the slot is not "lost" — but the established link that
+    // carried the injected failure must be counted as lost at least once.
+    EXPECT_GE(remote.links_lost, 1u);
 }
 
 }  // namespace
@@ -460,6 +479,361 @@ TEST(RemoteFailure, StalledWorkerHitsDeadlineAndRedispatches) {
     hooks.stall_before_result_unit = 1;
     hooks.stall_ms = 2000;
     run_failure_injection(hooks, /*unit_timeout_ms=*/100);
+}
+
+// --- self-healing fleet -----------------------------------------------------
+
+namespace {
+
+/// Per-test fixture state shared by the fleet-health tests: one circuit,
+/// its blocking-path reference verdicts, and a gate for pinning the pool.
+struct FleetTestRig {
+    explicit FleetTestRig(const char* circuit)
+        : bench(suite::find_benchmark(circuit)),
+          design(suite::load_design(bench)),
+          faults(ci_faults(*design)),
+          compiled(core::CompiledDesign::build(*design)),
+          stim(suite::remote_stimulus(bench, bench.test_cycles)) {
+        register_suite_stimuli();
+        core::Session ref_session(compiled, {.num_threads = 1});
+        auto ref_stim = suite::make_stimulus(bench, bench.test_cycles);
+        ref = ref_session.run(faults, *ref_stim, {});
+    }
+
+    [[nodiscard]] core::StimulusFactory gate_factory() {
+        return [this]() -> std::unique_ptr<sim::Stimulus> {
+            return std::make_unique<GateStimulus>(
+                suite::make_stimulus(bench, bench.test_cycles), release);
+        };
+    }
+
+    const suite::Benchmark& bench;
+    std::unique_ptr<rtl::Design> design;
+    std::vector<fault::Fault> faults;
+    std::shared_ptr<const core::CompiledDesign> compiled;
+    core::StimulusSpec stim;
+    core::CampaignResult ref;
+    std::atomic<bool> release{false};
+};
+
+}  // namespace
+
+// A SIGKILLed worker process is respawned by the supervisor on the same
+// port, and the scheduler's link lifecycle reconnects to it. With the
+// local pool pinned the respawned worker is the ONLY executor, so the
+// campaign can complete at all only through the reconnect — and it must
+// still be bit-identical.
+TEST(RemoteFleet, SupervisorRespawnReconnectsAndFinishesBitIdentical) {
+    FleetTestRig rig("alu");
+
+    core::SupervisorOptions supo;
+    supo.binary = ERASER_WORKER_BIN;
+    supo.workers = 1;
+    core::WorkerSupervisor sup(supo);
+    ASSERT_NO_THROW(sup.start());
+
+    core::SessionOptions sopts;
+    sopts.num_threads = 1;
+    sopts.scheduler.remote.workers = sup.ports();
+    sopts.scheduler.remote.design = suite::design_spec(rig.bench);
+    sopts.scheduler.remote.reconnect_base_ms = 10;
+    sopts.scheduler.remote.reconnect_max_ms = 100;
+    sopts.scheduler.learn_costs = false;   // see determinism test: no gate
+    core::Session session(rig.compiled, sopts);
+
+    CampaignOptions gate_opts;
+    gate_opts.num_shards = 1;
+    auto gate = session.submit(rig.faults, rig.gate_factory(), gate_opts);
+
+    CampaignOptions opts;
+    opts.num_shards = 8;
+    std::atomic<bool> killed{false};
+    core::ShardObserver observer = [&](const core::ShardEvent& e) {
+        if (!e.terminal && !killed.exchange(true)) sup.kill_worker(0);
+    };
+    auto handle = session.submit(rig.faults, rig.stim, opts, observer);
+    const auto result = handle.wait();   // finishes only via the reconnect
+    rig.release.store(true, std::memory_order_release);
+    (void)gate.wait();
+
+    EXPECT_EQ(result.detected, rig.ref.detected);
+    EXPECT_EQ(result.num_detected, rig.ref.num_detected);
+    EXPECT_TRUE(killed.load());
+    EXPECT_GE(sup.respawns(), 1u);
+    const auto remote = session.scheduler().stats().remote;
+    EXPECT_GE(remote.links_lost, 1u);
+    EXPECT_GE(remote.reconnects, 1u);
+    EXPECT_GE(remote.units_redispatched, 1u);
+    EXPECT_EQ(remote.units_completed, 8u)
+        << "pinned pool: every unit (incl. re-dispatches) must run remotely";
+}
+
+// A worker that wedges silently mid-unit is detected by the heartbeat
+// deadline (~heartbeat_timeout_ms), not by waiting out unit_timeout_ms.
+TEST(RemoteFleet, HeartbeatDetectsWedgedWorkerBeforeUnitTimeout) {
+    FleetTestRig rig("alu");
+
+    core::WorkerHooks hooks;
+    hooks.stall_before_result_unit = 1;   // wedge on every connection's
+    hooks.stall_ms = 3000;                // first unit, before heartbeats
+    TestWorker worker(hooks);
+
+    core::SessionOptions sopts;
+    sopts.num_threads = 1;
+    sopts.scheduler.remote.workers = {worker.port()};
+    sopts.scheduler.remote.design = suite::design_spec(rig.bench);
+    sopts.scheduler.remote.unit_timeout_ms = 60000;   // would take a minute
+    sopts.scheduler.remote.heartbeat_interval_ms = 100;
+    sopts.scheduler.remote.heartbeat_timeout_ms = 250;
+    sopts.scheduler.remote.reconnect_base_ms = 10;
+    sopts.scheduler.remote.reconnect_max_ms = 50;
+    sopts.scheduler.remote.quarantine_cooldown_ms = 50;
+    sopts.scheduler.learn_costs = false;
+    core::Session session(rig.compiled, sopts);
+
+    CampaignOptions gate_opts;
+    gate_opts.num_shards = 1;
+    auto gate = session.submit(rig.faults, rig.gate_factory(), gate_opts);
+
+    CampaignOptions opts;
+    opts.num_shards = 3;
+    const auto start = std::chrono::steady_clock::now();
+    auto handle = session.submit(rig.faults, rig.stim, opts);
+
+    const auto deadline = start + std::chrono::seconds(30);
+    while (session.scheduler().stats().remote.units_redispatched == 0) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "wedged worker never detected";
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const auto detect_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    // Nominal detection is ~250ms (heartbeat_timeout_ms); anything under
+    // the 3s stall proves the heartbeat fired, not the stall ending or the
+    // 60s unit timeout. 2s leaves slack for a loaded CI host.
+    EXPECT_LT(detect_ms, 2000)
+        << "re-dispatch came too late to be heartbeat-driven";
+
+    rig.release.store(true, std::memory_order_release);
+    const auto result = handle.wait();
+    (void)gate.wait();
+    EXPECT_EQ(result.detected, rig.ref.detected);
+    EXPECT_EQ(result.num_detected, rig.ref.num_detected);
+    EXPECT_GE(session.scheduler().stats().remote.links_lost, 1u);
+}
+
+// A worker that dies on the first unit of every connection trips the
+// failure-rate window (threshold 2) into quarantine, and the second
+// quarantine (max_quarantines = 2) ejects it permanently. The campaign
+// still completes bit-identically on the local pool.
+TEST(RemoteFleet, FlapperIsQuarantinedThenEjected) {
+    FleetTestRig rig("alu");
+
+    core::WorkerHooks hooks;
+    hooks.die_before_result_unit = 1;   // flap on every connection
+    TestWorker worker(hooks);
+
+    core::SessionOptions sopts;
+    sopts.num_threads = 1;
+    sopts.scheduler.remote.workers = {worker.port()};
+    sopts.scheduler.remote.design = suite::design_spec(rig.bench);
+    sopts.scheduler.remote.reconnect_base_ms = 5;
+    sopts.scheduler.remote.reconnect_max_ms = 20;
+    sopts.scheduler.remote.failure_threshold = 2;
+    sopts.scheduler.remote.failure_window_ms = 60000;
+    sopts.scheduler.remote.quarantine_cooldown_ms = 20;
+    sopts.scheduler.remote.max_quarantines = 2;
+    sopts.scheduler.learn_costs = false;
+    core::Session session(rig.compiled, sopts);
+
+    CampaignOptions gate_opts;
+    gate_opts.num_shards = 1;
+    auto gate = session.submit(rig.faults, rig.gate_factory(), gate_opts);
+
+    CampaignOptions opts;
+    opts.num_shards = 3;
+    auto handle = session.submit(rig.faults, rig.stim, opts);
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (session.scheduler().stats().remote.workers_ejected == 0) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "flapper never ejected";
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    rig.release.store(true, std::memory_order_release);
+    const auto result = handle.wait();
+    (void)gate.wait();
+
+    EXPECT_EQ(result.detected, rig.ref.detected);
+    EXPECT_EQ(result.num_detected, rig.ref.num_detected);
+    const auto remote = session.scheduler().stats().remote;
+    // 2 failures -> quarantine #1, 2 more -> quarantine #2 -> ejection:
+    // exactly 4 lost links and 2 quarantines, deterministically.
+    EXPECT_EQ(remote.workers_ejected, 1u);
+    EXPECT_EQ(remote.quarantines, 2u);
+    EXPECT_EQ(remote.links_lost, 4u);
+    EXPECT_EQ(remote.units_completed, 0u);
+    ASSERT_EQ(remote.workers.size(), 1u);
+    EXPECT_TRUE(remote.workers[0].ejected);
+    EXPECT_EQ(remote.workers[0].state, core::LinkState::Down);
+}
+
+// With every configured worker unreachable the fleet goes (and stays)
+// fully Down — and the campaign still completes on the local pool, because
+// every shard gets a local ticket at admission regardless of fleet state.
+TEST(RemoteFleet, WholeFleetDownFallsBackToLocalPool) {
+    FleetTestRig rig("alu");
+
+    // Reserve an ephemeral port, then close the listener: connecting to it
+    // is refused, so every handshake attempt fails.
+    uint16_t dead_port = 0;
+    { auto listener = util::listen_loopback(dead_port); }
+
+    core::SessionOptions sopts;
+    sopts.num_threads = 2;
+    sopts.scheduler.remote.workers = {dead_port};
+    sopts.scheduler.remote.design = suite::design_spec(rig.bench);
+    sopts.scheduler.remote.connect_timeout_ms = 50;
+    sopts.scheduler.remote.reconnect_base_ms = 5;
+    sopts.scheduler.remote.reconnect_max_ms = 20;
+    sopts.scheduler.remote.quarantine_cooldown_ms = 20;
+    core::Session session(rig.compiled, sopts);
+
+    const auto result = session.submit(rig.faults, rig.stim, {}).wait();
+    EXPECT_EQ(result.detected, rig.ref.detected);
+    EXPECT_EQ(result.num_detected, rig.ref.num_detected);
+
+    // Default lifecycle knobs: 3 failures per quarantine, 3 quarantines to
+    // ejection — poll until the dead fleet is fully written off.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (session.scheduler().stats().remote.workers_ejected == 0) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "unreachable worker never ejected";
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const auto remote = session.scheduler().stats().remote;
+    EXPECT_EQ(remote.workers_connected, 0u);
+    EXPECT_GE(remote.handshake_failures, 1u);
+    EXPECT_EQ(remote.units_completed, 0u);
+    EXPECT_EQ(remote.links_lost, 0u);   // nothing ever handshook
+}
+
+// --- seeded chaos soak -------------------------------------------------------
+
+// The PR's acceptance soak: >= 2 circuits x Word/Off batching over a mixed
+// fleet — two in-process workers under seeded probabilistic chaos
+// (connection kills, silent stalls, CRC corruption, dropped results,
+// slow-but-alive delays) plus one real supervised worker process that is
+// SIGKILLed and respawned mid-soak. Every campaign must stay bit-identical
+// to the blocking reference, and the fleet must demonstrably self-heal:
+// at least one re-dispatch, one reconnect, and one quarantine.
+TEST(RemoteChaos, SeededChaosSoakSelfHealsBitIdentical) {
+    register_suite_stimuli();
+
+    core::WorkerHooks chaos_a;
+    chaos_a.chaos.seed = 0xC0FFEE;
+    chaos_a.chaos.kill_pct = 15;
+    chaos_a.chaos.stall_pct = 12;
+    chaos_a.chaos.stall_ms = 600;    // > heartbeat_timeout_ms: counts dead
+    chaos_a.chaos.corrupt_pct = 12;
+    chaos_a.chaos.drop_pct = 12;
+    chaos_a.chaos.delay_pct = 15;
+    chaos_a.chaos.delay_ms = 400;    // > timeout, but heartbeats cover it
+    core::WorkerHooks chaos_b = chaos_a;
+    chaos_b.chaos.seed = 0xB10C4DE;
+    chaos_b.chaos.kill_pct = 20;
+    chaos_b.chaos.corrupt_pct = 15;
+    TestWorker w1(chaos_a), w2(chaos_b);
+
+    core::SupervisorOptions supo;
+    supo.binary = ERASER_WORKER_BIN;
+    supo.workers = 1;
+    supo.restart_budget = 10;
+    core::WorkerSupervisor sup(supo);
+    ASSERT_NO_THROW(sup.start());
+
+    std::atomic<bool> killed{false};
+    uint32_t reconnects = 0, quarantines = 0;
+    uint64_t redispatched = 0;
+
+    // One Session (and thus one fleet of link slots) per circuit: the
+    // failure-rate windows accumulate across the circuit's campaigns, the
+    // way a long-lived production session would see a flaky fleet.
+    for (const char* name : {"alu", "apb"}) {
+        const suite::Benchmark& b = suite::find_benchmark(name);
+        auto design = suite::load_design(b);
+        const auto faults = ci_faults(*design);
+        auto compiled = core::CompiledDesign::build(*design);
+        core::Session ref_session(compiled, {.num_threads = 1});
+        auto ref_stim = suite::make_stimulus(b, b.test_cycles);
+        const auto ref = ref_session.run(faults, *ref_stim, {});
+        const core::StimulusSpec stim =
+            suite::remote_stimulus(b, b.test_cycles);
+
+        core::SessionOptions sopts;
+        sopts.num_threads = 2;   // unpinned: local pool guarantees progress
+        sopts.scheduler.remote.workers = {w1.port(), w2.port(),
+                                          sup.ports()[0]};
+        sopts.scheduler.remote.design = suite::design_spec(b);
+        sopts.scheduler.remote.heartbeat_interval_ms = 100;
+        sopts.scheduler.remote.heartbeat_timeout_ms = 300;
+        sopts.scheduler.remote.unit_timeout_ms = 30000;
+        sopts.scheduler.remote.reconnect_base_ms = 10;
+        sopts.scheduler.remote.reconnect_max_ms = 100;
+        sopts.scheduler.remote.failure_threshold = 2;
+        sopts.scheduler.remote.failure_window_ms = 60000;
+        sopts.scheduler.remote.quarantine_cooldown_ms = 50;
+        sopts.scheduler.remote.max_quarantines = 0;   // heal forever
+        sopts.scheduler.learn_costs = false;
+        core::Session session(compiled, sopts);
+
+        const auto run_campaign = [&](FaultBatching batching) {
+            core::ShardObserver observer = [&](const core::ShardEvent& e) {
+                if (!e.terminal && !killed.exchange(true)) {
+                    sup.kill_worker(0);
+                }
+            };
+            CampaignOptions opts;
+            opts.engine.batching = batching;
+            opts.num_shards = 12;
+            const auto result =
+                session.submit(faults, stim, opts, observer).wait();
+            EXPECT_EQ(result.detected, ref.detected)
+                << b.name << " batching=" << static_cast<int>(batching);
+            EXPECT_EQ(result.num_detected, ref.num_detected);
+            EXPECT_FALSE(result.canceled);
+        };
+
+        run_campaign(FaultBatching::Word);
+        run_campaign(FaultBatching::Off);
+
+        // The chaos schedule is seeded but the dispatch interleaving is
+        // not: if this circuit's rounds happened to dodge a reconnect or a
+        // quarantine so far, keep soaking (bounded) until both landed.
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(90);
+        auto fleet = session.scheduler().stats().remote;
+        while ((reconnects + fleet.reconnects == 0 ||
+                quarantines + fleet.quarantines == 0 ||
+                redispatched + fleet.units_redispatched == 0) &&
+               std::chrono::steady_clock::now() < deadline) {
+            run_campaign(FaultBatching::Word);
+            fleet = session.scheduler().stats().remote;
+        }
+        reconnects += fleet.reconnects;
+        quarantines += fleet.quarantines;
+        redispatched += fleet.units_redispatched;
+    }
+
+    EXPECT_GE(redispatched, 1u) << "chaos never re-dispatched a unit";
+    EXPECT_GE(reconnects, 1u) << "fleet never healed a link";
+    EXPECT_GE(quarantines, 1u) << "failure-rate window never tripped";
+    EXPECT_TRUE(killed.load());
+    EXPECT_GE(sup.respawns(), 1u);
 }
 
 }  // namespace

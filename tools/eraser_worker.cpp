@@ -1,16 +1,24 @@
 // eraser_worker: out-of-process campaign executor of the distributed
 // fabric (eraser/remote.h).
 //
-//   eraser_worker [--port N]
+//   eraser_worker [--port N] [chaos flags]
 //
 // Listens on 127.0.0.1:N (N=0 picks an ephemeral port), prints
 // "LISTENING <port>" on stdout once bound (launchers parse this line —
-// bench/bench_distributed.cpp and the CI smoke job both do), then serves
+// eraser/supervisor.h and the CI smoke job both do), then serves
 // connections forever: one thread per connection, all sharing one
 // compile-once design cache. The process has no graceful shutdown beyond
 // SIGTERM/SIGKILL — clients say goodbye per connection (Shutdown frame or
 // clean EOF), and a killed worker is exactly the failure mode the
 // scheduler's re-dispatch path is built for.
+//
+// Chaos flags (test/bench fleets only; see ChaosHooks in eraser/remote.h):
+//   --chaos-seed S       enable seeded injection (S != 0)
+//   --chaos-kill PCT     close the connection instead of answering
+//   --chaos-stall PCT    wedge silently for --chaos-stall-ms before reply
+//   --chaos-corrupt PCT  answer with a CRC-corrupted frame
+//   --chaos-drop PCT     execute the unit but never send the result
+//   --chaos-delay PCT    sleep --chaos-delay-ms while heartbeats run
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,11 +31,39 @@
 
 int main(int argc, char** argv) {
     uint16_t port = 0;
+    eraser::core::WorkerHooks hooks;
+    const auto u32_arg = [&](int& i) {
+        return static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    };
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
             port = static_cast<uint16_t>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--chaos-seed") == 0 && i + 1 < argc) {
+            hooks.chaos.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--chaos-kill") == 0 && i + 1 < argc) {
+            hooks.chaos.kill_pct = u32_arg(i);
+        } else if (std::strcmp(argv[i], "--chaos-stall") == 0 &&
+                   i + 1 < argc) {
+            hooks.chaos.stall_pct = u32_arg(i);
+        } else if (std::strcmp(argv[i], "--chaos-stall-ms") == 0 &&
+                   i + 1 < argc) {
+            hooks.chaos.stall_ms = u32_arg(i);
+        } else if (std::strcmp(argv[i], "--chaos-corrupt") == 0 &&
+                   i + 1 < argc) {
+            hooks.chaos.corrupt_pct = u32_arg(i);
+        } else if (std::strcmp(argv[i], "--chaos-drop") == 0 && i + 1 < argc) {
+            hooks.chaos.drop_pct = u32_arg(i);
+        } else if (std::strcmp(argv[i], "--chaos-delay") == 0 &&
+                   i + 1 < argc) {
+            hooks.chaos.delay_pct = u32_arg(i);
+        } else if (std::strcmp(argv[i], "--chaos-delay-ms") == 0 &&
+                   i + 1 < argc) {
+            hooks.chaos.delay_ms = u32_arg(i);
         } else if (std::strcmp(argv[i], "--help") == 0) {
-            std::printf("usage: %s [--port N]\n", argv[0]);
+            std::printf("usage: %s [--port N] [--chaos-seed S "
+                        "--chaos-{kill,stall,corrupt,drop,delay} PCT "
+                        "--chaos-{stall,delay}-ms MS]\n",
+                        argv[0]);
             return 0;
         } else {
             std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
@@ -58,10 +94,10 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "accept: %s\n", e.what());
             continue;
         }
-        std::thread([fd = std::move(fd), &cache]() mutable {
+        std::thread([fd = std::move(fd), &cache, hooks]() mutable {
             eraser::util::WireConn conn(std::move(fd));
             try {
-                (void)eraser::core::serve_connection(conn, cache);
+                (void)eraser::core::serve_connection(conn, cache, hooks);
             } catch (const std::exception& e) {
                 // A vanished client only costs this connection.
                 std::fprintf(stderr, "connection: %s\n", e.what());
