@@ -1,0 +1,131 @@
+// Verdict-cache bench + smoke: runs the same campaign on each quick-suite
+// circuit three ways —
+//
+//   nocache      cache-disabled Session (the reference verdicts)
+//   cache-cold   fresh store file: every fault misses, shards simulate and
+//                populate the store, the Session flushes it on destruction
+//   cache-warm   fresh Session + fresh VerdictCache loading that store:
+//                the repeat campaign is served from cached verdicts
+//
+// Detection bitmaps must be bit-identical across all three (determinism is
+// what makes the cache sound), and the warm pass must serve >= 90% of the
+// faults from the store; the binary exits nonzero otherwise. Wall times
+// and hit ratios go to BENCH_cache.json (schema in README "Benchmark
+// result files"); CI gates the warm hit ratio against bench/baselines/.
+//
+//   $ ./build/bench/bench_cache [--quick] [--threads N]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace eraser;
+
+int main(int argc, char** argv) {
+    const auto scale = bench::parse_scale(argc, argv);
+    bench::print_environment(
+        "Verdict cache: content-addressed store, cold vs warm repeat");
+    suite::register_remote_stimuli();
+
+    const std::vector<std::string> circuits = {"alu", "apb", "sha256_hv"};
+    const char* store_path = "bench_cache.store";
+
+    std::printf("%-12s %-12s %10s %8s %8s %8s\n", "Benchmark", "Scenario",
+                "Time(s)", "Hits", "HitRatio", "Speedup");
+    bench::JsonRows json;
+    bool ok = true;
+
+    for (const std::string& name : circuits) {
+        const auto& b = suite::find_benchmark(name);
+        auto design = suite::load_design(b);
+        const auto faults = bench::faults_for(*design, scale.faults(b));
+        const uint32_t cycles = scale.cycles(b);
+        auto compiled = core::CompiledDesign::build(*design);
+        const double compile_s = compiled->compile_seconds();
+        const core::StimulusSpec stim = suite::remote_stimulus(b, cycles);
+
+        core::CampaignOptions copts;
+        copts.num_shards = 8;
+
+        const auto run_once =
+            [&](std::shared_ptr<core::VerdictCache> cache) {
+                core::SessionOptions sopts;
+                sopts.num_threads = scale.threads;
+                sopts.scheduler.verdict_cache = std::move(cache);
+                core::Session session(compiled, sopts);
+                return session.submit(faults, stim, copts).wait();
+            };
+
+        // Reference: no cache at all.
+        const core::CampaignResult ref = run_once(nullptr);
+
+        // Cold: a fresh store. The Session's scheduler inserts completed
+        // shards; the cache flushes the store file when it destructs.
+        std::remove(store_path);
+        core::VerdictCacheOptions vopts;
+        vopts.store_path = store_path;
+        const core::CampaignResult cold =
+            run_once(std::make_shared<core::VerdictCache>(vopts));
+
+        // Warm: a fresh cache object loads the flushed store, so the
+        // repeat campaign crosses the persistence layer, not just memory.
+        const core::CampaignResult warm =
+            run_once(std::make_shared<core::VerdictCache>(vopts));
+        std::remove(store_path);
+
+        const double n = static_cast<double>(faults.size());
+        const double warm_ratio =
+            n == 0.0 ? 0.0 : static_cast<double>(warm.cache_hits) / n;
+        const double speedup =
+            warm.seconds > 0.0 ? cold.seconds / warm.seconds : 0.0;
+
+        const bool identical = ref.detected == cold.detected &&
+                               ref.detected == warm.detected &&
+                               !cold.canceled && !warm.canceled;
+        if (!identical) {
+            std::printf("MISMATCH: %s verdict bitmaps differ across "
+                        "nocache/cold/warm\n", name.c_str());
+            ok = false;
+        }
+        if (warm_ratio < 0.9) {
+            std::printf("LOW HIT RATIO: %s warm pass served %.1f%% from "
+                        "cache (need >= 90%%)\n", name.c_str(),
+                        warm_ratio * 100.0);
+            ok = false;
+        }
+
+        std::printf("%-12s %-12s %10.3f %8u %8.3f %8s\n", b.display.c_str(),
+                    "cache-cold", cold.seconds, cold.cache_hits, 0.0, "-");
+        std::printf("%-12s %-12s %10.3f %8u %8.3f %8.2f\n", b.display.c_str(),
+                    "cache-warm", warm.seconds, warm.cache_hits, warm_ratio,
+                    speedup);
+
+        json.add("{" +
+                 bench::perf_row_prefix(
+                     name.c_str(), "cache-cold", cold.num_threads,
+                     bench::batch_name(copts.engine.batching), cold.seconds,
+                     compile_s) +
+                 bench::format(R"(, "faults": %zu, "cache_hits": %u, )"
+                               R"("hit_ratio": %.4f)",
+                               faults.size(), cold.cache_hits, 0.0) +
+                 "}");
+        json.add("{" +
+                 bench::perf_row_prefix(
+                     name.c_str(), "cache-warm", cold.num_threads,
+                     bench::batch_name(copts.engine.batching), warm.seconds,
+                     compile_s) +
+                 bench::format(R"(, "faults": %zu, "cache_hits": %u, )"
+                               R"("hit_ratio": %.4f, "speedup": %.2f)",
+                               faults.size(), warm.cache_hits, warm_ratio,
+                               speedup) +
+                 "}");
+    }
+
+    if (!json.write("BENCH_cache.json")) {
+        std::fprintf(stderr, "failed to write BENCH_cache.json\n");
+        return 1;
+    }
+    std::printf("\nWrote BENCH_cache.json\n");
+    return ok ? 0 : 1;
+}

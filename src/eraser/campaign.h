@@ -32,6 +32,8 @@
 
 namespace eraser::core {
 
+class VerdictCache;
+
 /// Scheduling class of a campaign (see eraser/scheduler.h). Strict across
 /// classes: whenever a worker reaches a shard boundary, any dispatchable
 /// High shard starts before any Normal one, and Normal before Low.
@@ -98,6 +100,12 @@ struct SchedulerOptions {
     /// campaigns submitted with a serializable StimulusSpec are
     /// remote-eligible; plain-factory campaigns always run locally.
     RemoteOptions remote = {};
+    /// Content-addressed verdict cache with persistent warm-start store
+    /// (eraser/verdict_cache.h). Shareable across Sessions (and across
+    /// processes via its store file). Null = no caching. Only campaigns
+    /// submitted with a StimulusSpec are cacheable — the key must
+    /// fingerprint the stimulus, which an opaque factory closure cannot.
+    std::shared_ptr<VerdictCache> verdict_cache = {};
 };
 
 struct CampaignResult {
@@ -116,6 +124,10 @@ struct CampaignResult {
     Instrumentation stats;
     uint32_t num_shards = 1;      // shards actually run
     uint32_t num_threads = 1;     // worker threads actually used
+    /// Faults served from the verdict cache (merged into `detected`
+    /// without simulation); 0 when no cache is configured. Cached shards
+    /// contribute no Instrumentation counters — they never ran.
+    uint32_t cache_hits = 0;
 };
 
 /// Builds one replayable stimulus instance per shard. Must be safe to call

@@ -1,0 +1,56 @@
+#include "eraser/canonical.h"
+
+#include "eraser/concurrent_sim.h"
+#include "eraser/remote.h"
+
+namespace eraser::core::canonical {
+
+void put_fault(util::WireWriter& w, const fault::Fault& f) {
+    w.varint(f.sig);
+    w.u8(static_cast<uint8_t>(f.bit));
+    w.u8(f.stuck_one ? 1 : 0);
+}
+
+fault::Fault get_fault(util::WireReader& r) {
+    fault::Fault f;
+    f.sig = static_cast<rtl::SignalId>(r.varint());
+    f.bit = r.u8();
+    f.stuck_one = r.u8() != 0;
+    return f;
+}
+
+uint64_t fault_hash(const fault::Fault& f, uint64_t seed) {
+    util::WireWriter w;
+    put_fault(w, f);
+    return util::fnv1a64(w.bytes(), seed);
+}
+
+uint64_t plane_hash(rtl::SignalId sig, bool stuck_one, uint64_t seed) {
+    util::WireWriter w;
+    w.varint(sig);
+    w.u8(stuck_one ? 1 : 0);
+    return util::fnv1a64(w.bytes(), seed);
+}
+
+uint64_t stimulus_hash(const StimulusSpec& spec, uint64_t seed) {
+    util::WireWriter w;
+    w.str(spec.kind);
+    w.varint(spec.payload.size());
+    const uint64_t h = util::fnv1a64(w.bytes(), seed);
+    return util::fnv1a64(std::span<const uint8_t>(spec.payload), h);
+}
+
+uint64_t engine_fingerprint(const EngineOptions& opts, uint64_t seed) {
+    util::WireWriter w;
+    w.u8(static_cast<uint8_t>(opts.mode));
+    w.u8(static_cast<uint8_t>(opts.interp));
+    w.u8(static_cast<uint8_t>(opts.batching));
+    w.u8(opts.audit ? 1 : 0);
+    return util::fnv1a64(w.bytes(), seed);
+}
+
+uint64_t design_spec_hash(std::string_view source, std::string_view top) {
+    return util::fnv1a64(source, util::fnv1a64(top));
+}
+
+}  // namespace eraser::core::canonical

@@ -1,0 +1,58 @@
+// Canonical serialization and content hashing of the value types that
+// cross a process or Session boundary: faults, stimulus specs, engine
+// configurations, design sources.
+//
+// One codec, two consumers. The RunUnit frames of the distributed fabric
+// (eraser/remote.cpp) and the verdict-cache key derivation
+// (eraser/verdict_cache.h) both need a byte-stable form of the same
+// values; hashing the canonical wire form ties the two together, so a
+// layout change invalidates cached verdicts and wire compatibility in the
+// same commit instead of silently diverging. All hashes are FNV-1a 64-bit
+// chains (util::fnv1a64) over the canonical encoding — chain by passing
+// the previous result as `seed`.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "fault/fault.h"
+#include "util/wire.h"
+
+namespace eraser::core {
+struct StimulusSpec;
+struct EngineOptions;
+}  // namespace eraser::core
+
+namespace eraser::core::canonical {
+
+/// Wire form of one fault: varint signal id, u8 bit index, u8 polarity.
+void put_fault(util::WireWriter& w, const fault::Fault& f);
+[[nodiscard]] fault::Fault get_fault(util::WireReader& r);
+
+/// Content hash of one fault (over its canonical wire form).
+[[nodiscard]] uint64_t fault_hash(const fault::Fault& f, uint64_t seed);
+
+/// Content hash of a fault's 64-lane plane: (signal, polarity) without the
+/// bit index. All bits of one signal at one polarity share a plane — the
+/// verdict cache's block granularity (lane = bit index), mirroring how the
+/// batched engine packs faults 64 lanes to a word.
+[[nodiscard]] uint64_t plane_hash(rtl::SignalId sig, bool stuck_one,
+                                  uint64_t seed);
+
+/// Content hash of a StimulusSpec (kind + payload bytes). The payload is a
+/// registered kind's own canonical encoding, so anything that changes the
+/// driven sequence — cycle count, PRNG seed, pinned inputs — changes it.
+[[nodiscard]] uint64_t stimulus_hash(const StimulusSpec& spec, uint64_t seed);
+
+/// Fingerprint of the verdict-relevant engine configuration: redundancy
+/// mode, interpreter, fault batching, audit. Excludes time_phases — it
+/// only toggles instrumentation and never moves a verdict bit.
+[[nodiscard]] uint64_t engine_fingerprint(const EngineOptions& opts,
+                                          uint64_t seed);
+
+/// Content hash of a shippable design (source text + top module) — keys
+/// the worker-side compile-once cache; DesignSpec::hash() delegates here.
+[[nodiscard]] uint64_t design_spec_hash(std::string_view source,
+                                        std::string_view top);
+
+}  // namespace eraser::core::canonical

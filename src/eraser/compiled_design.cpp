@@ -14,11 +14,15 @@ namespace eraser::core {
 namespace {
 std::atomic<uint64_t> g_builds{0};
 
-/// Structural FNV-1a over the elaborated design: enough detail that two
-/// designs with equal hashes have interchangeable SignalId spaces (names,
-/// widths, directions, per-behavior shape), which is what the distributed
-/// fabric's cross-process fault translation rests on.
-uint64_t structural_hash(const rtl::Design& d) {
+/// Structural + behavioral FNV-1a over the elaborated design: signal
+/// names/widths/directions pin the SignalId space (what the distributed
+/// fabric's cross-process fault translation rests on), and RTL node
+/// contents plus the compiled bytecode pin the computed behavior (what the
+/// verdict cache's soundness rests on — two designs differing only in an
+/// operator must never share a hash). Frontend compilation and bytecode
+/// emission are deterministic, so equal sources still hash equal across
+/// processes.
+uint64_t structural_hash(const rtl::Design& d, const sim::SharedPrograms& p) {
     uint64_t h = util::fnv1a64(d.top_name);
     auto mix = [&h](uint64_t v) {
         char bytes[8];
@@ -43,8 +47,59 @@ uint64_t structural_hash(const rtl::Design& d) {
         h = util::fnv1a64(b.name, h);
         mix((b.is_comb ? 1u : 0u));
         mix(b.edges.size());
+        for (const rtl::EdgeSpec& e : b.edges) {
+            mix(e.sig);
+            mix(static_cast<uint64_t>(e.kind));
+        }
     }
     mix(d.nodes.size());
+    for (const rtl::RtlNode& n : d.nodes) {
+        mix(static_cast<uint64_t>(n.op));
+        mix(n.inputs.size());
+        for (const rtl::SignalId in : n.inputs) mix(in);
+        mix(n.output);
+        mix(n.cval.bits());
+        mix(n.cval.width());
+        mix(n.imm);
+    }
+    // Behavior bodies / initial blocks via their compiled programs — the
+    // flat form covers every statement and expression the tree holds.
+    const auto mix_programs = [&](const std::vector<sim::BcProgram>* progs) {
+        mix(progs ? progs->size() : 0);
+        if (!progs) return;
+        for (const sim::BcProgram& prog : *progs) {
+            mix(prog.code.size());
+            for (const sim::BcInstr& i : prog.code) {
+                mix(static_cast<uint64_t>(i.kind) |
+                    static_cast<uint64_t>(i.op) << 8 |
+                    static_cast<uint64_t>(i.flags) << 16 |
+                    static_cast<uint64_t>(i.nargs) << 24 |
+                    static_cast<uint64_t>(i.width) << 32 |
+                    static_cast<uint64_t>(i.imm) << 48);
+                mix(i.a);
+            }
+            mix(prog.consts.size());
+            for (const Value& v : prog.consts) {
+                mix(v.bits());
+                mix(v.width());
+            }
+            mix(prog.case_entries.size());
+            for (const sim::BcCaseEntry& e : prog.case_entries) {
+                mix(e.label);
+                mix(e.target);
+            }
+            mix(prog.case_tables.size());
+            for (const sim::BcCaseTable& t : prog.case_tables) {
+                mix(t.first);
+                mix(t.count);
+                mix(t.no_match);
+            }
+            mix(prog.slot_sigs.size());
+            for (const uint32_t s : prog.slot_sigs) mix(s);
+        }
+    };
+    mix_programs(p.behaviors.get());
+    mix_programs(p.initials.get());
     return h;
 }
 }  // namespace
@@ -80,7 +135,7 @@ CompiledDesign::CompiledDesign(const rtl::Design& design) : design_(design) {
         behavior_weights_.push_back(behavior_vdg_weight(vdg));
     }
     signal_costs_ = signal_fault_costs(design, behavior_weights_);
-    design_hash_ = structural_hash(design);
+    design_hash_ = structural_hash(design, progs_);
 
     compile_seconds_ = watch.seconds();
     g_builds.fetch_add(1, std::memory_order_relaxed);
@@ -201,6 +256,25 @@ double CostModel::signal_cost(rtl::SignalId sig) const {
 double CostModel::signal_defer_rate(rtl::SignalId sig) const {
     std::lock_guard<std::mutex> lock(mu_);
     return defer_[sig];
+}
+
+CostModelSnapshot CostModel::snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return CostModelSnapshot{cost_, defer_, unit_scale_, observations_};
+}
+
+bool CostModel::restore(const CostModelSnapshot& snap) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (snap.observations == 0 || !(snap.unit_scale > 0.0) ||
+        snap.cost.size() != cost_.size() ||
+        snap.defer.size() != defer_.size()) {
+        return false;
+    }
+    cost_ = snap.cost;
+    defer_ = snap.defer;
+    unit_scale_ = snap.unit_scale;
+    observations_ = snap.observations;
+    return true;
 }
 
 }  // namespace eraser::core

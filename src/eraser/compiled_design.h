@@ -90,11 +90,14 @@ class CompiledDesign {
     /// that shares this artifact; bench JSON reports it separately).
     [[nodiscard]] double compile_seconds() const { return compile_seconds_; }
 
-    /// Structural fingerprint of the elaborated design (signal names /
-    /// widths / directions, arrays, behaviors, node count). The distributed
-    /// fabric (eraser/remote.h) compares it across the process boundary:
-    /// frontend compilation is deterministic, so equal hashes mean equal
-    /// SignalId spaces and raw fault triples translate verbatim.
+    /// Structural + behavioral fingerprint of the elaborated design:
+    /// signal names / widths / directions, arrays, RTL node contents, and
+    /// the compiled behavior bytecode. The distributed fabric
+    /// (eraser/remote.h) compares it across the process boundary (equal
+    /// hashes mean equal SignalId spaces, so raw fault triples translate
+    /// verbatim), and the verdict cache (eraser/verdict_cache.h) keys on it
+    /// (equal hashes mean equal computed behavior, so cached verdicts are
+    /// sound — an RTL edit as small as one operator moves the hash).
     [[nodiscard]] uint64_t design_hash() const { return design_hash_; }
 
     /// Process-wide count of CompiledDesign constructions — the
@@ -112,6 +115,17 @@ class CompiledDesign {
     std::vector<uint64_t> signal_costs_;
     double compile_seconds_ = 0.0;
     uint64_t design_hash_ = 0;
+};
+
+/// Portable copy of a CostModel's learned state — the warm-start payload
+/// the verdict-cache store (eraser/verdict_cache.h) persists per design
+/// hash, so a fresh Session partitions on a previous Session's
+/// measurements instead of the static VDG estimate.
+struct CostModelSnapshot {
+    std::vector<double> cost;    // per-signal learned cost table
+    std::vector<double> defer;   // per-signal lane-deferral EWMA
+    double unit_scale = 0.0;     // measured seconds per cost unit
+    uint64_t observations = 0;
 };
 
 /// The measured-cost feedback loop that replaces the static VDG estimate
@@ -178,6 +192,16 @@ class CostModel {
     /// Current learned cost / deferral rate of one signal (test hooks).
     [[nodiscard]] double signal_cost(rtl::SignalId sig) const;
     [[nodiscard]] double signal_defer_rate(rtl::SignalId sig) const;
+
+    /// Copies out the learned state (for the warm-start store).
+    [[nodiscard]] CostModelSnapshot snapshot() const;
+
+    /// Adopts a persisted snapshot. Refused (returns false, table
+    /// untouched) when the snapshot is empty of observations, its scale is
+    /// not positive, or its table sizes disagree with this design's signal
+    /// space — a snapshot from a structurally different design must never
+    /// skew the partition.
+    bool restore(const CostModelSnapshot& snap);
 
   private:
     const double alpha_;

@@ -44,10 +44,12 @@
 #include "cfg/cfg.h"
 #include "cfg/vdg.h"
 #include "eraser/campaign.h"
+#include "eraser/canonical.h"
 #include "eraser/compiled_design.h"
 #include "eraser/concurrent_sim.h"
 #include "eraser/scheduler.h"
 #include "eraser/session.h"
+#include "eraser/verdict_cache.h"
 #include "fault/fault.h"
 #include "frontend/compile.h"
 #include "rtl/design.h"

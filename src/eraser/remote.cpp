@@ -103,11 +103,7 @@ EngineOptions get_engine_options(WireReader& r) {
 
 void put_faults(WireWriter& w, std::span<const fault::Fault> faults) {
     w.varint(faults.size());
-    for (const fault::Fault& f : faults) {
-        w.varint(f.sig);
-        w.u8(static_cast<uint8_t>(f.bit));
-        w.u8(f.stuck_one ? 1 : 0);
-    }
+    for (const fault::Fault& f : faults) canonical::put_fault(w, f);
 }
 
 std::vector<fault::Fault> get_faults(WireReader& r) {
@@ -116,13 +112,7 @@ std::vector<fault::Fault> get_faults(WireReader& r) {
     if (n > r.remaining()) throw WireError("fault list longer than frame");
     std::vector<fault::Fault> faults;
     faults.reserve(n);
-    for (uint64_t i = 0; i < n; ++i) {
-        fault::Fault f;
-        f.sig = static_cast<rtl::SignalId>(r.varint());
-        f.bit = r.u8();
-        f.stuck_one = r.u8() != 0;
-        faults.push_back(f);
-    }
+    for (uint64_t i = 0; i < n; ++i) faults.push_back(canonical::get_fault(r));
     return faults;
 }
 

@@ -70,6 +70,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "eraser/canonical.h"
 #include "eraser/concurrent_sim.h"
 #include "eraser/instrumentation.h"
 #include "fault/fault.h"
@@ -110,7 +111,7 @@ struct DesignSpec {
     std::string top;
 
     [[nodiscard]] uint64_t hash() const {
-        return util::fnv1a64(source, util::fnv1a64(top));
+        return canonical::design_spec_hash(source, top);
     }
 };
 
@@ -316,6 +317,15 @@ class RemoteWorkerLink {
     /// EWMA of observed shipping overhead (round trip minus worker wall);
     /// 0 until the first completed unit.
     [[nodiscard]] double overhead_ewma() const { return overhead_ewma_; }
+
+    /// Warm-start hook (eraser/verdict_cache.h): primes the shipping-
+    /// overhead EWMA with a value persisted by a previous Session, so the
+    /// first placement decision is gated on history instead of "unknown,
+    /// ship it and learn". Only applies while the EWMA is unobserved — a
+    /// measured value always wins over a persisted one.
+    void seed_overhead(double seconds) {
+        if (overhead_ewma_ == 0.0 && seconds > 0.0) overhead_ewma_ = seconds;
+    }
     [[nodiscard]] uint16_t port() const { return port_; }
 
   private:

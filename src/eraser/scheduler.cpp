@@ -100,6 +100,17 @@ struct CampaignState {
     /// (plain-factory campaigns can never cross a process boundary).
     StimulusSpec stim_spec;
     bool remote_ok = false;
+    /// Verdict cache binding (campaigns submitted with a StimulusSpec when
+    /// the scheduler has one): hits were served at submit time, completed
+    /// shards insert their verdicts back under `cache_ctx`.
+    std::shared_ptr<VerdictCache> cache;
+    uint64_t cache_ctx = 0;
+    /// Cache-hit faults (global ids, ascending) and their verdicts — merged
+    /// into the result bitmap ahead of the shard outcomes. The shards only
+    /// cover the misses.
+    std::vector<uint32_t> hit_ids;
+    std::vector<bool> hit_verdicts;
+    uint32_t hit_detected = 0;
 
     // Scheduling identity/state, guarded by the scheduler's mutex (never
     // by st->mu — the scheduler may outlive neither).
@@ -167,6 +178,14 @@ namespace {
 CampaignResult merged_result(const CampaignState& st) {
     CampaignResult result;
     result.detected.assign(st.num_faults, false);
+    // Cache hits first (ascending global ids), then the shard outcomes —
+    // hit and miss id sets are disjoint, so the order between the two
+    // passes cannot change a bit.
+    for (size_t i = 0; i < st.hit_ids.size(); ++i) {
+        result.detected[st.hit_ids[i]] = st.hit_verdicts[i];
+    }
+    result.num_detected += st.hit_detected;
+    result.cache_hits = static_cast<uint32_t>(st.hit_ids.size());
     uint32_t completed = 0;
     for (size_t s = 0; s < st.shards.size(); ++s) {
         const EngineOutcome& out = st.outcomes[s];
@@ -248,6 +267,12 @@ bool record_outcome(const std::shared_ptr<CampaignState>& st, size_t s,
     const EngineOutcome& stored = st->outcomes[s];
     const bool completed = stored.ran && !stored.canceled;
     if (completed) {
+        // Publication is the insertion point, and only full runs publish —
+        // the same guard the CostModel feedback applies: a canceled shard's
+        // partial bitmap must never enter the store.
+        if (st->cache) {
+            st->cache->insert(st->cache_ctx, shard.faults, stored.detected);
+        }
         st->shards_done.fetch_add(1, std::memory_order_relaxed);
         st->faults_done.fetch_add(
             static_cast<uint32_t>(shard.faults.size()),
@@ -385,6 +410,15 @@ CampaignScheduler::CampaignScheduler(
       pool_(pool),
       opts_(opts),
       cost_model_(std::make_shared<CostModel>(*compiled_, opts.cost_alpha)) {
+    if (opts_.verdict_cache) {
+        // Warm start: adopt the learned cost table a previous Session
+        // persisted for this design (restore() refuses mismatched signal
+        // spaces, so a different design's table can never leak in).
+        if (const auto snap = opts_.verdict_cache->find_cost_model(
+                compiled_->design_hash())) {
+            (void)cost_model_->restore(*snap);
+        }
+    }
     if (opts_.remote.enabled()) {
         worker_slots_.resize(opts_.remote.workers.size());
         remote_threads_.reserve(opts_.remote.workers.size());
@@ -405,6 +439,20 @@ CampaignScheduler::~CampaignScheduler() {
     }
     work_cv_.notify_all();
     for (std::thread& t : remote_threads_) t.join();
+
+    if (opts_.verdict_cache) {
+        // Warm-start store-back: what this Session learned — the cost
+        // table and each worker slot's shipping-overhead EWMA — outlives
+        // it. Slots are quiescent here (dispatchers joined above).
+        if (cost_model_->observations() > 0) {
+            opts_.verdict_cache->store_cost_model(compiled_->design_hash(),
+                                                  cost_model_->snapshot());
+        }
+        for (size_t w = 0; w < worker_slots_.size(); ++w) {
+            opts_.verdict_cache->store_worker_overhead(
+                opts_.remote.workers[w], worker_slots_[w].overhead_ewma);
+        }
+    }
 }
 
 std::shared_ptr<CampaignState> CampaignScheduler::make_state(
@@ -436,6 +484,49 @@ std::shared_ptr<CampaignState> CampaignScheduler::make_state(
     // one-empty-shard result for the legacy blocking paths.
     if (faults.empty()) return st;
 
+    // Verdict-cache partition: faults already proven under this exact
+    // (design, stimulus, engine) context are served from the cache and
+    // merged into the result at finalization; only the misses are sharded
+    // and dispatched. Content addressing is per fault, so hits survive any
+    // re-partition the learned-cost loop produces between runs. Factory
+    // campaigns are uncacheable — the key must fingerprint the stimulus.
+    std::vector<fault::Fault> miss_faults;
+    std::vector<uint32_t> miss_ids;
+    std::span<const fault::Fault> to_shard = faults;
+    if (opts_.verdict_cache && remote_spec != nullptr) {
+        st->cache = opts_.verdict_cache;
+        st->cache_ctx = VerdictCache::context_key(compiled_->design_hash(),
+                                                  st->stim_spec, opts.engine);
+        const VerdictCache::Partition part =
+            st->cache->lookup(st->cache_ctx, faults);
+        if (part.hits > 0) {
+            const uint32_t n = static_cast<uint32_t>(faults.size());
+            miss_faults.reserve(n - part.hits);
+            miss_ids.reserve(n - part.hits);
+            st->hit_ids.reserve(part.hits);
+            st->hit_verdicts.reserve(part.hits);
+            for (uint32_t i = 0; i < n; ++i) {
+                if (part.hit[i]) {
+                    st->hit_ids.push_back(i);
+                    st->hit_verdicts.push_back(part.verdict[i]);
+                    if (part.verdict[i]) ++st->hit_detected;
+                } else {
+                    miss_faults.push_back(faults[i]);
+                    miss_ids.push_back(i);
+                }
+            }
+            // Hits are finished work: the progress counters start at the
+            // served totals so progress() includes them from the outset.
+            st->faults_done.store(part.hits, std::memory_order_relaxed);
+            st->detected_done.store(st->hit_detected,
+                                    std::memory_order_relaxed);
+            // Every fault hit: zero shards, and the caller finalizes via
+            // finish_empty exactly like an empty fault list.
+            if (miss_faults.empty()) return st;
+            to_shard = miss_faults;
+        }
+    }
+
     const uint32_t threads = static_cast<uint32_t>(pool_.num_threads());
     const uint32_t want_shards =
         opts.num_shards > 0 ? opts.num_shards : threads;
@@ -447,9 +538,9 @@ std::shared_ptr<CampaignState> CampaignScheduler::make_state(
     // (lane-aligned work per shard) — with the learned deferral-rate packer
     // clustering control-correlated faults into the same unit once
     // measurements exist.
-    const std::vector<uint64_t> costs = opts_.learn_costs
-                                            ? cost_model_->fault_costs(faults)
-                                            : compiled_->fault_costs(faults);
+    const std::vector<uint64_t> costs =
+        opts_.learn_costs ? cost_model_->fault_costs(to_shard)
+                          : compiled_->fault_costs(to_shard);
     if (opts.engine.batching == FaultBatching::Word) {
         GroupPacker packer;
         if (opts_.learn_costs && opts_.learned_packing &&
@@ -476,11 +567,21 @@ std::shared_ptr<CampaignState> CampaignScheduler::make_state(
                 return order;
             };
         }
-        st->shards = make_shards_grouped(faults, costs, want_shards,
+        st->shards = make_shards_grouped(to_shard, costs, want_shards,
                                          opts.shard_policy, packer);
     } else {
         st->shards =
-            make_shards(faults, costs, want_shards, opts.shard_policy);
+            make_shards(to_shard, costs, want_shards, opts.shard_policy);
+    }
+
+    if (!miss_ids.empty()) {
+        // The shards partitioned the miss subset; translate their local
+        // ids back to the submitted list's global ids. miss_ids is
+        // ascending and each shard's ids are, so the remapped ids stay
+        // ascending and the index-ordered merge is untouched.
+        for (Shard& sh : st->shards) {
+            for (uint32_t& g : sh.global_ids) g = miss_ids[g];
+        }
     }
 
     uint32_t parallelism = std::min<uint32_t>(
@@ -808,6 +909,18 @@ void CampaignScheduler::remote_worker_loop(size_t worker_index) {
     // shipping-overhead EWMA and request-id counter survive reconnects.
     RemoteWorkerLink link(opts_.remote,
                           opts_.remote.workers[worker_index]);
+    if (opts_.verdict_cache) {
+        // Warm start: a persisted shipping-overhead EWMA primes the
+        // placement gate before this link completes its first unit, so
+        // even the first placement decision is gated on history.
+        const double warm =
+            opts_.verdict_cache->worker_overhead(link.port());
+        if (warm > 0.0) {
+            link.seed_overhead(warm);
+            std::lock_guard<std::mutex> lock(mu_);
+            worker_slots_[worker_index].overhead_ewma = warm;
+        }
+    }
     util::Backoff backoff(std::max<uint32_t>(1, opts_.remote.reconnect_base_ms),
                           std::max<uint32_t>(1, opts_.remote.reconnect_max_ms),
                           0x5EEDF1EE7ULL ^ (worker_index * 0x9E3779B9ULL));
@@ -1043,6 +1156,7 @@ SchedulerStats CampaignScheduler::stats() const {
         }
     }
     s.remote.overhead_ewma_seconds = n > 0 ? sum / n : 0.0;
+    if (opts_.verdict_cache) s.cache = opts_.verdict_cache->stats();
     return s;
 }
 

@@ -82,6 +82,7 @@
 #include <vector>
 
 #include "eraser/session.h"
+#include "eraser/verdict_cache.h"
 
 namespace eraser::util {
 class ThreadPool;
@@ -129,6 +130,9 @@ struct SchedulerStats {
     uint64_t shards_dispatched = 0;  // shard claims (local + remote, incl.
                                      // re-dispatched units)
     RemoteFleetStats remote;         // distributed-fabric counters
+    CacheStats cache;                // verdict-cache counters (cache-global:
+                                     // shared caches accumulate across
+                                     // every Session using them)
 };
 
 class CampaignScheduler {

@@ -1,0 +1,372 @@
+#include "eraser/verdict_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "eraser/canonical.h"
+#include "eraser/concurrent_sim.h"
+#include "eraser/remote.h"
+#include "util/diagnostics.h"
+#include "util/wire.h"
+
+namespace eraser::core {
+
+using util::WireError;
+using util::WireReader;
+using util::WireWriter;
+
+namespace {
+
+/// First store frame: "ERSC" magic + layout version.
+constexpr uint32_t kStoreMagic = 0x43535245;   // 'E','R','S','C' LE
+
+}  // namespace
+
+VerdictCache::VerdictCache(VerdictCacheOptions opts) : opts_(std::move(opts)) {
+    bucket_budget_blocks_ =
+        std::max<uint64_t>(1, opts_.max_bytes / kNumBuckets / kBlockBytes);
+    if (!opts_.store_path.empty()) (void)load(opts_.store_path);
+}
+
+VerdictCache::~VerdictCache() {
+    if (opts_.store_path.empty()) return;
+    try {
+        (void)flush();
+    } catch (...) {
+        // Best effort: a failed flush loses warmth, never correctness.
+    }
+}
+
+uint64_t VerdictCache::context_key(uint64_t design_hash,
+                                   const StimulusSpec& stimulus,
+                                   const EngineOptions& engine) {
+    WireWriter w;
+    w.u64(design_hash);
+    uint64_t h = util::fnv1a64(w.bytes());
+    h = canonical::stimulus_hash(stimulus, h);
+    h = canonical::engine_fingerprint(engine, h);
+    return h;
+}
+
+VerdictCache::Partition VerdictCache::lookup(
+    uint64_t context, std::span<const fault::Fault> faults) {
+    Partition p;
+    p.hit.assign(faults.size(), false);
+    p.verdict.assign(faults.size(), false);
+    uint64_t hits = 0;
+    for (size_t i = 0; i < faults.size(); ++i) {
+        const fault::Fault& f = faults[i];
+        if (f.bit >= 64) continue;   // outside lane range: uncacheable
+        const uint64_t key =
+            canonical::plane_hash(f.sig, f.stuck_one, context);
+        const uint64_t lane = 1ull << f.bit;
+        Bucket& b = bucket_of(key);
+        std::lock_guard<std::mutex> lock(b.mu);
+        auto it = b.blocks.find(key);
+        if (it == b.blocks.end() || (it->second.mask & lane) == 0) continue;
+        p.hit[i] = true;
+        p.verdict[i] = (it->second.bits & lane) != 0;
+        it->second.tick =
+            tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+        ++hits;
+    }
+    p.hits = static_cast<uint32_t>(hits);
+    hits_.fetch_add(hits, std::memory_order_relaxed);
+    misses_.fetch_add(faults.size() - hits, std::memory_order_relaxed);
+    return p;
+}
+
+void VerdictCache::insert(uint64_t context,
+                          std::span<const fault::Fault> faults,
+                          const std::vector<bool>& detected) {
+    if (detected.size() != faults.size()) {
+        throw SimError("VerdictCache::insert: verdict bitmap size mismatch");
+    }
+    uint64_t inserted = 0;
+    for (size_t i = 0; i < faults.size(); ++i) {
+        const fault::Fault& f = faults[i];
+        if (f.bit >= 64) continue;
+        const uint64_t key =
+            canonical::plane_hash(f.sig, f.stuck_one, context);
+        const uint64_t lane = 1ull << f.bit;
+        Bucket& b = bucket_of(key);
+        std::lock_guard<std::mutex> lock(b.mu);
+        auto [it, fresh] = b.blocks.try_emplace(key);
+        if (fresh) blocks_.fetch_add(1, std::memory_order_relaxed);
+        Block& blk = it->second;
+        if ((blk.mask & lane) == 0) {
+            ++inserted;
+            entries_.fetch_add(1, std::memory_order_relaxed);
+        }
+        blk.mask |= lane;
+        blk.bits = detected[i] ? (blk.bits | lane) : (blk.bits & ~lane);
+        blk.tick = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (b.blocks.size() > bucket_budget_blocks_) evict_locked(b);
+    }
+    insertions_.fetch_add(inserted, std::memory_order_relaxed);
+}
+
+void VerdictCache::evict_locked(Bucket& b) {
+    // Batch eviction: drop the oldest blocks down to 3/4 of the budget, so
+    // a hot insert path is not re-sorting the bucket on every overflow.
+    const uint64_t target =
+        bucket_budget_blocks_ - bucket_budget_blocks_ / 4;
+    if (b.blocks.size() <= target) return;
+    std::vector<std::pair<uint64_t, uint64_t>> order;   // (tick, key)
+    order.reserve(b.blocks.size());
+    for (const auto& [key, blk] : b.blocks) order.emplace_back(blk.tick, key);
+    const size_t evict = b.blocks.size() - static_cast<size_t>(target);
+    std::nth_element(order.begin(),
+                     order.begin() + static_cast<ptrdiff_t>(evict),
+                     order.end());
+    uint64_t dropped = 0;
+    for (size_t i = 0; i < evict; ++i) {
+        auto it = b.blocks.find(order[i].second);
+        dropped += std::popcount(it->second.mask);
+        b.blocks.erase(it);
+    }
+    blocks_.fetch_sub(evict, std::memory_order_relaxed);
+    entries_.fetch_sub(dropped, std::memory_order_relaxed);
+    evictions_.fetch_add(dropped, std::memory_order_relaxed);
+}
+
+void VerdictCache::store_cost_model(uint64_t design_hash,
+                                    const CostModelSnapshot& snap) {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    cost_models_[design_hash] = snap;
+}
+
+std::optional<CostModelSnapshot> VerdictCache::find_cost_model(
+    uint64_t design_hash) const {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    auto it = cost_models_.find(design_hash);
+    if (it == cost_models_.end()) return std::nullopt;
+    return it->second;
+}
+
+void VerdictCache::store_worker_overhead(uint16_t port, double ewma_seconds) {
+    if (!(ewma_seconds > 0.0)) return;
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    worker_overheads_[port] = ewma_seconds;
+}
+
+double VerdictCache::worker_overhead(uint16_t port) const {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    auto it = worker_overheads_.find(port);
+    return it == worker_overheads_.end() ? 0.0 : it->second;
+}
+
+bool VerdictCache::flush() {
+    if (opts_.store_path.empty()) return false;
+    return save(opts_.store_path);
+}
+
+bool VerdictCache::save(const std::string& path) const {
+    std::vector<uint8_t> file;
+
+    WireWriter header;
+    header.u32(kStoreMagic);
+    header.u32(kVerdictStoreVersion);
+    util::append_frame(file, header.bytes());
+
+    // Blocks, oldest-touched first: load() re-ticks them in file order, so
+    // the LRU ordering survives the round trip.
+    std::vector<std::pair<uint64_t, std::pair<uint64_t, Block>>> all;
+    for (const Bucket& b : buckets_) {
+        std::lock_guard<std::mutex> lock(b.mu);
+        for (const auto& [key, blk] : b.blocks) {
+            all.emplace_back(blk.tick, std::make_pair(key, blk));
+        }
+    }
+    std::sort(all.begin(), all.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    WireWriter blocks;
+    blocks.varint(all.size());
+    for (const auto& [tick, kv] : all) {
+        blocks.u64(kv.first);
+        blocks.u64(kv.second.mask);
+        blocks.u64(kv.second.bits);
+    }
+    util::append_frame(file, blocks.bytes());
+
+    {
+        std::lock_guard<std::mutex> lock(meta_mu_);
+        WireWriter models;
+        models.varint(cost_models_.size());
+        for (const auto& [hash, snap] : cost_models_) {
+            models.u64(hash);
+            models.f64(snap.unit_scale);
+            models.varint(snap.observations);
+            models.varint(snap.cost.size());
+            for (double c : snap.cost) models.f64(c);
+            for (double d : snap.defer) models.f64(d);
+        }
+        util::append_frame(file, models.bytes());
+
+        WireWriter overheads;
+        overheads.varint(worker_overheads_.size());
+        for (const auto& [port, ewma] : worker_overheads_) {
+            overheads.u32(port);
+            overheads.f64(ewma);
+        }
+        util::append_frame(file, overheads.bytes());
+    }
+
+    // Write-temp-then-rename: a crash mid-write leaves the previous store
+    // intact, and no reader ever sees a partial file.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) return false;
+        out.write(reinterpret_cast<const char*>(file.data()),
+                  static_cast<std::streamsize>(file.size()));
+        if (!out.good()) {
+            out.close();
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool VerdictCache::load(const std::string& path) {
+    clear();
+    std::vector<uint8_t> file;
+    {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        if (!in) return false;   // no store yet: plain cold start
+        const std::streamsize size = in.tellg();
+        in.seekg(0);
+        file.resize(static_cast<size_t>(size));
+        in.read(reinterpret_cast<char*>(file.data()), size);
+        if (!in.good()) {
+            load_failures_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+    }
+
+    try {
+        size_t pos = 0;
+        std::vector<uint8_t> payload;
+        const auto read_frame = [&]() -> WireReader {
+            if (!util::next_frame(file, pos, payload)) {
+                throw WireError("store ends before all sections");
+            }
+            return WireReader(payload);
+        };
+
+        {
+            WireReader r = read_frame();
+            if (r.u32() != kStoreMagic) throw WireError("bad store magic");
+            if (r.u32() != kVerdictStoreVersion) {
+                throw WireError("store version skew");
+            }
+            r.expect_end();
+        }
+        {
+            WireReader r = read_frame();
+            const uint64_t n = r.varint();
+            if (n > r.remaining()) throw WireError("block count too large");
+            uint64_t loaded_blocks = 0;
+            uint64_t loaded_entries = 0;
+            for (uint64_t i = 0; i < n; ++i) {
+                const uint64_t key = r.u64();
+                Block blk;
+                blk.mask = r.u64();
+                blk.bits = r.u64();
+                // File order is oldest-first; re-tick sequentially so the
+                // persisted LRU order carries over.
+                blk.tick = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+                Bucket& b = bucket_of(key);
+                std::lock_guard<std::mutex> lock(b.mu);
+                if (b.blocks.insert_or_assign(key, blk).second) {
+                    ++loaded_blocks;
+                    loaded_entries += std::popcount(blk.mask);
+                }
+            }
+            r.expect_end();
+            blocks_.fetch_add(loaded_blocks, std::memory_order_relaxed);
+            entries_.fetch_add(loaded_entries, std::memory_order_relaxed);
+        }
+        {
+            WireReader r = read_frame();
+            const uint64_t n = r.varint();
+            std::lock_guard<std::mutex> lock(meta_mu_);
+            for (uint64_t i = 0; i < n; ++i) {
+                const uint64_t hash = r.u64();
+                CostModelSnapshot snap;
+                snap.unit_scale = r.f64();
+                snap.observations = r.varint();
+                const uint64_t sigs = r.varint();
+                if (sigs > r.remaining()) {
+                    throw WireError("cost table longer than frame");
+                }
+                snap.cost.reserve(sigs);
+                snap.defer.reserve(sigs);
+                for (uint64_t s = 0; s < sigs; ++s) {
+                    snap.cost.push_back(r.f64());
+                }
+                for (uint64_t s = 0; s < sigs; ++s) {
+                    snap.defer.push_back(r.f64());
+                }
+                cost_models_[hash] = std::move(snap);
+            }
+            r.expect_end();
+        }
+        {
+            WireReader r = read_frame();
+            const uint64_t n = r.varint();
+            std::lock_guard<std::mutex> lock(meta_mu_);
+            for (uint64_t i = 0; i < n; ++i) {
+                const uint16_t port = static_cast<uint16_t>(r.u32());
+                worker_overheads_[port] = r.f64();
+            }
+            r.expect_end();
+        }
+    } catch (const WireError&) {
+        // Corrupt, truncated, or version-skewed: degrade to a cold cache.
+        clear();
+        load_failures_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    warm_.store(true, std::memory_order_relaxed);
+    return true;
+}
+
+void VerdictCache::clear() {
+    for (Bucket& b : buckets_) {
+        std::lock_guard<std::mutex> lock(b.mu);
+        b.blocks.clear();
+    }
+    {
+        std::lock_guard<std::mutex> lock(meta_mu_);
+        cost_models_.clear();
+        worker_overheads_.clear();
+    }
+    blocks_.store(0, std::memory_order_relaxed);
+    entries_.store(0, std::memory_order_relaxed);
+    warm_.store(false, std::memory_order_relaxed);
+}
+
+CacheStats VerdictCache::stats() const {
+    CacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.insertions = insertions_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.units = blocks_.load(std::memory_order_relaxed);
+    s.entries = entries_.load(std::memory_order_relaxed);
+    s.bytes = s.units * kBlockBytes;
+    s.load_failures = load_failures_.load(std::memory_order_relaxed);
+    s.warm = warm_.load(std::memory_order_relaxed);
+    return s;
+}
+
+}  // namespace eraser::core

@@ -1,0 +1,215 @@
+// VerdictCache: the content-addressed verdict store and persistent
+// warm-start layer between campaign admission and dispatch.
+//
+// ERASER's determinism invariant makes a fault's verdict a pure function
+// of (design, stimulus, fault, engine config) — pinned bit-identical
+// across shard counts, thread counts, batching modes, scheduling configs,
+// and the distributed fleet by every prior PR's tests. So a verdict proven
+// once never needs re-simulating: a service fielding repeat traffic (CI
+// reruns, sweep overlap, incremental RTL edits) answers it from a store
+// keyed by content, the way the batch-IVerilog related work keys golden
+// digests by run identity.
+//
+// Key composition (all canonical hashes, eraser/canonical.h):
+//
+//   context = H(design_hash | stimulus kind+payload | engine fingerprint)
+//   block   = H(context | fault signal | fault polarity)     lane = bit
+//
+// The store is organized at 64-lane-unit granularity: one Block holds the
+// verdicts of every bit of one (signal, polarity) plane under one context
+// — the cache-side mirror of the batched engine's per-signal value planes
+// (fault::DivergenceBlockStore), with a membership mask exactly like the
+// engine's per-group membership word. Content addressing per fault (not
+// per dispatch unit) is what makes warm hits partition-independent: the
+// learned-cost feedback loop may re-shard a resubmitted campaign
+// completely differently and every fault still hits.
+//
+// Invalidation is purely structural — there is none to do. Any edit that
+// could move a verdict (design structure, stimulus bytes, redundancy mode,
+// interpreter, batching, audit) changes the context hash, so stale entries
+// are simply never addressed again and age out via LRU. time_phases is
+// excluded from the fingerprint: it toggles instrumentation, not verdicts.
+//
+// Concurrency: lookups/inserts shard across fixed buckets, each a mutex +
+// hash map, so concurrent Sessions share one cache with per-bucket
+// contention only. Eviction is per-bucket LRU (global logical clock,
+// oldest quarter evicted when a bucket exceeds its share of max_bytes).
+//
+// Persistence: save() serializes everything through the CRC-framed
+// util/wire buffer codecs (header frame with magic+version, then blocks,
+// learned CostModel tables per design hash, per-worker shipping-overhead
+// EWMAs) and commits with write-temp-then-atomic-rename. load() of a
+// missing, corrupted, truncated, or version-skewed file degrades to a cold
+// cache — never an error, counted in CacheStats::load_failures. The
+// warm-start side tables are what let a fresh Session start with tuned
+// partitioning (CostModel::restore) and placement
+// (RemoteWorkerLink::seed_overhead) instead of relearning from scratch.
+//
+// Integration (eraser/scheduler.cpp): SchedulerOptions::verdict_cache
+// makes the scheduler partition each StimulusSpec submission into hits
+// (merged into the result bitmap immediately, index-ordered) and misses
+// (sharded and dispatched as usual); completed shards insert on
+// publication — never canceled/partial ones, mirroring the CostModel
+// guard. CacheStats surfaces through SchedulerStats::cache.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eraser/compiled_design.h"
+#include "fault/fault.h"
+
+namespace eraser::core {
+
+struct StimulusSpec;
+struct EngineOptions;
+
+/// Bumped on any store-layout change; a skewed file loads as cold.
+inline constexpr uint32_t kVerdictStoreVersion = 1;
+
+struct VerdictCacheOptions {
+    /// Store file: loaded at construction, written by flush() and (best
+    /// effort) at destruction. Empty = in-memory only.
+    std::string store_path;
+    /// Resident size cap; per-bucket LRU eviction keeps the cache under
+    /// it. 0 = minimal (evicts aggressively; useful in tests only).
+    uint64_t max_bytes = 64ull << 20;
+};
+
+/// Point-in-time counters (SchedulerStats::cache). Cache-global: one
+/// shared cache accumulates across every Session using it.
+struct CacheStats {
+    uint64_t hits = 0;           // faults served without simulation
+    uint64_t misses = 0;         // faults that had to dispatch
+    uint64_t insertions = 0;     // verdicts newly cached
+    uint64_t evictions = 0;      // verdicts dropped by the size cap
+    uint64_t units = 0;          // resident 64-lane blocks
+    uint64_t entries = 0;        // resident verdicts
+    uint64_t bytes = 0;          // approximate resident footprint
+    uint64_t load_failures = 0;  // corrupt/skewed store files gone cold
+    bool warm = false;           // a persisted store was loaded
+
+    [[nodiscard]] double hit_ratio() const {
+        const uint64_t total = hits + misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(total);
+    }
+};
+
+class VerdictCache {
+  public:
+    explicit VerdictCache(VerdictCacheOptions opts = {});
+    ~VerdictCache();
+
+    VerdictCache(const VerdictCache&) = delete;
+    VerdictCache& operator=(const VerdictCache&) = delete;
+
+    /// The campaign context component of the key. `design_hash` is the
+    /// Session's CompiledDesign::design_hash(); the stimulus and the
+    /// verdict-relevant engine fields are folded in canonically (cycle
+    /// count travels inside the stimulus payload).
+    [[nodiscard]] static uint64_t context_key(uint64_t design_hash,
+                                              const StimulusSpec& stimulus,
+                                              const EngineOptions& engine);
+
+    /// Hit/miss split of one submitted fault list, parallel to `faults`.
+    struct Partition {
+        std::vector<bool> hit;
+        std::vector<bool> verdict;   // valid where hit[i]
+        uint32_t hits = 0;
+    };
+
+    /// Looks up every fault under `context`, counting hits/misses and
+    /// touching hit blocks' LRU ticks.
+    [[nodiscard]] Partition lookup(uint64_t context,
+                                   std::span<const fault::Fault> faults);
+
+    /// Inserts the verdicts of one completed shard (`detected` parallel to
+    /// `faults`). Callers must only insert shards that ran to completion —
+    /// a canceled shard's partial bitmap would poison the store.
+    void insert(uint64_t context, std::span<const fault::Fault> faults,
+                const std::vector<bool>& detected);
+
+    // -- warm-start side tables (persisted with the blocks) --
+
+    /// Learned CostModel state, keyed by design hash.
+    void store_cost_model(uint64_t design_hash, const CostModelSnapshot& snap);
+    [[nodiscard]] std::optional<CostModelSnapshot> find_cost_model(
+        uint64_t design_hash) const;
+
+    /// Shipping-overhead EWMA of one worker, keyed by port.
+    void store_worker_overhead(uint16_t port, double ewma_seconds);
+    /// 0.0 when nothing is persisted for `port`.
+    [[nodiscard]] double worker_overhead(uint16_t port) const;
+
+    // -- persistence --
+
+    /// save() to the configured store_path (false when none, or on I/O
+    /// failure). Atomic: readers of the path never see a partial file.
+    bool flush();
+    bool save(const std::string& path) const;
+    /// Replaces the resident contents with the file's. A missing file is a
+    /// plain cold start (returns false); a corrupted, truncated, or
+    /// version-skewed one additionally counts a load_failure. Never throws.
+    bool load(const std::string& path);
+    void clear();
+
+    [[nodiscard]] CacheStats stats() const;
+    [[nodiscard]] const std::string& store_path() const {
+        return opts_.store_path;
+    }
+
+  private:
+    /// Verdicts of one (context, signal, polarity) plane; lane = bit index.
+    struct Block {
+        uint64_t mask = 0;   // lanes holding a cached verdict
+        uint64_t bits = 0;   // the verdicts (valid under mask)
+        uint64_t tick = 0;   // LRU: last touch on the global clock
+    };
+    struct Bucket {
+        mutable std::mutex mu;
+        std::unordered_map<uint64_t, Block> blocks;
+    };
+    static constexpr size_t kNumBuckets = 64;
+    /// Accounting size of one resident block (key + Block + map overhead).
+    static constexpr uint64_t kBlockBytes = 48;
+
+    Bucket& bucket_of(uint64_t key) {
+        return buckets_[key % kNumBuckets];
+    }
+    const Bucket& bucket_of(uint64_t key) const {
+        return buckets_[key % kNumBuckets];
+    }
+
+    /// Evicts the oldest quarter of `b` once it exceeds its share of
+    /// max_bytes. Caller holds b.mu.
+    void evict_locked(Bucket& b);
+
+    VerdictCacheOptions opts_;
+    uint64_t bucket_budget_blocks_ = 0;
+    std::array<Bucket, kNumBuckets> buckets_;
+
+    std::atomic<uint64_t> tick_{0};
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> insertions_{0};
+    std::atomic<uint64_t> evictions_{0};
+    std::atomic<uint64_t> blocks_{0};
+    std::atomic<uint64_t> entries_{0};
+    std::atomic<uint64_t> load_failures_{0};
+    std::atomic<bool> warm_{false};
+
+    mutable std::mutex meta_mu_;   // warm-start side tables
+    std::unordered_map<uint64_t, CostModelSnapshot> cost_models_;
+    std::unordered_map<uint16_t, double> worker_overheads_;
+};
+
+}  // namespace eraser::core

@@ -53,6 +53,52 @@ uint64_t fnv1a64(std::string_view data, uint64_t seed) {
     return h;
 }
 
+uint64_t fnv1a64(std::span<const uint8_t> data, uint64_t seed) {
+    uint64_t h = seed;
+    for (uint8_t c : data) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+// --- buffered framing --------------------------------------------------------
+
+void append_frame(std::vector<uint8_t>& out, std::span<const uint8_t> payload) {
+    uint64_t v = payload.size();
+    while (v >= 0x80) {
+        out.push_back(uint8_t(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(uint8_t(v));
+    out.insert(out.end(), payload.begin(), payload.end());
+    const uint32_t crc = crc32(payload);
+    for (int i = 0; i < 4; ++i) out.push_back(uint8_t(crc >> (8 * i)));
+}
+
+bool next_frame(std::span<const uint8_t> buf, size_t& pos,
+                std::vector<uint8_t>& payload) {
+    if (pos >= buf.size()) return false;
+    uint64_t len = 0;
+    for (unsigned shift = 0;; shift += 7) {
+        if (shift >= 64) throw WireError("varint longer than 64 bits");
+        if (pos >= buf.size()) throw WireError("truncated frame length");
+        const uint8_t b = buf[pos++];
+        len |= uint64_t(b & 0x7F) << shift;
+        if (!(b & 0x80)) break;
+    }
+    if (len > WireConn::kMaxFrameBytes) throw WireError("oversized frame");
+    if (buf.size() - pos < len + 4) throw WireError("truncated frame");
+    payload.assign(buf.begin() + static_cast<ptrdiff_t>(pos),
+                   buf.begin() + static_cast<ptrdiff_t>(pos + len));
+    pos += len;
+    uint32_t crc = 0;
+    for (int i = 0; i < 4; ++i) crc |= uint32_t(buf[pos + i]) << (8 * i);
+    pos += 4;
+    if (crc != crc32(payload)) throw WireError("frame CRC mismatch");
+    return true;
+}
+
 // --- WireWriter --------------------------------------------------------------
 
 void WireWriter::u32(uint32_t v) {

@@ -51,6 +51,11 @@ class WireError : public std::runtime_error {
 [[nodiscard]] uint64_t fnv1a64(std::string_view data,
                                uint64_t seed = 0xcbf29ce484222325ULL);
 
+/// Same hash over raw bytes (canonical wire forms, stimulus payloads);
+/// byte-for-byte identical to the string_view overload.
+[[nodiscard]] uint64_t fnv1a64(std::span<const uint8_t> data,
+                               uint64_t seed = 0xcbf29ce484222325ULL);
+
 /// Capped exponential backoff with deterministic jitter. next_ms() draws
 /// uniformly from [delay/2, delay] and doubles `delay` up to `max_ms`;
 /// reset() rewinds to `base_ms` after a success. The jitter stream is a
@@ -122,6 +127,23 @@ class WireReader {
     std::span<const uint8_t> data_;
     size_t pos_ = 0;
 };
+
+// --- buffered framing --------------------------------------------------------
+//
+// The byte-exact frame layout WireConn puts on a socket, applied to a flat
+// buffer instead — the persistence path of the verdict-cache store
+// (eraser/verdict_cache.h) reuses the one framing codec, so a truncated or
+// bit-flipped store file surfaces as WireError exactly like a corrupted
+// stream does.
+
+/// Appends one frame (`varint(len) | payload | crc32 LE`) to `out`.
+void append_frame(std::vector<uint8_t>& out, std::span<const uint8_t> payload);
+
+/// Decodes the frame starting at `pos`, advancing `pos` past it. Returns
+/// false at a clean end (`pos == buf.size()`); throws WireError on a
+/// truncated frame, an oversized length, or a CRC mismatch.
+[[nodiscard]] bool next_frame(std::span<const uint8_t> buf, size_t& pos,
+                              std::vector<uint8_t>& payload);
 
 // --- framed connection -------------------------------------------------------
 

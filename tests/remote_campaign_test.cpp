@@ -32,6 +32,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
@@ -834,6 +835,90 @@ TEST(RemoteChaos, SeededChaosSoakSelfHealsBitIdentical) {
     EXPECT_GE(quarantines, 1u) << "failure-rate window never tripped";
     EXPECT_TRUE(killed.load());
     EXPECT_GE(sup.respawns(), 1u);
+}
+
+// --- warm-start placement ----------------------------------------------------
+
+// The persisted shipping-overhead EWMA must drive a fresh Session's FIRST
+// placement decision. Phase 1 learns a cost model (so predicted unit walls
+// are nonzero) and persists a large overhead for the worker's port through
+// the verdict-cache store file. Phase 2 opens a brand-new cache + Session
+// against that store: the placement gate must refuse to ship every unit —
+// predicted wall (milliseconds) is far below the persisted 123s overhead —
+// before the worker has ever served a unit in this process. Without the
+// warm start the link's EWMA would be 0.0 ("unknown") and the pinned pool
+// would force every unit remote, so units_completed == 0 distinguishes the
+// two unambiguously.
+TEST(WarmStart, PersistedOverheadEwmaGatesFirstPlacement) {
+    FleetTestRig rig("alu");
+    const std::string store =
+        ::testing::TempDir() + "overhead_warm.store";
+    std::remove(store.c_str());
+    TestWorker worker;
+
+    core::VerdictCacheOptions vopts;
+    vopts.store_path = store;
+    {
+        // Local-only warm-up: learn the cost model, then persist a
+        // prohibitive overhead for the worker as a prior fleet's EWMA.
+        auto cache = std::make_shared<core::VerdictCache>(vopts);
+        core::SessionOptions sopts;
+        sopts.num_threads = 2;
+        sopts.scheduler.verdict_cache = cache;
+        core::Session session(rig.compiled, sopts);
+        CampaignOptions copts;
+        copts.num_shards = 4;
+        const auto r = session.submit(rig.faults, rig.stim, copts).wait();
+        EXPECT_EQ(r.detected, rig.ref.detected);
+        cache->store_worker_overhead(worker.port(), 123.0);
+    }   // Session stores the learned CostModel; cache flushes the file.
+
+    auto cache = std::make_shared<core::VerdictCache>(vopts);
+    ASSERT_TRUE(cache->stats().warm);
+    ASSERT_DOUBLE_EQ(cache->worker_overhead(worker.port()), 123.0);
+
+    core::SessionOptions sopts;
+    sopts.num_threads = 1;
+    sopts.scheduler.verdict_cache = cache;
+    sopts.scheduler.remote.workers = {worker.port()};
+    sopts.scheduler.remote.design = suite::design_spec(rig.bench);
+    core::Session session(rig.compiled, sopts);
+    EXPECT_GT(session.scheduler().cost_model().predict_seconds(1000), 0.0)
+        << "warm cost model is a precondition for the placement gate";
+
+    // Pin the pool so the gate is the only thing keeping units local, and
+    // submit a stimulus the cache has NOT seen (different cycle count) so
+    // every unit actually needs placing rather than being served as a hit.
+    CampaignOptions gate_opts;
+    gate_opts.num_shards = 1;
+    auto gate = session.submit(rig.faults, rig.gate_factory(), gate_opts);
+    const core::StimulusSpec fresh_stim =
+        suite::remote_stimulus(rig.bench, rig.bench.test_cycles + 1);
+    CampaignOptions opts;
+    opts.num_shards = 3;
+    auto handle = session.submit(rig.faults, fresh_stim, opts);
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (session.scheduler().stats().remote.units_skipped_cost == 0) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "placement gate never evaluated (worker link down?)";
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const auto remote = session.scheduler().stats().remote;
+    ASSERT_EQ(remote.workers.size(), 1u);
+    EXPECT_DOUBLE_EQ(remote.workers[0].overhead_ewma_seconds, 123.0)
+        << "link must start from the persisted EWMA, not 0.0";
+    EXPECT_EQ(remote.units_completed, 0u)
+        << "gate must refuse shipping before the worker ever serves";
+
+    rig.release.store(true, std::memory_order_release);
+    const auto result = handle.wait();
+    (void)gate.wait();
+    EXPECT_FALSE(result.canceled);
+    EXPECT_EQ(session.scheduler().stats().remote.units_completed, 0u);
+    EXPECT_EQ(worker.units_served(), 0u);
+    std::remove(store.c_str());
 }
 
 }  // namespace

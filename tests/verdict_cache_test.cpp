@@ -1,0 +1,583 @@
+// Verdict cache (eraser/verdict_cache.h) contract:
+//
+//  * the canonical codec (eraser/canonical.h) roundtrips faults and is
+//    what both the wire layer and the cache key hash — DesignSpec::hash()
+//    delegates to it;
+//  * key sensitivity: an RTL edit, a stimulus seed/cycle change, and any
+//    verdict-relevant engine-config change (batching, redundancy mode,
+//    interpreter, audit) each move the context key and force cold misses;
+//    time_phases does NOT (instrumentation-only);
+//  * a campaign resubmitted against a warm cache — same process, or a
+//    fresh Session loading the persisted store file — yields bit-identical
+//    detection bitmaps to the cache-disabled run, across Word and Off
+//    batching, with every fault served from the cache (the >= 90%
+//    acceptance criterion, met at 100% because addressing is per fault);
+//  * two concurrent Sessions share one cache safely (the "cache" +
+//    "concurrency" ctest labels put this under TSan);
+//  * a missing store file is a plain cold start; corrupted, truncated, and
+//    version-skewed files degrade to cold with load_failures counted —
+//    never an exception;
+//  * the size cap evicts LRU and never serves evicted entries;
+//  * the warm-start side tables persist the learned CostModel across
+//    Sessions (a fresh Session's scheduler starts calibrated).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eraser/eraser.h"
+#include "frontend/compile.h"
+#include "suite/suite.h"
+#include "util/diagnostics.h"
+#include "util/wire.h"
+
+namespace eraser {
+namespace {
+
+using core::CampaignOptions;
+using core::CampaignResult;
+using core::EngineOptions;
+using core::FaultBatching;
+using core::RedundancyMode;
+using core::VerdictCache;
+using core::VerdictCacheOptions;
+
+std::vector<fault::Fault> ci_faults(const rtl::Design& design,
+                                    uint32_t sample = 60) {
+    fault::FaultGenOptions fopts;
+    fopts.sample_max = sample;
+    fopts.sample_seed = 42;
+    return fault::generate_faults(design, fopts);
+}
+
+std::string temp_store(const char* name) {
+    return ::testing::TempDir() + name;
+}
+
+// Two structurally distinct toy designs for key-sensitivity tests.
+constexpr const char* kXorSrc = R"(
+module toy(input clk, input a, input b, output reg q);
+  always @(posedge clk) q <= a ^ b;
+endmodule
+)";
+constexpr const char* kAndSrc = R"(
+module toy(input clk, input a, input b, output reg q);
+  always @(posedge clk) q <= a & b;
+endmodule
+)";
+
+// --- canonical codec --------------------------------------------------------
+
+TEST(Canonical, FaultCodecRoundtrips) {
+    const std::vector<fault::Fault> faults = {
+        {3, 0, false}, {3, 63, true}, {70000, 17, false}};
+    util::WireWriter w;
+    for (const auto& f : faults) core::canonical::put_fault(w, f);
+    util::WireReader r(w.bytes());
+    for (const auto& f : faults) {
+        const fault::Fault got = core::canonical::get_fault(r);
+        EXPECT_EQ(got.sig, f.sig);
+        EXPECT_EQ(got.bit, f.bit);
+        EXPECT_EQ(got.stuck_one, f.stuck_one);
+    }
+    EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(Canonical, FaultAndPlaneHashSensitivity) {
+    const fault::Fault base{5, 3, false};
+    const uint64_t seed = 0x1234;
+    const uint64_t h = core::canonical::fault_hash(base, seed);
+    EXPECT_NE(h, core::canonical::fault_hash({6, 3, false}, seed));
+    EXPECT_NE(h, core::canonical::fault_hash({5, 4, false}, seed));
+    EXPECT_NE(h, core::canonical::fault_hash({5, 3, true}, seed));
+    EXPECT_NE(h, core::canonical::fault_hash(base, seed + 1));
+
+    // The plane hash ignores the bit index (lane = bit) but not the
+    // signal, polarity, or seed.
+    const uint64_t p = core::canonical::plane_hash(5, false, seed);
+    EXPECT_EQ(p, core::canonical::plane_hash(5, false, seed));
+    EXPECT_NE(p, core::canonical::plane_hash(6, false, seed));
+    EXPECT_NE(p, core::canonical::plane_hash(5, true, seed));
+    EXPECT_NE(p, core::canonical::plane_hash(5, false, seed + 1));
+}
+
+TEST(Canonical, DesignSpecHashDelegation) {
+    const core::DesignSpec a{kXorSrc, "toy"};
+    EXPECT_EQ(a.hash(), core::canonical::design_spec_hash(kXorSrc, "toy"));
+    EXPECT_NE(a.hash(), core::canonical::design_spec_hash(kAndSrc, "toy"));
+    EXPECT_NE(a.hash(), core::canonical::design_spec_hash(kXorSrc, "top"));
+}
+
+// --- key sensitivity --------------------------------------------------------
+
+TEST(VerdictCacheKey, DesignEditMovesTheContext) {
+    suite::register_remote_stimuli();
+    auto xor_design = frontend::compile(kXorSrc, "toy");
+    auto and_design = frontend::compile(kAndSrc, "toy");
+    const auto xor_c = core::CompiledDesign::build(*xor_design);
+    const auto and_c = core::CompiledDesign::build(*and_design);
+    ASSERT_NE(xor_c->design_hash(), and_c->design_hash());
+
+    suite::RandomStimulus::Config cfg;
+    const core::StimulusSpec stim = suite::remote_stimulus(cfg);
+    const EngineOptions engine;
+    const uint64_t ctx_xor =
+        VerdictCache::context_key(xor_c->design_hash(), stim, engine);
+    const uint64_t ctx_and =
+        VerdictCache::context_key(and_c->design_hash(), stim, engine);
+    EXPECT_NE(ctx_xor, ctx_and);
+
+    // Verdicts cached under one design are invisible under the other.
+    VerdictCache cache;
+    const auto faults = ci_faults(*xor_design);
+    ASSERT_FALSE(faults.empty());
+    cache.insert(ctx_xor, faults,
+                 std::vector<bool>(faults.size(), true));
+    EXPECT_EQ(cache.lookup(ctx_xor, faults).hits, faults.size());
+    EXPECT_EQ(cache.lookup(ctx_and, faults).hits, 0u);
+}
+
+TEST(VerdictCacheKey, StimulusChangeMovesTheContext) {
+    suite::register_remote_stimuli();
+    suite::RandomStimulus::Config cfg;
+    cfg.seed = 1;
+    suite::RandomStimulus::Config reseeded = cfg;
+    reseeded.seed = 2;
+    suite::RandomStimulus::Config longer = cfg;
+    longer.cycles = cfg.cycles + 1;
+
+    const EngineOptions engine;
+    const uint64_t base = VerdictCache::context_key(
+        0xD15EA5E, suite::remote_stimulus(cfg), engine);
+    EXPECT_EQ(base, VerdictCache::context_key(
+                        0xD15EA5E, suite::remote_stimulus(cfg), engine));
+    EXPECT_NE(base, VerdictCache::context_key(
+                        0xD15EA5E, suite::remote_stimulus(reseeded), engine));
+    EXPECT_NE(base, VerdictCache::context_key(
+                        0xD15EA5E, suite::remote_stimulus(longer), engine));
+}
+
+TEST(VerdictCacheKey, EngineConfigMovesTheContextExceptInstrumentation) {
+    suite::register_remote_stimuli();
+    const core::StimulusSpec stim =
+        suite::remote_stimulus(suite::RandomStimulus::Config{});
+    const uint64_t dh = 0xFEED;
+
+    EngineOptions base;
+    const uint64_t k = VerdictCache::context_key(dh, stim, base);
+
+    EngineOptions off = base;
+    off.batching = FaultBatching::Off;
+    EXPECT_NE(k, VerdictCache::context_key(dh, stim, off));
+
+    EngineOptions none = base;
+    none.mode = RedundancyMode::None;
+    EXPECT_NE(k, VerdictCache::context_key(dh, stim, none));
+
+    EngineOptions tree = base;
+    tree.interp = sim::InterpMode::Tree;
+    EXPECT_NE(k, VerdictCache::context_key(dh, stim, tree));
+
+    EngineOptions audit = base;
+    audit.audit = true;
+    EXPECT_NE(k, VerdictCache::context_key(dh, stim, audit));
+
+    // time_phases toggles instrumentation, never a verdict bit: the same
+    // cached verdicts must keep serving.
+    EngineOptions timed = base;
+    timed.time_phases = true;
+    EXPECT_EQ(k, VerdictCache::context_key(dh, stim, timed));
+}
+
+// --- end-to-end: cold / warm / disabled -------------------------------------
+
+// The acceptance criterion: resubmitting an identical campaign against the
+// persisted store serves >= 90% of faults from cache (here: all of them)
+// with bit-identical bitmaps — across Word and Off batching.
+TEST(VerdictCacheCampaign, ColdWarmDisabledBitIdentical) {
+    suite::register_remote_stimuli();
+    const suite::Benchmark& b = suite::find_benchmark("alu");
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    ASSERT_FALSE(faults.empty());
+    auto compiled = core::CompiledDesign::build(*design);
+    const core::StimulusSpec stim = suite::remote_stimulus(b, b.test_cycles);
+
+    for (const auto batching : {FaultBatching::Word, FaultBatching::Off}) {
+        CampaignOptions copts;
+        copts.engine.batching = batching;
+        copts.num_shards = 4;
+
+        const auto run_once = [&](std::shared_ptr<VerdictCache> cache) {
+            core::SessionOptions sopts;
+            sopts.num_threads = 2;
+            sopts.scheduler.verdict_cache = std::move(cache);
+            core::Session session(compiled, sopts);
+            return session.submit(faults, stim, copts).wait();
+        };
+
+        const CampaignResult disabled = run_once(nullptr);
+        EXPECT_EQ(disabled.cache_hits, 0u);
+
+        const std::string path = temp_store("cold_warm.store");
+        std::remove(path.c_str());
+        VerdictCacheOptions vopts;
+        vopts.store_path = path;
+
+        // Cold: every fault misses, the store is populated + flushed.
+        auto cold_cache = std::make_shared<VerdictCache>(vopts);
+        const CampaignResult cold = run_once(cold_cache);
+        EXPECT_EQ(cold.cache_hits, 0u);
+        EXPECT_EQ(cold.detected, disabled.detected);
+        const auto cold_stats = cold_cache->stats();
+        EXPECT_FALSE(cold_stats.warm);
+        EXPECT_EQ(cold_stats.insertions, faults.size());
+        EXPECT_EQ(cold_stats.entries, faults.size());
+        ASSERT_TRUE(cold_cache->flush());
+        cold_cache.reset();
+
+        // Same-process warm repeat on the in-memory cache.
+        auto reload = std::make_shared<VerdictCache>(vopts);
+        EXPECT_TRUE(reload->stats().warm);
+        const CampaignResult warm = run_once(reload);
+        EXPECT_EQ(warm.cache_hits, faults.size())
+            << "warm repeat must serve every fault from the store";
+        EXPECT_EQ(warm.detected, disabled.detected);
+        EXPECT_EQ(warm.num_detected, disabled.num_detected);
+        EXPECT_EQ(warm.num_shards, 0u)
+            << "an all-hit campaign must dispatch nothing";
+        // Cached shards never ran: no engine counters.
+        EXPECT_EQ(warm.stats.shards.size(), 0u);
+        EXPECT_DOUBLE_EQ(reload->stats().hit_ratio(), 1.0);
+        std::remove(path.c_str());
+    }
+}
+
+// A shared cache under concurrent Sessions: first-comers miss and insert,
+// late-comers hit — and every bitmap stays bit-identical.
+TEST(VerdictCacheConcurrency, TwoSessionsShareOneCache) {
+    suite::register_remote_stimuli();
+    const suite::Benchmark& b = suite::find_benchmark("apb");
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    auto compiled = core::CompiledDesign::build(*design);
+    const core::StimulusSpec stim = suite::remote_stimulus(b, b.test_cycles);
+
+    core::Session ref_session(compiled, {.num_threads = 2});
+    const CampaignResult ref = ref_session.submit(faults, stim, {}).wait();
+
+    auto cache = std::make_shared<VerdictCache>();
+    std::vector<CampaignResult> results(4);
+    {
+        std::vector<std::thread> threads;
+        for (auto& slot : results) {
+            threads.emplace_back([&, out = &slot] {
+                core::SessionOptions sopts;
+                sopts.num_threads = 2;
+                sopts.scheduler.verdict_cache = cache;
+                core::Session session(compiled, sopts);
+                CampaignOptions copts;
+                copts.num_shards = 3;
+                *out = session.submit(faults, stim, copts).wait();
+            });
+        }
+        for (auto& t : threads) t.join();
+    }
+    for (const auto& r : results) {
+        EXPECT_EQ(r.detected, ref.detected);
+        EXPECT_FALSE(r.canceled);
+    }
+    const auto stats = cache->stats();
+    EXPECT_EQ(stats.entries, faults.size());
+    EXPECT_GE(stats.insertions, faults.size());
+    // A sequential rerun is now fully warm.
+    core::SessionOptions sopts;
+    sopts.num_threads = 2;
+    sopts.scheduler.verdict_cache = cache;
+    core::Session session(compiled, sopts);
+    const CampaignResult warm = session.submit(faults, stim, {}).wait();
+    EXPECT_EQ(warm.cache_hits, faults.size());
+    EXPECT_EQ(warm.detected, ref.detected);
+}
+
+// --- store file robustness --------------------------------------------------
+
+namespace {
+
+/// Synthetic population for store tests: `n` single-bit signals, verdict =
+/// odd signal id.
+std::vector<fault::Fault> synthetic_faults(uint32_t n) {
+    std::vector<fault::Fault> faults;
+    for (uint32_t i = 0; i < n; ++i) {
+        faults.push_back({i, i % 64, false});
+    }
+    return faults;
+}
+
+std::vector<bool> synthetic_verdicts(const std::vector<fault::Fault>& fs) {
+    std::vector<bool> v;
+    v.reserve(fs.size());
+    for (const auto& f : fs) v.push_back(f.sig % 2 == 1);
+    return v;
+}
+
+std::vector<uint8_t> read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<uint8_t>& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+TEST(VerdictCacheStore, SaveLoadRoundtripsVerdictsAndSideTables) {
+    const std::string path = temp_store("roundtrip.store");
+    std::remove(path.c_str());
+    const auto faults = synthetic_faults(200);
+    const auto verdicts = synthetic_verdicts(faults);
+    const uint64_t ctx = 0xABCDEF;
+
+    {
+        VerdictCache cache;
+        cache.insert(ctx, faults, verdicts);
+        core::CostModelSnapshot snap;
+        snap.cost = {1.0, 2.0, 3.0};
+        snap.defer = {0.1, 0.2, 0.3};
+        snap.unit_scale = 4.5;
+        snap.observations = 7;
+        cache.store_cost_model(0x1111, snap);
+        cache.store_worker_overhead(9001, 0.125);
+        ASSERT_TRUE(cache.save(path));
+    }
+
+    VerdictCache loaded;
+    EXPECT_FALSE(loaded.stats().warm);
+    ASSERT_TRUE(loaded.load(path));
+    const auto stats = loaded.stats();
+    EXPECT_TRUE(stats.warm);
+    EXPECT_EQ(stats.entries, faults.size());
+    EXPECT_EQ(stats.load_failures, 0u);
+
+    auto part = loaded.lookup(ctx, faults);
+    EXPECT_EQ(part.hits, faults.size());
+    for (size_t i = 0; i < faults.size(); ++i) {
+        ASSERT_TRUE(part.hit[i]);
+        EXPECT_EQ(part.verdict[i], verdicts[i]) << i;
+    }
+    const auto snap = loaded.find_cost_model(0x1111);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->cost, (std::vector<double>{1.0, 2.0, 3.0}));
+    EXPECT_EQ(snap->defer, (std::vector<double>{0.1, 0.2, 0.3}));
+    EXPECT_DOUBLE_EQ(snap->unit_scale, 4.5);
+    EXPECT_EQ(snap->observations, 7u);
+    EXPECT_FALSE(loaded.find_cost_model(0x2222).has_value());
+    EXPECT_DOUBLE_EQ(loaded.worker_overhead(9001), 0.125);
+    EXPECT_DOUBLE_EQ(loaded.worker_overhead(9002), 0.0);
+    std::remove(path.c_str());
+}
+
+TEST(VerdictCacheStore, MissingFileIsAPlainColdStart) {
+    const std::string missing = temp_store("nonexistent.store");
+    const std::string missing2 = temp_store("nonexistent2.store");
+    std::remove(missing.c_str());
+    std::remove(missing2.c_str());   // a prior run's destructor flush
+
+    VerdictCache cache;
+    EXPECT_FALSE(cache.load(missing));
+    const auto stats = cache.stats();
+    EXPECT_FALSE(stats.warm);
+    EXPECT_EQ(stats.load_failures, 0u);   // absence is not corruption
+
+    {
+        // Constructing against a missing store_path is equally quiet.
+        VerdictCacheOptions vopts;
+        vopts.store_path = missing2;
+        VerdictCache fresh(vopts);
+        EXPECT_FALSE(fresh.stats().warm);
+        EXPECT_EQ(fresh.stats().load_failures, 0u);
+    }
+    std::remove(missing2.c_str());
+}
+
+TEST(VerdictCacheStore, CorruptTruncatedAndSkewedFilesDegradeToCold) {
+    const std::string path = temp_store("damage.store");
+    const auto faults = synthetic_faults(100);
+    {
+        VerdictCache cache;
+        cache.insert(0xC0, faults, synthetic_verdicts(faults));
+        ASSERT_TRUE(cache.save(path));
+    }
+    const std::vector<uint8_t> good = read_file(path);
+    ASSERT_GT(good.size(), 16u);
+
+    const auto expect_cold = [&](const char* what) {
+        VerdictCache cache;
+        EXPECT_FALSE(cache.load(path)) << what;
+        const auto stats = cache.stats();
+        EXPECT_FALSE(stats.warm) << what;
+        EXPECT_EQ(stats.entries, 0u) << what;
+        EXPECT_EQ(stats.load_failures, 1u) << what;
+        // A damaged load never half-populates: everything misses.
+        EXPECT_EQ(cache.lookup(0xC0, faults).hits, 0u) << what;
+    };
+
+    // Corruption: flip a byte in the middle (inside the blocks frame).
+    auto corrupt = good;
+    corrupt[good.size() / 2] ^= 0xFF;
+    write_file(path, corrupt);
+    expect_cold("flipped byte");
+
+    // Truncation: drop the tail.
+    write_file(path, {good.begin(), good.begin() + good.size() / 2});
+    expect_cold("truncated file");
+
+    // Version skew: a well-formed header frame with a future version.
+    std::vector<uint8_t> skewed;
+    {
+        util::WireWriter header;
+        header.u32(0x43535245);   // kStoreMagic
+        header.u32(core::kVerdictStoreVersion + 1);
+        util::append_frame(skewed, header.bytes());
+    }
+    write_file(path, skewed);
+    expect_cold("version skew");
+
+    // Garbage magic.
+    std::vector<uint8_t> garbage;
+    {
+        util::WireWriter header;
+        header.u32(0xBADBAD);
+        header.u32(core::kVerdictStoreVersion);
+        util::append_frame(garbage, header.bytes());
+    }
+    write_file(path, garbage);
+    expect_cold("bad magic");
+
+    // And the intact file still loads after all that.
+    write_file(path, good);
+    VerdictCache cache;
+    EXPECT_TRUE(cache.load(path));
+    EXPECT_EQ(cache.lookup(0xC0, faults).hits, faults.size());
+    std::remove(path.c_str());
+}
+
+// --- size cap / LRU ----------------------------------------------------------
+
+TEST(VerdictCacheEviction, SizeCapEvictsOldestNeverLies) {
+    VerdictCacheOptions vopts;
+    vopts.max_bytes = 0;   // minimal: one block per bucket before evicting
+    VerdictCache cache(vopts);
+
+    // Far more planes than the budget holds.
+    const auto faults = synthetic_faults(2000);
+    const auto verdicts = synthetic_verdicts(faults);
+    cache.insert(0xE0, faults, verdicts);
+    const auto stats = cache.stats();
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_LT(stats.entries, faults.size());
+    EXPECT_LE(stats.units, 2u * 64u);   // ~budget (1/bucket) + headroom
+
+    // Whatever survived answers correctly; the rest misses — never a
+    // wrong verdict.
+    auto part = cache.lookup(0xE0, faults);
+    EXPECT_LT(part.hits, faults.size());
+    for (size_t i = 0; i < faults.size(); ++i) {
+        if (part.hit[i]) {
+            EXPECT_EQ(part.verdict[i], verdicts[i]) << i;
+        }
+    }
+
+    // The most recently inserted block is the one guaranteed resident.
+    const std::vector<fault::Fault> last = {faults.back()};
+    EXPECT_EQ(cache.lookup(0xE0, last).hits, 1u);
+}
+
+TEST(VerdictCacheEviction, MismatchedBitmapIsRefused) {
+    VerdictCache cache;
+    const auto faults = synthetic_faults(4);
+    EXPECT_THROW(cache.insert(0x1, faults, std::vector<bool>(3, false)),
+                 SimError);
+}
+
+// --- warm-start side tables end to end ---------------------------------------
+
+// A Session that learned per-signal costs persists them through the shared
+// cache; a fresh Session over the same design starts calibrated instead of
+// relearning from scratch.
+TEST(WarmStart, CostModelPersistsAcrossSessions) {
+    suite::register_remote_stimuli();
+    const suite::Benchmark& b = suite::find_benchmark("alu");
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    auto compiled = core::CompiledDesign::build(*design);
+    const core::StimulusSpec stim = suite::remote_stimulus(b, b.test_cycles);
+
+    const std::string path = temp_store("warm_cost.store");
+    std::remove(path.c_str());
+    VerdictCacheOptions vopts;
+    vopts.store_path = path;
+
+    uint64_t learned = 0;
+    {
+        auto cache = std::make_shared<VerdictCache>(vopts);
+        core::SessionOptions sopts;
+        sopts.num_threads = 2;
+        sopts.scheduler.verdict_cache = cache;
+        core::Session session(compiled, sopts);
+        CampaignOptions copts;
+        copts.num_shards = 4;
+        (void)session.submit(faults, stim, copts).wait();
+        // wait() returns at result publication; the last shard's cost
+        // feedback may still be in flight, so this is a lower bound.
+        learned = session.scheduler().cost_model().observations();
+        EXPECT_GT(learned, 0u);
+    }   // Session stores the snapshot into the cache; cache flushes.
+
+    // A brand-new cache + Session: the persisted store seeds the model
+    // before any campaign runs.
+    auto cache = std::make_shared<VerdictCache>(vopts);
+    ASSERT_TRUE(cache->stats().warm);
+    const auto snap = cache->find_cost_model(compiled->design_hash());
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_GE(snap->observations, learned);
+    learned = snap->observations;
+
+    core::SessionOptions sopts;
+    sopts.num_threads = 2;
+    sopts.scheduler.verdict_cache = cache;
+    core::Session session(compiled, sopts);
+    EXPECT_EQ(session.scheduler().cost_model().observations(), learned)
+        << "fresh Session must start from the persisted cost model";
+    EXPECT_GT(session.scheduler().cost_model().predict_seconds(1000), 0.0)
+        << "restored scale must calibrate predictions immediately";
+    std::remove(path.c_str());
+}
+
+TEST(WarmStart, CostModelRestoreRefusesBadSnapshots) {
+    suite::register_remote_stimuli();
+    auto design = frontend::compile(kXorSrc, "toy");
+    auto compiled = core::CompiledDesign::build(*design);
+    core::CostModel model(*compiled, 0.25);
+
+    core::CostModelSnapshot empty;   // zero observations
+    EXPECT_FALSE(model.restore(empty));
+
+    core::CostModelSnapshot mismatched;
+    mismatched.cost = {1.0};   // wrong table size for this design
+    mismatched.defer = {0.0};
+    mismatched.unit_scale = 1.0;
+    mismatched.observations = 3;
+    EXPECT_FALSE(model.restore(mismatched));
+    EXPECT_EQ(model.observations(), 0u);
+}
+
+}  // namespace
+}  // namespace eraser
