@@ -1,0 +1,333 @@
+// Crash-recovery soak + journaling-overhead bench for the durable
+// campaign journal (eraser/journal.h).
+//
+// For each quick-suite circuit × fault batching mode it runs the same
+// campaign four ways —
+//
+//   reference    journaling off: the ground-truth verdict bitmap and the
+//                overhead baseline
+//   journal      journaling on, uninterrupted: journal_overhead_ratio =
+//                journal wall / reference wall (CI gates the Word rows
+//                against bench/baselines/BENCH_crash.json)
+//   crash ×3     a forked child re-runs the campaign with journaling on
+//                and SIGKILLs itself from inside the shard observer after
+//                a seeded number of completed units (the unit's journal
+//                record is already written when the observer fires); the
+//                parent then opens a fresh Session, Session::recover()s
+//                the journal, and checks the resumed campaign
+//
+// Soak invariants (exit nonzero on any violation):
+//   - the child really died by SIGKILL mid-campaign
+//   - the recovered bitmap is bit-identical to the reference
+//   - resumed_units >= the kill point (nothing journaled was lost)
+//   - the faults re-executed after recovery are STRICTLY fewer than the
+//     campaign total (journaled work is never redone)
+//
+// The verdict cache stays off throughout so the re-execution accounting
+// measures the journal alone.
+//
+//   $ ./build/bench/bench_crash [--quick] [--threads N]
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "eraser/journal.h"
+#include "util/prng.h"
+
+using namespace eraser;
+
+namespace {
+
+constexpr uint32_t kCrashRounds = 3;
+
+struct Scenario {
+    std::string circuit;
+    core::FaultBatching batching = core::FaultBatching::Word;
+};
+
+core::CampaignOptions campaign_options(const Scenario& sc) {
+    core::CampaignOptions copts;
+    copts.num_shards = 8;
+    copts.engine.batching = sc.batching;
+    return copts;
+}
+
+std::string journal_path(const Scenario& sc) {
+    return "bench_crash_" + sc.circuit + "_" +
+           bench::batch_name(sc.batching) + ".journal";
+}
+
+/// Child mode: run the journaled campaign and SIGKILL ourselves from the
+/// observer after `kill_after` completed units. Returns (0) only when the
+/// campaign finished before the kill point — the parent treats that as a
+/// soak failure, since kill points are drawn within the shard count.
+int run_child(const Scenario& sc, uint32_t kill_after,
+              const bench::Scale& scale) {
+    suite::register_remote_stimuli();
+    const auto& b = suite::find_benchmark(sc.circuit);
+    auto design = suite::load_design(b);
+    const auto faults = bench::faults_for(*design, scale.faults(b));
+    const core::StimulusSpec stim =
+        suite::remote_stimulus(b, scale.cycles(b));
+
+    core::JournalOptions jopts;
+    jopts.path = journal_path(sc);
+    // SIGKILL of this process cannot lose write()n data — it survives in
+    // the OS page cache — so the soak needs no fsync barriers.
+    jopts.fsync_interval = 0;
+
+    core::SessionOptions sopts;
+    sopts.num_threads = scale.threads;
+    sopts.scheduler.journal = std::make_shared<core::CampaignJournal>(jopts);
+    core::Session session(core::CompiledDesign::build(*design), sopts);
+
+    std::atomic<uint32_t> seen{0};
+    auto observer = [&seen, kill_after](const core::ShardEvent& ev) {
+        if (ev.terminal) return;
+        if (seen.fetch_add(1, std::memory_order_relaxed) + 1 == kill_after) {
+            // This unit's journal record was appended before the observer
+            // fired (write-ahead); dying here models a crash right after.
+            ::raise(SIGKILL);
+        }
+    };
+    (void)session.submit(faults, stim, campaign_options(sc), observer).wait();
+    return 0;
+}
+
+/// Re-exec ourselves in child mode and reap; true when the child died by
+/// SIGKILL (the expected soak outcome).
+bool spawn_crash_child(const char* self, const Scenario& sc,
+                       uint32_t kill_after, const bench::Scale& scale) {
+    const pid_t pid = ::fork();
+    if (pid < 0) return false;
+    if (pid == 0) {
+        std::vector<std::string> args = {
+            self,
+            "--child",
+            "--circuit",
+            sc.circuit,
+            "--batch",
+            bench::batch_name(sc.batching),
+            "--kill-after",
+            std::to_string(kill_after),
+        };
+        if (scale.quick) args.push_back("--quick");
+        if (scale.threads > 0) {
+            args.push_back("--threads");
+            args.push_back(std::to_string(scale.threads));
+        }
+        std::vector<char*> argv;
+        argv.reserve(args.size() + 1);
+        for (std::string& a : args) argv.push_back(a.data());
+        argv.push_back(nullptr);
+        ::execv(argv[0], argv.data());
+        _exit(127);
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid) return false;
+    return WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+}
+
+/// Faults actually simulated by `result` (executed shards only — replayed
+/// and cached work contributes no ShardBreakdown).
+uint64_t executed_faults(const core::CampaignResult& result) {
+    uint64_t n = 0;
+    for (const core::ShardBreakdown& s : result.stats.shards) n += s.faults;
+    return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto scale = bench::parse_scale(argc, argv);
+
+    bool child = false;
+    Scenario child_sc;
+    uint32_t kill_after = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--child") == 0) {
+            child = true;
+        } else if (std::strcmp(argv[i], "--circuit") == 0 && i + 1 < argc) {
+            child_sc.circuit = argv[++i];
+        } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+            child_sc.batching = std::strcmp(argv[++i], "word") == 0
+                                    ? core::FaultBatching::Word
+                                    : core::FaultBatching::Off;
+        } else if (std::strcmp(argv[i], "--kill-after") == 0 && i + 1 < argc) {
+            kill_after = static_cast<uint32_t>(std::atoi(argv[++i]));
+        }
+    }
+    if (child) return run_child(child_sc, kill_after, scale);
+
+    bench::print_environment(
+        "Campaign journal: crash-recovery soak and journaling overhead");
+    suite::register_remote_stimuli();
+
+    const std::vector<std::string> circuits = {"alu", "apb", "sha256_hv"};
+    std::printf("%-12s %-6s %-10s %10s %10s %8s %9s\n", "Benchmark", "Batch",
+                "Scenario", "Time(s)", "Overhead", "Resumed", "Executed");
+    bench::JsonRows json;
+    bool ok = true;
+
+    for (const std::string& name : circuits) {
+        for (const core::FaultBatching batching :
+             {core::FaultBatching::Word, core::FaultBatching::Off}) {
+            const Scenario sc{name, batching};
+            const auto& b = suite::find_benchmark(name);
+            auto design = suite::load_design(b);
+            const auto faults = bench::faults_for(*design, scale.faults(b));
+            const core::StimulusSpec stim =
+                suite::remote_stimulus(b, scale.cycles(b));
+            auto compiled = core::CompiledDesign::build(*design);
+            const double compile_s = compiled->compile_seconds();
+            const core::CampaignOptions copts = campaign_options(sc);
+            const std::string jpath = journal_path(sc);
+
+            // Reference: journaling off.
+            core::CampaignResult ref;
+            {
+                core::SessionOptions sopts;
+                sopts.num_threads = scale.threads;
+                core::Session session(compiled, sopts);
+                ref = session.submit(faults, stim, copts).wait();
+            }
+
+            // Journaling on, uninterrupted: the overhead measurement, at
+            // the default group-commit interval.
+            std::remove(jpath.c_str());
+            core::CampaignResult jr;
+            core::JournalStats jstats;
+            {
+                core::JournalOptions jopts;
+                jopts.path = jpath;
+                core::SessionOptions sopts;
+                sopts.num_threads = scale.threads;
+                sopts.scheduler.journal =
+                    std::make_shared<core::CampaignJournal>(jopts);
+                core::Session session(compiled, sopts);
+                jr = session.submit(faults, stim, copts).wait();
+                jstats = session.scheduler().stats().journal;
+            }
+            if (jr.detected != ref.detected) {
+                std::printf("MISMATCH: %s/%s journaled run bitmap differs "
+                            "from reference\n",
+                            name.c_str(), bench::batch_name(batching));
+                ok = false;
+            }
+            const double overhead =
+                ref.seconds > 0.0 ? jr.seconds / ref.seconds : 1.0;
+            std::printf("%-12s %-6s %-10s %10.3f %10.3f %8s %9s\n",
+                        b.display.c_str(), bench::batch_name(batching),
+                        "journal", jr.seconds, overhead, "-", "-");
+            std::printf("  journal: %llu appends, %llu fsyncs\n",
+                        static_cast<unsigned long long>(jstats.appends),
+                        static_cast<unsigned long long>(jstats.fsyncs));
+            if (batching == core::FaultBatching::Word) {
+                // One gated row per circuit: check_perf_regression.py keys
+                // rows by circuit within --mode, so only the Word scenario
+                // may emit under mode "journal".
+                json.add("{" +
+                         bench::perf_row_prefix(name.c_str(), "journal",
+                                                jr.num_threads,
+                                                bench::batch_name(batching),
+                                                jr.seconds, compile_s) +
+                         bench::format(R"(, "faults": %zu, )"
+                                       R"("journal_overhead_ratio": %.4f)",
+                                       faults.size(), overhead) +
+                         "}");
+            }
+
+            // Crash soak: seeded kill points within the shard count.
+            Prng prng(20250423 ^ ref.num_shards ^
+                      (batching == core::FaultBatching::Word ? 1u : 2u) ^
+                      static_cast<uint64_t>(name.size()) << 32);
+            for (uint32_t round = 0; round < kCrashRounds; ++round) {
+                const uint32_t kill_at = static_cast<uint32_t>(
+                    1 + prng.below(std::max<uint32_t>(1, ref.num_shards)));
+                std::remove(jpath.c_str());
+                if (!spawn_crash_child(argv[0], sc, kill_at, scale)) {
+                    std::printf("SOAK FAILURE: %s/%s round %u child did not "
+                                "die by SIGKILL at unit %u\n",
+                                name.c_str(), bench::batch_name(batching),
+                                round, kill_at);
+                    ok = false;
+                    continue;
+                }
+
+                // Recover in a fresh Session; keep journaling on so the
+                // resumed campaign extends the same record stream.
+                core::JournalOptions jopts;
+                jopts.path = jpath;
+                core::SessionOptions sopts;
+                sopts.num_threads = scale.threads;
+                sopts.scheduler.journal =
+                    std::make_shared<core::CampaignJournal>(jopts);
+                core::Session session(compiled, sopts);
+                auto handles = session.recover(jpath);
+                if (handles.size() != 1) {
+                    std::printf("SOAK FAILURE: %s/%s round %u recovered %zu "
+                                "campaigns (want 1)\n",
+                                name.c_str(), bench::batch_name(batching),
+                                round, handles.size());
+                    ok = false;
+                    continue;
+                }
+                const core::CampaignResult& res = handles[0].wait();
+                const uint64_t executed = executed_faults(res);
+                const core::JournalStats rs =
+                    session.scheduler().stats().journal;
+
+                if (res.detected != ref.detected || res.canceled) {
+                    std::printf("SOAK FAILURE: %s/%s round %u recovered "
+                                "bitmap differs from reference\n",
+                                name.c_str(), bench::batch_name(batching),
+                                round);
+                    ok = false;
+                }
+                if (res.resumed_units < kill_at) {
+                    std::printf("SOAK FAILURE: %s/%s round %u resumed %u "
+                                "units, journaled at least %u\n",
+                                name.c_str(), bench::batch_name(batching),
+                                round, res.resumed_units, kill_at);
+                    ok = false;
+                }
+                if (executed >= faults.size()) {
+                    std::printf("SOAK FAILURE: %s/%s round %u re-executed "
+                                "%llu of %zu faults — journaled work was "
+                                "redone\n",
+                                name.c_str(), bench::batch_name(batching),
+                                round,
+                                static_cast<unsigned long long>(executed),
+                                faults.size());
+                    ok = false;
+                }
+                std::printf("%-12s %-6s crash@%-3u %10s %10s %8u %9llu\n",
+                            b.display.c_str(), bench::batch_name(batching),
+                            kill_at, "-", "-", res.resumed_units,
+                            static_cast<unsigned long long>(executed));
+                std::printf(
+                    "  journal: %llu replayed, %llu appends\n",
+                    static_cast<unsigned long long>(rs.replayed_units),
+                    static_cast<unsigned long long>(rs.appends));
+            }
+            std::remove(jpath.c_str());
+        }
+    }
+
+    if (!json.write("BENCH_crash.json")) {
+        std::fprintf(stderr, "failed to write BENCH_crash.json\n");
+        return 1;
+    }
+    std::printf("\n%s — wrote BENCH_crash.json\n",
+                ok ? "SOAK PASSED" : "SOAK FAILED");
+    return ok ? 0 : 1;
+}

@@ -24,11 +24,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "eraser/journal.h"
 
 using namespace eraser;
 
@@ -84,6 +86,7 @@ int main(int argc, char** argv) {
     bench::print_environment(
         "Multi-tenant QoS: high-priority latency behind a saturating "
         "background campaign");
+    suite::register_remote_stimuli();
 
     const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
     const uint32_t threads = scale.threads > 0 ? scale.threads : hw;
@@ -98,7 +101,10 @@ int main(int argc, char** argv) {
         auto design = suite::load_design(b);
         const auto faults = bench::faults_for(*design, scale.faults(b));
         const uint32_t cycles = scale.cycles(b);
-        auto factory = [&]() { return suite::make_stimulus(b, cycles); };
+        // StimulusSpec submissions (same execution as the factory form) so
+        // both campaigns are journalable: this bench doubles as the
+        // journaled-under-contention observability probe (JournalStats).
+        const core::StimulusSpec stim = suite::remote_stimulus(b, cycles);
 
         // Foreground: a small latency-sensitive slice of the fault list.
         const size_t fg_count = std::max<size_t>(1, faults.size() / 8);
@@ -113,13 +119,23 @@ int main(int argc, char** argv) {
             core::SessionOptions sopts;
             sopts.num_threads = threads;
             sopts.scheduler.fair_share = mode == 1;
+            // Journal both campaigns: the QoS numbers then also measure the
+            // write-ahead path under contention, and the per-mode
+            // JournalStats line below is recovery observability on a
+            // many-unit workload.
+            const char* jpath = "bench_multitenant.journal";
+            std::remove(jpath);
+            core::JournalOptions jopts;
+            jopts.path = jpath;
+            sopts.scheduler.journal =
+                std::make_shared<core::CampaignJournal>(jopts);
             core::Session session(compiled, sopts);
 
             core::CampaignOptions bg_opts;
             bg_opts.num_shards = 16 * threads;
             bg_opts.priority =
                 mode == 1 ? core::Priority::Low : core::Priority::Normal;
-            auto bg = session.submit(faults, factory, bg_opts);
+            auto bg = session.submit(faults, stim, bg_opts);
 
             // Let the background actually saturate: at least one of its
             // shards must have completed (so workers are mid-campaign, not
@@ -133,7 +149,7 @@ int main(int argc, char** argv) {
             fg_opts.priority =
                 mode == 1 ? core::Priority::High : core::Priority::Normal;
             Stopwatch fg_watch;
-            auto fg = session.submit(fg_faults, factory, fg_opts);
+            auto fg = session.submit(fg_faults, stim, fg_opts);
             const auto fg_result = fg.wait();
             ModeResult& r = results[mode];
             r.fg_latency = fg_watch.seconds();
@@ -145,10 +161,17 @@ int main(int argc, char** argv) {
             r.bg_detected = bg_result.detected;
 
             const char* mode_name = mode == 1 ? "priority" : "fifo";
+            const core::JournalStats js = session.scheduler().stats().journal;
             std::printf("%-12s %-9s %10.2f %12.2f %12.2f %10u\n",
                         b.display.c_str(), mode_name,
                         r.first_shard_wait * 1e3, r.fg_latency * 1e3,
                         r.bg_seconds * 1e3, threads);
+            std::printf("  journal: %llu appends, %llu fsyncs, "
+                        "%llu append failures\n",
+                        static_cast<unsigned long long>(js.appends),
+                        static_cast<unsigned long long>(js.fsyncs),
+                        static_cast<unsigned long long>(js.append_failures));
+            std::remove(jpath);
             json.add(
                 "{" +
                 bench::perf_row_prefix(b.name.c_str(), mode_name, threads,

@@ -33,6 +33,22 @@
 namespace eraser::core {
 
 class VerdictCache;
+class CampaignJournal;
+
+/// How Session::shutdown / CampaignScheduler::shutdown winds work down.
+/// All three stop admission (further submits throw) and return once no
+/// engine work is in flight; they differ in what happens to admitted work:
+///
+/// - Drain:      run everything already admitted to completion (alias for
+///               drain()).
+/// - Checkpoint: stop at unit boundaries. In-flight units finish (their
+///               verdicts are journaled); queued and remaining work is
+///               left in the journal WITHOUT a Complete record, so a later
+///               Session::recover resumes exactly the unfinished part.
+/// - Abort:     additionally cancel in-flight units at the next cycle
+///               boundary (their partial work is discarded, not journaled);
+///               remaining work stays recoverable like Checkpoint.
+enum class ShutdownMode : uint8_t { Drain = 0, Checkpoint = 1, Abort = 2 };
 
 /// Scheduling class of a campaign (see eraser/scheduler.h). Strict across
 /// classes: whenever a worker reaches a shard boundary, any dispatchable
@@ -106,6 +122,13 @@ struct SchedulerOptions {
     /// submitted with a StimulusSpec are cacheable — the key must
     /// fingerprint the stimulus, which an opaque factory closure cannot.
     std::shared_ptr<VerdictCache> verdict_cache = {};
+    /// Durable write-ahead campaign journal (eraser/journal.h): admissions
+    /// and unit completions are appended before results surface, making
+    /// campaigns crash-safe — Session::recover(path) resumes interrupted
+    /// ones re-executing only un-journaled units. Null = no journaling.
+    /// Like the verdict cache, only StimulusSpec submissions are journaled
+    /// (a factory closure cannot be replayed from disk).
+    std::shared_ptr<CampaignJournal> journal = {};
 };
 
 struct CampaignResult {
@@ -128,6 +151,11 @@ struct CampaignResult {
     /// without simulation); 0 when no cache is configured. Cached shards
     /// contribute no Instrumentation counters — they never ran.
     uint32_t cache_hits = 0;
+    /// Units whose verdicts were replayed from a campaign journal by
+    /// Session::recover instead of re-executed; 0 for campaigns submitted
+    /// normally. Like cache hits, replayed units contribute no
+    /// Instrumentation counters.
+    uint32_t resumed_units = 0;
 };
 
 /// Builds one replayable stimulus instance per shard. Must be safe to call

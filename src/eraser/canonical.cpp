@@ -19,6 +19,46 @@ fault::Fault get_fault(util::WireReader& r) {
     return f;
 }
 
+void put_engine_options(util::WireWriter& w, const EngineOptions& opts) {
+    w.u8(static_cast<uint8_t>(opts.mode));
+    w.u8(static_cast<uint8_t>(opts.interp));
+    w.u8(static_cast<uint8_t>(opts.batching));
+    w.u8(opts.audit ? 1 : 0);
+    w.u8(opts.time_phases ? 1 : 0);
+}
+
+EngineOptions get_engine_options(util::WireReader& r) {
+    EngineOptions opts;
+    opts.mode = static_cast<RedundancyMode>(r.u8());
+    opts.interp = static_cast<sim::InterpMode>(r.u8());
+    opts.batching = static_cast<FaultBatching>(r.u8());
+    opts.audit = r.u8() != 0;
+    opts.time_phases = r.u8() != 0;
+    return opts;
+}
+
+void put_bitmap(util::WireWriter& w, const std::vector<bool>& bits) {
+    std::vector<uint64_t> words((bits.size() + 63) / 64, 0);
+    for (size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i]) words[i >> 6] |= uint64_t(1) << (i & 63);
+    }
+    w.varint(bits.size());
+    w.words(words);
+}
+
+std::vector<bool> get_bitmap(util::WireReader& r) {
+    const uint64_t n = r.varint();
+    const std::vector<uint64_t> words = r.words();
+    if (words.size() != (n + 63) / 64) {
+        throw util::WireError("verdict bitmap word count mismatch");
+    }
+    std::vector<bool> bits(n, false);
+    for (uint64_t i = 0; i < n; ++i) {
+        bits[i] = (words[i >> 6] >> (i & 63)) & 1;
+    }
+    return bits;
+}
+
 uint64_t fault_hash(const fault::Fault& f, uint64_t seed) {
     util::WireWriter w;
     put_fault(w, f);

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "fault/fault.h"
 #include "util/wire.h"
@@ -28,6 +29,17 @@ namespace eraser::core::canonical {
 /// Wire form of one fault: varint signal id, u8 bit index, u8 polarity.
 void put_fault(util::WireWriter& w, const fault::Fault& f);
 [[nodiscard]] fault::Fault get_fault(util::WireReader& r);
+
+/// Wire form of the full EngineOptions (all five fields, time_phases
+/// included — unlike engine_fingerprint below, this is a round-trippable
+/// encoding, not a verdict key). Used by the fabric's RunUnit frames and
+/// the campaign journal's Admit records.
+void put_engine_options(util::WireWriter& w, const EngineOptions& opts);
+[[nodiscard]] EngineOptions get_engine_options(util::WireReader& r);
+
+/// Wire form of a verdict bitmap: varint bit count + packed u64 words.
+void put_bitmap(util::WireWriter& w, const std::vector<bool>& bits);
+[[nodiscard]] std::vector<bool> get_bitmap(util::WireReader& r);
 
 /// Content hash of one fault (over its canonical wire form).
 [[nodiscard]] uint64_t fault_hash(const fault::Fault& f, uint64_t seed);

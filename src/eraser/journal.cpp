@@ -1,0 +1,347 @@
+#include "eraser/journal.h"
+
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+
+#include "eraser/canonical.h"
+#include "util/fileio.h"
+#include "util/wire.h"
+
+namespace eraser::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'R', 'J', 'L'};
+
+enum class RecordType : uint8_t { Admit = 1, Unit = 2, Complete = 3 };
+
+util::WireWriter header_payload() {
+    util::WireWriter w;
+    for (const char c : kMagic) w.u8(static_cast<uint8_t>(c));
+    w.u32(kJournalVersion);
+    return w;
+}
+
+bool check_header(std::span<const uint8_t> payload) {
+    try {
+        util::WireReader r(payload);
+        for (const char c : kMagic) {
+            if (r.u8() != static_cast<uint8_t>(c)) return false;
+        }
+        const uint32_t version = r.u32();
+        r.expect_end();
+        return version == kJournalVersion;
+    } catch (const util::WireError&) {
+        return false;
+    }
+}
+
+std::vector<uint8_t> read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return {};
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+/// Walks the frames of `buf`, returning the byte offset just past the last
+/// decodable frame (the torn-tail truncation point) and invoking `fn` with
+/// each frame's payload. Returns 0 if even the header frame is bad.
+template <typename Fn>
+size_t walk_frames(std::span<const uint8_t> buf, Fn&& fn) {
+    size_t pos = 0;
+    std::vector<uint8_t> payload;
+    try {
+        if (!util::next_frame(buf, pos, payload)) return 0;
+    } catch (const util::WireError&) {
+        return 0;
+    }
+    if (!check_header(payload)) return 0;
+    size_t valid = pos;
+    for (;;) {
+        try {
+            if (!util::next_frame(buf, pos, payload)) break;
+        } catch (const util::WireError&) {
+            break;  // torn tail — everything before it is good
+        }
+        fn(std::span<const uint8_t>(payload));
+        valid = pos;
+    }
+    return valid;
+}
+
+}  // namespace
+
+CampaignJournal::CampaignJournal(JournalOptions opts)
+    : opts_(std::move(opts)),
+      io_(opts_.io != nullptr ? opts_.io : &util::FileIo::real()) {
+    if (opts_.path.empty()) {
+        disabled_ = true;
+        return;
+    }
+    // Scan whatever a previous incarnation left behind: find the highest
+    // assigned campaign id (ids must stay unique across reopens) and the
+    // torn-tail truncation point.
+    const std::vector<uint8_t> existing = read_file(opts_.path);
+    size_t valid = 0;
+    if (!existing.empty()) {
+        valid = walk_frames(existing, [&](std::span<const uint8_t> payload) {
+            try {
+                util::WireReader r(payload);
+                if (static_cast<RecordType>(r.u8()) == RecordType::Admit) {
+                    const uint64_t id = r.u64();
+                    if (id >= next_id_) next_id_ = id + 1;
+                }
+            } catch (const util::WireError&) {
+            }
+        });
+    }
+    fd_ = io_->open_append(opts_.path);
+    if (fd_ < 0) {
+        disabled_ = true;
+        ++append_failures_;
+        return;
+    }
+    if (valid == 0) {
+        // New file, or one whose header never made it to disk: start over.
+        if (io_->truncate(fd_, 0) != 0) {
+            disable_locked();
+            return;
+        }
+        std::vector<uint8_t> buf;
+        util::append_frame(buf, header_payload().bytes());
+        if (!util::write_all(*io_, fd_, buf)) {
+            disable_locked();
+            return;
+        }
+        fsync_locked();
+    } else if (valid < existing.size()) {
+        if (io_->truncate(fd_, valid) != 0) disable_locked();
+    }
+}
+
+CampaignJournal::~CampaignJournal() {
+    flush();
+    if (fd_ >= 0) io_->close(fd_);
+}
+
+bool CampaignJournal::enabled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !disabled_;
+}
+
+void CampaignJournal::disable_locked() {
+    disabled_ = true;
+    ++append_failures_;
+}
+
+void CampaignJournal::fsync_locked() {
+    if (disabled_ || fd_ < 0) return;
+    if (io_->fsync(fd_) != 0) {
+        // fsyncgate: after a failed fsync the durability of everything
+        // written since the last success is unknowable. The file itself is
+        // still replay-safe (at worst a torn tail), so degrade to
+        // journaling-off rather than poisoning future barriers.
+        disable_locked();
+        return;
+    }
+    ++fsyncs_;
+    unsynced_ = 0;
+}
+
+bool CampaignJournal::append_record_locked(std::span<const uint8_t> payload) {
+    if (disabled_ || fd_ < 0) {
+        ++append_failures_;
+        return false;
+    }
+    std::vector<uint8_t> buf;
+    util::append_frame(buf, payload);
+    if (!util::write_all(*io_, fd_, buf)) {
+        // A partial frame is a torn tail replay already tolerates; no
+        // cleanup is needed (or possible — the disk just failed).
+        disable_locked();
+        return false;
+    }
+    ++appends_;
+    if (opts_.fsync_interval > 0 && ++unsynced_ >= opts_.fsync_interval) {
+        fsync_locked();
+        // An fsync failure disables the journal but the record itself was
+        // handed to the OS; report success so the caller's id stays live —
+        // recovery tolerates its absence either way.
+    }
+    return true;
+}
+
+uint64_t CampaignJournal::append_admission(
+    uint64_t design_hash, const StimulusSpec& stimulus,
+    const CampaignOptions& options, std::span<const fault::Fault> faults) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t id = next_id_;
+    util::WireWriter w;
+    w.u8(static_cast<uint8_t>(RecordType::Admit));
+    w.u64(id);
+    w.u64(design_hash);
+    w.str(stimulus.kind);
+    w.varint(stimulus.payload.size());
+    for (const uint8_t b : stimulus.payload) w.u8(b);
+    canonical::put_engine_options(w, options.engine);
+    w.u32(options.num_shards);
+    w.u8(static_cast<uint8_t>(options.shard_policy));
+    w.u8(static_cast<uint8_t>(options.priority));
+    w.u32(options.max_workers);
+    w.u32(options.weight);
+    w.varint(faults.size());
+    for (const fault::Fault& f : faults) canonical::put_fault(w, f);
+    if (!append_record_locked(w.bytes())) return 0;
+    next_id_ = id + 1;
+    return id;
+}
+
+void CampaignJournal::append_unit(uint64_t campaign_id, uint32_t shard_index,
+                                  const std::vector<uint32_t>& global_ids,
+                                  const std::vector<bool>& verdicts,
+                                  const ShardBreakdown& breakdown) {
+    util::WireWriter w;
+    w.u8(static_cast<uint8_t>(RecordType::Unit));
+    w.u64(campaign_id);
+    w.u32(shard_index);
+    // Global ids are ascending within a unit: delta-varint them.
+    w.varint(global_ids.size());
+    uint32_t prev = 0;
+    for (const uint32_t g : global_ids) {
+        w.varint(g - prev);
+        prev = g;
+    }
+    canonical::put_bitmap(w, verdicts);
+    w.f64(breakdown.wall_seconds);
+    w.f64(breakdown.behavioral_seconds);
+    w.f64(breakdown.rtl_seconds);
+    std::lock_guard<std::mutex> lock(mu_);
+    (void)append_record_locked(w.bytes());
+}
+
+void CampaignJournal::append_complete(uint64_t campaign_id) {
+    util::WireWriter w;
+    w.u8(static_cast<uint8_t>(RecordType::Complete));
+    w.u64(campaign_id);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (append_record_locked(w.bytes())) {
+        // A Complete is a commit point readers may act on immediately
+        // (recovery skips the campaign); make it durable now.
+        fsync_locked();
+    }
+}
+
+void CampaignJournal::flush() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (unsynced_ > 0) fsync_locked();
+}
+
+void CampaignJournal::note_replayed(uint64_t units) {
+    std::lock_guard<std::mutex> lock(mu_);
+    replayed_units_ += units;
+}
+
+JournalStats CampaignJournal::stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    JournalStats s;
+    s.appends = appends_;
+    s.fsyncs = fsyncs_;
+    s.replayed_units = replayed_units_;
+    s.append_failures = append_failures_;
+    s.disabled = disabled_;
+    return s;
+}
+
+std::vector<JournalCampaign> CampaignJournal::replay(const std::string& path) {
+    const std::vector<uint8_t> buf = read_file(path);
+    std::vector<JournalCampaign> out;
+    if (buf.empty()) return out;
+    std::unordered_map<uint64_t, size_t> index;  // campaign id -> out slot
+    walk_frames(buf, [&](std::span<const uint8_t> payload) {
+        try {
+            util::WireReader r(payload);
+            switch (static_cast<RecordType>(r.u8())) {
+                case RecordType::Admit: {
+                    JournalCampaign rec;
+                    rec.campaign_id = r.u64();
+                    rec.design_hash = r.u64();
+                    rec.stimulus.kind = r.str();
+                    const uint64_t plen = r.varint();
+                    if (plen > r.remaining()) {
+                        throw util::WireError("stimulus payload truncated");
+                    }
+                    rec.stimulus.payload.reserve(plen);
+                    for (uint64_t i = 0; i < plen; ++i) {
+                        rec.stimulus.payload.push_back(r.u8());
+                    }
+                    rec.options.engine = canonical::get_engine_options(r);
+                    rec.options.num_shards = r.u32();
+                    rec.options.shard_policy =
+                        static_cast<ShardPolicy>(r.u8());
+                    rec.options.priority = static_cast<Priority>(r.u8());
+                    rec.options.max_workers = r.u32();
+                    rec.options.weight = r.u32();
+                    const uint64_t n = r.varint();
+                    if (n > r.remaining()) {
+                        throw util::WireError("fault list truncated");
+                    }
+                    rec.faults.reserve(n);
+                    for (uint64_t i = 0; i < n; ++i) {
+                        rec.faults.push_back(canonical::get_fault(r));
+                    }
+                    r.expect_end();
+                    rec.unit_done.assign(rec.faults.size(), false);
+                    rec.verdicts.assign(rec.faults.size(), false);
+                    index[rec.campaign_id] = out.size();
+                    out.push_back(std::move(rec));
+                    break;
+                }
+                case RecordType::Unit: {
+                    const uint64_t id = r.u64();
+                    (void)r.u32();  // shard index — diagnostic only
+                    const uint64_t n = r.varint();
+                    if (n > r.remaining()) {
+                        throw util::WireError("unit id list truncated");
+                    }
+                    std::vector<uint32_t> ids;
+                    ids.reserve(n);
+                    uint32_t prev = 0;
+                    for (uint64_t i = 0; i < n; ++i) {
+                        prev += static_cast<uint32_t>(r.varint());
+                        ids.push_back(prev);
+                    }
+                    const std::vector<bool> bits = canonical::get_bitmap(r);
+                    if (bits.size() != ids.size()) {
+                        throw util::WireError("unit verdict count mismatch");
+                    }
+                    const auto it = index.find(id);
+                    // Orphan units (their Admit lost to a disk fault) are
+                    // tolerated: without the fault list they can't be used.
+                    if (it == index.end()) break;
+                    JournalCampaign& rec = out[it->second];
+                    for (size_t i = 0; i < ids.size(); ++i) {
+                        if (ids[i] >= rec.faults.size()) continue;
+                        rec.unit_done[ids[i]] = true;
+                        rec.verdicts[ids[i]] = bits[i];
+                    }
+                    ++rec.units_replayed;
+                    break;
+                }
+                case RecordType::Complete: {
+                    const auto it = index.find(r.u64());
+                    if (it != index.end()) out[it->second].complete = true;
+                    break;
+                }
+                default:
+                    break;  // unknown record type — forward compatibility
+            }
+        } catch (const util::WireError&) {
+            // A record that framed correctly but decodes badly is skipped;
+            // the frames after it are still independent.
+        }
+    });
+    return out;
+}
+
+}  // namespace eraser::core

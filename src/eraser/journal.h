@@ -1,0 +1,153 @@
+// Durable campaign journal: an append-only, CRC-framed write-ahead log of
+// campaign admissions and per-unit completions, the crash-recovery
+// substrate of the Session API.
+//
+// Why a journal is cheap here: ERASER's determinism invariant (verdict
+// bitmaps are bit-identical at any shard/thread/batching/placement
+// configuration) means replaying journaled unit verdicts and re-executing
+// only the remainder provably reproduces the uninterrupted result — the
+// journal never has to capture execution order, engine state, or partial
+// shard progress, only which global fault ids have verdicts.
+//
+// File format (all little-endian, util::wire framing —
+// `varint(len) | payload | crc32`):
+//
+//   frame 0:  "ERJL" magic + u32 version
+//   frame N:  u8 record type, then
+//     Admit(1):    campaign id (u64), design hash (u64), StimulusSpec
+//                  (kind + payload), EngineOptions, scheduling fields
+//                  (num_shards/policy/priority/max_workers/weight), fault
+//                  list (canonical::put_fault)
+//     Unit(2):     campaign id, shard index, global fault ids (varint
+//                  deltas), verdict bitmap, breakdown (wall / behavioral /
+//                  rtl seconds)
+//     Complete(3): campaign id — the campaign finished (or was refused /
+//                  canceled); recovery must not resurrect it.
+//
+// A torn tail — the partial frame a crash or a disk fault leaves behind —
+// fails CRC or length decode and is simply where replay stops; reopening
+// for append truncates it away. Any write or fsync failure disables the
+// journal for the rest of the process (counted, never thrown): campaigns
+// keep running without durability rather than crashing, and the file is
+// left replay-safe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "eraser/campaign.h"
+#include "eraser/instrumentation.h"
+#include "fault/fault.h"
+
+namespace eraser::util {
+class FileIo;
+}
+
+namespace eraser::core {
+
+inline constexpr uint32_t kJournalVersion = 1;
+
+struct JournalStats {
+    uint64_t appends = 0;          // records durably handed to the OS
+    uint64_t fsyncs = 0;           // group-commit barriers issued
+    uint64_t replayed_units = 0;   // units served from the log on recovery
+    uint64_t append_failures = 0;  // write/fsync failures (disk faults)
+    bool disabled = false;         // true once a disk fault stopped logging
+};
+
+struct JournalOptions {
+    std::string path;
+    /// Group commit: fsync once every N appended records. 1 = every
+    /// append (safest, slowest), 0 = never (OS page cache only — still
+    /// survives SIGKILL of the client, not power loss).
+    uint32_t fsync_interval = 8;
+    /// File-I/O seam for disk-fault injection; null = FileIo::real().
+    util::FileIo* io = nullptr;
+};
+
+/// One campaign reconstructed from the log by CampaignJournal::replay.
+struct JournalCampaign {
+    uint64_t campaign_id = 0;
+    uint64_t design_hash = 0;
+    StimulusSpec stimulus;
+    CampaignOptions options;
+    std::vector<fault::Fault> faults;
+    /// A Complete record was seen — finished or abandoned, do not resume.
+    bool complete = false;
+    /// Parallel to `faults`: true where some journaled unit holds the
+    /// fault's verdict (then `verdicts` has it).
+    std::vector<bool> unit_done;
+    std::vector<bool> verdicts;
+    /// Unit records replayed for this campaign.
+    uint32_t units_replayed = 0;
+};
+
+/// The write side. Thread-safe: the scheduler appends unit records from
+/// many worker threads; a mutex serializes record framing and the fd.
+class CampaignJournal {
+  public:
+    explicit CampaignJournal(JournalOptions opts);
+    ~CampaignJournal();
+    CampaignJournal(const CampaignJournal&) = delete;
+    CampaignJournal& operator=(const CampaignJournal&) = delete;
+
+    /// False once the file could not be opened or a disk fault disabled
+    /// appending. Append calls on a disabled journal are counted no-ops.
+    [[nodiscard]] bool enabled() const;
+
+    /// Appends an Admit record; returns the assigned campaign id (ids are
+    /// unique across reopens of one file) or 0 if the append failed.
+    [[nodiscard]] uint64_t append_admission(
+        uint64_t design_hash, const StimulusSpec& stimulus,
+        const CampaignOptions& options, std::span<const fault::Fault> faults);
+
+    /// Appends a Unit record: the verdict slice of one completed unit.
+    void append_unit(uint64_t campaign_id, uint32_t shard_index,
+                     const std::vector<uint32_t>& global_ids,
+                     const std::vector<bool>& verdicts,
+                     const ShardBreakdown& breakdown);
+
+    /// Appends a Complete record: the campaign is finished (or refused /
+    /// canceled) and must not be resumed.
+    void append_complete(uint64_t campaign_id);
+
+    /// Group-commit barrier: fsync now regardless of the interval.
+    void flush();
+
+    /// Recovery observability hook: units served from the log.
+    void note_replayed(uint64_t units);
+
+    [[nodiscard]] JournalStats stats() const;
+    [[nodiscard]] const std::string& path() const { return opts_.path; }
+
+    /// Reads every decodable record of `path`, stopping at the first torn
+    /// frame. Missing or unrecognizable files yield an empty vector. Unit
+    /// records for unknown campaign ids are tolerated (an Admit lost to a
+    /// disk fault); duplicate verdicts for one fault agree by determinism,
+    /// the last one wins.
+    [[nodiscard]] static std::vector<JournalCampaign> replay(
+        const std::string& path);
+
+  private:
+    bool append_record_locked(std::span<const uint8_t> payload);
+    void fsync_locked();
+    void disable_locked();
+
+    JournalOptions opts_;
+    util::FileIo* io_;
+    mutable std::mutex mu_;
+    int fd_ = -1;
+    bool disabled_ = false;
+    uint32_t unsynced_ = 0;
+    uint64_t next_id_ = 1;
+    uint64_t appends_ = 0;
+    uint64_t fsyncs_ = 0;
+    uint64_t replayed_units_ = 0;
+    uint64_t append_failures_ = 0;
+};
+
+}  // namespace eraser::core

@@ -83,23 +83,13 @@ std::vector<uint8_t> get_bytes(WireReader& r) {
     return {s.begin(), s.end()};
 }
 
-void put_engine_options(WireWriter& w, const EngineOptions& o) {
-    w.u8(static_cast<uint8_t>(o.mode));
-    w.u8(static_cast<uint8_t>(o.interp));
-    w.u8(static_cast<uint8_t>(o.batching));
-    w.u8(o.audit ? 1 : 0);
-    w.u8(o.time_phases ? 1 : 0);
-}
-
-EngineOptions get_engine_options(WireReader& r) {
-    EngineOptions o;
-    o.mode = static_cast<RedundancyMode>(r.u8());
-    o.interp = static_cast<sim::InterpMode>(r.u8());
-    o.batching = static_cast<FaultBatching>(r.u8());
-    o.audit = r.u8() != 0;
-    o.time_phases = r.u8() != 0;
-    return o;
-}
+// EngineOptions and verdict-bitmap codecs live in eraser/canonical.h now —
+// the campaign journal's Admit/Unit records share them with these RunUnit
+// frames, so the two durability surfaces cannot drift apart.
+using canonical::get_bitmap;
+using canonical::get_engine_options;
+using canonical::put_bitmap;
+using canonical::put_engine_options;
 
 void put_faults(WireWriter& w, std::span<const fault::Fault> faults) {
     w.varint(faults.size());
@@ -114,28 +104,6 @@ std::vector<fault::Fault> get_faults(WireReader& r) {
     faults.reserve(n);
     for (uint64_t i = 0; i < n; ++i) faults.push_back(canonical::get_fault(r));
     return faults;
-}
-
-void put_bitmap(WireWriter& w, const std::vector<bool>& bits) {
-    std::vector<uint64_t> words((bits.size() + 63) / 64, 0);
-    for (size_t i = 0; i < bits.size(); ++i) {
-        if (bits[i]) words[i >> 6] |= uint64_t(1) << (i & 63);
-    }
-    w.varint(bits.size());
-    w.words(words);
-}
-
-std::vector<bool> get_bitmap(WireReader& r) {
-    const uint64_t n = r.varint();
-    const std::vector<uint64_t> words = r.words();
-    if (words.size() != (n + 63) / 64) {
-        throw WireError("verdict bitmap word count mismatch");
-    }
-    std::vector<bool> bits(n, false);
-    for (uint64_t i = 0; i < n; ++i) {
-        bits[i] = (words[i >> 6] >> (i & 63)) & 1;
-    }
-    return bits;
 }
 
 // Every Instrumentation counter crosses the wire so the merged campaign
@@ -275,6 +243,22 @@ std::shared_ptr<const CompiledDesign> WorkerDesignCache::find(
 
 // --- worker serve loop -------------------------------------------------------
 
+namespace {
+/// Marks a unit in flight for the worker main's shutdown drain (see
+/// WorkerHooks::busy_units); no-op when the hook is unset.
+struct BusyGuard {
+    std::atomic<uint32_t>* count;
+    explicit BusyGuard(std::atomic<uint32_t>* c) : count(c) {
+        if (count != nullptr) count->fetch_add(1, std::memory_order_relaxed);
+    }
+    ~BusyGuard() {
+        if (count != nullptr) count->fetch_sub(1, std::memory_order_relaxed);
+    }
+    BusyGuard(const BusyGuard&) = delete;
+    BusyGuard& operator=(const BusyGuard&) = delete;
+};
+}  // namespace
+
 uint64_t serve_connection(WireConn& conn, WorkerDesignCache& cache,
                           const WorkerHooks& hooks) {
     std::vector<uint8_t> buf;
@@ -340,6 +324,7 @@ uint64_t serve_connection(WireConn& conn, WorkerDesignCache& cache,
                 const std::vector<fault::Fault> faults = get_faults(r);
                 r.expect_end();
                 (void)shard_index;
+                const BusyGuard busy(hooks.busy_units);
 
                 ++units;
                 if (hooks.die_before_result_unit == units) {
@@ -438,6 +423,13 @@ uint64_t serve_connection(WireConn& conn, WorkerDesignCache& cache,
             default:
                 send_error(conn, "unexpected message type");
                 return units;
+        }
+        if (hooks.stop != nullptr &&
+            hooks.stop->load(std::memory_order_relaxed)) {
+            // SIGTERM: the message in flight was fully answered, so this
+            // return is a clean EOF at a frame boundary — the client
+            // re-dispatches whatever it still wanted from us.
+            return units;
         }
     }
 }

@@ -61,6 +61,7 @@
 // window repeatedly is quarantined and eventually ejected.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -192,6 +193,17 @@ struct WorkerHooks {
     uint32_t stall_ms = 0;
     /// Seeded probabilistic injection on top of the ordinal hooks above.
     ChaosHooks chaos;
+
+    // --- graceful-shutdown plumbing (tools/eraser_worker) -----------------
+    /// When set and raised (SIGTERM handler), serve_connection returns
+    /// after the message currently in flight: the client sees a clean EOF
+    /// at a frame boundary and re-dispatches any remaining units — no unit
+    /// is ever half-answered.
+    const std::atomic<bool>* stop = nullptr;
+    /// When set, incremented while a unit executes and decremented after
+    /// its result frame is sent, so the worker main can wait for in-flight
+    /// work to drain before exiting.
+    std::atomic<uint32_t>* busy_units = nullptr;
 };
 
 /// Worker-side compile-once cache, shared across the connections of one

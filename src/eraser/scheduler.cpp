@@ -111,6 +111,24 @@ struct CampaignState {
     std::vector<uint32_t> hit_ids;
     std::vector<bool> hit_verdicts;
     uint32_t hit_detected = 0;
+    /// Campaign-journal binding (eraser/journal.h): admission was appended
+    /// under `journal_id`; completed units append their verdict slice
+    /// before the outcome surfaces, and finalization appends Complete —
+    /// unless `checkpointed`, i.e. a shutdown interrupted the campaign and
+    /// left it resumable.
+    std::shared_ptr<CampaignJournal> journal;
+    uint64_t journal_id = 0;
+    std::atomic<bool> checkpointed{false};
+    /// Faults replayed from the journal (Session::recover): global ids
+    /// (ascending) and verdicts, merged like cache hits — served without
+    /// engine work. Disjoint from hit_ids and from every shard.
+    std::vector<uint32_t> replay_ids;
+    std::vector<bool> replay_verdicts;
+    uint32_t replay_detected = 0;
+    uint32_t resumed_units = 0;
+    /// Exactly-once guard across the finalization paths (last shard job vs
+    /// cancel-withdraw vs shutdown's forced finalize).
+    std::atomic<bool> finalized{false};
 
     // Scheduling identity/state, guarded by the scheduler's mutex (never
     // by st->mu — the scheduler may outlive neither).
@@ -186,6 +204,13 @@ CampaignResult merged_result(const CampaignState& st) {
     }
     result.num_detected += st.hit_detected;
     result.cache_hits = static_cast<uint32_t>(st.hit_ids.size());
+    // Journal-replayed faults (Session::recover): a third disjoint id set,
+    // order-independent for the same reason as the cache hits.
+    for (size_t i = 0; i < st.replay_ids.size(); ++i) {
+        result.detected[st.replay_ids[i]] = st.replay_verdicts[i];
+    }
+    result.num_detected += st.replay_detected;
+    result.resumed_units = st.resumed_units;
     uint32_t completed = 0;
     for (size_t s = 0; s < st.shards.size(); ++s) {
         const EngineOutcome& out = st.outcomes[s];
@@ -240,6 +265,17 @@ void fire_terminal(CampaignState& st) {
 }
 
 void finalize_campaign(CampaignState& st) {
+    // Exactly once: the last shard job, a cancel-withdraw, and a
+    // shutdown's forced finalize can race here.
+    if (st.finalized.exchange(true, std::memory_order_acq_rel)) return;
+    if (st.journal && st.journal_id != 0 &&
+        !st.checkpointed.load(std::memory_order_relaxed)) {
+        // Write-ahead: the Complete record is durable before wait() can
+        // observe the result, so recovery never resurrects a finished (or
+        // canceled) campaign. Checkpointed campaigns skip it on purpose —
+        // the missing Complete is what makes them resumable.
+        st.journal->append_complete(st.journal_id);
+    }
     fire_terminal(st);   // terminal strictly happens-before finished
     CampaignResult result = merged_result(st);
     {
@@ -267,6 +303,16 @@ bool record_outcome(const std::shared_ptr<CampaignState>& st, size_t s,
     const EngineOutcome& stored = st->outcomes[s];
     const bool completed = stored.ran && !stored.canceled;
     if (completed) {
+        if (st->journal && st->journal_id != 0) {
+            // Write-ahead: the unit's verdict slice is journaled before the
+            // cache insert, the progress counters, or the observer can
+            // surface it — a crash after any of those finds the unit on
+            // disk, never the other way around.
+            st->journal->append_unit(st->journal_id,
+                                     static_cast<uint32_t>(s),
+                                     shard.global_ids, stored.detected,
+                                     stored.breakdown);
+        }
         // Publication is the insertion point, and only full runs publish —
         // the same guard the CostModel feedback applies: a canceled shard's
         // partial bitmap must never enter the store.
@@ -322,6 +368,16 @@ bool run_shard_job(const std::shared_ptr<CampaignState>& st, size_t s) {
     return record_outcome(st, s, std::move(out));
 }
 
+/// A campaign whose admission was already journaled but that the scheduler
+/// then refused (full queue) or rejected (shutdown) gets a Complete
+/// tombstone, so recovery never resurrects work the caller was told did
+/// not run.
+void journal_refusal(CampaignState& st) {
+    if (st.journal && st.journal_id != 0) {
+        st.journal->append_complete(st.journal_id);
+    }
+}
+
 void require_valid(const std::shared_ptr<CampaignState>& state) {
     if (!state) {
         throw SimError("empty CampaignHandle (default-constructed or "
@@ -370,15 +426,7 @@ bool CampaignHandle::cancel() {
         state_->notify_cancel = nullptr;
         if (notify) withdrawn = notify();
     }
-    if (withdrawn) {
-        fire_terminal(*state_);
-        CampaignResult result = merged_result(*state_);
-        {
-            std::lock_guard<std::mutex> lock(state_->mu);
-            publish_result_locked(*state_, std::move(result));
-        }
-        state_->cv.notify_all();
-    }
+    if (withdrawn) finalize_campaign(*state_);
     return !already_finished;
 }
 
@@ -458,7 +506,7 @@ CampaignScheduler::~CampaignScheduler() {
 std::shared_ptr<CampaignState> CampaignScheduler::make_state(
     std::span<const fault::Fault> faults, StimulusFactory make_stimulus,
     const CampaignOptions& opts, ShardObserver observer,
-    const StimulusSpec* remote_spec) {
+    const StimulusSpec* remote_spec, const JournalCampaign* resume) {
     auto st = std::make_shared<CampaignState>();
     st->compiled = compiled_;
     st->engine_opts = opts.engine;
@@ -484,42 +532,90 @@ std::shared_ptr<CampaignState> CampaignScheduler::make_state(
     // one-empty-shard result for the legacy blocking paths.
     if (faults.empty()) return st;
 
+    // Journal binding. A resumed campaign keeps its original journal id —
+    // new unit appends continue the same record stream across crash
+    // generations — and serves the already-journaled verdicts without
+    // engine work; only the remainder flows on to the cache partition and
+    // the sharders. A fresh StimulusSpec campaign appends its Admit record
+    // here, before a single unit can possibly complete (write-ahead:
+    // admission is durable first). Factory campaigns are unjournalable for
+    // the same reason they are uncacheable — an opaque closure cannot be
+    // replayed from disk.
+    std::vector<fault::Fault> pending_faults;
+    std::vector<uint32_t> pending_ids;
+    std::span<const fault::Fault> to_shard = faults;
+    if (resume != nullptr) {
+        st->journal = opts_.journal;
+        st->journal_id = resume->campaign_id;
+        st->resumed_units = resume->units_replayed;
+        if (opts_.journal) {
+            opts_.journal->note_replayed(resume->units_replayed);
+        }
+        pending_faults.reserve(faults.size());
+        pending_ids.reserve(faults.size());
+        for (uint32_t i = 0; i < faults.size(); ++i) {
+            if (resume->unit_done[i]) {
+                st->replay_ids.push_back(i);
+                st->replay_verdicts.push_back(resume->verdicts[i]);
+                if (resume->verdicts[i]) ++st->replay_detected;
+            } else {
+                pending_faults.push_back(faults[i]);
+                pending_ids.push_back(i);
+            }
+        }
+        // Replayed faults are finished work, exactly like cache hits.
+        st->faults_done.fetch_add(
+            static_cast<uint32_t>(st->replay_ids.size()),
+            std::memory_order_relaxed);
+        st->detected_done.fetch_add(st->replay_detected,
+                                    std::memory_order_relaxed);
+        // Every unit already journaled: zero shards, finish_empty.
+        if (pending_faults.empty()) return st;
+        to_shard = pending_faults;
+    } else if (opts_.journal && remote_spec != nullptr) {
+        st->journal_id = opts_.journal->append_admission(
+            compiled_->design_hash(), *remote_spec, opts, faults);
+        if (st->journal_id != 0) st->journal = opts_.journal;
+    }
+
     // Verdict-cache partition: faults already proven under this exact
     // (design, stimulus, engine) context are served from the cache and
     // merged into the result at finalization; only the misses are sharded
     // and dispatched. Content addressing is per fault, so hits survive any
-    // re-partition the learned-cost loop produces between runs. Factory
-    // campaigns are uncacheable — the key must fingerprint the stimulus.
+    // re-partition the learned-cost loop produces between runs — and any
+    // journal replay split. Factory campaigns are uncacheable — the key
+    // must fingerprint the stimulus.
     std::vector<fault::Fault> miss_faults;
-    std::vector<uint32_t> miss_ids;
-    std::span<const fault::Fault> to_shard = faults;
+    std::vector<uint32_t> miss_ids;   // global ids of the cache misses
     if (opts_.verdict_cache && remote_spec != nullptr) {
         st->cache = opts_.verdict_cache;
         st->cache_ctx = VerdictCache::context_key(compiled_->design_hash(),
                                                   st->stim_spec, opts.engine);
         const VerdictCache::Partition part =
-            st->cache->lookup(st->cache_ctx, faults);
+            st->cache->lookup(st->cache_ctx, to_shard);
         if (part.hits > 0) {
-            const uint32_t n = static_cast<uint32_t>(faults.size());
+            const uint32_t n = static_cast<uint32_t>(to_shard.size());
             miss_faults.reserve(n - part.hits);
             miss_ids.reserve(n - part.hits);
             st->hit_ids.reserve(part.hits);
             st->hit_verdicts.reserve(part.hits);
             for (uint32_t i = 0; i < n; ++i) {
+                const uint32_t gid =
+                    resume != nullptr ? pending_ids[i] : i;
                 if (part.hit[i]) {
-                    st->hit_ids.push_back(i);
+                    st->hit_ids.push_back(gid);
                     st->hit_verdicts.push_back(part.verdict[i]);
                     if (part.verdict[i]) ++st->hit_detected;
                 } else {
-                    miss_faults.push_back(faults[i]);
-                    miss_ids.push_back(i);
+                    miss_faults.push_back(to_shard[i]);
+                    miss_ids.push_back(gid);
                 }
             }
             // Hits are finished work: the progress counters start at the
             // served totals so progress() includes them from the outset.
-            st->faults_done.store(part.hits, std::memory_order_relaxed);
-            st->detected_done.store(st->hit_detected,
-                                    std::memory_order_relaxed);
+            st->faults_done.fetch_add(part.hits, std::memory_order_relaxed);
+            st->detected_done.fetch_add(st->hit_detected,
+                                        std::memory_order_relaxed);
             // Every fault hit: zero shards, and the caller finalizes via
             // finish_empty exactly like an empty fault list.
             if (miss_faults.empty()) return st;
@@ -574,13 +670,19 @@ std::shared_ptr<CampaignState> CampaignScheduler::make_state(
             make_shards(to_shard, costs, want_shards, opts.shard_policy);
     }
 
-    if (!miss_ids.empty()) {
-        // The shards partitioned the miss subset; translate their local
-        // ids back to the submitted list's global ids. miss_ids is
-        // ascending and each shard's ids are, so the remapped ids stay
-        // ascending and the index-ordered merge is untouched.
+    // The shards partitioned a subset (cache misses, journal remainder, or
+    // both chained — miss_ids already carries the fully resolved global
+    // ids); translate their local ids back to the submitted list's global
+    // ids. The id table is ascending and each shard's ids are, so the
+    // remapped ids stay ascending and the index-ordered merge is
+    // untouched.
+    const std::vector<uint32_t>* remap =
+        !miss_ids.empty() ? &miss_ids
+        : resume != nullptr ? &pending_ids
+                            : nullptr;
+    if (remap != nullptr) {
         for (Shard& sh : st->shards) {
-            for (uint32_t& g : sh.global_ids) g = miss_ids[g];
+            for (uint32_t& g : sh.global_ids) g = (*remap)[g];
         }
     }
 
@@ -605,6 +707,9 @@ std::shared_ptr<CampaignState> CampaignScheduler::make_state(
 
 uint32_t CampaignScheduler::dispatchable_locked(
     const CampaignState& st) const {
+    // A stopping scheduler dispatches nothing: in-flight units finish (or
+    // cancel), never-claimed ones stay claimable by a future recover().
+    if (stopping_) return 0;
     const uint32_t remaining =
         static_cast<uint32_t>(st.shards.size()) - st.next_shard +
         static_cast<uint32_t>(st.requeued.size());
@@ -640,6 +745,9 @@ void CampaignScheduler::release_claim_locked(
         active_.erase(std::find(active_.begin(), active_.end(), st));
         admit_locked();
         drain_cv_.notify_all();
+    } else if (stopping_) {
+        // shutdown() waits for every in-flight claim to return.
+        drain_cv_.notify_all();
     }
 }
 
@@ -650,7 +758,7 @@ void CampaignScheduler::issue_tickets_locked(uint32_t count, unsigned cls) {
 }
 
 void CampaignScheduler::admit_locked() {
-    while (!queued_.empty() &&
+    while (!stopping_ && !queued_.empty() &&
            (draining_ || opts_.max_active == 0 ||
             active_.size() < opts_.max_active)) {
         // Highest class first, FIFO (seq) within a class.
@@ -883,6 +991,7 @@ bool CampaignScheduler::serve_link(size_t worker_index,
             issue_tickets_locked(after - before,
                                  static_cast<unsigned>(st->priority));
             work_cv_.notify_all();
+            if (stopping_) drain_cv_.notify_all();
             ++units_redispatched_;
             return false;
         }
@@ -1027,14 +1136,15 @@ CampaignHandle CampaignScheduler::submit(std::span<const fault::Fault> faults,
                                          const CampaignOptions& opts,
                                          ShardObserver observer) {
     auto st = make_state(faults, std::move(make_stimulus), opts,
-                         std::move(observer), nullptr);
+                         std::move(observer), nullptr, nullptr);
     if (st->shards.empty()) return finish_empty(std::move(st));
     std::unique_lock<std::mutex> lock(mu_);
     if (opts_.queue_capacity > 0) {
         space_cv_.wait(lock, [&] {
-            return queued_.size() < opts_.queue_capacity;
+            return stopping_ || queued_.size() < opts_.queue_capacity;
         });
     }
+    if (stopping_) throw SimError("submit after shutdown");
     return accept_locked(std::move(st));
 }
 
@@ -1049,15 +1159,17 @@ CampaignHandle CampaignScheduler::try_submit(
     // overload path must not pay the O(n log n) partition it is shedding.
     {
         std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) throw SimError("submit after shutdown");
         if (queue_full()) {
             ++rejected_;
             return CampaignHandle();
         }
     }
     auto st = make_state(faults, std::move(make_stimulus), opts,
-                         std::move(observer), nullptr);
+                         std::move(observer), nullptr, nullptr);
     if (st->shards.empty()) return finish_empty(std::move(st));
     std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) throw SimError("submit after shutdown");
     if (queue_full()) {   // filled while we sharded — refuse, don't block
         ++rejected_;
         return CampaignHandle();
@@ -1070,13 +1182,18 @@ CampaignHandle CampaignScheduler::submit(std::span<const fault::Fault> faults,
                                          const CampaignOptions& opts,
                                          ShardObserver observer) {
     auto st = make_state(faults, nullptr, opts, std::move(observer),
-                         &stimulus);
+                         &stimulus, nullptr);
     if (st->shards.empty()) return finish_empty(std::move(st));
     std::unique_lock<std::mutex> lock(mu_);
     if (opts_.queue_capacity > 0) {
         space_cv_.wait(lock, [&] {
-            return queued_.size() < opts_.queue_capacity;
+            return stopping_ || queued_.size() < opts_.queue_capacity;
         });
+    }
+    if (stopping_) {
+        lock.unlock();
+        journal_refusal(*st);
+        throw SimError("submit after shutdown");
     }
     return accept_locked(std::move(st));
 }
@@ -1090,17 +1207,25 @@ CampaignHandle CampaignScheduler::try_submit(
     };
     {
         std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) throw SimError("submit after shutdown");
         if (queue_full()) {
             ++rejected_;
             return CampaignHandle();
         }
     }
     auto st = make_state(faults, nullptr, opts, std::move(observer),
-                         &stimulus);
+                         &stimulus, nullptr);
     if (st->shards.empty()) return finish_empty(std::move(st));
     std::unique_lock<std::mutex> lock(mu_);
-    if (queue_full()) {
-        ++rejected_;
+    const bool refused = stopping_ || queue_full();
+    if (refused) {
+        const bool threw = stopping_;
+        if (!threw) ++rejected_;
+        lock.unlock();
+        // The admission was already journaled; tombstone it so recovery
+        // never resurrects a campaign the caller was told did not run.
+        journal_refusal(*st);
+        if (threw) throw SimError("submit after shutdown");
         return CampaignHandle();
     }
     return accept_locked(std::move(st));
@@ -1112,6 +1237,77 @@ void CampaignScheduler::drain() {
     admit_locked();
     drain_cv_.wait(lock, [&] { return queued_.empty() && active_.empty(); });
     draining_ = false;
+}
+
+void CampaignScheduler::shutdown(ShutdownMode mode) {
+    if (mode == ShutdownMode::Drain) {
+        // Run everything admitted to completion, then stop admission.
+        drain();
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+        space_cv_.notify_all();
+        return;
+    }
+    std::vector<std::shared_ptr<CampaignState>> interrupted;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        stopping_ = true;
+        // Mark every admitted-or-queued campaign checkpointed *before*
+        // waiting: a last shard job finishing during the wait finalizes its
+        // campaign itself, and must already know not to append Complete.
+        for (const auto& st : active_) {
+            st->checkpointed.store(true, std::memory_order_relaxed);
+            if (mode == ShutdownMode::Abort) {
+                // Cooperative cancel: in-flight engines stop at the next
+                // cycle boundary; their canceled outcomes are never
+                // journaled, so the units stay re-executable.
+                st->cancel.store(true, std::memory_order_relaxed);
+            }
+        }
+        for (const auto& st : queued_) {
+            st->checkpointed.store(true, std::memory_order_relaxed);
+        }
+        interrupted.assign(queued_.begin(), queued_.end());
+        queued_.clear();
+        space_cv_.notify_all();   // blocked submitters observe stopping_
+        work_cv_.notify_all();    // idle remote links stop picking
+        // Unit boundary: wait for every in-flight claim to return.
+        // dispatchable_locked is 0 while stopping_, so no new claims start;
+        // campaigns whose last job returns during the wait finalize and
+        // self-erase from active_ before their inflight reaches 0.
+        drain_cv_.wait(lock, [&] {
+            for (const auto& st : active_) {
+                if (st->inflight > 0) return false;
+            }
+            return true;
+        });
+        interrupted.insert(interrupted.end(), active_.begin(), active_.end());
+        active_.clear();
+    }
+    // Force-finalize the interrupted campaigns outside mu_ (the terminal
+    // observer is user code): they publish with canceled = true and —
+    // having no Complete record — stay resumable from the journal.
+    for (const auto& st : interrupted) finalize_campaign(*st);
+    if (opts_.journal) opts_.journal->flush();
+}
+
+CampaignHandle CampaignScheduler::recover(const JournalCampaign& rec) {
+    if (rec.design_hash != compiled_->design_hash()) {
+        throw SimError("journal campaign was recorded against a different "
+                       "design (hash mismatch)");
+    }
+    auto st = make_state(rec.faults, nullptr, rec.options, nullptr,
+                         &rec.stimulus, &rec);
+    if (st->shards.empty()) return finish_empty(std::move(st));
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) throw SimError("submit after shutdown");
+    if (opts_.queue_capacity > 0) {
+        space_cv_.wait(lock, [&] {
+            return stopping_ || queued_.size() < opts_.queue_capacity;
+        });
+        if (stopping_) throw SimError("submit after shutdown");
+    }
+    return accept_locked(std::move(st));
 }
 
 SchedulerStats CampaignScheduler::stats() const {
@@ -1157,6 +1353,7 @@ SchedulerStats CampaignScheduler::stats() const {
     }
     s.remote.overhead_ewma_seconds = n > 0 ? sum / n : 0.0;
     if (opts_.verdict_cache) s.cache = opts_.verdict_cache->stats();
+    if (opts_.journal) s.journal = opts_.journal->stats();
     return s;
 }
 

@@ -81,6 +81,7 @@
 #include <thread>
 #include <vector>
 
+#include "eraser/journal.h"
 #include "eraser/session.h"
 #include "eraser/verdict_cache.h"
 
@@ -133,6 +134,8 @@ struct SchedulerStats {
     CacheStats cache;                // verdict-cache counters (cache-global:
                                      // shared caches accumulate across
                                      // every Session using them)
+    JournalStats journal;            // campaign-journal counters (journal-
+                                     // global, like the cache counters)
 };
 
 class CampaignScheduler {
@@ -180,6 +183,20 @@ class CampaignScheduler {
     /// pool workers to still be running.
     void drain();
 
+    /// Winds work down per `mode` (see ShutdownMode in eraser/campaign.h)
+    /// and stops admission: later submits throw SimError. Checkpoint/Abort
+    /// publish interrupted campaigns with `canceled = true` and leave them
+    /// resumable in the journal (no Complete record). Idempotent.
+    void shutdown(ShutdownMode mode);
+
+    /// Resubmits an interrupted journaled campaign: units already in the
+    /// log are served from it (no engine work), the remainder is sharded
+    /// and dispatched normally, and new unit completions append under the
+    /// campaign's original journal id. The merged bitmap is bit-identical
+    /// to an uninterrupted run (determinism). Throws SimError when the
+    /// record's design hash does not match this scheduler's design.
+    [[nodiscard]] CampaignHandle recover(const JournalCampaign& rec);
+
     [[nodiscard]] const CostModel& cost_model() const { return *cost_model_; }
     [[nodiscard]] SchedulerStats stats() const;
 
@@ -187,7 +204,7 @@ class CampaignScheduler {
     std::shared_ptr<detail::CampaignState> make_state(
         std::span<const fault::Fault> faults, StimulusFactory make_stimulus,
         const CampaignOptions& opts, ShardObserver observer,
-        const StimulusSpec* remote_spec);
+        const StimulusSpec* remote_spec, const JournalCampaign* resume);
 
     /// Shared acceptance tail of submit()/try_submit(); caller holds mu_
     /// with backpressure already resolved.
@@ -288,6 +305,7 @@ class CampaignScheduler {
     uint64_t rejected_ = 0;
     uint64_t shards_dispatched_ = 0;
     bool draining_ = false;
+    bool stopping_ = false;          // shutdown() ran: no dispatch, no admits
 
     // Distributed fabric (all counters under mu_; threads joined by the
     // destructor after the Session's drain).

@@ -39,6 +39,29 @@ CampaignScheduler& Session::ensure_scheduler() {
 
 CampaignScheduler& Session::scheduler() { return ensure_scheduler(); }
 
+void Session::shutdown(ShutdownMode mode) {
+    CampaignScheduler* sched = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(pool_mu_);
+        sched = sched_.get();
+    }
+    // A Session that never created its scheduler has nothing in flight.
+    if (sched != nullptr) sched->shutdown(mode);
+}
+
+std::vector<CampaignHandle> Session::recover(const std::string& journal_path) {
+    std::vector<CampaignHandle> handles;
+    CampaignScheduler& sched = ensure_scheduler();
+    for (const JournalCampaign& rec : CampaignJournal::replay(journal_path)) {
+        if (rec.complete) continue;
+        // A journal may be shared across designs; only this design's
+        // campaigns are recoverable here.
+        if (rec.design_hash != compiled_->design_hash()) continue;
+        handles.push_back(sched.recover(rec));
+    }
+    return handles;
+}
+
 CampaignHandle Session::submit(std::span<const fault::Fault> faults,
                                StimulusFactory make_stimulus,
                                const CampaignOptions& opts,

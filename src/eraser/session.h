@@ -35,6 +35,8 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
+#include <vector>
 
 #include "eraser/campaign.h"
 #include "eraser/compiled_design.h"
@@ -210,6 +212,25 @@ class Session {
     [[nodiscard]] CampaignResult run(std::span<const fault::Fault> faults,
                                      sim::Stimulus& stim,
                                      const CampaignOptions& opts = {});
+
+    /// Winds the scheduler down per `mode` (see ShutdownMode in
+    /// eraser/campaign.h): Drain finishes everything, Checkpoint stops at
+    /// unit boundaries, Abort also cancels in-flight units. Later submits
+    /// throw SimError; with a journal configured, interrupted campaigns
+    /// stay resumable via recover(). Idempotent; a no-op on a Session that
+    /// never submitted.
+    void shutdown(ShutdownMode mode);
+
+    /// Resubmits every incomplete campaign a crashed (or checkpointed)
+    /// process left in the journal at `journal_path`: journaled units are
+    /// served from the log without engine work, only the remainder is
+    /// re-dispatched, and each final bitmap is bit-identical to an
+    /// uninterrupted run. Campaigns recorded against a different design
+    /// hash are skipped (the journal may be shared). Typically the
+    /// Session's own SchedulerOptions::journal points at the same path, so
+    /// resumed progress keeps journaling under the original campaign ids.
+    [[nodiscard]] std::vector<CampaignHandle> recover(
+        const std::string& journal_path);
 
     /// The Session's scheduler: QoS stats and the learned CostModel live
     /// here. First use creates it TOGETHER WITH the worker pool — calling

@@ -140,6 +140,47 @@ void WorkerSupervisor::stop() noexcept {
     started_ = false;
 }
 
+void WorkerSupervisor::stop_fleet(uint32_t term_deadline_ms) noexcept {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!started_) return;
+        stop_ = true;
+    }
+    // Monitor first: a respawn racing the SIGTERM sweep would resurrect a
+    // worker we just asked to die.
+    cv_.notify_all();
+    if (monitor_.joinable()) monitor_.join();
+
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Slot& slot : slots_) {
+        if (slot.pid > 0) ::kill(slot.pid, SIGTERM);
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(term_deadline_ms);
+    for (;;) {
+        bool alive = false;
+        for (Slot& slot : slots_) {
+            if (slot.pid <= 0) continue;
+            if (::waitpid(slot.pid, nullptr, WNOHANG) == slot.pid) {
+                slot.pid = -1;
+            } else {
+                alive = true;
+            }
+        }
+        if (!alive || std::chrono::steady_clock::now() >= deadline) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    // Stragglers exhausted the grace period; escalate.
+    for (Slot& slot : slots_) {
+        if (slot.pid > 0) {
+            ::kill(slot.pid, SIGKILL);
+            ::waitpid(slot.pid, nullptr, 0);
+            slot.pid = -1;
+        }
+    }
+    started_ = false;
+}
+
 std::vector<uint16_t> WorkerSupervisor::ports() const {
     std::lock_guard<std::mutex> lock(mu_);
     std::vector<uint16_t> ps;

@@ -58,6 +58,13 @@ class WorkerSupervisor {
     /// Stops the monitor and SIGKILLs + reaps every live worker. Idempotent.
     void stop() noexcept;
 
+    /// Graceful fleet teardown: stops the monitor (no more respawns), sends
+    /// SIGTERM to every live worker, then waits up to `term_deadline_ms`
+    /// for them to exit on their own (finishing in-flight units, see
+    /// tools/eraser_worker.cpp). Stragglers past the deadline are SIGKILLed
+    /// and reaped. Idempotent; a later stop()/destructor is a no-op.
+    void stop_fleet(uint32_t term_deadline_ms = 5000) noexcept;
+
     /// Listening ports, index-aligned with the slots (stable across
     /// respawns). Valid after start().
     [[nodiscard]] std::vector<uint16_t> ports() const;

@@ -10,6 +10,7 @@
 #include "eraser/concurrent_sim.h"
 #include "eraser/remote.h"
 #include "util/diagnostics.h"
+#include "util/fileio.h"
 #include "util/wire.h"
 
 namespace eraser::core {
@@ -215,29 +216,38 @@ bool VerdictCache::save(const std::string& path) const {
         util::append_frame(file, overheads.bytes());
     }
 
-    // Write-temp-then-rename: a crash mid-write leaves the previous store
-    // intact, and no reader ever sees a partial file.
+    // Write-temp-fsync-rename-fsync-dir: a crash mid-write leaves the
+    // previous store intact and no reader ever sees a partial file; the
+    // fsync of the temp file makes its *contents* durable before the
+    // rename commits them, and the directory fsync makes the rename itself
+    // survive power loss (a rename without it can silently revert). All
+    // I/O goes through the injectable seam so disk faults are testable.
+    util::FileIo& io = opts_.io != nullptr ? *opts_.io : util::FileIo::real();
     const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out) return false;
-        out.write(reinterpret_cast<const char*>(file.data()),
-                  static_cast<std::streamsize>(file.size()));
-        if (!out.good()) {
-            out.close();
-            std::remove(tmp.c_str());
-            return false;
-        }
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
+    const int fd = io.open_trunc(tmp);
+    if (fd < 0) return false;
+    if (!util::write_all(io, fd, file) || io.fsync(fd) != 0) {
+        io.close(fd);
+        io.remove(tmp);
         return false;
     }
-    return true;
+    if (io.close(fd) != 0 || io.rename(tmp, path) != 0) {
+        io.remove(tmp);
+        return false;
+    }
+    return io.fsync_dir(path) == 0;
 }
 
 bool VerdictCache::load(const std::string& path) {
     clear();
+    {
+        // A crash between write and rename strands a `.tmp` next to the
+        // store; it is garbage by construction (the rename never happened)
+        // and would accumulate forever — reclaim it here.
+        util::FileIo& io =
+            opts_.io != nullptr ? *opts_.io : util::FileIo::real();
+        io.remove(path + ".tmp");
+    }
     std::vector<uint8_t> file;
     {
         std::ifstream in(path, std::ios::binary | std::ios::ate);

@@ -66,6 +66,10 @@
 #include "eraser/compiled_design.h"
 #include "fault/fault.h"
 
+namespace eraser::util {
+class FileIo;
+}  // namespace eraser::util
+
 namespace eraser::core {
 
 struct StimulusSpec;
@@ -81,6 +85,11 @@ struct VerdictCacheOptions {
     /// Resident size cap; per-bucket LRU eviction keeps the cache under
     /// it. 0 = minimal (evicts aggressively; useful in tests only).
     uint64_t max_bytes = 64ull << 20;
+    /// File-I/O seam for the store's write path (util/fileio.h): save()
+    /// fsyncs the temp file and the parent directory around its atomic
+    /// rename through this. Null = FileIo::real(); tests inject
+    /// FaultyFileIo to prove disk faults degrade cleanly.
+    util::FileIo* io = nullptr;
 };
 
 /// Point-in-time counters (SchedulerStats::cache). Cache-global: one

@@ -1,0 +1,119 @@
+#include "util/fileio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+namespace eraser::util {
+
+int FileIo::open_append(const std::string& path) {
+    return ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+}
+
+int FileIo::open_trunc(const std::string& path) {
+    return ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+}
+
+ssize_t FileIo::write(int fd, const void* data, size_t len) {
+    return ::write(fd, data, len);
+}
+
+int FileIo::fsync(int fd) { return ::fsync(fd); }
+
+int FileIo::close(int fd) { return ::close(fd); }
+
+int FileIo::rename(const std::string& from, const std::string& to) {
+    return std::rename(from.c_str(), to.c_str());
+}
+
+int FileIo::remove(const std::string& path) {
+    return std::remove(path.c_str());
+}
+
+int FileIo::fsync_dir(const std::string& path) {
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return -1;
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    return rc;
+}
+
+int FileIo::truncate(int fd, uint64_t length) {
+    return ::ftruncate(fd, static_cast<off_t>(length));
+}
+
+FileIo& FileIo::real() {
+    static FileIo io;
+    return io;
+}
+
+bool write_all(FileIo& io, int fd, std::span<const uint8_t> data) {
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = io.write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        if (n == 0) {
+            errno = EIO;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+ssize_t FaultyFileIo::write(int fd, const void* data, size_t len) {
+    const uint64_t nth = writes_.fetch_add(1) + 1;
+    uint64_t want = len;
+    if (opts_.short_write_every != 0 && len > 1 &&
+        nth % opts_.short_write_every == 0) {
+        want = len / 2;
+        short_writes_.fetch_add(1);
+    }
+    // Byte budget: the write that crosses the boundary delivers what fits;
+    // only a write with nothing left returns ENOSPC, matching a real
+    // filesystem filling up mid-append.
+    uint64_t before = written_.load();
+    for (;;) {
+        if (before >= opts_.budget_bytes) {
+            enospc_failures_.fetch_add(1);
+            errno = ENOSPC;
+            return -1;
+        }
+        const uint64_t grant = std::min(want, opts_.budget_bytes - before);
+        if (written_.compare_exchange_weak(before, before + grant)) {
+            want = grant;
+            break;
+        }
+    }
+    return FileIo::write(fd, data, want);
+}
+
+int FaultyFileIo::fsync(int fd) {
+    if (fsyncs_.fetch_add(1) >= opts_.fail_fsync_after) {
+        fsync_failures_.fetch_add(1);
+        errno = EIO;
+        return -1;
+    }
+    return FileIo::fsync(fd);
+}
+
+int FaultyFileIo::rename(const std::string& from, const std::string& to) {
+    if (opts_.fail_rename) {
+        errno = EIO;
+        return -1;
+    }
+    return FileIo::rename(from, to);
+}
+
+}  // namespace eraser::util

@@ -1,0 +1,107 @@
+// Injectable file-I/O seam for the durability layer (campaign journal,
+// verdict-cache store). Production code goes through FileIo::real(), a thin
+// POSIX passthrough; tests swap in FaultyFileIo to inject the disk-failure
+// modes that matter for write-ahead logging — short writes, ENOSPC at an
+// arbitrary byte boundary, fsync failure — without touching a real disk.
+//
+// The seam is deliberately narrow: open/write/fsync/close/rename/remove
+// plus the two calls naive persistence code forgets — fsync of the parent
+// directory (a rename without it can vanish on power loss) and ftruncate
+// (dropping a torn tail before appending). Reads stay on plain streams;
+// every failure mode this PR defends against is on the write path.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace eraser::util {
+
+/// POSIX file operations behind virtual dispatch. Errors follow the POSIX
+/// convention (-1 and errno) so callers keep their usual handling. Methods
+/// must be callable from multiple threads (the real passthrough trivially
+/// is; FaultyFileIo uses atomics).
+class FileIo {
+  public:
+    virtual ~FileIo() = default;
+
+    /// Opens (creating if needed) for appending; returns fd or -1.
+    [[nodiscard]] virtual int open_append(const std::string& path);
+    /// Opens truncated for writing; returns fd or -1.
+    [[nodiscard]] virtual int open_trunc(const std::string& path);
+    /// One write(2): may write fewer than `len` bytes (short write).
+    [[nodiscard]] virtual ssize_t write(int fd, const void* data, size_t len);
+    [[nodiscard]] virtual int fsync(int fd);
+    virtual int close(int fd);
+    [[nodiscard]] virtual int rename(const std::string& from,
+                                     const std::string& to);
+    virtual int remove(const std::string& path);
+    /// fsync of the directory containing `path` — what makes a rename (or a
+    /// newly created file) survive power loss.
+    [[nodiscard]] virtual int fsync_dir(const std::string& path);
+    [[nodiscard]] virtual int truncate(int fd, uint64_t length);
+
+    /// The process-wide passthrough instance.
+    [[nodiscard]] static FileIo& real();
+};
+
+/// Writes all of `data`, looping over short writes. False on any error
+/// (errno preserved); bytes may have been partially written — for framed
+/// logs that is a torn tail the replay path already tolerates.
+[[nodiscard]] bool write_all(FileIo& io, int fd,
+                             std::span<const uint8_t> data);
+
+/// Deterministic disk-fault injector. Each knob models one real failure:
+/// a byte budget that runs out mid-write (ENOSPC, with the honest partial
+/// write a real filesystem performs at the boundary), periodic short
+/// writes (callers must loop), and fsyncs that start failing after N
+/// successes (fsyncgate: the data's durability is unknowable afterwards).
+struct FaultyFileIoOptions {
+    /// Total bytes writable before ENOSPC; the write that crosses the
+    /// boundary is partial. UINT64_MAX = unlimited.
+    uint64_t budget_bytes = UINT64_MAX;
+    /// Every Nth write delivers only half its bytes (0 = never). Not an
+    /// error — exercises the caller's short-write loop.
+    uint32_t short_write_every = 0;
+    /// fsyncs succeeding before every later one fails with EIO.
+    /// UINT32_MAX = never fail.
+    uint32_t fail_fsync_after = UINT32_MAX;
+    /// Every rename fails with EIO (atomic-commit failure).
+    bool fail_rename = false;
+};
+
+class FaultyFileIo final : public FileIo {
+  public:
+    explicit FaultyFileIo(FaultyFileIoOptions opts = {}) : opts_(opts) {}
+
+    [[nodiscard]] ssize_t write(int fd, const void* data,
+                                size_t len) override;
+    [[nodiscard]] int fsync(int fd) override;
+    [[nodiscard]] int rename(const std::string& from,
+                             const std::string& to) override;
+
+    [[nodiscard]] uint64_t writes() const { return writes_.load(); }
+    [[nodiscard]] uint64_t short_writes() const {
+        return short_writes_.load();
+    }
+    [[nodiscard]] uint64_t enospc_failures() const {
+        return enospc_failures_.load();
+    }
+    [[nodiscard]] uint64_t fsync_failures() const {
+        return fsync_failures_.load();
+    }
+
+  private:
+    FaultyFileIoOptions opts_;
+    std::atomic<uint64_t> written_{0};
+    std::atomic<uint64_t> writes_{0};
+    std::atomic<uint64_t> short_writes_{0};
+    std::atomic<uint64_t> enospc_failures_{0};
+    std::atomic<uint64_t> fsyncs_{0};
+    std::atomic<uint64_t> fsync_failures_{0};
+};
+
+}  // namespace eraser::util

@@ -1,0 +1,576 @@
+// The durable campaign journal contract (eraser/journal.h):
+//
+//  * record round trip: Admit/Unit/Complete survive append -> replay with
+//    campaign ids unique across file reopens;
+//  * a torn tail (partial frame from a crash or disk fault) stops replay
+//    cleanly and is truncated away on reopen-for-append;
+//  * crash resume: a journal truncated after K unit records recovers to a
+//    bit-identical bitmap while re-executing strictly fewer faults than
+//    the campaign total;
+//  * Session::shutdown(Checkpoint) stops at unit boundaries, leaves the
+//    campaign resumable, and Session::recover completes it bit-identically
+//    (then refuses to resurrect it once Complete lands);
+//  * injected disk faults (ENOSPC, short writes, fsync failure) degrade to
+//    journaling-disabled-with-counter — never a crash, a corrupted file,
+//    or a changed verdict;
+//  * VerdictCache::save() is fault-injectable through the same seam: a
+//    failed save leaves no temp droppings, and orphaned *.tmp files from a
+//    crashed save are cleaned up on load.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eraser/eraser.h"
+#include "eraser/journal.h"
+#include "eraser/verdict_cache.h"
+#include "suite/suite.h"
+#include "util/diagnostics.h"
+#include "util/fileio.h"
+#include "util/wire.h"
+
+namespace eraser {
+namespace {
+
+using core::CampaignJournal;
+using core::CampaignOptions;
+using core::FaultBatching;
+using core::JournalCampaign;
+using core::JournalOptions;
+
+std::vector<fault::Fault> ci_faults(const rtl::Design& design,
+                                    uint32_t sample = 60) {
+    fault::FaultGenOptions fopts;
+    fopts.sample_max = sample;
+    fopts.sample_seed = 42;
+    return fault::generate_faults(design, fopts);
+}
+
+std::string temp_journal(const char* name) {
+    return ::testing::TempDir() + name;
+}
+
+bool file_exists(const std::string& path) {
+    return std::ifstream(path, std::ios::binary).good();
+}
+
+std::vector<uint8_t> slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::vector<uint8_t>& bytes,
+          size_t len) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(len));
+}
+
+/// Byte offset of a journal prefix holding the header, every Admit, and
+/// exactly the first `units` Unit records — the file a crash would leave
+/// behind mid-campaign. Stops before any Complete record.
+size_t prefix_after_units(const std::vector<uint8_t>& buf, uint32_t units) {
+    size_t pos = 0;
+    std::vector<uint8_t> payload;
+    if (!util::next_frame(buf, pos, payload)) return 0;   // header frame
+    size_t valid = pos;
+    uint32_t kept = 0;
+    while (util::next_frame(buf, pos, payload)) {
+        if (payload.empty() || payload[0] == 3) break;    // Complete
+        if (payload[0] == 2) {                            // Unit
+            if (kept == units) break;
+            ++kept;
+        }
+        valid = pos;
+    }
+    EXPECT_EQ(kept, units) << "journal held fewer unit records than asked";
+    return valid;
+}
+
+/// Faults actually simulated (executed shards only — replayed units
+/// contribute no ShardBreakdown).
+uint64_t executed_faults(const core::CampaignResult& result) {
+    uint64_t n = 0;
+    for (const core::ShardBreakdown& s : result.stats.shards) n += s.faults;
+    return n;
+}
+
+// --- record round trip ------------------------------------------------------
+
+TEST(JournalRoundTrip, RecordsSurviveAppendAndReplay) {
+    suite::register_remote_stimuli();
+    const suite::Benchmark& b = suite::registry().front();
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design, 10);
+    const core::StimulusSpec stim = suite::remote_stimulus(b, b.test_cycles);
+    const std::string path = temp_journal("roundtrip.journal");
+    std::remove(path.c_str());
+
+    CampaignOptions opts;
+    opts.num_shards = 3;
+    opts.priority = core::Priority::High;
+    opts.weight = 7;
+
+    uint64_t id = 0;
+    {
+        JournalOptions jopts;
+        jopts.path = path;
+        CampaignJournal j(jopts);
+        ASSERT_TRUE(j.enabled());
+        id = j.append_admission(0xD351C9ull, stim, opts, faults);
+        ASSERT_NE(id, 0u);
+
+        core::ShardBreakdown bd;
+        bd.wall_seconds = 0.25;
+        j.append_unit(id, 0, {0, 2, 5}, {true, false, true}, bd);
+        j.append_unit(id, 1, {1, 3, 4}, {false, false, true}, bd);
+        const auto stats = j.stats();
+        EXPECT_EQ(stats.appends, 3u);   // admit + 2 units (header uncounted)
+        EXPECT_EQ(stats.append_failures, 0u);
+    }
+
+    auto recs = CampaignJournal::replay(path);
+    ASSERT_EQ(recs.size(), 1u);
+    const JournalCampaign& rec = recs[0];
+    EXPECT_EQ(rec.campaign_id, id);
+    EXPECT_EQ(rec.design_hash, 0xD351C9ull);
+    EXPECT_EQ(rec.stimulus.kind, stim.kind);
+    EXPECT_EQ(rec.stimulus.payload, stim.payload);
+    EXPECT_EQ(rec.options.num_shards, 3u);
+    EXPECT_EQ(rec.options.priority, core::Priority::High);
+    EXPECT_EQ(rec.options.weight, 7u);
+    ASSERT_EQ(rec.faults.size(), faults.size());
+    EXPECT_EQ(rec.faults[0].sig, faults[0].sig);
+    EXPECT_EQ(rec.faults[0].bit, faults[0].bit);
+    EXPECT_EQ(rec.faults[0].stuck_one, faults[0].stuck_one);
+    EXPECT_FALSE(rec.complete);
+    EXPECT_EQ(rec.units_replayed, 2u);
+    const std::vector<bool> want_done = {true,  true,  true, true, true,
+                                         true,  false, false, false, false};
+    const std::vector<bool> want_verdicts = {true, false, false, false, true,
+                                             true, false, false, false, false};
+    EXPECT_EQ(rec.unit_done, want_done);
+    EXPECT_EQ(rec.verdicts, want_verdicts);
+
+    // Reopen for append: ids stay unique across incarnations, and a
+    // Complete record retires the campaign for recovery.
+    {
+        JournalOptions jopts;
+        jopts.path = path;
+        CampaignJournal j(jopts);
+        const uint64_t id2 = j.append_admission(0xD351C9ull, stim, opts,
+                                                faults);
+        EXPECT_GT(id2, id);
+        j.append_complete(id);
+    }
+    recs = CampaignJournal::replay(path);
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_TRUE(recs[0].complete);
+    EXPECT_FALSE(recs[1].complete);
+}
+
+TEST(JournalRoundTrip, TornTailToleratedAndTruncatedOnReopen) {
+    suite::register_remote_stimuli();
+    const suite::Benchmark& b = suite::registry().front();
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design, 6);
+    const core::StimulusSpec stim = suite::remote_stimulus(b, b.test_cycles);
+    const std::string path = temp_journal("torn.journal");
+    std::remove(path.c_str());
+
+    {
+        JournalOptions jopts;
+        jopts.path = path;
+        CampaignJournal j(jopts);
+        ASSERT_NE(j.append_admission(1, stim, {}, faults), 0u);
+    }
+    const size_t intact = slurp(path).size();
+
+    // A crash mid-write leaves a partial frame: half a record's bytes.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        const char torn[] = "\x40partial-frame-without-valid-crc";
+        out.write(torn, sizeof(torn) - 1);
+    }
+    auto recs = CampaignJournal::replay(path);
+    ASSERT_EQ(recs.size(), 1u);   // replay stops at the tear, keeps the rest
+
+    // Reopening for append truncates the tear; the next record lands where
+    // the torn bytes were and the whole file replays.
+    {
+        JournalOptions jopts;
+        jopts.path = path;
+        CampaignJournal j(jopts);
+        ASSERT_TRUE(j.enabled());
+        ASSERT_NE(j.append_admission(1, stim, {}, faults), 0u);
+    }
+    const auto after = slurp(path);
+    EXPECT_GT(after.size(), intact);
+    recs = CampaignJournal::replay(path);
+    EXPECT_EQ(recs.size(), 2u);
+}
+
+// --- crash resume -----------------------------------------------------------
+
+// The acceptance criterion in miniature: truncate a completed campaign's
+// journal after K unit records (exactly the file a SIGKILL leaves — the
+// fork/SIGKILL variant of this soak lives in bench/bench_crash.cpp),
+// recover, and require a bit-identical bitmap with strictly less
+// re-execution. Off batching so requested shards map 1:1 to units.
+TEST(JournalRecovery, TruncatedJournalResumesBitIdentical) {
+    suite::register_remote_stimuli();
+    const suite::Benchmark& b = suite::find_benchmark("alu");
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    auto compiled = core::CompiledDesign::build(*design);
+    const core::StimulusSpec stim = suite::remote_stimulus(b, b.test_cycles);
+    const std::string path = temp_journal("resume.journal");
+    std::remove(path.c_str());
+
+    CampaignOptions copts;
+    copts.num_shards = 6;
+    copts.engine.batching = FaultBatching::Off;
+
+    core::CampaignResult ref;
+    {
+        core::Session session(compiled, {.num_threads = 2});
+        ref = session.submit(faults, stim, copts).wait();
+    }
+
+    {
+        JournalOptions jopts;
+        jopts.path = path;
+        core::SessionOptions sopts;
+        sopts.num_threads = 2;
+        sopts.scheduler.journal = std::make_shared<CampaignJournal>(jopts);
+        core::Session session(compiled, sopts);
+        const auto r = session.submit(faults, stim, copts).wait();
+        ASSERT_EQ(r.detected, ref.detected);
+    }
+
+    // Keep the Admit and the first two unit records: the crash point.
+    constexpr uint32_t kKeptUnits = 2;
+    const auto bytes = slurp(path);
+    const size_t valid = prefix_after_units(bytes, kKeptUnits);
+    ASSERT_GT(valid, 0u);
+    ASSERT_LT(valid, bytes.size());
+    spit(path, bytes, valid);
+
+    core::JournalOptions jopts;
+    jopts.path = path;
+    core::SessionOptions sopts;
+    sopts.num_threads = 2;
+    sopts.scheduler.journal = std::make_shared<CampaignJournal>(jopts);
+    core::Session session(compiled, sopts);
+    auto handles = session.recover(path);
+    ASSERT_EQ(handles.size(), 1u);
+    const core::CampaignResult& res = handles[0].wait();
+
+    EXPECT_FALSE(res.canceled);
+    EXPECT_EQ(res.detected, ref.detected);
+    EXPECT_EQ(res.num_detected, ref.num_detected);
+    EXPECT_EQ(res.resumed_units, kKeptUnits);
+    EXPECT_LT(executed_faults(res), faults.size())
+        << "recovery re-executed journaled work";
+    EXPECT_EQ(session.scheduler().stats().journal.replayed_units, kKeptUnits);
+
+    // The resumed campaign appended its Complete: a second recovery must
+    // not resurrect it.
+    EXPECT_TRUE(session.recover(path).empty());
+    std::remove(path.c_str());
+}
+
+// --- checkpoint shutdown ----------------------------------------------------
+
+/// Delegating stimulus that sleeps ~1ms per cycle, stretching shard wall
+/// time so a Checkpoint shutdown reliably lands mid-campaign.
+class PacedStimulus final : public sim::Stimulus {
+  public:
+    explicit PacedStimulus(std::unique_ptr<sim::Stimulus> inner)
+        : inner_(std::move(inner)) {}
+    void bind(const rtl::Design& design) override { inner_->bind(design); }
+    [[nodiscard]] std::string clock_name() const override {
+        return inner_->clock_name();
+    }
+    [[nodiscard]] uint32_t num_cycles() const override {
+        return inner_->num_cycles();
+    }
+    void initialize(sim::DriveHandle& h) override { inner_->initialize(h); }
+    void apply(uint32_t cycle, sim::DriveHandle& h) override {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        inner_->apply(cycle, h);
+    }
+
+  private:
+    std::unique_ptr<sim::Stimulus> inner_;
+};
+
+/// Registers the "paced" spec kind (payload = benchmark name): the
+/// journalable form of PacedStimulus. Same sequence as the suite stimulus,
+/// just slower — verdicts are unchanged.
+core::StimulusSpec paced_stimulus(const suite::Benchmark& b) {
+    core::register_stimulus_kind(
+        "paced", [](std::span<const uint8_t> payload) {
+            const std::string name(payload.begin(), payload.end());
+            const suite::Benchmark& bench = suite::find_benchmark(name);
+            return std::make_unique<PacedStimulus>(
+                suite::make_stimulus(bench, bench.test_cycles));
+        });
+    core::StimulusSpec spec;
+    spec.kind = "paced";
+    spec.payload.assign(b.name.begin(), b.name.end());
+    return spec;
+}
+
+TEST(JournalRecovery, CheckpointShutdownLeavesResumableCampaign) {
+    suite::register_remote_stimuli();
+    const suite::Benchmark& b = suite::find_benchmark("alu");
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    auto compiled = core::CompiledDesign::build(*design);
+    const core::StimulusSpec stim = paced_stimulus(b);
+    const std::string path = temp_journal("checkpoint.journal");
+    std::remove(path.c_str());
+
+    CampaignOptions copts;
+    copts.num_shards = 8;
+    copts.engine.batching = FaultBatching::Off;
+
+    core::CampaignResult ref;
+    {
+        core::Session session(compiled, {.num_threads = 2});
+        ref = session.submit(faults, stim, copts).wait();
+    }
+
+    {
+        JournalOptions jopts;
+        jopts.path = path;
+        core::SessionOptions sopts;
+        sopts.num_threads = 1;   // one unit in flight at a time
+        sopts.scheduler.journal = std::make_shared<CampaignJournal>(jopts);
+        core::Session session(compiled, sopts);
+        auto handle = session.submit(faults, stim, copts);
+        while (handle.progress().shards_done < 1) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        session.shutdown(core::ShutdownMode::Checkpoint);
+        const auto& partial = handle.wait();
+        EXPECT_TRUE(partial.canceled) << "checkpoint landed after the last "
+                                         "unit; campaign was not partial";
+        EXPECT_GE(partial.stats.shards.size(), 1u);
+
+        // Submissions after shutdown are refused loudly.
+        EXPECT_THROW((void)session.submit(faults, stim, copts), SimError);
+    }
+
+    // Two campaigns in the log: the checkpointed one (no Complete — it is
+    // resumable) and the refused one, which was journaled at admission but
+    // tombstoned with a Complete so recovery cannot resurrect work the
+    // caller was told did not run.
+    auto recs = CampaignJournal::replay(path);
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_FALSE(recs[0].complete);
+    EXPECT_GE(recs[0].units_replayed, 1u);
+    EXPECT_TRUE(recs[1].complete) << "refused submission left resumable";
+    EXPECT_EQ(recs[1].units_replayed, 0u);
+
+    core::JournalOptions jopts;
+    jopts.path = path;
+    core::SessionOptions sopts;
+    sopts.num_threads = 2;
+    sopts.scheduler.journal = std::make_shared<CampaignJournal>(jopts);
+    core::Session session(compiled, sopts);
+    auto handles = session.recover(path);
+    ASSERT_EQ(handles.size(), 1u);
+    const auto& res = handles[0].wait();
+    EXPECT_FALSE(res.canceled);
+    EXPECT_EQ(res.detected, ref.detected);
+    EXPECT_GE(res.resumed_units, 1u);
+    EXPECT_LT(executed_faults(res), faults.size());
+    EXPECT_TRUE(session.recover(path).empty());
+    std::remove(path.c_str());
+}
+
+// --- disk-fault injection ---------------------------------------------------
+
+struct FaultInjectionRig {
+    explicit FaultInjectionRig(const char* circuit)
+        : bench(suite::find_benchmark(circuit)) {
+        suite::register_remote_stimuli();
+        design = suite::load_design(bench);
+        faults = ci_faults(*design);
+        compiled = core::CompiledDesign::build(*design);
+        stim = suite::remote_stimulus(bench, bench.test_cycles);
+        copts.num_shards = 6;
+        copts.engine.batching = FaultBatching::Off;
+        core::Session session(compiled, {.num_threads = 2});
+        ref = session.submit(faults, stim, copts).wait();
+    }
+
+    core::CampaignResult run_journaled(const std::string& path,
+                                       util::FileIo* io,
+                                       uint32_t fsync_interval,
+                                       core::JournalStats* stats_out) {
+        JournalOptions jopts;
+        jopts.path = path;
+        jopts.io = io;
+        jopts.fsync_interval = fsync_interval;
+        auto journal = std::make_shared<CampaignJournal>(jopts);
+        core::SessionOptions sopts;
+        sopts.num_threads = 2;
+        sopts.scheduler.journal = journal;
+        core::Session session(compiled, sopts);
+        const auto result = session.submit(faults, stim, copts).wait();
+        if (stats_out != nullptr) *stats_out = journal->stats();
+        return result;
+    }
+
+    const suite::Benchmark& bench;
+    std::unique_ptr<rtl::Design> design;
+    std::vector<fault::Fault> faults;
+    std::shared_ptr<const core::CompiledDesign> compiled;
+    core::StimulusSpec stim;
+    CampaignOptions copts;
+    core::CampaignResult ref;
+};
+
+// ENOSPC mid-campaign: the journal degrades to disabled-with-counter, the
+// campaign's verdicts are untouched, and the file is still replayable (at
+// worst a torn tail from the honest partial write at the budget boundary).
+TEST(JournalDiskFaults, EnospcDegradesToDisabledNeverCorrupts) {
+    FaultInjectionRig rig("alu");
+    const std::string path = temp_journal("enospc.journal");
+    std::remove(path.c_str());
+
+    util::FaultyFileIoOptions fopts;
+    fopts.budget_bytes = 400;   // runs out somewhere in the record stream
+    util::FaultyFileIo io(fopts);
+    core::JournalStats stats;
+    const auto result = rig.run_journaled(path, &io, 8, &stats);
+
+    EXPECT_EQ(result.detected, rig.ref.detected)
+        << "a disk fault changed verdicts";
+    EXPECT_FALSE(result.canceled);
+    EXPECT_TRUE(stats.disabled);
+    EXPECT_GE(stats.append_failures, 1u);
+    EXPECT_GE(io.enospc_failures(), 1u);
+    // Whatever made it to disk replays cleanly.
+    (void)CampaignJournal::replay(path);
+    std::remove(path.c_str());
+}
+
+// Short writes are not errors: write_all carries on from the partial
+// write, the journal stays enabled, and the file round-trips.
+TEST(JournalDiskFaults, ShortWritesAreRetriedNotFatal) {
+    FaultInjectionRig rig("alu");
+    const std::string path = temp_journal("short.journal");
+    std::remove(path.c_str());
+
+    util::FaultyFileIoOptions fopts;
+    fopts.short_write_every = 2;   // every other write delivers half
+    util::FaultyFileIo io(fopts);
+    core::JournalStats stats;
+    const auto result = rig.run_journaled(path, &io, 8, &stats);
+
+    EXPECT_EQ(result.detected, rig.ref.detected);
+    EXPECT_FALSE(stats.disabled);
+    EXPECT_EQ(stats.append_failures, 0u);
+    EXPECT_GE(io.short_writes(), 1u);
+    const auto recs = CampaignJournal::replay(path);
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_TRUE(recs[0].complete);
+    std::remove(path.c_str());
+}
+
+// A failed fsync disables the journal (fsyncgate: durability of everything
+// since the last success is unknowable) but never crashes the campaign or
+// corrupts the already-written prefix.
+TEST(JournalDiskFaults, FsyncFailureDisablesJournal) {
+    FaultInjectionRig rig("alu");
+    const std::string path = temp_journal("fsyncfail.journal");
+    std::remove(path.c_str());
+
+    util::FaultyFileIoOptions fopts;
+    fopts.fail_fsync_after = 1;   // header barrier passes, first group fails
+    util::FaultyFileIo io(fopts);
+    core::JournalStats stats;
+    const auto result = rig.run_journaled(path, &io, 1, &stats);
+
+    EXPECT_EQ(result.detected, rig.ref.detected);
+    EXPECT_TRUE(stats.disabled);
+    EXPECT_GE(stats.append_failures, 1u);
+    EXPECT_GE(io.fsync_failures(), 1u);
+    (void)CampaignJournal::replay(path);
+    std::remove(path.c_str());
+}
+
+// --- verdict-cache durability ----------------------------------------------
+
+// save() through a faulty seam must fail cleanly: no store file appears,
+// and the temp file is removed rather than left as a dropping.
+TEST(VerdictCacheDurability, FailedSaveLeavesNoDroppings) {
+    const std::string store = temp_journal("faulty.store");
+    std::remove(store.c_str());
+    std::remove((store + ".tmp").c_str());
+
+    for (const bool rename_fault : {true, false}) {
+        util::FaultyFileIoOptions fopts;
+        if (rename_fault) {
+            fopts.fail_rename = true;
+        } else {
+            fopts.fail_fsync_after = 0;   // first fsync (the temp file) fails
+        }
+        util::FaultyFileIo io(fopts);
+        core::VerdictCacheOptions vopts;
+        vopts.store_path = store;
+        vopts.io = &io;
+        core::VerdictCache cache(vopts);
+        cache.store_worker_overhead(9999, 1.0);   // something to persist
+        EXPECT_FALSE(cache.flush())
+            << (rename_fault ? "rename" : "fsync") << " fault not surfaced";
+        EXPECT_FALSE(file_exists(store));
+        EXPECT_FALSE(file_exists(store + ".tmp"))
+            << "failed save left a temp dropping";
+    }
+
+    // Control: the real seam persists and loads warm.
+    core::VerdictCacheOptions vopts;
+    vopts.store_path = store;
+    {
+        core::VerdictCache cache(vopts);
+        cache.store_worker_overhead(9999, 1.0);
+        EXPECT_TRUE(cache.flush());
+    }
+    EXPECT_TRUE(file_exists(store));
+    core::VerdictCache warm(vopts);
+    EXPECT_TRUE(warm.stats().warm);
+    std::remove(store.c_str());
+}
+
+// An orphaned *.tmp from a crash mid-save is cleaned up by the next load.
+TEST(VerdictCacheDurability, OrphanedTempCleanedUpOnLoad) {
+    const std::string store = temp_journal("orphan.store");
+    std::remove(store.c_str());
+    const std::string orphan = store + ".tmp";
+    {
+        std::ofstream out(orphan, std::ios::binary);
+        out << "half-written store from a dead process";
+    }
+    ASSERT_TRUE(file_exists(orphan));
+
+    core::VerdictCacheOptions vopts;
+    vopts.store_path = store;
+    core::VerdictCache cache(vopts);   // loads (cold) and sweeps the orphan
+    EXPECT_FALSE(file_exists(orphan));
+    std::remove(store.c_str());
+}
+
+}  // namespace
+}  // namespace eraser

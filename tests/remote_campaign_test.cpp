@@ -921,5 +921,31 @@ TEST(WarmStart, PersistedOverheadEwmaGatesFirstPlacement) {
     std::remove(store.c_str());
 }
 
+// --- graceful fleet teardown -------------------------------------------------
+
+// stop_fleet() must take every worker down via SIGTERM (the workers' signal
+// handler path, not the SIGKILL escalation): after it returns within the
+// deadline, every slot reports pid -1 and a later stop() is a no-op.
+TEST(RemoteFleet, StopFleetTerminatesWorkersGracefully) {
+    core::SupervisorOptions supo;
+    supo.binary = ERASER_WORKER_BIN;
+    supo.workers = 2;
+    core::WorkerSupervisor sup(supo);
+    ASSERT_NO_THROW(sup.start());
+    ASSERT_GT(sup.pid(0), 0);
+    ASSERT_GT(sup.pid(1), 0);
+
+    // Idle workers poll their accept loop every ~200ms, so a 5s deadline
+    // leaves a wide margin before the SIGKILL escalation would fire.
+    sup.stop_fleet(5000);
+    EXPECT_EQ(sup.pid(0), -1);
+    EXPECT_EQ(sup.pid(1), -1);
+    EXPECT_EQ(sup.respawns(), 0u)
+        << "the monitor must stop before the SIGTERM sweep";
+
+    sup.stop();   // idempotent after stop_fleet
+    EXPECT_EQ(sup.pid(0), -1);
+}
+
 }  // namespace
 }  // namespace eraser

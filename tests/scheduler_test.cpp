@@ -834,5 +834,62 @@ TEST(CostModel, CanceledShardsAreNeverLearnedByTheScheduler) {
     EXPECT_GT(session.scheduler().cost_model().observations(), 0u);
 }
 
+// --- drain / submit race ----------------------------------------------------
+
+// A submit() that lands while drain() is mid-wait must either be admitted
+// and run to completion or refuse cleanly — never be dropped, wedge the
+// drainer, or surface a canceled result. The gate pins the single worker
+// so the drain is reliably in its wait when the racing submit arrives;
+// drain() must then also wait out the newly admitted campaign.
+TEST(SchedulerShutdown, SubmitDuringDrainAdmitsAndCompletes) {
+    const suite::Benchmark& b = suite::registry().front();
+    auto design = suite::load_design(b);
+    const auto faults = ci_faults(*design);
+    auto compiled = core::CompiledDesign::build(*design);
+
+    core::CampaignResult ref;
+    {
+        core::Session ref_session(compiled, {.num_threads = 1});
+        auto stim = suite::make_stimulus(b, b.test_cycles);
+        ref = ref_session.run(faults, *stim, {});
+    }
+
+    core::Session session(compiled, {.num_threads = 1});
+    std::atomic<bool> release{false};
+    auto gate_factory = [&]() -> std::unique_ptr<sim::Stimulus> {
+        return std::make_unique<GateStimulus>(
+            suite::make_stimulus(b, b.test_cycles), release);
+    };
+    CampaignOptions gate_opts;
+    gate_opts.num_shards = 1;
+    auto gate = session.submit(faults, gate_factory, gate_opts);
+
+    std::atomic<bool> drained{false};
+    std::thread drainer([&] {
+        session.scheduler().drain();
+        drained.store(true, std::memory_order_release);
+    });
+    // Give the drainer time to enter its wait (the gate holds it there —
+    // the sleep only makes the intended interleaving overwhelmingly
+    // likely; the invariant must hold under any interleaving).
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_FALSE(drained.load(std::memory_order_acquire));
+
+    auto plain = [&] { return suite::make_stimulus(b, b.test_cycles); };
+    CampaignOptions opts;
+    opts.num_shards = 2;
+    auto racer = session.submit(faults, plain, opts);
+
+    release.store(true, std::memory_order_release);
+    const auto& result = racer.wait();
+    EXPECT_FALSE(result.canceled);
+    EXPECT_EQ(result.detected, ref.detected);
+    EXPECT_EQ(result.num_detected, ref.num_detected);
+    EXPECT_FALSE(gate.wait().canceled);
+
+    drainer.join();
+    EXPECT_TRUE(drained.load());
+}
+
 }  // namespace
 }  // namespace eraser

@@ -7,10 +7,15 @@
 // "LISTENING <port>" on stdout once bound (launchers parse this line —
 // eraser/supervisor.h and the CI smoke job both do), then serves
 // connections forever: one thread per connection, all sharing one
-// compile-once design cache. The process has no graceful shutdown beyond
-// SIGTERM/SIGKILL — clients say goodbye per connection (Shutdown frame or
-// clean EOF), and a killed worker is exactly the failure mode the
-// scheduler's re-dispatch path is built for.
+// compile-once design cache.
+//
+// Graceful shutdown: SIGTERM sets a stop flag checked between accepts and
+// between protocol messages (WorkerHooks::stop). In-flight units finish —
+// each RunUnit bumps WorkerHooks::busy_units for its duration — then every
+// connection closes at a frame boundary (clean EOF, which clients treat as
+// a re-dispatchable link death, not an error) and the process exits 0.
+// SIGKILL remains the abrupt path the scheduler's re-dispatch and the
+// campaign journal are built to absorb.
 //
 // Chaos flags (test/bench fleets only; see ChaosHooks in eraser/remote.h):
 //   --chaos-seed S       enable seeded injection (S != 0)
@@ -19,9 +24,12 @@
 //   --chaos-corrupt PCT  answer with a CRC-corrupted frame
 //   --chaos-drop PCT     execute the unit but never send the result
 //   --chaos-delay PCT    sleep --chaos-delay-ms while heartbeats run
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 
@@ -29,9 +37,22 @@
 #include "suite/suite.h"
 #include "util/wire.h"
 
+namespace {
+// Signal-handler state: SIGTERM flips g_stop; the accept loop and every
+// serving connection observe it through WorkerHooks.
+std::atomic<bool> g_stop{false};
+std::atomic<uint32_t> g_busy{0};
+
+extern "C" void handle_term(int) {
+    g_stop.store(true, std::memory_order_relaxed);
+}
+}  // namespace
+
 int main(int argc, char** argv) {
     uint16_t port = 0;
     eraser::core::WorkerHooks hooks;
+    hooks.stop = &g_stop;
+    hooks.busy_units = &g_busy;
     const auto u32_arg = [&](int& i) {
         return static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     };
@@ -85,13 +106,19 @@ int main(int argc, char** argv) {
     std::printf("LISTENING %u\n", static_cast<unsigned>(port));
     std::fflush(stdout);
 
+    struct sigaction sa = {};
+    sa.sa_handler = handle_term;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGTERM, &sa, nullptr);
+
     eraser::core::WorkerDesignCache cache;
-    for (;;) {
+    while (!g_stop.load(std::memory_order_relaxed)) {
         eraser::util::UniqueFd fd;
         try {
-            fd = eraser::util::accept_connection(listener.get());
-        } catch (const eraser::util::WireError& e) {
-            std::fprintf(stderr, "accept: %s\n", e.what());
+            // Short timeout so SIGTERM is noticed promptly even when idle.
+            fd = eraser::util::accept_connection(listener.get(), 200);
+        } catch (const eraser::util::WireError&) {
+            // Timeout or transient accept failure — re-check the stop flag.
             continue;
         }
         std::thread([fd = std::move(fd), &cache, hooks]() mutable {
@@ -104,4 +131,11 @@ int main(int argc, char** argv) {
             }
         }).detach();
     }
+
+    // Let in-flight units run to completion before exiting: their results
+    // still reach the client, so graceful shutdown loses no work.
+    while (g_busy.load(std::memory_order_acquire) != 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return 0;
 }
