@@ -1,0 +1,242 @@
+// Two-dimensional parallelism bench + smoke: packs an 8-fault x 64-epoch
+// sha256_hv campaign into (fault, epoch) lanes three ways —
+//
+//   1d          epoch_split = 1: every unit runs all 64 epochs serially
+//               (the oracle — identical to the pre-2D scheduler)
+//   2d          epoch_split = 0: the scheduler's learned CostModel picks
+//               the split that minimizes predicted makespan
+//   2d-split64  epoch_split = 64: maximum packing, one epoch per window
+//               (overhead ceiling: 64x the per-unit fixed cost)
+//
+// Two campaign variants: the *detecting* one (100-cycle epochs, most
+// faults caught — exercises progressive dropout and carries the
+// split-identity check on a non-trivial bitmap) and the *undetected* one
+// (`-undet` rows: 40-cycle epochs, nothing detected — the directed-safety
+// regime of faults that never fire). The undetected variant is where 2D
+// wins even single-threaded: with a thin fault axis, fault-dimension
+// sharding replicates the *good* simulation across shards for all 64
+// epochs, while epoch windows pack every fault into one unit per window
+// and replay the good network once per epoch total — a work reduction,
+// not just a parallelism gain, so CI gates its speedup (host-independent)
+// rather than the dropout-dominated detecting variant's.
+//
+// Plus a stimulus-pipelining pair on the full-length unepoched testbench —
+//
+//   stim-serial EngineOptions::pipeline_stimulus off (inline generation)
+//   stim-pipe   pipelining on: a producer thread records drive cycles into
+//               a bounded ring while the engine executes the previous ones
+//
+// Detection bitmaps must be bit-identical across all three epoch splits and
+// across the pipelining pair (determinism is the 2D contract), and the
+// piped run's stimulus-blocked wall must stay under 20% of its campaign
+// wall (enforced only where >= 2 hardware threads make overlap possible);
+// the binary exits nonzero otherwise. Wall times, splits, speedups and the
+// stimulus ratio go to BENCH_2d.json (schema in README "Benchmark result
+// files"); CI gates the 2d-undet speedup against
+// bench/baselines/BENCH_2d.json.
+//
+//   $ ./build/bench/bench_2d [--quick] [--threads N]
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace eraser;
+
+namespace {
+
+/// Number of distinct epoch windows the campaign actually ran — the split
+/// the scheduler chose (1 for classic / unepoched campaigns).
+uint32_t actual_split(const core::CampaignResult& r) {
+    std::set<std::pair<uint32_t, uint32_t>> windows;
+    for (const auto& s : r.stats.shards) {
+        windows.insert({s.epoch_begin, s.epoch_end});
+    }
+    return windows.empty() ? 1u : static_cast<uint32_t>(windows.size());
+}
+
+/// Fraction of the campaign wall the engines spent *blocked* on stimulus
+/// generation (0 for unpipelined runs — the inline loop never blocks).
+double stimulus_ratio(const core::CampaignResult& r) {
+    double stim = 0.0;
+    double wall = 0.0;
+    for (const auto& s : r.stats.shards) {
+        stim += s.stimulus_seconds;
+        wall += s.wall_seconds;
+    }
+    return wall > 0.0 ? stim / wall : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto scale = bench::parse_scale(argc, argv);
+    bench::print_environment(
+        "Two-dimensional parallelism: (fault, epoch) lanes + pipelined "
+        "stimulus");
+    suite::register_remote_stimuli();
+
+    const auto& b = suite::find_benchmark("sha256_hv");
+    auto design = suite::load_design(b);
+    // A deliberately thin fault axis: 8 faults fit one 64-lane word, so the
+    // classic scheduler has exactly one unit and idle workers — the regime
+    // the epoch axis exists to fill.
+    const auto faults = bench::faults_for(*design, 8);
+    constexpr uint32_t kEpochs = 64;
+    // Fixed scales (ignoring --quick — 8 faults keep both campaigns cheap):
+    // 100-cycle epochs detect most of the sample, 40-cycle epochs none.
+    // --quick only trims the flat pipelining pair below.
+    constexpr uint32_t kDetectCycles = 6400;
+    constexpr uint32_t kUndetCycles = 2600;
+    auto compiled = core::CompiledDesign::build(*design);
+    const double compile_s = compiled->compile_seconds();
+
+    suite::RandomStimulus::Config cfg;
+    cfg.reset = "rst";
+    cfg.reset_active_high = true;
+    cfg.cycles = kDetectCycles;
+    cfg.seed = 0x2D2D2025;
+    const core::StimulusSpec detect_stim =
+        suite::remote_stimulus(cfg, kEpochs);
+    suite::RandomStimulus::Config undet_cfg = cfg;
+    undet_cfg.cycles = kUndetCycles;
+    const core::StimulusSpec undet_stim =
+        suite::remote_stimulus(undet_cfg, kEpochs);
+    suite::RandomStimulus::Config flat_cfg = cfg;
+    flat_cfg.cycles = scale.cycles(b);
+    const core::StimulusSpec flat_stim = suite::remote_stimulus(flat_cfg);
+
+    core::SessionOptions sopts;
+    sopts.num_threads = scale.threads;
+    core::Session session(compiled, sopts);
+
+    const auto run_once = [&](const core::StimulusSpec& stim,
+                              uint32_t epoch_split, bool pipeline) {
+        core::CampaignOptions copts;
+        copts.epoch_split = epoch_split;
+        copts.engine.pipeline_stimulus = pipeline;
+        return session.submit(faults, stim, copts).wait();
+    };
+
+    std::printf("%-12s %6s %10s %8s %10s %9s\n", "Mode", "Split", "Time(s)",
+                "Speedup", "StimRatio", "Detected");
+    bench::JsonRows json;
+    bool ok = true;
+
+    // Warmup: the Session's first submit pays one-time costs (lazy pool
+    // creation, cold allocator/page state) that would otherwise be billed
+    // to whichever mode runs first and fake a speedup.
+    (void)run_once(flat_stim, 1, false);
+
+    // --- epoch axis: serial oracle vs learned vs maximum split -------------
+    const auto run_variant = [&](const core::StimulusSpec& stim,
+                                 const char* suffix,
+                                 std::vector<core::CampaignResult>& rows) {
+        const std::string m1 = std::string("1d") + suffix;
+        const std::string m2 = std::string("2d") + suffix;
+        const std::string m64 = std::string("2d-split64") + suffix;
+        rows.push_back(run_once(stim, 1, true));
+        rows.push_back(run_once(stim, 0, true));
+        rows.push_back(run_once(stim, kEpochs, true));
+        const core::CampaignResult& serial = rows[0];
+        const char* names[] = {m1.c_str(), m2.c_str(), m64.c_str()};
+        for (size_t i = 0; i < rows.size(); ++i) {
+            const core::CampaignResult& r = rows[i];
+            if (r.detected != serial.detected || r.canceled) {
+                std::printf("MISMATCH: %s verdict bitmap differs from the "
+                            "serial epoch loop\n", names[i]);
+                ok = false;
+            }
+            const double speedup =
+                r.seconds > 0.0 ? serial.seconds / r.seconds : 0.0;
+            const uint32_t split = actual_split(r);
+            std::printf("%-12s %6u %10.3f %8.2f %10.3f %9u\n", names[i],
+                        split, r.seconds, speedup, stimulus_ratio(r),
+                        r.num_detected);
+            json.add("{" +
+                     bench::perf_row_prefix("sha256_hv", names[i],
+                                            r.num_threads, "word",
+                                            r.seconds, compile_s) +
+                     bench::format(R"(, "faults": %zu, "epochs": %u, )"
+                                   R"("split": %u, "speedup": %.3f)",
+                                   faults.size(), kEpochs, split, speedup) +
+                     "}");
+        }
+    };
+
+    std::vector<core::CampaignResult> detect_rows;
+    run_variant(detect_stim, "", detect_rows);
+    if (detect_rows[0].num_detected == 0) {
+        std::printf("VACUOUS: the detecting epoch campaign caught nothing — "
+                    "its split identity check proves nothing on all-zero "
+                    "bitmaps\n");
+        ok = false;
+    }
+    std::vector<core::CampaignResult> undet_rows;
+    run_variant(undet_stim, "-undet", undet_rows);
+    if (undet_rows[0].num_detected != 0) {
+        std::printf("NOT UNDETECTED: the -undet campaign caught %u faults; "
+                    "its gated speedup no longer isolates the good-sim "
+                    "dedup win\n", undet_rows[0].num_detected);
+        ok = false;
+    }
+
+    // --- stimulus pipelining: inline vs overlapped generation --------------
+    const core::CampaignResult unpiped = run_once(flat_stim, 1, false);
+    const core::CampaignResult piped = run_once(flat_stim, 1, true);
+
+    if (piped.detected != unpiped.detected || piped.canceled ||
+        unpiped.canceled) {
+        std::printf("MISMATCH: pipelined stimulus changed the verdict "
+                    "bitmap\n");
+        ok = false;
+    }
+    const double ratio = stimulus_ratio(piped);
+    if (ratio >= 0.20) {
+        // A single-core host cannot overlap generation with execution at
+        // all — the producer only runs while the engine is context-switched
+        // out — so the stall gate would measure the OS scheduler, not the
+        // pipeline. Report, but only fail where overlap is possible.
+        if (std::thread::hardware_concurrency() >= 2) {
+            std::printf("STALLED PIPELINE: engines blocked on stimulus for "
+                        "%.1f%% of the campaign wall (need < 20%%)\n",
+                        ratio * 100.0);
+            ok = false;
+        } else {
+            std::printf("note: stall ratio %.1f%% not gated — single-core "
+                        "host, generation cannot overlap execution\n",
+                        ratio * 100.0);
+        }
+    }
+
+    struct PipeRow {
+        const char* mode;
+        const core::CampaignResult& r;
+    };
+    const PipeRow pipe_rows[] = {{"stim-serial", unpiped},
+                                 {"stim-pipe", piped}};
+    for (const PipeRow& row : pipe_rows) {
+        const double r_ratio = stimulus_ratio(row.r);
+        std::printf("%-12s %6u %10.3f %8s %10.3f %9u\n", row.mode, 1u,
+                    row.r.seconds, "-", r_ratio, row.r.num_detected);
+        json.add("{" +
+                 bench::perf_row_prefix("sha256_hv", row.mode,
+                                        row.r.num_threads, "word",
+                                        row.r.seconds, compile_s) +
+                 bench::format(R"(, "faults": %zu, "epochs": 1, )"
+                               R"("split": 1, "stimulus_ratio": %.4f)",
+                               faults.size(), r_ratio) +
+                 "}");
+    }
+
+    if (!json.write("BENCH_2d.json")) {
+        std::fprintf(stderr, "failed to write BENCH_2d.json\n");
+        return 1;
+    }
+    std::printf("\nWrote BENCH_2d.json\n");
+    return ok ? 0 : 1;
+}

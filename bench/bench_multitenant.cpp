@@ -17,6 +17,14 @@
 // Verdicts are checked bit-identical across both configurations — QoS must
 // never move a detection bit.
 //
+// A tenant-count sweep follows on the first circuit: an epoch-batched
+// high-priority tenant (EpochRandomStimulus, 2D (fault, epoch) packing
+// chosen by the learned CostModel) lands behind 1, 2, and 4 saturating
+// bulk tenants on one Session. Every row carries a "tenants" column; the
+// epoch tenant's journal traffic is printed per point, and its verdicts
+// must stay bit-identical to a solo serial-epoch reference at every tenant
+// count — contention and packing must never move a detection bit.
+//
 // Machine-readable results go to BENCH_multitenant.json (schema in README
 // "Benchmark result files").
 //
@@ -25,8 +33,10 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -180,7 +190,7 @@ int main(int argc, char** argv) {
                                        r.fg_latency, compile_s) +
                 bench::format(
                     R"(, "first_shard_wait_ms": %.3f, )"
-                    R"("bg_wall_ms": %.3f, "bg_shards": %u)",
+                    R"("bg_wall_ms": %.3f, "bg_shards": %u, "tenants": 1)",
                     r.first_shard_wait * 1e3, r.bg_seconds * 1e3,
                     r.bg_shards) +
                 "}");
@@ -215,6 +225,121 @@ int main(int argc, char** argv) {
                         ratio, results[0].first_shard_wait * 1e3,
                         results[1].first_shard_wait * 1e3);
             wait_ratios.push_back(ratio);
+        }
+    }
+
+    // --- tenant-count sweep: an epoch-batched tenant among N bulk ones ---
+    {
+        const suite::Benchmark& b = *pick_circuits().front();
+        auto design = suite::load_design(b);
+        const auto faults = bench::faults_for(*design, scale.faults(b));
+        const uint32_t cycles = scale.cycles(b);
+        const core::StimulusSpec bulk_stim = suite::remote_stimulus(b, cycles);
+
+        // The epoch tenant: a small fault slice on a 16-epoch random
+        // testbench, 2D split left to the CostModel (epoch_split = 0).
+        constexpr uint32_t kTenantEpochs = 16;
+        suite::RandomStimulus::Config ecfg;
+        ecfg.reset = "rst";
+        ecfg.reset_active_high = true;
+        ecfg.cycles = cycles;
+        ecfg.seed = 0x7E7A;
+        const core::StimulusSpec epoch_stim =
+            suite::remote_stimulus(ecfg, kTenantEpochs);
+        const size_t ep_count = std::max<size_t>(1, faults.size() / 8);
+        const std::span<const fault::Fault> ep_faults(faults.data(),
+                                                      ep_count);
+
+        auto compiled = core::CompiledDesign::build(*design);
+        const double compile_s = compiled->compile_seconds();
+
+        // Reference verdicts: the epoch tenant alone, serial epoch loop.
+        std::vector<bool> ref;
+        {
+            core::SessionOptions sopts;
+            sopts.num_threads = threads;
+            core::Session session(compiled, sopts);
+            core::CampaignOptions ropts;
+            ropts.epoch_split = 1;
+            ref = session.submit(ep_faults, epoch_stim, ropts)
+                      .wait()
+                      .detected;
+        }
+
+        std::printf("\n%-12s %-9s %12s %12s %8s %8s\n", "TenantSweep",
+                    "Tenants", "EpLat(ms)", "BgWall(ms)", "Split",
+                    "Appends");
+        for (const uint32_t tenants : {1u, 2u, 4u}) {
+            core::SessionOptions sopts;
+            sopts.num_threads = threads;
+            const char* jpath = "bench_multitenant.journal";
+            std::remove(jpath);
+            core::JournalOptions jopts;
+            jopts.path = jpath;
+            sopts.scheduler.journal =
+                std::make_shared<core::CampaignJournal>(jopts);
+            core::Session session(compiled, sopts);
+
+            core::CampaignOptions bg_opts;
+            bg_opts.num_shards = 8 * threads;
+            bg_opts.priority = core::Priority::Low;
+            std::vector<core::CampaignHandle> bulk;
+            for (uint32_t t = 0; t < tenants; ++t) {
+                bulk.push_back(session.submit(faults, bulk_stim, bg_opts));
+            }
+            while (bulk.front().progress().shards_done < 1) {
+                std::this_thread::yield();
+            }
+
+            core::CampaignOptions ep_opts;
+            ep_opts.priority = core::Priority::High;
+            ep_opts.epoch_split = 0;
+            Stopwatch watch;
+            const auto ep_result =
+                session.submit(ep_faults, epoch_stim, ep_opts).wait();
+            const double ep_latency = watch.seconds();
+            double bg_wall = 0.0;
+            for (auto& h : bulk) {
+                bg_wall = std::max(bg_wall, h.wait().seconds);
+            }
+
+            if (ep_result.detected != ref || ep_result.canceled) {
+                std::printf("%-12s VERDICT MISMATCH: epoch tenant behind "
+                            "%u bulk tenants differs from the solo serial "
+                            "reference\n", b.display.c_str(), tenants);
+                return 1;
+            }
+
+            // The split the scheduler actually chose = distinct epoch
+            // windows across the tenant's shards.
+            std::set<std::pair<uint32_t, uint32_t>> windows;
+            for (const auto& sb : ep_result.stats.shards) {
+                windows.insert({sb.epoch_begin, sb.epoch_end});
+            }
+            const uint32_t split =
+                windows.empty() ? 1u
+                                : static_cast<uint32_t>(windows.size());
+
+            const core::JournalStats js =
+                session.scheduler().stats().journal;
+            std::printf("%-12s %-9u %12.2f %12.2f %8u %8llu\n",
+                        b.display.c_str(), tenants, ep_latency * 1e3,
+                        bg_wall * 1e3, split,
+                        static_cast<unsigned long long>(js.appends));
+            std::remove(jpath);
+            json.add(
+                "{" +
+                bench::perf_row_prefix(b.name.c_str(), "epoch-tenant",
+                                       threads,
+                                       bench::batch_name(
+                                           ep_opts.engine.batching),
+                                       ep_latency, compile_s) +
+                bench::format(
+                    R"(, "tenants": %u, "epochs": %u, "split": %u, )"
+                    R"("bg_wall_ms": %.3f, "journal_appends": %llu)",
+                    tenants, kTenantEpochs, split, bg_wall * 1e3,
+                    static_cast<unsigned long long>(js.appends)) +
+                "}");
         }
     }
 

@@ -81,6 +81,15 @@ struct CampaignOptions {
     /// priority class: workers are split roughly proportionally to weight
     /// (ignored across classes — higher classes always win). Must be >= 1.
     uint32_t weight = 1;
+    /// 2D (fault, epoch) packing: how many windows the stimulus's epoch
+    /// axis is split into. Only meaningful when the stimulus declares
+    /// more than one epoch (sim::Stimulus::num_epochs). 0 = automatic —
+    /// the scheduler's learned CostModel picks the split that minimizes
+    /// predicted makespan; 1 = no epoch split (each unit runs every epoch
+    /// serially); N = force N windows (clamped to the epoch count).
+    /// Verdicts are split-independent: per-window verdicts OR back to the
+    /// serial epoch loop's bits exactly.
+    uint32_t epoch_split = 0;
 };
 
 /// Configuration of a Session's CampaignScheduler (eraser/scheduler.h).

@@ -25,6 +25,7 @@ void put_engine_options(util::WireWriter& w, const EngineOptions& opts) {
     w.u8(static_cast<uint8_t>(opts.batching));
     w.u8(opts.audit ? 1 : 0);
     w.u8(opts.time_phases ? 1 : 0);
+    w.u8(opts.pipeline_stimulus ? 1 : 0);
 }
 
 EngineOptions get_engine_options(util::WireReader& r) {
@@ -34,6 +35,7 @@ EngineOptions get_engine_options(util::WireReader& r) {
     opts.batching = static_cast<FaultBatching>(r.u8());
     opts.audit = r.u8() != 0;
     opts.time_phases = r.u8() != 0;
+    opts.pipeline_stimulus = r.u8() != 0;
     return opts;
 }
 
@@ -76,6 +78,15 @@ uint64_t stimulus_hash(const StimulusSpec& spec, uint64_t seed) {
     util::WireWriter w;
     w.str(spec.kind);
     w.varint(spec.payload.size());
+    // Epoch-annotated specs drive a different cycle sequence, so the window
+    // is part of the identity; folded only when present (epochs > 0) so the
+    // hash of every classic spec — and thus every pre-2D cache context —
+    // is unchanged.
+    if (spec.epochs > 0) {
+        w.varint(spec.epochs);
+        w.varint(spec.epoch_begin);
+        w.varint(spec.epoch_end);
+    }
     const uint64_t h = util::fnv1a64(w.bytes(), seed);
     return util::fnv1a64(std::span<const uint8_t>(spec.payload), h);
 }

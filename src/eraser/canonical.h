@@ -30,10 +30,10 @@ namespace eraser::core::canonical {
 void put_fault(util::WireWriter& w, const fault::Fault& f);
 [[nodiscard]] fault::Fault get_fault(util::WireReader& r);
 
-/// Wire form of the full EngineOptions (all five fields, time_phases
-/// included — unlike engine_fingerprint below, this is a round-trippable
-/// encoding, not a verdict key). Used by the fabric's RunUnit frames and
-/// the campaign journal's Admit records.
+/// Wire form of the full EngineOptions (all six fields, time_phases and
+/// pipeline_stimulus included — unlike engine_fingerprint below, this is a
+/// round-trippable encoding, not a verdict key). Used by the fabric's
+/// RunUnit frames and the campaign journal's Admit records.
 void put_engine_options(util::WireWriter& w, const EngineOptions& opts);
 [[nodiscard]] EngineOptions get_engine_options(util::WireReader& r);
 
@@ -51,14 +51,18 @@ void put_bitmap(util::WireWriter& w, const std::vector<bool>& bits);
 [[nodiscard]] uint64_t plane_hash(rtl::SignalId sig, bool stuck_one,
                                   uint64_t seed);
 
-/// Content hash of a StimulusSpec (kind + payload bytes). The payload is a
-/// registered kind's own canonical encoding, so anything that changes the
-/// driven sequence — cycle count, PRNG seed, pinned inputs — changes it.
+/// Content hash of a StimulusSpec (kind + payload bytes, plus the epoch
+/// window when the spec is epoch-annotated). The payload is a registered
+/// kind's own canonical encoding, so anything that changes the driven
+/// sequence — cycle count, PRNG seed, pinned inputs, epoch window —
+/// changes it. Specs with epochs == 0 hash exactly as before the 2D work,
+/// so pre-existing verdict-cache contexts stay valid.
 [[nodiscard]] uint64_t stimulus_hash(const StimulusSpec& spec, uint64_t seed);
 
 /// Fingerprint of the verdict-relevant engine configuration: redundancy
-/// mode, interpreter, fault batching, audit. Excludes time_phases — it
-/// only toggles instrumentation and never moves a verdict bit.
+/// mode, interpreter, fault batching, audit. Excludes time_phases and
+/// pipeline_stimulus — both only change how work is measured or
+/// overlapped and never move a verdict bit.
 [[nodiscard]] uint64_t engine_fingerprint(const EngineOptions& opts,
                                           uint64_t seed);
 

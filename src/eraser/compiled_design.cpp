@@ -233,7 +233,87 @@ void CostModel::observe_shard(std::span<const fault::Fault> faults,
             defer_[sig] = (1.0 - alpha_) * defer_[sig] + alpha_ * rate;
         }
     }
+
+    // Least-squares accumulation: x in static cost units (est_cost is in
+    // kCostScale units when the scheduler's feedback loop produced it).
+    if (breakdown.est_cost > 0) {
+        const double x = static_cast<double>(breakdown.est_cost) /
+                         static_cast<double>(kCostScale);
+        const double y = breakdown.wall_seconds;
+        reg_sx_ += x;
+        reg_sy_ += y;
+        reg_sxx_ += x * x;
+        reg_sxy_ += x * y;
+        ++reg_n_;
+    }
     ++observations_;
+}
+
+bool CostModel::regression_locked(double& a, double& b) const {
+    if (reg_n_ < 2) return false;
+    const double n = static_cast<double>(reg_n_);
+    const double den = n * reg_sxx_ - reg_sx_ * reg_sx_;
+    if (!(den > 1e-12)) return false;  // all observations at one cost
+    b = (n * reg_sxy_ - reg_sx_ * reg_sy_) / den;
+    a = (reg_sy_ - b * reg_sx_) / n;
+    if (b < 0.0) b = 0.0;
+    if (a < 0.0) a = 0.0;
+    return true;
+}
+
+double CostModel::fixed_overhead_seconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    double a = 0.0;
+    double b = 0.0;
+    return regression_locked(a, b) ? a : 0.0;
+}
+
+double CostModel::marginal_seconds_per_unit() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    double a = 0.0;
+    double b = 0.0;
+    if (regression_locked(a, b) && b > 0.0) return b;
+    return unit_scale_;
+}
+
+uint32_t CostModel::choose_epoch_split(uint32_t fault_units,
+                                       uint64_t total_cost_units,
+                                       uint32_t epochs,
+                                       uint32_t threads) const {
+    if (epochs <= 1) return 1;
+    fault_units = std::max<uint32_t>(1, fault_units);
+    threads = std::max<uint32_t>(1, threads);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    double a = 0.0;
+    double b = 0.0;
+    if (!regression_locked(a, b) || !(b > 0.0)) {
+        if (observations_ == 0 || !(unit_scale_ > 0.0)) {
+            // Cold: just enough windows to keep every thread busy.
+            const uint32_t need =
+                (threads + fault_units - 1) / fault_units;
+            return std::clamp<uint32_t>(need, 1, epochs);
+        }
+        a = 0.0;
+        b = unit_scale_;
+    }
+    // Per fault-unit full-stimulus cost, in static units (matching b).
+    const double xf = (static_cast<double>(total_cost_units) /
+                       static_cast<double>(kCostScale)) /
+                      static_cast<double>(fault_units);
+    double best_time = 0.0;
+    uint32_t best = 0;
+    const uint32_t cap = std::min<uint32_t>(epochs, 4096);
+    for (uint32_t s = 1; s <= cap; ++s) {
+        const double units = static_cast<double>(fault_units) * s;
+        const double waves = std::ceil(units / threads);
+        const double t = waves * (a + b * xf / s);
+        if (best == 0 || t < best_time - 1e-12) {
+            best_time = t;
+            best = s;
+        }
+    }
+    return best;
 }
 
 uint64_t CostModel::observations() const {
@@ -260,7 +340,9 @@ double CostModel::signal_defer_rate(rtl::SignalId sig) const {
 
 CostModelSnapshot CostModel::snapshot() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return CostModelSnapshot{cost_, defer_, unit_scale_, observations_};
+    return CostModelSnapshot{cost_,    defer_,   unit_scale_, observations_,
+                             reg_sx_,  reg_sy_,  reg_sxx_,    reg_sxy_,
+                             reg_n_};
 }
 
 bool CostModel::restore(const CostModelSnapshot& snap) {
@@ -274,6 +356,11 @@ bool CostModel::restore(const CostModelSnapshot& snap) {
     defer_ = snap.defer;
     unit_scale_ = snap.unit_scale;
     observations_ = snap.observations;
+    reg_sx_ = snap.reg_sx;
+    reg_sy_ = snap.reg_sy;
+    reg_sxx_ = snap.reg_sxx;
+    reg_sxy_ = snap.reg_sxy;
+    reg_n_ = snap.reg_n;
     return true;
 }
 

@@ -126,6 +126,15 @@ struct CostModelSnapshot {
     std::vector<double> defer;   // per-signal lane-deferral EWMA
     double unit_scale = 0.0;     // measured seconds per cost unit
     uint64_t observations = 0;
+    // Least-squares accumulators of (unit est-cost, wall seconds) pairs —
+    // the regression that separates per-unit fixed overhead (intercept)
+    // from marginal seconds per cost unit (slope). See
+    // CostModel::fixed_overhead_seconds.
+    double reg_sx = 0.0;
+    double reg_sy = 0.0;
+    double reg_sxx = 0.0;
+    double reg_sxy = 0.0;
+    uint64_t reg_n = 0;
 };
 
 /// The measured-cost feedback loop that replaces the static VDG estimate
@@ -193,6 +202,36 @@ class CostModel {
     [[nodiscard]] double signal_cost(rtl::SignalId sig) const;
     [[nodiscard]] double signal_defer_rate(rtl::SignalId sig) const;
 
+    // --- least-squares cost attribution (2D split decision) ---------------
+    //
+    // Alongside the multiplicative per-signal EWMA, observe_shard
+    // accumulates a least-squares regression of measured unit wall time
+    // against unit est_cost: wall ≈ a + b·cost. The intercept `a` is the
+    // per-unit fixed overhead (engine construction, reset, dispatch) that
+    // the EWMA's pure proportional model folds into the slope — exactly
+    // the term that decides how finely an epoch axis is worth splitting.
+
+    /// Regression intercept: fixed seconds every dispatched unit pays
+    /// regardless of its cost. 0.0 until two observations with distinct
+    /// costs exist.
+    [[nodiscard]] double fixed_overhead_seconds() const;
+
+    /// Regression slope: marginal seconds per static cost unit. Falls back
+    /// to the EWMA unit scale until the regression is determined.
+    [[nodiscard]] double marginal_seconds_per_unit() const;
+
+    /// Picks the epoch-axis split S (number of contiguous epoch windows,
+    /// in [1, epochs]) for a campaign of `fault_units` fault-dimension
+    /// units totalling `total_cost_units` (fault_costs() units) on
+    /// `threads` workers: minimizes predicted makespan
+    /// ceil(fault_units·S / threads) · (a + b·W/S) where W is the
+    /// per-fault-unit full-stimulus cost. Cold model (no observations):
+    /// just enough windows to keep every thread busy.
+    [[nodiscard]] uint32_t choose_epoch_split(uint32_t fault_units,
+                                              uint64_t total_cost_units,
+                                              uint32_t epochs,
+                                              uint32_t threads) const;
+
     /// Copies out the learned state (for the warm-start store).
     [[nodiscard]] CostModelSnapshot snapshot() const;
 
@@ -204,12 +243,22 @@ class CostModel {
     bool restore(const CostModelSnapshot& snap);
 
   private:
+    /// Solves the accumulated regression; false while underdetermined.
+    bool regression_locked(double& a, double& b) const;
+
     const double alpha_;
     mutable std::mutex mu_;
     std::vector<double> cost_;    // per-signal, seeded from signal_costs()
     std::vector<double> defer_;   // per-signal lane-deferral EWMA
     double unit_scale_ = 0.0;     // EWMA of measured seconds per cost unit
     uint64_t observations_ = 0;
+    // Least-squares accumulators (x = unit est_cost in static units,
+    // y = unit wall seconds); see fixed_overhead_seconds().
+    double reg_sx_ = 0.0;
+    double reg_sy_ = 0.0;
+    double reg_sxx_ = 0.0;
+    double reg_sxy_ = 0.0;
+    uint64_t reg_n_ = 0;
 };
 
 }  // namespace eraser::core

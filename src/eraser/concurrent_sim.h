@@ -72,6 +72,13 @@ struct EngineOptions {
     bool audit = false;
     /// Collect phase timings (small overhead; required for Table III).
     bool time_phases = false;
+    /// Overlap stimulus generation with engine execution: run_engine records
+    /// each cycle's drive calls on a helper thread (sim/stimulus_pipeline.h)
+    /// and replays them in call order, so apply() cost hides behind
+    /// exec_lanes. Verdict-neutral (the replayed drive sequence is
+    /// identical), so it is excluded from engine_fingerprint like
+    /// time_phases; engines with fewer than ~64 cycles skip it.
+    bool pipeline_stimulus = true;
 };
 
 class ConcurrentSim {

@@ -37,6 +37,15 @@ struct ShardBreakdown {
     /// predicted compute.
     bool remote = false;
     double rtt_seconds = 0.0;
+    /// Time the engine loop spent *blocked* waiting for stimulus
+    /// generation (the pipelined producer of sim/stimulus_pipeline.h).
+    /// Near-zero when generation fully overlaps execution; 0 when the
+    /// unit ran the unpipelined loop.
+    double stimulus_seconds = 0.0;
+    /// Epoch window this unit covered under 2D (fault, epoch) packing.
+    /// [0, 1) for classic unepoched campaigns.
+    uint32_t epoch_begin = 0;
+    uint32_t epoch_end = 1;
 };
 
 struct Instrumentation {

@@ -1,5 +1,6 @@
 #include "eraser/journal.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <unordered_map>
@@ -174,7 +175,8 @@ bool CampaignJournal::append_record_locked(std::span<const uint8_t> payload) {
 
 uint64_t CampaignJournal::append_admission(
     uint64_t design_hash, const StimulusSpec& stimulus,
-    const CampaignOptions& options, std::span<const fault::Fault> faults) {
+    const CampaignOptions& options, std::span<const fault::Fault> faults,
+    uint32_t num_epochs) {
     std::lock_guard<std::mutex> lock(mu_);
     const uint64_t id = next_id_;
     util::WireWriter w;
@@ -190,6 +192,8 @@ uint64_t CampaignJournal::append_admission(
     w.u8(static_cast<uint8_t>(options.priority));
     w.u32(options.max_workers);
     w.u32(options.weight);
+    w.u32(options.epoch_split);
+    w.u32(std::max<uint32_t>(1, num_epochs));
     w.varint(faults.size());
     for (const fault::Fault& f : faults) canonical::put_fault(w, f);
     if (!append_record_locked(w.bytes())) return 0;
@@ -205,6 +209,9 @@ void CampaignJournal::append_unit(uint64_t campaign_id, uint32_t shard_index,
     w.u8(static_cast<uint8_t>(RecordType::Unit));
     w.u64(campaign_id);
     w.u32(shard_index);
+    // Epoch window the unit covered; [0, num_epochs) for classic units.
+    w.u32(breakdown.epoch_begin);
+    w.u32(breakdown.epoch_end);
     // Global ids are ascending within a unit: delta-varint them.
     w.varint(global_ids.size());
     uint32_t prev = 0;
@@ -258,6 +265,11 @@ std::vector<JournalCampaign> CampaignJournal::replay(const std::string& path) {
     std::vector<JournalCampaign> out;
     if (buf.empty()) return out;
     std::unordered_map<uint64_t, size_t> index;  // campaign id -> out slot
+    // Per-campaign (fault, epoch) coverage, parallel to `out` and flattened
+    // fault-major; only allocated for epoched campaigns. Keyed by absolute
+    // epoch index, so replay is robust to a resume that re-split the epoch
+    // axis differently than the crashed run.
+    std::vector<std::vector<bool>> cover;
     walk_frames(buf, [&](std::span<const uint8_t> payload) {
         try {
             util::WireReader r(payload);
@@ -282,6 +294,8 @@ std::vector<JournalCampaign> CampaignJournal::replay(const std::string& path) {
                     rec.options.priority = static_cast<Priority>(r.u8());
                     rec.options.max_workers = r.u32();
                     rec.options.weight = r.u32();
+                    rec.options.epoch_split = r.u32();
+                    rec.num_epochs = std::max<uint32_t>(1, r.u32());
                     const uint64_t n = r.varint();
                     if (n > r.remaining()) {
                         throw util::WireError("fault list truncated");
@@ -294,12 +308,19 @@ std::vector<JournalCampaign> CampaignJournal::replay(const std::string& path) {
                     rec.unit_done.assign(rec.faults.size(), false);
                     rec.verdicts.assign(rec.faults.size(), false);
                     index[rec.campaign_id] = out.size();
+                    cover.emplace_back(
+                        rec.num_epochs > 1
+                            ? rec.faults.size() * size_t{rec.num_epochs}
+                            : 0,
+                        false);
                     out.push_back(std::move(rec));
                     break;
                 }
                 case RecordType::Unit: {
                     const uint64_t id = r.u64();
                     (void)r.u32();  // shard index — diagnostic only
+                    const uint32_t win_begin = r.u32();
+                    const uint32_t win_end = r.u32();
                     const uint64_t n = r.varint();
                     if (n > r.remaining()) {
                         throw util::WireError("unit id list truncated");
@@ -320,10 +341,33 @@ std::vector<JournalCampaign> CampaignJournal::replay(const std::string& path) {
                     // tolerated: without the fault list they can't be used.
                     if (it == index.end()) break;
                     JournalCampaign& rec = out[it->second];
+                    const uint32_t epochs = rec.num_epochs;
+                    // A malformed/legacy window covers everything — the
+                    // classic one-record-per-fault semantics.
+                    const bool full_window =
+                        win_end <= win_begin || epochs <= 1 ||
+                        (win_begin == 0 && win_end >= epochs);
+                    std::vector<bool>& cv = cover[it->second];
                     for (size_t i = 0; i < ids.size(); ++i) {
                         if (ids[i] >= rec.faults.size()) continue;
-                        rec.unit_done[ids[i]] = true;
-                        rec.verdicts[ids[i]] = bits[i];
+                        // Window verdicts OR: detected in any epoch
+                        // detects the fault.
+                        rec.verdicts[ids[i]] =
+                            rec.verdicts[ids[i]] || bits[i];
+                        if (full_window) {
+                            rec.unit_done[ids[i]] = true;
+                            continue;
+                        }
+                        const size_t base = size_t{ids[i]} * epochs;
+                        const uint32_t hi = std::min(win_end, epochs);
+                        for (uint32_t e = win_begin; e < hi; ++e) {
+                            cv[base + e] = true;
+                        }
+                        bool all = true;
+                        for (uint32_t e = 0; e < epochs && all; ++e) {
+                            all = cv[base + e];
+                        }
+                        if (all) rec.unit_done[ids[i]] = true;
                     }
                     ++rec.units_replayed;
                     break;

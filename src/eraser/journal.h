@@ -16,13 +16,20 @@
 //   frame N:  u8 record type, then
 //     Admit(1):    campaign id (u64), design hash (u64), StimulusSpec
 //                  (kind + payload), EngineOptions, scheduling fields
-//                  (num_shards/policy/priority/max_workers/weight), fault
-//                  list (canonical::put_fault)
-//     Unit(2):     campaign id, shard index, global fault ids (varint
-//                  deltas), verdict bitmap, breakdown (wall / behavioral /
-//                  rtl seconds)
+//                  (num_shards/policy/priority/max_workers/weight/
+//                  epoch_split), stimulus epoch count, fault list
+//                  (canonical::put_fault)
+//     Unit(2):     campaign id, shard index, epoch window [begin, end),
+//                  global fault ids (varint deltas), verdict bitmap,
+//                  breakdown (wall / behavioral / rtl seconds)
 //     Complete(3): campaign id — the campaign finished (or was refused /
 //                  canceled); recovery must not resurrect it.
+//
+// 2D (fault, epoch) campaigns journal one Unit record per window; replay
+// tracks per-fault covered epochs by absolute epoch index, so a fault is
+// resumable-as-done only when its windows jointly cover every epoch —
+// robust to a resumed campaign choosing a different epoch split. Window
+// verdicts OR together (detection in any epoch detects the fault).
 //
 // A torn tail — the partial frame a crash or a disk fault leaves behind —
 // fails CRC or length decode and is simply where replay stops; reopening
@@ -49,7 +56,12 @@ class FileIo;
 
 namespace eraser::core {
 
-inline constexpr uint32_t kJournalVersion = 1;
+/// v2 added the Admit epoch metadata (CampaignOptions::epoch_split, the
+/// stimulus's epoch count) and the Unit epoch window — plus the engine-
+/// options pipeline flag via the shared canonical codec. Version-skewed
+/// files replay empty (recovery starts the campaigns over; verdicts are
+/// deterministic, so that is only wasted work, never wrong results).
+inline constexpr uint32_t kJournalVersion = 2;
 
 struct JournalStats {
     uint64_t appends = 0;          // records durably handed to the OS
@@ -76,10 +88,13 @@ struct JournalCampaign {
     StimulusSpec stimulus;
     CampaignOptions options;
     std::vector<fault::Fault> faults;
+    /// Epoch count the stimulus declared at admission (1 = unepoched).
+    uint32_t num_epochs = 1;
     /// A Complete record was seen — finished or abandoned, do not resume.
     bool complete = false;
-    /// Parallel to `faults`: true where some journaled unit holds the
-    /// fault's verdict (then `verdicts` has it).
+    /// Parallel to `faults`: true where journaled units hold the fault's
+    /// *complete* verdict — every epoch covered (then `verdicts` has the
+    /// OR-folded bit). Partially-covered faults re-run in full on resume.
     std::vector<bool> unit_done;
     std::vector<bool> verdicts;
     /// Unit records replayed for this campaign.
@@ -103,9 +118,11 @@ class CampaignJournal {
     /// unique across reopens of one file) or 0 if the append failed.
     [[nodiscard]] uint64_t append_admission(
         uint64_t design_hash, const StimulusSpec& stimulus,
-        const CampaignOptions& options, std::span<const fault::Fault> faults);
+        const CampaignOptions& options, std::span<const fault::Fault> faults,
+        uint32_t num_epochs = 1);
 
-    /// Appends a Unit record: the verdict slice of one completed unit.
+    /// Appends a Unit record: the verdict slice of one completed unit
+    /// (its epoch window rides in breakdown.epoch_begin/end).
     void append_unit(uint64_t campaign_id, uint32_t shard_index,
                      const std::vector<uint32_t>& global_ids,
                      const std::vector<bool>& verdicts,

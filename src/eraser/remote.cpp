@@ -321,6 +321,9 @@ uint64_t serve_connection(WireConn& conn, WorkerDesignCache& cache,
                 StimulusSpec spec;
                 spec.kind = r.str();
                 spec.payload = get_bytes(r);
+                spec.epochs = r.u32();
+                spec.epoch_begin = r.u32();
+                spec.epoch_end = r.u32();
                 const std::vector<fault::Fault> faults = get_faults(r);
                 r.expect_end();
                 (void)shard_index;
@@ -381,6 +384,27 @@ uint64_t serve_connection(WireConn& conn, WorkerDesignCache& cache,
                     }
                     try {
                         auto stim = build_stimulus(spec);
+                        if (spec.epochs > 0) {
+                            // An epoch-annotated unit: the client windowed
+                            // an epoched stimulus. Validate the window
+                            // against the locally built geometry before
+                            // trusting it — a disagreement means the two
+                            // sides built different stimuli.
+                            const uint32_t declared = stim->num_epochs();
+                            if (spec.epochs != declared ||
+                                spec.epoch_end <= spec.epoch_begin ||
+                                spec.epoch_end > declared) {
+                                throw SimError(
+                                    "epoch window disagrees with the "
+                                    "worker-built stimulus geometry");
+                            }
+                            if (spec.windowed()) {
+                                stim = std::make_unique<
+                                    sim::EpochWindowStimulus>(
+                                    std::move(stim), spec.epoch_begin,
+                                    spec.epoch_end);
+                            }
+                        }
                         detail::EngineOutcome out = detail::run_engine(
                             *compiled, faults, *stim, engine, nullptr);
                         w.u8(static_cast<uint8_t>(MsgType::UnitResult));
@@ -392,6 +416,7 @@ uint64_t serve_connection(WireConn& conn, WorkerDesignCache& cache,
                         w.f64(out.breakdown.wall_seconds);
                         w.f64(out.breakdown.behavioral_seconds);
                         w.f64(out.breakdown.rtl_seconds);
+                        w.f64(out.breakdown.stimulus_seconds);
                         put_stats(w, out.stats);
                     } catch (const EraserError& e) {
                         failed = true;
@@ -514,6 +539,9 @@ RemoteUnitReply RemoteWorkerLink::run_unit(
     put_engine_options(w, engine);
     w.str(stimulus.kind);
     put_bytes(w, stimulus.payload);
+    w.u32(stimulus.epochs);
+    w.u32(stimulus.epoch_begin);
+    w.u32(stimulus.epoch_end);
     put_faults(w, faults);
 
     Stopwatch rtt;
@@ -577,6 +605,7 @@ RemoteUnitReply RemoteWorkerLink::run_unit(
     reply.breakdown.wall_seconds = r.f64();
     reply.breakdown.behavioral_seconds = r.f64();
     reply.breakdown.rtl_seconds = r.f64();
+    reply.breakdown.stimulus_seconds = r.f64();
     reply.stats = get_stats(r);
     r.expect_end();
     if (reply.detected.size() != faults.size()) {

@@ -88,8 +88,10 @@ class CompiledDesign;
 
 /// Bumped on any frame-layout change; a worker refuses a mismatched hello
 /// rather than guessing at field offsets. v2 added the hello's
-/// heartbeat_interval_ms field and the Heartbeat frame.
-inline constexpr uint32_t kWireSchemaVersion = 2;
+/// heartbeat_interval_ms field and the Heartbeat frame. v3 added the
+/// RunUnit frame's StimulusSpec epoch-window fields, the engine-options
+/// pipeline flag, and the UnitResult stimulus-wall field (2D parallelism).
+inline constexpr uint32_t kWireSchemaVersion = 3;
 
 /// First payload byte of every frame.
 enum class MsgType : uint8_t {
@@ -127,6 +129,21 @@ struct DesignSpec {
 struct StimulusSpec {
     std::string kind;
     std::vector<uint8_t> payload;
+
+    // 2D parallelism: when `epochs` > 0 the spec denotes the built stimulus
+    // restricted to the epoch window [epoch_begin, epoch_end) of its
+    // `epochs` declared epochs (build_stimulus wraps the builder's product
+    // in sim::EpochWindowStimulus). epochs == 0 (the default) is the
+    // classic whole-stimulus spec — its canonical hash is unchanged, so
+    // verdict-cache contexts from before the 2D work stay valid.
+    uint32_t epochs = 0;
+    uint32_t epoch_begin = 0;
+    uint32_t epoch_end = 0;
+
+    /// True when the spec covers a strict sub-window of its epochs.
+    [[nodiscard]] bool windowed() const {
+        return epochs > 0 && !(epoch_begin == 0 && epoch_end == epochs);
+    }
 };
 
 /// Decodes one StimulusSpec payload into a fresh stimulus instance. Must be

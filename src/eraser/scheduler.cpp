@@ -5,6 +5,7 @@
 #include <exception>
 #include <utility>
 
+#include "sim/stimulus_pipeline.h"
 #include "util/diagnostics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -34,6 +35,55 @@ class ConcurrentHandle final : public sim::DriveHandle {
     ConcurrentSim& sim_;
 };
 
+/// Below this many cycles a pipeline's thread spawn costs more than the
+/// generation it could hide; run the classic inline loop instead.
+constexpr uint32_t kPipelineMinCycles = 64;
+
+/// One reset-to-end engine pass over cycles [begin, end): resets the sim,
+/// replays the stimulus's initialize, then drives/ticks/observes each
+/// cycle — with the stimulus generation overlapped on a helper thread when
+/// the pass is long enough to pay for it (the recorded drive calls replay
+/// in exact call order, so pipelining is verdict-neutral). Returns true
+/// when the pass was canceled mid-way. `stimulus_seconds` accumulates the
+/// time the engine sat blocked waiting for generation.
+bool run_epoch_pass(ConcurrentSim& sim, sim::Stimulus& stim,
+                    sim::DriveHandle& handle, rtl::SignalId clk,
+                    uint32_t begin, uint32_t end, size_t nfaults,
+                    const EngineOptions& opts,
+                    const std::atomic<bool>* cancel,
+                    double& stimulus_seconds) {
+    sim.reset();
+    stim.initialize(handle);
+    if (opts.pipeline_stimulus && end - begin >= kPipelineMinCycles) {
+        sim::StimulusPipeline pipe(stim, begin, end);
+        for (uint32_t c = begin; c < end; ++c) {
+            if (cancel != nullptr &&
+                cancel->load(std::memory_order_relaxed)) {
+                return true;   // destructor stops + joins the producer
+            }
+            const sim::RecordedCycle* cycle =
+                pipe.acquire(&stimulus_seconds);
+            if (cycle == nullptr) break;
+            cycle->replay(handle);
+            pipe.release();
+            sim.tick(clk);
+            sim.observe_outputs();
+            if (sim.num_detected() == nfaults) break;   // all dropped
+        }
+        return false;
+    }
+    for (uint32_t c = begin; c < end; ++c) {
+        if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+            return true;
+        }
+        stim.apply(c, handle);
+        sim.tick(clk);
+        sim.observe_outputs();
+        if (sim.num_detected() == nfaults) break;   // all dropped
+    }
+    return false;
+}
+
 }  // namespace
 
 EngineOutcome run_engine(const CompiledDesign& compiled,
@@ -41,31 +91,60 @@ EngineOutcome run_engine(const CompiledDesign& compiled,
                          sim::Stimulus& stim, const EngineOptions& opts,
                          const std::atomic<bool>* cancel) {
     Stopwatch engine_watch;
-    ConcurrentSim sim(compiled, faults, opts);
-    ConcurrentHandle handle(sim);
     const rtl::Design& design = compiled.design();
     stim.bind(design);
     const rtl::SignalId clk = design.signal_id(stim.clock_name());
+    const uint32_t epochs = std::max<uint32_t>(1, stim.num_epochs());
 
     EngineOutcome out;
     out.ran = true;
-    sim.reset();
-    stim.initialize(handle);
-    const uint32_t cycles = stim.num_cycles();
-    for (uint32_t c = 0; c < cycles; ++c) {
-        if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
-            out.canceled = true;
-            break;
+    if (epochs == 1) {
+        ConcurrentSim sim(compiled, faults, opts);
+        ConcurrentHandle handle(sim);
+        out.canceled = run_epoch_pass(
+            sim, stim, handle, clk, 0, stim.num_cycles(), faults.size(),
+            opts, cancel, out.breakdown.stimulus_seconds);
+        out.detected = sim.detected();
+        out.num_detected = sim.num_detected();
+        out.stats = sim.stats();
+    } else {
+        // Epoched stimulus: each epoch is an independent reset-to-end pass
+        // (that independence is exactly what num_epochs() > 1 declares),
+        // and the fault's verdict is the OR over epochs. Faults detected
+        // in an earlier epoch drop out of later passes — sound under OR,
+        // and the progressive dropout is where few-fault/long-stimulus
+        // campaigns win. This serial loop is the oracle the 2D window
+        // split is bit-identical to: a window unit runs the identical
+        // passes for its epoch subrange.
+        out.detected.assign(faults.size(), false);
+        std::vector<fault::Fault> alive(faults.begin(), faults.end());
+        std::vector<uint32_t> alive_ids(faults.size());
+        for (uint32_t i = 0; i < alive_ids.size(); ++i) alive_ids[i] = i;
+        for (uint32_t e = 0; e < epochs && !alive.empty(); ++e) {
+            const auto [cb, ce] = stim.epoch_range(e);
+            ConcurrentSim sim(compiled, alive, opts);
+            ConcurrentHandle handle(sim);
+            out.canceled = run_epoch_pass(
+                sim, stim, handle, clk, cb, ce, alive.size(), opts, cancel,
+                out.breakdown.stimulus_seconds);
+            out.stats.merge_from(sim.stats());
+            const std::vector<bool>& det = sim.detected();
+            std::vector<fault::Fault> next;
+            std::vector<uint32_t> next_ids;
+            for (size_t i = 0; i < alive.size(); ++i) {
+                if (det[i]) {
+                    out.detected[alive_ids[i]] = true;
+                    ++out.num_detected;
+                } else {
+                    next.push_back(alive[i]);
+                    next_ids.push_back(alive_ids[i]);
+                }
+            }
+            alive.swap(next);
+            alive_ids.swap(next_ids);
+            if (out.canceled) break;
         }
-        stim.apply(c, handle);
-        sim.tick(clk);
-        sim.observe_outputs();
-        if (sim.num_detected() == faults.size()) break;   // all dropped
     }
-
-    out.detected = sim.detected();
-    out.num_detected = sim.num_detected();
-    out.stats = sim.stats();
     out.breakdown.wall_seconds = engine_watch.seconds();
     out.breakdown.behavioral_seconds =
         out.stats.time_behavioral.total_seconds();
@@ -126,6 +205,19 @@ struct CampaignState {
     std::vector<bool> replay_verdicts;
     uint32_t replay_detected = 0;
     uint32_t resumed_units = 0;
+    /// 2D (fault, epoch) packing: the stimulus's declared epoch count and
+    /// the split chosen at admission. With epoch_splits > 1 each fault
+    /// appears in one shard per epoch window; merged_result ORs the window
+    /// verdicts back to per-fault bits.
+    uint32_t num_epochs = 1;
+    uint32_t epoch_splits = 1;
+    /// Exact progress accounting under 2D (guarded by epoch_mu, used only
+    /// when epoch_splits > 1): per-fault count of windows still owing a
+    /// verdict, and the OR-accumulated detection so far. faults_done /
+    /// detected_done bump only when a fault's *last* window lands.
+    std::mutex epoch_mu;
+    std::vector<uint32_t> windows_left;   // by global fault id
+    std::vector<bool> det_acc;            // by global fault id
     /// Exactly-once guard across the finalization paths (last shard job vs
     /// cancel-withdraw vs shutdown's forced finalize).
     std::atomic<bool> finalized{false};
@@ -192,7 +284,11 @@ namespace {
 /// Deterministic merge: shards in index order, global ids within each
 /// shard are ascending, so the bitmap assembly order is fixed regardless
 /// of completion order. Partial (canceled) shard outcomes contribute their
-/// verdicts-so-far but do not count as completed work.
+/// verdicts-so-far but do not count as completed work. Under a 2D epoch
+/// split one fault spans several shards (one per window); the shard pass
+/// ORs, which for the classic disjoint layout degenerates to assignment —
+/// and num_detected is recounted from the folded bitmap, so a fault
+/// detected in two windows counts once.
 CampaignResult merged_result(const CampaignState& st) {
     CampaignResult result;
     result.detected.assign(st.num_faults, false);
@@ -202,14 +298,12 @@ CampaignResult merged_result(const CampaignState& st) {
     for (size_t i = 0; i < st.hit_ids.size(); ++i) {
         result.detected[st.hit_ids[i]] = st.hit_verdicts[i];
     }
-    result.num_detected += st.hit_detected;
     result.cache_hits = static_cast<uint32_t>(st.hit_ids.size());
     // Journal-replayed faults (Session::recover): a third disjoint id set,
     // order-independent for the same reason as the cache hits.
     for (size_t i = 0; i < st.replay_ids.size(); ++i) {
         result.detected[st.replay_ids[i]] = st.replay_verdicts[i];
     }
-    result.num_detected += st.replay_detected;
     result.resumed_units = st.resumed_units;
     uint32_t completed = 0;
     for (size_t s = 0; s < st.shards.size(); ++s) {
@@ -217,12 +311,14 @@ CampaignResult merged_result(const CampaignState& st) {
         if (!out.ran) continue;
         const Shard& shard = st.shards[s];
         for (size_t i = 0; i < shard.global_ids.size(); ++i) {
-            result.detected[shard.global_ids[i]] = out.detected[i];
+            if (out.detected[i]) result.detected[shard.global_ids[i]] = true;
         }
-        result.num_detected += out.num_detected;
         result.stats.merge_from(out.stats);
         result.stats.shards.push_back(out.breakdown);
         if (!out.canceled) ++completed;
+    }
+    for (size_t i = 0; i < result.detected.size(); ++i) {
+        if (result.detected[i]) ++result.num_detected;
     }
     result.canceled = completed != st.shards.size();
     result.num_shards = static_cast<uint32_t>(st.shards.size());
@@ -278,6 +374,24 @@ void finalize_campaign(CampaignState& st) {
     }
     fire_terminal(st);   // terminal strictly happens-before finished
     CampaignResult result = merged_result(st);
+    if (st.cache && st.epoch_splits > 1 && !result.canceled) {
+        // The window units published only window-context verdicts; now that
+        // every window is in, the OR-folded per-fault verdicts are the
+        // full-campaign truth — insert them under the full context so a
+        // repeat campaign (any epoch split, including none) hits.
+        std::vector<fault::Fault> folded_faults;
+        std::vector<bool> folded_verdicts;
+        for (size_t s = 0; s < st.shards.size(); ++s) {
+            const Shard& shard = st.shards[s];
+            if (shard.epoch_begin != 0) continue;   // one window per fault
+            for (size_t i = 0; i < shard.faults.size(); ++i) {
+                folded_faults.push_back(shard.faults[i]);
+                folded_verdicts.push_back(
+                    result.detected[shard.global_ids[i]]);
+            }
+        }
+        st.cache->insert(st.cache_ctx, folded_faults, folded_verdicts);
+    }
     {
         std::lock_guard<std::mutex> lock(st.mu);
         publish_result_locked(st, std::move(result));
@@ -298,6 +412,8 @@ bool record_outcome(const std::shared_ptr<CampaignState>& st, size_t s,
     out.breakdown.faults = static_cast<uint32_t>(shard.faults.size());
     out.breakdown.detected = out.num_detected;
     out.breakdown.est_cost = shard.est_cost;
+    out.breakdown.epoch_begin = shard.epoch_begin;
+    out.breakdown.epoch_end = shard.epoch_end;
     st->outcomes[s] = std::move(out);
 
     const EngineOutcome& stored = st->outcomes[s];
@@ -315,16 +431,53 @@ bool record_outcome(const std::shared_ptr<CampaignState>& st, size_t s,
         }
         // Publication is the insertion point, and only full runs publish —
         // the same guard the CostModel feedback applies: a canceled shard's
-        // partial bitmap must never enter the store.
+        // partial bitmap must never enter the store. A window unit's bitmap
+        // is an epoch-subrange verdict, not the fault's verdict, so it goes
+        // under a window-specific context key; the full-campaign context
+        // only receives OR-folded verdicts at finalization.
         if (st->cache) {
-            st->cache->insert(st->cache_ctx, shard.faults, stored.detected);
+            if (shard.epoch_end - shard.epoch_begin < st->num_epochs) {
+                StimulusSpec ws = st->stim_spec;
+                ws.epochs = st->num_epochs;
+                ws.epoch_begin = shard.epoch_begin;
+                ws.epoch_end = shard.epoch_end;
+                st->cache->insert(
+                    VerdictCache::context_key(st->compiled->design_hash(),
+                                              ws, st->engine_opts),
+                    shard.faults, stored.detected);
+            } else {
+                st->cache->insert(st->cache_ctx, shard.faults,
+                                  stored.detected);
+            }
         }
         st->shards_done.fetch_add(1, std::memory_order_relaxed);
-        st->faults_done.fetch_add(
-            static_cast<uint32_t>(shard.faults.size()),
-            std::memory_order_relaxed);
-        st->detected_done.fetch_add(stored.num_detected,
-                                    std::memory_order_relaxed);
+        if (st->epoch_splits > 1) {
+            // A fault is *done* only when its last window lands; its
+            // detection is the OR over windows. Exact accounting keeps
+            // progress() monotonic and ≤ totals under 2D.
+            uint32_t fresh = 0;
+            uint32_t fresh_detected = 0;
+            {
+                std::lock_guard<std::mutex> lock(st->epoch_mu);
+                for (size_t i = 0; i < shard.global_ids.size(); ++i) {
+                    const uint32_t gid = shard.global_ids[i];
+                    if (stored.detected[i]) st->det_acc[gid] = true;
+                    if (--st->windows_left[gid] == 0) {
+                        ++fresh;
+                        if (st->det_acc[gid]) ++fresh_detected;
+                    }
+                }
+            }
+            st->faults_done.fetch_add(fresh, std::memory_order_relaxed);
+            st->detected_done.fetch_add(fresh_detected,
+                                        std::memory_order_relaxed);
+        } else {
+            st->faults_done.fetch_add(
+                static_cast<uint32_t>(shard.faults.size()),
+                std::memory_order_relaxed);
+            st->detected_done.fetch_add(stored.num_detected,
+                                        std::memory_order_relaxed);
+        }
         if (st->observer) {
             // An observer that throws must not stall the campaign (the
             // finished_jobs increment below is what unblocks wait()); the
@@ -357,8 +510,13 @@ bool run_shard_job(const std::shared_ptr<CampaignState>& st, size_t s) {
     if (!st->cancel.load(std::memory_order_relaxed)) {
         try {
             auto stim = st->make_stimulus();
-            out = detail::run_engine(*st->compiled, st->shards[s].faults,
-                                     *stim, st->engine_opts, &st->cancel);
+            const Shard& sh = st->shards[s];
+            if (sh.epoch_end - sh.epoch_begin < st->num_epochs) {
+                stim = std::make_unique<sim::EpochWindowStimulus>(
+                    std::move(stim), sh.epoch_begin, sh.epoch_end);
+            }
+            out = detail::run_engine(*st->compiled, sh.faults, *stim,
+                                     st->engine_opts, &st->cancel);
         } catch (...) {
             st->errors[s] = std::current_exception();
             out = EngineOutcome{};
@@ -532,6 +690,15 @@ std::shared_ptr<CampaignState> CampaignScheduler::make_state(
     // one-empty-shard result for the legacy blocking paths.
     if (faults.empty()) return st;
 
+    // Probe the stimulus's epoch geometry once at admission — it is part
+    // of the campaign's shape (the 2D split decision and the journal Admit
+    // record both need it), and num_epochs() is bind-independent by
+    // contract.
+    {
+        const auto probe = st->make_stimulus();
+        st->num_epochs = std::max<uint32_t>(1, probe->num_epochs());
+    }
+
     // Journal binding. A resumed campaign keeps its original journal id —
     // new unit appends continue the same record stream across crash
     // generations — and serves the already-journaled verdicts without
@@ -574,7 +741,8 @@ std::shared_ptr<CampaignState> CampaignScheduler::make_state(
         to_shard = pending_faults;
     } else if (opts_.journal && remote_spec != nullptr) {
         st->journal_id = opts_.journal->append_admission(
-            compiled_->design_hash(), *remote_spec, opts, faults);
+            compiled_->design_hash(), *remote_spec, opts, faults,
+            st->num_epochs);
         if (st->journal_id != 0) st->journal = opts_.journal;
     }
 
@@ -637,6 +805,35 @@ std::shared_ptr<CampaignState> CampaignScheduler::make_state(
     const std::vector<uint64_t> costs =
         opts_.learn_costs ? cost_model_->fault_costs(to_shard)
                           : compiled_->fault_costs(to_shard);
+
+    // 2D (fault, epoch) split decision. The fault dimension packs lanes;
+    // the epoch dimension multiplies units without widening any plane —
+    // the win when faults are scarce (few lanes) but the stimulus is long
+    // (many epochs). epoch_split: 0 = let the learned cost model amortize
+    // fixed per-unit overhead against the wave count, otherwise the forced
+    // value clamped to the epoch count.
+    uint32_t epoch_split = 1;
+    if (st->num_epochs > 1) {
+        const uint32_t n = static_cast<uint32_t>(to_shard.size());
+        const uint32_t fault_units =
+            opts.engine.batching == FaultBatching::Word ? (n + 63) / 64 : n;
+        if (opts.epoch_split > 0) {
+            epoch_split = std::min(opts.epoch_split, st->num_epochs);
+        } else {
+            uint64_t total_cost = 0;
+            for (const uint64_t c : costs) total_cost += c;
+            epoch_split = cost_model_->choose_epoch_split(
+                fault_units, total_cost, st->num_epochs, threads);
+        }
+    }
+    // With S epoch windows each fault-dim shard spawns S units; shrink the
+    // fault dimension so the unit count stays near the caller's target.
+    const uint32_t fault_dim_shards =
+        epoch_split > 1
+            ? std::max<uint32_t>(1, (want_shards + epoch_split - 1) /
+                                        epoch_split)
+            : want_shards;
+
     if (opts.engine.batching == FaultBatching::Word) {
         GroupPacker packer;
         if (opts_.learn_costs && opts_.learned_packing &&
@@ -663,12 +860,19 @@ std::shared_ptr<CampaignState> CampaignScheduler::make_state(
                 return order;
             };
         }
-        st->shards = make_shards_grouped(to_shard, costs, want_shards,
+        st->shards = make_shards_grouped(to_shard, costs, fault_dim_shards,
                                          opts.shard_policy, packer);
     } else {
-        st->shards =
-            make_shards(to_shard, costs, want_shards, opts.shard_policy);
+        st->shards = make_shards(to_shard, costs, fault_dim_shards,
+                                 opts.shard_policy);
     }
+
+    // Cross the fault-dim shards with the epoch windows (a no-op stamp of
+    // the full window when epoch_split == 1). Replication happens before
+    // the global-id remap so every window copy gets remapped alike.
+    st->shards = replicate_epoch_windows(std::move(st->shards),
+                                         st->num_epochs, epoch_split);
+    st->epoch_splits = std::max<uint32_t>(1, epoch_split);
 
     // The shards partitioned a subset (cache misses, journal remainder, or
     // both chained — miss_ids already carries the fully resolved global
@@ -683,6 +887,16 @@ std::shared_ptr<CampaignState> CampaignScheduler::make_state(
     if (remap != nullptr) {
         for (Shard& sh : st->shards) {
             for (uint32_t& g : sh.global_ids) g = (*remap)[g];
+        }
+    }
+
+    // Exact 2D progress accounting: count each fault's windows so the
+    // per-fault countdown in record_outcome knows when the last one lands.
+    if (st->epoch_splits > 1) {
+        st->windows_left.assign(st->num_faults, 0);
+        st->det_acc.assign(st->num_faults, false);
+        for (const Shard& sh : st->shards) {
+            for (const uint32_t g : sh.global_ids) ++st->windows_left[g];
         }
     }
 
@@ -962,9 +1176,20 @@ bool CampaignScheduler::serve_link(size_t worker_index,
         EngineOutcome out;
         bool link_dead = false;
         try {
+            // Epoch-annotated wire unit: the worker reconstructs the window
+            // by wrapping its locally built stimulus, so the payload ships
+            // once per campaign shape and re-dispatch semantics (same spec,
+            // any link) are untouched.
+            StimulusSpec spec = st->stim_spec;
+            const Shard& sh = st->shards[s];
+            if (sh.epoch_end - sh.epoch_begin < st->num_epochs) {
+                spec.epochs = st->num_epochs;
+                spec.epoch_begin = sh.epoch_begin;
+                spec.epoch_end = sh.epoch_end;
+            }
             RemoteUnitReply reply =
-                link.run_unit(st->shards[s].faults, st->engine_opts,
-                              st->stim_spec, static_cast<uint32_t>(s));
+                link.run_unit(sh.faults, st->engine_opts, spec,
+                              static_cast<uint32_t>(s));
             out.ran = reply.ran;
             out.canceled = reply.canceled;
             out.detected = std::move(reply.detected);

@@ -236,6 +236,38 @@ std::vector<Shard> make_shards_grouped(const CompiledDesign& compiled,
                                num_shards, policy, packer);
 }
 
+std::vector<Shard> replicate_epoch_windows(std::vector<Shard> fault_shards,
+                                           uint32_t num_epochs,
+                                           uint32_t splits) {
+    const uint32_t epochs = std::max<uint32_t>(1, num_epochs);
+    const uint32_t s = std::clamp<uint32_t>(splits, 1, epochs);
+    if (s <= 1) {
+        for (Shard& sh : fault_shards) {
+            sh.epoch_begin = 0;
+            sh.epoch_end = epochs;
+        }
+        return fault_shards;
+    }
+    std::vector<Shard> out;
+    out.reserve(fault_shards.size() * s);
+    for (uint32_t w = 0; w < s; ++w) {
+        const auto b = static_cast<uint32_t>(uint64_t(w) * epochs / s);
+        const auto e = static_cast<uint32_t>(uint64_t(w + 1) * epochs / s);
+        for (const Shard& fs : fault_shards) {
+            Shard sh = fs;
+            sh.epoch_begin = b;
+            sh.epoch_end = e;
+            // An epoch window carries its epoch share of the fault-unit's
+            // full-stimulus cost (the LPT and the placement gate both want
+            // per-unit, not per-fault-lifetime, estimates).
+            sh.est_cost =
+                std::max<uint64_t>(1, fs.est_cost * (e - b) / epochs);
+            out.push_back(std::move(sh));
+        }
+    }
+    return out;
+}
+
 std::vector<Shard> make_shards(const rtl::Design& design,
                                std::span<const fault::Fault> faults,
                                uint32_t num_shards, ShardPolicy policy,

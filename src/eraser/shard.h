@@ -54,6 +54,13 @@ struct Shard {
     std::vector<fault::Fault> faults;
     std::vector<uint32_t> global_ids;
     uint64_t est_cost = 0;
+    /// Stimulus-epoch window [epoch_begin, epoch_end) this shard covers —
+    /// the second dimension of 2D (fault, epoch) packing. Classic
+    /// one-dimensional shards cover [0, 1), i.e. the whole (single-epoch)
+    /// stimulus; under an epoch split the same fault appears in one shard
+    /// per window and the merge ORs the window verdicts back together.
+    uint32_t epoch_begin = 0;
+    uint32_t epoch_end = 1;
 };
 
 /// Cost-model weight of one behavior from its already-built VDG: 1 +
@@ -124,6 +131,17 @@ using GroupPacker = std::function<std::vector<uint32_t>(
     const CompiledDesign& compiled, std::span<const fault::Fault> faults,
     uint32_t num_shards, ShardPolicy policy,
     const GroupPacker& packer = nullptr);
+
+/// 2D (fault, epoch) partition step: replicates fault-dimension shards
+/// across `splits` contiguous, balanced windows of the stimulus's
+/// [0, num_epochs) epoch axis. Each input shard becomes one output shard
+/// per window (same faults/global_ids, window stamped, est_cost scaled by
+/// the window's epoch share); with splits <= 1 the input shards are
+/// returned stamped with the full window [0, num_epochs). Window w covers
+/// epochs [w*E/S, (w+1)*E/S) — deterministic, ascending, never empty for
+/// splits <= num_epochs (splits is clamped to num_epochs).
+[[nodiscard]] std::vector<Shard> replicate_epoch_windows(
+    std::vector<Shard> fault_shards, uint32_t num_epochs, uint32_t splits);
 
 /// Deprecated pre-Session entry point: recomputes the cost model per call
 /// (or trusts a caller-maintained `costs` pointer). Delegates to the

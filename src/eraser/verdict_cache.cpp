@@ -204,6 +204,11 @@ bool VerdictCache::save(const std::string& path) const {
             models.varint(snap.cost.size());
             for (double c : snap.cost) models.f64(c);
             for (double d : snap.defer) models.f64(d);
+            models.f64(snap.reg_sx);
+            models.f64(snap.reg_sy);
+            models.f64(snap.reg_sxx);
+            models.f64(snap.reg_sxy);
+            models.varint(snap.reg_n);
         }
         util::append_frame(file, models.bytes());
 
@@ -326,6 +331,11 @@ bool VerdictCache::load(const std::string& path) {
                 for (uint64_t s = 0; s < sigs; ++s) {
                     snap.defer.push_back(r.f64());
                 }
+                snap.reg_sx = r.f64();
+                snap.reg_sy = r.f64();
+                snap.reg_sxx = r.f64();
+                snap.reg_sxy = r.f64();
+                snap.reg_n = r.varint();
                 cost_models_[hash] = std::move(snap);
             }
             r.expect_end();

@@ -26,9 +26,14 @@
 //
 // Invalidation is purely structural — there is none to do. Any edit that
 // could move a verdict (design structure, stimulus bytes, redundancy mode,
-// interpreter, batching, audit) changes the context hash, so stale entries
-// are simply never addressed again and age out via LRU. time_phases is
-// excluded from the fingerprint: it toggles instrumentation, not verdicts.
+// interpreter, batching, audit, epoch window) changes the context hash, so
+// stale entries are simply never addressed again and age out via LRU.
+// time_phases and pipeline_stimulus are excluded from the fingerprint:
+// they toggle instrumentation / generation overlap, not verdicts. Under a
+// 2D epoch split, window units insert under a window-specific context
+// (the window is folded into the stimulus hash — a window verdict is NOT
+// the fault's campaign verdict) and the completed campaign's OR-folded
+// verdicts insert under the full-stimulus context at finalization.
 //
 // Concurrency: lookups/inserts shard across fixed buckets, each a mutex +
 // hash map, so concurrent Sessions share one cache with per-bucket
@@ -76,7 +81,9 @@ struct StimulusSpec;
 struct EngineOptions;
 
 /// Bumped on any store-layout change; a skewed file loads as cold.
-inline constexpr uint32_t kVerdictStoreVersion = 1;
+/// v2 added the CostModel least-squares regression accumulators to the
+/// cost-model frame (2D epoch-split decision warm start).
+inline constexpr uint32_t kVerdictStoreVersion = 2;
 
 struct VerdictCacheOptions {
     /// Store file: loaded at construction, written by flush() and (best

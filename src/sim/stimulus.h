@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rtl/design.h"
@@ -43,6 +45,76 @@ class Stimulus {
     /// Drives the inputs for `cycle` (applied while the clock is low, before
     /// the rising edge).
     virtual void apply(uint32_t cycle, DriveHandle&) = 0;
+
+    // ----- Epochs (two-dimensional parallelism seam) -----
+    //
+    // A stimulus may declare that its cycle sequence factors into E
+    // *independent* epochs partitioning [0, num_cycles()): the engine runs
+    // each epoch as its own reset-to-end pass (reset, initialize, then the
+    // epoch's cycles), and a fault's campaign verdict is the OR of its
+    // per-epoch verdicts. Declaring E > 1 is a promise that apply() for a
+    // cycle inside epoch e depends only on e and the in-epoch offset —
+    // never on earlier epochs having been applied — so epochs can be
+    // packed into separate (fault, epoch) lanes and run in any order or
+    // in parallel, bit-identically to the serial epoch loop.
+
+    /// Number of independent epochs; the default (1) keeps the classic
+    /// single-pass behavior for every existing stimulus.
+    [[nodiscard]] virtual uint32_t num_epochs() const { return 1; }
+
+    /// Cycle range [begin, end) of epoch `e`. The ranges of epochs
+    /// 0..num_epochs()-1 must be contiguous, ascending, and partition
+    /// [0, num_cycles()). Must not depend on bind().
+    [[nodiscard]] virtual std::pair<uint32_t, uint32_t> epoch_range(
+        uint32_t /*e*/) const {
+        return {0, num_cycles()};
+    }
+};
+
+/// Restricts an epoched stimulus to the contiguous epoch window
+/// [epoch_begin, epoch_end): local cycle c maps to inner cycle
+/// (window start + c). The window is itself an epoched stimulus (its
+/// epochs are the inner epochs it covers), so the engine's per-epoch
+/// passes execute identically whether a unit covers one window or all
+/// of them — the basis of the 2D (fault, epoch) packing's bit-identity.
+///
+/// Precondition: epoch_begin < epoch_end <= inner->num_epochs().
+class EpochWindowStimulus final : public Stimulus {
+  public:
+    EpochWindowStimulus(std::unique_ptr<Stimulus> inner, uint32_t epoch_begin,
+                        uint32_t epoch_end)
+        : inner_(std::move(inner)),
+          epoch_begin_(epoch_begin),
+          epoch_end_(epoch_end),
+          cycle_begin_(inner_->epoch_range(epoch_begin).first),
+          cycle_end_(inner_->epoch_range(epoch_end - 1).second) {}
+
+    void bind(const rtl::Design& design) override { inner_->bind(design); }
+    [[nodiscard]] std::string clock_name() const override {
+        return inner_->clock_name();
+    }
+    [[nodiscard]] uint32_t num_cycles() const override {
+        return cycle_end_ - cycle_begin_;
+    }
+    void initialize(DriveHandle& h) override { inner_->initialize(h); }
+    void apply(uint32_t cycle, DriveHandle& h) override {
+        inner_->apply(cycle_begin_ + cycle, h);
+    }
+    [[nodiscard]] uint32_t num_epochs() const override {
+        return epoch_end_ - epoch_begin_;
+    }
+    [[nodiscard]] std::pair<uint32_t, uint32_t> epoch_range(
+        uint32_t e) const override {
+        const auto [b, end] = inner_->epoch_range(epoch_begin_ + e);
+        return {b - cycle_begin_, end - cycle_begin_};
+    }
+
+  private:
+    std::unique_ptr<Stimulus> inner_;
+    uint32_t epoch_begin_;
+    uint32_t epoch_end_;
+    uint32_t cycle_begin_;
+    uint32_t cycle_end_;
 };
 
 }  // namespace eraser::sim

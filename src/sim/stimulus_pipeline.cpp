@@ -1,0 +1,101 @@
+#include "sim/stimulus_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace eraser::sim {
+
+StimulusPipeline::StimulusPipeline(Stimulus& stim, uint32_t begin_cycle,
+                                   uint32_t end_cycle, uint32_t depth)
+    : stim_(stim), slots_(std::max<uint32_t>(2, depth)) {
+    producer_ = std::thread(
+        [this, begin_cycle, end_cycle] { produce(begin_cycle, end_cycle); });
+}
+
+StimulusPipeline::~StimulusPipeline() {
+    stop();
+    if (producer_.joinable()) producer_.join();
+}
+
+void StimulusPipeline::produce(uint32_t begin_cycle, uint32_t end_cycle) {
+    const uint64_t depth = slots_.size();
+    RecorderHandle recorder;
+    try {
+        for (uint32_t c = begin_cycle; c < end_cycle; ++c) {
+            RecordedCycle* slot = nullptr;
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                // Hysteresis: once the ring fills, sleep until it is half
+                // drained, then burst-refill. A wakeup per batch instead of
+                // per cycle — on oversubscribed hosts the wakeup itself is
+                // the dominant cost, not the generation.
+                if (tail_ - head_ == depth) {
+                    can_produce_.wait(lock, [&] {
+                        return tail_ - head_ <= depth / 2 || stop_;
+                    });
+                }
+                if (stop_) return;
+                slot = &slots_[tail_ % depth];
+            }
+            // Record outside the lock: the consumer never reads past
+            // tail_, so the slot is exclusively the producer's here.
+            slot->clear();
+            recorder.attach(slot);
+            stim_.apply(c, recorder);
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++tail_;
+            }
+            can_consume_.notify_one();
+        }
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        error_ = std::current_exception();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_ = true;
+    }
+    can_consume_.notify_one();
+}
+
+const RecordedCycle* StimulusPipeline::acquire(double* blocked_seconds) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (head_ == tail_ && !done_) {
+        const auto t0 = std::chrono::steady_clock::now();
+        can_consume_.wait(lock, [&] { return head_ != tail_ || done_; });
+        if (blocked_seconds != nullptr) {
+            *blocked_seconds +=
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+        }
+    }
+    if (head_ != tail_) return &slots_[head_ % slots_.size()];
+    if (error_ != nullptr) std::rethrow_exception(error_);
+    return nullptr;
+}
+
+void StimulusPipeline::release() {
+    bool wake;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++head_;
+        // The producer only ever waits on the half-drained mark (see
+        // produce()); notifying on every release would just burn futex
+        // wakes it re-sleeps through.
+        wake = tail_ - head_ == slots_.size() / 2;
+    }
+    if (wake) can_produce_.notify_one();
+}
+
+void StimulusPipeline::stop() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    can_produce_.notify_one();
+    can_consume_.notify_one();
+}
+
+}  // namespace eraser::sim

@@ -1,0 +1,107 @@
+// Stimulus pipelining: overlaps stimulus generation with engine execution.
+//
+// DriveHandle is write-only — apply() never reads simulator state — so a
+// cycle's drive calls can be generated ahead of time on a helper thread,
+// recorded as data, and replayed into the engine in the exact call order.
+// The replayed sequence is byte-identical to calling apply() inline, so
+// pipelining is verdict-neutral by construction; it only moves where the
+// generation cost is paid. A bounded ring keeps the producer a batch of
+// cycles ahead without unbounded memory (deep enough that each producer
+// wakeup refills a whole batch — on oversubscribed hosts the dominant
+// cost is the wakeup, not the generation), and the consumer reports how
+// long it was *blocked* waiting (ShardBreakdown::stimulus_seconds) — near
+// zero when generation fully hides behind execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/stimulus.h"
+
+namespace eraser::sim {
+
+/// One cycle's recorded drive calls, replayable in call order.
+struct RecordedCycle {
+    std::vector<std::pair<rtl::SignalId, uint64_t>> pokes;
+    std::vector<std::pair<rtl::ArrayId, std::vector<uint64_t>>> loads;
+
+    void clear() {
+        pokes.clear();
+        loads.clear();
+    }
+
+    void replay(DriveHandle& h) const {
+        // Pokes and loads replay in their own call orders; interleaving
+        // between the two lists cannot matter — they address disjoint
+        // state (signals vs arrays).
+        for (const auto& [sig, value] : pokes) h.set_input(sig, value);
+        for (const auto& [arr, words] : loads) h.load_array(arr, words);
+    }
+};
+
+/// DriveHandle that records calls into a RecordedCycle instead of driving.
+class RecorderHandle final : public DriveHandle {
+  public:
+    void attach(RecordedCycle* cycle) { cycle_ = cycle; }
+    void set_input(rtl::SignalId sig, uint64_t value) override {
+        cycle_->pokes.emplace_back(sig, value);
+    }
+    void load_array(rtl::ArrayId arr,
+                    std::span<const uint64_t> words) override {
+        cycle_->loads.emplace_back(
+            arr, std::vector<uint64_t>(words.begin(), words.end()));
+    }
+
+  private:
+    RecordedCycle* cycle_ = nullptr;
+};
+
+/// Bounded single-producer/single-consumer pipeline over a Stimulus's
+/// apply() calls for cycles [begin, end). The producer thread starts in
+/// the constructor; the consumer drains via acquire()/release(). The
+/// stimulus must not be touched by anyone else while the pipeline lives
+/// (the producer owns its apply() stream — bind/initialize must already
+/// have happened, which the constructor's thread start orders after).
+class StimulusPipeline {
+  public:
+    StimulusPipeline(Stimulus& stim, uint32_t begin_cycle, uint32_t end_cycle,
+                     uint32_t depth = 64);
+    ~StimulusPipeline();
+
+    StimulusPipeline(const StimulusPipeline&) = delete;
+    StimulusPipeline& operator=(const StimulusPipeline&) = delete;
+
+    /// Blocks until the next cycle's recording is ready and returns it
+    /// (owned by the pipeline until release()); nullptr when the cycle
+    /// range is exhausted. Adds the time spent blocked to *blocked_seconds.
+    /// Rethrows an exception the stimulus threw on the producer thread.
+    [[nodiscard]] const RecordedCycle* acquire(double* blocked_seconds);
+
+    /// Returns the slot from the last acquire() to the producer.
+    void release();
+
+    /// Asks the producer to stop early (the destructor calls this too).
+    void stop();
+
+  private:
+    void produce(uint32_t begin_cycle, uint32_t end_cycle);
+
+    Stimulus& stim_;
+    std::vector<RecordedCycle> slots_;
+    std::mutex mu_;
+    std::condition_variable can_produce_;
+    std::condition_variable can_consume_;
+    uint64_t head_ = 0;  // next slot the consumer reads
+    uint64_t tail_ = 0;  // next slot the producer writes
+    bool done_ = false;
+    bool stop_ = false;
+    std::exception_ptr error_;
+    std::thread producer_;
+};
+
+}  // namespace eraser::sim

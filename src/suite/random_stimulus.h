@@ -4,6 +4,7 @@
 // engines replay identical input sequences.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <utility>
 #include <vector>
@@ -99,6 +100,75 @@ class RandomStimulus : public sim::Stimulus {
     Prng rng_{1};
     rtl::SignalId reset_sig_ = rtl::kInvalidId;
     std::vector<Drive> drives_;
+};
+
+/// RandomStimulus carved into E independent epochs — the suite's stock
+/// 2D-parallelism testbench. Each epoch is a self-contained mini-run: the
+/// reset protocol replays at the epoch start and the random stream reseeds
+/// from (seed, epoch), so an epoch's drive sequence depends only on the
+/// epoch index and the offset within it — never on earlier epochs. That is
+/// exactly the independence num_epochs() > 1 declares, which lets the
+/// scheduler run any epoch window on any worker and OR the verdicts.
+class EpochRandomStimulus final : public RandomStimulus {
+  public:
+    EpochRandomStimulus(Config config, uint32_t num_epochs)
+        : RandomStimulus(std::move(config)) {
+        // An epoch needs at least one cycle; surplus epochs would only
+        // produce empty passes.
+        epochs_ = std::max<uint32_t>(
+            1, std::min(num_epochs, config_.cycles));
+    }
+
+    [[nodiscard]] uint32_t num_epochs() const override { return epochs_; }
+    [[nodiscard]] std::pair<uint32_t, uint32_t> epoch_range(
+        uint32_t epoch) const override {
+        return {boundary(epoch), boundary(epoch + 1)};
+    }
+
+    void apply(uint32_t cycle, sim::DriveHandle& h) override {
+        const uint32_t e = epoch_of(cycle);
+        const uint32_t start = boundary(e);
+        if (cycle == start) {
+            // Every engine pass begins at an epoch start (the engine runs
+            // epochs as separate reset-to-end passes), so this reseed is
+            // hit before any in-epoch cycle — window or full layout alike.
+            rng_ = Prng(config_.seed ^
+                        (0x9E3779B97F4A7C15ULL * (e + 1)));
+        }
+        const uint32_t local = cycle - start;
+        if (reset_sig_ != rtl::kInvalidId) {
+            const bool in_reset = local < config_.reset_cycles;
+            h.set_input(reset_sig_,
+                        in_reset == config_.reset_active_high ? 1 : 0);
+        }
+        for (const Drive& d : drives_) {
+            if (d.constant) {
+                h.set_input(d.sig, d.value);
+                continue;
+            }
+            if (d.every > 1 && local % d.every != 0) {
+                rng_.next();   // keep the stream aligned across engines
+                continue;
+            }
+            h.set_input(d.sig, rng_.bits(d.width));
+        }
+    }
+
+  private:
+    /// Epoch boundaries floor(e * C / E): contiguous, exhaustive, and
+    /// off-by-at-most-one balanced for any C and E.
+    [[nodiscard]] uint32_t boundary(uint32_t epoch) const {
+        return static_cast<uint32_t>(static_cast<uint64_t>(epoch) *
+                                     config_.cycles / epochs_);
+    }
+    /// Inverse of boundary(): the epoch containing absolute cycle c.
+    [[nodiscard]] uint32_t epoch_of(uint32_t cycle) const {
+        return static_cast<uint32_t>(
+            (static_cast<uint64_t>(cycle) * epochs_ + epochs_ - 1) /
+            config_.cycles);
+    }
+
+    uint32_t epochs_ = 1;
 };
 
 }  // namespace eraser::suite

@@ -332,17 +332,10 @@ std::vector<uint8_t> payload_of(const util::WireWriter& w) {
     const std::span<const uint8_t> bytes = w.bytes();
     return std::vector<uint8_t>(bytes.begin(), bytes.end());
 }
-}  // namespace
 
-core::StimulusSpec remote_stimulus(const Benchmark& b, uint32_t cycles) {
-    util::WireWriter w;
-    w.str(b.name);
-    w.u32(cycles);
-    return core::StimulusSpec{"suite", payload_of(w)};
-}
-
-core::StimulusSpec remote_stimulus(const RandomStimulus::Config& cfg) {
-    util::WireWriter w;
+// The "random" and "epoch_random" kinds share the Config codec; the
+// epoched kind just appends its epoch count.
+void encode_random(util::WireWriter& w, const RandomStimulus::Config& cfg) {
     w.str(cfg.clock);
     w.str(cfg.reset);
     w.u8(cfg.reset_active_high ? 1 : 0);
@@ -359,7 +352,51 @@ core::StimulusSpec remote_stimulus(const RandomStimulus::Config& cfg) {
         w.str(name);
         w.u32(period);
     }
+}
+
+RandomStimulus::Config decode_random(util::WireReader& r) {
+    RandomStimulus::Config cfg;
+    cfg.clock = r.str();
+    cfg.reset = r.str();
+    cfg.reset_active_high = r.u8() != 0;
+    cfg.reset_cycles = r.u32();
+    cfg.cycles = r.u32();
+    cfg.seed = r.u64();
+    const uint64_t n_const = r.varint();
+    for (uint64_t i = 0; i < n_const; ++i) {
+        std::string name = r.str();
+        const uint64_t value = r.u64();
+        cfg.constants.emplace_back(std::move(name), value);
+    }
+    const uint64_t n_slow = r.varint();
+    for (uint64_t i = 0; i < n_slow; ++i) {
+        std::string name = r.str();
+        const uint32_t period = r.u32();
+        cfg.slow_inputs.emplace_back(std::move(name), period);
+    }
+    return cfg;
+}
+}  // namespace
+
+core::StimulusSpec remote_stimulus(const Benchmark& b, uint32_t cycles) {
+    util::WireWriter w;
+    w.str(b.name);
+    w.u32(cycles);
+    return core::StimulusSpec{"suite", payload_of(w)};
+}
+
+core::StimulusSpec remote_stimulus(const RandomStimulus::Config& cfg) {
+    util::WireWriter w;
+    encode_random(w, cfg);
     return core::StimulusSpec{"random", payload_of(w)};
+}
+
+core::StimulusSpec remote_stimulus(const RandomStimulus::Config& cfg,
+                                   uint32_t num_epochs) {
+    util::WireWriter w;
+    encode_random(w, cfg);
+    w.u32(num_epochs);
+    return core::StimulusSpec{"epoch_random", payload_of(w)};
 }
 
 void register_remote_stimuli() {
@@ -380,28 +417,19 @@ void register_remote_stimuli() {
             [](std::span<const uint8_t> payload)
                 -> std::unique_ptr<sim::Stimulus> {
                 util::WireReader r(payload);
-                RandomStimulus::Config cfg;
-                cfg.clock = r.str();
-                cfg.reset = r.str();
-                cfg.reset_active_high = r.u8() != 0;
-                cfg.reset_cycles = r.u32();
-                cfg.cycles = r.u32();
-                cfg.seed = r.u64();
-                const uint64_t n_const = r.varint();
-                for (uint64_t i = 0; i < n_const; ++i) {
-                    std::string name = r.str();
-                    const uint64_t value = r.u64();
-                    cfg.constants.emplace_back(std::move(name), value);
-                }
-                const uint64_t n_slow = r.varint();
-                for (uint64_t i = 0; i < n_slow; ++i) {
-                    std::string name = r.str();
-                    const uint32_t period =
-                        static_cast<uint32_t>(r.u32());
-                    cfg.slow_inputs.emplace_back(std::move(name), period);
-                }
+                RandomStimulus::Config cfg = decode_random(r);
                 r.expect_end();
                 return std::make_unique<RandomStimulus>(cfg);
+            });
+        core::register_stimulus_kind(
+            "epoch_random",
+            [](std::span<const uint8_t> payload)
+                -> std::unique_ptr<sim::Stimulus> {
+                util::WireReader r(payload);
+                RandomStimulus::Config cfg = decode_random(r);
+                const uint32_t epochs = r.u32();
+                r.expect_end();
+                return std::make_unique<EpochRandomStimulus>(cfg, epochs);
             });
     });
 }

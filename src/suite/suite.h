@@ -52,9 +52,16 @@ struct Benchmark {
 [[nodiscard]] core::StimulusSpec remote_stimulus(
     const RandomStimulus::Config& cfg);
 
-/// Registers the suite's stimulus kinds ("suite", "random") with the
-/// process-wide registry. Idempotent; every worker binary and every client
-/// submitting suite StimulusSpecs must call it once.
+/// Wire form of an EpochRandomStimulus (kind "epoch_random"): the same
+/// configuration carved into `num_epochs` independent epochs — the suite's
+/// stock stimulus for 2D (fault, epoch) campaigns.
+[[nodiscard]] core::StimulusSpec remote_stimulus(
+    const RandomStimulus::Config& cfg, uint32_t num_epochs);
+
+/// Registers the suite's stimulus kinds ("suite", "random",
+/// "epoch_random") with the process-wide registry. Idempotent; every
+/// worker binary and every client submitting suite StimulusSpecs must call
+/// it once.
 void register_remote_stimuli();
 
 }  // namespace eraser::suite

@@ -1,0 +1,378 @@
+// Two-dimensional (fault, epoch) parallelism contract (ctest label "2d"):
+//
+//  * EpochWindowStimulus maps window-local cycles/epochs onto the inner
+//    stimulus exactly (geometry is the whole adapter);
+//  * packing (fault, epoch) units is bit-identical to the serial epoch
+//    loop — across suite circuits, Word/Off batching, odd fault-count ×
+//    epoch-count remainders, forced and auto splits, and thread counts;
+//  * stimulus pipelining is verdict-neutral (it replays the recorded
+//    drive calls in call order; only the overlap moves);
+//  * the epoch window is part of the verdict-cache context key (window
+//    verdicts must never serve full-campaign lookups), while the campaign
+//    OR-fold lands under the full context so any later split hits;
+//  * a 2D campaign cancels cleanly mid-flight with sane progress;
+//  * epoch-annotated units ship over the wire and come back bit-identical.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eraser/canonical.h"
+#include "eraser/eraser.h"
+#include "eraser/remote.h"
+#include "eraser/verdict_cache.h"
+#include "frontend/compile.h"
+#include "suite/random_stimulus.h"
+#include "suite/suite.h"
+#include "util/wire.h"
+
+namespace eraser {
+namespace {
+
+using core::CampaignOptions;
+using core::FaultBatching;
+
+std::vector<fault::Fault> sample_faults(const rtl::Design& design,
+                                        uint32_t n, uint64_t seed = 7) {
+    fault::FaultGenOptions fopts;
+    fopts.sample_max = n;
+    fopts.sample_seed = seed;
+    return fault::generate_faults(design, fopts);
+}
+
+suite::RandomStimulus::Config epoch_config(uint32_t cycles,
+                                           const char* reset = "rst",
+                                           bool active_high = true) {
+    suite::RandomStimulus::Config cfg;
+    cfg.reset = reset;
+    cfg.reset_active_high = active_high;
+    cfg.cycles = cycles;
+    cfg.seed = 0x2D2D2025;
+    return cfg;
+}
+
+// --- window geometry ---------------------------------------------------------
+
+TEST(EpochWindow, GeometryMapsOntoInnerStimulus) {
+    // 10 cycles over 4 epochs: boundaries 0, 2, 5, 7, 10.
+    auto inner =
+        std::make_unique<suite::EpochRandomStimulus>(epoch_config(10), 4);
+    ASSERT_EQ(inner->num_epochs(), 4u);
+    EXPECT_EQ(inner->epoch_range(0), (std::pair<uint32_t, uint32_t>{0, 2}));
+    EXPECT_EQ(inner->epoch_range(1), (std::pair<uint32_t, uint32_t>{2, 5}));
+    EXPECT_EQ(inner->epoch_range(3), (std::pair<uint32_t, uint32_t>{7, 10}));
+
+    // Window [1, 3): covers inner cycles [2, 7) as local [0, 5).
+    sim::EpochWindowStimulus win(std::move(inner), 1, 3);
+    EXPECT_EQ(win.num_cycles(), 5u);
+    EXPECT_EQ(win.num_epochs(), 2u);
+    EXPECT_EQ(win.epoch_range(0), (std::pair<uint32_t, uint32_t>{0, 3}));
+    EXPECT_EQ(win.epoch_range(1), (std::pair<uint32_t, uint32_t>{3, 5}));
+}
+
+TEST(EpochWindow, EpochCountClampsToCycles) {
+    const suite::EpochRandomStimulus s(epoch_config(3), 100);
+    EXPECT_EQ(s.num_epochs(), 3u);
+    const suite::EpochRandomStimulus one(epoch_config(100), 0);
+    EXPECT_EQ(one.num_epochs(), 1u);
+}
+
+// --- 2D packing vs the serial epoch loop -------------------------------------
+
+// The core bit-identity matrix: three circuits, both batching modes, odd
+// fault counts (partial trailing 64-lane group) and an epoch count the
+// split does not divide. epoch_split=1 is the serial oracle (one unit runs
+// the per-epoch passes back to back); every other split must reproduce its
+// bitmap exactly.
+TEST(Epoch2D, SplitMatchesSerialAcrossCircuitsAndBatching) {
+    suite::register_remote_stimuli();
+    struct Pick {
+        const char* name;
+        const char* reset;
+        bool active_high;
+    };
+    const Pick picks[] = {
+        {"alu", "rst", true},
+        {"apb", "rstn", false},
+        {"riscv_mini", "rst", true},
+    };
+    constexpr uint32_t kEpochs = 6;   // not divisible by splits 4
+    for (const Pick& p : picks) {
+        const suite::Benchmark& b = suite::find_benchmark(p.name);
+        auto design = suite::load_design(b);
+        // 70 % 64 != 0: a partial trailing group in every fault-dim shard.
+        const auto faults = sample_faults(*design, 70);
+        ASSERT_FALSE(faults.empty()) << p.name;
+        const core::StimulusSpec stim = suite::remote_stimulus(
+            epoch_config(b.test_cycles, p.reset, p.active_high), kEpochs);
+
+        core::Session session(*design, {.num_threads = 2});
+        for (const auto batching :
+             {FaultBatching::Word, FaultBatching::Off}) {
+            CampaignOptions serial;
+            serial.engine.batching = batching;
+            serial.epoch_split = 1;
+            serial.num_shards = 1;
+            const auto oracle = session.submit(faults, stim, serial).wait();
+            EXPECT_FALSE(oracle.canceled);
+
+            for (const uint32_t split : {2u, 4u, kEpochs, 0u}) {
+                CampaignOptions opts;
+                opts.engine.batching = batching;
+                opts.epoch_split = split;   // 0 = cost-model auto
+                opts.num_shards = 3;
+                const auto result =
+                    session.submit(faults, stim, opts).wait();
+                EXPECT_EQ(oracle.detected, result.detected)
+                    << p.name << " batching=" << static_cast<int>(batching)
+                    << " split=" << split;
+                EXPECT_EQ(oracle.num_detected, result.num_detected)
+                    << p.name << " split=" << split;
+                EXPECT_FALSE(result.canceled);
+            }
+        }
+    }
+}
+
+// A split larger than the epoch count must clamp, not produce empty units.
+TEST(Epoch2D, OversizedSplitClamps) {
+    suite::register_remote_stimuli();
+    const suite::Benchmark& b = suite::find_benchmark("alu");
+    auto design = suite::load_design(b);
+    const auto faults = sample_faults(*design, 20);
+    const core::StimulusSpec stim =
+        suite::remote_stimulus(epoch_config(b.test_cycles), 3);
+
+    core::Session session(*design, {.num_threads = 2});
+    CampaignOptions serial;
+    serial.epoch_split = 1;
+    const auto oracle = session.submit(faults, stim, serial).wait();
+
+    CampaignOptions opts;
+    opts.epoch_split = 64;   // > 3 epochs: clamps to 3
+    const auto result = session.submit(faults, stim, opts).wait();
+    EXPECT_EQ(oracle.detected, result.detected);
+    EXPECT_LE(result.num_shards, 3u);
+}
+
+// --- stimulus pipelining -----------------------------------------------------
+
+TEST(Epoch2D, PipeliningIsVerdictNeutral) {
+    const suite::Benchmark& b = suite::find_benchmark("riscv_mini");
+    auto design = suite::load_design(b);
+    const auto faults = sample_faults(*design, 90);
+    core::Session session(*design);
+    auto stim = suite::make_stimulus(b, b.test_cycles);
+
+    CampaignOptions off;
+    off.engine.pipeline_stimulus = false;
+    const auto plain = session.run(faults, *stim, off);
+
+    CampaignOptions on;
+    on.engine.pipeline_stimulus = true;
+    const auto piped = session.run(faults, *stim, on);
+
+    EXPECT_EQ(plain.detected, piped.detected);
+    EXPECT_EQ(plain.num_detected, piped.num_detected);
+}
+
+// --- verdict-cache key movement ----------------------------------------------
+
+// The canonical stimulus hash must move when the epoch window moves (a
+// window verdict is not the fault's verdict) and stay put for the legacy
+// epochs == 0 encoding (old stores keep hitting).
+TEST(Epoch2D, EpochWindowMovesCacheKey) {
+    core::StimulusSpec legacy{"suite", {1, 2, 3}};
+    const uint64_t h_legacy = core::canonical::stimulus_hash(legacy, 42);
+
+    core::StimulusSpec full = legacy;
+    full.epochs = 8;
+    full.epoch_begin = 0;
+    full.epoch_end = 8;
+    EXPECT_FALSE(full.windowed());
+
+    core::StimulusSpec window = full;
+    window.epoch_begin = 2;
+    window.epoch_end = 4;
+    EXPECT_TRUE(window.windowed());
+
+    core::StimulusSpec other = window;
+    other.epoch_end = 5;
+
+    const uint64_t h_full = core::canonical::stimulus_hash(full, 42);
+    const uint64_t h_window = core::canonical::stimulus_hash(window, 42);
+    const uint64_t h_other = core::canonical::stimulus_hash(other, 42);
+    EXPECT_NE(h_legacy, h_full);
+    EXPECT_NE(h_full, h_window);
+    EXPECT_NE(h_window, h_other);
+
+    const core::EngineOptions engine;
+    EXPECT_NE(core::VerdictCache::context_key(7, full, engine),
+              core::VerdictCache::context_key(7, window, engine));
+
+    // The pipeline knob moves execution, never verdicts: the engine
+    // fingerprint (and thus the context key) must ignore it.
+    core::EngineOptions piped;
+    piped.pipeline_stimulus = !engine.pipeline_stimulus;
+    EXPECT_EQ(core::VerdictCache::context_key(7, window, engine),
+              core::VerdictCache::context_key(7, window, piped));
+}
+
+// A 2D campaign's finalization must publish the OR-folded verdicts under
+// the full-campaign context: a repeat submission — at a different split,
+// including none — is served entirely from cache.
+TEST(Epoch2D, CrossSplitCacheWarmHit) {
+    suite::register_remote_stimuli();
+    const suite::Benchmark& b = suite::find_benchmark("alu");
+    auto design = suite::load_design(b);
+    const auto faults = sample_faults(*design, 40);
+    const core::StimulusSpec stim =
+        suite::remote_stimulus(epoch_config(b.test_cycles), 4);
+
+    core::SessionOptions sopts;
+    sopts.num_threads = 2;
+    sopts.scheduler.verdict_cache =
+        std::make_shared<core::VerdictCache>(core::VerdictCacheOptions{});
+    core::Session session(*design, sopts);
+
+    CampaignOptions split4;
+    split4.epoch_split = 4;
+    const auto first = session.submit(faults, stim, split4).wait();
+    EXPECT_EQ(first.cache_hits, 0u);
+
+    CampaignOptions serial;
+    serial.epoch_split = 1;
+    const auto repeat = session.submit(faults, stim, serial).wait();
+    EXPECT_EQ(repeat.cache_hits, static_cast<uint32_t>(faults.size()))
+        << "OR-folded verdicts must serve the full-campaign context";
+    EXPECT_EQ(first.detected, repeat.detected);
+}
+
+// --- cancellation ------------------------------------------------------------
+
+TEST(Epoch2D, CancelMidCampaign) {
+    suite::register_remote_stimuli();
+    // `dead` never reaches an output: undetectable faults, no early exit.
+    auto design = frontend::compile(R"(
+        module cancel2d_dut(input clk, input in, output reg out);
+          reg dead;
+          always @(posedge clk) begin
+            dead <= in;
+            out <= in;
+          end
+        endmodule
+    )",
+                                    "cancel2d_dut");
+    std::vector<fault::Fault> faults;
+    const rtl::SignalId dead = design->signal_id("dead");
+    faults.push_back({dead, 0, false});
+    faults.push_back({dead, 0, true});
+
+    auto cfg = epoch_config(500'000'000, /*reset=*/"");
+    const core::StimulusSpec stim = suite::remote_stimulus(cfg, 16);
+
+    core::Session session(*design, {.num_threads = 2});
+    CampaignOptions opts;
+    opts.epoch_split = 8;
+    auto handle = session.submit(faults, stim, opts);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(handle.finished());
+    EXPECT_TRUE(handle.cancel());
+    const auto& result = handle.wait();
+    EXPECT_TRUE(result.canceled);
+    EXPECT_EQ(result.num_faults, 2u);
+    const auto progress = handle.progress();
+    EXPECT_LE(progress.faults_done, progress.faults_total);
+    EXPECT_LE(progress.detected_so_far, progress.faults_total);
+}
+
+// --- over the wire -----------------------------------------------------------
+
+/// In-process worker (accept loop + serve_connection), as in
+/// remote_campaign_test.
+class TestWorker {
+  public:
+    TestWorker() {
+        listener_ = util::listen_loopback(port_);
+        thread_ = std::thread([this] { accept_loop(); });
+    }
+    ~TestWorker() {
+        stop_.store(true, std::memory_order_release);
+        if (thread_.joinable()) thread_.join();
+    }
+    [[nodiscard]] uint16_t port() const { return port_; }
+
+  private:
+    void accept_loop() {
+        while (!stop_.load(std::memory_order_acquire)) {
+            try {
+                util::UniqueFd fd =
+                    util::accept_connection(listener_.get(), 50);
+                util::WireConn conn(std::move(fd));
+                (void)core::serve_connection(conn, cache_);
+            } catch (const util::WireError&) {
+                // Accept timeout or vanished client; retry.
+            }
+        }
+    }
+
+    uint16_t port_ = 0;
+    util::UniqueFd listener_;
+    core::WorkerDesignCache cache_;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+// Epoch-annotated units over the wire: a 2D campaign with a remote worker
+// attached produces the serial oracle's bitmap, and the units the worker
+// executed carry their epoch windows home in the breakdown.
+TEST(Epoch2D, RemoteWindowUnitsMatchLocal) {
+    suite::register_remote_stimuli();
+    const suite::Benchmark& b = suite::find_benchmark("alu");
+    auto design = suite::load_design(b);
+    const auto faults = sample_faults(*design, 30);
+    auto compiled = core::CompiledDesign::build(*design);
+    const core::StimulusSpec stim =
+        suite::remote_stimulus(epoch_config(b.test_cycles), 6);
+
+    core::CampaignResult oracle;
+    {
+        core::Session local(compiled, {.num_threads = 1});
+        CampaignOptions serial;
+        serial.epoch_split = 1;
+        oracle = local.submit(faults, stim, serial).wait();
+    }
+
+    TestWorker worker;
+    core::SessionOptions sopts;
+    sopts.num_threads = 1;
+    sopts.scheduler.remote.workers = {worker.port()};
+    sopts.scheduler.remote.design = suite::design_spec(b);
+    sopts.scheduler.learn_costs = false;
+    core::Session session(compiled, sopts);
+    CampaignOptions opts;
+    opts.epoch_split = 3;
+    const auto result = session.submit(faults, stim, opts).wait();
+
+    EXPECT_EQ(oracle.detected, result.detected);
+    EXPECT_EQ(oracle.num_detected, result.num_detected);
+    // Every unit reports a sane epoch window; together they cover [0, 6).
+    std::vector<bool> covered(6, false);
+    for (const auto& sb : result.stats.shards) {
+        ASSERT_LT(sb.epoch_begin, sb.epoch_end);
+        ASSERT_LE(sb.epoch_end, 6u);
+        for (uint32_t e = sb.epoch_begin; e < sb.epoch_end; ++e) {
+            covered[e] = true;
+        }
+    }
+    for (uint32_t e = 0; e < 6; ++e) EXPECT_TRUE(covered[e]) << e;
+}
+
+}  // namespace
+}  // namespace eraser
